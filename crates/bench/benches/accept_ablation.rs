@@ -1,0 +1,52 @@
+//! E3 — acceptable-solution search ablation: polynomial fixpoint vs the
+//! paper's literal `Z ⊆ V_C` enumeration (Theorem 3.4).
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::expansion::{Expansion, ExpansionConfig};
+use cr_core::sat::zenum::satisfiable_by_z_enumeration;
+use cr_core::sat::{fixpoint, Reasoner};
+use cr_core::system::CrSystem;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accept_search");
+    group.sample_size(10);
+    for classes in [2, 3, 4] {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, classes, 2, 31).build();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let sys = CrSystem::build(&exp);
+        let ncc = exp.compound_classes().len();
+
+        group.bench_with_input(
+            BenchmarkId::new("fixpoint", format!("{classes}c_{ncc}cc")),
+            &sys,
+            |b, sys| b.iter(|| fixpoint::maximal_acceptable_support(sys)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("z_enumeration", format!("{classes}c_{ncc}cc")),
+            &(&schema, &exp, &sys),
+            |b, (schema, exp, sys)| {
+                b.iter(|| {
+                    schema
+                        .classes()
+                        .map(|cl| satisfiable_by_z_enumeration(exp, sys, cl).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Sanity: the two must agree (checked once outside the timing loop).
+    let schema = SchemaGen::shaped(SchemaShape::IsaModerate, 4, 2, 31).build();
+    let r = Reasoner::new(&schema).unwrap();
+    for cl in schema.classes() {
+        assert_eq!(
+            r.is_class_satisfiable(cl),
+            satisfiable_by_z_enumeration(r.expansion(), r.system(), cl).unwrap()
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E4 — what the ISA generalization costs: the ICDE'94 expansion-based
+//! procedure vs the LN90 linear-size baseline on their common (ISA-free)
+//! fragment, and the ICDE'94 procedure alone as ISA density grows.
+
+use cr_baseline::BaselineReasoner;
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::sat::Reasoner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_schemas");
+    group.sample_size(10);
+    for classes in [4, 6, 8] {
+        let schema = SchemaGen::shaped(SchemaShape::Flat, classes, 2, 41).build();
+        group.bench_with_input(BenchmarkId::new("ln90", classes), &schema, |b, s| {
+            b.iter(|| BaselineReasoner::new(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("icde94", classes), &schema, |b, s| {
+            b.iter(|| Reasoner::new(s).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut density = c.benchmark_group("isa_density_cost");
+    density.sample_size(10);
+    for (label, shape) in [
+        ("flat", SchemaShape::Flat),
+        ("moderate", SchemaShape::IsaModerate),
+        ("heavy", SchemaShape::IsaHeavy),
+    ] {
+        let schema = SchemaGen::shaped(shape, 5, 3, 47).build();
+        density.bench_with_input(BenchmarkId::from_parameter(label), &schema, |b, s| {
+            b.iter(|| Reasoner::new(s).unwrap())
+        });
+    }
+    density.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E7b — arbitrary-precision arithmetic kernels: schoolbook vs Karatsuba
+//! multiplication (locating the crossover that set `KARATSUBA_THRESHOLD`)
+//! and division/gcd costs as they appear in simplex pivoting.
+
+use cr_bigint::{BigInt, Uint};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_uint(limbs: usize, rng: &mut StdRng) -> Uint {
+    Uint::from_limbs((0..limbs).map(|_| rng.gen()).collect())
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(97);
+
+    let mut mul = c.benchmark_group("mul");
+    for limbs in [8, 16, 32, 64, 128, 256] {
+        let a = random_uint(limbs, &mut rng);
+        let b = random_uint(limbs, &mut rng);
+        mul.bench_with_input(
+            BenchmarkId::new("schoolbook", limbs),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| a.mul_schoolbook(b)),
+        );
+        mul.bench_with_input(
+            BenchmarkId::new("auto_karatsuba", limbs),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| a.mul(b)),
+        );
+    }
+    mul.finish();
+
+    let mut div = c.benchmark_group("div_rem");
+    for limbs in [16, 64, 256] {
+        let a = random_uint(limbs * 2, &mut rng);
+        let b = random_uint(limbs, &mut rng);
+        div.bench_with_input(
+            BenchmarkId::from_parameter(limbs),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| a.div_rem(b)),
+        );
+    }
+    div.finish();
+
+    let mut gcd = c.benchmark_group("gcd");
+    for limbs in [4, 16, 64] {
+        let a = BigInt::from(random_uint(limbs, &mut rng));
+        let b = BigInt::from(random_uint(limbs, &mut rng));
+        gcd.bench_with_input(
+            BenchmarkId::from_parameter(limbs),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| a.gcd(b)),
+        );
+    }
+    gcd.finish();
+}
+
+criterion_group!(benches, bench_bigint);
+criterion_main!(benches);

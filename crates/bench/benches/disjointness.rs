@@ -1,0 +1,37 @@
+//! E6 — the Section 5 efficiency claim: disjointness constraints shrink the
+//! expansion (and therefore the whole pipeline) dramatically.
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::expansion::{Expansion, ExpansionConfig};
+use cr_core::sat::Reasoner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_disjointness(c: &mut Criterion) {
+    let config = ExpansionConfig {
+        max_compound_classes: 1 << 20,
+        max_compound_rels: 1 << 22,
+    };
+
+    let mut group = c.benchmark_group("disjointness_pruning");
+    group.sample_size(10);
+    for disjoint in [0usize, 2, 4, 8] {
+        let mut gen = SchemaGen::shaped(SchemaShape::Flat, 8, 3, 61);
+        gen.disjoint_group = disjoint;
+        let schema = gen.build();
+        // Report the structural effect once per configuration.
+        let exp = Expansion::build(&schema, &config).unwrap();
+        let label = format!("{disjoint}dj_{}cc", exp.compound_classes().len());
+        group.bench_with_input(BenchmarkId::new("expansion", &label), &schema, |b, s| {
+            b.iter(|| Expansion::build(s, &config).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_reasoner", &label),
+            &schema,
+            |b, s| b.iter(|| Reasoner::with_config(s, &config).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disjointness);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E1 — expansion construction: exponential in #classes, modulated by ISA
+//! density and (E6 companion) by disjointness.
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::expansion::{Expansion, ExpansionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion_build");
+    let config = ExpansionConfig {
+        max_compound_classes: 1 << 20,
+        max_compound_rels: 1 << 22,
+    };
+    for shape in [
+        SchemaShape::Flat,
+        SchemaShape::IsaModerate,
+        SchemaShape::IsaHeavy,
+    ] {
+        for classes in [4, 8, 10] {
+            let schema = SchemaGen::shaped(shape, classes, 3, 11).build();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape:?}"), classes),
+                &schema,
+                |b, s| b.iter(|| Expansion::build(s, &config).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E5 — implication checking: single Section 4 queries and tightest-bound
+//! searches on the paper's meeting schema and random schemas.
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::expansion::ExpansionConfig;
+use cr_core::implication::{implied_maxc, implied_minc, implies_maxc, implies_minc};
+use cr_core::sat::Reasoner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const MEETING: &str = r#"
+    class Speaker;
+    class Discussant isa Speaker;
+    class Talk;
+    relationship Holds (U1: Speaker, U2: Talk);
+    relationship Participates (U3: Discussant, U4: Talk);
+    card Speaker in Holds.U1: 1..*;
+    card Discussant in Holds.U1: 0..2;
+    card Talk in Holds.U2: 1..1;
+    card Discussant in Participates.U3: 1..1;
+    card Talk in Participates.U4: 1..*;
+"#;
+
+fn bench_implication(c: &mut Criterion) {
+    let schema = cr_lang::parse_schema(MEETING).unwrap();
+    let speaker = schema.class_by_name("Speaker").unwrap();
+    let discussant = schema.class_by_name("Discussant").unwrap();
+    let holds = schema.rel_by_name("Holds").unwrap();
+    let u1 = schema.role_by_name(holds, "U1").unwrap();
+    let config = ExpansionConfig::default();
+
+    let mut group = c.benchmark_group("implication_meeting");
+    group.sample_size(10);
+    group.bench_function("isa_query", |b| {
+        // Reuses the precomputed support: near-free after Reasoner::new.
+        let r = Reasoner::new(&schema).unwrap();
+        b.iter(|| r.implies_isa(speaker, discussant))
+    });
+    group.bench_function("single_maxc_query", |b| {
+        b.iter(|| implies_maxc(&schema, speaker, u1, 1, &config).unwrap())
+    });
+    group.bench_function("single_minc_query", |b| {
+        b.iter(|| implies_minc(&schema, speaker, u1, 1, &config).unwrap())
+    });
+    group.bench_function("tightest_maxc_search", |b| {
+        b.iter(|| implied_maxc(&schema, speaker, u1, &config, 1 << 12).unwrap())
+    });
+    group.bench_function("tightest_minc_search", |b| {
+        b.iter(|| implied_minc(&schema, speaker, u1, &config).unwrap())
+    });
+    group.finish();
+
+    let mut random = c.benchmark_group("implication_random");
+    random.sample_size(10);
+    for classes in [3, 4, 5] {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, classes, 2, 53).build();
+        if let Some(d) = schema.card_declarations().first() {
+            let (class, role) = (d.class, d.role);
+            random.bench_with_input(BenchmarkId::new("single_minc", classes), &schema, |b, s| {
+                b.iter(|| implies_minc(s, class, role, 1, &config).unwrap())
+            });
+        }
+    }
+    random.finish();
+}
+
+criterion_group!(benches, bench_implication);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E7a — the exact-LP substrate: simplex vs Fourier–Motzkin on random
+//! feasibility problems, and simplex scaling with system size.
+
+use cr_linear::{solve, solve_fm, Cmp, FmConfig, LinExpr, LinSystem, VarKind};
+use cr_rational::Rational;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random homogeneous system shaped like the CR reduction output:
+/// nonnegative unknowns, rows `Σ r_i - m·c >= 0` / `n·c - Σ r_i >= 0`.
+fn random_system(vars: usize, rows: usize, seed: u64) -> LinSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sys = LinSystem::new();
+    let ids: Vec<_> = (0..vars).map(|_| sys.add_var(VarKind::Nonneg)).collect();
+    for _ in 0..rows {
+        let mut e = LinExpr::new();
+        let terms = rng.gen_range(2..=4.min(vars));
+        for _ in 0..terms {
+            let v = ids[rng.gen_range(0..vars)];
+            let coef = rng.gen_range(-4i64..=4);
+            e.add_term(v, Rational::from_int(coef));
+        }
+        sys.push(e, Cmp::Ge, Rational::zero());
+    }
+    // One strict row, as in Theorem 3.3's Ψ'.
+    sys.push(LinExpr::var(ids[0]), Cmp::Ge, Rational::one());
+    sys
+}
+
+fn bench_linear(c: &mut Criterion) {
+    let mut engines = c.benchmark_group("lp_engines");
+    for (vars, rows) in [(4, 6), (6, 10), (8, 14)] {
+        let sys = random_system(vars, rows, 71);
+        engines.bench_with_input(
+            BenchmarkId::new("simplex", format!("{vars}v{rows}r")),
+            &sys,
+            |b, s| b.iter(|| solve(s)),
+        );
+        engines.bench_with_input(
+            BenchmarkId::new("fourier_motzkin", format!("{vars}v{rows}r")),
+            &sys,
+            |b, s| b.iter(|| solve_fm(s, FmConfig::default()).unwrap()),
+        );
+    }
+    engines.finish();
+
+    let mut scaling = c.benchmark_group("simplex_scaling");
+    scaling.sample_size(10);
+    for vars in [10, 20, 40, 80] {
+        let sys = random_system(vars, vars * 2, 73);
+        scaling.bench_with_input(BenchmarkId::from_parameter(vars), &sys, |b, s| {
+            b.iter(|| solve(s))
+        });
+    }
+    scaling.finish();
+}
+
+criterion_group!(benches, bench_linear);
+criterion_main!(benches);

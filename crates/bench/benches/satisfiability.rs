@@ -1,0 +1,43 @@
+//! E2 — full satisfiability pipeline (expansion + Ψ_S + acceptable-support
+//! fixpoint) as schema size grows.
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::sat::Reasoner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_satisfiability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reasoner_full_check");
+    group.sample_size(10);
+    for classes in [3, 4, 5, 6] {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, classes, 3, 23).build();
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &schema, |b, s| {
+            b.iter(|| Reasoner::new(s).unwrap())
+        });
+    }
+    group.finish();
+
+    // The meeting schema of the paper as a fixed reference point.
+    let mut fixed = c.benchmark_group("reasoner_meeting_schema");
+    let schema = cr_lang::parse_schema(
+        r#"
+        class Speaker;
+        class Discussant isa Speaker;
+        class Talk;
+        relationship Holds (U1: Speaker, U2: Talk);
+        relationship Participates (U3: Discussant, U4: Talk);
+        card Speaker in Holds.U1: 1..*;
+        card Discussant in Holds.U1: 0..2;
+        card Talk in Holds.U2: 1..1;
+        card Discussant in Participates.U3: 1..1;
+        card Talk in Participates.U4: 1..*;
+    "#,
+    )
+    .unwrap();
+    fixed.bench_function("figures_2_3", |b| {
+        b.iter(|| Reasoner::new(&schema).unwrap())
+    });
+    fixed.finish();
+}
+
+criterion_group!(benches, bench_satisfiability);
+criterion_main!(benches);

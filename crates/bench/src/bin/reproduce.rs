@@ -1,0 +1,510 @@
+//! Regenerates every figure of the paper and the scaling/ablation
+//! experiments recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! reproduce            # everything
+//! reproduce figures    # Figures 1-7 + the Section 3.3 counterexample
+//! reproduce scaling    # experiments E1-E7
+//! reproduce --quick    # smaller sweeps (CI-friendly)
+//! ```
+
+use std::time::Instant;
+
+use cr_baseline::BaselineReasoner;
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::expansion::{Expansion, ExpansionConfig};
+use cr_core::implication::{implied_maxc, implied_minc, ImpliedBound};
+use cr_core::model::ModelConfig;
+use cr_core::sat::zenum::satisfiable_by_z_enumeration;
+use cr_core::sat::Reasoner;
+use cr_core::schema::Schema;
+use cr_core::system::render_verbatim;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    if what == "figures" || what == "all" {
+        figures();
+    }
+    if what == "scaling" || what == "all" {
+        scaling(quick);
+    }
+}
+
+const MEETING: &str = r#"
+    class Speaker;
+    class Discussant isa Speaker;
+    class Talk;
+    relationship Holds (U1: Speaker, U2: Talk);
+    relationship Participates (U3: Discussant, U4: Talk);
+    card Speaker in Holds.U1: 1..*;
+    card Discussant in Holds.U1: 0..2;
+    card Talk in Holds.U2: 1..1;
+    card Discussant in Participates.U3: 1..1;
+    card Talk in Participates.U4: 1..*;
+"#;
+
+const FIGURE1: &str = r#"
+    class C;
+    class D isa C;
+    relationship R (U1: C, U2: D);
+    card C in R.U1: 2..*;
+    card D in R.U2: 0..1;
+"#;
+
+fn header(title: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+fn figures() {
+    figure1();
+    figure3();
+    figure4();
+    figure5();
+    figure6();
+    figure7();
+    figure8();
+}
+
+fn figure1() {
+    header("Figure 1 — finitely unsatisfiable ER diagram");
+    let schema = cr_lang::parse_schema(FIGURE1).unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    println!("schema: |R| >= 2|C| (minc(C,R,U1)=2), |R| <= |D| (maxc(D,R,U2)=1), D ≼ C");
+    for c in schema.classes() {
+        let unrestricted = cr_core::unrestricted::unrestricted_satisfiable(r.expansion(), c);
+        println!(
+            "  {:<4} finite: {:<16} unrestricted: {}",
+            schema.class_name(c),
+            if r.is_class_satisfiable(c) {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE"
+            },
+            if unrestricted {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE"
+            }
+        );
+        assert!(unrestricted, "the gap exists only for finite models");
+    }
+    assert_eq!(r.unsatisfiable_classes().len(), 2);
+    println!("(the finite/unrestricted gap is the paper's motivation: the 2:1 ratio");
+    println!(" is absorbed by an infinite domain but never by a finite one)");
+}
+
+fn meeting() -> Schema {
+    cr_lang::parse_schema(MEETING).unwrap()
+}
+
+fn figure3() {
+    header("Figures 2/3 — the meeting CR-schema");
+    let schema = meeting();
+    print!("{}", cr_lang::print_schema(&schema));
+    let r = Reasoner::new(&schema).unwrap();
+    assert!(r.is_schema_fully_satisfiable());
+    println!("all classes satisfiable: ok (paper: schema is consistent)");
+}
+
+fn figure4() {
+    header("Figure 4 — the expansion");
+    let schema = meeting();
+    let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+    println!(
+        "compound classes: {} total, {} consistent (paper: c̄1..c̄7, consistent {{c̄1,c̄3,c̄4,c̄5,c̄7}})",
+        exp.total_compound_classes(),
+        exp.compound_classes().len()
+    );
+    for i in 0..exp.compound_classes().len() {
+        println!("  {}", exp.cclass_name(i));
+    }
+    let holds = schema.rel_by_name("Holds").unwrap();
+    let part = schema.rel_by_name("Participates").unwrap();
+    println!(
+        "consistent H̄: {} (paper: 12), consistent P̄: {} (paper: 6)",
+        exp.compound_rels_of(holds).len(),
+        exp.compound_rels_of(part).len()
+    );
+    println!("derived windows (Definition 3.1):");
+    for rel in schema.rels() {
+        for &u in schema.roles_of(rel) {
+            let primary = schema.primary_class(u);
+            for &cc in exp.compound_classes_containing(primary) {
+                let card = exp.derived_card(cc, u);
+                if card != cr_core::Card::UNCONSTRAINED {
+                    println!(
+                        "  minc/maxc({}, {}, {}) = {}",
+                        exp.cclass_name(cc),
+                        schema.rel_name(rel),
+                        schema.role_name(u),
+                        card
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn figure5() {
+    header("Figure 5 — the system of disequations Ψ_S (verbatim, with zero rows)");
+    let schema = meeting();
+    let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+    let text = render_verbatim(&exp, 8).unwrap();
+    let vars = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("Var("))
+        .count();
+    println!("{text}");
+    println!("unknown inventory: {vars} (paper: 7 class + 49 H̄ + 49 P̄ = 105)");
+    assert_eq!(vars, 105);
+}
+
+fn figure6() {
+    header("Figure 6 — acceptable solution and derived model");
+    let schema = meeting();
+    let r = Reasoner::new(&schema).unwrap();
+    let w = r.witness().unwrap();
+    let exp = r.expansion();
+    println!("acceptable solution (nonzero counts):");
+    for (i, v) in w.cclass_counts.iter().enumerate() {
+        if v.is_positive() {
+            println!("  X({}) = {v}", exp.cclass_name(i));
+        }
+    }
+    for (i, v) in w.crel_counts.iter().enumerate() {
+        if v.is_positive() {
+            println!("  X({}) = {v}", exp.crel_name(i));
+        }
+    }
+    let model = r
+        .construct_model(&ModelConfig::default())
+        .unwrap()
+        .expect("satisfiable");
+    println!(
+        "constructed model: {} individuals, {} Holds tuples, {} Participates tuples",
+        model.domain_size(),
+        model
+            .rel_extension(schema.rel_by_name("Holds").unwrap())
+            .len(),
+        model
+            .rel_extension(schema.rel_by_name("Participates").unwrap())
+            .len()
+    );
+    assert!(model.is_model_of(&schema));
+    println!("verified against Definition 2.2: ok (paper's Figure 6 gives a 4-element model)");
+}
+
+fn figure7() {
+    header("Figure 7 — implied constraints");
+    let schema = meeting();
+    let r = Reasoner::new(&schema).unwrap();
+    let speaker = schema.class_by_name("Speaker").unwrap();
+    let discussant = schema.class_by_name("Discussant").unwrap();
+    let talk = schema.class_by_name("Talk").unwrap();
+    let holds = schema.rel_by_name("Holds").unwrap();
+    let part = schema.rel_by_name("Participates").unwrap();
+    let u1 = schema.role_by_name(holds, "U1").unwrap();
+    let u4 = schema.role_by_name(part, "U4").unwrap();
+    let config = ExpansionConfig::default();
+
+    let isa = r.implies_isa(speaker, discussant);
+    println!("S ⊨ Speaker ≼ Discussant:            {isa} (paper: yes)");
+    assert!(isa);
+
+    let m1 = implied_maxc(&schema, talk, u4, &config, 1 << 16).unwrap();
+    println!("S ⊨ maxc(Talk, Participates, U4) = 1: {m1:?} (paper: yes, tightest 1)");
+    assert_eq!(m1, ImpliedBound::Bound(1));
+
+    let m2 = implied_maxc(&schema, speaker, u1, &config, 1 << 16).unwrap();
+    println!("S ⊨ maxc(Speaker, Holds, U1) = 1:     {m2:?} (paper: yes, tightest 1)");
+    assert_eq!(m2, ImpliedBound::Bound(1));
+
+    let m3 = implied_minc(&schema, speaker, u1, &config).unwrap();
+    println!("tightest implied minc(Speaker, Holds, U1): {m3:?}");
+}
+
+fn figure8() {
+    header("Section 3.3 — the refinement that breaks the schema");
+    let amended = MEETING.replace(
+        "card Discussant in Holds.U1: 0..2;",
+        "card Discussant in Holds.U1: 2..2;",
+    );
+    let schema = cr_lang::parse_schema(&amended).unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    println!("added: minc(Discussant, Holds, U1) = 2");
+    let unsat = r.unsatisfiable_classes();
+    for c in &unsat {
+        println!("  {} UNSATISFIABLE", schema.class_name(*c));
+    }
+    assert_eq!(unsat.len(), 3, "paper: the system becomes unsolvable");
+    println!("(paper: #talks = #speakers = #discussants forces a contradiction)");
+}
+
+// --------------------------------------------------------------------------
+// Scaling and ablation experiments
+// --------------------------------------------------------------------------
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn scaling(quick: bool) {
+    e1_expansion(quick);
+    e2_satisfiability(quick);
+    e2b_system_ablation(quick);
+    e3_accept_ablation(quick);
+    e4_baseline(quick);
+    e5_implication(quick);
+    e6_disjointness(quick);
+    e7_unrestricted(quick);
+}
+
+fn e7_unrestricted(quick: bool) {
+    header("E8 — finite vs unrestricted satisfiability (the Figure 1 gap at scale)");
+    println!("(schemas embed g copies of the Figure 1 gadget among 2g satisfiable classes)");
+    println!("| gadgets | classes | finite-unsat | unrestricted-unsat | gap | finite ms | unrestricted ms |");
+    println!("|---|---|---|---|---|---|---|");
+    let gadget_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3, 4] };
+    for &g in gadget_counts {
+        let schema = gadget_schema(g);
+        let (r, finite_ms) = time(|| Reasoner::new(&schema).unwrap());
+        let finite_unsat = r.unsatisfiable_classes().len();
+        let (viable, ms) = time(|| cr_core::unrestricted::viable_compound_classes(r.expansion()));
+        let unrestricted_unsat = schema
+            .classes()
+            .filter(|&c| {
+                !r.expansion()
+                    .compound_classes_containing(c)
+                    .iter()
+                    .any(|&cc| viable[cc])
+            })
+            .count();
+        println!(
+            "| {g} | {} | {finite_unsat} | {unrestricted_unsat} | {} | {finite_ms:.2} | {ms:.2} |",
+            schema.num_classes(),
+            finite_unsat - unrestricted_unsat
+        );
+        assert_eq!(finite_unsat, 2 * g, "each gadget kills its two classes");
+        assert_eq!(
+            unrestricted_unsat, 0,
+            "no gadget is unrestrictedly unsatisfiable"
+        );
+    }
+}
+
+/// `g` copies of the paper's Figure 1 gadget (finitely unsatisfiable,
+/// unrestrictedly satisfiable) plus `2g` benign classes with ordinary
+/// constraints. The gadget families are declared pairwise disjoint —
+/// both realistic and the paper's own Section 5 advice for keeping the
+/// expansion small (without it the expansion grows as `3^g · 4^g`).
+fn gadget_schema(g: usize) -> Schema {
+    use cr_core::schema::{Card, SchemaBuilder};
+    let mut b = SchemaBuilder::new();
+    let mut roots = Vec::new();
+    for i in 0..g {
+        let c = b.class(format!("C{i}"));
+        let d = b.class(format!("D{i}"));
+        b.isa(d, c);
+        let r = b
+            .relationship(format!("R{i}"), [("U1", c), ("U2", d)])
+            .unwrap();
+        b.card(c, b.role(r, 0), Card::at_least(2)).unwrap();
+        b.card(d, b.role(r, 1), Card::at_most(1)).unwrap();
+        // Benign companions.
+        let p = b.class(format!("P{i}"));
+        let q = b.class(format!("Q{i}"));
+        let s = b
+            .relationship(format!("S{i}"), [("V1", p), ("V2", q)])
+            .unwrap();
+        b.card(p, b.role(s, 0), Card::exactly(1)).unwrap();
+        b.card(q, b.role(s, 1), Card::new(1, Some(2))).unwrap();
+        roots.extend([c, p, q]);
+    }
+    if roots.len() >= 2 {
+        b.disjoint(roots).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn e1_expansion(quick: bool) {
+    header("E1 — expansion size is exponential in #classes, modulated by ISA");
+    println!("| shape | classes | consistent cc | compound rels | build ms |");
+    println!("|---|---|---|---|---|");
+    let sizes: &[usize] = if quick {
+        &[4, 8]
+    } else {
+        &[4, 6, 8, 10, 12, 14]
+    };
+    for &shape in &[
+        SchemaShape::Flat,
+        SchemaShape::IsaModerate,
+        SchemaShape::IsaHeavy,
+    ] {
+        for &n in sizes {
+            let schema = SchemaGen::shaped(shape, n, 3, 11).build();
+            let config = ExpansionConfig {
+                max_compound_classes: 1 << 20,
+                max_compound_rels: 1 << 22,
+            };
+            let (exp, ms) = time(|| Expansion::build(&schema, &config));
+            match exp {
+                Ok(exp) => println!(
+                    "| {shape:?} | {n} | {} | {} | {ms:.2} |",
+                    exp.compound_classes().len(),
+                    exp.compound_rels().len()
+                ),
+                Err(e) => println!("| {shape:?} | {n} | — | — | exceeded budget ({e}) |"),
+            }
+        }
+    }
+}
+
+fn e2_satisfiability(quick: bool) {
+    header("E2 — full satisfiability check (expansion + Ψ_S + fixpoint, aggregated LP)");
+    println!("| classes | direct unknowns | agg unknowns | total ms | unsat classes |");
+    println!("|---|---|---|---|---|");
+    let sizes: &[usize] = if quick {
+        &[3, 5]
+    } else {
+        &[3, 4, 5, 6, 7, 8, 9, 10]
+    };
+    for &n in sizes {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, n, 3, 23).build();
+        let (r, ms) = time(|| Reasoner::new(&schema).unwrap());
+        let agg = cr_core::agg::AggSystem::build(r.expansion());
+        println!(
+            "| {n} | {} | {} | {ms:.2} | {} |",
+            r.system().num_unknowns(),
+            agg.num_unknowns(),
+            r.unsatisfiable_classes().len()
+        );
+    }
+}
+
+fn e2b_system_ablation(quick: bool) {
+    header("E2b — direct (paper-verbatim) vs aggregated system ablation");
+    println!("| classes | direct unknowns | direct ms | agg unknowns | agg ms | agree |");
+    println!("|---|---|---|---|---|---|");
+    let sizes: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5, 6] };
+    for &n in sizes {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, n, 3, 23).build();
+        let config = ExpansionConfig::default();
+        let (direct, d_ms) = time(|| {
+            Reasoner::with_strategy(&schema, &config, cr_core::sat::Strategy::Direct).unwrap()
+        });
+        let (agg, a_ms) = time(|| {
+            Reasoner::with_strategy(&schema, &config, cr_core::sat::Strategy::Aggregated).unwrap()
+        });
+        let agree = direct.support() == agg.support();
+        let agg_sys = cr_core::agg::AggSystem::build(agg.expansion());
+        println!(
+            "| {n} | {} | {d_ms:.2} | {} | {a_ms:.2} | {agree} |",
+            direct.system().num_unknowns(),
+            agg_sys.num_unknowns()
+        );
+        assert!(agree);
+    }
+}
+
+fn e3_accept_ablation(quick: bool) {
+    header("E3 — fixpoint vs the paper's literal Z-enumeration (Theorem 3.4)");
+    println!("| classes | compound classes | fixpoint ms | z-enum ms | agree |");
+    println!("|---|---|---|---|---|");
+    let sizes: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4] };
+    for &n in sizes {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, n, 2, 31).build();
+        let (r, fix_ms) = time(|| Reasoner::new(&schema).unwrap());
+        let (zs, z_ms) = time(|| {
+            schema
+                .classes()
+                .map(|c| satisfiable_by_z_enumeration(r.expansion(), r.system(), c).unwrap())
+                .collect::<Vec<_>>()
+        });
+        let agree = schema
+            .classes()
+            .zip(&zs)
+            .all(|(c, &z)| r.is_class_satisfiable(c) == z);
+        println!(
+            "| {n} | {} | {fix_ms:.2} | {z_ms:.2} | {agree} |",
+            r.expansion().compound_classes().len()
+        );
+        assert!(agree);
+    }
+}
+
+fn e4_baseline(quick: bool) {
+    header("E4 — what ISA costs: ICDE'94 vs the LN90 baseline on flat schemas");
+    println!("| classes | LN90 unknowns | ICDE unknowns | LN90 ms | ICDE ms | agree |");
+    println!("|---|---|---|---|---|---|");
+    let sizes: &[usize] = if quick { &[4, 6] } else { &[4, 6, 8] };
+    for &n in sizes {
+        let schema = SchemaGen::shaped(SchemaShape::Flat, n, 2, 41).build();
+        let (base, base_ms) = time(|| BaselineReasoner::new(&schema).unwrap());
+        let (full, full_ms) = time(|| Reasoner::new(&schema).unwrap());
+        let agree = schema
+            .classes()
+            .all(|c| base.is_class_satisfiable(c) == full.is_class_satisfiable(c));
+        println!(
+            "| {n} | {} | {} | {base_ms:.2} | {full_ms:.2} | {agree} |",
+            base.num_unknowns(),
+            full.system().num_unknowns()
+        );
+        assert!(agree);
+    }
+}
+
+fn e5_implication(quick: bool) {
+    header("E5 — implication via reduction to satisfiability");
+    println!("| classes | query | result | ms |");
+    println!("|---|---|---|---|");
+    let sizes: &[usize] = if quick { &[3] } else { &[3, 4, 5] };
+    let config = ExpansionConfig::default();
+    for &n in sizes {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, n, 2, 53).build();
+        // Query the first declared card's (class, role).
+        if let Some(d) = schema.card_declarations().first() {
+            let (lo, ms1) = time(|| implied_minc(&schema, d.class, d.role, &config).unwrap());
+            println!("| {n} | implied minc | {lo:?} | {ms1:.2} |");
+            let (hi, ms2) =
+                time(|| implied_maxc(&schema, d.class, d.role, &config, 1 << 12).unwrap());
+            println!("| {n} | implied maxc | {hi:?} | {ms2:.2} |");
+        }
+        let (pairs, ms3) = time(|| Reasoner::new(&schema).unwrap().implied_isa_pairs());
+        println!("| {n} | implied isa pairs | {} | {ms3:.2} |", pairs.len());
+    }
+}
+
+fn e6_disjointness(quick: bool) {
+    header("E6 — Section 5: disjointness dramatically shrinks the system");
+    println!("| classes | disjoint group | consistent cc | rows | reason ms |");
+    println!("|---|---|---|---|---|");
+    let n = if quick { 6 } else { 8 };
+    let groups: &[usize] = if quick { &[0, 4] } else { &[0, 2, 4, 6, 8] };
+    for &g in groups {
+        let mut gen = SchemaGen::shaped(SchemaShape::Flat, n, 3, 61);
+        gen.disjoint_group = g;
+        let schema = gen.build();
+        let config = ExpansionConfig {
+            max_compound_classes: 1 << 20,
+            max_compound_rels: 1 << 22,
+        };
+        let (exp, _) = time(|| Expansion::build(&schema, &config).unwrap());
+        let ncc = exp.compound_classes().len();
+        let sys = cr_core::agg::AggSystem::build(&exp);
+        let rows = sys.num_rows();
+        drop(exp);
+        let (r, ms) = time(|| Reasoner::with_config(&schema, &config).unwrap());
+        let _ = r;
+        println!("| {n} | {g} | {ncc} | {rows} | {ms:.2} |");
+    }
+}

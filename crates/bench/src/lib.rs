@@ -1,0 +1,10 @@
+//! Benchmark harness for the cr-reason workspace: seeded random schema
+//! generation (the workload axis of experiments E1–E6) and small shared
+//! helpers for the `reproduce` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workload;
+
+pub use workload::{SchemaGen, SchemaShape};

@@ -1,0 +1,211 @@
+//! Seeded random CR-schema generation.
+//!
+//! The generator grows an ISA forest, types relationships over it, declares
+//! cardinality windows on primary classes and *refinements* on their
+//! descendants (the construct whose interaction the paper studies), and can
+//! add disjointness groups for the E6 ablation. Everything is driven by a
+//! seed, so every bench run sees identical workloads.
+
+use cr_core::isa::IsaClosure;
+use cr_core::schema::{Card, Schema, SchemaBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Convenience shapes used across the benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemaShape {
+    /// No ISA at all (the LN90 fragment).
+    Flat,
+    /// A moderately deep ISA forest with refinements.
+    IsaModerate,
+    /// Dense ISA (most classes have a parent, many refinements).
+    IsaHeavy,
+}
+
+/// Parameters for random schema generation.
+#[derive(Clone, Debug)]
+pub struct SchemaGen {
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of binary relationships.
+    pub rels: usize,
+    /// Probability that a class is given a parent in the ISA forest.
+    pub isa_density: f64,
+    /// Probability that a role's primary class receives a declared window.
+    pub card_density: f64,
+    /// Probability that each strict descendant of a constrained primary
+    /// receives a refinement.
+    pub refinement_density: f64,
+    /// Magnitude bound for declared cardinalities.
+    pub max_card: u64,
+    /// Probability a declared window has a finite maximum.
+    pub tightness: f64,
+    /// Number of pairwise ISA-incomparable classes to declare disjoint
+    /// (0 = no disjointness).
+    pub disjoint_group: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SchemaGen {
+    /// A preset for the given shape and size.
+    pub fn shaped(shape: SchemaShape, classes: usize, rels: usize, seed: u64) -> SchemaGen {
+        let (isa, refine) = match shape {
+            SchemaShape::Flat => (0.0, 0.0),
+            SchemaShape::IsaModerate => (0.5, 0.3),
+            SchemaShape::IsaHeavy => (0.9, 0.6),
+        };
+        SchemaGen {
+            classes,
+            rels,
+            isa_density: isa,
+            card_density: 0.7,
+            refinement_density: refine,
+            max_card: 4,
+            tightness: 0.6,
+            disjoint_group: 0,
+            seed,
+        }
+    }
+
+    /// Generates the schema.
+    pub fn build(&self) -> Schema {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = SchemaBuilder::new();
+        let classes: Vec<_> = (0..self.classes)
+            .map(|i| b.class(format!("C{i}")))
+            .collect();
+
+        // ISA forest: parents only among earlier classes (acyclic).
+        let mut parent: Vec<Option<usize>> = vec![None; self.classes];
+        for i in 1..self.classes {
+            if rng.gen_bool(self.isa_density) {
+                let p = rng.gen_range(0..i);
+                parent[i] = Some(p);
+                b.isa(classes[i], classes[p]);
+            }
+        }
+
+        // Relationships over random primaries.
+        let mut roles = Vec::new();
+        for r in 0..self.rels {
+            let p0 = rng.gen_range(0..self.classes);
+            let p1 = rng.gen_range(0..self.classes);
+            let rel = b
+                .relationship(format!("R{r}"), [("u", classes[p0]), ("v", classes[p1])])
+                .expect("arity 2 with unique names");
+            roles.push((b.role(rel, 0), p0));
+            roles.push((b.role(rel, 1), p1));
+        }
+
+        // A probe schema to compute the closure for refinements.
+        let closure = {
+            let mut pb = SchemaBuilder::new();
+            let pc: Vec<_> = (0..self.classes)
+                .map(|i| pb.class(format!("C{i}")))
+                .collect();
+            for (i, p) in parent.iter().enumerate() {
+                if let Some(p) = p {
+                    pb.isa(pc[i], pc[*p]);
+                }
+            }
+            IsaClosure::compute(&pb.build().expect("probe validates"))
+        };
+
+        let gen_card = |rng: &mut StdRng| {
+            let min = rng.gen_range(0..=self.max_card / 2);
+            let max = if rng.gen_bool(self.tightness) {
+                Some(rng.gen_range(min.max(1)..=self.max_card))
+            } else {
+                None
+            };
+            Card::new(min, max)
+        };
+
+        for &(role, primary) in &roles {
+            if rng.gen_bool(self.card_density) {
+                b.card(classes[primary], role, gen_card(&mut rng))
+                    .expect("first declaration for this pair");
+            }
+            for desc in closure.descendants(classes[primary]).iter() {
+                if desc != primary && rng.gen_bool(self.refinement_density) {
+                    // Duplicate (class, role) pairs can arise when two roles
+                    // share a primary; skip quietly.
+                    let _ = b.card(classes[desc], role, gen_card(&mut rng));
+                }
+            }
+        }
+
+        // Disjointness among pairwise ISA-incomparable classes.
+        if self.disjoint_group >= 2 {
+            let mut group: Vec<usize> = Vec::new();
+            for i in 0..self.classes {
+                let comparable = group.iter().any(|&g| {
+                    closure.is_subclass_of(classes[i], classes[g])
+                        || closure.is_subclass_of(classes[g], classes[i])
+                });
+                if !comparable {
+                    group.push(i);
+                    if group.len() == self.disjoint_group {
+                        break;
+                    }
+                }
+            }
+            if group.len() >= 2 {
+                b.disjoint(group.iter().map(|&i| classes[i]))
+                    .expect("at least two classes");
+            }
+        }
+
+        b.build().expect("generated schema validates")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let g = SchemaGen::shaped(SchemaShape::IsaModerate, 6, 4, 42);
+        let a = g.build();
+        let b = g.build();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SchemaGen::shaped(SchemaShape::IsaHeavy, 8, 5, 1).build();
+        let b = SchemaGen::shaped(SchemaShape::IsaHeavy, 8, 5, 2).build();
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn flat_shape_has_no_isa() {
+        let s = SchemaGen::shaped(SchemaShape::Flat, 10, 6, 7).build();
+        assert!(s.isa_statements().is_empty());
+        // Flat schemas stay inside the LN90 fragment.
+        assert!(cr_baseline::BaselineReasoner::new(&s).is_ok());
+    }
+
+    #[test]
+    fn generated_schemas_are_reasonable() {
+        for seed in 0..10 {
+            let s = SchemaGen::shaped(SchemaShape::IsaModerate, 5, 3, seed).build();
+            assert_eq!(s.num_classes(), 5);
+            assert_eq!(s.num_rels(), 3);
+            // The reasoner must handle every generated schema.
+            let r = cr_core::sat::Reasoner::new(&s).unwrap();
+            let _ = r.unsatisfiable_classes();
+        }
+    }
+
+    #[test]
+    fn disjoint_group_emitted() {
+        let mut g = SchemaGen::shaped(SchemaShape::Flat, 8, 2, 3);
+        g.disjoint_group = 4;
+        let s = g.build();
+        assert_eq!(s.disjointness_groups().len(), 1);
+        assert_eq!(s.disjointness_groups()[0].len(), 4);
+    }
+}

@@ -1,0 +1,94 @@
+//! `Display`/`Debug` for [`BigInt`] and [`Uint`] (decimal).
+
+use std::fmt;
+
+use crate::int::BigInt;
+use crate::uint::Uint;
+
+impl fmt::Display for Uint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel off 9 decimal digits at a time; chunks come out least
+        // significant first, so buffer and reverse.
+        let mut chunks: Vec<u32> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_small(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::with_capacity(chunks.len() * 9);
+        let mut iter = chunks.iter().rev();
+        if let Some(first) = iter.next() {
+            s.push_str(&first.to_string());
+        }
+        for chunk in iter {
+            s.push_str(&format!("{chunk:09}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for Uint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            // Route through pad_integral so width/fill flags behave.
+            let mag = self.magnitude().to_string();
+            f.pad_integral(false, "", &mag)
+        } else {
+            fmt::Display::fmt(self.magnitude(), f)
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero_and_small() {
+        assert_eq!(Uint::zero().to_string(), "0");
+        assert_eq!(BigInt::from(0).to_string(), "0");
+        assert_eq!(BigInt::from(12345).to_string(), "12345");
+        assert_eq!(BigInt::from(-12345).to_string(), "-12345");
+    }
+
+    #[test]
+    fn display_chunk_boundaries() {
+        // Values around the 10^9 chunking boundary must keep leading zeros
+        // inside interior chunks.
+        assert_eq!(BigInt::from(1_000_000_000u64).to_string(), "1000000000");
+        assert_eq!(BigInt::from(1_000_000_001u64).to_string(), "1000000001");
+        assert_eq!(
+            BigInt::from(3_000_000_002_000_000_001u64).to_string(),
+            "3000000002000000001"
+        );
+    }
+
+    #[test]
+    fn display_u128_agrees_with_primitive() {
+        for v in [u128::MAX, u64::MAX as u128 + 1, 999_999_999, 1_000_000_000] {
+            assert_eq!(Uint::from_u128(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn width_formatting() {
+        assert_eq!(format!("{:>8}", BigInt::from(42)), "      42");
+        assert_eq!(format!("{:>8}", BigInt::from(-42)), "     -42");
+    }
+}

@@ -1,0 +1,80 @@
+//! Greatest common divisor and least common multiple.
+
+use crate::int::BigInt;
+use crate::uint::Uint;
+
+impl Uint {
+    /// Greatest common divisor (Euclid's algorithm on magnitudes).
+    /// `gcd(0, x) = x` by convention.
+    pub fn gcd(&self, other: &Uint) -> Uint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple; `lcm(0, x) = 0`.
+    pub fn lcm(&self, other: &Uint) -> Uint {
+        if self.is_zero() || other.is_zero() {
+            return Uint::zero();
+        }
+        let g = self.gcd(other);
+        let (q, _) = self.div_rem(&g);
+        q.mul(other)
+    }
+}
+
+impl BigInt {
+    /// Greatest common divisor of the magnitudes (always nonnegative).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        BigInt::from(self.magnitude().gcd(other.magnitude()))
+    }
+
+    /// Least common multiple of the magnitudes (always nonnegative).
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        BigInt::from(self.magnitude().lcm(other.magnitude()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u128) -> Uint {
+        Uint::from_u128(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(u(12).gcd(&u(18)), u(6));
+        assert_eq!(u(17).gcd(&u(5)), u(1));
+        assert_eq!(u(0).gcd(&u(7)), u(7));
+        assert_eq!(u(7).gcd(&u(0)), u(7));
+        assert_eq!(u(0).gcd(&u(0)), u(0));
+    }
+
+    #[test]
+    fn gcd_large() {
+        let a = u(2u128.pow(80) * 3 * 5 * 7);
+        let b = u(2u128.pow(75) * 3 * 11);
+        assert_eq!(a.gcd(&b), u(2u128.pow(75) * 3));
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(u(4).lcm(&u(6)), u(12));
+        assert_eq!(u(0).lcm(&u(5)), u(0));
+        assert_eq!(u(7).lcm(&u(7)), u(7));
+    }
+
+    #[test]
+    fn signed_gcd_is_nonnegative() {
+        assert_eq!(BigInt::from(-12).gcd(&BigInt::from(18)), BigInt::from(6));
+        assert_eq!(BigInt::from(-12).gcd(&BigInt::from(-18)), BigInt::from(6));
+        assert_eq!(BigInt::from(-4).lcm(&BigInt::from(6)), BigInt::from(12));
+    }
+}

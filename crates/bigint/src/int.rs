@@ -1,0 +1,490 @@
+//! The signed [`BigInt`] type and its operator implementations.
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+use crate::uint::Uint;
+
+/// The sign of a [`BigInt`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    fn combine(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariant: `sign == Sign::Zero` iff `mag.is_zero()`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: Uint,
+}
+
+impl BigInt {
+    /// The value zero.
+    #[inline]
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: Uint::zero(),
+        }
+    }
+
+    /// The value one.
+    #[inline]
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Positive,
+            mag: Uint::one(),
+        }
+    }
+
+    /// Builds a value from an explicit sign and magnitude; the sign of a zero
+    /// magnitude is normalized to [`Sign::Zero`].
+    pub fn from_sign_mag(sign: Sign, mag: Uint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Sign::Zero");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    #[inline]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    #[inline]
+    pub fn magnitude(&self) -> &Uint {
+        &self.mag
+    }
+
+    /// Whether this is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Whether this is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.mag.is_one()
+    }
+
+    /// Whether this is strictly positive.
+    #[inline]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Whether this is strictly negative.
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> BigInt {
+        match self.sign {
+            Sign::Negative => -self.clone(),
+            _ => self.clone(),
+        }
+    }
+
+    /// Truncating division with remainder: `self = q * other + r` with
+    /// `|r| < |other|` and `r` carrying the sign of `self` (the convention of
+    /// Rust's primitive `/` and `%`). Panics if `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (qm, rm) = self.mag.div_rem(&other.mag);
+        let q = if qm.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(self.sign.combine(other.sign), qm)
+        };
+        let r = if rm.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(self.sign, rm)
+        };
+        (q, r)
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i64::try_from(m).ok(),
+            Sign::Negative => {
+                if m == 1u64 << 63 {
+                    Some(i64::MIN)
+                } else {
+                    i64::try_from(m).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(m).ok(),
+            Sign::Negative => {
+                if m == 1u128 << 127 {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(m).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Converts to `u64` if the value is nonnegative and fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.is_negative() {
+            None
+        } else {
+            self.mag.to_u64()
+        }
+    }
+
+    /// Number of significant bits of the magnitude.
+    pub fn bit_len(&self) -> u64 {
+        self.mag.bit_len()
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                let mag = Uint::from_u128(v as u128);
+                if mag.is_zero() {
+                    BigInt::zero()
+                } else {
+                    BigInt { sign: Sign::Positive, mag }
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                let mag = Uint::from_u128((v as i128).unsigned_abs());
+                if mag.is_zero() {
+                    BigInt::zero()
+                } else {
+                    let sign = if v > 0 { Sign::Positive } else { Sign::Negative };
+                    BigInt { sign, mag }
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, u128, usize);
+from_signed!(i8, i16, i32, i64, i128, isize);
+
+impl From<Uint> for BigInt {
+    fn from(mag: Uint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: Sign::Positive,
+                mag,
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.mag.cmp_mag(&other.mag),
+                Sign::Negative => other.mag.cmp_mag(&self.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag,
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+fn add_impl(a: &BigInt, b: &BigInt) -> BigInt {
+    match (a.sign, b.sign) {
+        (Sign::Zero, _) => b.clone(),
+        (_, Sign::Zero) => a.clone(),
+        (sa, sb) if sa == sb => BigInt {
+            sign: sa,
+            mag: a.mag.add(&b.mag),
+        },
+        (sa, _) => match a.mag.cmp_mag(&b.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt {
+                sign: sa,
+                mag: a.mag.sub(&b.mag),
+            },
+            Ordering::Less => BigInt {
+                sign: sa.flip(),
+                mag: b.mag.sub(&a.mag),
+            },
+        },
+    }
+}
+
+fn mul_impl(a: &BigInt, b: &BigInt) -> BigInt {
+    let sign = a.sign.combine(b.sign);
+    if sign == Sign::Zero {
+        BigInt::zero()
+    } else {
+        BigInt {
+            sign,
+            mag: a.mag.mul(&b.mag),
+        }
+    }
+}
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $f:expr) => {
+        impl $trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $f(self, rhs)
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $f(&self, &rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $f(&self, rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $f(self, &rhs)
+            }
+        }
+    };
+}
+
+binop!(Add, add, add_impl);
+binop!(Sub, sub, |a: &BigInt, b: &BigInt| add_impl(a, &-b));
+binop!(Mul, mul, mul_impl);
+binop!(Div, div, |a: &BigInt, b: &BigInt| a.div_rem(b).0);
+binop!(Rem, rem, |a: &BigInt, b: &BigInt| a.div_rem(b).1);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = add_impl(self, rhs);
+    }
+}
+
+impl AddAssign<BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = add_impl(self, &rhs);
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = add_impl(self, &-rhs);
+    }
+}
+
+impl SubAssign<BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: BigInt) {
+        *self = add_impl(self, &-rhs);
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = mul_impl(self, rhs);
+    }
+}
+
+impl MulAssign<BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: BigInt) {
+        *self = mul_impl(self, &rhs);
+    }
+}
+
+impl std::iter::Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a BigInt> for BigInt {
+    fn sum<I: Iterator<Item = &'a BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for BigInt {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for BigInt {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn sign_normalization() {
+        assert_eq!(b(0).sign(), Sign::Zero);
+        assert_eq!(b(5).sign(), Sign::Positive);
+        assert_eq!(b(-5).sign(), Sign::Negative);
+        assert_eq!((-b(0)).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn add_mixed_signs() {
+        assert_eq!(b(5) + b(-3), b(2));
+        assert_eq!(b(3) + b(-5), b(-2));
+        assert_eq!(b(-3) + b(-5), b(-8));
+        assert_eq!(b(5) + b(-5), b(0));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(b(5) - b(9), b(-4));
+        assert_eq!(-b(7), b(-7));
+        assert_eq!(b(-3) - b(-3), b(0));
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(b(-4) * b(5), b(-20));
+        assert_eq!(b(-4) * b(-5), b(20));
+        assert_eq!(b(-4) * b(0), b(0));
+    }
+
+    #[test]
+    fn div_rem_truncates_toward_zero() {
+        for (x, y) in [(7i128, 2i128), (-7, 2), (7, -2), (-7, -2)] {
+            let (q, r) = b(x).div_rem(&b(y));
+            assert_eq!(q, b(x / y), "{x}/{y}");
+            assert_eq!(r, b(x % y), "{x}%{y}");
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(-10) < b(-2));
+        assert!(b(-2) < b(0));
+        assert!(b(0) < b(3));
+        assert!(b(3) < b(10));
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(b(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(b(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(b(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(b(i64::MIN as i128 - 1).to_i64(), None);
+    }
+
+    #[test]
+    fn to_i128_bounds() {
+        assert_eq!(b(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(b(i128::MIN).to_i128(), Some(i128::MIN));
+        let too_big = b(i128::MAX) + b(1);
+        assert_eq!(too_big.to_i128(), None);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: BigInt = (1..=100i64).map(BigInt::from).sum();
+        assert_eq!(total, b(5050));
+    }
+
+    #[test]
+    fn abs() {
+        assert_eq!(b(-42).abs(), b(42));
+        assert_eq!(b(42).abs(), b(42));
+        assert_eq!(b(0).abs(), b(0));
+    }
+}

@@ -1,0 +1,40 @@
+//! Arbitrary-precision signed integer arithmetic.
+//!
+//! This crate provides [`BigInt`], an exact signed integer of unbounded
+//! magnitude, built for the exact rational simplex in `cr-linear`: pivoting a
+//! rational tableau multiplies numerators and denominators together, and on
+//! realistic CR-schema expansions the intermediate values overflow `i128`
+//! quickly. Floating point is not an option — the decision procedure of
+//! Calvanese & Lenzerini (ICDE'94) is only sound with exact arithmetic.
+//!
+//! The representation is a sign plus a little-endian vector of `u32` limbs
+//! ([`Uint`] holds the magnitude). `u32` limbs keep all intermediate products
+//! within `u64`, which makes the schoolbook kernels easy to verify; a
+//! Karatsuba multiplication path kicks in above a threshold for the large
+//! operands the simplex occasionally produces.
+//!
+//! # Example
+//!
+//! ```
+//! use cr_bigint::BigInt;
+//!
+//! let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+//! let b = BigInt::from(-42);
+//! let (q, r) = (&a * &b).div_rem(&a);
+//! assert_eq!(q, BigInt::from(-42));
+//! assert!(r.is_zero());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fmt;
+mod gcd;
+mod int;
+mod parse;
+mod pow;
+mod uint;
+
+pub use int::{BigInt, Sign};
+pub use parse::ParseBigIntError;
+pub use uint::Uint;

@@ -1,0 +1,143 @@
+//! Decimal parsing for [`BigInt`] and [`Uint`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::int::{BigInt, Sign};
+use crate::uint::Uint;
+
+/// Error produced when parsing a [`BigInt`] or [`Uint`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => {
+                write!(f, "invalid digit {c:?} in integer literal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+/// Parses an unsigned decimal string in chunks of 9 digits (each chunk fits a
+/// `u32`), folding with `mag * 10^k + chunk`.
+fn parse_decimal_mag(s: &str) -> Result<Uint, ParseBigIntError> {
+    if s.is_empty() {
+        return Err(ParseBigIntError {
+            kind: ParseErrorKind::Empty,
+        });
+    }
+    if let Some(c) = s.chars().find(|c| !c.is_ascii_digit()) {
+        return Err(ParseBigIntError {
+            kind: ParseErrorKind::InvalidDigit(c),
+        });
+    }
+    let bytes = s.as_bytes();
+    let mut mag = Uint::zero();
+    let mut i = 0;
+    while i < bytes.len() {
+        let take = (bytes.len() - i).min(9);
+        let mut chunk: u32 = 0;
+        for &b in &bytes[i..i + take] {
+            chunk = chunk * 10 + u32::from(b - b'0');
+        }
+        mag = mag.mul_small(10u32.pow(take as u32)).add_small(chunk);
+        i += take;
+    }
+    Ok(mag)
+}
+
+impl FromStr for Uint {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_decimal_mag(s)
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Negative, rest),
+            None => match s.strip_prefix('+') {
+                Some(rest) => (Sign::Positive, rest),
+                None => (Sign::Positive, s),
+            },
+        };
+        let mag = parse_decimal_mag(digits)?;
+        if mag.is_zero() {
+            Ok(BigInt::zero())
+        } else {
+            Ok(BigInt::from_sign_mag(sign, mag))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_small() {
+        assert_eq!("0".parse::<BigInt>().unwrap(), BigInt::zero());
+        assert_eq!("42".parse::<BigInt>().unwrap(), BigInt::from(42));
+        assert_eq!("-42".parse::<BigInt>().unwrap(), BigInt::from(-42));
+        assert_eq!("+42".parse::<BigInt>().unwrap(), BigInt::from(42));
+        assert_eq!("-0".parse::<BigInt>().unwrap(), BigInt::zero());
+    }
+
+    #[test]
+    fn parse_large_roundtrip() {
+        let s = "123456789012345678901234567890123456789";
+        let v: BigInt = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        let n: BigInt = format!("-{s}").parse().unwrap();
+        assert_eq!(n.to_string(), format!("-{s}"));
+    }
+
+    #[test]
+    fn parse_leading_zeros() {
+        assert_eq!("007".parse::<BigInt>().unwrap(), BigInt::from(7));
+        assert_eq!("000".parse::<BigInt>().unwrap(), BigInt::zero());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12a3".parse::<BigInt>().is_err());
+        assert!("1 2".parse::<BigInt>().is_err());
+        assert!("--5".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn parse_uint() {
+        assert_eq!(
+            "18446744073709551616".parse::<Uint>().unwrap(),
+            Uint::from_u128(1u128 << 64)
+        );
+        assert!("-1".parse::<Uint>().is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = "x".parse::<BigInt>().unwrap_err();
+        assert!(e.to_string().contains("invalid digit"));
+        let e = "".parse::<BigInt>().unwrap_err();
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Exponentiation by squaring.
+
+use crate::int::BigInt;
+use crate::uint::Uint;
+
+impl Uint {
+    /// `self^exp` by binary exponentiation; `0^0 == 1` by convention.
+    pub fn pow(&self, mut exp: u32) -> Uint {
+        let mut base = self.clone();
+        let mut acc = Uint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+}
+
+impl BigInt {
+    /// `self^exp` by binary exponentiation; `0^0 == 1` by convention.
+    pub fn pow(&self, exp: u32) -> BigInt {
+        let mag = self.magnitude().pow(exp);
+        if self.is_negative() && exp % 2 == 1 {
+            -BigInt::from(mag)
+        } else {
+            BigInt::from(mag)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(BigInt::from(2).pow(10), BigInt::from(1024));
+        assert_eq!(BigInt::from(3).pow(0), BigInt::from(1));
+        assert_eq!(BigInt::from(0).pow(0), BigInt::from(1));
+        assert_eq!(BigInt::from(0).pow(5), BigInt::from(0));
+    }
+
+    #[test]
+    fn pow_sign() {
+        assert_eq!(BigInt::from(-2).pow(3), BigInt::from(-8));
+        assert_eq!(BigInt::from(-2).pow(4), BigInt::from(16));
+    }
+
+    #[test]
+    fn pow_large() {
+        let v = BigInt::from(10).pow(40);
+        assert_eq!(v.to_string(), format!("1{}", "0".repeat(40)));
+        assert_eq!(
+            Uint::from_u64(2).pow(128),
+            Uint::from_u128(u128::MAX).add(&Uint::one())
+        );
+    }
+}

@@ -1,0 +1,613 @@
+//! Unsigned magnitude arithmetic: the limb-level kernels backing [`BigInt`].
+//!
+//! [`BigInt`]: crate::BigInt
+
+use std::cmp::Ordering;
+
+/// Base-2^32 limbs, little-endian.
+const BITS_PER_LIMB: u32 = 32;
+
+/// Operand size (in limbs) above which multiplication switches from the
+/// schoolbook kernel to Karatsuba. Chosen by the `bigint` bench (E7); the
+/// crossover is flat between 24 and 48 limbs on x86-64.
+pub(crate) const KARATSUBA_THRESHOLD: usize = 32;
+
+/// An arbitrary-precision unsigned integer (a magnitude).
+///
+/// Invariant: `limbs` has no trailing zero limbs; zero is the empty vector.
+/// All arithmetic preserves the invariant.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Uint {
+    limbs: Vec<u32>,
+}
+
+impl Uint {
+    /// The value zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Uint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    #[inline]
+    pub fn one() -> Self {
+        Uint { limbs: vec![1] }
+    }
+
+    /// Builds a magnitude from little-endian limbs, trimming trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Uint { limbs }
+    }
+
+    /// The little-endian limbs (no trailing zeros).
+    #[inline]
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Whether this is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * u64::from(BITS_PER_LIMB)
+                    + u64::from(BITS_PER_LIMB - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Whether the lowest bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Converts from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        Uint::from_limbs(vec![v as u32, (v >> 32) as u32])
+    }
+
+    /// Converts from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        Uint::from_limbs(vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ])
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.as_slice() {
+            [] => Some(0),
+            [a] => Some(u64::from(*a)),
+            [a, b] => Some(u64::from(*a) | (u64::from(*b) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            v |= u128::from(l) << (32 * i);
+        }
+        Some(v)
+    }
+
+    /// Magnitude comparison.
+    pub fn cmp_mag(&self, other: &Uint) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Uint) -> Uint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for (i, &l) in long.iter().enumerate() {
+            let s = u64::from(l) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &Uint) -> Option<Uint> {
+        if self.cmp_mag(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let d = i64::from(self.limbs[i])
+                - i64::from(other.limbs.get(i).copied().unwrap_or(0))
+                - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Uint::from_limbs(out))
+    }
+
+    /// `self - other`; panics if the result would be negative.
+    pub fn sub(&self, other: &Uint) -> Uint {
+        self.checked_sub(other)
+            .expect("Uint::sub underflow: subtrahend exceeds minuend")
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &Uint) -> Uint {
+        if self.is_zero() || other.is_zero() {
+            return Uint::zero();
+        }
+        let limbs = if self.limbs.len() >= KARATSUBA_THRESHOLD
+            && other.limbs.len() >= KARATSUBA_THRESHOLD
+        {
+            karatsuba(&self.limbs, &other.limbs)
+        } else {
+            schoolbook_mul(&self.limbs, &other.limbs)
+        };
+        Uint::from_limbs(limbs)
+    }
+
+    /// `self * other` forced through the schoolbook kernel (for the E7
+    /// multiplication ablation bench and for cross-checking Karatsuba).
+    pub fn mul_schoolbook(&self, other: &Uint) -> Uint {
+        if self.is_zero() || other.is_zero() {
+            return Uint::zero();
+        }
+        Uint::from_limbs(schoolbook_mul(&self.limbs, &other.limbs))
+    }
+
+    /// `self * small`.
+    pub fn mul_small(&self, small: u32) -> Uint {
+        if small == 0 || self.is_zero() {
+            return Uint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u64 = 0;
+        for &l in &self.limbs {
+            let p = u64::from(l) * u64::from(small) + carry;
+            out.push(p as u32);
+            carry = p >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `self + small`.
+    pub fn add_small(&self, small: u32) -> Uint {
+        self.add(&Uint::from_limbs(vec![small]))
+    }
+
+    /// `(self / small, self % small)`; panics if `small == 0`.
+    pub fn div_rem_small(&self, small: u32) -> (Uint, u32) {
+        assert!(small != 0, "division by zero");
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | u64::from(self.limbs[i]);
+            out[i] = (cur / u64::from(small)) as u32;
+            rem = cur % u64::from(small);
+        }
+        (Uint::from_limbs(out), rem as u32)
+    }
+
+    /// `(self / other, self % other)`; panics if `other` is zero.
+    pub fn div_rem(&self, other: &Uint) -> (Uint, Uint) {
+        assert!(!other.is_zero(), "division by zero");
+        match self.cmp_mag(other) {
+            Ordering::Less => return (Uint::zero(), self.clone()),
+            Ordering::Equal => return (Uint::one(), Uint::zero()),
+            Ordering::Greater => {}
+        }
+        if other.limbs.len() == 1 {
+            let (q, r) = self.div_rem_small(other.limbs[0]);
+            return (q, Uint::from_limbs(vec![r]));
+        }
+        knuth_d(&self.limbs, &other.limbs)
+    }
+
+    /// `self << bits`.
+    pub fn shl_bits(&self, bits: u64) -> Uint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 32) as usize;
+        let bit_shift = (bits % 32) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: u32 = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// `self >> bits`.
+    pub fn shr_bits(&self, bits: u64) -> Uint {
+        let limb_shift = (bits / 32) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Uint::zero();
+        }
+        let bit_shift = (bits % 32) as u32;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return Uint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            out.push((src[i] >> bit_shift) | (hi << (32 - bit_shift)));
+        }
+        Uint::from_limbs(out)
+    }
+}
+
+/// Schoolbook `O(n*m)` multiplication of limb slices.
+fn schoolbook_mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u64 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let idx = i + j;
+            let cur = u64::from(out[idx]) + u64::from(ai) * u64::from(bj) + carry;
+            out[idx] = cur as u32;
+            carry = cur >> 32;
+        }
+        let mut idx = i + b.len();
+        while carry != 0 {
+            let cur = u64::from(out[idx]) + carry;
+            out[idx] = cur as u32;
+            carry = cur >> 32;
+            idx += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba multiplication; recurses until operands drop below
+/// [`KARATSUBA_THRESHOLD`].
+fn karatsuba(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.len() < KARATSUBA_THRESHOLD || b.len() < KARATSUBA_THRESHOLD {
+        return schoolbook_mul(a, b);
+    }
+    let half = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+    let a0 = Uint::from_limbs(a0.to_vec());
+    let a1 = Uint::from_limbs(a1.to_vec());
+    let b0 = Uint::from_limbs(b0.to_vec());
+    let b1 = Uint::from_limbs(b1.to_vec());
+
+    let z0 = Uint::from_limbs(karatsuba(a0.limbs(), b0.limbs()));
+    let z2 = Uint::from_limbs(karatsuba(a1.limbs(), b1.limbs()));
+    let sa = a0.add(&a1);
+    let sb = b0.add(&b1);
+    let z1_full = Uint::from_limbs(karatsuba(sa.limbs(), sb.limbs()));
+    // z1 = (a0+a1)(b0+b1) - z0 - z2 >= 0 always.
+    let z1 = z1_full.sub(&z0).sub(&z2);
+
+    let shift = (half as u64) * 32;
+    z0.add(&z1.shl_bits(shift))
+        .add(&z2.shl_bits(2 * shift))
+        .limbs
+}
+
+/// Knuth's Algorithm D: divides `u` by `v` where `v` has at least 2 limbs and
+/// `u >= v`. Returns `(quotient, remainder)`.
+fn knuth_d(u: &[u32], v: &[u32]) -> (Uint, Uint) {
+    const B: u64 = 1 << 32;
+    let n = v.len();
+    let m = u.len() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let s = v[n - 1].leading_zeros();
+    let vn = Uint::from_limbs(v.to_vec()).shl_bits(u64::from(s));
+    let vn = vn.limbs;
+    debug_assert_eq!(vn.len(), n);
+    let mut un = Uint::from_limbs(u.to_vec()).shl_bits(u64::from(s)).limbs;
+    un.resize(u.len() + 1, 0); // one extra high limb for the algorithm
+
+    let mut q = vec![0u32; m + 1];
+
+    // D2..D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate the quotient digit.
+        let top = (u64::from(un[j + n]) << 32) | u64::from(un[j + n - 1]);
+        let mut qhat = top / u64::from(vn[n - 1]);
+        let mut rhat = top % u64::from(vn[n - 1]);
+        while qhat >= B || qhat * u64::from(vn[n - 2]) > (rhat << 32) | u64::from(un[j + n - 2]) {
+            qhat -= 1;
+            rhat += u64::from(vn[n - 1]);
+            if rhat >= B {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract qhat * v from the current window of u.
+        let mut borrow: i64 = 0;
+        let mut carry: u64 = 0;
+        for i in 0..n {
+            let p = qhat * u64::from(vn[i]) + carry;
+            carry = p >> 32;
+            let d = i64::from(un[j + i]) - i64::from(p as u32) - borrow;
+            if d < 0 {
+                un[j + i] = (d + (1i64 << 32)) as u32;
+                borrow = 1;
+            } else {
+                un[j + i] = d as u32;
+                borrow = 0;
+            }
+        }
+        let d = i64::from(un[j + n]) - carry as i64 - borrow;
+
+        // D5/D6: if we overshot (rare), add the divisor back once.
+        if d < 0 {
+            qhat -= 1;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let s = u64::from(un[j + i]) + u64::from(vn[i]) + carry;
+                un[j + i] = s as u32;
+                carry = s >> 32;
+            }
+            un[j + n] = (d + (1i64 << 32) + carry as i64) as u32;
+        } else {
+            un[j + n] = d as u32;
+        }
+        q[j] = qhat as u32;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = Uint::from_limbs(un[..n].to_vec()).shr_bits(u64::from(s));
+    (Uint::from_limbs(q), rem)
+}
+
+impl PartialOrd for Uint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Uint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_mag(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u128) -> Uint {
+        Uint::from_u128(v)
+    }
+
+    #[test]
+    fn zero_and_one_invariants() {
+        assert!(Uint::zero().is_zero());
+        assert!(Uint::one().is_one());
+        assert_eq!(Uint::zero().bit_len(), 0);
+        assert_eq!(Uint::one().bit_len(), 1);
+        assert_eq!(Uint::from_limbs(vec![0, 0, 0]), Uint::zero());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = u(0xffff_ffff_ffff_ffff_ffff);
+        let b = u(0x1234_5678_9abc_def0);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.add(&b).sub(&a), b);
+    }
+
+    #[test]
+    fn sub_underflow_is_none() {
+        assert!(u(5).checked_sub(&u(6)).is_none());
+        assert_eq!(u(6).checked_sub(&u(6)), Some(Uint::zero()));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = u(u64::MAX as u128);
+        assert_eq!(a.add(&Uint::one()), u(1u128 << 64));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (0u128, 0u128),
+            (1, u64::MAX as u128),
+            (0xdead_beef, 0xcafe_babe),
+            (u64::MAX as u128, u64::MAX as u128),
+        ];
+        for (x, y) in cases {
+            assert_eq!(u(x).mul(&u(y)), u(x * y), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn mul_small_and_div_rem_small() {
+        let a = u(0x1234_5678_9abc_def0_1122_3344);
+        let b = a.mul_small(1_000_000_007);
+        let (q, r) = b.div_rem_small(1_000_000_007);
+        assert_eq!(q, a);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let a = u(1000);
+        let b = u(7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, u(142));
+        assert_eq!(r, u(6));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = u(0xffff_ffff_ffff_ffff_ffff_ffff_ffff_fffe);
+        let b = u(0xffff_ffff_0000_0001);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.cmp_mag(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn div_rem_smaller_dividend() {
+        let (q, r) = u(5).div_rem(&u(100));
+        assert_eq!(q, Uint::zero());
+        assert_eq!(r, u(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = u(1).div_rem(&Uint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = u(0b1011);
+        assert_eq!(a.shl_bits(100).shr_bits(100), a);
+        assert_eq!(a.shl_bits(1), u(0b10110));
+        assert_eq!(a.shr_bits(2), u(0b10));
+        assert_eq!(a.shr_bits(64), Uint::zero());
+    }
+
+    #[test]
+    fn bit_len() {
+        assert_eq!(u(1).bit_len(), 1);
+        assert_eq!(u(0xff).bit_len(), 8);
+        assert_eq!(u(1u128 << 100).bit_len(), 101);
+    }
+
+    #[test]
+    fn cmp_orders_by_magnitude() {
+        assert!(u(10) < u(11));
+        assert!(u(1u128 << 64) > u(u64::MAX as u128));
+        assert_eq!(u(42).cmp(&u(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Build operands big enough to take the Karatsuba path.
+        let mut limbs_a = Vec::new();
+        let mut limbs_b = Vec::new();
+        let mut x: u32 = 0x9e37_79b9;
+        for i in 0..(KARATSUBA_THRESHOLD * 3) {
+            x = x.wrapping_mul(2654435761).wrapping_add(i as u32);
+            limbs_a.push(x);
+            x = x.wrapping_mul(2246822519).wrapping_add(1);
+            limbs_b.push(x);
+        }
+        let a = Uint::from_limbs(limbs_a);
+        let b = Uint::from_limbs(limbs_b);
+        assert_eq!(a.mul(&b), a.mul_schoolbook(&b));
+    }
+
+    /// Division vectors chosen to exercise the rare correction paths of
+    /// Knuth's Algorithm D (the `qhat` decrement loop and the D6 add-back),
+    /// which random inputs essentially never hit (probability ~ 2^-32).
+    /// Each case is validated by the universal invariant
+    /// `q*v + r == u && r < v` rather than by hard-coded outputs.
+    #[test]
+    fn knuth_d_correction_paths() {
+        let cases: &[(&[u32], &[u32])] = &[
+            // Hacker's Delight's classic add-back trigger.
+            (
+                &[0x0000_0003, 0x0000_0000, 0x8000_0000],
+                &[0x0000_0001, 0x8000_0000],
+            ),
+            // qhat initially overestimates by 2.
+            (
+                &[0x0000_0000, 0xFFFF_FFFE, 0x8000_0000],
+                &[0xFFFF_FFFF, 0x8000_0000],
+            ),
+            // qhat == B (the maximum digit) survives into D4.
+            (
+                &[0xFFFF_FFFF, 0xFFFF_FFFF, 0xFFFF_FFFE],
+                &[0xFFFF_FFFF, 0xFFFF_FFFF],
+            ),
+            // Divisor with a top limb just above normalization threshold.
+            (
+                &[0x0000_0001, 0x0000_0000, 0x0000_0001, 0x8000_0001],
+                &[0x2000_0000, 0x8000_0000],
+            ),
+            // Long dividend against 3-limb divisor.
+            (
+                &[
+                    0xDEAD_BEEF,
+                    0xCAFE_BABE,
+                    0x1234_5678,
+                    0x9ABC_DEF0,
+                    0x0F0F_0F0F,
+                ],
+                &[0xFFFF_FFFF, 0x0000_0000, 0x8000_0000],
+            ),
+        ];
+        for (ul, vl) in cases {
+            let u_ = Uint::from_limbs(ul.to_vec());
+            let v = Uint::from_limbs(vl.to_vec());
+            let (q, r) = u_.div_rem(&v);
+            assert_eq!(q.mul(&v).add(&r), u_, "q*v + r != u for {ul:?} / {vl:?}");
+            assert!(
+                r.cmp_mag(&v) == Ordering::Less,
+                "r >= v for {ul:?} / {vl:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_u64_bounds() {
+        assert_eq!(u(u64::MAX as u128).to_u64(), Some(u64::MAX));
+        assert_eq!(u(1 + u64::MAX as u128).to_u64(), None);
+        assert_eq!(Uint::zero().to_u64(), Some(0));
+    }
+}

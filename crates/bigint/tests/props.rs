@@ -1,0 +1,133 @@
+//! Property tests: BigInt arithmetic must agree with `i128` reference
+//! arithmetic wherever both are defined, and ring laws must hold beyond the
+//! `i128` range.
+
+use cr_bigint::{BigInt, Uint};
+use proptest::prelude::*;
+
+/// Arbitrary BigInt spanning several limbs (beyond i128), built from a
+/// decimal string so the generator is independent of the limb representation.
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    (any::<bool>(), proptest::collection::vec(0u8..10, 1..60)).prop_map(|(neg, digits)| {
+        let s: String = digits.iter().map(|d| char::from(b'0' + d)).collect();
+        let v: BigInt = s.parse().unwrap();
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+        let r = BigInt::from(a) + BigInt::from(b);
+        prop_assert_eq!(r.to_i128(), Some(a + b));
+    }
+
+    #[test]
+    fn sub_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+        let r = BigInt::from(a) - BigInt::from(b);
+        prop_assert_eq!(r.to_i128(), Some(a - b));
+    }
+
+    #[test]
+    fn mul_matches_i128(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
+        let r = BigInt::from(a) * BigInt::from(b);
+        prop_assert_eq!(r.to_i128(), Some(a * b));
+    }
+
+    #[test]
+    fn div_rem_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+        prop_assume!(b != 0);
+        prop_assume!(!(a == i128::MIN && b == -1)); // primitive overflow case
+        let (q, r) = BigInt::from(a).div_rem(&BigInt::from(b));
+        prop_assert_eq!(q.to_i128(), Some(a / b));
+        prop_assert_eq!(r.to_i128(), Some(a % b));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + &r, a.clone());
+        prop_assert!(r.magnitude().cmp_mag(b.magnitude()).is_lt());
+        // Remainder sign follows dividend sign (truncating convention).
+        prop_assert!(r.is_zero() || r.is_negative() == a.is_negative());
+    }
+
+    #[test]
+    fn ring_laws(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        // Associativity and commutativity of + and *.
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        // Distributivity.
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        // Additive inverse.
+        prop_assert_eq!(&a + (-&a), BigInt::zero());
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in arb_bigint()) {
+        let s = a.to_string();
+        let back: BigInt = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn display_matches_i128(a in any::<i128>()) {
+        prop_assert_eq!(BigInt::from(a).to_string(), a.to_string());
+    }
+
+    #[test]
+    fn ordering_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn gcd_properties(a in arb_bigint(), b in arb_bigint()) {
+        let g = a.gcd(&b);
+        if g.is_zero() {
+            prop_assert!(a.is_zero() && b.is_zero());
+        } else {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+            prop_assert!(!g.is_negative());
+        }
+    }
+
+    #[test]
+    fn gcd_lcm_product(a in 1i64..1_000_000, b in 1i64..1_000_000) {
+        let (a, b) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!(a.gcd(&b) * a.lcm(&b), &a * &b);
+    }
+
+    #[test]
+    fn karatsuba_equals_schoolbook(da in proptest::collection::vec(any::<u32>(), 64..200),
+                                   db in proptest::collection::vec(any::<u32>(), 64..200)) {
+        let a = Uint::from_limbs(da);
+        let b = Uint::from_limbs(db);
+        prop_assert_eq!(a.mul(&b), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a in arb_bigint().prop_map(|v| v.abs()), k in 0u64..200) {
+        let m = a.magnitude();
+        let two_k = Uint::from_u64(2).pow(k as u32);
+        prop_assert_eq!(m.shl_bits(k), m.mul(&two_k));
+        prop_assert_eq!(m.shr_bits(k), m.div_rem(&two_k).0);
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul(a in -50i64..50, e in 0u32..12) {
+        let big = BigInt::from(a).pow(e);
+        let mut acc = BigInt::one();
+        for _ in 0..e {
+            acc *= BigInt::from(a);
+        }
+        prop_assert_eq!(big, acc);
+    }
+}

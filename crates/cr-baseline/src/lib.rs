@@ -1,0 +1,298 @@
+//! The Lenzerini–Nobili (1990) baseline: satisfiability of cardinality
+//! constraints **without** ISA.
+//!
+//! Reference \[15\] of the paper — *M. Lenzerini, P. Nobili, "On the
+//! satisfiability of dependency constraints in entity-relationship
+//! schemata", Information Systems 15(4), 1990* — solves class
+//! satisfiability for schemas with cardinality constraints only. Because
+//! class extensions cannot overlap in interesting ways without ISA, **one
+//! unknown per class** and one per relationship suffices:
+//!
+//! ```text
+//! for each relationship R, role U (primary class C) with window (m, n):
+//!     m · x_C  <=  x_R           (every C-instance in >= m tuples)
+//!     x_R      <=  n · x_C       (every C-instance in <= n tuples)
+//! ```
+//!
+//! plus the same acceptability side condition (`x_R > 0` forces every
+//! participating class positive). The ICDE'94 paper's contribution is
+//! exactly the generalization of this scheme to ISA via the exponential
+//! expansion; this crate exists so benches can measure what that
+//! generalization costs (experiment E4) and so the two procedures can be
+//! property-tested equal on their common domain (ISA-free schemas).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use cr_core::ids::ClassId;
+use cr_core::schema::Schema;
+use cr_linear::{solve, Cmp, Feasibility, LinExpr, LinSystem, VarId, VarKind};
+use cr_rational::Rational;
+
+/// Errors from the baseline reasoner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The schema declares ISA statements; the 1990 procedure does not
+    /// handle them (that is the ICDE'94 paper's point).
+    IsaNotSupported,
+    /// The schema uses Section 5 extensions (disjointness / covering).
+    ExtensionsNotSupported,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::IsaNotSupported => {
+                write!(
+                    f,
+                    "the Lenzerini-Nobili baseline does not support ISA statements"
+                )
+            }
+            BaselineError::ExtensionsNotSupported => write!(
+                f,
+                "the Lenzerini-Nobili baseline does not support disjointness/covering"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// The LN90 reasoner: linear system over one unknown per class and
+/// relationship, plus the maximal acceptable support.
+#[derive(Debug)]
+pub struct BaselineReasoner {
+    class_vars: Vec<VarId>,
+    rel_vars: Vec<VarId>,
+    /// Classes each relationship depends on (its roles' primary classes).
+    deps: Vec<Vec<usize>>,
+    lin: LinSystem,
+    support: Vec<bool>,
+}
+
+impl BaselineReasoner {
+    /// Builds the reasoner; rejects schemas outside the 1990 fragment.
+    pub fn new(schema: &Schema) -> Result<BaselineReasoner, BaselineError> {
+        if !schema.isa_statements().is_empty() {
+            return Err(BaselineError::IsaNotSupported);
+        }
+        if !schema.disjointness_groups().is_empty() || !schema.coverings().is_empty() {
+            return Err(BaselineError::ExtensionsNotSupported);
+        }
+
+        let mut lin = LinSystem::new();
+        let class_vars: Vec<VarId> = (0..schema.num_classes())
+            .map(|_| lin.add_var(VarKind::Nonneg))
+            .collect();
+        let rel_vars: Vec<VarId> = (0..schema.num_rels())
+            .map(|_| lin.add_var(VarKind::Nonneg))
+            .collect();
+        let mut deps: Vec<Vec<usize>> = Vec::with_capacity(schema.num_rels());
+        for r in schema.rels() {
+            let mut d: Vec<usize> = schema
+                .roles_of(r)
+                .iter()
+                .map(|&u| schema.primary_class(u).index())
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            deps.push(d);
+        }
+
+        for r in schema.rels() {
+            for &u in schema.roles_of(r) {
+                let c = schema.primary_class(u);
+                // Without ISA the only applicable window is the primary
+                // class's own declaration.
+                let card = schema.declared_card(c, u);
+                if card.min > 0 {
+                    // x_R - m·x_C >= 0
+                    let mut e = LinExpr::var(rel_vars[r.index()]);
+                    e.add_term(class_vars[c.index()], -Rational::from_int(card.min as i64));
+                    lin.push(e, Cmp::Ge, Rational::zero());
+                }
+                if let Some(max) = card.max {
+                    // n·x_C - x_R >= 0
+                    let mut e = LinExpr::from_terms([(class_vars[c.index()], max as i64)]);
+                    e.add_term(rel_vars[r.index()], -Rational::one());
+                    lin.push(e, Cmp::Ge, Rational::zero());
+                }
+            }
+        }
+
+        let support = maximal_support(&lin, &class_vars, &rel_vars, &deps);
+        Ok(BaselineReasoner {
+            class_vars,
+            rel_vars,
+            deps,
+            lin,
+            support,
+        })
+    }
+
+    /// Whether `class` is finitely satisfiable.
+    pub fn is_class_satisfiable(&self, class: ClassId) -> bool {
+        self.support[class.index()]
+    }
+
+    /// All unsatisfiable classes, in id order.
+    pub fn unsatisfiable_classes(&self, schema: &Schema) -> Vec<ClassId> {
+        schema
+            .classes()
+            .filter(|&c| !self.is_class_satisfiable(c))
+            .collect()
+    }
+
+    /// Number of unknowns (for the E4 size comparison against the
+    /// expansion-based system).
+    pub fn num_unknowns(&self) -> usize {
+        self.class_vars.len() + self.rel_vars.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.lin.constraints().len()
+    }
+
+    /// The dependency lists (primary classes per relationship), exposed for
+    /// diagnostics.
+    pub fn dependencies(&self) -> &[Vec<usize>] {
+        &self.deps
+    }
+}
+
+/// Greatest fixpoint of per-class feasibility probes — the same acceptable-
+/// support argument as in `cr-core`, over the flat (ISA-free) system.
+fn maximal_support(
+    lin: &LinSystem,
+    class_vars: &[VarId],
+    rel_vars: &[VarId],
+    deps: &[Vec<usize>],
+) -> Vec<bool> {
+    let n = class_vars.len();
+    let mut alive = vec![true; n];
+    loop {
+        let mut removed = false;
+        for c in 0..n {
+            if !alive[c] {
+                continue;
+            }
+            let mut probe = lin.clone();
+            for (i, &a) in alive.iter().enumerate() {
+                if !a {
+                    probe.push(LinExpr::var(class_vars[i]), Cmp::Eq, Rational::zero());
+                }
+            }
+            for (ri, d) in deps.iter().enumerate() {
+                if d.iter().any(|&cc| !alive[cc]) {
+                    probe.push(LinExpr::var(rel_vars[ri]), Cmp::Eq, Rational::zero());
+                }
+            }
+            probe.push(LinExpr::var(class_vars[c]), Cmp::Ge, Rational::one());
+            if matches!(solve(&probe), Feasibility::Infeasible) {
+                alive[c] = false;
+                removed = true;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::schema::{Card, SchemaBuilder};
+
+    #[test]
+    fn rejects_isa() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let c = b.class("C");
+        b.isa(a, c);
+        let schema = b.build().unwrap();
+        assert_eq!(
+            BaselineReasoner::new(&schema).unwrap_err(),
+            BaselineError::IsaNotSupported
+        );
+    }
+
+    #[test]
+    fn rejects_extensions() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let c = b.class("C");
+        b.disjoint([a, c]).unwrap();
+        let schema = b.build().unwrap();
+        assert_eq!(
+            BaselineReasoner::new(&schema).unwrap_err(),
+            BaselineError::ExtensionsNotSupported
+        );
+    }
+
+    #[test]
+    fn simple_satisfiable() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::exactly(2)).unwrap();
+        b.card(x, b.role(r, 1), Card::exactly(1)).unwrap();
+        let schema = b.build().unwrap();
+        let reasoner = BaselineReasoner::new(&schema).unwrap();
+        assert!(reasoner.is_class_satisfiable(a));
+        assert!(reasoner.is_class_satisfiable(x));
+        assert!(reasoner.unsatisfiable_classes(&schema).is_empty());
+    }
+
+    #[test]
+    fn ratio_cycle_unsat() {
+        // |R| = 2|A| = |B| and |S| = 2|B| = |A| force everything empty:
+        // the classic LN90 ratio-cycle contradiction.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("B");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        let s = b.relationship("S", [("p", x), ("q", a)]).unwrap();
+        b.card(a, b.role(r, 0), Card::exactly(2)).unwrap();
+        b.card(x, b.role(r, 1), Card::exactly(1)).unwrap();
+        b.card(x, b.role(s, 0), Card::exactly(2)).unwrap();
+        b.card(a, b.role(s, 1), Card::exactly(1)).unwrap();
+        let schema = b.build().unwrap();
+        let reasoner = BaselineReasoner::new(&schema).unwrap();
+        assert!(!reasoner.is_class_satisfiable(a));
+        assert!(!reasoner.is_class_satisfiable(x));
+    }
+
+    #[test]
+    fn acceptability_cascade() {
+        // X has an empty window, A requires a tuple: both die.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::at_least(1)).unwrap();
+        b.card(x, b.role(r, 1), Card::new(2, Some(1))).unwrap();
+        let schema = b.build().unwrap();
+        let reasoner = BaselineReasoner::new(&schema).unwrap();
+        assert!(!reasoner.is_class_satisfiable(x));
+        assert!(!reasoner.is_class_satisfiable(a));
+    }
+
+    #[test]
+    fn sizes_are_linear() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::exactly(2)).unwrap();
+        let schema = b.build().unwrap();
+        let reasoner = BaselineReasoner::new(&schema).unwrap();
+        assert_eq!(reasoner.num_unknowns(), 3);
+        assert_eq!(reasoner.num_rows(), 2);
+    }
+}

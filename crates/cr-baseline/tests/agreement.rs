@@ -1,0 +1,91 @@
+//! On ISA-free schemas the LN90 baseline and the ICDE'94 procedure decide
+//! the same problem and must agree class-by-class.
+
+use cr_baseline::BaselineReasoner;
+use cr_core::sat::Reasoner;
+use cr_core::schema::{Card, Schema, SchemaBuilder};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct FlatPlan {
+    classes: usize,
+    rels: Vec<(usize, usize)>,
+    cards: Vec<(usize, usize, u64, Option<u64>)>, // (rel, role position, min, max)
+}
+
+fn plan() -> impl Strategy<Value = FlatPlan> {
+    (2usize..=4).prop_flat_map(|classes| {
+        let rels = proptest::collection::vec((0..classes, 0..classes), 1..=3);
+        let cards = proptest::collection::vec(
+            (
+                0usize..3,
+                0usize..2,
+                0u64..=3,
+                prop_oneof![Just(None), (0u64..=3).prop_map(Some)],
+            ),
+            0..=6,
+        );
+        (Just(classes), rels, cards).prop_map(|(classes, rels, cards)| FlatPlan {
+            classes,
+            rels,
+            cards,
+        })
+    })
+}
+
+fn build(plan: &FlatPlan) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let classes: Vec<_> = (0..plan.classes)
+        .map(|i| b.class(format!("C{i}")))
+        .collect();
+    let mut rels = Vec::new();
+    for (i, &(p0, p1)) in plan.rels.iter().enumerate() {
+        rels.push(
+            b.relationship(format!("R{i}"), [("u", classes[p0]), ("v", classes[p1])])
+                .unwrap(),
+        );
+    }
+    for &(rel, pos, min, max) in &plan.cards {
+        if rel >= rels.len() {
+            continue;
+        }
+        let role = b.role(rels[rel], pos);
+        // Cards must target the primary class (the only legal target
+        // without ISA); duplicates silently skipped.
+        let primary = plan.rels[rel];
+        let class = if pos == 0 { primary.0 } else { primary.1 };
+        let _ = b.card(classes[class], role, Card::new(min, max));
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn baseline_agrees_with_expansion_procedure(p in plan()) {
+        let schema = build(&p);
+        let baseline = BaselineReasoner::new(&schema).unwrap();
+        let full = Reasoner::new(&schema).unwrap();
+        for class in schema.classes() {
+            prop_assert_eq!(
+                baseline.is_class_satisfiable(class),
+                full.is_class_satisfiable(class),
+                "LN90 and ICDE'94 disagree on {} in {:?}",
+                schema.class_name(class),
+                schema
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_system_is_linear_in_schema(p in plan()) {
+        let schema = build(&p);
+        let baseline = BaselineReasoner::new(&schema).unwrap();
+        prop_assert_eq!(
+            baseline.num_unknowns(),
+            schema.num_classes() + schema.num_rels()
+        );
+        prop_assert!(baseline.num_rows() <= 2 * schema.num_roles());
+    }
+}

@@ -1,0 +1,424 @@
+//! `crsat` subcommand implementations.
+
+use std::process::ExitCode;
+
+use cr_core::expansion::ExpansionConfig;
+use cr_core::explain::minimal_unsat_core;
+use cr_core::ids::{ClassId, RoleId};
+use cr_core::implication::{implied_maxc, implied_minc, implies_maxc, implies_minc, ImpliedBound};
+use cr_core::model::ModelConfig;
+use cr_core::sat::Reasoner;
+use cr_core::system::render_verbatim;
+use cr_core::Schema;
+
+fn reasoner<'s>(schema: &'s Schema) -> Result<Reasoner<'s>, String> {
+    Reasoner::new(schema).map_err(|e| e.to_string())
+}
+
+fn find_class(schema: &Schema, name: &str) -> Result<ClassId, String> {
+    schema
+        .class_by_name(name)
+        .ok_or_else(|| format!("unknown class {name:?}"))
+}
+
+/// Parses `R.U` into a role id.
+fn find_role(schema: &Schema, spec: &str) -> Result<RoleId, String> {
+    let (rel_name, role_name) = spec
+        .split_once('.')
+        .ok_or_else(|| format!("role spec {spec:?} must look like Rel.Role"))?;
+    let rel = schema
+        .rel_by_name(rel_name)
+        .ok_or_else(|| format!("unknown relationship {rel_name:?}"))?;
+    schema
+        .role_by_name(rel, role_name)
+        .ok_or_else(|| format!("relationship {rel_name:?} has no role {role_name:?}"))
+}
+
+/// `crsat check`: report finite and unrestricted satisfiability per class
+/// (and per relationship); exit 1 if any class is finitely unsatisfiable.
+pub fn check(schema: &Schema) -> Result<ExitCode, String> {
+    let r = reasoner(schema)?;
+    let viable = cr_core::unrestricted::viable_compound_classes(r.expansion());
+    let mut any_unsat = false;
+    println!("{:<24} {:<16} unrestricted", "class", "finite");
+    for c in schema.classes() {
+        let sat = r.is_class_satisfiable(c);
+        let unres = r
+            .expansion()
+            .compound_classes_containing(c)
+            .iter()
+            .any(|&cc| viable[cc]);
+        any_unsat |= !sat;
+        println!(
+            "{:<24} {:<16} {}",
+            schema.class_name(c),
+            if sat { "satisfiable" } else { "UNSATISFIABLE" },
+            if unres {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE"
+            }
+        );
+    }
+    for rel in schema.rels() {
+        println!(
+            "{:<24} {}",
+            format!("rel {}", schema.rel_name(rel)),
+            if r.is_rel_satisfiable(rel) {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE (empty in every finite model)"
+            }
+        );
+    }
+    if any_unsat {
+        println!(
+            "\nschema has finitely unsatisfiable classes; run `crsat explain` for a minimal core"
+        );
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("\nall {} classes satisfiable", schema.num_classes());
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `crsat expand`: print the expansion (Figure 4 style).
+pub fn expand(schema: &Schema) -> Result<ExitCode, String> {
+    let r = reasoner(schema)?;
+    let exp = r.expansion();
+    println!(
+        "compound classes: {} total, {} consistent",
+        exp.total_compound_classes(),
+        exp.compound_classes().len()
+    );
+    for i in 0..exp.compound_classes().len() {
+        println!("  {}", exp.cclass_name(i));
+    }
+    println!(
+        "consistent compound relationships: {}",
+        exp.compound_rels().len()
+    );
+    for rel in schema.rels() {
+        println!(
+            "  {}: {} compound relationships",
+            schema.rel_name(rel),
+            exp.compound_rels_of(rel).len()
+        );
+    }
+    println!("derived cardinalities (Definition 3.1):");
+    for rel in schema.rels() {
+        for &u in schema.roles_of(rel) {
+            let primary = schema.primary_class(u);
+            for &cc in exp.compound_classes_containing(primary) {
+                let card = exp.derived_card(cc, u);
+                if card != cr_core::Card::UNCONSTRAINED {
+                    println!(
+                        "  {} in {}.{}: {}",
+                        exp.cclass_name(cc),
+                        schema.rel_name(rel),
+                        schema.role_name(u),
+                        card
+                    );
+                }
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `crsat system`: print `Ψ_S` (Figure 5 style), optionally verbatim with
+/// forced-zero unknowns.
+pub fn system(schema: &Schema, verbatim: bool) -> Result<ExitCode, String> {
+    let r = reasoner(schema)?;
+    if verbatim {
+        let text = render_verbatim(r.expansion(), 8).map_err(|e| e.to_string())?;
+        print!("{text}");
+    } else {
+        print!("{}", r.system().render(r.expansion()));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `crsat model`: construct a verified model (Figure 6 style).
+pub fn model(schema: &Schema) -> Result<ExitCode, String> {
+    let r = reasoner(schema)?;
+    match r
+        .construct_model(&ModelConfig::default())
+        .map_err(|e| e.to_string())?
+    {
+        None => {
+            println!("no class is satisfiable; the only model is empty");
+            Ok(ExitCode::FAILURE)
+        }
+        Some(m) => {
+            println!("domain: {} individuals", m.domain_size());
+            for c in schema.classes() {
+                let ext: Vec<String> = m
+                    .class_extension(c)
+                    .iter()
+                    .map(|i| format!("e{i}"))
+                    .collect();
+                println!("  {} = {{{}}}", schema.class_name(c), ext.join(", "));
+            }
+            for rel in schema.rels() {
+                println!("  {} =", schema.rel_name(rel));
+                for tuple in m.rel_extension(rel) {
+                    let parts: Vec<String> = schema
+                        .roles_of(rel)
+                        .iter()
+                        .zip(tuple)
+                        .map(|(&u, i)| format!("{}: e{}", schema.role_name(u), i))
+                        .collect();
+                    println!("    ⟨{}⟩", parts.join(", "));
+                }
+            }
+            println!("verified against Definition 2.2: ok");
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+/// `crsat implies <isa A B | min C R.U k | max C R.U k>`.
+pub fn implies(schema: &Schema, rest: &[String]) -> Result<ExitCode, String> {
+    let usage = "implies query: isa <A> <B> | min <C> <Rel.Role> <k> | max <C> <Rel.Role> <k>";
+    let config = ExpansionConfig::default();
+    let holds = match rest {
+        [kind, a, b] if kind == "isa" => {
+            let r = reasoner(schema)?;
+            r.implies_isa(find_class(schema, a)?, find_class(schema, b)?)
+        }
+        [kind, c, role, k] if kind == "min" => {
+            let k: u64 = k.parse().map_err(|_| usage.to_string())?;
+            implies_minc(
+                schema,
+                find_class(schema, c)?,
+                find_role(schema, role)?,
+                k,
+                &config,
+            )
+            .map_err(|e| e.to_string())?
+        }
+        [kind, c, role, k] if kind == "max" => {
+            let k: u64 = k.parse().map_err(|_| usage.to_string())?;
+            implies_maxc(
+                schema,
+                find_class(schema, c)?,
+                find_role(schema, role)?,
+                k,
+                &config,
+            )
+            .map_err(|e| e.to_string())?
+        }
+        _ => return Err(usage.to_string()),
+    };
+    println!("{}", if holds { "implied" } else { "not implied" });
+    Ok(if holds {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `crsat bounds <C> <Rel.Role>`: tightest implied window.
+pub fn bounds(schema: &Schema, rest: &[String]) -> Result<ExitCode, String> {
+    let [class, role] = rest else {
+        return Err("bounds query: <C> <Rel.Role>".to_string());
+    };
+    let c = find_class(schema, class)?;
+    let u = find_role(schema, role)?;
+    let config = ExpansionConfig::default();
+    let min = implied_minc(schema, c, u, &config).map_err(|e| e.to_string())?;
+    let max = implied_maxc(schema, c, u, &config, 1 << 16).map_err(|e| e.to_string())?;
+    match (min, max) {
+        (ImpliedBound::Unsatisfiable, _) | (_, ImpliedBound::Unsatisfiable) => {
+            println!("{class} is unsatisfiable; every window is vacuously implied");
+        }
+        (min, max) => {
+            let lo = match min {
+                ImpliedBound::Bound(m) => m.to_string(),
+                _ => "?".to_string(),
+            };
+            let hi = match max {
+                ImpliedBound::Bound(n) => n.to_string(),
+                ImpliedBound::NoBoundUpTo(cap) => format!("∞ (no bound up to {cap})"),
+                _ => "?".to_string(),
+            };
+            println!("tightest implied window for {class} in {role}: ({lo}, {hi})");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `crsat report`: the full design review a CASE tool would surface —
+/// satisfiability (finite and unrestricted), implied ISA, tightest implied
+/// windows for every declared constraint, and minimal cores for
+/// unsatisfiable classes.
+pub fn report(schema: &Schema) -> Result<ExitCode, String> {
+    let r = reasoner(schema)?;
+    let config = ExpansionConfig::default();
+
+    println!("# Schema report\n");
+    println!(
+        "{} classes, {} relationships, {} ISA statements, {} cardinality declarations",
+        schema.num_classes(),
+        schema.num_rels(),
+        schema.isa_statements().len(),
+        schema.card_declarations().len()
+    );
+    println!(
+        "expansion: {} consistent compound classes of {} subsets, {} compound relationships\n",
+        r.expansion().compound_classes().len(),
+        r.expansion().total_compound_classes(),
+        r.expansion().compound_rels().len()
+    );
+
+    println!("## Satisfiability\n");
+    let viable = cr_core::unrestricted::viable_compound_classes(r.expansion());
+    let mut unsat = Vec::new();
+    for c in schema.classes() {
+        let finite = r.is_class_satisfiable(c);
+        let unres = r
+            .expansion()
+            .compound_classes_containing(c)
+            .iter()
+            .any(|&cc| viable[cc]);
+        if !finite {
+            unsat.push(c);
+        }
+        println!(
+            "- {}: {}{}",
+            schema.class_name(c),
+            if finite {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE"
+            },
+            if !finite && unres {
+                " (satisfiable over infinite domains: a finite-model artifact)"
+            } else {
+                ""
+            }
+        );
+    }
+    for rel in schema.rels() {
+        if !r.is_rel_satisfiable(rel) {
+            println!(
+                "- relationship {}: empty in every finite model",
+                schema.rel_name(rel)
+            );
+        }
+    }
+
+    println!("\n## Implied (undeclared) ISA\n");
+    let pairs = r.implied_isa_pairs();
+    if pairs.is_empty() {
+        println!("- none");
+    }
+    for (sub, sup) in pairs {
+        println!("- {} ≼ {}", schema.class_name(sub), schema.class_name(sup));
+    }
+
+    println!("\n## Tightest implied windows (declared constraints)\n");
+    for d in schema.card_declarations() {
+        if unsat.contains(&d.class) {
+            continue;
+        }
+        let lo = implied_minc(schema, d.class, d.role, &config).map_err(|e| e.to_string())?;
+        let hi =
+            implied_maxc(schema, d.class, d.role, &config, 1 << 12).map_err(|e| e.to_string())?;
+        let fmt = |b: ImpliedBound, inf: &str| match b {
+            ImpliedBound::Bound(v) => v.to_string(),
+            ImpliedBound::NoBoundUpTo(_) => inf.to_string(),
+            ImpliedBound::Unsatisfiable => "-".to_string(),
+        };
+        println!(
+            "- {} in {}.{}: declared {}, implied ({},{})",
+            schema.class_name(d.class),
+            schema.rel_name(schema.rel_of_role(d.role)),
+            schema.role_name(d.role),
+            d.card,
+            fmt(lo, "0"),
+            fmt(hi, "∞")
+        );
+    }
+
+    if !unsat.is_empty() {
+        println!("\n## Minimal unsatisfiable cores\n");
+        for c in &unsat {
+            if let Some(core) =
+                minimal_unsat_core(schema, *c, &config).map_err(|e| e.to_string())?
+            {
+                println!("- {}:", schema.class_name(*c));
+                for item in core {
+                    println!("    {}", item.describe(schema));
+                }
+            }
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `crsat compare <a> <b>`: semantic subsumption / equivalence of two
+/// schemas over the same signature.
+pub fn compare(a: &Schema, b: &Schema) -> Result<ExitCode, String> {
+    let config = ExpansionConfig::default();
+    let ab = cr_core::compare::subsumes(a, b, &config).map_err(|e| e.to_string())?;
+    let ba = cr_core::compare::subsumes(b, a, &config).map_err(|e| e.to_string())?;
+    match (ab.holds(), ba.holds()) {
+        (true, true) => {
+            println!("equivalent: the schemas have exactly the same finite models");
+            Ok(ExitCode::SUCCESS)
+        }
+        (true, false) => {
+            println!("first schema is strictly stronger; second does not imply:");
+            for f in &ba.failing {
+                println!("  {f}");
+            }
+            Ok(ExitCode::FAILURE)
+        }
+        (false, true) => {
+            println!("second schema is strictly stronger; first does not imply:");
+            for f in &ab.failing {
+                println!("  {f}");
+            }
+            Ok(ExitCode::FAILURE)
+        }
+        (false, false) => {
+            println!("incomparable; first does not imply:");
+            for f in &ab.failing {
+                println!("  {f}");
+            }
+            println!("and second does not imply:");
+            for f in &ba.failing {
+                println!("  {f}");
+            }
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `crsat explain <class>`: minimal unsatisfiable core.
+pub fn explain(schema: &Schema, rest: &[String]) -> Result<ExitCode, String> {
+    let [class] = rest else {
+        return Err("explain query: <class>".to_string());
+    };
+    let c = find_class(schema, class)?;
+    match minimal_unsat_core(schema, c, &ExpansionConfig::default()).map_err(|e| e.to_string())? {
+        None => {
+            println!("{class} is satisfiable; nothing to explain");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(core) => {
+            println!(
+                "{class} is unsatisfiable; minimal core ({} constraints):",
+                core.len()
+            );
+            for r in &core {
+                println!("  {}", r.describe(schema));
+            }
+            println!("removing any one of these restores satisfiability");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! `crsat` — command-line reasoner for CR schemas.
+//!
+//! ```text
+//! crsat check <schema.cr>             satisfiability of every class
+//! crsat expand <schema.cr>            the expansion (compound classes/rels)
+//! crsat system <schema.cr> [-v]       the disequation system Ψ_S
+//! crsat model <schema.cr>             construct + verify a finite model
+//! crsat implies <schema.cr> <query>   isa A B | min C R.U k | max C R.U k
+//! crsat bounds <schema.cr> C R.U      tightest implied cardinality window
+//! crsat explain <schema.cr> <class>   minimal unsatisfiable constraint set
+//! crsat report <schema.cr>            full design review
+//! crsat fmt <schema.cr>               parse and pretty-print
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|fmt> <schema.cr> [args...]";
+    let Some(cmd) = args.first() else {
+        return Err(usage.to_string());
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{usage}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    const COMMANDS: &[&str] = &[
+        "check", "expand", "system", "model", "implies", "bounds", "explain", "report", "compare",
+        "fmt",
+    ];
+    if !COMMANDS.contains(&cmd.as_str()) {
+        return Err(format!("unknown command {cmd:?}\n{usage}"));
+    }
+    if cmd == "compare" {
+        let (Some(pa), Some(pb)) = (args.get(1), args.get(2)) else {
+            return Err("compare needs two schema files".to_string());
+        };
+        let read = |p: &String| -> Result<cr_core::Schema, String> {
+            let src = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            cr_lang::parse_schema(&src).map_err(|e| format!("{p}:{e}"))
+        };
+        return commands::compare(&read(pa)?, &read(pb)?);
+    }
+    let Some(path) = args.get(1) else {
+        return Err(usage.to_string());
+    };
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let schema = cr_lang::parse_schema(&source).map_err(|e| format!("{path}:{e}"))?;
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "check" => commands::check(&schema),
+        "expand" => commands::expand(&schema),
+        "system" => commands::system(&schema, rest.iter().any(|a| a == "-v" || a == "--verbatim")),
+        "model" => commands::model(&schema),
+        "implies" => commands::implies(&schema, rest),
+        "bounds" => commands::bounds(&schema, rest),
+        "explain" => commands::explain(&schema, rest),
+        "report" => commands::report(&schema),
+        "fmt" => {
+            print!("{}", cr_lang::print_schema(&schema));
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => unreachable!("command validated above"),
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end tests of the `crsat` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn crsat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_crsat"))
+}
+
+fn schema_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../schemas")
+        .join(name)
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("crsat-test-{name}-{}.cr", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn check_satisfiable_schema_exits_zero() {
+    let out = crsat()
+        .args(["check", schema_path("meeting.cr").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Speaker"));
+    assert!(stdout.contains("all 3 classes satisfiable"));
+}
+
+#[test]
+fn check_unsat_schema_exits_one() {
+    let out = crsat()
+        .args(["check", schema_path("figure1.cr").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("UNSATISFIABLE"));
+}
+
+#[test]
+fn explain_names_the_core() {
+    let out = crsat()
+        .args(["explain", schema_path("figure1.cr").to_str().unwrap(), "C"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("minimal core (3 constraints)"), "{stdout}");
+    assert!(stdout.contains("D ≼ C"));
+}
+
+#[test]
+fn implies_isa_query() {
+    let out = crsat()
+        .args([
+            "implies",
+            schema_path("meeting.cr").to_str().unwrap(),
+            "isa",
+            "Speaker",
+            "Discussant",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("implied"));
+}
+
+#[test]
+fn bounds_query() {
+    let out = crsat()
+        .args([
+            "bounds",
+            schema_path("meeting.cr").to_str().unwrap(),
+            "Speaker",
+            "Holds.U1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(1, 1)"), "{stdout}");
+}
+
+#[test]
+fn model_verifies() {
+    let out = crsat()
+        .args(["model", schema_path("meeting.cr").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("verified against Definition 2.2: ok"));
+}
+
+#[test]
+fn fmt_is_idempotent() {
+    let out = crsat()
+        .args(["fmt", schema_path("meeting.cr").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let once = String::from_utf8(out.stdout).unwrap();
+    let tmp = write_temp("fmt", &once);
+    let out2 = crsat()
+        .args(["fmt", tmp.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let twice = String::from_utf8(out2.stdout).unwrap();
+    assert_eq!(once, twice);
+    let _ = std::fs::remove_file(tmp);
+}
+
+#[test]
+fn parse_error_reports_position() {
+    let tmp = write_temp("bad", "class A\nclass B;");
+    let out = crsat()
+        .args(["check", tmp.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("2:1"), "position missing: {stderr}");
+    let _ = std::fs::remove_file(tmp);
+}
+
+#[test]
+fn unknown_command_usage() {
+    let out = crsat().args(["frobnicate", "x"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+}
+
+#[test]
+fn report_on_university_schema() {
+    let out = crsat()
+        .args(["report", schema_path("university.cr").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("## Satisfiability"));
+    assert!(stdout.contains("TA: satisfiable"));
+    // TA inherits Student's minimum 1 under its own declared (0,2).
+    assert!(
+        stdout.contains("TA in Enrolls.who: declared (0,2), implied (1,"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn check_sealed_hierarchy() {
+    let out = crsat()
+        .args(["check", schema_path("shapes.cr").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("all 5 classes satisfiable"), "{stdout}");
+}
+
+#[test]
+fn system_verbatim_matches_figure5_inventory() {
+    let out = crsat()
+        .args(["system", schema_path("meeting.cr").to_str().unwrap(), "-v"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let vars = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with("Var("))
+        .count();
+    assert_eq!(vars, 105, "Figure 5 unknown inventory");
+}

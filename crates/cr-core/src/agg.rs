@@ -1,0 +1,477 @@
+//! The aggregated (marginal) form of `Ψ_S`.
+//!
+//! In the paper's system every *compound relationship* gets its own unknown,
+//! so a binary relationship over candidate sets of size `p` and `q`
+//! contributes `p·q` unknowns — the product blow-up that dominates
+//! Section 3.2. But those unknowns only ever appear in **group sums**
+//! `Σ { Var(R̄) : R̄[U_k] = C̄ }`: the system never inspects an individual
+//! `Var(R̄)`. The vector of group sums per role is exactly the **marginal**
+//! of the (nonnegative) tensor of compound-relationship counts, and a
+//! nonnegative tensor with prescribed per-axis marginals exists **iff** the
+//! marginals have equal totals (the classical transportation-polytope
+//! argument, integral by greedy filling). So `Ψ_S` is equivalent to a
+//! system over
+//!
+//! * one unknown per consistent compound class (as before), and
+//! * one unknown `S(R, U_k, C̄)` per relationship role and candidate
+//!   compound class, with `K−1` equality rows per relationship tying the
+//!   role totals together,
+//!
+//! which is *linear* in the number of compound classes per role instead of
+//! multiplicative across roles. Acceptability transfers both ways: lifting
+//! sums a direct solution (zero stays zero), and projecting fills the
+//! tensor greedily using only positive marginals, so a reconstructed
+//! compound relationship is positive only when every compound class it
+//! depends on is.
+//!
+//! The [`Reasoner`](crate::sat::Reasoner) solves this form by default and
+//! converts witnesses back to per-compound-relationship counts via
+//! [`fill_tensor`]; the direct form remains available for the paper-verbatim
+//! rendering, the Theorem 3.4 oracle, and cross-validation tests.
+
+use cr_bigint::BigInt;
+use cr_linear::{Cmp, LinExpr, LinSystem, Solution, VarId, VarKind};
+use cr_rational::Rational;
+
+use crate::expansion::Expansion;
+
+/// The aggregated system: class unknowns plus per-(relationship, role,
+/// compound-class) marginal unknowns.
+pub struct AggSystem {
+    /// The underlying linear system (all unknowns nonnegative).
+    pub lin: LinSystem,
+    /// Unknown per consistent compound class.
+    pub cclass_vars: Vec<VarId>,
+    /// `role_aggs[rel][k]` lists `(compound class index, marginal unknown)`
+    /// for role position `k` of relationship `rel`; empty when the
+    /// relationship is dead (some role has no candidate compound class).
+    pub role_aggs: Vec<Vec<Vec<(usize, VarId)>>>,
+}
+
+impl AggSystem {
+    /// Builds the aggregated system from an expansion (compound
+    /// relationships need not be materialized: only the per-role candidate
+    /// lists are consulted).
+    pub fn build(exp: &Expansion<'_>) -> AggSystem {
+        let schema = exp.schema();
+        let n_cc = exp.compound_classes().len();
+        let mut lin = LinSystem::new();
+        let cclass_vars: Vec<VarId> = (0..n_cc).map(|_| lin.add_var(VarKind::Nonneg)).collect();
+
+        let mut role_aggs: Vec<Vec<Vec<(usize, VarId)>>> = Vec::with_capacity(schema.num_rels());
+        for rel in schema.rels() {
+            let candidate_sets: Vec<&[usize]> = schema
+                .roles_of(rel)
+                .iter()
+                .map(|&u| exp.compound_classes_containing(schema.primary_class(u)))
+                .collect();
+            let dead = candidate_sets.iter().any(|c| c.is_empty());
+            let mut per_role = Vec::with_capacity(candidate_sets.len());
+            if !dead {
+                for cands in &candidate_sets {
+                    per_role.push(
+                        cands
+                            .iter()
+                            .map(|&cc| (cc, lin.add_var(VarKind::Nonneg)))
+                            .collect::<Vec<_>>(),
+                    );
+                }
+            }
+            role_aggs.push(per_role);
+        }
+
+        // Cardinality rows per (rel, role, candidate compound class).
+        for rel in schema.rels() {
+            let aggs = &role_aggs[rel.index()];
+            for (k, &role) in schema.roles_of(rel).iter().enumerate() {
+                let primary = schema.primary_class(role);
+                for &cc in exp.compound_classes_containing(primary) {
+                    let card = exp.derived_card(cc, role);
+                    let s_var = aggs
+                        .get(k)
+                        .and_then(|list| list.iter().find(|(c, _)| *c == cc))
+                        .map(|(_, v)| *v);
+                    if card.min > 0 {
+                        // S - m·C >= 0 (S absent for dead relationships:
+                        // the group sum is zero, forcing C to zero).
+                        let mut e = LinExpr::new();
+                        if let Some(s) = s_var {
+                            e.add_term(s, Rational::one());
+                        }
+                        e.add_term(cclass_vars[cc], -Rational::from_int(card.min as i64));
+                        lin.push(e, Cmp::Ge, Rational::zero());
+                    }
+                    if let Some(max) = card.max {
+                        if let Some(s) = s_var {
+                            // n·C - S >= 0; trivially true when S is absent.
+                            let mut e = LinExpr::from_terms([]);
+                            e.add_term(cclass_vars[cc], Rational::from_int(max as i64));
+                            e.add_term(s, -Rational::one());
+                            lin.push(e, Cmp::Ge, Rational::zero());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Marginal-total equality rows: role 0's total equals every other
+        // role's total.
+        for rel in schema.rels() {
+            let aggs = &role_aggs[rel.index()];
+            if aggs.is_empty() {
+                continue;
+            }
+            for k in 1..aggs.len() {
+                let mut e = LinExpr::new();
+                for &(_, v) in &aggs[0] {
+                    e.add_term(v, Rational::one());
+                }
+                for &(_, v) in &aggs[k] {
+                    e.add_term(v, -Rational::one());
+                }
+                lin.push(e, Cmp::Eq, Rational::zero());
+            }
+        }
+
+        AggSystem {
+            lin,
+            cclass_vars,
+            role_aggs,
+        }
+    }
+
+    /// Number of unknowns.
+    pub fn num_unknowns(&self) -> usize {
+        self.lin.num_vars()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.lin.constraints().len()
+    }
+
+    /// The system restricted to supports inside `alive`, optionally with
+    /// one compound class required at `>= 1`.
+    fn restrict(&self, alive: &[bool], target: Option<usize>) -> LinSystem {
+        let mut lin = self.lin.clone();
+        for (cc, &a) in alive.iter().enumerate() {
+            if !a {
+                lin.push(
+                    LinExpr::var(self.cclass_vars[cc]),
+                    Cmp::Eq,
+                    Rational::zero(),
+                );
+            }
+        }
+        for rel in &self.role_aggs {
+            for role in rel {
+                for &(cc, v) in role {
+                    if !alive[cc] {
+                        lin.push(LinExpr::var(v), Cmp::Eq, Rational::zero());
+                    }
+                }
+            }
+        }
+        if let Some(cc) = target {
+            lin.push(LinExpr::var(self.cclass_vars[cc]), Cmp::Ge, Rational::one());
+        }
+        lin
+    }
+}
+
+/// An integer solution of the aggregated system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggSolution {
+    /// Count per consistent compound class.
+    pub cclass_counts: Vec<BigInt>,
+    /// `marginals[rel][k]` — `(compound class, count)` per role position.
+    pub marginals: Vec<Vec<Vec<(usize, BigInt)>>>,
+}
+
+/// Computes the maximal acceptable support and a witness over the
+/// aggregated system (same greatest-fixpoint argument as
+/// [`crate::sat::fixpoint`], with marginal unknowns playing the dependent
+/// role).
+pub fn maximal_support_agg(sys: &AggSystem) -> (Vec<bool>, Option<AggSolution>) {
+    let n_cc = sys.cclass_vars.len();
+    let (alive, values) =
+        crate::sat::fixpoint::support_by_max_lp(n_cc, &sys.cclass_vars, |alive| {
+            sys.restrict(alive, None)
+        });
+    let Some(values) = values else {
+        return (alive, None);
+    };
+    let (ints, _factor) = Solution::new(values).scale_to_integers();
+    let witness = AggSolution {
+        cclass_counts: sys
+            .cclass_vars
+            .iter()
+            .map(|v| ints[v.index()].clone())
+            .collect(),
+        marginals: sys
+            .role_aggs
+            .iter()
+            .map(|rel| {
+                rel.iter()
+                    .map(|role| {
+                        role.iter()
+                            .map(|&(cc, v)| (cc, ints[v.index()].clone()))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+    (alive, Some(witness))
+}
+
+/// Greedily fills a `K`-axis nonnegative integer tensor with the given
+/// per-axis marginals (all axes must total the same), returning its sparse
+/// nonzero entries as `(role filler per axis, count)`.
+///
+/// The classical northwest-corner argument: repeatedly take the first
+/// still-positive entry on each axis and emit their minimum; each step
+/// exhausts at least one entry, so at most `Σ_k len(axis_k)` entries are
+/// produced and every marginal is met exactly. Only positive marginals are
+/// touched, which is what preserves acceptability on projection.
+pub fn fill_tensor(marginals: &[Vec<(usize, BigInt)>]) -> Vec<(Vec<usize>, BigInt)> {
+    let k = marginals.len();
+    let mut remaining: Vec<Vec<(usize, BigInt)>> = marginals
+        .iter()
+        .map(|axis| {
+            axis.iter()
+                .filter(|(_, c)| c.is_positive())
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let mut heads = vec![0usize; k];
+    let mut out = Vec::new();
+    loop {
+        // Advance heads past exhausted entries.
+        for (axis, head) in remaining.iter().zip(heads.iter_mut()) {
+            while *head < axis.len() && axis[*head].1.is_zero() {
+                *head += 1;
+            }
+        }
+        if heads
+            .iter()
+            .zip(&remaining)
+            .any(|(&h, axis)| h >= axis.len())
+        {
+            debug_assert!(
+                heads
+                    .iter()
+                    .zip(&remaining)
+                    .all(|(&h, axis)| h >= axis.len()),
+                "axis totals must be equal"
+            );
+            return out;
+        }
+        let step = heads
+            .iter()
+            .zip(&remaining)
+            .map(|(&h, axis)| axis[h].1.clone())
+            .min()
+            .expect("k >= 2 axes");
+        let coords: Vec<usize> = heads
+            .iter()
+            .zip(&remaining)
+            .map(|(&h, axis)| axis[h].0)
+            .collect();
+        for (axis, &h) in remaining.iter_mut().zip(&heads) {
+            axis[h].1 = &axis[h].1 - &step;
+        }
+        out.push((coords, step));
+    }
+}
+
+/// Expands an aggregated witness into per-compound-relationship counts,
+/// parallel to [`Expansion::compound_rels`]. Requires the expansion to have
+/// its compound relationships materialized.
+pub fn expand_to_crel_counts(exp: &Expansion<'_>, agg: &AggSolution) -> Vec<BigInt> {
+    let schema = exp.schema();
+    let mut counts = vec![BigInt::zero(); exp.compound_rels().len()];
+    for rel in schema.rels() {
+        let marginals = &agg.marginals[rel.index()];
+        if marginals.is_empty() {
+            continue;
+        }
+        // The expansion enumerates compound relationships in odometer order
+        // over the (ascending) per-role candidate lists, role 0 fastest —
+        // recover each filled tensor cell's index arithmetically.
+        let candidates: Vec<&[usize]> = schema
+            .roles_of(rel)
+            .iter()
+            .map(|&u| exp.compound_classes_containing(schema.primary_class(u)))
+            .collect();
+        let local_index = |coords: &[usize]| -> usize {
+            let mut idx = 0;
+            let mut stride = 1;
+            for (cands, &cc) in candidates.iter().zip(coords) {
+                let pos = cands
+                    .binary_search(&cc)
+                    .expect("filled coordinate is a candidate compound class");
+                idx += pos * stride;
+                stride *= cands.len();
+            }
+            idx
+        };
+        let rel_crels = exp.compound_rels_of(rel);
+        for (coords, count) in fill_tensor(marginals) {
+            let global = rel_crels[local_index(&coords)];
+            debug_assert_eq!(exp.compound_rels()[global].roles, coords);
+            counts[global] = count;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::ExpansionConfig;
+    use crate::schema::{Card, SchemaBuilder};
+    use crate::system::CrSystem;
+
+    fn meeting() -> crate::schema::Schema {
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::at_most(2))
+            .unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1))
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn aggregated_is_much_smaller() {
+        let schema = meeting();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let direct = CrSystem::build(&exp);
+        let agg = AggSystem::build(&exp);
+        // Direct: 5 + 18 unknowns. Aggregated: 5 + (4+3) + (2+3) = 17,
+        // and for larger schemas the gap is multiplicative.
+        assert_eq!(direct.num_unknowns(), 23);
+        assert_eq!(agg.num_unknowns(), 17);
+    }
+
+    #[test]
+    fn agg_support_matches_direct_support() {
+        let schema = meeting();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let direct = CrSystem::build(&exp);
+        let agg = AggSystem::build(&exp);
+        let (sup_d, _) = crate::sat::fixpoint::maximal_acceptable_support(&direct);
+        let (sup_a, wit_a) = maximal_support_agg(&agg);
+        assert_eq!(sup_d, sup_a);
+        assert!(wit_a.is_some());
+    }
+
+    #[test]
+    fn expanded_witness_verifies_against_direct_system() {
+        let schema = meeting();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let direct = CrSystem::build(&exp);
+        let agg = AggSystem::build(&exp);
+        let (_, wit) = maximal_support_agg(&agg);
+        let wit = wit.unwrap();
+        let crel_counts = expand_to_crel_counts(&exp, &wit);
+        let sol = crate::sat::AcceptableSolution {
+            cclass_counts: wit.cclass_counts.clone(),
+            crel_counts,
+        };
+        assert!(
+            sol.verify(&direct),
+            "projected aggregated witness must satisfy the paper's system"
+        );
+    }
+
+    #[test]
+    fn fill_tensor_balances() {
+        let b = |v: i64| BigInt::from(v);
+        let marginals = vec![vec![(0, b(3)), (1, b(2))], vec![(5, b(1)), (6, b(4))]];
+        let filled = fill_tensor(&marginals);
+        let total: BigInt = filled.iter().map(|(_, c)| c.clone()).sum();
+        assert_eq!(total, b(5));
+        // Marginals reconstructed exactly.
+        let mut axis0 = [BigInt::zero(), BigInt::zero()];
+        for (coords, c) in &filled {
+            axis0[coords[0]] += c;
+        }
+        assert_eq!(axis0, [b(3), b(2)]);
+        // Sparse: at most len(a)+len(b) entries.
+        assert!(filled.len() <= 4);
+    }
+
+    #[test]
+    fn fill_tensor_three_axes() {
+        let b = |v: i64| BigInt::from(v);
+        let marginals = vec![
+            vec![(0, b(2)), (1, b(3))],
+            vec![(0, b(5))],
+            vec![(2, b(1)), (3, b(1)), (4, b(3))],
+        ];
+        let filled = fill_tensor(&marginals);
+        let total: BigInt = filled.iter().map(|(_, c)| c.clone()).sum();
+        assert_eq!(total, b(5));
+        for (coords, _) in &filled {
+            assert_eq!(coords.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fill_tensor_skips_zero_marginals() {
+        let b = |v: i64| BigInt::from(v);
+        let marginals = vec![vec![(0, b(0)), (1, b(2))], vec![(9, b(2)), (10, b(0))]];
+        let filled = fill_tensor(&marginals);
+        assert_eq!(filled, vec![(vec![1, 9], b(2))]);
+    }
+
+    #[test]
+    fn dead_relationship_kills_demanding_classes() {
+        // Disjointness empties the candidate set of one role; a class with
+        // a positive minimum on the other role must die.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let p = b.class("P");
+        let q = b.class("Q");
+        // X's only consistent compound class would be {X, P, Q}, killed by
+        // disjointness below.
+        let x = b.class("X");
+        b.isa(x, p);
+        b.isa(x, q);
+        b.disjoint([p, q]).unwrap();
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::at_least(1)).unwrap();
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let agg = AggSystem::build(&exp);
+        let (alive, _) = maximal_support_agg(&agg);
+        for &cc in exp.compound_classes_containing(a) {
+            assert!(!alive[cc], "A needs tuples into an empty class");
+        }
+        for &cc in exp.compound_classes_containing(p) {
+            let set = &exp.compound_classes()[cc];
+            // Compound classes containing A die with A; only A-free,
+            // Q-free atoms of P are unconstrained survivors.
+            if !set.contains(q.index()) && !set.contains(a.index()) {
+                assert!(alive[cc], "plain P survives");
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Fixed-universe bitsets.
+//!
+//! Compound classes are subsets of the schema's classes, and the expansion
+//! manipulates very many of them; a compact `u64`-word bitset with hashing
+//! keeps that tractable.
+
+use std::fmt;
+
+/// A set over a fixed universe `0..universe` of small indices.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitSet {
+    universe: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        BitSet {
+            universe,
+            words: vec![0; universe.div_ceil(64)],
+        }
+    }
+
+    /// The full set over `0..universe`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = BitSet::new(universe);
+        for i in 0..universe {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from member indices.
+    pub fn from_iter(universe: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(universe);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The universe size this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts `i`; panics if `i` is outside the universe.
+    pub fn insert(&mut self, i: usize) {
+        assert!(
+            i < self.universe,
+            "bitset index {i} out of universe {}",
+            self.universe
+        );
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(
+            i < self.universe,
+            "bitset index {i} out of universe {}",
+            self.universe
+        );
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether `i` is a member.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.universe && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether `self ⊆ other`. Panics on universe mismatch.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the sets share a member.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of shared members.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let mut s = BitSet::new(100);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(1));
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_universe_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn contains_out_of_universe_is_false() {
+        assert!(!BitSet::new(10).contains(10_000));
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        let a = BitSet::from_iter(70, [1, 5, 65]);
+        let b = BitSet::from_iter(70, [1, 5, 65, 69]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_len(&b), 3);
+        let c = BitSet::from_iter(70, [2]);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = BitSet::from_iter(10, [1, 2, 3]);
+        let b = BitSet::from_iter(10, [3, 4]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 4]);
+        a.difference_with(&BitSet::from_iter(10, [4]));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn iter_order_and_first() {
+        let s = BitSet::from_iter(130, [128, 0, 64, 63]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(BitSet::new(4).first(), None);
+    }
+
+    #[test]
+    fn full() {
+        let s = BitSet::full(67);
+        assert_eq!(s.len(), 67);
+        assert!(s.contains(66));
+    }
+
+    #[test]
+    fn eq_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let a = BitSet::from_iter(10, [1, 2]);
+        let b = BitSet::from_iter(10, [2, 1]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

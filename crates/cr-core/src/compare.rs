@@ -1,0 +1,287 @@
+//! Schema subsumption and equivalence.
+//!
+//! Two schemas over the same signature (classes, relationships, roles,
+//! matched by name) can be compared semantically with the Section 4
+//! implication machinery: `A` **subsumes** `B` when every declared
+//! constraint of `B` is finitely implied by `A` — every finite model of `A`
+//! is then a model of `B` — and the schemas are **equivalent** when they
+//! subsume each other. This is the design-tool question "did my edit
+//! actually change the schema's meaning, or only its presentation?": adding
+//! a constraint the schema already implied (say, the Figure 7 inferences)
+//! yields an equivalent schema.
+
+use crate::error::{CrError, CrResult};
+use crate::expansion::ExpansionConfig;
+use crate::ids::{ClassId, RoleId};
+use crate::implication::{implies_maxc, implies_minc};
+use crate::sat::Reasoner;
+use crate::schema::Schema;
+
+/// Outcome of a one-directional subsumption check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubsumptionReport {
+    /// Constraints of the target schema *not* implied by the source,
+    /// rendered human-readably. Empty iff subsumption holds.
+    pub failing: Vec<String>,
+}
+
+impl SubsumptionReport {
+    /// Whether every target constraint was implied.
+    pub fn holds(&self) -> bool {
+        self.failing.is_empty()
+    }
+}
+
+/// Maps `b`'s ids onto `a`'s through names; errors if the signatures
+/// differ (class set, relationship set, role names/positions, or role
+/// typing).
+fn signature_map(a: &Schema, b: &Schema) -> CrResult<(Vec<ClassId>, Vec<RoleId>)> {
+    let mismatch = |what: &'static str| CrError::SignatureMismatch { what };
+    if a.num_classes() != b.num_classes() || a.num_rels() != b.num_rels() {
+        return Err(mismatch("class or relationship count"));
+    }
+    let mut class_map = Vec::with_capacity(b.num_classes());
+    for c in b.classes() {
+        class_map.push(
+            a.class_by_name(b.class_name(c))
+                .ok_or(mismatch("class name"))?,
+        );
+    }
+    let mut role_map = vec![RoleId::from_index(0); b.num_roles()];
+    for rb in b.rels() {
+        let ra = a
+            .rel_by_name(b.rel_name(rb))
+            .ok_or(mismatch("relationship name"))?;
+        if a.arity(ra) != b.arity(rb) {
+            return Err(mismatch("relationship arity"));
+        }
+        for (k, &ub) in b.roles_of(rb).iter().enumerate() {
+            let ua = a
+                .role_by_name(ra, b.role_name(ub))
+                .ok_or(mismatch("role name"))?;
+            if a.role_position(ua) != k {
+                return Err(mismatch("role position"));
+            }
+            if a.class_name(a.primary_class(ua)) != b.class_name(b.primary_class(ub)) {
+                return Err(mismatch("role primary class"));
+            }
+            role_map[ub.index()] = ua;
+        }
+    }
+    Ok((class_map, role_map))
+}
+
+/// Checks whether `a` subsumes `b`: every declared constraint of `b` holds
+/// in every finite model of `a`.
+pub fn subsumes(a: &Schema, b: &Schema, config: &ExpansionConfig) -> CrResult<SubsumptionReport> {
+    let (class_map, role_map) = signature_map(a, b)?;
+    let reasoner = Reasoner::with_config(a, config)?;
+    let mut failing = Vec::new();
+
+    for &(sub, sup) in b.isa_statements() {
+        if !reasoner.implies_isa(class_map[sub.index()], class_map[sup.index()]) {
+            failing.push(format!("{} ≼ {}", b.class_name(sub), b.class_name(sup)));
+        }
+    }
+    for d in b.card_declarations() {
+        let class = class_map[d.class.index()];
+        let role = role_map[d.role.index()];
+        if d.card.min > 0 && !implies_minc(a, class, role, d.card.min, config)? {
+            failing.push(format!(
+                "minc({}, {}.{}) = {}",
+                b.class_name(d.class),
+                b.rel_name(b.rel_of_role(d.role)),
+                b.role_name(d.role),
+                d.card.min
+            ));
+        }
+        if let Some(max) = d.card.max {
+            if !implies_maxc(a, class, role, max, config)? {
+                failing.push(format!(
+                    "maxc({}, {}.{}) = {}",
+                    b.class_name(d.class),
+                    b.rel_name(b.rel_of_role(d.role)),
+                    b.role_name(d.role),
+                    max
+                ));
+            }
+        }
+    }
+    for group in b.disjointness_groups() {
+        for (i, &c1) in group.iter().enumerate() {
+            for &c2 in &group[i + 1..] {
+                if !reasoner.implies_disjoint(class_map[c1.index()], class_map[c2.index()]) {
+                    failing.push(format!(
+                        "disjoint({}, {})",
+                        b.class_name(c1),
+                        b.class_name(c2)
+                    ));
+                }
+            }
+        }
+    }
+    for (c, covers) in b.coverings() {
+        let mapped: Vec<ClassId> = covers.iter().map(|k| class_map[k.index()]).collect();
+        if !reasoner.implies_covering(class_map[c.index()], &mapped) {
+            let names: Vec<&str> = covers.iter().map(|&k| b.class_name(k)).collect();
+            failing.push(format!(
+                "cover {} ≼ {}",
+                b.class_name(*c),
+                names.join(" ∪ ")
+            ));
+        }
+    }
+    Ok(SubsumptionReport { failing })
+}
+
+/// Whether the two schemas have exactly the same finite models (mutual
+/// subsumption over a shared signature).
+pub fn equivalent(a: &Schema, b: &Schema, config: &ExpansionConfig) -> CrResult<bool> {
+    Ok(subsumes(a, b, config)?.holds() && subsumes(b, a, config)?.holds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meeting() -> Schema {
+        use crate::schema::{Card, SchemaBuilder};
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::at_most(2))
+            .unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1))
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    /// The meeting schema with the Figure 7 inferences *declared*: same
+    /// finite models, so the schemas must be equivalent.
+    fn meeting_tightened() -> Schema {
+        use crate::schema::{Card, SchemaBuilder};
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        b.isa(speaker, discussant); // Figure 7: implied, now declared
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        // Figure 7: maxc(Speaker, Holds, U1) = 1, now declared.
+        b.card(speaker, b.role(holds, 0), Card::new(1, Some(1)))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::at_most(2))
+            .unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        // Figure 7: maxc(Talk, Participates, U4) = 1, now declared.
+        b.card(talk, b.role(participates, 1), Card::new(1, Some(1)))
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn declaring_implied_constraints_preserves_equivalence() {
+        let a = meeting();
+        let b = meeting_tightened();
+        let config = ExpansionConfig::default();
+        // The tightened schema is subsumed trivially; the interesting
+        // direction is that the original already implies every tightening.
+        assert!(subsumes(&a, &b, &config).unwrap().holds());
+        assert!(subsumes(&b, &a, &config).unwrap().holds());
+        assert!(equivalent(&a, &b, &config).unwrap());
+    }
+
+    #[test]
+    fn genuinely_stronger_schema_is_not_subsumed() {
+        use crate::schema::{Card, SchemaBuilder};
+        let a = meeting();
+        // Strengthen: every discussant participates in *two* talks.
+        let mut bb = SchemaBuilder::new();
+        let speaker = bb.class("Speaker");
+        let discussant = bb.class("Discussant");
+        let talk = bb.class("Talk");
+        bb.isa(discussant, speaker);
+        let holds = bb
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = bb
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        bb.card(speaker, bb.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        bb.card(discussant, bb.role(participates, 0), Card::exactly(2))
+            .unwrap();
+        let b = bb.build().unwrap();
+
+        let config = ExpansionConfig::default();
+        let report = subsumes(&a, &b, &config).unwrap();
+        assert!(!report.holds());
+        assert!(report
+            .failing
+            .iter()
+            .any(|f| f.contains("minc(Discussant, Participates.U3) = 2")));
+    }
+
+    #[test]
+    fn signature_mismatch_detected() {
+        use crate::schema::SchemaBuilder;
+        let a = meeting();
+        let mut bb = SchemaBuilder::new();
+        bb.class("Speaker");
+        let b = bb.build().unwrap();
+        let config = ExpansionConfig::default();
+        assert!(matches!(
+            subsumes(&a, &b, &config),
+            Err(CrError::SignatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn disjointness_and_covering_subsumption() {
+        use crate::schema::SchemaBuilder;
+        // a: disjoint declared. b: same signature, disjointness declared too
+        // but also a covering a does NOT imply.
+        let build = |with_cover: bool| {
+            let mut bb = SchemaBuilder::new();
+            let s = bb.class("S");
+            let p = bb.class("P");
+            let q = bb.class("Q");
+            bb.isa(p, s);
+            bb.isa(q, s);
+            bb.disjoint([p, q]).unwrap();
+            if with_cover {
+                bb.covering(s, [p, q]).unwrap();
+            }
+            bb.build().unwrap()
+        };
+        let a = build(false);
+        let b = build(true);
+        let config = ExpansionConfig::default();
+        // b is stronger: a does not imply the covering.
+        let ab = subsumes(&a, &b, &config).unwrap();
+        assert!(!ab.holds());
+        assert!(ab.failing.iter().any(|f| f.starts_with("cover")));
+        // but b subsumes a.
+        assert!(subsumes(&b, &a, &config).unwrap().holds());
+    }
+}

@@ -1,0 +1,142 @@
+//! Error type for schema construction and reasoning.
+
+use std::fmt;
+
+use crate::ids::{ClassId, RoleId};
+
+/// Errors reported by `cr-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrError {
+    /// Two classes (or two relationships) share a name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A relationship was declared with fewer than two roles (the paper
+    /// requires arity >= 2).
+    ArityTooSmall {
+        /// The relationship.
+        rel: String,
+        /// The declared arity.
+        arity: usize,
+    },
+    /// Two roles of the same relationship share a name.
+    DuplicateRole {
+        /// The relationship.
+        rel: String,
+        /// The duplicated role name.
+        role: String,
+    },
+    /// A cardinality constraint `card(C, R.U)` was declared for a class `C`
+    /// that is not an ISA-descendant of the role's primary class (the paper
+    /// only defines minc/maxc for `C ≼* C_U`).
+    CardOnNonSubclass {
+        /// The constrained class.
+        class: ClassId,
+        /// The role.
+        role: RoleId,
+    },
+    /// The same `(class, role)` pair received two cardinality declarations.
+    DuplicateCard {
+        /// The constrained class.
+        class: ClassId,
+        /// The role.
+        role: RoleId,
+    },
+    /// A disjointness or covering declaration mentioned fewer than two /
+    /// one classes respectively.
+    DegenerateConstraint {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// The expansion exceeded the configured size budget (it is exponential
+    /// in the number of classes; see
+    /// [`ExpansionConfig`](crate::expansion::ExpansionConfig)).
+    ExpansionTooLarge {
+        /// What overflowed ("compound classes" or "compound relationships").
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Model construction would materialize more individuals/tuples than
+    /// the configured budget.
+    ModelTooLarge {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// An operation needed a satisfiable class but the class is
+    /// unsatisfiable.
+    UnsatisfiableClass {
+        /// The class.
+        class: ClassId,
+    },
+    /// The literal Theorem 3.4 `Z`-enumeration was asked to run on an
+    /// expansion with too many compound classes (it is exponential in that
+    /// number).
+    ZEnumerationTooLarge {
+        /// Number of compound-class unknowns.
+        unknowns: usize,
+    },
+    /// A referenced id does not belong to the schema.
+    InvalidId {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// Two schemas being compared do not share a signature (classes,
+    /// relationships, roles matched by name).
+    SignatureMismatch {
+        /// What differed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrError::DuplicateName { name } => write!(f, "duplicate name {name:?}"),
+            CrError::ArityTooSmall { rel, arity } => write!(
+                f,
+                "relationship {rel:?} has arity {arity}; the CR model requires at least 2"
+            ),
+            CrError::DuplicateRole { rel, role } => {
+                write!(f, "relationship {rel:?} declares role {role:?} twice")
+            }
+            CrError::CardOnNonSubclass { class, role } => write!(
+                f,
+                "cardinality constraint on class {class:?} for role {role:?}, but the class \
+                 is not an ISA-descendant of the role's primary class"
+            ),
+            CrError::DuplicateCard { class, role } => write!(
+                f,
+                "two cardinality declarations for class {class:?} on role {role:?}"
+            ),
+            CrError::DegenerateConstraint { what } => write!(f, "degenerate constraint: {what}"),
+            CrError::ExpansionTooLarge { what, limit } => {
+                write!(f, "expansion exceeds the budget of {limit} {what}")
+            }
+            CrError::ModelTooLarge { limit } => {
+                write!(
+                    f,
+                    "constructed model would exceed the budget of {limit} elements"
+                )
+            }
+            CrError::UnsatisfiableClass { class } => {
+                write!(f, "class {class:?} is unsatisfiable")
+            }
+            CrError::ZEnumerationTooLarge { unknowns } => write!(
+                f,
+                "Z-enumeration over {unknowns} compound-class unknowns is too large \
+                 (2^{unknowns} subsets)"
+            ),
+            CrError::InvalidId { what } => write!(f, "invalid id: {what}"),
+            CrError::SignatureMismatch { what } => {
+                write!(f, "schema signatures differ: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrError {}
+
+/// Shared result alias.
+pub(crate) type CrResult<T> = Result<T, CrError>;

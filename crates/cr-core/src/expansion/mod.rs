@@ -1,0 +1,522 @@
+//! The expansion of a CR-schema (Section 3.1).
+//!
+//! A **compound class** is a nonempty subset `C̄ ⊆ C`, representing the
+//! individuals that are instances of *exactly* the classes in `C̄`. Compound
+//! classes partition the domain, which is what makes a one-unknown-per-class
+//! counting argument sound in the presence of ISA (the paper's key move over
+//! Lenzerini–Nobili 1990).
+//!
+//! A compound class is **consistent** when it can be nonempty at all:
+//!
+//! * closed upward under declared ISA (`C1 ∈ C̄ ∧ C1 ≼ C2 ⟹ C2 ∈ C̄`);
+//! * (Section 5 extension) it contains no two classes declared disjoint;
+//! * (Section 5 extension) for every covering `C ⊑ C1 ∪ … ∪ Cn` with
+//!   `C ∈ C̄`, some `Ci ∈ C̄`.
+//!
+//! A **compound relationship** of `R` assigns to each role a consistent
+//! compound class containing that role's primary class. Definition 3.1
+//! derives the tightest cardinality window of a compound class on a role by
+//! folding the declared windows of all its member classes.
+//!
+//! Only *consistent* compound classes and relationships are materialized:
+//! the inconsistent ones carry a forced-zero unknown in the paper's system
+//! and contribute nothing (a `Verbatim` mode in [`crate::system`] re-adds
+//! them for the literal Figure 5 reproduction). Enumeration is DFS with
+//! ISA/disjointness propagation, so heavily constrained schemas — the
+//! paper's own Section 5 observation — never touch the full `2^|C|` space.
+
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+use crate::error::{CrError, CrResult};
+use crate::ids::{ClassId, RelId, RoleId};
+use crate::isa::IsaClosure;
+use crate::schema::{Card, Schema};
+
+/// Size budget for [`Expansion::build`]; the expansion is worst-case
+/// exponential in the number of classes.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionConfig {
+    /// Maximum number of consistent compound classes.
+    pub max_compound_classes: usize,
+    /// Maximum number of consistent compound relationships.
+    pub max_compound_rels: usize,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        ExpansionConfig {
+            max_compound_classes: 20_000,
+            max_compound_rels: 400_000,
+        }
+    }
+}
+
+/// A consistent compound relationship: `rel` retyped so role `k` draws its
+/// filler from compound class `roles[k]` (an index into
+/// [`Expansion::compound_classes`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompoundRel {
+    /// The underlying relationship.
+    pub rel: RelId,
+    /// Compound-class index per role position.
+    pub roles: Vec<usize>,
+}
+
+/// The expansion `S̄` of a schema.
+pub struct Expansion<'s> {
+    schema: &'s Schema,
+    closure: IsaClosure,
+    cclasses: Vec<BitSet>,
+    cclass_index: HashMap<BitSet, usize>,
+    /// Per class: indices of consistent compound classes containing it.
+    containing: Vec<Vec<usize>>,
+    crels: Vec<CompoundRel>,
+    /// Per relationship: indices into `crels`.
+    crels_of_rel: Vec<Vec<usize>>,
+}
+
+impl<'s> Expansion<'s> {
+    /// Builds the expansion, enumerating consistent compound classes and
+    /// relationships within the configured budget.
+    pub fn build(schema: &'s Schema, config: &ExpansionConfig) -> CrResult<Expansion<'s>> {
+        let closure = IsaClosure::compute(schema);
+        let n = schema.num_classes();
+
+        // --- consistent compound classes ---
+        let mut cclasses: Vec<BitSet> = Vec::new();
+        enumerate_consistent(
+            schema,
+            &closure,
+            0,
+            &mut BitSet::new(n),
+            &mut BitSet::new(n),
+            &mut |set| {
+                if cclasses.len() >= config.max_compound_classes {
+                    return Err(CrError::ExpansionTooLarge {
+                        what: "compound classes",
+                        limit: config.max_compound_classes,
+                    });
+                }
+                cclasses.push(set.clone());
+                Ok(())
+            },
+        )?;
+        cclasses.sort();
+        let cclass_index: HashMap<BitSet, usize> = cclasses
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
+        let mut containing = vec![Vec::new(); n];
+        for (i, set) in cclasses.iter().enumerate() {
+            for c in set.iter() {
+                containing[c].push(i);
+            }
+        }
+
+        // --- consistent compound relationships (cartesian products of
+        //     per-role candidate compound classes) ---
+        let mut crels = Vec::new();
+        let mut crels_of_rel = vec![Vec::new(); schema.num_rels()];
+        for rel in schema.rels() {
+            let candidates: Vec<&Vec<usize>> = schema
+                .roles_of(rel)
+                .iter()
+                .map(|&u| &containing[schema.primary_class(u).index()])
+                .collect();
+            if candidates.iter().any(|c| c.is_empty()) {
+                continue; // some role's primary class can never be populated
+            }
+            let mut odometer = vec![0usize; candidates.len()];
+            loop {
+                if crels.len() >= config.max_compound_rels {
+                    return Err(CrError::ExpansionTooLarge {
+                        what: "compound relationships",
+                        limit: config.max_compound_rels,
+                    });
+                }
+                crels_of_rel[rel.index()].push(crels.len());
+                crels.push(CompoundRel {
+                    rel,
+                    roles: odometer
+                        .iter()
+                        .zip(&candidates)
+                        .map(|(&i, c)| c[i])
+                        .collect(),
+                });
+                // Advance the odometer.
+                let mut pos = 0;
+                loop {
+                    if pos == odometer.len() {
+                        break;
+                    }
+                    odometer[pos] += 1;
+                    if odometer[pos] < candidates[pos].len() {
+                        break;
+                    }
+                    odometer[pos] = 0;
+                    pos += 1;
+                }
+                if pos == odometer.len() {
+                    break;
+                }
+            }
+        }
+
+        Ok(Expansion {
+            schema,
+            closure,
+            cclasses,
+            cclass_index,
+            containing,
+            crels,
+            crels_of_rel,
+        })
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &'s Schema {
+        self.schema
+    }
+
+    /// The precomputed ISA closure.
+    pub fn closure(&self) -> &IsaClosure {
+        &self.closure
+    }
+
+    /// The consistent compound classes, each a set of class indices.
+    pub fn compound_classes(&self) -> &[BitSet] {
+        &self.cclasses
+    }
+
+    /// The consistent compound relationships.
+    pub fn compound_rels(&self) -> &[CompoundRel] {
+        &self.crels
+    }
+
+    /// Indices of the compound relationships of `rel`.
+    pub fn compound_rels_of(&self, rel: RelId) -> &[usize] {
+        &self.crels_of_rel[rel.index()]
+    }
+
+    /// Indices of the consistent compound classes containing `class`.
+    pub fn compound_classes_containing(&self, class: ClassId) -> &[usize] {
+        &self.containing[class.index()]
+    }
+
+    /// Looks up the index of a compound class, if it is consistent.
+    pub fn index_of(&self, set: &BitSet) -> Option<usize> {
+        self.cclass_index.get(set).copied()
+    }
+
+    /// Total number of compound classes, consistent or not (`2^|C| - 1`).
+    pub fn total_compound_classes(&self) -> u128 {
+        (1u128 << self.schema.num_classes().min(127)) - 1
+    }
+
+    /// Whether an arbitrary compound class (nonempty subset) is consistent.
+    pub fn is_consistent(&self, set: &BitSet) -> bool {
+        !set.is_empty() && consistent_at_leaf(self.schema, &self.closure, set)
+    }
+
+    /// Definition 3.1: the derived window `(minc̄, maxc̄)` of compound class
+    /// `cc` (which must contain the role's primary class) on `role` — the
+    /// tightest combination of the declared windows of its member classes.
+    pub fn derived_card(&self, cc: usize, role: RoleId) -> Card {
+        let primary = self.schema.primary_class(role);
+        let set = &self.cclasses[cc];
+        debug_assert!(
+            set.contains(primary.index()),
+            "cc must contain the primary class"
+        );
+        let mut card = Card::UNCONSTRAINED;
+        for c in set.iter() {
+            let class = ClassId::from_index(c);
+            if self.closure.is_subclass_of(class, primary) {
+                card = card.tighten(&self.schema.declared_card(class, role));
+            }
+        }
+        card
+    }
+
+    /// Pretty name of a compound class, e.g. `{Speaker,Discussant}`.
+    pub fn cclass_name(&self, cc: usize) -> String {
+        let names: Vec<&str> = self.cclasses[cc]
+            .iter()
+            .map(|c| self.schema.class_name(ClassId::from_index(c)))
+            .collect();
+        format!("{{{}}}", names.join(","))
+    }
+
+    /// Pretty name of a compound relationship, e.g.
+    /// `Holds⟨U1:{Speaker}, U2:{Talk}⟩`.
+    pub fn crel_name(&self, cr: usize) -> String {
+        let crel = &self.crels[cr];
+        let parts: Vec<String> = self
+            .schema
+            .roles_of(crel.rel)
+            .iter()
+            .zip(&crel.roles)
+            .map(|(&u, &cc)| format!("{}:{}", self.schema.role_name(u), self.cclass_name(cc)))
+            .collect();
+        format!("{}⟨{}⟩", self.schema.rel_name(crel.rel), parts.join(", "))
+    }
+}
+
+/// Leaf consistency check: disjointness and covering (up-closure is
+/// maintained by the DFS propagation, but is re-checked for sets coming from
+/// outside the enumeration).
+fn consistent_at_leaf(schema: &Schema, closure: &IsaClosure, set: &BitSet) -> bool {
+    if !closure.is_up_closed(set) {
+        return false;
+    }
+    for group in schema.disjointness_groups() {
+        let mut hits = 0;
+        for &c in group {
+            if set.contains(c.index()) {
+                hits += 1;
+                if hits >= 2 {
+                    return false;
+                }
+            }
+        }
+    }
+    for (c, covers) in schema.coverings() {
+        if set.contains(c.index()) && !covers.iter().any(|&k| set.contains(k.index())) {
+            return false;
+        }
+    }
+    true
+}
+
+/// DFS over include/exclude decisions with ISA propagation: including a
+/// class pulls in all its ancestors; excluding one rules out all its
+/// descendants. Disjointness prunes eagerly; coverings are checked at the
+/// leaves (a covering can still be satisfied by a later class, so it cannot
+/// prune mid-path).
+fn enumerate_consistent(
+    schema: &Schema,
+    closure: &IsaClosure,
+    idx: usize,
+    included: &mut BitSet,
+    excluded: &mut BitSet,
+    emit: &mut impl FnMut(&BitSet) -> CrResult<()>,
+) -> CrResult<()> {
+    let n = schema.num_classes();
+    // Skip classes whose fate is already decided by propagation.
+    let mut idx = idx;
+    while idx < n && (included.contains(idx) || excluded.contains(idx)) {
+        idx += 1;
+    }
+    if idx == n {
+        if !included.is_empty() && leaf_ok(schema, included) {
+            emit(included)?;
+        }
+        return Ok(());
+    }
+
+    // Branch 1: include idx (and, by up-closure, all its ancestors).
+    let ancestors = closure.ancestors(ClassId::from_index(idx));
+    if !ancestors.intersects(excluded) {
+        let mut inc2 = included.clone();
+        inc2.union_with(ancestors);
+        if no_disjoint_pair(schema, &inc2) {
+            enumerate_consistent(schema, closure, idx + 1, &mut inc2, excluded, emit)?;
+        }
+    }
+
+    // Branch 2: exclude idx (and all its descendants).
+    let descendants = closure.descendants(ClassId::from_index(idx));
+    if !descendants.intersects(included) {
+        let mut exc2 = excluded.clone();
+        exc2.union_with(descendants);
+        enumerate_consistent(schema, closure, idx + 1, included, &mut exc2, emit)?;
+    }
+    Ok(())
+}
+
+fn no_disjoint_pair(schema: &Schema, set: &BitSet) -> bool {
+    schema
+        .disjointness_groups()
+        .iter()
+        .all(|group| group.iter().filter(|c| set.contains(c.index())).count() < 2)
+}
+
+fn leaf_ok(schema: &Schema, set: &BitSet) -> bool {
+    schema.coverings().iter().all(|(c, covers)| {
+        !set.contains(c.index()) || covers.iter().any(|k| set.contains(k.index()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    /// The paper's Figures 2/3 meeting schema.
+    pub(crate) fn meeting_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        let (u1, u2) = (b.role(holds, 0), b.role(holds, 1));
+        let (u3, u4) = (b.role(participates, 0), b.role(participates, 1));
+        b.card(speaker, u1, Card::at_least(1)).unwrap();
+        b.card(discussant, u1, Card::at_most(2)).unwrap();
+        b.card(talk, u2, Card::exactly(1)).unwrap();
+        b.card(discussant, u3, Card::exactly(1)).unwrap();
+        b.card(talk, u4, Card::at_least(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure4_compound_classes() {
+        let schema = meeting_schema();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        // Paper: consistent compound classes are {S}, {T}, {S,D}, {S,T},
+        // {S,D,T} — five of the seven nonempty subsets.
+        assert_eq!(exp.total_compound_classes(), 7);
+        let mut names: Vec<String> = (0..exp.compound_classes().len())
+            .map(|i| exp.cclass_name(i))
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "{Speaker,Discussant,Talk}",
+                "{Speaker,Discussant}",
+                "{Speaker,Talk}",
+                "{Speaker}",
+                "{Talk}",
+            ]
+        );
+    }
+
+    #[test]
+    fn figure4_compound_rels() {
+        let schema = meeting_schema();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let holds = schema.rel_by_name("Holds").unwrap();
+        let participates = schema.rel_by_name("Participates").unwrap();
+        // Paper: 4 candidates for U1 × 3 for U2 = 12 consistent H̄;
+        // 2 candidates for U3 × 3 for U4 = 6 consistent P̄.
+        assert_eq!(exp.compound_rels_of(holds).len(), 12);
+        assert_eq!(exp.compound_rels_of(participates).len(), 6);
+        assert_eq!(exp.compound_rels().len(), 18);
+    }
+
+    #[test]
+    fn figure4_derived_cards() {
+        let schema = meeting_schema();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let holds = schema.rel_by_name("Holds").unwrap();
+        let u1 = schema.roles_of(holds)[0];
+        let s = schema.class_by_name("Speaker").unwrap();
+        let d = schema.class_by_name("Discussant").unwrap();
+        let n = schema.num_classes();
+
+        // {Speaker}: minc̄ = 1 (from Speaker), maxc̄ = ∞.
+        let just_s = exp.index_of(&BitSet::from_iter(n, [s.index()])).unwrap();
+        assert_eq!(exp.derived_card(just_s, u1), Card::new(1, None));
+
+        // {Speaker, Discussant}: minc̄ = 1 (Speaker), maxc̄ = 2 (Discussant
+        // refinement) — the paper's c̄4 row.
+        let sd = exp
+            .index_of(&BitSet::from_iter(n, [s.index(), d.index()]))
+            .unwrap();
+        assert_eq!(exp.derived_card(sd, u1), Card::new(1, Some(2)));
+    }
+
+    #[test]
+    fn no_isa_yields_antichain_expansion() {
+        // Without ISA every nonempty subset is consistent: 2^3 - 1 = 7.
+        let mut b = SchemaBuilder::new();
+        b.class("A");
+        b.class("B");
+        b.class("C");
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        assert_eq!(exp.compound_classes().len(), 7);
+    }
+
+    #[test]
+    fn disjointness_prunes_expansion() {
+        // The paper's Section 5 remark: disjointness dramatically shrinks
+        // the expansion. Disjoint A, B, C: only the three singletons remain.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("B");
+        let c = b.class("C");
+        b.disjoint([a, x, c]).unwrap();
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        assert_eq!(exp.compound_classes().len(), 3);
+    }
+
+    #[test]
+    fn covering_constrains_expansion() {
+        // A covered by {P, Q}: compound classes containing A must contain
+        // P or Q.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let p = b.class("P");
+        let q = b.class("Q");
+        b.covering(a, [p, q]).unwrap();
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        for (i, set) in exp.compound_classes().iter().enumerate() {
+            if set.contains(a.index()) {
+                assert!(
+                    set.contains(p.index()) || set.contains(q.index()),
+                    "inconsistent compound class survived: {}",
+                    exp.cclass_name(i)
+                );
+            }
+        }
+        // {A} alone must be gone; {A,P} must be present.
+        assert!(exp.index_of(&BitSet::from_iter(3, [0])).is_none());
+        assert!(exp.index_of(&BitSet::from_iter(3, [0, 1])).is_some());
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut b = SchemaBuilder::new();
+        for i in 0..10 {
+            b.class(format!("C{i}"));
+        }
+        let schema = b.build().unwrap();
+        let config = ExpansionConfig {
+            max_compound_classes: 50,
+            max_compound_rels: 1000,
+        };
+        assert!(matches!(
+            Expansion::build(&schema, &config),
+            Err(CrError::ExpansionTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn is_consistent_matches_enumeration() {
+        let schema = meeting_schema();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let n = schema.num_classes();
+        // Enumerate all nonempty subsets and compare.
+        for mask in 1u32..(1 << n) {
+            let set = BitSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
+            assert_eq!(
+                exp.is_consistent(&set),
+                exp.index_of(&set).is_some(),
+                "mismatch on mask {mask:b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Explaining unsatisfiability: minimal unsatisfiable constraint sets.
+//!
+//! Section 5 of the paper proposes, as future work, "a technique that
+//! provides the designer with a minimum number of constraints that are
+//! unsatisfiable, thus supporting her in schema debugging". This module
+//! implements the standard deletion-based **minimal unsatisfiable subset**
+//! over the schema's removable constraints (ISA statements, cardinality
+//! declarations, disjointness groups, coverings): every constraint in the
+//! returned core is necessary — removing any single one restores
+//! satisfiability of the target class.
+//!
+//! Removing an ISA statement can orphan cardinality refinements that were
+//! only well-formed through it (`card(C, R.U)` needs `C ≼* primary`); such
+//! orphans are dropped together with the statement, so "removing an ISA
+//! edge" means removing it *and* everything that rode on it.
+
+use crate::error::CrResult;
+use crate::expansion::ExpansionConfig;
+use crate::ids::ClassId;
+use crate::isa::IsaClosure;
+use crate::sat::Reasoner;
+use crate::schema::{Schema, SchemaBuilder};
+
+/// A removable constraint of a schema, referenced by declaration index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintRef {
+    /// `schema.isa_statements()[i]`.
+    Isa(usize),
+    /// `schema.card_declarations()[i]`.
+    Card(usize),
+    /// `schema.disjointness_groups()[i]`.
+    Disjoint(usize),
+    /// `schema.coverings()[i]`.
+    Covering(usize),
+}
+
+impl ConstraintRef {
+    /// Human-readable rendering against the schema it refers to.
+    pub fn describe(&self, schema: &Schema) -> String {
+        match *self {
+            ConstraintRef::Isa(i) => {
+                let (sub, sup) = schema.isa_statements()[i];
+                format!("{} ≼ {}", schema.class_name(sub), schema.class_name(sup))
+            }
+            ConstraintRef::Card(i) => {
+                let d = &schema.card_declarations()[i];
+                format!(
+                    "card {} in {}.{}: {}",
+                    schema.class_name(d.class),
+                    schema.rel_name(schema.rel_of_role(d.role)),
+                    schema.role_name(d.role),
+                    d.card
+                )
+            }
+            ConstraintRef::Disjoint(i) => {
+                let names: Vec<&str> = schema.disjointness_groups()[i]
+                    .iter()
+                    .map(|&c| schema.class_name(c))
+                    .collect();
+                format!("disjoint {{{}}}", names.join(", "))
+            }
+            ConstraintRef::Covering(i) => {
+                let (c, covers) = &schema.coverings()[i];
+                let names: Vec<&str> = covers.iter().map(|&c| schema.class_name(c)).collect();
+                format!("cover {} ≼ {}", schema.class_name(*c), names.join(" ∪ "))
+            }
+        }
+    }
+}
+
+/// All removable constraints of a schema, in a stable order.
+fn all_constraints(schema: &Schema) -> Vec<ConstraintRef> {
+    let mut out = Vec::new();
+    out.extend((0..schema.isa_statements().len()).map(ConstraintRef::Isa));
+    out.extend((0..schema.card_declarations().len()).map(ConstraintRef::Card));
+    out.extend((0..schema.disjointness_groups().len()).map(ConstraintRef::Disjoint));
+    out.extend((0..schema.coverings().len()).map(ConstraintRef::Covering));
+    out
+}
+
+/// Rebuilds `schema` with only the `active` constraints, dropping
+/// cardinality declarations orphaned by removed ISA statements.
+fn subschema(schema: &Schema, active: &[bool], refs: &[ConstraintRef]) -> Schema {
+    let keep = |r: ConstraintRef| {
+        refs.iter()
+            .position(|&x| x == r)
+            .map(|i| active[i])
+            .unwrap_or(true)
+    };
+    let (mut b, classes, role_map) = SchemaBuilder::copy_structure(schema);
+    for (i, &(sub, sup)) in schema.isa_statements().iter().enumerate() {
+        if keep(ConstraintRef::Isa(i)) {
+            b.isa(classes[sub.index()], classes[sup.index()]);
+        }
+    }
+    // Closure over the *kept* ISA edges decides which cards survive.
+    let kept_schema_probe = {
+        let mut probe = SchemaBuilder::new();
+        let pc: Vec<ClassId> = schema
+            .classes()
+            .map(|c| probe.class(schema.class_name(c)))
+            .collect();
+        for (i, &(sub, sup)) in schema.isa_statements().iter().enumerate() {
+            if keep(ConstraintRef::Isa(i)) {
+                probe.isa(pc[sub.index()], pc[sup.index()]);
+            }
+        }
+        probe
+            .build()
+            .expect("classes and isa alone always validate")
+    };
+    let closure = IsaClosure::compute(&kept_schema_probe);
+    for (i, d) in schema.card_declarations().iter().enumerate() {
+        if keep(ConstraintRef::Card(i))
+            && closure.is_subclass_of(d.class, schema.primary_class(d.role))
+        {
+            b.card(classes[d.class.index()], role_map[d.role.index()], d.card)
+                .expect("unique in the source schema");
+        }
+    }
+    for (i, group) in schema.disjointness_groups().iter().enumerate() {
+        if keep(ConstraintRef::Disjoint(i)) {
+            b.disjoint(group.iter().map(|c| classes[c.index()]))
+                .expect("validated in the source schema");
+        }
+    }
+    for (i, (c, covers)) in schema.coverings().iter().enumerate() {
+        if keep(ConstraintRef::Covering(i)) {
+            b.covering(
+                classes[c.index()],
+                covers.iter().map(|c| classes[c.index()]),
+            )
+            .expect("validated in the source schema");
+        }
+    }
+    b.build().expect("subschema of a valid schema validates")
+}
+
+fn class_unsat(schema: &Schema, class: ClassId, config: &ExpansionConfig) -> CrResult<bool> {
+    let r = Reasoner::with_config(schema, config)?;
+    Ok(!r.is_class_satisfiable(class))
+}
+
+/// Computes a minimal unsatisfiable subset of constraints for an
+/// unsatisfiable `class`: with the returned constraints (and the schema's
+/// structure) the class is unsatisfiable, and dropping any single one of
+/// them restores satisfiability. Returns `None` when the class is in fact
+/// satisfiable.
+///
+/// ```
+/// use cr_core::expansion::ExpansionConfig;
+/// use cr_core::explain::minimal_unsat_core;
+/// use cr_core::schema::{Card, SchemaBuilder};
+///
+/// // The paper's Figure 1 — all three constraints conspire.
+/// let mut b = SchemaBuilder::new();
+/// let c = b.class("C");
+/// let d = b.class("D");
+/// b.isa(d, c);
+/// let r = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+/// b.card(c, b.role(r, 0), Card::at_least(2)).unwrap();
+/// b.card(d, b.role(r, 1), Card::at_most(1)).unwrap();
+/// let schema = b.build().unwrap();
+///
+/// let core = minimal_unsat_core(&schema, c, &ExpansionConfig::default())
+///     .unwrap()
+///     .expect("Figure 1 is finitely unsatisfiable");
+/// assert_eq!(core.len(), 3);
+/// ```
+pub fn minimal_unsat_core(
+    schema: &Schema,
+    class: ClassId,
+    config: &ExpansionConfig,
+) -> CrResult<Option<Vec<ConstraintRef>>> {
+    if !class_unsat(schema, class, config)? {
+        return Ok(None);
+    }
+    let refs = all_constraints(schema);
+    let mut active = vec![true; refs.len()];
+    for i in 0..refs.len() {
+        active[i] = false;
+        let sub = subschema(schema, &active, &refs);
+        if !class_unsat(&sub, class, config)? {
+            // Constraint i is necessary; keep it.
+            active[i] = true;
+        }
+    }
+    Ok(Some(
+        refs.into_iter()
+            .zip(&active)
+            .filter_map(|(r, &a)| a.then_some(r))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Card;
+
+    fn figure1() -> (Schema, ClassId) {
+        let mut b = SchemaBuilder::new();
+        let c = b.class("C");
+        let d = b.class("D");
+        b.isa(d, c);
+        let r = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+        b.card(c, b.role(r, 0), Card::at_least(2)).unwrap();
+        b.card(d, b.role(r, 1), Card::at_most(1)).unwrap();
+        (b.build().unwrap(), c)
+    }
+
+    #[test]
+    fn satisfiable_class_has_no_core() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let schema = b.build().unwrap();
+        let core = minimal_unsat_core(&schema, a, &ExpansionConfig::default()).unwrap();
+        assert!(core.is_none());
+    }
+
+    #[test]
+    fn figure1_core_is_all_three_constraints() {
+        // ISA + both cards are all needed to make Figure 1 unsatisfiable.
+        let (schema, c) = figure1();
+        let core = minimal_unsat_core(&schema, c, &ExpansionConfig::default())
+            .unwrap()
+            .expect("unsat");
+        assert_eq!(core.len(), 3);
+        assert!(core.contains(&ConstraintRef::Isa(0)));
+        assert!(core.contains(&ConstraintRef::Card(0)));
+        assert!(core.contains(&ConstraintRef::Card(1)));
+    }
+
+    #[test]
+    fn irrelevant_constraints_dropped() {
+        // Figure 1 plus an unrelated satisfiable corner: the core must not
+        // mention the unrelated card.
+        let mut b = SchemaBuilder::new();
+        let c = b.class("C");
+        let d = b.class("D");
+        let e = b.class("E");
+        let f = b.class("F");
+        b.isa(d, c);
+        let r = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+        let q = b.relationship("Q", [("V1", e), ("V2", f)]).unwrap();
+        b.card(c, b.role(r, 0), Card::at_least(2)).unwrap();
+        b.card(d, b.role(r, 1), Card::at_most(1)).unwrap();
+        b.card(e, b.role(q, 0), Card::exactly(1)).unwrap();
+        let schema = b.build().unwrap();
+        let core = minimal_unsat_core(&schema, c, &ExpansionConfig::default())
+            .unwrap()
+            .expect("unsat");
+        assert_eq!(core.len(), 3);
+        assert!(!core.contains(&ConstraintRef::Card(2)));
+    }
+
+    #[test]
+    fn core_from_disjointness() {
+        // A ≼ P, A ≼ Q, disjoint(P, Q): A unsatisfiable; every piece needed.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let p = b.class("P");
+        let q = b.class("Q");
+        b.isa(a, p);
+        b.isa(a, q);
+        b.disjoint([p, q]).unwrap();
+        let schema = b.build().unwrap();
+        let core = minimal_unsat_core(&schema, a, &ExpansionConfig::default())
+            .unwrap()
+            .expect("unsat");
+        assert_eq!(core.len(), 3);
+        assert!(core.contains(&ConstraintRef::Disjoint(0)));
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let (schema, _) = figure1();
+        assert_eq!(ConstraintRef::Isa(0).describe(&schema), "D ≼ C");
+        assert!(ConstraintRef::Card(0)
+            .describe(&schema)
+            .contains("card C in R.U1"));
+    }
+}

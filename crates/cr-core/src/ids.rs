@@ -1,0 +1,69 @@
+//! Typed indices into a [`Schema`](crate::Schema).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index. Callers are responsible for
+            /// the index being valid for the schema at hand.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a class.
+    ClassId,
+    "c"
+);
+id_type!(
+    /// Identifies a relationship.
+    RelId,
+    "r"
+);
+id_type!(
+    /// Identifies a role; roles are globally unique (each role belongs to
+    /// exactly one relationship, as the paper requires).
+    RoleId,
+    "u"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_debug() {
+        let c = ClassId::from_index(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c:?}"), "c3");
+        assert_eq!(format!("{:?}", RelId::from_index(0)), "r0");
+        assert_eq!(format!("{:?}", RoleId::from_index(9)), "u9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ClassId::from_index(1) < ClassId::from_index(2));
+    }
+}

@@ -1,0 +1,432 @@
+//! Logical implication of ISA and cardinality constraints (Section 4).
+//!
+//! * `S ⊨ C ≼ D` reduces to a support query: the maximal acceptable support
+//!   answers "can some compound class containing `C` but not `D` be
+//!   populated?" — if none can, every finite model satisfies `C ≼ D`.
+//! * `S ⊨ minc(C, R, U) = m` holds iff the auxiliary class `C_exc ≼ C` with
+//!   `maxc(C_exc, R, U) = m − 1` is unsatisfiable in the extended schema
+//!   (an instance violating the implied minimum is exactly an instance of
+//!   `C_exc`); symmetrically `S ⊨ maxc(C, R, U) = n` uses
+//!   `minc(C_exc, R, U) = n + 1`.
+//!
+//! On top of the paper's per-constraint checks, [`implied_minc`] /
+//! [`implied_maxc`] compute the *tightest* implied windows by monotone
+//! doubling-plus-binary search (this regenerates Figure 7). The implied
+//! minimum search always terminates for satisfiable classes; the implied
+//! maximum may genuinely not exist (unbounded participation), so that
+//! search carries an explicit cap and reports
+//! [`ImpliedBound::NoBoundUpTo`] honestly when it is hit.
+
+use crate::error::{CrError, CrResult};
+use crate::expansion::ExpansionConfig;
+use crate::ids::{ClassId, RoleId};
+use crate::isa::IsaClosure;
+use crate::sat::Reasoner;
+use crate::schema::{Card, Schema, SchemaBuilder};
+
+/// Result of a tightest-implied-bound query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImpliedBound {
+    /// The queried class is itself unsatisfiable; every bound is vacuously
+    /// implied.
+    Unsatisfiable,
+    /// The tightest implied bound.
+    Bound(u64),
+    /// (Max-bound queries only.) No bound up to the search cap is implied;
+    /// participation is unbounded at least up to this value.
+    NoBoundUpTo(u64),
+}
+
+impl Reasoner<'_> {
+    /// Whether the schema finitely implies `sub ≼ sup`.
+    pub fn implies_isa(&self, sub: ClassId, sup: ClassId) -> bool {
+        // Some compound class with sub but without sup populated?
+        self.expansion()
+            .compound_classes_containing(sub)
+            .iter()
+            .all(|&cc| {
+                !self.support()[cc] || self.expansion().compound_classes()[cc].contains(sup.index())
+            })
+    }
+
+    /// Whether the schema finitely implies that `c1` and `c2` are disjoint
+    /// (no finite model gives them a common instance): no compound class in
+    /// the maximal acceptable support contains both.
+    pub fn implies_disjoint(&self, c1: ClassId, c2: ClassId) -> bool {
+        self.expansion()
+            .compound_classes_containing(c1)
+            .iter()
+            .all(|&cc| {
+                !self.support()[cc] || !self.expansion().compound_classes()[cc].contains(c2.index())
+            })
+    }
+
+    /// Whether the schema finitely implies the covering
+    /// `class ⊆ covers_1 ∪ …`: every supported compound class containing
+    /// `class` contains some cover.
+    pub fn implies_covering(&self, class: ClassId, covers: &[ClassId]) -> bool {
+        self.expansion()
+            .compound_classes_containing(class)
+            .iter()
+            .all(|&cc| {
+                !self.support()[cc]
+                    || covers
+                        .iter()
+                        .any(|d| self.expansion().compound_classes()[cc].contains(d.index()))
+            })
+    }
+
+    /// All implied-but-undeclared ISA pairs, in id order.
+    pub fn implied_isa_pairs(&self) -> Vec<(ClassId, ClassId)> {
+        let schema = self.schema();
+        let closure = IsaClosure::compute(schema);
+        let mut out = Vec::new();
+        for sub in schema.classes() {
+            for sup in schema.classes() {
+                if sub != sup && !closure.is_subclass_of(sub, sup) && self.implies_isa(sub, sup) {
+                    out.push((sub, sup));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rebuilds `schema` plus one auxiliary class `C_exc ≼ parent` carrying a
+/// single cardinality declaration on `role`.
+fn with_exc_class(
+    schema: &Schema,
+    parent: ClassId,
+    role: RoleId,
+    card: Card,
+) -> CrResult<(Schema, ClassId)> {
+    let (mut b, classes, role_map) = SchemaBuilder::copy_structure(schema);
+    // A name no user class can carry (user names come from the builder
+    // API / DSL identifiers).
+    let exc = b.class("\u{22A5}exc");
+    b.isa(exc, classes[parent.index()]);
+    for &(sub, sup) in schema.isa_statements() {
+        b.isa(classes[sub.index()], classes[sup.index()]);
+    }
+    for d in schema.card_declarations() {
+        b.card(classes[d.class.index()], role_map[d.role.index()], d.card)
+            .expect("declared cards are unique in the source schema");
+    }
+    b.card(exc, role_map[role.index()], card)?;
+    for group in schema.disjointness_groups() {
+        b.disjoint(group.iter().map(|c| classes[c.index()]))?;
+    }
+    for (c, covers) in schema.coverings() {
+        b.covering(
+            classes[c.index()],
+            covers.iter().map(|c| classes[c.index()]),
+        )?;
+    }
+    let built = b.build()?;
+    Ok((built, exc))
+}
+
+fn check_query_well_formed(schema: &Schema, class: ClassId, role: RoleId) -> CrResult<()> {
+    let closure = IsaClosure::compute(schema);
+    if !closure.is_subclass_of(class, schema.primary_class(role)) {
+        return Err(CrError::CardOnNonSubclass { class, role });
+    }
+    Ok(())
+}
+
+/// Whether `schema ⊨ minc(class, role) = m` (Section 4).
+///
+/// ```
+/// use cr_core::expansion::ExpansionConfig;
+/// use cr_core::implication::implies_minc;
+/// use cr_core::schema::{Card, SchemaBuilder};
+///
+/// // Every A partakes exactly twice, so minc = 2 is implied but 3 is not.
+/// let mut b = SchemaBuilder::new();
+/// let a = b.class("A");
+/// let x = b.class("X");
+/// let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+/// let u = b.role(r, 0);
+/// b.card(a, u, Card::exactly(2)).unwrap();
+/// let schema = b.build().unwrap();
+///
+/// let config = ExpansionConfig::default();
+/// assert!(implies_minc(&schema, a, u, 2, &config).unwrap());
+/// assert!(!implies_minc(&schema, a, u, 3, &config).unwrap());
+/// ```
+pub fn implies_minc(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    m: u64,
+    config: &ExpansionConfig,
+) -> CrResult<bool> {
+    check_query_well_formed(schema, class, role)?;
+    if m == 0 {
+        return Ok(true); // counts are nonnegative
+    }
+    let (extended, exc) = with_exc_class(schema, class, role, Card::at_most(m - 1))?;
+    let r = Reasoner::with_config(&extended, config)?;
+    Ok(!r.is_class_satisfiable(exc))
+}
+
+/// Whether `schema ⊨ maxc(class, role) = n` (Section 4).
+pub fn implies_maxc(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    n: u64,
+    config: &ExpansionConfig,
+) -> CrResult<bool> {
+    check_query_well_formed(schema, class, role)?;
+    let (extended, exc) = with_exc_class(schema, class, role, Card::at_least(n + 1))?;
+    let r = Reasoner::with_config(&extended, config)?;
+    Ok(!r.is_class_satisfiable(exc))
+}
+
+/// The largest `m` with `schema ⊨ minc(class, role) = m`.
+pub fn implied_minc(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    config: &ExpansionConfig,
+) -> CrResult<ImpliedBound> {
+    check_query_well_formed(schema, class, role)?;
+    let base = Reasoner::with_config(schema, config)?;
+    if !base.is_class_satisfiable(class) {
+        return Ok(ImpliedBound::Unsatisfiable);
+    }
+    if !implies_minc(schema, class, role, 1, config)? {
+        return Ok(ImpliedBound::Bound(0));
+    }
+    // Double until a non-implied bound appears (terminates: the class is
+    // satisfiable, so some model realizes a finite count).
+    let mut lo = 1u64; // implied
+    let mut hi = 2u64;
+    while implies_minc(schema, class, role, hi, config)? {
+        lo = hi;
+        hi *= 2;
+    }
+    // Invariant: minc=lo implied, minc=hi not; binary search the frontier.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if implies_minc(schema, class, role, mid, config)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(ImpliedBound::Bound(lo))
+}
+
+/// The smallest `n` with `schema ⊨ maxc(class, role) = n`, searching up to
+/// `cap` (participation maxima can be genuinely unbounded, in which case
+/// [`ImpliedBound::NoBoundUpTo`] is returned).
+pub fn implied_maxc(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    config: &ExpansionConfig,
+    cap: u64,
+) -> CrResult<ImpliedBound> {
+    check_query_well_formed(schema, class, role)?;
+    let base = Reasoner::with_config(schema, config)?;
+    if !base.is_class_satisfiable(class) {
+        return Ok(ImpliedBound::Unsatisfiable);
+    }
+    if implies_maxc(schema, class, role, 0, config)? {
+        return Ok(ImpliedBound::Bound(0));
+    }
+    // Double until an implied bound appears or the cap is passed.
+    let mut lo = 0u64; // not implied
+    let mut hi = 1u64;
+    loop {
+        if hi > cap {
+            return Ok(ImpliedBound::NoBoundUpTo(cap));
+        }
+        if implies_maxc(schema, class, role, hi, config)? {
+            break;
+        }
+        lo = hi;
+        hi *= 2;
+    }
+    // Invariant: maxc=hi implied, maxc=lo not.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if implies_maxc(schema, class, role, mid, config)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(ImpliedBound::Bound(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's meeting schema (Figures 2/3).
+    fn meeting() -> (
+        Schema,
+        ClassId,
+        ClassId,
+        ClassId,
+        RoleId,
+        RoleId,
+        RoleId,
+        RoleId,
+    ) {
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        let (u1, u2) = (b.role(holds, 0), b.role(holds, 1));
+        let (u3, u4) = (b.role(participates, 0), b.role(participates, 1));
+        b.card(speaker, u1, Card::at_least(1)).unwrap();
+        b.card(discussant, u1, Card::at_most(2)).unwrap();
+        b.card(talk, u2, Card::exactly(1)).unwrap();
+        b.card(discussant, u3, Card::exactly(1)).unwrap();
+        b.card(talk, u4, Card::at_least(1)).unwrap();
+        (
+            b.build().unwrap(),
+            speaker,
+            discussant,
+            talk,
+            u1,
+            u2,
+            u3,
+            u4,
+        )
+    }
+
+    #[test]
+    fn figure7_isa_inference() {
+        // S ⊨ Speaker ≼ Discussant: every talk has exactly one holder and
+        // at least one (exactly one) discussant, discussants hold talks...
+        // — the paper's first Figure 7 inference.
+        let (schema, speaker, discussant, ..) = meeting();
+        let r = Reasoner::new(&schema).unwrap();
+        assert!(r.implies_isa(speaker, discussant));
+        // The declared direction also holds, trivially.
+        assert!(r.implies_isa(discussant, speaker));
+        let pairs = r.implied_isa_pairs();
+        assert!(pairs.contains(&(speaker, discussant)));
+    }
+
+    #[test]
+    fn figure7_max_participates() {
+        // S ⊨ maxc(Talk, Participates, U4) = 1.
+        let (schema, _, _, talk, _, _, _, u4) = meeting();
+        let config = ExpansionConfig::default();
+        assert!(implies_maxc(&schema, talk, u4, 1, &config).unwrap());
+        assert!(!implies_maxc(&schema, talk, u4, 0, &config).unwrap());
+        assert_eq!(
+            implied_maxc(&schema, talk, u4, &config, 1 << 16).unwrap(),
+            ImpliedBound::Bound(1)
+        );
+    }
+
+    #[test]
+    fn figure7_max_holds() {
+        // S ⊨ maxc(Speaker, Holds, U1) = 1, although the declaration allows
+        // up to 2 for discussants and ∞ for speakers.
+        let (schema, speaker, _, _, u1, ..) = meeting();
+        let config = ExpansionConfig::default();
+        assert!(implies_maxc(&schema, speaker, u1, 1, &config).unwrap());
+        assert_eq!(
+            implied_maxc(&schema, speaker, u1, &config, 1 << 16).unwrap(),
+            ImpliedBound::Bound(1)
+        );
+    }
+
+    #[test]
+    fn implied_minc_on_meeting() {
+        // Every speaker holds at least one talk (declared), and the
+        // interaction does not force more than that.
+        let (schema, speaker, _, _, u1, ..) = meeting();
+        let config = ExpansionConfig::default();
+        assert_eq!(
+            implied_minc(&schema, speaker, u1, &config).unwrap(),
+            ImpliedBound::Bound(1)
+        );
+    }
+
+    #[test]
+    fn unbounded_max_reports_cap() {
+        // A speaker-only schema with no max constraint: participation is
+        // unbounded.
+        let mut b = SchemaBuilder::new();
+        let s = b.class("S");
+        let t = b.class("T");
+        let r = b.relationship("R", [("u", s), ("v", t)]).unwrap();
+        let u = b.role(r, 0);
+        b.card(s, u, Card::at_least(1)).unwrap();
+        let schema = b.build().unwrap();
+        let config = ExpansionConfig::default();
+        assert_eq!(
+            implied_maxc(&schema, s, u, &config, 64).unwrap(),
+            ImpliedBound::NoBoundUpTo(64)
+        );
+    }
+
+    #[test]
+    fn unsat_class_vacuous_bounds() {
+        let mut b = SchemaBuilder::new();
+        let c = b.class("C");
+        let d = b.class("D");
+        b.isa(d, c);
+        let r = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+        let (u1, u2) = (b.role(r, 0), b.role(r, 1));
+        b.card(c, u1, Card::at_least(2)).unwrap();
+        b.card(d, u2, Card::at_most(1)).unwrap();
+        let schema = b.build().unwrap();
+        let config = ExpansionConfig::default();
+        assert_eq!(
+            implied_minc(&schema, c, u1, &config).unwrap(),
+            ImpliedBound::Unsatisfiable
+        );
+        assert_eq!(
+            implied_maxc(&schema, c, u1, &config, 64).unwrap(),
+            ImpliedBound::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn ill_formed_queries_rejected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", a)]).unwrap();
+        let u = b.role(r, 0);
+        let schema = b.build().unwrap();
+        let config = ExpansionConfig::default();
+        // X is unrelated to role u's primary class A.
+        assert!(matches!(
+            implies_minc(&schema, x, u, 1, &config),
+            Err(CrError::CardOnNonSubclass { .. })
+        ));
+    }
+
+    #[test]
+    fn isa_not_implied_when_separable() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let schema = {
+            b.relationship("R", [("u", a), ("v", x)]).unwrap();
+            b.build().unwrap()
+        };
+        let r = Reasoner::new(&schema).unwrap();
+        assert!(!r.implies_isa(a, x));
+        assert!(!r.implies_isa(x, a));
+        assert!(r.implied_isa_pairs().is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Exhaustive model search over tiny domains.
+//!
+//! This is a *test oracle*: on schemas small enough to enumerate, "the
+//! reasoner says unsatisfiable" can be cross-checked against "no
+//! interpretation up to domain size `k` is a model with the target class
+//! populated". It is exponential in every direction and guarded by an
+//! explicit candidate budget.
+
+use std::collections::BTreeSet;
+
+use crate::ids::ClassId;
+use crate::interp::Interpretation;
+use crate::schema::Schema;
+
+/// Result of [`search`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A model with the target class populated (or any model, if no target
+    /// was given) was found.
+    Model(Interpretation),
+    /// No such model exists with domain size up to the given bound.
+    NoModelUpTo(usize),
+    /// The search space exceeds the candidate budget.
+    TooLarge,
+}
+
+/// Exhaustively searches for a model of `schema` over domains of size
+/// `0..=max_domain` (starting at 1 when `target` is set). At most `budget`
+/// candidate interpretations are examined.
+pub fn search(
+    schema: &Schema,
+    target: Option<ClassId>,
+    max_domain: usize,
+    budget: u64,
+) -> SearchOutcome {
+    let nc = schema.num_classes();
+    if nc > 16 {
+        return SearchOutcome::TooLarge;
+    }
+    let start = usize::from(target.is_some());
+    let mut spent: u64 = 0;
+    for d in start..=max_domain {
+        // Candidate count for this domain size.
+        let class_combos = match (1u64 << nc).checked_pow(d as u32) {
+            Some(v) => v,
+            None => return SearchOutcome::TooLarge,
+        };
+        let mut tuple_bits: u32 = 0;
+        for r in schema.rels() {
+            let per_rel = (d as u64).checked_pow(schema.arity(r) as u32);
+            match per_rel {
+                Some(v) if v <= 24 => tuple_bits += v as u32,
+                _ => return SearchOutcome::TooLarge,
+            }
+        }
+        if tuple_bits > 24 {
+            return SearchOutcome::TooLarge;
+        }
+        let total = class_combos.checked_mul(1u64 << tuple_bits);
+        match total {
+            Some(t) if spent.saturating_add(t) <= budget => spent += t,
+            _ => return SearchOutcome::TooLarge,
+        }
+
+        if let Some(m) = search_domain(schema, target, d) {
+            return SearchOutcome::Model(m);
+        }
+    }
+    SearchOutcome::NoModelUpTo(max_domain)
+}
+
+/// All tuples over domain `d` for arity `k`, in lexicographic order.
+fn all_tuples(d: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![vec![]];
+    for _ in 0..k {
+        let mut next = Vec::with_capacity(out.len() * d);
+        for t in &out {
+            for v in 0..d {
+                let mut t2 = t.clone();
+                t2.push(v);
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn search_domain(schema: &Schema, target: Option<ClassId>, d: usize) -> Option<Interpretation> {
+    let nc = schema.num_classes();
+    let rel_tuples: Vec<Vec<Vec<usize>>> = schema
+        .rels()
+        .map(|r| all_tuples(d, schema.arity(r)))
+        .collect();
+
+    // Class assignment: one mask per individual.
+    let mut class_masks = vec![0u32; d];
+    loop {
+        // Relationship extents: one subset mask per relationship.
+        let mut rel_masks = vec![0u64; rel_tuples.len()];
+        loop {
+            let interp = materialize(schema, d, &class_masks, &rel_masks, &rel_tuples);
+            let populated = target.is_none_or(|t| !interp.class_extension(t).is_empty());
+            if populated && interp.is_model_of(schema) {
+                return Some(interp);
+            }
+            if !bump_rel_masks(&mut rel_masks, &rel_tuples) {
+                break;
+            }
+        }
+        if !bump_class_masks(&mut class_masks, nc) {
+            break;
+        }
+    }
+    None
+}
+
+fn bump_class_masks(masks: &mut [u32], nc: usize) -> bool {
+    let limit = 1u32 << nc;
+    for m in masks.iter_mut() {
+        *m += 1;
+        if *m < limit {
+            return true;
+        }
+        *m = 0;
+    }
+    false
+}
+
+fn bump_rel_masks(masks: &mut [u64], rel_tuples: &[Vec<Vec<usize>>]) -> bool {
+    for (m, tuples) in masks.iter_mut().zip(rel_tuples) {
+        *m += 1;
+        if *m < (1u64 << tuples.len()) {
+            return true;
+        }
+        *m = 0;
+    }
+    false
+}
+
+fn materialize(
+    schema: &Schema,
+    d: usize,
+    class_masks: &[u32],
+    rel_masks: &[u64],
+    rel_tuples: &[Vec<Vec<usize>>],
+) -> Interpretation {
+    let mut class_ext = vec![BTreeSet::new(); schema.num_classes()];
+    for (ind, &mask) in class_masks.iter().enumerate() {
+        for (c, ext) in class_ext.iter_mut().enumerate() {
+            if mask & (1 << c) != 0 {
+                ext.insert(ind);
+            }
+        }
+    }
+    let mut rel_ext = vec![BTreeSet::new(); schema.num_rels()];
+    for (ri, (&mask, tuples)) in rel_masks.iter().zip(rel_tuples).enumerate() {
+        for (ti, t) in tuples.iter().enumerate() {
+            if mask & (1 << ti) != 0 {
+                rel_ext[ri].insert(t.clone());
+            }
+        }
+    }
+    Interpretation::from_parts(d, class_ext, rel_ext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Card, SchemaBuilder};
+
+    #[test]
+    fn finds_trivial_model() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let s = b.build().unwrap();
+        match search(&s, Some(a), 1, 1_000) {
+            SearchOutcome::Model(m) => assert!(!m.class_extension(a).is_empty()),
+            other => panic!("expected model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_model_without_target() {
+        let mut b = SchemaBuilder::new();
+        b.class("A");
+        let s = b.build().unwrap();
+        match search(&s, None, 0, 10) {
+            SearchOutcome::Model(m) => assert_eq!(m.domain_size(), 0),
+            other => panic!("expected empty model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_figure1_unsat_within_bound() {
+        // Figure 1: minc(C, R, U1) = 2, maxc(D, R, U2) = 1, D ≼ C.
+        // No model with C populated exists at any size; verify up to 2.
+        let mut b = SchemaBuilder::new();
+        let c = b.class("C");
+        let d = b.class("D");
+        b.isa(d, c);
+        let r = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+        b.card(c, b.role(r, 0), Card::at_least(2)).unwrap();
+        b.card(d, b.role(r, 1), Card::at_most(1)).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(
+            search(&s, Some(c), 2, 50_000_000),
+            SearchOutcome::NoModelUpTo(2)
+        );
+    }
+
+    #[test]
+    fn budget_respected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(search(&s, Some(a), 3, 5), SearchOutcome::TooLarge);
+    }
+
+    #[test]
+    fn satisfiable_schema_with_cards() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::exactly(1)).unwrap();
+        b.card(x, b.role(r, 1), Card::exactly(1)).unwrap();
+        let s = b.build().unwrap();
+        match search(&s, Some(a), 2, 10_000_000) {
+            SearchOutcome::Model(m) => {
+                assert!(m.is_model_of(&s));
+                assert!(!m.class_extension(a).is_empty());
+            }
+            other => panic!("expected model, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! Finite interpretations (database states) and the Definition 2.2 model
+//! checker.
+//!
+//! The checker is deliberately independent of the decision procedure: it
+//! works directly off the model-theoretic semantics, so that every model the
+//! reasoner *constructs* can be *verified* rather than trusted.
+
+pub mod enumerate;
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ids::{ClassId, RelId, RoleId};
+use crate::isa::IsaClosure;
+use crate::schema::Schema;
+
+/// An individual of the interpretation domain.
+pub type Individual = usize;
+
+/// A labeled tuple, stored as one filler per role position of its
+/// relationship.
+pub type Tuple = Vec<Individual>;
+
+/// A finite interpretation of a schema: a domain `0..domain_size`, an
+/// extension per class, and a set of labeled tuples per relationship.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Interpretation {
+    domain_size: usize,
+    class_ext: Vec<BTreeSet<Individual>>,
+    rel_ext: Vec<BTreeSet<Tuple>>,
+}
+
+impl Interpretation {
+    /// An interpretation with every extension empty. (Such an interpretation
+    /// is a model of *every* schema — the observation that motivates class
+    /// satisfiability, Section 3.)
+    pub fn empty(schema: &Schema) -> Self {
+        Interpretation {
+            domain_size: 0,
+            class_ext: vec![BTreeSet::new(); schema.num_classes()],
+            rel_ext: vec![BTreeSet::new(); schema.num_rels()],
+        }
+    }
+
+    /// Builds an interpretation from explicit extensions.
+    pub fn from_parts(
+        domain_size: usize,
+        class_ext: Vec<BTreeSet<Individual>>,
+        rel_ext: Vec<BTreeSet<Tuple>>,
+    ) -> Self {
+        Interpretation {
+            domain_size,
+            class_ext,
+            rel_ext,
+        }
+    }
+
+    /// The domain size.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Grows the domain by one individual, returning it.
+    pub fn add_individual(&mut self) -> Individual {
+        self.domain_size += 1;
+        self.domain_size - 1
+    }
+
+    /// Adds an individual to a class extension.
+    pub fn add_to_class(&mut self, c: ClassId, ind: Individual) {
+        assert!(ind < self.domain_size, "individual outside domain");
+        self.class_ext[c.index()].insert(ind);
+    }
+
+    /// Adds a tuple to a relationship extension; returns `false` if the
+    /// tuple was already present (tuples form a *set*).
+    pub fn add_tuple(&mut self, r: RelId, tuple: Tuple) -> bool {
+        self.rel_ext[r.index()].insert(tuple)
+    }
+
+    /// The extension of a class.
+    pub fn class_extension(&self, c: ClassId) -> &BTreeSet<Individual> {
+        &self.class_ext[c.index()]
+    }
+
+    /// The extension of a relationship.
+    pub fn rel_extension(&self, r: RelId) -> &BTreeSet<Tuple> {
+        &self.rel_ext[r.index()]
+    }
+
+    /// Number of tuples of `r` whose `position`-th filler is `ind`.
+    pub fn participation_count(&self, r: RelId, position: usize, ind: Individual) -> u64 {
+        self.rel_ext[r.index()]
+            .iter()
+            .filter(|t| t[position] == ind)
+            .count() as u64
+    }
+
+    /// Checks the interpretation against Definition 2.2, returning every
+    /// violation found (empty = the interpretation is a model).
+    pub fn check(&self, schema: &Schema) -> Vec<Violation> {
+        let closure = IsaClosure::compute(schema);
+        self.check_with_closure(schema, &closure)
+    }
+
+    /// [`check`](Self::check) with a precomputed ISA closure.
+    pub fn check_with_closure(&self, schema: &Schema, closure: &IsaClosure) -> Vec<Violation> {
+        let mut out = Vec::new();
+
+        // Condition (A): ISA containment of declared statements.
+        for &(sub, sup) in schema.isa_statements() {
+            for &ind in &self.class_ext[sub.index()] {
+                if !self.class_ext[sup.index()].contains(&ind) {
+                    out.push(Violation::Isa { sub, sup, ind });
+                }
+            }
+        }
+
+        // Condition (B): tuple fillers are instances of the primary classes,
+        // and tuples have the right arity.
+        for r in schema.rels() {
+            let roles = schema.roles_of(r);
+            for tuple in &self.rel_ext[r.index()] {
+                if tuple.len() != roles.len() {
+                    out.push(Violation::Arity {
+                        rel: r,
+                        tuple: tuple.clone(),
+                    });
+                    continue;
+                }
+                for (k, &u) in roles.iter().enumerate() {
+                    let primary = schema.primary_class(u);
+                    if !self.class_ext[primary.index()].contains(&tuple[k]) {
+                        out.push(Violation::Typing {
+                            rel: r,
+                            role: u,
+                            tuple: tuple.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Condition (C): cardinalities, for every class C ≼* primary — the
+        // effective window is the declared one (or the (0,∞) default).
+        for r in schema.rels() {
+            let roles = schema.roles_of(r);
+            for (k, &u) in roles.iter().enumerate() {
+                let primary = schema.primary_class(u);
+                for cidx in closure.descendants(primary).iter() {
+                    let class = ClassId::from_index(cidx);
+                    let card = schema.declared_card(class, u);
+                    if card == crate::schema::Card::UNCONSTRAINED {
+                        continue;
+                    }
+                    for &ind in &self.class_ext[cidx] {
+                        let count = self.participation_count(r, k, ind);
+                        if !card.admits(count) {
+                            out.push(Violation::Cardinality {
+                                class,
+                                role: u,
+                                ind,
+                                count,
+                                card,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Section 5 extensions.
+        for (gi, group) in schema.disjointness_groups().iter().enumerate() {
+            for (i, &c1) in group.iter().enumerate() {
+                for &c2 in &group[i + 1..] {
+                    if let Some(&ind) = self.class_ext[c1.index()]
+                        .intersection(&self.class_ext[c2.index()])
+                        .next()
+                    {
+                        out.push(Violation::Disjointness {
+                            group: gi,
+                            c1,
+                            c2,
+                            ind,
+                        });
+                    }
+                }
+            }
+        }
+        for (ci, (class, covers)) in schema.coverings().iter().enumerate() {
+            for &ind in &self.class_ext[class.index()] {
+                if !covers
+                    .iter()
+                    .any(|&c| self.class_ext[c.index()].contains(&ind))
+                {
+                    out.push(Violation::Covering {
+                        covering: ci,
+                        class: *class,
+                        ind,
+                    });
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Whether the interpretation is a model of the schema.
+    pub fn is_model_of(&self, schema: &Schema) -> bool {
+        self.check(schema).is_empty()
+    }
+}
+
+impl Interpretation {
+    /// Renders the interpretation with schema names (the notation of the
+    /// paper's Figure 6: extensions per class, labeled tuples per
+    /// relationship).
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Interpretation, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let (i, schema) = (self.0, self.1);
+                writeln!(f, "Δ = {{e0..e{}}}", i.domain_size.saturating_sub(1))?;
+                for c in schema.classes() {
+                    let ext: Vec<String> = i
+                        .class_extension(c)
+                        .iter()
+                        .map(|x| format!("e{x}"))
+                        .collect();
+                    writeln!(f, "{} = {{{}}}", schema.class_name(c), ext.join(", "))?;
+                }
+                for r in schema.rels() {
+                    let tuples: Vec<String> = i
+                        .rel_extension(r)
+                        .iter()
+                        .map(|t| {
+                            let parts: Vec<String> = schema
+                                .roles_of(r)
+                                .iter()
+                                .zip(t)
+                                .map(|(&u, x)| format!("{}: e{x}", schema.role_name(u)))
+                                .collect();
+                            format!("⟨{}⟩", parts.join(", "))
+                        })
+                        .collect();
+                    writeln!(f, "{} = {{{}}}", schema.rel_name(r), tuples.join(", "))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, schema)
+    }
+}
+
+/// A violation of Definition 2.2 (or of a Section 5 extension), reported by
+/// [`Interpretation::check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Condition (A): `ind ∈ sub` but `ind ∉ sup` despite `sub ≼ sup`.
+    Isa {
+        /// Declared subclass.
+        sub: ClassId,
+        /// Declared superclass.
+        sup: ClassId,
+        /// The offending individual.
+        ind: Individual,
+    },
+    /// A tuple's length differs from its relationship's arity.
+    Arity {
+        /// The relationship.
+        rel: RelId,
+        /// The malformed tuple.
+        tuple: Tuple,
+    },
+    /// Condition (B): a tuple filler is not an instance of the role's
+    /// primary class.
+    Typing {
+        /// The relationship.
+        rel: RelId,
+        /// The role whose filler is mistyped.
+        role: RoleId,
+        /// The offending tuple.
+        tuple: Tuple,
+    },
+    /// Condition (C): an instance's participation count falls outside its
+    /// cardinality window.
+    Cardinality {
+        /// The constrained class.
+        class: ClassId,
+        /// The role.
+        role: RoleId,
+        /// The offending individual.
+        ind: Individual,
+        /// Its actual participation count.
+        count: u64,
+        /// The violated window.
+        card: crate::schema::Card,
+    },
+    /// Two classes declared disjoint share an instance.
+    Disjointness {
+        /// Index of the disjointness group.
+        group: usize,
+        /// First class.
+        c1: ClassId,
+        /// Second class.
+        c2: ClassId,
+        /// The shared individual.
+        ind: Individual,
+    },
+    /// An instance of a covered class belongs to none of the covering
+    /// classes.
+    Covering {
+        /// Index of the covering declaration.
+        covering: usize,
+        /// The covered class.
+        class: ClassId,
+        /// The offending individual.
+        ind: Individual,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Isa { sub, sup, ind } => {
+                write!(
+                    f,
+                    "individual {ind} is in {sub:?} but not in its superclass {sup:?}"
+                )
+            }
+            Violation::Arity { rel, tuple } => {
+                write!(f, "tuple {tuple:?} has wrong arity for {rel:?}")
+            }
+            Violation::Typing { rel, role, tuple } => {
+                write!(f, "tuple {tuple:?} of {rel:?} mistypes role {role:?}")
+            }
+            Violation::Cardinality {
+                class,
+                role,
+                ind,
+                count,
+                card,
+            } => write!(
+                f,
+                "individual {ind} of {class:?} fills role {role:?} {count} times, outside {card}"
+            ),
+            Violation::Disjointness { c1, c2, ind, .. } => {
+                write!(
+                    f,
+                    "individual {ind} is in both disjoint classes {c1:?} and {c2:?}"
+                )
+            }
+            Violation::Covering { class, ind, .. } => {
+                write!(f, "individual {ind} of {class:?} is in no covering class")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Card, SchemaBuilder};
+
+    /// Speaker/Talk toy schema: Holds(U1: Speaker (1,∞), U2: Talk (1,1)).
+    fn toy() -> (Schema, ClassId, ClassId, RelId) {
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let talk = b.class("Talk");
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let (u1, u2) = (b.role(holds, 0), b.role(holds, 1));
+        b.card(speaker, u1, Card::at_least(1)).unwrap();
+        b.card(talk, u2, Card::exactly(1)).unwrap();
+        (b.build().unwrap(), speaker, talk, holds)
+    }
+
+    #[test]
+    fn empty_interpretation_is_model() {
+        let (s, ..) = toy();
+        assert!(Interpretation::empty(&s).is_model_of(&s));
+    }
+
+    #[test]
+    fn valid_model_passes() {
+        let (s, speaker, talk, holds) = toy();
+        let mut i = Interpretation::empty(&s);
+        let sp = i.add_individual();
+        let tk = i.add_individual();
+        i.add_to_class(speaker, sp);
+        i.add_to_class(talk, tk);
+        i.add_tuple(holds, vec![sp, tk]);
+        assert_eq!(i.check(&s), vec![]);
+    }
+
+    #[test]
+    fn min_card_violation_detected() {
+        let (s, speaker, ..) = toy();
+        let mut i = Interpretation::empty(&s);
+        let sp = i.add_individual();
+        i.add_to_class(speaker, sp);
+        // speaker holds no talk: minc 1 violated
+        let v = i.check(&s);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Cardinality { count: 0, .. }));
+    }
+
+    #[test]
+    fn max_card_violation_detected() {
+        let (s, speaker, talk, holds) = toy();
+        let mut i = Interpretation::empty(&s);
+        let sp1 = i.add_individual();
+        let sp2 = i.add_individual();
+        let tk = i.add_individual();
+        i.add_to_class(speaker, sp1);
+        i.add_to_class(speaker, sp2);
+        i.add_to_class(talk, tk);
+        i.add_tuple(holds, vec![sp1, tk]);
+        i.add_tuple(holds, vec![sp2, tk]);
+        // talk has 2 holders, maxc 1 violated
+        let v = i.check(&s);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Cardinality { count: 2, .. })));
+    }
+
+    #[test]
+    fn typing_violation_detected() {
+        let (s, speaker, talk, holds) = toy();
+        let mut i = Interpretation::empty(&s);
+        let sp = i.add_individual();
+        let tk = i.add_individual();
+        i.add_to_class(speaker, sp);
+        i.add_to_class(talk, tk);
+        // swap roles: sp is not a Talk
+        i.add_tuple(holds, vec![tk, sp]);
+        let v = i.check(&s);
+        assert!(v.iter().any(|x| matches!(x, Violation::Typing { .. })));
+    }
+
+    #[test]
+    fn isa_violation_detected() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let sup = b.class("Sup");
+        b.isa(a, sup);
+        let s = b.build().unwrap();
+        let mut i = Interpretation::empty(&s);
+        let x = i.add_individual();
+        i.add_to_class(a, x);
+        let v = i.check(&s);
+        assert_eq!(
+            v,
+            vec![Violation::Isa {
+                sub: a,
+                sup,
+                ind: x
+            }]
+        );
+    }
+
+    #[test]
+    fn inherited_card_applies_to_subclass() {
+        // Sub ≼ Speaker; a Sub instance holding zero talks violates the
+        // refined window declared on Sub itself.
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let talk = b.class("Talk");
+        let sub = b.class("Sub");
+        b.isa(sub, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let u1 = b.role(holds, 0);
+        b.card(sub, u1, Card::at_least(2)).unwrap();
+        let s = b.build().unwrap();
+
+        let mut i = Interpretation::empty(&s);
+        let x = i.add_individual();
+        let t = i.add_individual();
+        i.add_to_class(sub, x);
+        i.add_to_class(speaker, x);
+        i.add_to_class(talk, t);
+        i.add_tuple(holds, vec![x, t]);
+        let v = i.check(&s);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Cardinality { count: 1, .. })));
+    }
+
+    #[test]
+    fn disjointness_and_covering_checked() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let p = b.class("P");
+        let q = b.class("Q");
+        b.disjoint([p, q]).unwrap();
+        b.covering(a, [p, q]).unwrap();
+        let s = b.build().unwrap();
+
+        let mut i = Interpretation::empty(&s);
+        let x = i.add_individual();
+        i.add_to_class(a, x);
+        // x in A but neither P nor Q: covering violated.
+        assert!(i
+            .check(&s)
+            .iter()
+            .any(|v| matches!(v, Violation::Covering { .. })));
+        i.add_to_class(p, x);
+        assert!(i.is_model_of(&s));
+        i.add_to_class(q, x);
+        assert!(i
+            .check(&s)
+            .iter()
+            .any(|v| matches!(v, Violation::Disjointness { .. })));
+    }
+
+    #[test]
+    fn display_renders_figure6_notation() {
+        let (s, speaker, talk, holds) = toy();
+        let mut i = Interpretation::empty(&s);
+        let sp = i.add_individual();
+        let tk = i.add_individual();
+        i.add_to_class(speaker, sp);
+        i.add_to_class(talk, tk);
+        i.add_tuple(holds, vec![sp, tk]);
+        let text = i.display(&s).to_string();
+        assert!(text.contains("Speaker = {e0}"), "{text}");
+        assert!(text.contains("Talk = {e1}"), "{text}");
+        assert!(text.contains("⟨U1: e0, U2: e1⟩"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_tuples_collapse() {
+        let (s, _, _, holds) = toy();
+        let mut i = Interpretation::empty(&s);
+        let a = i.add_individual();
+        let b2 = i.add_individual();
+        assert!(i.add_tuple(holds, vec![a, b2]));
+        assert!(!i.add_tuple(holds, vec![a, b2]));
+        assert_eq!(i.rel_extension(holds).len(), 1);
+    }
+}

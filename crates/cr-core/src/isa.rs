@@ -1,0 +1,157 @@
+//! Reflexive-transitive closure `≼*` of the declared ISA statements.
+
+use crate::bitset::BitSet;
+use crate::ids::ClassId;
+use crate::schema::Schema;
+
+/// Precomputed `≼*` relation.
+///
+/// Cycles are permitted (mutually contained classes have equal extensions in
+/// every model); the closure handles them naturally.
+pub struct IsaClosure {
+    /// `ancestors[c]` = `{ d | c ≼* d }` (reflexive).
+    ancestors: Vec<BitSet>,
+    /// `descendants[c]` = `{ d | d ≼* c }` (reflexive).
+    descendants: Vec<BitSet>,
+}
+
+impl IsaClosure {
+    /// Computes the closure by BFS over the declared edges, one source class
+    /// at a time.
+    pub fn compute(schema: &Schema) -> IsaClosure {
+        let n = schema.num_classes();
+        let mut direct_sup: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(sub, sup) in schema.isa_statements() {
+            direct_sup[sub.index()].push(sup.index());
+        }
+        let mut ancestors = Vec::with_capacity(n);
+        for start in 0..n {
+            let mut seen = BitSet::new(n);
+            seen.insert(start);
+            let mut stack = vec![start];
+            while let Some(c) = stack.pop() {
+                for &sup in &direct_sup[c] {
+                    if !seen.contains(sup) {
+                        seen.insert(sup);
+                        stack.push(sup);
+                    }
+                }
+            }
+            ancestors.push(seen);
+        }
+        let mut descendants = vec![BitSet::new(n); n];
+        for (c, anc) in ancestors.iter().enumerate() {
+            for a in anc.iter() {
+                descendants[a].insert(c);
+            }
+        }
+        IsaClosure {
+            ancestors,
+            descendants,
+        }
+    }
+
+    /// Whether `sub ≼* sup`.
+    pub fn is_subclass_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.ancestors[sub.index()].contains(sup.index())
+    }
+
+    /// The ancestor set of `c` (including `c` itself).
+    pub fn ancestors(&self, c: ClassId) -> &BitSet {
+        &self.ancestors[c.index()]
+    }
+
+    /// The descendant set of `c` (including `c` itself).
+    pub fn descendants(&self, c: ClassId) -> &BitSet {
+        &self.descendants[c.index()]
+    }
+
+    /// Whether a set of class indices is *up-closed*: together with each
+    /// member it contains all the member's ancestors. Compound classes are
+    /// consistent w.r.t. ISA iff they are up-closed (Section 3.1).
+    pub fn is_up_closed(&self, set: &BitSet) -> bool {
+        set.iter().all(|c| self.ancestors[c].is_subset(set))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn chain_schema() -> (Schema, Vec<ClassId>) {
+        // a ≼ b ≼ c, d isolated
+        let mut b = SchemaBuilder::new();
+        let ids = vec![b.class("a"), b.class("b"), b.class("c"), b.class("d")];
+        b.isa(ids[0], ids[1]);
+        b.isa(ids[1], ids[2]);
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn reflexive() {
+        let (s, ids) = chain_schema();
+        let cl = IsaClosure::compute(&s);
+        for &c in &ids {
+            assert!(cl.is_subclass_of(c, c));
+        }
+    }
+
+    #[test]
+    fn transitive() {
+        let (s, ids) = chain_schema();
+        let cl = IsaClosure::compute(&s);
+        assert!(cl.is_subclass_of(ids[0], ids[2]));
+        assert!(!cl.is_subclass_of(ids[2], ids[0]));
+        assert!(!cl.is_subclass_of(ids[0], ids[3]));
+        assert_eq!(cl.ancestors(ids[0]).len(), 3);
+        assert_eq!(cl.descendants(ids[2]).len(), 3);
+        assert_eq!(cl.ancestors(ids[3]).len(), 1);
+    }
+
+    #[test]
+    fn cycles_collapse() {
+        let mut b = SchemaBuilder::new();
+        let x = b.class("x");
+        let y = b.class("y");
+        b.isa(x, y);
+        b.isa(y, x);
+        let s = b.build().unwrap();
+        let cl = IsaClosure::compute(&s);
+        assert!(cl.is_subclass_of(x, y));
+        assert!(cl.is_subclass_of(y, x));
+    }
+
+    #[test]
+    fn diamond() {
+        let mut b = SchemaBuilder::new();
+        let top = b.class("top");
+        let l = b.class("l");
+        let r = b.class("r");
+        let bot = b.class("bot");
+        b.isa(l, top);
+        b.isa(r, top);
+        b.isa(bot, l);
+        b.isa(bot, r);
+        let s = b.build().unwrap();
+        let cl = IsaClosure::compute(&s);
+        assert!(cl.is_subclass_of(bot, top));
+        assert_eq!(cl.ancestors(bot).len(), 4);
+        assert_eq!(cl.descendants(top).len(), 4);
+    }
+
+    #[test]
+    fn up_closed() {
+        let (s, ids) = chain_schema();
+        let cl = IsaClosure::compute(&s);
+        let n = s.num_classes();
+        // {b, c} is up-closed; {a} is not (misses b, c); {c, d} is.
+        let bc = BitSet::from_iter(n, [ids[1].index(), ids[2].index()]);
+        assert!(cl.is_up_closed(&bc));
+        let a = BitSet::from_iter(n, [ids[0].index()]);
+        assert!(!cl.is_up_closed(&a));
+        let cd = BitSet::from_iter(n, [ids[2].index(), ids[3].index()]);
+        assert!(cl.is_up_closed(&cd));
+        assert!(cl.is_up_closed(&BitSet::new(n)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Reasoning about ISA and cardinality constraints in the CR data model.
+//!
+//! This crate implements the decision procedure of
+//!
+//! > D. Calvanese, M. Lenzerini. *On the Interaction Between ISA and
+//! > Cardinality Constraints.* Proc. ICDE 1994, pp. 205–213.
+//!
+//! The CR data model has **classes** and n-ary **relationships** whose named
+//! **roles** are typed by a *primary class*. Two constraint families
+//! interact:
+//!
+//! * **ISA** (`C1 ≼ C2`): the instances of `C1` are instances of `C2`;
+//! * **cardinality constraints** `minc/maxc(C, R, U)`: every instance of `C`
+//!   fills role `U` of `R` between `minc` and `maxc` times — including
+//!   *refinements* of inherited cardinalities along ISA.
+//!
+//! Separately each family is easy; together they can force classes to be
+//! empty in every *finite* database state (the paper's Figure 1), and
+//! deciding this was open until the paper. The procedure:
+//!
+//! 1. build the [**expansion**](expansion): *compound classes* (the atoms of
+//!    the Venn diagram of class extensions, kept only when *consistent* with
+//!    the ISA/disjointness/covering assertions) and *compound relationships*
+//!    (relationships retyped by compound classes), with derived tightest
+//!    cardinalities (Definition 3.1);
+//! 2. translate to a homogeneous [**system of linear
+//!    disequations**](system) `Ψ_S` with one nonnegative unknown per
+//!    consistent compound class/relationship (Section 3.2);
+//! 3. decide existence of an [**acceptable**](sat) nonnegative integer
+//!    solution (Theorems 3.3/3.4) — implemented both as the paper's literal
+//!    `Z ⊆ V_C` enumeration and as a polynomial-in-the-expansion greatest-
+//!    fixpoint, which are property-tested against each other;
+//! 4. from a witness, [**construct**](model) an actual finite database state
+//!    and re-verify it against the model-theoretic semantics
+//!    ([`interp`]) — soundness is checked, never assumed;
+//! 5. reduce [**implication**](implication) of ISA and cardinality
+//!    constraints to (un)satisfiability (Section 4), including tightest
+//!    implied bounds;
+//! 6. [**explain**](explain) unsatisfiable classes by a minimal
+//!    unsatisfiable subset of constraints (the schema-debugging aid the
+//!    paper's Section 5 proposes as future work).
+//!
+//! The Section 5 extensions — *disjointness* and *covering* constraints —
+//! are implemented as first-class schema constructs.
+//!
+//! # Example
+//!
+//! The paper's Figure 1: a binary relationship forcing `|R| >= 2|C|` and
+//! `|R| <= |D|` while `D ≼ C` forces `|D| <= |C|` — finitely unsatisfiable.
+//!
+//! ```
+//! use cr_core::schema::{Card, SchemaBuilder};
+//! use cr_core::sat::Reasoner;
+//!
+//! let mut b = SchemaBuilder::new();
+//! let c = b.class("C");
+//! let d = b.class("D");
+//! let r = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+//! let (u1, u2) = (b.role(r, 0), b.role(r, 1));
+//! b.isa(d, c);
+//! b.card(c, u1, Card::at_least(2)).unwrap();
+//! b.card(d, u2, Card::new(0, Some(1))).unwrap();
+//! let schema = b.build().unwrap();
+//!
+//! let reasoner = Reasoner::new(&schema).unwrap();
+//! assert!(!reasoner.is_class_satisfiable(c));
+//! assert!(!reasoner.is_class_satisfiable(d));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod bitset;
+pub mod compare;
+mod error;
+pub mod expansion;
+pub mod explain;
+pub mod ids;
+pub mod implication;
+pub mod interp;
+pub mod isa;
+pub mod model;
+pub mod sat;
+pub mod schema;
+pub mod system;
+pub mod unrestricted;
+
+pub use error::CrError;
+pub use ids::{ClassId, RelId, RoleId};
+pub use schema::{Card, Schema, SchemaBuilder};

@@ -1,0 +1,455 @@
+//! Class satisfiability (Section 3.3).
+//!
+//! A class `C_s` is (finitely) satisfiable iff `Ψ_S` extended with
+//! `Σ { Var(C̄) : C_s ∈ C̄ } > 0` admits an **acceptable** nonnegative
+//! integer solution (Theorem 3.3), where *acceptable* means every
+//! relationship unknown depending on a zero class unknown is itself zero.
+//!
+//! Two procedures are provided:
+//!
+//! * [`Reasoner`] — the production engine. It computes the **maximal
+//!   acceptable support** `P*` (the largest set of compound classes that can
+//!   be simultaneously positive in an acceptable solution) by a greatest
+//!   fixpoint with one exact-LP probe per candidate per round. The family of
+//!   acceptable supports is closed under solution addition (the constraint
+//!   set is a homogeneous cone and the zero side-conditions are monotone),
+//!   so `P*` exists and answers *every* class-satisfiability question at
+//!   once: `C_s` is satisfiable iff some compound class containing it lies
+//!   in `P*`.
+//! * [`zenum::satisfiable_by_z_enumeration`] — the paper's literal
+//!   Theorem 3.4 characterization, enumerating subsets `Z ⊆ V_C` of
+//!   forced-zero class unknowns. Exponential in the number of compound
+//!   classes; retained as a cross-validation oracle and ablation baseline
+//!   (experiment E3).
+
+pub mod fixpoint;
+pub mod zenum;
+
+use cr_bigint::BigInt;
+use cr_rational::Rational;
+
+use crate::error::CrResult;
+use crate::expansion::{Expansion, ExpansionConfig};
+use crate::ids::ClassId;
+use crate::schema::Schema;
+use crate::system::CrSystem;
+
+/// An acceptable nonnegative integer solution of `Ψ_S`: instance counts for
+/// every consistent compound class and compound relationship.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcceptableSolution {
+    /// Count per consistent compound class.
+    pub cclass_counts: Vec<BigInt>,
+    /// Count per consistent compound relationship.
+    pub crel_counts: Vec<BigInt>,
+}
+
+impl AcceptableSolution {
+    /// Verifies the solution against `Ψ_S` *and* the acceptability side
+    /// condition. Independent of how the solution was produced.
+    pub fn verify(&self, sys: &CrSystem) -> bool {
+        let mut values = vec![Rational::zero(); sys.lin.num_vars()];
+        for (i, v) in self.cclass_counts.iter().enumerate() {
+            if v.is_negative() {
+                return false;
+            }
+            values[sys.cclass_vars[i].index()] = Rational::from_int(v.clone());
+        }
+        for (i, v) in self.crel_counts.iter().enumerate() {
+            if v.is_negative() {
+                return false;
+            }
+            values[sys.crel_vars[i].index()] = Rational::from_int(v.clone());
+        }
+        if sys.lin.check(&values).is_err() {
+            return false;
+        }
+        // Acceptability: r > 0 requires every compound class it depends on
+        // to be positive.
+        for (ri, deps) in sys.deps.iter().enumerate() {
+            if self.crel_counts[ri].is_positive()
+                && deps.iter().any(|&cc| self.cclass_counts[cc].is_zero())
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The total count of instances of `class` under this solution (sum over
+    /// compound classes containing it).
+    pub fn class_total(&self, exp: &Expansion<'_>, class: ClassId) -> BigInt {
+        exp.compound_classes_containing(class)
+            .iter()
+            .map(|&cc| &self.cclass_counts[cc])
+            .sum()
+    }
+}
+
+/// Which form of `Ψ_S` the fixpoint solves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// The marginal form (see [`crate::agg`]): polynomial in the number of
+    /// compound classes per role. The default.
+    #[default]
+    Aggregated,
+    /// The paper-verbatim form with one unknown per compound relationship.
+    /// Exponentially larger; kept for cross-validation and the E3b
+    /// ablation.
+    Direct,
+}
+
+/// The production reasoner: owns the expansion, the system `Ψ_S`, the
+/// maximal acceptable support, and a witness solution positive on all of it.
+pub struct Reasoner<'s> {
+    expansion: Expansion<'s>,
+    /// The paper-verbatim system, built on first use (it materializes one
+    /// unknown per compound relationship — prohibitive for large flat
+    /// expansions that the aggregated strategy never needs it for).
+    system: std::sync::OnceLock<CrSystem>,
+    /// `support[cc]` — whether compound class `cc` is in `P*`.
+    support: Vec<bool>,
+    /// A single acceptable solution positive on exactly the support (absent
+    /// when the support is empty).
+    witness: Option<AcceptableSolution>,
+}
+
+impl<'s> Reasoner<'s> {
+    /// Builds the reasoner with default expansion budgets.
+    pub fn new(schema: &'s Schema) -> CrResult<Reasoner<'s>> {
+        Reasoner::with_config(schema, &ExpansionConfig::default())
+    }
+
+    /// Builds the reasoner with explicit expansion budgets.
+    pub fn with_config(schema: &'s Schema, config: &ExpansionConfig) -> CrResult<Reasoner<'s>> {
+        Reasoner::with_strategy(schema, config, Strategy::Aggregated)
+    }
+
+    /// Builds the reasoner with an explicit solving strategy.
+    pub fn with_strategy(
+        schema: &'s Schema,
+        config: &ExpansionConfig,
+        strategy: Strategy,
+    ) -> CrResult<Reasoner<'s>> {
+        let expansion = Expansion::build(schema, config)?;
+        let system = std::sync::OnceLock::new();
+        let (support, witness) = match strategy {
+            Strategy::Direct => {
+                let sys = system.get_or_init(|| CrSystem::build(&expansion));
+                fixpoint::maximal_acceptable_support(sys)
+            }
+            Strategy::Aggregated => {
+                let agg = crate::agg::AggSystem::build(&expansion);
+                let (support, agg_witness) = crate::agg::maximal_support_agg(&agg);
+                let witness = agg_witness.map(|w| AcceptableSolution {
+                    crel_counts: crate::agg::expand_to_crel_counts(&expansion, &w),
+                    cclass_counts: w.cclass_counts,
+                });
+                (support, witness)
+            }
+        };
+        // Re-verify the witness against the paper-verbatim system when that
+        // is affordable (always in tests; skipped for huge expansions).
+        debug_assert!(
+            expansion.compound_rels().len() > 100_000
+                || witness
+                    .as_ref()
+                    .is_none_or(|w| w.verify(system.get_or_init(|| CrSystem::build(&expansion)))),
+        );
+        Ok(Reasoner {
+            expansion,
+            system,
+            support,
+            witness,
+        })
+    }
+
+    /// The schema being reasoned about.
+    pub fn schema(&self) -> &'s Schema {
+        self.expansion.schema()
+    }
+
+    /// The expansion.
+    pub fn expansion(&self) -> &Expansion<'s> {
+        &self.expansion
+    }
+
+    /// The paper-verbatim system `Ψ_S` (built on first access).
+    pub fn system(&self) -> &CrSystem {
+        self.system.get_or_init(|| CrSystem::build(&self.expansion))
+    }
+
+    /// The maximal acceptable support over compound classes.
+    pub fn support(&self) -> &[bool] {
+        &self.support
+    }
+
+    /// Whether `class` is finitely satisfiable (Theorem 3.3).
+    pub fn is_class_satisfiable(&self, class: ClassId) -> bool {
+        self.expansion
+            .compound_classes_containing(class)
+            .iter()
+            .any(|&cc| self.support[cc])
+    }
+
+    /// All unsatisfiable classes, in id order.
+    pub fn unsatisfiable_classes(&self) -> Vec<ClassId> {
+        self.schema()
+            .classes()
+            .filter(|&c| !self.is_class_satisfiable(c))
+            .collect()
+    }
+
+    /// Whether every class of the schema is satisfiable (*strong*
+    /// satisfiability: the schema admits models populating any chosen
+    /// class).
+    pub fn is_schema_fully_satisfiable(&self) -> bool {
+        self.unsatisfiable_classes().is_empty()
+    }
+
+    /// An acceptable solution positive on every satisfiable compound class
+    /// simultaneously (hence witnessing every satisfiable class at once);
+    /// `None` when no class is satisfiable.
+    pub fn witness(&self) -> Option<&AcceptableSolution> {
+        self.witness.as_ref()
+    }
+
+    /// Whether `rel` is finitely satisfiable — some finite model contains a
+    /// tuple of it. Decided by one extra probe over the maximal acceptable
+    /// support: every acceptable solution's support is contained in `P*`,
+    /// so a positive relationship total is achievable iff it is achievable
+    /// with `P*` as the allowed support.
+    pub fn is_rel_satisfiable(&self, rel: crate::ids::RelId) -> bool {
+        use cr_linear::{Cmp, LinExpr};
+        use cr_rational::Rational;
+        let sys = self.system();
+        let mut probe = fixpoint::restrict(sys, &self.support, None);
+        let mut total = LinExpr::new();
+        for &ri in self.expansion.compound_rels_of(rel) {
+            if sys.deps[ri].iter().all(|&cc| self.support[cc]) {
+                total.add_term(sys.crel_vars[ri], Rational::one());
+            }
+        }
+        if total.is_empty() {
+            return false;
+        }
+        probe.push(total, Cmp::Ge, Rational::one());
+        cr_linear::solve(&probe).is_feasible()
+    }
+
+    /// All unsatisfiable relationships, in id order.
+    pub fn unsatisfiable_rels(&self) -> Vec<crate::ids::RelId> {
+        self.schema()
+            .rels()
+            .filter(|&r| !self.is_rel_satisfiable(r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Card, SchemaBuilder};
+
+    fn meeting() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::at_most(2))
+            .unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1))
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn meeting_schema_all_satisfiable() {
+        let schema = meeting();
+        let r = Reasoner::new(&schema).unwrap();
+        for c in schema.classes() {
+            assert!(r.is_class_satisfiable(c), "{} unsat", schema.class_name(c));
+        }
+        assert!(r.is_schema_fully_satisfiable());
+        let w = r.witness().expect("witness exists");
+        assert!(w.verify(r.system()));
+    }
+
+    #[test]
+    fn section33_refinement_makes_unsat() {
+        // Adding minc(Discussant, Holds, U1) = 2 (each discussant-speaker
+        // holds at least two talks) makes the whole schema unsatisfiable —
+        // the paper's running counterexample at the end of Section 3.3.
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::new(2, Some(2)))
+            .unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1))
+            .unwrap();
+        let schema = b.build().unwrap();
+        let r = Reasoner::new(&schema).unwrap();
+        assert!(!r.is_class_satisfiable(speaker));
+        assert!(!r.is_class_satisfiable(discussant));
+        assert!(!r.is_class_satisfiable(talk));
+    }
+
+    #[test]
+    fn figure1_unsat() {
+        let mut b = SchemaBuilder::new();
+        let c = b.class("C");
+        let d = b.class("D");
+        b.isa(d, c);
+        let r = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+        b.card(c, b.role(r, 0), Card::at_least(2)).unwrap();
+        b.card(d, b.role(r, 1), Card::at_most(1)).unwrap();
+        let schema = b.build().unwrap();
+        let reasoner = Reasoner::new(&schema).unwrap();
+        assert_eq!(reasoner.unsatisfiable_classes(), vec![c, d]);
+        assert!(reasoner.witness().is_none());
+    }
+
+    #[test]
+    fn unconstrained_schema_everything_satisfiable() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        let schema = b.build().unwrap();
+        let r = Reasoner::new(&schema).unwrap();
+        assert!(r.is_schema_fully_satisfiable());
+        // The maximal support covers every compound class.
+        assert!(r.support().iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rel_satisfiability() {
+        // Meeting schema: both relationships are populated in some model.
+        let schema = meeting();
+        let r = Reasoner::new(&schema).unwrap();
+        for rel in schema.rels() {
+            assert!(r.is_rel_satisfiable(rel), "{}", schema.rel_name(rel));
+        }
+        assert!(r.unsatisfiable_rels().is_empty());
+    }
+
+    #[test]
+    fn rel_unsat_when_capped_to_zero() {
+        // maxc 0 on one role forces R empty in every model, though both
+        // classes stay satisfiable.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let rel = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(rel, 0), Card::at_most(0)).unwrap();
+        let schema = b.build().unwrap();
+        let r = Reasoner::new(&schema).unwrap();
+        assert!(r.is_class_satisfiable(a));
+        assert!(r.is_class_satisfiable(x));
+        assert!(!r.is_rel_satisfiable(rel));
+        assert_eq!(r.unsatisfiable_rels(), vec![rel]);
+    }
+
+    #[test]
+    fn rel_unsat_when_classes_dead() {
+        // Figure 1: both classes dead, hence R as well.
+        let mut b = SchemaBuilder::new();
+        let c = b.class("C");
+        let d = b.class("D");
+        b.isa(d, c);
+        let rel = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+        b.card(c, b.role(rel, 0), Card::at_least(2)).unwrap();
+        b.card(d, b.role(rel, 1), Card::at_most(1)).unwrap();
+        let schema = b.build().unwrap();
+        let r = Reasoner::new(&schema).unwrap();
+        assert!(!r.is_rel_satisfiable(rel));
+    }
+
+    #[test]
+    fn strategies_agree() {
+        use crate::expansion::ExpansionConfig;
+        {
+            let seed_schema = meeting();
+            let agg = Reasoner::with_strategy(
+                &seed_schema,
+                &ExpansionConfig::default(),
+                Strategy::Aggregated,
+            )
+            .unwrap();
+            let direct = Reasoner::with_strategy(
+                &seed_schema,
+                &ExpansionConfig::default(),
+                Strategy::Direct,
+            )
+            .unwrap();
+            assert_eq!(agg.support(), direct.support());
+            // Both witnesses verify against the direct system.
+            assert!(agg.witness().unwrap().verify(agg.system()));
+            assert!(direct.witness().unwrap().verify(direct.system()));
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_ternary_relationships() {
+        use crate::expansion::ExpansionConfig;
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let sub = b.class("Sub");
+        let x = b.class("X");
+        let y = b.class("Y");
+        b.isa(sub, a);
+        let r = b.relationship("R", [("u", a), ("v", x), ("w", y)]).unwrap();
+        b.card(a, b.role(r, 0), Card::new(1, Some(3))).unwrap();
+        b.card(sub, b.role(r, 0), Card::exactly(2)).unwrap();
+        b.card(x, b.role(r, 1), Card::exactly(1)).unwrap();
+        b.card(y, b.role(r, 2), Card::at_least(1)).unwrap();
+        let schema = b.build().unwrap();
+        let config = ExpansionConfig::default();
+        let agg = Reasoner::with_strategy(&schema, &config, Strategy::Aggregated).unwrap();
+        let direct = Reasoner::with_strategy(&schema, &config, Strategy::Direct).unwrap();
+        assert_eq!(agg.support(), direct.support());
+        // The projected ternary witness verifies against the verbatim
+        // system, and its model constructs and checks.
+        assert!(agg.witness().unwrap().verify(agg.system()));
+        let model = agg
+            .construct_model(&crate::model::ModelConfig::default())
+            .unwrap()
+            .expect("satisfiable");
+        assert!(model.is_model_of(&schema));
+    }
+
+    #[test]
+    fn class_total_counts_every_containing_compound() {
+        let schema = meeting();
+        let r = Reasoner::new(&schema).unwrap();
+        let w = r.witness().unwrap();
+        let speaker = schema.class_by_name("Speaker").unwrap();
+        let total = w.class_total(r.expansion(), speaker);
+        assert!(total.is_positive());
+    }
+}

@@ -1,0 +1,343 @@
+//! Incremental construction and validation of [`Schema`]s.
+
+use crate::error::{CrError, CrResult};
+use crate::ids::{ClassId, RelId, RoleId};
+use crate::isa::IsaClosure;
+use crate::schema::{Card, CardDecl, ClassDecl, RelDecl, RoleDecl, Schema};
+
+/// Builds a [`Schema`] incrementally; [`SchemaBuilder::build`] validates the
+/// whole declaration set.
+///
+/// Validation enforces the well-formedness rules of Definition 2.1:
+/// relationship arity at least 2, role names unique per relationship, and
+/// cardinality constraints `card(C, R.U)` only for classes `C ≼* C_U`
+/// (ISA-descendants of the role's primary class, the *refinement* rule).
+#[derive(Default)]
+pub struct SchemaBuilder {
+    classes: Vec<ClassDecl>,
+    rels: Vec<RelDecl>,
+    roles: Vec<RoleDecl>,
+    isa: Vec<(ClassId, ClassId)>,
+    cards: Vec<CardDecl>,
+    disjointness: Vec<Vec<ClassId>>,
+    coverings: Vec<(ClassId, Vec<ClassId>)>,
+}
+
+impl SchemaBuilder {
+    /// A builder with no declarations.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// A builder pre-populated with the *structure* of an existing schema —
+    /// classes and relationships with their roles, but none of the
+    /// constraints (ISA, cardinalities, disjointness, coverings). Returns
+    /// the builder together with the class and role id mappings (both are
+    /// dense and order-preserving, so `classes[c.index()]` and
+    /// `roles[u.index()]` translate old ids).
+    ///
+    /// Used by the implication and explanation machinery, which replay a
+    /// schema with constraints added or removed.
+    pub fn copy_structure(schema: &Schema) -> (SchemaBuilder, Vec<ClassId>, Vec<RoleId>) {
+        let mut b = SchemaBuilder::new();
+        let classes: Vec<ClassId> = schema
+            .classes()
+            .map(|c| b.class(schema.class_name(c)))
+            .collect();
+        let mut roles = Vec::with_capacity(schema.num_roles());
+        for r in schema.rels() {
+            let decl: Vec<(String, ClassId)> = schema
+                .roles_of(r)
+                .iter()
+                .map(|&u| {
+                    (
+                        schema.role_name(u).to_string(),
+                        classes[schema.primary_class(u).index()],
+                    )
+                })
+                .collect();
+            let rel = b
+                .relationship(
+                    schema.rel_name(r),
+                    decl.iter().map(|(n, c)| (n.as_str(), *c)),
+                )
+                .expect("roles validated in the source schema");
+            for k in 0..schema.arity(r) {
+                roles.push(b.role(rel, k));
+            }
+        }
+        (b, classes, roles)
+    }
+
+    /// Declares a class.
+    pub fn class(&mut self, name: impl Into<String>) -> ClassId {
+        let id = ClassId::from_index(self.classes.len());
+        self.classes.push(ClassDecl { name: name.into() });
+        id
+    }
+
+    /// Declares a relationship with its roles `(role_name, primary_class)`.
+    ///
+    /// Fails immediately if the arity is below 2 or a role name repeats.
+    pub fn relationship<'a>(
+        &mut self,
+        name: impl Into<String>,
+        roles: impl IntoIterator<Item = (&'a str, ClassId)>,
+    ) -> CrResult<RelId> {
+        let name = name.into();
+        let rel_id = RelId::from_index(self.rels.len());
+        let mut role_ids = Vec::new();
+        let mut seen = Vec::new();
+        for (role_name, primary) in roles {
+            if seen.contains(&role_name) {
+                return Err(CrError::DuplicateRole {
+                    rel: name,
+                    role: role_name.to_string(),
+                });
+            }
+            seen.push(role_name);
+            self.check_class(primary)?;
+            let role_id = RoleId::from_index(self.roles.len());
+            self.roles.push(RoleDecl {
+                name: role_name.to_string(),
+                rel: rel_id,
+                primary,
+            });
+            role_ids.push(role_id);
+        }
+        if role_ids.len() < 2 {
+            return Err(CrError::ArityTooSmall {
+                rel: name,
+                arity: role_ids.len(),
+            });
+        }
+        self.rels.push(RelDecl {
+            name,
+            roles: role_ids,
+        });
+        Ok(rel_id)
+    }
+
+    /// The role at `position` of `rel` (panics if out of range).
+    pub fn role(&self, rel: RelId, position: usize) -> RoleId {
+        self.rels[rel.index()].roles[position]
+    }
+
+    /// Declares `sub ≼ sup`.
+    pub fn isa(&mut self, sub: ClassId, sup: ClassId) {
+        self.isa.push((sub, sup));
+    }
+
+    /// Declares a cardinality constraint for `(class, role)`.
+    ///
+    /// Duplicate `(class, role)` declarations are rejected immediately; the
+    /// `class ≼* primary` refinement condition is checked at
+    /// [`build`](Self::build) time because ISA statements may still be
+    /// added.
+    pub fn card(&mut self, class: ClassId, role: RoleId, card: Card) -> CrResult<()> {
+        self.check_class(class)?;
+        if role.index() >= self.roles.len() {
+            return Err(CrError::InvalidId { what: "role" });
+        }
+        if self
+            .cards
+            .iter()
+            .any(|d| d.class == class && d.role == role)
+        {
+            return Err(CrError::DuplicateCard { class, role });
+        }
+        self.cards.push(CardDecl { class, role, card });
+        Ok(())
+    }
+
+    /// Declares a group of pairwise disjoint classes (Section 5 extension).
+    pub fn disjoint(&mut self, classes: impl IntoIterator<Item = ClassId>) -> CrResult<()> {
+        let classes: Vec<ClassId> = classes.into_iter().collect();
+        if classes.len() < 2 {
+            return Err(CrError::DegenerateConstraint {
+                what: "disjointness group with fewer than two classes",
+            });
+        }
+        for &c in &classes {
+            self.check_class(c)?;
+        }
+        self.disjointness.push(classes);
+        Ok(())
+    }
+
+    /// Declares the covering `class ⊆ covers_1 ∪ … ∪ covers_n` (Section 5
+    /// extension).
+    pub fn covering(
+        &mut self,
+        class: ClassId,
+        covers: impl IntoIterator<Item = ClassId>,
+    ) -> CrResult<()> {
+        let covers: Vec<ClassId> = covers.into_iter().collect();
+        if covers.is_empty() {
+            return Err(CrError::DegenerateConstraint {
+                what: "covering with no covering classes",
+            });
+        }
+        self.check_class(class)?;
+        for &c in &covers {
+            self.check_class(c)?;
+        }
+        self.coverings.push((class, covers));
+        Ok(())
+    }
+
+    /// Validates all declarations and produces the immutable [`Schema`].
+    pub fn build(self) -> CrResult<Schema> {
+        // Unique class / relationship names.
+        for (i, c) in self.classes.iter().enumerate() {
+            if self.classes[..i].iter().any(|d| d.name == c.name) {
+                return Err(CrError::DuplicateName {
+                    name: c.name.clone(),
+                });
+            }
+        }
+        for (i, r) in self.rels.iter().enumerate() {
+            if self.rels[..i].iter().any(|d| d.name == r.name) {
+                return Err(CrError::DuplicateName {
+                    name: r.name.clone(),
+                });
+            }
+        }
+        for &(sub, sup) in &self.isa {
+            if sub.index() >= self.classes.len() || sup.index() >= self.classes.len() {
+                return Err(CrError::InvalidId { what: "isa class" });
+            }
+        }
+
+        let schema = Schema {
+            classes: self.classes,
+            rels: self.rels,
+            roles: self.roles,
+            isa: self.isa,
+            cards: self.cards,
+            disjointness: self.disjointness,
+            coverings: self.coverings,
+        };
+
+        // Refinement rule: card(C, R.U) requires C ≼* primary(U).
+        let closure = IsaClosure::compute(&schema);
+        for d in &schema.cards {
+            if !closure.is_subclass_of(d.class, schema.primary_class(d.role)) {
+                return Err(CrError::CardOnNonSubclass {
+                    class: d.class,
+                    role: d.role,
+                });
+            }
+        }
+        Ok(schema)
+    }
+
+    fn check_class(&self, c: ClassId) -> CrResult<()> {
+        if c.index() >= self.classes.len() {
+            return Err(CrError::InvalidId { what: "class" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_valid_schema() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        let schema = b.build().unwrap();
+        assert_eq!(schema.num_classes(), 2);
+        assert_eq!(schema.arity(r), 2);
+        assert_eq!(schema.class_name(a), "A");
+        assert_eq!(schema.primary_class(schema.roles_of(r)[1]), x);
+    }
+
+    #[test]
+    fn rejects_unary_relationship() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let err = b.relationship("R", [("u", a)]).unwrap_err();
+        assert!(matches!(err, CrError::ArityTooSmall { arity: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_role_names() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let err = b.relationship("R", [("u", a), ("u", a)]).unwrap_err();
+        assert!(matches!(err, CrError::DuplicateRole { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_class_names() {
+        let mut b = SchemaBuilder::new();
+        b.class("A");
+        b.class("A");
+        assert!(matches!(b.build(), Err(CrError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn rejects_card_on_unrelated_class() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", a)]).unwrap();
+        let u = b.role(r, 0);
+        b.card(x, u, Card::at_least(1)).unwrap();
+        assert!(matches!(b.build(), Err(CrError::CardOnNonSubclass { .. })));
+    }
+
+    #[test]
+    fn accepts_card_via_isa_chain() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let m = b.class("M");
+        let x = b.class("X");
+        b.isa(x, m);
+        b.isa(m, a);
+        let r = b.relationship("R", [("u", a), ("v", a)]).unwrap();
+        let u = b.role(r, 0);
+        b.card(x, u, Card::exactly(1)).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_card() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let r = b.relationship("R", [("u", a), ("v", a)]).unwrap();
+        let u = b.role(r, 0);
+        b.card(a, u, Card::at_least(1)).unwrap();
+        let err = b.card(a, u, Card::at_least(2)).unwrap_err();
+        assert!(matches!(err, CrError::DuplicateCard { .. }));
+    }
+
+    #[test]
+    fn rejects_degenerate_extensions() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        assert!(b.disjoint([a]).is_err());
+        assert!(b.covering(a, []).is_err());
+    }
+
+    #[test]
+    fn name_lookups() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        let schema = b.build().unwrap();
+        assert_eq!(schema.class_by_name("X"), Some(x));
+        assert_eq!(schema.class_by_name("nope"), None);
+        assert_eq!(schema.rel_by_name("R"), Some(r));
+        let u = schema.role_by_name(r, "v").unwrap();
+        assert_eq!(schema.role_name(u), "v");
+        assert_eq!(schema.role_position(u), 1);
+        assert_eq!(schema.rel_of_role(u), r);
+    }
+}

@@ -1,0 +1,345 @@
+//! CR schemas: classes, relationships with named roles, ISA statements,
+//! cardinality constraints, and the Section 5 extensions (disjointness and
+//! covering constraints).
+
+mod builder;
+
+pub use builder::SchemaBuilder;
+
+use std::fmt;
+
+use crate::ids::{ClassId, RelId, RoleId};
+
+/// A cardinality window `(min, max)`; `max == None` means `∞`.
+///
+/// Per Definition 2.1 the default for an unconstrained participation is
+/// `(0, ∞)` — see [`Card::UNCONSTRAINED`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Card {
+    /// Minimum number of participations.
+    pub min: u64,
+    /// Maximum number of participations (`None` = unbounded).
+    pub max: Option<u64>,
+}
+
+impl Card {
+    /// The default `(0, ∞)` window.
+    pub const UNCONSTRAINED: Card = Card { min: 0, max: None };
+
+    /// Builds `(min, max)`.
+    pub fn new(min: u64, max: Option<u64>) -> Card {
+        Card { min, max }
+    }
+
+    /// Builds `(min, ∞)`.
+    pub fn at_least(min: u64) -> Card {
+        Card { min, max: None }
+    }
+
+    /// Builds `(0, max)`.
+    pub fn at_most(max: u64) -> Card {
+        Card {
+            min: 0,
+            max: Some(max),
+        }
+    }
+
+    /// Builds the exact window `(n, n)`.
+    pub fn exactly(n: u64) -> Card {
+        Card {
+            min: n,
+            max: Some(n),
+        }
+    }
+
+    /// Whether a participation count satisfies the window.
+    pub fn admits(&self, count: u64) -> bool {
+        count >= self.min && self.max.is_none_or(|m| count <= m)
+    }
+
+    /// The tightest window implied by both `self` and `other`
+    /// (componentwise max of mins, min of maxes) — Definition 3.1.
+    pub fn tighten(&self, other: &Card) -> Card {
+        Card {
+            min: self.min.max(other.min),
+            max: match (self.max, other.max) {
+                (None, m) | (m, None) => m,
+                (Some(a), Some(b)) => Some(a.min(b)),
+            },
+        }
+    }
+
+    /// Whether the window admits no count at all (`min > max`).
+    pub fn is_empty_window(&self) -> bool {
+        self.max.is_some_and(|m| self.min > m)
+    }
+}
+
+impl fmt::Display for Card {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(m) => write!(f, "({},{})", self.min, m),
+            None => write!(f, "({},∞)", self.min),
+        }
+    }
+}
+
+/// A declared cardinality constraint `minc/maxc(class, rel, role)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CardDecl {
+    /// The constrained class (an ISA-descendant of the role's primary
+    /// class).
+    pub class: ClassId,
+    /// The role (determines the relationship).
+    pub role: RoleId,
+    /// The declared window.
+    pub card: Card,
+}
+
+pub(crate) struct ClassDecl {
+    pub(crate) name: String,
+}
+
+pub(crate) struct RoleDecl {
+    pub(crate) name: String,
+    pub(crate) rel: RelId,
+    pub(crate) primary: ClassId,
+}
+
+pub(crate) struct RelDecl {
+    pub(crate) name: String,
+    pub(crate) roles: Vec<RoleId>,
+}
+
+/// A validated CR schema.
+///
+/// Built with [`SchemaBuilder`]; immutable afterwards. All reasoning
+/// entry points take a `&Schema`.
+pub struct Schema {
+    pub(crate) classes: Vec<ClassDecl>,
+    pub(crate) rels: Vec<RelDecl>,
+    pub(crate) roles: Vec<RoleDecl>,
+    /// Declared ISA statements `(sub, sup)`.
+    pub(crate) isa: Vec<(ClassId, ClassId)>,
+    /// Declared cardinality constraints.
+    pub(crate) cards: Vec<CardDecl>,
+    /// Section 5 extension: each group's classes are pairwise disjoint.
+    pub(crate) disjointness: Vec<Vec<ClassId>>,
+    /// Section 5 extension: `(c, covers)` asserts `c ⊆ covers_1 ∪ …`.
+    pub(crate) coverings: Vec<(ClassId, Vec<ClassId>)>,
+}
+
+impl Schema {
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of relationships.
+    pub fn num_rels(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Number of roles across all relationships.
+    pub fn num_roles(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Iterates over all class ids.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.classes.len()).map(ClassId::from_index)
+    }
+
+    /// Iterates over all relationship ids.
+    pub fn rels(&self) -> impl Iterator<Item = RelId> {
+        (0..self.rels.len()).map(RelId::from_index)
+    }
+
+    /// The name of a class.
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.classes[c.index()].name
+    }
+
+    /// The name of a relationship.
+    pub fn rel_name(&self, r: RelId) -> &str {
+        &self.rels[r.index()].name
+    }
+
+    /// The name of a role.
+    pub fn role_name(&self, u: RoleId) -> &str {
+        &self.roles[u.index()].name
+    }
+
+    /// Looks a class up by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId::from_index)
+    }
+
+    /// Looks a relationship up by name.
+    pub fn rel_by_name(&self, name: &str) -> Option<RelId> {
+        self.rels
+            .iter()
+            .position(|r| r.name == name)
+            .map(RelId::from_index)
+    }
+
+    /// Looks a role of `rel` up by name.
+    pub fn role_by_name(&self, rel: RelId, name: &str) -> Option<RoleId> {
+        self.rels[rel.index()]
+            .roles
+            .iter()
+            .copied()
+            .find(|&u| self.roles[u.index()].name == name)
+    }
+
+    /// The roles of a relationship, in declaration order.
+    pub fn roles_of(&self, r: RelId) -> &[RoleId] {
+        &self.rels[r.index()].roles
+    }
+
+    /// The arity of a relationship.
+    pub fn arity(&self, r: RelId) -> usize {
+        self.rels[r.index()].roles.len()
+    }
+
+    /// The relationship a role belongs to.
+    pub fn rel_of_role(&self, u: RoleId) -> RelId {
+        self.roles[u.index()].rel
+    }
+
+    /// The primary class of a role.
+    pub fn primary_class(&self, u: RoleId) -> ClassId {
+        self.roles[u.index()].primary
+    }
+
+    /// The position of a role within its relationship.
+    pub fn role_position(&self, u: RoleId) -> usize {
+        let rel = self.rel_of_role(u);
+        self.rels[rel.index()]
+            .roles
+            .iter()
+            .position(|&x| x == u)
+            .expect("role belongs to its relationship")
+    }
+
+    /// Declared ISA statements `(sub, sup)`, in declaration order.
+    pub fn isa_statements(&self) -> &[(ClassId, ClassId)] {
+        &self.isa
+    }
+
+    /// Declared cardinality constraints, in declaration order.
+    pub fn card_declarations(&self) -> &[CardDecl] {
+        &self.cards
+    }
+
+    /// The *declared* cardinality window for `(class, role)`, or the
+    /// `(0, ∞)` default if none was declared. This does **not** fold in
+    /// windows inherited from superclasses — that is Definition 3.1's job,
+    /// performed on compound classes by the expansion.
+    pub fn declared_card(&self, class: ClassId, role: RoleId) -> Card {
+        self.cards
+            .iter()
+            .find(|d| d.class == class && d.role == role)
+            .map(|d| d.card)
+            .unwrap_or(Card::UNCONSTRAINED)
+    }
+
+    /// Disjointness groups (Section 5 extension).
+    pub fn disjointness_groups(&self) -> &[Vec<ClassId>] {
+        &self.disjointness
+    }
+
+    /// Covering constraints (Section 5 extension).
+    pub fn coverings(&self) -> &[(ClassId, Vec<ClassId>)] {
+        &self.coverings
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Schema {{")?;
+        for c in self.classes() {
+            writeln!(f, "  class {}", self.class_name(c))?;
+        }
+        for (sub, sup) in &self.isa {
+            writeln!(f, "  {} ≼ {}", self.class_name(*sub), self.class_name(*sup))?;
+        }
+        for r in self.rels() {
+            let roles: Vec<String> = self
+                .roles_of(r)
+                .iter()
+                .map(|&u| {
+                    format!(
+                        "{}: {}",
+                        self.role_name(u),
+                        self.class_name(self.primary_class(u))
+                    )
+                })
+                .collect();
+            writeln!(f, "  rel {} ⟨{}⟩", self.rel_name(r), roles.join(", "))?;
+        }
+        for d in &self.cards {
+            writeln!(
+                f,
+                "  card {} in {}.{}: {}",
+                self.class_name(d.class),
+                self.rel_name(self.rel_of_role(d.role)),
+                self.role_name(d.role),
+                d.card
+            )?;
+        }
+        for g in &self.disjointness {
+            let names: Vec<&str> = g.iter().map(|&c| self.class_name(c)).collect();
+            writeln!(f, "  disjoint {{{}}}", names.join(", "))?;
+        }
+        for (c, cov) in &self.coverings {
+            let names: Vec<&str> = cov.iter().map(|&c| self.class_name(c)).collect();
+            writeln!(f, "  cover {} ≼ {}", self.class_name(*c), names.join(" ∪ "))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_admits() {
+        let c = Card::new(1, Some(3));
+        assert!(!c.admits(0));
+        assert!(c.admits(1) && c.admits(3));
+        assert!(!c.admits(4));
+        assert!(Card::UNCONSTRAINED.admits(0));
+        assert!(Card::UNCONSTRAINED.admits(u64::MAX));
+    }
+
+    #[test]
+    fn card_tighten() {
+        let a = Card::new(1, None);
+        let b = Card::new(0, Some(2));
+        assert_eq!(a.tighten(&b), Card::new(1, Some(2)));
+        assert_eq!(b.tighten(&a), Card::new(1, Some(2)));
+        assert_eq!(
+            Card::new(3, Some(5)).tighten(&Card::new(1, Some(2))),
+            Card::new(3, Some(2))
+        );
+    }
+
+    #[test]
+    fn card_empty_window() {
+        assert!(Card::new(3, Some(2)).is_empty_window());
+        assert!(!Card::new(3, Some(3)).is_empty_window());
+        assert!(!Card::at_least(100).is_empty_window());
+    }
+
+    #[test]
+    fn card_display() {
+        assert_eq!(Card::new(1, Some(2)).to_string(), "(1,2)");
+        assert_eq!(Card::at_least(1).to_string(), "(1,∞)");
+    }
+}

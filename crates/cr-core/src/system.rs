@@ -1,0 +1,427 @@
+//! The system of linear disequations `Ψ_S` associated with a CR-schema
+//! (Section 3.2).
+//!
+//! Unknowns: one nonnegative variable per consistent compound class and per
+//! consistent compound relationship. Rows, per Definition 3.1's derived
+//! windows: for every relationship `R`, role `U` at position `k`, and
+//! consistent compound class `C̄` containing the role's primary class,
+//!
+//! * if `minc̄(C̄, R, U) = m > 0`:  `m · Var(C̄) ≤ Σ { Var(R̄) : R̄[U] = C̄ }`
+//! * if `maxc̄(C̄, R, U) = n ≠ ∞`:  `n · Var(C̄) ≥ Σ { Var(R̄) : R̄[U] = C̄ }`
+//!
+//! The system is homogeneous with integer coefficients, exactly as the paper
+//! notes — which is what licenses scaling rational solutions to integer
+//! ones.
+//!
+//! Inconsistent compound classes/relationships carry a forced-zero unknown
+//! in the paper's presentation; we simply never materialize them. The
+//! [`render_verbatim`] helper re-adds those zero rows textually for small
+//! schemas, reproducing Figure 5 literally.
+
+use std::fmt;
+
+use cr_linear::{Cmp, LinExpr, LinSystem, VarId, VarKind};
+use cr_rational::Rational;
+
+use crate::error::{CrError, CrResult};
+use crate::expansion::Expansion;
+use crate::ids::RoleId;
+
+/// Where a row of `Ψ_S` came from (provenance for display and debugging).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RowOrigin {
+    /// `m · Var(C̄) ≤ Σ Var(R̄)` from `minc̄(C̄, R, U) = m`.
+    MinCard {
+        /// Compound-class index.
+        cc: usize,
+        /// The role.
+        role: RoleId,
+        /// The derived minimum.
+        min: u64,
+    },
+    /// `n · Var(C̄) ≥ Σ Var(R̄)` from `maxc̄(C̄, R, U) = n`.
+    MaxCard {
+        /// Compound-class index.
+        cc: usize,
+        /// The role.
+        role: RoleId,
+        /// The derived maximum.
+        max: u64,
+    },
+}
+
+/// `Ψ_S`: the linear system plus the mapping between expansion objects and
+/// unknowns, and the dependency relation used by acceptability.
+pub struct CrSystem {
+    /// The underlying linear system (all unknowns nonnegative).
+    pub lin: LinSystem,
+    /// Unknown of each consistent compound class (parallel to
+    /// [`Expansion::compound_classes`]).
+    pub cclass_vars: Vec<VarId>,
+    /// Unknown of each consistent compound relationship.
+    pub crel_vars: Vec<VarId>,
+    /// Provenance per row of `lin`.
+    pub origins: Vec<RowOrigin>,
+    /// Per compound relationship: the (deduplicated) compound classes it
+    /// *depends on* — i.e. assigns to some role (Section 3.3).
+    pub deps: Vec<Vec<usize>>,
+    /// Per compound class: the compound relationships depending on it.
+    pub dependents: Vec<Vec<usize>>,
+}
+
+impl CrSystem {
+    /// Builds `Ψ_S` from an expansion.
+    pub fn build(exp: &Expansion<'_>) -> CrSystem {
+        let schema = exp.schema();
+        let n_cc = exp.compound_classes().len();
+        let n_cr = exp.compound_rels().len();
+        let mut lin = LinSystem::new();
+        let cclass_vars: Vec<VarId> = (0..n_cc).map(|_| lin.add_var(VarKind::Nonneg)).collect();
+        let crel_vars: Vec<VarId> = (0..n_cr).map(|_| lin.add_var(VarKind::Nonneg)).collect();
+
+        // Dependency relation.
+        let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n_cr);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_cc];
+        for (ri, crel) in exp.compound_rels().iter().enumerate() {
+            let mut d = crel.roles.clone();
+            d.sort_unstable();
+            d.dedup();
+            for &cc in &d {
+                dependents[cc].push(ri);
+            }
+            deps.push(d);
+        }
+
+        // Cardinality rows, grouped exactly as in the paper: per
+        // relationship, per role, per compound class containing the primary.
+        let mut origins = Vec::new();
+        for rel in schema.rels() {
+            let crels_of_rel = exp.compound_rels_of(rel);
+            for (k, &role) in schema.roles_of(rel).iter().enumerate() {
+                let primary = schema.primary_class(role);
+                for &cc in exp.compound_classes_containing(primary) {
+                    let card = exp.derived_card(cc, role);
+                    if card.min == 0 && card.max.is_none() {
+                        continue;
+                    }
+                    // Σ { Var(R̄) : R̄[U_k] = C̄ }
+                    let mut sum = LinExpr::new();
+                    for &ri in crels_of_rel {
+                        if exp.compound_rels()[ri].roles[k] == cc {
+                            sum.add_term(crel_vars[ri], Rational::one());
+                        }
+                    }
+                    if card.min > 0 {
+                        // sum - m·cc >= 0
+                        let mut e = sum.clone();
+                        e.add_term(cclass_vars[cc], -Rational::from_int(card.min as i64));
+                        lin.push(e, Cmp::Ge, Rational::zero());
+                        origins.push(RowOrigin::MinCard {
+                            cc,
+                            role,
+                            min: card.min,
+                        });
+                    }
+                    if let Some(max) = card.max {
+                        // n·cc - sum >= 0
+                        let mut e = sum.negated();
+                        e.add_term(cclass_vars[cc], Rational::from_int(max as i64));
+                        lin.push(e, Cmp::Ge, Rational::zero());
+                        origins.push(RowOrigin::MaxCard { cc, role, max });
+                    }
+                }
+            }
+        }
+
+        CrSystem {
+            lin,
+            cclass_vars,
+            crel_vars,
+            origins,
+            deps,
+            dependents,
+        }
+    }
+
+    /// Number of unknowns (compound classes + compound relationships).
+    pub fn num_unknowns(&self) -> usize {
+        self.cclass_vars.len() + self.crel_vars.len()
+    }
+
+    /// Number of cardinality rows.
+    pub fn num_rows(&self) -> usize {
+        self.lin.constraints().len()
+    }
+
+    /// Renders the system with expansion names (the pruned analogue of
+    /// Figure 5; zero rows of inconsistent unknowns are omitted).
+    pub fn render(&self, exp: &Expansion<'_>) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for i in 0..exp.compound_classes().len() {
+            let _ = writeln!(
+                out,
+                "  x{} := Var({})  >= 0",
+                self.cclass_vars[i].0,
+                exp.cclass_name(i)
+            );
+        }
+        for i in 0..exp.compound_rels().len() {
+            let _ = writeln!(
+                out,
+                "  x{} := Var({})  >= 0",
+                self.crel_vars[i].0,
+                exp.crel_name(i)
+            );
+        }
+        for (row, origin) in self.lin.constraints().iter().zip(&self.origins) {
+            let schema = exp.schema();
+            match origin {
+                RowOrigin::MinCard { cc, role, min } => {
+                    let _ = writeln!(
+                        out,
+                        "  [min {} · {} on {}.{}]  {} {} {}",
+                        min,
+                        exp.cclass_name(*cc),
+                        schema.rel_name(schema.rel_of_role(*role)),
+                        schema.role_name(*role),
+                        row.expr,
+                        row.cmp,
+                        row.rhs
+                    );
+                }
+                RowOrigin::MaxCard { cc, role, max } => {
+                    let _ = writeln!(
+                        out,
+                        "  [max {} · {} on {}.{}]  {} {} {}",
+                        max,
+                        exp.cclass_name(*cc),
+                        schema.rel_name(schema.rel_of_role(*role)),
+                        schema.role_name(*role),
+                        row.expr,
+                        row.cmp,
+                        row.rhs
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for CrSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CrSystem {{ {} compound-class unknowns, {} compound-rel unknowns, {} rows }}",
+            self.cclass_vars.len(),
+            self.crel_vars.len(),
+            self.num_rows()
+        )
+    }
+}
+
+/// Renders the *verbatim* Figure 5 form of `Ψ_S`, including the forced-zero
+/// unknowns of inconsistent compound classes and relationships. Exponential
+/// in the number of classes, so guarded: schemas with more than
+/// `max_classes` classes are rejected.
+pub fn render_verbatim(exp: &Expansion<'_>, max_classes: usize) -> CrResult<String> {
+    use std::fmt::Write;
+    let schema = exp.schema();
+    let n = schema.num_classes();
+    if n > max_classes || n > 16 {
+        return Err(CrError::ExpansionTooLarge {
+            what: "verbatim unknowns (2^classes)",
+            limit: max_classes,
+        });
+    }
+    let mut out = String::new();
+    let subset_name = |mask: u32| {
+        let names: Vec<&str> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| schema.class_name(crate::ids::ClassId::from_index(i)))
+            .collect();
+        format!("{{{}}}", names.join(","))
+    };
+    // Class unknowns: inconsistent ones pinned to zero.
+    for mask in 1u32..(1 << n) {
+        let set = crate::bitset::BitSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        if exp.is_consistent(&set) {
+            let _ = writeln!(out, "  Var({}) >= 0", subset_name(mask));
+        } else {
+            let _ = writeln!(out, "  Var({}) = 0", subset_name(mask));
+        }
+    }
+    // Relationship unknowns over all compound-class combinations.
+    for rel in schema.rels() {
+        let arity = schema.arity(rel);
+        let combos = ((1u64 << n) - 1).pow(arity as u32);
+        if combos > 100_000 {
+            return Err(CrError::ExpansionTooLarge {
+                what: "verbatim relationship unknowns",
+                limit: 100_000,
+            });
+        }
+        let mut masks = vec![1u32; arity];
+        loop {
+            // Consistent iff every role's compound class is consistent and
+            // contains the primary class.
+            let consistent = masks.iter().enumerate().all(|(k, &mask)| {
+                let set =
+                    crate::bitset::BitSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
+                let primary = schema.primary_class(schema.roles_of(rel)[k]);
+                exp.is_consistent(&set) && set.contains(primary.index())
+            });
+            let parts: Vec<String> = schema
+                .roles_of(rel)
+                .iter()
+                .zip(&masks)
+                .map(|(&u, &m)| format!("{}:{}", schema.role_name(u), subset_name(m)))
+                .collect();
+            let name = format!("{}⟨{}⟩", schema.rel_name(rel), parts.join(", "));
+            if consistent {
+                let _ = writeln!(out, "  Var({name}) >= 0");
+            } else {
+                let _ = writeln!(out, "  Var({name}) = 0");
+            }
+            // Advance odometer over nonempty masks.
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                masks[pos] += 1;
+                if masks[pos] < (1 << n) {
+                    break;
+                }
+                masks[pos] = 1;
+                pos += 1;
+            }
+            if pos == arity {
+                break;
+            }
+        }
+    }
+    // Cardinality rows from the pruned system (identical content).
+    let sys = CrSystem::build(exp);
+    out.push_str(&sys.render(exp));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::{Expansion, ExpansionConfig};
+    use crate::schema::{Card, SchemaBuilder};
+
+    fn meeting() -> crate::schema::Schema {
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::at_most(2))
+            .unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1))
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure5_shape() {
+        let schema = meeting();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let sys = CrSystem::build(&exp);
+        // 5 compound classes + 18 compound relationships.
+        assert_eq!(sys.cclass_vars.len(), 5);
+        assert_eq!(sys.crel_vars.len(), 18);
+        assert_eq!(sys.num_unknowns(), 23);
+        // Figure 5's cardinality rows (on consistent unknowns):
+        //   Holds.U1 min: cc {S},{S,D},{S,T},{S,D,T}      -> 4 rows
+        //   Holds.U1 max: cc {S,D},{S,D,T}                -> 2 rows
+        //   Holds.U2 min+max: cc {T},{S,T},{S,D,T}        -> 6 rows
+        //   Part.U3 min+max: cc {S,D},{S,D,T}             -> 4 rows
+        //   Part.U4 min: cc {T},{S,T},{S,D,T}             -> 3 rows
+        assert_eq!(sys.num_rows(), 19);
+        let mins = sys
+            .origins
+            .iter()
+            .filter(|o| matches!(o, RowOrigin::MinCard { .. }))
+            .count();
+        assert_eq!(mins, 12);
+        // Homogeneous: every RHS is zero.
+        assert!(sys.lin.constraints().iter().all(|c| c.rhs.is_zero()));
+    }
+
+    #[test]
+    fn dependency_relation() {
+        let schema = meeting();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let sys = CrSystem::build(&exp);
+        // Every compound relationship depends on 1..=2 compound classes
+        // (its two roles, possibly equal).
+        for d in &sys.deps {
+            assert!((1..=2).contains(&d.len()));
+        }
+        // dependents is the exact inverse of deps.
+        for (ri, d) in sys.deps.iter().enumerate() {
+            for &cc in d {
+                assert!(sys.dependents[cc].contains(&ri));
+            }
+        }
+        for (cc, rs) in sys.dependents.iter().enumerate() {
+            for &ri in rs {
+                assert!(sys.deps[ri].contains(&cc));
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_names() {
+        let schema = meeting();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let sys = CrSystem::build(&exp);
+        let text = sys.render(&exp);
+        assert!(text.contains("{Speaker,Discussant}"));
+        assert!(text.contains("Holds.U1"));
+    }
+
+    #[test]
+    fn verbatim_has_49_rel_unknowns_per_binary_rel() {
+        let schema = meeting();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let text = render_verbatim(&exp, 8).unwrap();
+        // 7 class unknowns + 49 Holds + 49 Participates = 105 Var lines,
+        // exactly the unknown inventory of Figure 5.
+        let vars = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("Var("))
+            .count();
+        assert_eq!(vars, 7 + 49 + 49);
+        // The paper pins c̄2 = {D} to zero.
+        assert!(text.contains("Var({Discussant}) = 0"));
+        assert!(text.contains("Var({Speaker}) >= 0"));
+    }
+
+    #[test]
+    fn verbatim_guard() {
+        let mut b = SchemaBuilder::new();
+        for i in 0..12 {
+            b.class(format!("C{i}"));
+        }
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        assert!(render_verbatim(&exp, 8).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Unrestricted (infinite-model) satisfiability.
+//!
+//! The paper restricts attention to **finite** satisfiability because
+//! databases are finite — and that restriction has teeth: its Figure 1
+//! schema (`|R| >= 2|C|`, `|R| <= |D|`, `D ≼ C`) has no finite model but a
+//! perfectly good *infinite* one (countably many `C`/`D` individuals absorb
+//! the 2:1 ratio). This module decides the unrestricted notion, making the
+//! contrast executable.
+//!
+//! For the CR language the classical unraveling argument applies. Call a
+//! consistent compound class **viable** when
+//!
+//! 1. every derived window on it is nonempty (`minc̄ <= maxc̄`), and
+//! 2. for every role group with `minc̄ >= 1`, each *other* role of that
+//!    relationship has some viable compound class whose own derived window
+//!    on that role admits at least one participation (`maxc̄ >= 1`).
+//!
+//! The viable set is the greatest fixpoint of this condition. A class is
+//! unrestrictedly satisfiable iff some viable compound class contains it:
+//! one direction by reading the conditions off any model; the other by
+//! building a tree model — create a root in the compound class, satisfy
+//! each minimum demand with fresh tuples whose other fillers are fresh
+//! individuals typed by the witnessing viable compound classes, and recurse
+//! (each fresh individual enters with participation count 1, which its
+//! nonempty window admits because `maxc̄ >= 1`, and its residual minimum
+//! demands spawn further fresh tuples). The tree is infinite in general —
+//! exactly the paper's point: *counting*, not typing, is what makes finite
+//! reasoning hard.
+//!
+//! Because no counting is involved, the procedure needs no linear algebra:
+//! it is a polynomial fixpoint over the expansion.
+
+use crate::expansion::Expansion;
+use crate::ids::ClassId;
+
+/// Decides unrestricted satisfiability for every compound class; returns
+/// the viability vector (parallel to [`Expansion::compound_classes`]).
+pub fn viable_compound_classes(exp: &Expansion<'_>) -> Vec<bool> {
+    let schema = exp.schema();
+    let n_cc = exp.compound_classes().len();
+    let mut viable = vec![true; n_cc];
+
+    // Condition 1 is support-independent: prune empty windows once.
+    for rel in schema.rels() {
+        for &role in schema.roles_of(rel) {
+            let primary = schema.primary_class(role);
+            for &cc in exp.compound_classes_containing(primary) {
+                if exp.derived_card(cc, role).is_empty_window() {
+                    viable[cc] = false;
+                }
+            }
+        }
+    }
+
+    // Greatest fixpoint of condition 2.
+    loop {
+        let mut changed = false;
+        for rel in schema.rels() {
+            let roles = schema.roles_of(rel).to_vec();
+            for (k, &role) in roles.iter().enumerate() {
+                let primary = schema.primary_class(role);
+                for &cc in exp.compound_classes_containing(primary) {
+                    if !viable[cc] || exp.derived_card(cc, role).min == 0 {
+                        continue;
+                    }
+                    // Demand: every other role needs a viable filler class
+                    // admitting at least one participation.
+                    let supported = roles.iter().enumerate().all(|(k2, &role2)| {
+                        if k2 == k {
+                            return true;
+                        }
+                        let primary2 = schema.primary_class(role2);
+                        exp.compound_classes_containing(primary2)
+                            .iter()
+                            .any(|&cc2| viable[cc2] && exp.derived_card(cc2, role2).max != Some(0))
+                    });
+                    if !supported {
+                        viable[cc] = false;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    viable
+}
+
+/// Whether `class` is satisfiable when infinite database states are
+/// admitted.
+pub fn unrestricted_satisfiable(exp: &Expansion<'_>, class: ClassId) -> bool {
+    let viable = viable_compound_classes(exp);
+    exp.compound_classes_containing(class)
+        .iter()
+        .any(|&cc| viable[cc])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::{Expansion, ExpansionConfig};
+    use crate::sat::Reasoner;
+    use crate::schema::{Card, Schema, SchemaBuilder};
+
+    fn figure1() -> (Schema, ClassId, ClassId) {
+        let mut b = SchemaBuilder::new();
+        let c = b.class("C");
+        let d = b.class("D");
+        b.isa(d, c);
+        let r = b.relationship("R", [("U1", c), ("U2", d)]).unwrap();
+        b.card(c, b.role(r, 0), Card::at_least(2)).unwrap();
+        b.card(d, b.role(r, 1), Card::at_most(1)).unwrap();
+        (b.build().unwrap(), c, d)
+    }
+
+    #[test]
+    fn figure1_is_the_finite_infinite_gap() {
+        // The paper's motivating example: finitely unsatisfiable, but
+        // satisfiable over infinite domains.
+        let (schema, c, d) = figure1();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        assert!(unrestricted_satisfiable(&exp, c));
+        assert!(unrestricted_satisfiable(&exp, d));
+        let finite = Reasoner::new(&schema).unwrap();
+        assert!(!finite.is_class_satisfiable(c));
+        assert!(!finite.is_class_satisfiable(d));
+    }
+
+    #[test]
+    fn empty_window_unsat_everywhere() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::new(3, Some(2))).unwrap();
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        assert!(!unrestricted_satisfiable(&exp, a));
+        assert!(unrestricted_satisfiable(&exp, x));
+    }
+
+    #[test]
+    fn demand_into_zero_capacity_cascades() {
+        // A needs a tuple, but every filler class for the other role caps
+        // its participation at 0: unsatisfiable even with infinite domains.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::at_least(1)).unwrap();
+        b.card(x, b.role(r, 1), Card::at_most(0)).unwrap();
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        assert!(!unrestricted_satisfiable(&exp, a));
+        assert!(unrestricted_satisfiable(&exp, x));
+    }
+
+    #[test]
+    fn finite_sat_implies_unrestricted_sat() {
+        // Sanity on the meeting schema: finite satisfiability must imply
+        // unrestricted satisfiability.
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let finite = Reasoner::new(&schema).unwrap();
+        for class in schema.classes() {
+            if finite.is_class_satisfiable(class) {
+                assert!(unrestricted_satisfiable(&exp, class));
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_cycles_only_bind_finitely() {
+        // |A| = 2|B| and |B| = 2|A| via two relationships: finitely forces
+        // emptiness, infinitely fine.
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("B");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        let s = b.relationship("S", [("p", x), ("q", a)]).unwrap();
+        b.card(a, b.role(r, 0), Card::exactly(2)).unwrap();
+        b.card(x, b.role(r, 1), Card::exactly(1)).unwrap();
+        b.card(x, b.role(s, 0), Card::exactly(2)).unwrap();
+        b.card(a, b.role(s, 1), Card::exactly(1)).unwrap();
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let finite = Reasoner::new(&schema).unwrap();
+        assert!(!finite.is_class_satisfiable(a));
+        assert!(unrestricted_satisfiable(&exp, a));
+        assert!(unrestricted_satisfiable(&exp, x));
+    }
+}

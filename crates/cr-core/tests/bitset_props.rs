@@ -1,0 +1,82 @@
+//! Property tests: `BitSet` must agree with a `BTreeSet<usize>` reference
+//! implementation on every operation.
+
+use std::collections::BTreeSet;
+
+use cr_core::bitset::BitSet;
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 150;
+
+fn arb_set() -> impl Strategy<Value = (BitSet, BTreeSet<usize>)> {
+    proptest::collection::btree_set(0..UNIVERSE, 0..40).prop_map(|reference| {
+        let bs = BitSet::from_iter(UNIVERSE, reference.iter().copied());
+        (bs, reference)
+    })
+}
+
+proptest! {
+    #[test]
+    fn membership_and_len((bs, reference) in arb_set()) {
+        prop_assert_eq!(bs.len(), reference.len());
+        prop_assert_eq!(bs.is_empty(), reference.is_empty());
+        for i in 0..UNIVERSE {
+            prop_assert_eq!(bs.contains(i), reference.contains(&i));
+        }
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(bs.first(), reference.first().copied());
+    }
+
+    #[test]
+    fn insert_remove((mut bs, mut reference) in arb_set(), ops in proptest::collection::vec((0..UNIVERSE, any::<bool>()), 0..30)) {
+        for (i, add) in ops {
+            if add {
+                bs.insert(i);
+                reference.insert(i);
+            } else {
+                bs.remove(i);
+                reference.remove(&i);
+            }
+        }
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn binary_ops((a, ra) in arb_set(), (b, rb) in arb_set()) {
+        prop_assert_eq!(a.is_subset(&b), ra.is_subset(&rb));
+        prop_assert_eq!(a.intersects(&b), !ra.is_disjoint(&rb));
+        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(),
+                        ra.union(&rb).copied().collect::<Vec<_>>());
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(i.iter().collect::<Vec<_>>(),
+                        ra.intersection(&rb).copied().collect::<Vec<_>>());
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        prop_assert_eq!(d.iter().collect::<Vec<_>>(),
+                        ra.difference(&rb).copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn eq_hash_consistent((a, ra) in arb_set(), (b, rb) in arb_set()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        prop_assert_eq!(a == b, ra == rb);
+        if a == b {
+            let h = |s: &BitSet| {
+                let mut hasher = DefaultHasher::new();
+                s.hash(&mut hasher);
+                hasher.finish()
+            };
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+}

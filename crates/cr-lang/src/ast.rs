@@ -1,0 +1,81 @@
+//! Abstract syntax of the DSL.
+
+use crate::token::Pos;
+
+/// An identifier with the position it was written at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Name {
+    /// The text.
+    pub text: String,
+    /// Where it appeared.
+    pub pos: Pos,
+}
+
+/// A cardinality bound: a number or `*`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// Explicit number.
+    Number(u64),
+    /// Unbounded (`*`).
+    Many,
+}
+
+/// One declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decl {
+    /// `class C isa S1, S2;`
+    Class {
+        /// Declared name.
+        name: Name,
+        /// Optional immediate superclasses.
+        supers: Vec<Name>,
+    },
+    /// `isa Sub Sup;`
+    Isa {
+        /// Subclass.
+        sub: Name,
+        /// Superclass.
+        sup: Name,
+    },
+    /// `relationship R (U1: C1, U2: C2);`
+    Relationship {
+        /// Relationship name.
+        name: Name,
+        /// Roles `(role name, primary class)`.
+        roles: Vec<(Name, Name)>,
+    },
+    /// `card C in R.U: lo..hi;`
+    Card {
+        /// Constrained class.
+        class: Name,
+        /// Relationship.
+        rel: Name,
+        /// Role.
+        role: Name,
+        /// Lower bound.
+        lo: Bound,
+        /// Upper bound.
+        hi: Bound,
+        /// Position of the declaration (for bound-shape diagnostics).
+        pos: Pos,
+    },
+    /// `disjoint C1, C2, ...;`
+    Disjoint {
+        /// The pairwise-disjoint classes.
+        classes: Vec<Name>,
+    },
+    /// `cover C by C1 | C2 | ...;`
+    Cover {
+        /// Covered class.
+        class: Name,
+        /// Covering classes.
+        covers: Vec<Name>,
+    },
+}
+
+/// A parsed schema file.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SchemaAst {
+    /// Declarations in source order.
+    pub decls: Vec<Decl>,
+}

@@ -1,0 +1,41 @@
+//! Parse and lowering diagnostics.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// An error produced while lexing, parsing, or lowering DSL source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Position the error is anchored to, when known.
+    pub pos: Option<Pos>,
+}
+
+impl ParseError {
+    pub(crate) fn at(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            pos: Some(pos),
+        }
+    }
+
+    pub(crate) fn global(message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            pos: None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "{pos}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

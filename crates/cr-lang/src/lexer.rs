@@ -1,0 +1,252 @@
+//! Hand-written lexer.
+
+use crate::diag::ParseError;
+use crate::token::{Pos, Token, TokenKind};
+
+/// Tokenizes `source`, producing a trailing [`TokenKind::Eof`].
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+            return Ok(tokens);
+        };
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&n) = chars.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(ParseError::at(pos, "unexpected '/' (comments are '//')"));
+                }
+            }
+            '#' => {
+                while let Some(&n) = chars.peek() {
+                    if n == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            ';' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    pos,
+                });
+            }
+            ',' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
+            }
+            '(' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
+            }
+            ')' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
+            }
+            ':' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    pos,
+                });
+            }
+            '|' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    pos,
+                });
+            }
+            '*' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
+            }
+            '.' => {
+                bump!();
+                if chars.peek() == Some(&'.') {
+                    bump!();
+                    tokens.push(Token {
+                        kind: TokenKind::DotDot,
+                        pos,
+                    });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        pos,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                while let Some(&n) = chars.peek() {
+                    if let Some(d) = n.to_digit(10) {
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(u64::from(d)))
+                            .ok_or_else(|| ParseError::at(pos, "number literal too large"))?;
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    pos,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n.is_alphanumeric() || n == '_' {
+                        s.push(n);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    pos,
+                });
+            }
+            other => {
+                return Err(ParseError::at(
+                    pos,
+                    format!("unexpected character {other:?}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("class A;"),
+            vec![
+                TokenKind::Ident("class".into()),
+                TokenKind::Ident("A".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_stars() {
+        assert_eq!(
+            kinds("1..* 0..2"),
+            vec![
+                TokenKind::Number(1),
+                TokenKind::DotDot,
+                TokenKind::Star,
+                TokenKind::Number(0),
+                TokenKind::DotDot,
+                TokenKind::Number(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("// hello\n# world\nA"),
+            vec![TokenKind::Ident("A".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn dot_vs_dotdot() {
+        assert_eq!(
+            kinds("R.U"),
+            vec![
+                TokenKind::Ident("R".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("U".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.pos.unwrap().col, 3);
+    }
+
+    #[test]
+    fn overflow_guard() {
+        assert!(lex("999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn unicode_identifiers() {
+        assert_eq!(
+            kinds("Rôle"),
+            vec![TokenKind::Ident("Rôle".into()), TokenKind::Eof]
+        );
+    }
+}

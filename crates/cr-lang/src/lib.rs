@@ -1,0 +1,71 @@
+//! A textual schema language for the CR data model.
+//!
+//! The paper's Figure 3 presents schemas as structured text; this crate
+//! gives that a concrete grammar with a hand-written lexer and
+//! recursive-descent parser (spans and readable diagnostics included), a
+//! lowering pass onto [`cr_core::Schema`], and a pretty-printer whose output
+//! re-parses to the same schema.
+//!
+//! # Grammar
+//!
+//! ```text
+//! schema      := decl*
+//! decl        := classDecl | isaDecl | relDecl | cardDecl
+//!              | disjointDecl | coverDecl
+//! classDecl   := "class" IDENT ("isa" IDENT ("," IDENT)*)? ";"
+//! isaDecl     := "isa" IDENT IDENT ";"
+//! relDecl     := "relationship" IDENT "(" role ("," role)* ")" ";"
+//! role        := IDENT ":" IDENT
+//! cardDecl    := "card" IDENT "in" IDENT "." IDENT ":" bound ".." bound ";"
+//! bound       := NUMBER | "*"
+//! disjointDecl:= "disjoint" IDENT ("," IDENT)+ ";"
+//! coverDecl   := "cover" IDENT "by" IDENT ("|" IDENT)* ";"
+//! ```
+//!
+//! Line comments start with `//` or `#`. Classes may be referenced before
+//! their declaration (lowering is two-pass).
+//!
+//! # Example
+//!
+//! The paper's meeting schema (Figures 2/3):
+//!
+//! ```
+//! let source = r#"
+//!     class Speaker;
+//!     class Discussant isa Speaker;
+//!     class Talk;
+//!     relationship Holds (U1: Speaker, U2: Talk);
+//!     relationship Participates (U3: Discussant, U4: Talk);
+//!     card Speaker in Holds.U1: 1..*;
+//!     card Discussant in Holds.U1: 0..2;
+//!     card Talk in Holds.U2: 1..1;
+//!     card Discussant in Participates.U3: 1..1;
+//!     card Talk in Participates.U4: 1..*;
+//! "#;
+//! let schema = cr_lang::parse_schema(source).unwrap();
+//! assert_eq!(schema.num_classes(), 3);
+//! assert_eq!(schema.num_rels(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod diag;
+mod lexer;
+mod lower;
+mod parser;
+mod printer;
+mod token;
+
+pub use diag::ParseError;
+pub use printer::print_schema;
+
+use cr_core::Schema;
+
+/// Parses DSL source into a validated [`Schema`].
+pub fn parse_schema(source: &str) -> Result<Schema, ParseError> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(&tokens)?;
+    lower::lower(&ast)
+}

@@ -1,0 +1,151 @@
+//! Lowering the AST onto a validated [`cr_core::Schema`].
+//!
+//! Two passes: the first collects class declarations (so classes may be
+//! referenced before they are declared), the second resolves names and
+//! replays declarations through [`SchemaBuilder`], mapping its validation
+//! errors back to source positions.
+
+use std::collections::HashMap;
+
+use cr_core::schema::{Card, SchemaBuilder};
+use cr_core::{ClassId, RelId, Schema};
+
+use crate::ast::{Bound, Decl, Name, SchemaAst};
+use crate::diag::ParseError;
+
+fn card_of(lo: Bound, hi: Bound, decl: &Name) -> Result<Card, ParseError> {
+    let min = match lo {
+        Bound::Number(n) => n,
+        Bound::Many => {
+            return Err(ParseError::at(
+                decl.pos,
+                "lower cardinality bound cannot be '*'",
+            ))
+        }
+    };
+    let max = match hi {
+        Bound::Number(n) => Some(n),
+        Bound::Many => None,
+    };
+    Ok(Card::new(min, max))
+}
+
+/// Lowers a parsed schema to a validated [`Schema`].
+pub fn lower(ast: &SchemaAst) -> Result<Schema, ParseError> {
+    let mut b = SchemaBuilder::new();
+
+    // Pass 1: classes.
+    let mut classes: HashMap<&str, ClassId> = HashMap::new();
+    for decl in &ast.decls {
+        if let Decl::Class { name, .. } = decl {
+            if classes.contains_key(name.text.as_str()) {
+                return Err(ParseError::at(
+                    name.pos,
+                    format!("class {:?} declared twice", name.text),
+                ));
+            }
+            classes.insert(&name.text, b.class(&name.text));
+        }
+    }
+    let resolve_class = |name: &Name| -> Result<ClassId, ParseError> {
+        classes
+            .get(name.text.as_str())
+            .copied()
+            .ok_or_else(|| ParseError::at(name.pos, format!("unknown class {:?}", name.text)))
+    };
+
+    // Pass 2: everything else, in source order.
+    let mut rels: HashMap<&str, RelId> = HashMap::new();
+    for decl in &ast.decls {
+        match decl {
+            Decl::Class { name, supers } => {
+                let sub = resolve_class(name)?;
+                for sup in supers {
+                    b.isa(sub, resolve_class(sup)?);
+                }
+            }
+            Decl::Isa { sub, sup } => {
+                let s = resolve_class(sub)?;
+                b.isa(s, resolve_class(sup)?);
+            }
+            Decl::Relationship { name, roles } => {
+                if rels.contains_key(name.text.as_str()) {
+                    return Err(ParseError::at(
+                        name.pos,
+                        format!("relationship {:?} declared twice", name.text),
+                    ));
+                }
+                let mut role_decls = Vec::with_capacity(roles.len());
+                for (role, class) in roles {
+                    role_decls.push((role.text.as_str(), resolve_class(class)?));
+                }
+                let rel = b
+                    .relationship(&name.text, role_decls)
+                    .map_err(|e| ParseError::at(name.pos, e.to_string()))?;
+                rels.insert(&name.text, rel);
+            }
+            Decl::Card { .. } | Decl::Disjoint { .. } | Decl::Cover { .. } => {}
+        }
+    }
+    // Cards / extensions after relationships so forward references work.
+    for decl in &ast.decls {
+        match decl {
+            Decl::Card {
+                class,
+                rel,
+                role,
+                lo,
+                hi,
+                pos,
+            } => {
+                let class_id = resolve_class(class)?;
+                let rel_id = *rels.get(rel.text.as_str()).ok_or_else(|| {
+                    ParseError::at(rel.pos, format!("unknown relationship {:?}", rel.text))
+                })?;
+                // Resolve the role by name via the relationship's AST
+                // declaration (the schema isn't built yet).
+                let arity_roles = ast
+                    .decls
+                    .iter()
+                    .find_map(|d| match d {
+                        Decl::Relationship { name, roles } if name.text == rel.text => Some(roles),
+                        _ => None,
+                    })
+                    .expect("relationship resolved above");
+                let k = arity_roles
+                    .iter()
+                    .position(|(rn, _)| rn.text == role.text)
+                    .ok_or_else(|| {
+                        ParseError::at(
+                            role.pos,
+                            format!("relationship {:?} has no role {:?}", rel.text, role.text),
+                        )
+                    })?;
+                let role_id = b.role(rel_id, k);
+                let card = card_of(*lo, *hi, class)?;
+                b.card(class_id, role_id, card)
+                    .map_err(|e| ParseError::at(*pos, e.to_string()))?;
+            }
+            Decl::Disjoint { classes: group } => {
+                let ids = group
+                    .iter()
+                    .map(&resolve_class)
+                    .collect::<Result<Vec<_>, _>>()?;
+                b.disjoint(ids)
+                    .map_err(|e| ParseError::at(group[0].pos, e.to_string()))?;
+            }
+            Decl::Cover { class, covers } => {
+                let c = resolve_class(class)?;
+                let ids = covers
+                    .iter()
+                    .map(&resolve_class)
+                    .collect::<Result<Vec<_>, _>>()?;
+                b.covering(c, ids)
+                    .map_err(|e| ParseError::at(class.pos, e.to_string()))?;
+            }
+            _ => {}
+        }
+    }
+
+    b.build().map_err(|e| ParseError::global(e.to_string()))
+}

@@ -1,0 +1,282 @@
+//! Recursive-descent parser.
+
+use crate::ast::{Bound, Decl, Name, SchemaAst};
+use crate::diag::ParseError;
+use crate::token::{Token, TokenKind};
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    at: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> &'t Token {
+        &self.tokens[self.at]
+    }
+
+    fn bump(&mut self) -> &'t Token {
+        let t = &self.tokens[self.at];
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<&'t Token, ParseError> {
+        let t = self.peek();
+        if &t.kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(ParseError::at(
+                t.pos,
+                format!("expected {kind}, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Name, ParseError> {
+        let t = self.peek();
+        match &t.kind {
+            TokenKind::Ident(s) => {
+                let name = Name {
+                    text: s.clone(),
+                    pos: t.pos,
+                };
+                self.bump();
+                Ok(name)
+            }
+            other => Err(ParseError::at(
+                t.pos,
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    /// Consumes an identifier only if it equals `kw`.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s == kw {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let t = self.peek();
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                t.pos,
+                format!("expected '{kw}', found {}", t.kind),
+            ))
+        }
+    }
+
+    fn bound(&mut self) -> Result<Bound, ParseError> {
+        let t = self.peek();
+        match t.kind {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Bound::Number(n))
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(Bound::Many)
+            }
+            _ => Err(ParseError::at(
+                t.pos,
+                format!("expected number or '*', found {}", t.kind),
+            )),
+        }
+    }
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        let t = self.peek();
+        let TokenKind::Ident(head) = &t.kind else {
+            return Err(ParseError::at(
+                t.pos,
+                format!("expected a declaration keyword, found {}", t.kind),
+            ));
+        };
+        match head.as_str() {
+            "class" => {
+                self.bump();
+                let name = self.ident()?;
+                let mut supers = Vec::new();
+                if self.eat_keyword("isa") {
+                    supers.push(self.ident()?);
+                    while self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                        supers.push(self.ident()?);
+                    }
+                }
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Class { name, supers })
+            }
+            "isa" => {
+                self.bump();
+                let sub = self.ident()?;
+                let sup = self.ident()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Isa { sub, sup })
+            }
+            "relationship" => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let mut roles = Vec::new();
+                loop {
+                    let role = self.ident()?;
+                    self.expect(&TokenKind::Colon)?;
+                    let class = self.ident()?;
+                    roles.push((role, class));
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Relationship { name, roles })
+            }
+            "card" => {
+                let pos = t.pos;
+                self.bump();
+                let class = self.ident()?;
+                self.expect_keyword("in")?;
+                let rel = self.ident()?;
+                self.expect(&TokenKind::Dot)?;
+                let role = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let lo = self.bound()?;
+                self.expect(&TokenKind::DotDot)?;
+                let hi = self.bound()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Card {
+                    class,
+                    rel,
+                    role,
+                    lo,
+                    hi,
+                    pos,
+                })
+            }
+            "disjoint" => {
+                self.bump();
+                let mut classes = vec![self.ident()?];
+                while self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                    classes.push(self.ident()?);
+                }
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Disjoint { classes })
+            }
+            "cover" => {
+                self.bump();
+                let class = self.ident()?;
+                self.expect_keyword("by")?;
+                let mut covers = vec![self.ident()?];
+                while self.peek().kind == TokenKind::Pipe {
+                    self.bump();
+                    covers.push(self.ident()?);
+                }
+                self.expect(&TokenKind::Semi)?;
+                Ok(Decl::Cover { class, covers })
+            }
+            other => Err(ParseError::at(
+                t.pos,
+                format!(
+                    "unknown declaration {other:?} (expected class, isa, relationship, card, \
+                     disjoint, or cover)"
+                ),
+            )),
+        }
+    }
+}
+
+/// Parses a token stream into a [`SchemaAst`].
+pub fn parse(tokens: &[Token]) -> Result<SchemaAst, ParseError> {
+    let mut p = Parser { tokens, at: 0 };
+    let mut decls = Vec::new();
+    while p.peek().kind != TokenKind::Eof {
+        decls.push(p.decl()?);
+    }
+    Ok(SchemaAst { decls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<SchemaAst, ParseError> {
+        parse(&lex(src)?)
+    }
+
+    #[test]
+    fn class_with_supers() {
+        let ast = parse_src("class D isa S, T;").unwrap();
+        let Decl::Class { name, supers } = &ast.decls[0] else {
+            panic!("wrong decl");
+        };
+        assert_eq!(name.text, "D");
+        assert_eq!(supers.len(), 2);
+    }
+
+    #[test]
+    fn relationship_roles() {
+        let ast = parse_src("relationship R (u: A, v: B, w: C);").unwrap();
+        let Decl::Relationship { roles, .. } = &ast.decls[0] else {
+            panic!("wrong decl");
+        };
+        assert_eq!(roles.len(), 3);
+        assert_eq!(roles[2].0.text, "w");
+        assert_eq!(roles[2].1.text, "C");
+    }
+
+    #[test]
+    fn card_bounds() {
+        let ast = parse_src("card A in R.u: 1..*;").unwrap();
+        let Decl::Card { lo, hi, .. } = &ast.decls[0] else {
+            panic!("wrong decl");
+        };
+        assert_eq!(*lo, Bound::Number(1));
+        assert_eq!(*hi, Bound::Many);
+    }
+
+    #[test]
+    fn disjoint_and_cover() {
+        let ast = parse_src("disjoint A, B, C; cover X by P | Q;").unwrap();
+        assert!(matches!(&ast.decls[0], Decl::Disjoint { classes } if classes.len() == 3));
+        assert!(matches!(&ast.decls[1], Decl::Cover { covers, .. } if covers.len() == 2));
+    }
+
+    #[test]
+    fn standalone_isa() {
+        let ast = parse_src("isa D S;").unwrap();
+        assert!(matches!(&ast.decls[0], Decl::Isa { sub, sup }
+            if sub.text == "D" && sup.text == "S"));
+    }
+
+    #[test]
+    fn missing_semi_reports_position() {
+        let err = parse_src("class A").unwrap_err();
+        assert!(err.message.contains("';'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keyword() {
+        let err = parse_src("banana A;").unwrap_err();
+        assert!(err.message.contains("unknown declaration"));
+    }
+
+    #[test]
+    fn empty_source_is_empty_schema() {
+        assert_eq!(parse_src("").unwrap().decls.len(), 0);
+        assert_eq!(parse_src("// nothing\n").unwrap().decls.len(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Pretty-printing a [`Schema`] back to DSL source.
+//!
+//! The output is canonical (classes first with inline `isa`, then
+//! relationships, cards, disjointness, coverings) and re-parses to a
+//! structurally identical schema — property-tested in `tests/roundtrip.rs`.
+
+use std::fmt::Write;
+
+use cr_core::Schema;
+
+/// Renders `schema` as DSL source.
+pub fn print_schema(schema: &Schema) -> String {
+    let mut out = String::new();
+
+    // Classes, with their declared direct superclasses inline.
+    for c in schema.classes() {
+        let supers: Vec<&str> = schema
+            .isa_statements()
+            .iter()
+            .filter(|(sub, _)| *sub == c)
+            .map(|(_, sup)| schema.class_name(*sup))
+            .collect();
+        if supers.is_empty() {
+            let _ = writeln!(out, "class {};", schema.class_name(c));
+        } else {
+            let _ = writeln!(
+                out,
+                "class {} isa {};",
+                schema.class_name(c),
+                supers.join(", ")
+            );
+        }
+    }
+
+    for r in schema.rels() {
+        let roles: Vec<String> = schema
+            .roles_of(r)
+            .iter()
+            .map(|&u| {
+                format!(
+                    "{}: {}",
+                    schema.role_name(u),
+                    schema.class_name(schema.primary_class(u))
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "relationship {} ({});",
+            schema.rel_name(r),
+            roles.join(", ")
+        );
+    }
+
+    for d in schema.card_declarations() {
+        let rel = schema.rel_of_role(d.role);
+        let hi = match d.card.max {
+            Some(n) => n.to_string(),
+            None => "*".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "card {} in {}.{}: {}..{};",
+            schema.class_name(d.class),
+            schema.rel_name(rel),
+            schema.role_name(d.role),
+            d.card.min,
+            hi
+        );
+    }
+
+    for group in schema.disjointness_groups() {
+        let names: Vec<&str> = group.iter().map(|&c| schema.class_name(c)).collect();
+        let _ = writeln!(out, "disjoint {};", names.join(", "));
+    }
+
+    for (c, covers) in schema.coverings() {
+        let names: Vec<&str> = covers.iter().map(|&k| schema.class_name(k)).collect();
+        let _ = writeln!(
+            out,
+            "cover {} by {};",
+            schema.class_name(*c),
+            names.join(" | ")
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_schema;
+
+    #[test]
+    fn meeting_roundtrip() {
+        let source = r#"
+            class Speaker;
+            class Discussant isa Speaker;
+            class Talk;
+            relationship Holds (U1: Speaker, U2: Talk);
+            relationship Participates (U3: Discussant, U4: Talk);
+            card Speaker in Holds.U1: 1..*;
+            card Discussant in Holds.U1: 0..2;
+            card Talk in Holds.U2: 1..1;
+            card Discussant in Participates.U3: 1..1;
+            card Talk in Participates.U4: 1..*;
+        "#;
+        let schema = parse_schema(source).unwrap();
+        let printed = print_schema(&schema);
+        let reparsed = parse_schema(&printed).unwrap();
+        assert_eq!(schema.num_classes(), reparsed.num_classes());
+        assert_eq!(schema.num_rels(), reparsed.num_rels());
+        assert_eq!(schema.isa_statements(), reparsed.isa_statements());
+        assert_eq!(schema.card_declarations(), reparsed.card_declarations());
+        assert!(printed.contains("card Discussant in Holds.U1: 0..2;"));
+        assert!(printed.contains("class Discussant isa Speaker;"));
+    }
+
+    #[test]
+    fn extensions_printed() {
+        let source = "class A; class P; class Q; disjoint P, Q; cover A by P | Q;";
+        let schema = parse_schema(source).unwrap();
+        let printed = print_schema(&schema);
+        assert!(printed.contains("disjoint P, Q;"));
+        assert!(printed.contains("cover A by P | Q;"));
+        let reparsed = parse_schema(&printed).unwrap();
+        assert_eq!(schema.disjointness_groups(), reparsed.disjointness_groups());
+        assert_eq!(schema.coverings(), reparsed.coverings());
+    }
+}

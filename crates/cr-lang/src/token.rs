@@ -1,0 +1,75 @@
+//! Tokens and source positions.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Kinds of token the lexer produces.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier (also carries keywords; the parser distinguishes).
+    Ident(String),
+    /// Nonnegative integer literal.
+    Number(u64),
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `|`
+    Pipe,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Semi => write!(f, "';'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::DotDot => write!(f, "'..'"),
+            TokenKind::Pipe => write!(f, "'|'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}

@@ -1,0 +1,67 @@
+//! Robustness: the lexer/parser must never panic, whatever the input —
+//! random byte soup, truncations of valid schemas, and deeply nested noise
+//! all produce either a schema or a positioned error.
+
+use cr_lang::parse_schema;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC*") {
+        let _ = parse_schema(&s);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("class".to_string()),
+            Just("isa".to_string()),
+            Just("relationship".to_string()),
+            Just("card".to_string()),
+            Just("disjoint".to_string()),
+            Just("cover".to_string()),
+            Just("in".to_string()),
+            Just("by".to_string()),
+            Just("A".to_string()),
+            Just("B".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just(";".to_string()),
+            Just(",".to_string()),
+            Just(":".to_string()),
+            Just(".".to_string()),
+            Just("..".to_string()),
+            Just("*".to_string()),
+            Just("|".to_string()),
+            Just("3".to_string()),
+        ],
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        let _ = parse_schema(&src);
+    }
+
+    #[test]
+    fn truncations_of_valid_source_never_panic(cut in 0usize..400) {
+        let source = "class Speaker;\nclass Discussant isa Speaker;\nclass Talk;\n\
+                      relationship Holds (U1: Speaker, U2: Talk);\n\
+                      card Speaker in Holds.U1: 1..*;\n\
+                      disjoint Speaker, Talk;\ncover Talk by Speaker;\n";
+        let cut = cut.min(source.len());
+        // Cut on a char boundary.
+        let mut end = cut;
+        while !source.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = parse_schema(&source[..end]);
+    }
+
+    #[test]
+    fn errors_carry_positions_for_nonempty_garbage(line in 1usize..20) {
+        let src = format!("{}@", "\n".repeat(line - 1));
+        let err = parse_schema(&src).unwrap_err();
+        prop_assert_eq!(err.pos.map(|p| p.line as usize), Some(line));
+    }
+}

@@ -1,0 +1,199 @@
+//! Print→parse round-trip on random schemas, plus diagnostic quality checks.
+
+use cr_core::schema::{Card, Schema, SchemaBuilder};
+use cr_lang::{parse_schema, print_schema};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Plan {
+    classes: usize,
+    isa: Vec<(usize, usize)>,
+    rels: Vec<Vec<usize>>, // role primaries per relationship (arity 2..=3)
+    cards: Vec<(usize, usize, usize, u64, Option<u64>)>,
+    disjoint: Vec<Vec<usize>>,
+    covers: Vec<(usize, Vec<usize>)>,
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    (2usize..=5).prop_flat_map(|classes| {
+        (
+            Just(classes),
+            proptest::collection::vec((0..classes, 0..classes), 0..=3),
+            proptest::collection::vec(proptest::collection::vec(0..classes, 2..=3), 0..=3),
+            proptest::collection::vec(
+                (
+                    0..classes,
+                    0usize..3,
+                    0usize..3,
+                    0u64..5,
+                    prop_oneof![Just(None), (0u64..9).prop_map(Some)],
+                ),
+                0..=5,
+            ),
+            proptest::collection::vec(proptest::collection::vec(0..classes, 2..=3), 0..=1),
+            proptest::collection::vec(
+                (0..classes, proptest::collection::vec(0..classes, 1..=2)),
+                0..=1,
+            ),
+        )
+            .prop_map(|(classes, isa, rels, cards, disjoint, covers)| Plan {
+                classes,
+                isa,
+                rels,
+                cards,
+                disjoint,
+                covers,
+            })
+    })
+}
+
+fn build(plan: &Plan) -> Schema {
+    let mut b = SchemaBuilder::new();
+    let classes: Vec<_> = (0..plan.classes)
+        .map(|i| b.class(format!("C{i}")))
+        .collect();
+    for &(sub, sup) in &plan.isa {
+        if sub != sup {
+            b.isa(classes[sub], classes[sup]);
+        }
+    }
+    let mut rels = Vec::new();
+    for (i, primaries) in plan.rels.iter().enumerate() {
+        let decls: Vec<(String, _)> = primaries
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (format!("u{k}"), classes[p]))
+            .collect();
+        rels.push(
+            b.relationship(format!("R{i}"), decls.iter().map(|(n, c)| (n.as_str(), *c)))
+                .unwrap(),
+        );
+    }
+    // Keep only cards the validator will accept (dedup + on-primary).
+    let probe = {
+        let mut pb = SchemaBuilder::new();
+        let pc: Vec<_> = (0..plan.classes)
+            .map(|i| pb.class(format!("C{i}")))
+            .collect();
+        for &(sub, sup) in &plan.isa {
+            if sub != sup {
+                pb.isa(pc[sub], pc[sup]);
+            }
+        }
+        pb.build().unwrap()
+    };
+    let closure = cr_core::isa::IsaClosure::compute(&probe);
+    let mut seen = Vec::new();
+    for &(class, rel, pos, min, max) in &plan.cards {
+        if rel >= rels.len() || pos >= plan.rels[rel].len() {
+            continue;
+        }
+        let role = b.role(rels[rel], pos);
+        let primary = classes[plan.rels[rel][pos]];
+        if !closure.is_subclass_of(classes[class], primary) || seen.contains(&(class, role)) {
+            continue;
+        }
+        seen.push((class, role));
+        b.card(classes[class], role, Card::new(min, max)).unwrap();
+    }
+    for group in &plan.disjoint {
+        let mut g: Vec<usize> = group.clone();
+        g.sort_unstable();
+        g.dedup();
+        if g.len() >= 2 {
+            b.disjoint(g.iter().map(|&i| classes[i])).unwrap();
+        }
+    }
+    for (c, covers) in &plan.covers {
+        let mut g: Vec<usize> = covers.clone();
+        g.sort_unstable();
+        g.dedup();
+        if !g.is_empty() {
+            b.covering(classes[*c], g.iter().map(|&i| classes[i]))
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+fn assert_equivalent(a: &Schema, c: &Schema) {
+    assert_eq!(a.num_classes(), c.num_classes());
+    assert_eq!(a.num_rels(), c.num_rels());
+    for cls in a.classes() {
+        assert_eq!(a.class_name(cls), c.class_name(cls));
+    }
+    // The printer groups ISA by subclass, so compare as multisets.
+    let mut isa_a = a.isa_statements().to_vec();
+    let mut isa_c = c.isa_statements().to_vec();
+    isa_a.sort();
+    isa_c.sort();
+    assert_eq!(isa_a, isa_c);
+    assert_eq!(a.card_declarations(), c.card_declarations());
+    assert_eq!(a.disjointness_groups(), c.disjointness_groups());
+    assert_eq!(a.coverings(), c.coverings());
+    for r in a.rels() {
+        assert_eq!(a.rel_name(r), c.rel_name(r));
+        assert_eq!(a.arity(r), c.arity(r));
+        for (&u1, &u2) in a.roles_of(r).iter().zip(c.roles_of(r)) {
+            assert_eq!(a.role_name(u1), c.role_name(u2));
+            assert_eq!(a.primary_class(u1), c.primary_class(u2));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(p in plan()) {
+        let schema = build(&p);
+        let printed = print_schema(&schema);
+        let reparsed = parse_schema(&printed)
+            .unwrap_or_else(|e| panic!("printed schema failed to parse: {e}\n{printed}"));
+        assert_equivalent(&schema, &reparsed);
+        // Printing is a fixed point after one round.
+        prop_assert_eq!(print_schema(&reparsed), printed);
+    }
+}
+
+#[test]
+fn useful_error_for_unknown_class() {
+    let err = parse_schema("relationship R (u: A, v: B);").unwrap_err();
+    assert!(err.to_string().contains("unknown class \"A\""), "{err}");
+    assert!(err.pos.is_some());
+}
+
+#[test]
+fn useful_error_for_unknown_role() {
+    let err =
+        parse_schema("class A; relationship R (u: A, v: A); card A in R.zzz: 0..1;").unwrap_err();
+    assert!(err.to_string().contains("no role \"zzz\""), "{err}");
+}
+
+#[test]
+fn useful_error_for_bad_refinement() {
+    let err = parse_schema("class A; class B; relationship R (u: A, v: A); card B in R.u: 0..1;")
+        .unwrap_err();
+    assert!(err.to_string().contains("ISA-descendant"), "{err}");
+}
+
+#[test]
+fn star_lower_bound_rejected() {
+    let err =
+        parse_schema("class A; relationship R (u: A, v: A); card A in R.u: *..1;").unwrap_err();
+    assert!(err.to_string().contains("lower cardinality bound"), "{err}");
+}
+
+#[test]
+fn figure1_schema_parses() {
+    let source = r#"
+        class C;
+        class D isa C;
+        relationship R (U1: C, U2: D);
+        card C in R.U1: 2..*;
+        card D in R.U2: 0..1;
+    "#;
+    let schema = parse_schema(source).unwrap();
+    let reasoner = cr_core::sat::Reasoner::new(&schema).unwrap();
+    assert_eq!(reasoner.unsatisfiable_classes().len(), 2);
+}

@@ -1,0 +1,39 @@
+//! Error type for the solvers.
+
+use std::fmt;
+
+/// Errors reported by the linear solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinearError {
+    /// [`optimize`](crate::optimize) was asked to optimize over a system with
+    /// strict inequalities; the supremum over an open set need not be
+    /// attained, so the operation is rejected.
+    StrictInOptimize,
+    /// Fourier–Motzkin elimination exceeded the configured constraint budget
+    /// (the method is doubly exponential; see [`FmConfig`](crate::FmConfig)).
+    FmBudgetExceeded {
+        /// Budget that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LinearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearError::StrictInOptimize => {
+                write!(
+                    f,
+                    "cannot optimize over strict inequalities (open feasible set)"
+                )
+            }
+            LinearError::FmBudgetExceeded { limit } => {
+                write!(
+                    f,
+                    "Fourier-Motzkin exceeded the constraint budget of {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinearError {}

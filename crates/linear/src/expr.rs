@@ -1,0 +1,213 @@
+//! Sparse linear expressions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cr_rational::Rational;
+
+/// Index of a variable in a [`LinSystem`](crate::LinSystem).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A sparse linear expression `Σ coeff_i · x_i` with rational coefficients.
+///
+/// Zero coefficients are never stored; two expressions compare equal iff
+/// they are the same linear form.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, Rational>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// Builds an expression from integer coefficients.
+    pub fn from_terms<I: IntoIterator<Item = (VarId, i64)>>(terms: I) -> Self {
+        let mut e = LinExpr::new();
+        for (v, c) in terms {
+            e.add_term(v, Rational::from_int(c));
+        }
+        e
+    }
+
+    /// A single-variable expression `1 · v`.
+    pub fn var(v: VarId) -> Self {
+        LinExpr::from_terms([(v, 1)])
+    }
+
+    /// Adds `coeff · v`, merging with any existing term (and dropping the
+    /// term if the merged coefficient is zero).
+    pub fn add_term(&mut self, v: VarId, coeff: Rational) {
+        if coeff.is_zero() {
+            return;
+        }
+        match self.terms.entry(v) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(coeff);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let merged = e.get() + &coeff;
+                if merged.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = merged;
+                }
+            }
+        }
+    }
+
+    /// Adds `scale · other` into `self`.
+    pub fn add_scaled(&mut self, other: &LinExpr, scale: &Rational) {
+        for (v, c) in &other.terms {
+            self.add_term(*v, c * scale);
+        }
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: VarId) -> Rational {
+        self.terms.get(&v).cloned().unwrap_or_else(Rational::zero)
+    }
+
+    /// Whether the expression has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of nonzero terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Rational)> {
+        self.terms.iter().map(|(v, c)| (*v, c))
+    }
+
+    /// Evaluates the expression under an assignment `values[var.index()]`.
+    pub fn eval(&self, values: &[Rational]) -> Rational {
+        let mut acc = Rational::zero();
+        for (v, c) in &self.terms {
+            acc += c * &values[v.index()];
+        }
+        acc
+    }
+
+    /// Returns `-self`.
+    pub fn negated(&self) -> LinExpr {
+        let mut out = LinExpr::new();
+        for (v, c) in &self.terms {
+            out.terms.insert(*v, -c);
+        }
+        out
+    }
+
+    /// The largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<VarId> {
+        self.terms.keys().next_back().copied()
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (v, c)) in self.terms.iter().enumerate() {
+            if i == 0 {
+                if c.is_negative() {
+                    write!(f, "-")?;
+                }
+            } else if c.is_negative() {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let a = c.abs();
+            if a == Rational::one() {
+                write!(f, "x{}", v.0)?;
+            } else {
+                write!(f, "{a}·x{}", v.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn zero_coefficients_vanish() {
+        let mut e = LinExpr::var(VarId(0));
+        e.add_term(VarId(0), r(-1));
+        assert!(e.is_empty());
+        e.add_term(VarId(1), Rational::zero());
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn merge_terms() {
+        let mut e = LinExpr::from_terms([(VarId(0), 2), (VarId(1), 3)]);
+        e.add_term(VarId(0), r(5));
+        assert_eq!(e.coeff(VarId(0)), r(7));
+        assert_eq!(e.coeff(VarId(1)), r(3));
+        assert_eq!(e.coeff(VarId(9)), Rational::zero());
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn add_scaled() {
+        let mut a = LinExpr::from_terms([(VarId(0), 1), (VarId(1), 1)]);
+        let b = LinExpr::from_terms([(VarId(1), 2), (VarId(2), 4)]);
+        a.add_scaled(&b, &Rational::new(1, 2));
+        assert_eq!(a.coeff(VarId(0)), r(1));
+        assert_eq!(a.coeff(VarId(1)), r(2));
+        assert_eq!(a.coeff(VarId(2)), r(2));
+    }
+
+    #[test]
+    fn eval() {
+        let e = LinExpr::from_terms([(VarId(0), 2), (VarId(2), -1)]);
+        let vals = vec![r(3), r(100), r(4)];
+        assert_eq!(e.eval(&vals), r(2));
+    }
+
+    #[test]
+    fn negated() {
+        let e = LinExpr::from_terms([(VarId(0), 2), (VarId(1), -3)]);
+        let n = e.negated();
+        assert_eq!(n.coeff(VarId(0)), r(-2));
+        assert_eq!(n.coeff(VarId(1)), r(3));
+    }
+
+    #[test]
+    fn display() {
+        let e = LinExpr::from_terms([(VarId(0), 1), (VarId(1), -2), (VarId(3), 1)]);
+        assert_eq!(e.to_string(), "x0 - 2·x1 + x3");
+        assert_eq!(LinExpr::new().to_string(), "0");
+        assert_eq!(LinExpr::from_terms([(VarId(2), -1)]).to_string(), "-x2");
+    }
+
+    #[test]
+    fn max_var() {
+        assert_eq!(LinExpr::new().max_var(), None);
+        let e = LinExpr::from_terms([(VarId(5), 1), (VarId(2), 1)]);
+        assert_eq!(e.max_var(), Some(VarId(5)));
+    }
+}

@@ -1,0 +1,304 @@
+//! Fourier–Motzkin elimination: an independent (and doubly exponential)
+//! feasibility oracle used to cross-validate the simplex and as the E7
+//! ablation baseline.
+//!
+//! Unlike the simplex, FM handles strict inequalities natively, and it yields
+//! a witness by back-substitution through the elimination stack.
+
+use cr_rational::Rational;
+
+use crate::error::LinearError;
+use crate::expr::VarId;
+use crate::solution::{Feasibility, Solution};
+use crate::system::{Cmp, LinSystem, VarKind};
+
+/// Budget knobs for [`solve_fm`].
+#[derive(Clone, Copy, Debug)]
+pub struct FmConfig {
+    /// Hard cap on the number of live inequalities; elimination aborts with
+    /// [`LinearError::FmBudgetExceeded`] beyond it.
+    pub max_constraints: usize,
+}
+
+impl Default for FmConfig {
+    fn default() -> Self {
+        FmConfig {
+            max_constraints: 200_000,
+        }
+    }
+}
+
+/// An inequality `coeffs · x (<|<=) rhs` in dense form.
+#[derive(Clone, Debug)]
+struct Ineq {
+    coeffs: Vec<Rational>,
+    strict: bool,
+    rhs: Rational,
+}
+
+impl Ineq {
+    fn is_trivially_decided(&self) -> Option<bool> {
+        if self.coeffs.iter().any(|c| !c.is_zero()) {
+            return None;
+        }
+        let zero = Rational::zero();
+        Some(if self.strict {
+            zero < self.rhs
+        } else {
+            zero <= self.rhs
+        })
+    }
+}
+
+/// Decides feasibility of `sys` by Fourier–Motzkin elimination.
+pub fn solve_fm(sys: &LinSystem, config: FmConfig) -> Result<Feasibility, LinearError> {
+    let n = sys.num_vars();
+    // Normalize everything to `coeffs · x (<|<=) rhs`.
+    let mut ineqs: Vec<Ineq> = Vec::new();
+    let mut push = |coeffs: Vec<Rational>, strict: bool, rhs: Rational| {
+        ineqs.push(Ineq {
+            coeffs,
+            strict,
+            rhs,
+        });
+    };
+    for c in sys.constraints() {
+        let mut coeffs = vec![Rational::zero(); n];
+        for (v, coef) in c.expr.iter() {
+            coeffs[v.index()] = coef.clone();
+        }
+        let neg = || coeffs.iter().map(|x| -x).collect::<Vec<_>>();
+        match c.cmp {
+            Cmp::Le => push(coeffs.clone(), false, c.rhs.clone()),
+            Cmp::Lt => push(coeffs.clone(), true, c.rhs.clone()),
+            Cmp::Ge => push(neg(), false, -c.rhs.clone()),
+            Cmp::Gt => push(neg(), true, -c.rhs.clone()),
+            Cmp::Eq => {
+                push(coeffs.clone(), false, c.rhs.clone());
+                push(neg(), false, -c.rhs.clone());
+            }
+        }
+    }
+    for i in 0..n {
+        if sys.var_kind(VarId(i as u32)) == VarKind::Nonneg {
+            let mut coeffs = vec![Rational::zero(); n];
+            coeffs[i] = -Rational::one();
+            push(coeffs, false, Rational::zero());
+        }
+    }
+
+    // Eliminate variables n-1 .. 0, remembering each variable's live
+    // constraint set for back-substitution.
+    let mut stack: Vec<Vec<Ineq>> = Vec::with_capacity(n);
+    for var in (0..n).rev() {
+        // Constraints mentioning `var` are consumed; the rest pass through.
+        let (mentioning, mut rest): (Vec<_>, Vec<_>) =
+            ineqs.into_iter().partition(|q| !q.coeffs[var].is_zero());
+        let mut uppers = Vec::new(); // coeff > 0:  var <= (rhs - rest)/coeff
+        let mut lowers = Vec::new(); // coeff < 0:  var >= ...
+        for q in &mentioning {
+            if q.coeffs[var].is_positive() {
+                uppers.push(q);
+            } else {
+                lowers.push(q);
+            }
+        }
+        for lo in &lowers {
+            for up in &uppers {
+                // Combine: eliminate var from a*var + L <= r1 (a<0) and
+                // b*var + U <= r2 (b>0) by scaling to cancel var.
+                let a = &lo.coeffs[var]; // negative
+                let b = &up.coeffs[var]; // positive
+                let mut coeffs = Vec::with_capacity(n);
+                for k in 0..n {
+                    // b * lo - a * up has zero coefficient on var.
+                    coeffs.push(b * &lo.coeffs[k] - a * &up.coeffs[k]);
+                }
+                debug_assert!(coeffs[var].is_zero());
+                let rhs = b * &lo.rhs - a * &up.rhs;
+                let combined = Ineq {
+                    coeffs,
+                    strict: lo.strict || up.strict,
+                    rhs,
+                };
+                match combined.is_trivially_decided() {
+                    Some(true) => {}
+                    Some(false) => return Ok(Feasibility::Infeasible),
+                    None => rest.push(combined),
+                }
+                if rest.len() > config.max_constraints {
+                    return Err(LinearError::FmBudgetExceeded {
+                        limit: config.max_constraints,
+                    });
+                }
+            }
+        }
+        stack.push(mentioning);
+        ineqs = rest;
+    }
+
+    // All variables eliminated: remaining constraints are constants.
+    for q in &ineqs {
+        if q.is_trivially_decided() == Some(false) {
+            return Ok(Feasibility::Infeasible);
+        }
+    }
+
+    // Back-substitute a witness, assigning variables 0 .. n-1 in order
+    // (stack entries were pushed for var n-1 first).
+    let mut values = vec![Rational::zero(); n];
+    for var in 0..n {
+        let mentioning = &stack[n - 1 - var];
+        let mut lower: Option<(Rational, bool)> = None; // (bound, strict)
+        let mut upper: Option<(Rational, bool)> = None;
+        for q in mentioning {
+            // q: c*var + Σ_{k>var} coeffs[k]*x_k (+ already-assigned part)
+            //    (<|<=) rhs, with all k < var eliminated already and all
+            //    k > var assigned.
+            let mut rest = q.rhs.clone();
+            for (k, coef) in q.coeffs.iter().enumerate() {
+                if k != var && !coef.is_zero() {
+                    rest -= coef * &values[k];
+                }
+            }
+            let bound = &rest / &q.coeffs[var];
+            if q.coeffs[var].is_positive() {
+                // var <= bound
+                if upper
+                    .as_ref()
+                    .is_none_or(|(b, s)| bound < *b || (bound == *b && q.strict && !*s))
+                {
+                    upper = Some((bound, q.strict));
+                }
+            } else {
+                // var >= bound
+                if lower
+                    .as_ref()
+                    .is_none_or(|(b, s)| bound > *b || (bound == *b && q.strict && !*s))
+                {
+                    lower = Some((bound, q.strict));
+                }
+            }
+        }
+        values[var] = match (&lower, &upper) {
+            (None, None) => Rational::zero(),
+            (Some((lo, false)), None) => lo.clone(),
+            (Some((lo, true)), None) => lo + Rational::one(),
+            (None, Some((hi, false))) => hi.clone(),
+            (None, Some((hi, true))) => hi - Rational::one(),
+            (Some((lo, _)), Some((hi, _))) => {
+                debug_assert!(lo <= hi, "FM back-substitution bounds crossed");
+                (lo + hi) / Rational::from_int(2)
+            }
+        };
+    }
+    debug_assert_eq!(sys.check(&values), Ok(()), "FM witness must satisfy system");
+    Ok(Feasibility::Feasible(Solution::new(values)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn fm(sys: &LinSystem) -> Feasibility {
+        solve_fm(sys, FmConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_feasible() {
+        assert!(fm(&LinSystem::new()).is_feasible());
+    }
+
+    #[test]
+    fn simple_box() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Free);
+        let y = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::from_terms([(x, 1), (y, 1)]), Cmp::Le, r(4));
+        sys.push(LinExpr::var(x), Cmp::Ge, r(1));
+        sys.push(LinExpr::var(y), Cmp::Ge, r(2));
+        let Feasibility::Feasible(sol) = fm(&sys) else {
+            panic!("expected feasible");
+        };
+        assert_eq!(sys.check(sol.values()), Ok(()));
+    }
+
+    #[test]
+    fn infeasible_box() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(3));
+        sys.push(LinExpr::var(x), Cmp::Le, r(2));
+        assert_eq!(fm(&sys), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn strict_boundary() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(1));
+        sys.push(LinExpr::var(x), Cmp::Le, r(1));
+        sys.push(LinExpr::var(x), Cmp::Gt, r(0));
+        let Feasibility::Feasible(sol) = fm(&sys) else {
+            panic!("expected feasible");
+        };
+        assert_eq!(sol.value(x), r(1));
+
+        sys.push(LinExpr::var(x), Cmp::Lt, r(1));
+        assert_eq!(fm(&sys), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn equality_chains() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Free);
+        let y = sys.add_var(VarKind::Free);
+        let z = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::from_terms([(x, 1), (y, -1)]), Cmp::Eq, r(0));
+        sys.push(LinExpr::from_terms([(y, 1), (z, -1)]), Cmp::Eq, r(0));
+        sys.push(LinExpr::var(x), Cmp::Eq, r(7));
+        let Feasibility::Feasible(sol) = fm(&sys) else {
+            panic!("expected feasible");
+        };
+        assert_eq!(sol.value(z), r(7));
+    }
+
+    #[test]
+    fn nonneg_vars_respected() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Le, r(-1));
+        assert_eq!(fm(&sys), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        // A dense system engineered to blow up; with a tiny budget FM must
+        // abort rather than churn.
+        let mut sys = LinSystem::new();
+        let vars: Vec<_> = (0..8).map(|_| sys.add_var(VarKind::Free)).collect();
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    sys.push(
+                        LinExpr::from_terms([(vars[i], 1), (vars[j], -2)]),
+                        Cmp::Le,
+                        r(1),
+                    );
+                }
+            }
+        }
+        let out = solve_fm(
+            &sys,
+            FmConfig {
+                max_constraints: 10,
+            },
+        );
+        assert!(matches!(out, Err(LinearError::FmBudgetExceeded { .. })));
+    }
+}

@@ -1,0 +1,57 @@
+//! Exact linear constraint systems over the rationals.
+//!
+//! This crate is the reduction target of the Calvanese–Lenzerini decision
+//! procedure (`cr-core`): the cardinality constraints of a CR schema become a
+//! *system of linear homogeneous disequations* (Section 3.2 of the paper),
+//! and satisfiability questions become feasibility questions. Two engines are
+//! provided:
+//!
+//! * [`solve`] / [`optimize`] — an exact two-phase primal **simplex** over
+//!   [`cr_rational::Rational`] with Bland's anti-cycling rule. This is the
+//!   production engine.
+//! * [`solve_fm`] — **Fourier–Motzkin** elimination. Doubly exponential, but
+//!   handles strict inequalities natively and is implemented independently,
+//!   which makes it a cross-validation oracle and an ablation baseline
+//!   (experiment E7).
+//!
+//! Strict inequalities in [`solve`] are decided exactly with the standard
+//! interior-point trick: add a slack variable `t ∈ [0, 1]`, relax every
+//! strict row by `t`, and maximize `t`; the original system is feasible iff
+//! the optimum is positive.
+//!
+//! # Example
+//!
+//! ```
+//! use cr_linear::{Cmp, LinExpr, LinSystem, VarKind, solve, Feasibility};
+//! use cr_rational::Rational;
+//!
+//! let mut sys = LinSystem::new();
+//! let x = sys.add_var(VarKind::Nonneg);
+//! let y = sys.add_var(VarKind::Nonneg);
+//! // x + y >= 3, x - y = 1
+//! sys.push(LinExpr::from_terms([(x, 1), (y, 1)]), Cmp::Ge, Rational::from_int(3));
+//! sys.push(LinExpr::from_terms([(x, 1), (y, -1)]), Cmp::Eq, Rational::from_int(1));
+//! match solve(&sys) {
+//!     Feasibility::Feasible(sol) => {
+//!         assert_eq!(sol.value(x) - sol.value(y), Rational::from_int(1));
+//!     }
+//!     Feasibility::Infeasible => unreachable!(),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod expr;
+mod fm;
+mod simplex;
+mod solution;
+mod system;
+
+pub use error::LinearError;
+pub use expr::{LinExpr, VarId};
+pub use fm::{solve_fm, FmConfig};
+pub use simplex::{optimize, solve, Direction, OptOutcome};
+pub use solution::{Feasibility, Solution};
+pub use system::{Cmp, Constraint, LinSystem, VarKind};

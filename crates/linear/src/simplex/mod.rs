@@ -1,0 +1,488 @@
+//! Conversion of [`LinSystem`]s to standard form and the public solver
+//! entry points.
+
+mod tableau;
+
+use cr_rational::Rational;
+
+use crate::error::LinearError;
+use crate::expr::{LinExpr, VarId};
+use crate::solution::{Feasibility, Solution};
+use crate::system::{Cmp, LinSystem, VarKind};
+use tableau::{PivotOutcome, Tableau};
+
+/// Optimization direction for [`optimize`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Outcome of [`optimize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptOutcome {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded in the requested direction.
+    Unbounded,
+    /// An optimum exists; attached are the optimal value and a witness.
+    Optimal {
+        /// Optimal objective value.
+        value: Rational,
+        /// An assignment attaining it.
+        solution: Solution,
+    },
+}
+
+/// How user variables map onto standard-form columns.
+struct StandardForm {
+    /// `col_of[v] = (positive column, optional negative column)`; free
+    /// variables get both (`x = pos - neg`), nonnegative variables only the
+    /// first.
+    col_of: Vec<(usize, Option<usize>)>,
+    /// Column of the strictness slack `t`, if strict rows were present.
+    t_col: Option<usize>,
+    tableau: Tableau,
+    ncols: usize,
+}
+
+/// Builds the standard-form tableau for `sys`. When `with_t` is set, a
+/// variable `t ∈ [0, 1]` is introduced, strict rows are relaxed by `t`
+/// (`< rhs` becomes `+ t <= rhs`, `> rhs` becomes `- t >= rhs`), and the
+/// caller is expected to maximize `t`.
+fn build_standard_form(sys: &LinSystem, with_t: bool) -> StandardForm {
+    // --- structural columns ---
+    let mut next_col = 0usize;
+    let mut col_of = Vec::with_capacity(sys.num_vars());
+    for i in 0..sys.num_vars() {
+        match sys.var_kind(VarId(i as u32)) {
+            VarKind::Nonneg => {
+                col_of.push((next_col, None));
+                next_col += 1;
+            }
+            VarKind::Free => {
+                col_of.push((next_col, Some(next_col + 1)));
+                next_col += 2;
+            }
+        }
+    }
+    let t_col = with_t.then(|| {
+        let c = next_col;
+        next_col += 1;
+        c
+    });
+    let struct_cols = next_col;
+
+    // --- assemble rows over structural columns, tracking op and rhs ---
+    struct RawRow {
+        coeffs: Vec<Rational>,
+        cmp: Cmp, // Le / Ge / Eq only after strict relaxation
+        rhs: Rational,
+    }
+    let mut raw: Vec<RawRow> = Vec::with_capacity(sys.constraints().len() + 1);
+    for c in sys.constraints() {
+        let mut coeffs = vec![Rational::zero(); struct_cols];
+        for (v, coef) in c.expr.iter() {
+            let (pos, neg) = col_of[v.index()];
+            coeffs[pos] += coef;
+            if let Some(neg) = neg {
+                coeffs[neg] -= coef;
+            }
+        }
+        let cmp = match c.cmp {
+            Cmp::Le => Cmp::Le,
+            Cmp::Ge => Cmp::Ge,
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Lt => {
+                let t = t_col.expect("strict row without t variable");
+                coeffs[t] += Rational::one();
+                Cmp::Le
+            }
+            Cmp::Gt => {
+                let t = t_col.expect("strict row without t variable");
+                coeffs[t] -= Rational::one();
+                Cmp::Ge
+            }
+        };
+        raw.push(RawRow {
+            coeffs,
+            cmp,
+            rhs: c.rhs.clone(),
+        });
+    }
+    if let Some(t) = t_col {
+        // t <= 1 keeps the phase-2 objective bounded.
+        let mut coeffs = vec![Rational::zero(); struct_cols];
+        coeffs[t] = Rational::one();
+        raw.push(RawRow {
+            coeffs,
+            cmp: Cmp::Le,
+            rhs: Rational::one(),
+        });
+    }
+
+    // --- add slacks, normalize RHS sign, decide basis / artificials ---
+    let n_slack = raw
+        .iter()
+        .filter(|r| matches!(r.cmp, Cmp::Le | Cmp::Ge))
+        .count();
+    // Worst case every row needs an artificial.
+    let max_cols = struct_cols + n_slack + raw.len();
+    let mut rows: Vec<Vec<Rational>> = Vec::with_capacity(raw.len());
+    let mut basis: Vec<usize> = Vec::with_capacity(raw.len());
+    let mut slack_cursor = struct_cols;
+    let mut art_cursor = struct_cols + n_slack;
+    for r in &mut raw {
+        let mut row = std::mem::take(&mut r.coeffs);
+        row.resize(max_cols + 1, Rational::zero());
+        let negate = r.rhs.is_negative();
+        let mut slack_col = None;
+        match r.cmp {
+            Cmp::Le => {
+                row[slack_cursor] = Rational::one();
+                slack_col = Some(slack_cursor);
+                slack_cursor += 1;
+            }
+            Cmp::Ge => {
+                row[slack_cursor] = -Rational::one();
+                slack_col = Some(slack_cursor);
+                slack_cursor += 1;
+            }
+            Cmp::Eq => {}
+            Cmp::Lt | Cmp::Gt => unreachable!("strict rows relaxed above"),
+        }
+        *row.last_mut().expect("row has rhs cell") = r.rhs.clone();
+        if negate {
+            for v in row.iter_mut() {
+                *v = -v.clone();
+            }
+        }
+        // The slack can seed the basis iff its coefficient ended up +1.
+        let slack_basic = slack_col.filter(|&s| row[s] == Rational::one()).is_some();
+        if slack_basic {
+            basis.push(slack_col.expect("slack column present"));
+        } else {
+            row[art_cursor] = Rational::one();
+            basis.push(art_cursor);
+            art_cursor += 1;
+        }
+        rows.push(row);
+    }
+
+    // Trim unused artificial columns.
+    let ncols = art_cursor;
+    for row in &mut rows {
+        let rhs = row[max_cols].clone();
+        row.truncate(ncols);
+        row.push(rhs);
+    }
+    let art_start = struct_cols + n_slack;
+    StandardForm {
+        col_of,
+        t_col,
+        tableau: Tableau::new(rows, basis, ncols, art_start),
+        ncols,
+    }
+}
+
+impl StandardForm {
+    /// Reads user-variable values out of the current basic solution.
+    fn extract(&self, sys: &LinSystem) -> Solution {
+        let mut values = Vec::with_capacity(sys.num_vars());
+        for &(pos, neg) in &self.col_of {
+            let mut v = self.tableau.column_value(pos);
+            if let Some(neg) = neg {
+                v -= self.tableau.column_value(neg);
+            }
+            values.push(v);
+        }
+        Solution::new(values)
+    }
+
+    /// Expands a user-level objective onto standard-form columns.
+    fn expand_objective(&self, obj: &LinExpr) -> Vec<Rational> {
+        let mut out = vec![Rational::zero(); self.ncols];
+        for (v, c) in obj.iter() {
+            let (pos, neg) = self.col_of[v.index()];
+            out[pos] += c;
+            if let Some(neg) = neg {
+                out[neg] -= c;
+            }
+        }
+        out
+    }
+}
+
+/// Decides feasibility of `sys` exactly, returning a rational witness when
+/// feasible. Strict inequalities are fully supported (see the crate docs for
+/// the interior-point reduction).
+pub fn solve(sys: &LinSystem) -> Feasibility {
+    if !sys.has_strict() {
+        let mut sf = build_standard_form(sys, false);
+        return if sf.tableau.phase_one() {
+            let sol = sf.extract(sys);
+            debug_assert_eq!(sys.check(sol.values()), Ok(()));
+            Feasibility::Feasible(sol)
+        } else {
+            Feasibility::Infeasible
+        };
+    }
+    // Strict rows present: maximize the uniform strictness slack t.
+    let mut sf = build_standard_form(sys, true);
+    if !sf.tableau.phase_one() {
+        return Feasibility::Infeasible;
+    }
+    let t = sf.t_col.expect("strict path always has t");
+    let mut objective = vec![Rational::zero(); sf.ncols];
+    objective[t] = -Rational::one(); // maximize t == minimize -t
+    let outcome = sf.tableau.phase_two(&objective);
+    debug_assert_eq!(outcome, PivotOutcome::Optimal, "t <= 1 bounds phase 2");
+    if sf.tableau.column_value(t).is_positive() {
+        let sol = sf.extract(sys);
+        debug_assert_eq!(sys.check(sol.values()), Ok(()));
+        Feasibility::Feasible(sol)
+    } else {
+        Feasibility::Infeasible
+    }
+}
+
+/// Optimizes `objective` over the feasible region of `sys`.
+///
+/// Strict inequalities are rejected with
+/// [`LinearError::StrictInOptimize`]: over an open set the optimum need not
+/// be attained.
+pub fn optimize(
+    sys: &LinSystem,
+    objective: &LinExpr,
+    direction: Direction,
+) -> Result<OptOutcome, LinearError> {
+    if sys.has_strict() {
+        return Err(LinearError::StrictInOptimize);
+    }
+    let mut sf = build_standard_form(sys, false);
+    if !sf.tableau.phase_one() {
+        return Ok(OptOutcome::Infeasible);
+    }
+    let mut cols = sf.expand_objective(objective);
+    if direction == Direction::Maximize {
+        for c in &mut cols {
+            *c = -c.clone();
+        }
+    }
+    match sf.tableau.phase_two(&cols) {
+        PivotOutcome::Unbounded => Ok(OptOutcome::Unbounded),
+        PivotOutcome::Optimal => {
+            let solution = sf.extract(sys);
+            debug_assert_eq!(sys.check(solution.values()), Ok(()));
+            let value = objective.eval(solution.values());
+            Ok(OptOutcome::Optimal { value, solution })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn rq(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn empty_system_is_feasible() {
+        let sys = LinSystem::new();
+        assert!(solve(&sys).is_feasible());
+    }
+
+    #[test]
+    fn trivial_contradiction() {
+        let mut sys = LinSystem::new();
+        sys.push(LinExpr::new(), Cmp::Le, r(-1)); // 0 <= -1
+        assert_eq!(solve(&sys), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn trivial_tautology() {
+        let mut sys = LinSystem::new();
+        sys.push(LinExpr::new(), Cmp::Le, r(1)); // 0 <= 1
+        assert!(solve(&sys).is_feasible());
+    }
+
+    #[test]
+    fn basic_feasible_with_witness() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        let y = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::from_terms([(x, 1), (y, 2)]), Cmp::Ge, r(4));
+        sys.push(LinExpr::from_terms([(x, 1), (y, -1)]), Cmp::Eq, r(1));
+        let Feasibility::Feasible(sol) = solve(&sys) else {
+            panic!("expected feasible");
+        };
+        assert_eq!(sys.check(sol.values()), Ok(()));
+    }
+
+    #[test]
+    fn infeasible_equalities() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::var(x), Cmp::Eq, r(1));
+        sys.push(LinExpr::var(x), Cmp::Eq, r(2));
+        assert_eq!(solve(&sys), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn free_variable_can_go_negative() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::var(x), Cmp::Le, r(-5));
+        let Feasibility::Feasible(sol) = solve(&sys) else {
+            panic!("expected feasible");
+        };
+        assert!(sol.value(x) <= r(-5));
+    }
+
+    #[test]
+    fn nonneg_variable_cannot() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Le, r(-5));
+        assert_eq!(solve(&sys), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn strict_feasible() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Gt, r(0));
+        sys.push(LinExpr::var(x), Cmp::Lt, r(1));
+        let Feasibility::Feasible(sol) = solve(&sys) else {
+            panic!("expected feasible");
+        };
+        assert!(sol.value(x).is_positive() && sol.value(x) < r(1));
+    }
+
+    #[test]
+    fn strict_infeasible_boundary_only() {
+        // x >= 1, x <= 1, x > 1: closure feasible (x = 1) but strict not.
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(1));
+        sys.push(LinExpr::var(x), Cmp::Le, r(1));
+        sys.push(LinExpr::var(x), Cmp::Gt, r(1));
+        assert_eq!(solve(&sys), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn strict_homogeneous_cone() {
+        // The paper's shape: x > 0 with 2x <= y and y <= 3x.
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        let y = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::from_terms([(x, 2), (y, -1)]), Cmp::Le, r(0));
+        sys.push(LinExpr::from_terms([(y, 1), (x, -3)]), Cmp::Le, r(0));
+        sys.push(LinExpr::var(x), Cmp::Gt, r(0));
+        let Feasibility::Feasible(sol) = solve(&sys) else {
+            panic!("expected feasible");
+        };
+        assert_eq!(sys.check(sol.values()), Ok(()));
+        assert!(sol.value(x).is_positive());
+    }
+
+    #[test]
+    fn optimize_bounded() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6  =>  optimum at (8/5, 6/5).
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        let y = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::from_terms([(x, 1), (y, 2)]), Cmp::Le, r(4));
+        sys.push(LinExpr::from_terms([(x, 3), (y, 1)]), Cmp::Le, r(6));
+        let obj = LinExpr::from_terms([(x, 1), (y, 1)]);
+        let out = optimize(&sys, &obj, Direction::Maximize).unwrap();
+        let OptOutcome::Optimal { value, solution } = out else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, rq(14, 5));
+        assert_eq!(solution.value(x), rq(8, 5));
+        assert_eq!(solution.value(y), rq(6, 5));
+    }
+
+    #[test]
+    fn optimize_minimize() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(3));
+        let out = optimize(&sys, &LinExpr::var(x), Direction::Minimize).unwrap();
+        let OptOutcome::Optimal { value, .. } = out else {
+            panic!("expected optimal");
+        };
+        assert_eq!(value, r(3));
+    }
+
+    #[test]
+    fn optimize_unbounded() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(0));
+        let out = optimize(&sys, &LinExpr::var(x), Direction::Maximize).unwrap();
+        assert_eq!(out, OptOutcome::Unbounded);
+    }
+
+    #[test]
+    fn optimize_infeasible() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Le, r(-1));
+        let out = optimize(&sys, &LinExpr::var(x), Direction::Maximize).unwrap();
+        assert_eq!(out, OptOutcome::Infeasible);
+    }
+
+    #[test]
+    fn optimize_rejects_strict() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Gt, r(0));
+        let err = optimize(&sys, &LinExpr::var(x), Direction::Maximize).unwrap_err();
+        assert_eq!(err, LinearError::StrictInOptimize);
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // A classically degenerate LP (Beale-like); Bland's rule must
+        // terminate. max 10x1 - 57x2 - 9x3 - 24x4 over the Beale cube.
+        let mut sys = LinSystem::new();
+        let v: Vec<_> = (0..4).map(|_| sys.add_var(VarKind::Nonneg)).collect();
+        sys.push(
+            LinExpr::from_terms([(v[0], 1), (v[1], -2), (v[2], -1), (v[3], 9)]),
+            Cmp::Le,
+            r(0),
+        );
+        sys.push(
+            LinExpr::from_terms([(v[0], 1), (v[1], -3), (v[2], -1), (v[3], 2)]),
+            Cmp::Le,
+            r(0),
+        );
+        sys.push(LinExpr::var(v[0]), Cmp::Le, r(1));
+        let obj = LinExpr::from_terms([(v[0], 10), (v[1], -57), (v[2], -9), (v[3], -24)]);
+        let out = optimize(&sys, &obj, Direction::Maximize).unwrap();
+        assert!(matches!(out, OptOutcome::Optimal { .. }));
+    }
+
+    #[test]
+    fn redundant_constraints_fine() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Eq, r(2));
+        sys.push(LinExpr::var(x), Cmp::Eq, r(2));
+        sys.push(LinExpr::from_terms([(x, 2)]), Cmp::Eq, r(4));
+        let Feasibility::Feasible(sol) = solve(&sys) else {
+            panic!("expected feasible");
+        };
+        assert_eq!(sol.value(x), r(2));
+    }
+}

@@ -1,0 +1,285 @@
+//! Dense exact-rational simplex tableau with Bland's anti-cycling rule.
+//!
+//! The tableau solves problems already in standard form:
+//! `min c·y  s.t.  A y = b,  y >= 0,  b >= 0`, with an initial basis of
+//! artificial (and lucky slack) columns supplied by the caller.
+
+use cr_rational::Rational;
+
+/// Result of running the pivot loop on one objective.
+#[derive(Debug, PartialEq, Eq)]
+pub(super) enum PivotOutcome {
+    /// No improving column remains; the current basis is optimal.
+    Optimal,
+    /// An improving column had no positive entry: the objective is
+    /// unbounded below.
+    Unbounded,
+}
+
+pub(super) struct Tableau {
+    /// Row-major constraint matrix; each row has `ncols + 1` entries, the
+    /// last being the right-hand side.
+    rows: Vec<Vec<Rational>>,
+    /// `basis[i]` is the column currently basic in row `i`.
+    basis: Vec<usize>,
+    /// Reduced-cost row (`ncols + 1` entries; the last is minus the current
+    /// objective value).
+    cost: Vec<Rational>,
+    /// Number of variable columns (excluding the RHS).
+    ncols: usize,
+    /// Columns at or beyond this index are artificial: banned from entering
+    /// the basis once phase 1 completes.
+    art_start: usize,
+    phase_one_done: bool,
+}
+
+impl Tableau {
+    /// Builds a tableau from prepared rows. Every `rows[i]` must have
+    /// `ncols + 1` entries with a nonnegative RHS, and `basis[i]` must index
+    /// a column whose entry in row `i` is `1` and `0` elsewhere.
+    pub(super) fn new(
+        rows: Vec<Vec<Rational>>,
+        basis: Vec<usize>,
+        ncols: usize,
+        art_start: usize,
+    ) -> Self {
+        debug_assert_eq!(rows.len(), basis.len());
+        debug_assert!(rows.iter().all(|r| r.len() == ncols + 1));
+        debug_assert!(rows.iter().all(|r| !r[ncols].is_negative()));
+        Tableau {
+            rows,
+            basis,
+            cost: vec![Rational::zero(); ncols + 1],
+            ncols,
+            art_start,
+            phase_one_done: false,
+        }
+    }
+
+    /// Runs phase 1 (minimize the sum of artificial variables). Returns
+    /// `true` iff the underlying system is feasible. Afterwards all
+    /// artificial variables are out of the basis (redundant rows are
+    /// dropped) and banned from re-entering.
+    pub(super) fn phase_one(&mut self) -> bool {
+        assert!(!self.phase_one_done, "phase_one run twice");
+        self.phase_one_done = true;
+        if self.art_start == self.ncols {
+            // No artificials: the supplied slack basis is already feasible.
+            return true;
+        }
+        // Objective: sum of artificial columns. Express it over the
+        // nonbasic columns by subtracting every artificial-basic row.
+        let mut cost = vec![Rational::zero(); self.ncols + 1];
+        for c in &mut cost[self.art_start..self.ncols] {
+            *c = Rational::one();
+        }
+        for (row, &b) in self.rows.iter().zip(&self.basis) {
+            if !cost[b].is_zero() {
+                let scale = cost[b].clone();
+                for (c, r) in cost.iter_mut().zip(row) {
+                    *c -= &scale * r;
+                }
+            }
+        }
+        self.cost = cost;
+
+        let outcome = self.pivot_loop(self.ncols); // artificials may enter in phase 1
+        debug_assert_eq!(
+            outcome,
+            PivotOutcome::Optimal,
+            "phase 1 cannot be unbounded"
+        );
+
+        if self.objective_value().is_positive() {
+            return false;
+        }
+        self.evict_artificials();
+        true
+    }
+
+    /// Installs `objective` (to be minimized; entries indexed by column) and
+    /// runs phase 2. Requires a feasible basis from [`phase_one`].
+    pub(super) fn phase_two(&mut self, objective: &[Rational]) -> PivotOutcome {
+        assert!(self.phase_one_done, "phase_two before phase_one");
+        let mut cost = vec![Rational::zero(); self.ncols + 1];
+        cost[..objective.len()].clone_from_slice(objective);
+        for (row, &b) in self.rows.iter().zip(&self.basis) {
+            if !cost[b].is_zero() {
+                let scale = cost[b].clone();
+                for (c, r) in cost.iter_mut().zip(row) {
+                    *c -= &scale * r;
+                }
+            }
+        }
+        self.cost = cost;
+        self.pivot_loop(self.art_start)
+    }
+
+    /// The current objective value (meaningful after a phase).
+    pub(super) fn objective_value(&self) -> Rational {
+        -self.cost[self.ncols].clone()
+    }
+
+    /// The value of column `j` in the current basic solution.
+    pub(super) fn column_value(&self, j: usize) -> Rational {
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b == j {
+                return self.rows[i][self.ncols].clone();
+            }
+        }
+        Rational::zero()
+    }
+
+    /// Bland's-rule pivot loop: entering column is the smallest-index column
+    /// below `col_limit` with negative reduced cost; leaving row attains the
+    /// minimum ratio, ties broken by smallest basic column index.
+    fn pivot_loop(&mut self, col_limit: usize) -> PivotOutcome {
+        loop {
+            let Some(enter) = (0..col_limit).find(|&j| self.cost[j].is_negative()) else {
+                return PivotOutcome::Optimal;
+            };
+            let mut leave: Option<(usize, Rational)> = None;
+            for i in 0..self.rows.len() {
+                let a = &self.rows[i][enter];
+                if !a.is_positive() {
+                    continue;
+                }
+                let ratio = &self.rows[i][self.ncols] / a;
+                match &leave {
+                    None => leave = Some((i, ratio)),
+                    Some((best_i, best)) => {
+                        if ratio < *best || (ratio == *best && self.basis[i] < self.basis[*best_i])
+                        {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return PivotOutcome::Unbounded;
+            };
+            self.pivot(row, enter);
+        }
+    }
+
+    /// Pivots: column `enter` becomes basic in `row`.
+    fn pivot(&mut self, row: usize, enter: usize) {
+        let pivot = self.rows[row][enter].clone();
+        debug_assert!(!pivot.is_zero(), "pivot on zero entry");
+        let inv = pivot.recip();
+        for v in self.rows[row].iter_mut() {
+            *v *= &inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][enter].clone();
+            if factor.is_zero() {
+                continue;
+            }
+            for (v, p) in self.rows[i].iter_mut().zip(&pivot_row) {
+                *v -= &factor * p;
+            }
+        }
+        let factor = self.cost[enter].clone();
+        if !factor.is_zero() {
+            for (c, p) in self.cost.iter_mut().zip(&pivot_row) {
+                *c -= &factor * p;
+            }
+        }
+        self.basis[row] = enter;
+    }
+
+    /// Drives any artificial variable still basic (necessarily at value 0)
+    /// out of the basis, dropping rows that turn out to be redundant.
+    fn evict_artificials(&mut self) {
+        let mut i = 0;
+        while i < self.rows.len() {
+            if self.basis[i] < self.art_start {
+                i += 1;
+                continue;
+            }
+            debug_assert!(self.rows[i][self.ncols].is_zero());
+            // A degenerate pivot (rhs = 0) is feasibility-preserving on any
+            // nonzero entry, positive or negative.
+            match (0..self.art_start).find(|&j| !self.rows[i][j].is_zero()) {
+                Some(j) => {
+                    self.pivot(i, j);
+                    i += 1;
+                }
+                None => {
+                    // 0 = 0 row: the original constraint was redundant.
+                    self.rows.swap_remove(i);
+                    self.basis.swap_remove(i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// x + y = 2 with artificial a:   [1, 1, 1 | 2], basis {a}.
+    #[test]
+    fn phase_one_finds_feasible_basis() {
+        let rows = vec![vec![r(1), r(1), r(1), r(2)]];
+        let mut t = Tableau::new(rows, vec![2], 3, 2);
+        assert!(t.phase_one());
+        // x (col 0) should have entered by Bland's rule; x = 2.
+        assert_eq!(t.column_value(0), r(2));
+        assert_eq!(t.column_value(2), r(0));
+    }
+
+    /// x = 1 and x = 2 simultaneously (two artificial rows): infeasible.
+    #[test]
+    fn phase_one_detects_infeasible() {
+        let rows = vec![vec![r(1), r(1), r(0), r(1)], vec![r(1), r(0), r(1), r(2)]];
+        let mut t = Tableau::new(rows, vec![1, 2], 3, 1);
+        assert!(!t.phase_one());
+    }
+
+    /// min -x s.t. x + s = 5 (slack basis, no artificials): optimum x = 5.
+    #[test]
+    fn phase_two_optimizes() {
+        let rows = vec![vec![r(1), r(1), r(5)]];
+        let mut t = Tableau::new(rows, vec![1], 2, 2);
+        assert!(t.phase_one());
+        let outcome = t.phase_two(&[r(-1), r(0)]);
+        assert_eq!(outcome, PivotOutcome::Optimal);
+        assert_eq!(t.objective_value(), r(-5));
+        assert_eq!(t.column_value(0), r(5));
+    }
+
+    /// min -x s.t. x - s = 0 (x unbounded above).
+    #[test]
+    fn phase_two_detects_unbounded() {
+        let rows = vec![vec![r(1), r(-1), r(1), r(0)]];
+        let mut t = Tableau::new(rows, vec![2], 3, 2);
+        assert!(t.phase_one());
+        let outcome = t.phase_two(&[r(-1), r(0)]);
+        assert_eq!(outcome, PivotOutcome::Unbounded);
+    }
+
+    /// Redundant duplicated row: x = 1, x = 1. Second artificial can't be
+    /// pivoted out and its row must be dropped.
+    #[test]
+    fn redundant_rows_are_dropped() {
+        let rows = vec![vec![r(1), r(1), r(0), r(1)], vec![r(1), r(0), r(1), r(1)]];
+        let mut t = Tableau::new(rows, vec![1, 2], 3, 1);
+        assert!(t.phase_one());
+        assert_eq!(t.column_value(0), r(1));
+        assert!(t.rows.len() <= 2);
+        assert!(t
+            .basis
+            .iter()
+            .all(|&b| b < 1 || t.column_value(b).is_zero()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Solver results.
+
+use cr_bigint::BigInt;
+use cr_rational::Rational;
+
+use crate::expr::VarId;
+
+/// A satisfying assignment, one rational per declared variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    values: Vec<Rational>,
+}
+
+impl Solution {
+    /// Wraps an explicit assignment.
+    pub fn new(values: Vec<Rational>) -> Self {
+        Solution { values }
+    }
+
+    /// The value of variable `v`.
+    pub fn value(&self, v: VarId) -> Rational {
+        self.values[v.index()].clone()
+    }
+
+    /// All values, indexed by variable.
+    pub fn values(&self) -> &[Rational] {
+        &self.values
+    }
+
+    /// Scales every value by the least common multiple of the denominators,
+    /// returning an all-integer assignment together with the factor used.
+    ///
+    /// For a *homogeneous* system (every right-hand side zero, as produced by
+    /// the CR-schema reduction) any positive multiple of a solution is again
+    /// a solution, so the scaled assignment still satisfies the system.
+    pub fn scale_to_integers(&self) -> (Vec<BigInt>, BigInt) {
+        let mut lcm = BigInt::one();
+        for v in &self.values {
+            lcm = lcm.lcm(v.denom());
+        }
+        let ints = self
+            .values
+            .iter()
+            .map(|v| {
+                let scaled = v * &Rational::from_int(lcm.clone());
+                scaled
+                    .to_integer()
+                    .expect("lcm scaling must clear denominators")
+                    .clone()
+            })
+            .collect();
+        (ints, lcm)
+    }
+}
+
+/// Outcome of a feasibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Feasibility {
+    /// The system has a solution; a witness is attached.
+    Feasible(Solution),
+    /// The system has no solution.
+    Infeasible,
+}
+
+impl Feasibility {
+    /// Whether the system was feasible.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible(_))
+    }
+
+    /// The witness, if feasible.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            Feasibility::Feasible(s) => Some(s),
+            Feasibility::Infeasible => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_to_integers() {
+        let sol = Solution::new(vec![
+            Rational::new(1, 2),
+            Rational::new(2, 3),
+            Rational::from_int(5),
+        ]);
+        let (ints, factor) = sol.scale_to_integers();
+        assert_eq!(factor, BigInt::from(6));
+        assert_eq!(
+            ints,
+            vec![BigInt::from(3), BigInt::from(4), BigInt::from(30)]
+        );
+    }
+
+    #[test]
+    fn scale_all_integers_is_identity() {
+        let sol = Solution::new(vec![Rational::from_int(2), Rational::zero()]);
+        let (ints, factor) = sol.scale_to_integers();
+        assert_eq!(factor, BigInt::one());
+        assert_eq!(ints, vec![BigInt::from(2), BigInt::zero()]);
+    }
+
+    #[test]
+    fn feasibility_accessors() {
+        let f = Feasibility::Feasible(Solution::new(vec![]));
+        assert!(f.is_feasible());
+        assert!(f.solution().is_some());
+        assert!(!Feasibility::Infeasible.is_feasible());
+        assert!(Feasibility::Infeasible.solution().is_none());
+    }
+}

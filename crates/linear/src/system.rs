@@ -1,0 +1,257 @@
+//! Constraint systems: a set of variables plus comparisons of linear
+//! expressions against rational constants.
+
+use std::fmt;
+
+use cr_rational::Rational;
+
+use crate::expr::{LinExpr, VarId};
+
+/// Comparison operator of a [`Constraint`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr < rhs` (strict)
+    Lt,
+    /// `expr == rhs`
+    Eq,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr > rhs` (strict)
+    Gt,
+}
+
+impl Cmp {
+    /// Whether the comparison is strict.
+    pub fn is_strict(self) -> bool {
+        matches!(self, Cmp::Lt | Cmp::Gt)
+    }
+
+    /// The comparison satisfied by `-expr` against `-rhs`.
+    pub fn flipped(self) -> Cmp {
+        match self {
+            Cmp::Le => Cmp::Ge,
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ge => Cmp::Le,
+            Cmp::Gt => Cmp::Lt,
+        }
+    }
+
+    /// Evaluates `lhs cmp rhs`.
+    pub fn eval(self, lhs: &Rational, rhs: &Rational) -> bool {
+        match self {
+            Cmp::Le => lhs <= rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Gt => lhs > rhs,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Le => "<=",
+            Cmp::Lt => "<",
+            Cmp::Eq => "=",
+            Cmp::Ge => ">=",
+            Cmp::Gt => ">",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Domain of a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarKind {
+    /// Unrestricted sign (internally split into a difference of two
+    /// nonnegative variables by the simplex).
+    Free,
+    /// Constrained to `x >= 0` implicitly.
+    Nonneg,
+}
+
+/// A single constraint `expr cmp rhs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side constant.
+    pub rhs: Rational,
+}
+
+impl Constraint {
+    /// Whether `values` satisfies the constraint.
+    pub fn holds(&self, values: &[Rational]) -> bool {
+        self.cmp.eval(&self.expr.eval(values), &self.rhs)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.expr, self.cmp, self.rhs)
+    }
+}
+
+/// A system of linear constraints over declared variables.
+#[derive(Clone, Default, Debug)]
+pub struct LinSystem {
+    kinds: Vec<VarKind>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinSystem {
+    /// An empty system with no variables.
+    pub fn new() -> Self {
+        LinSystem::default()
+    }
+
+    /// Declares a fresh variable and returns its id.
+    pub fn add_var(&mut self, kind: VarKind) -> VarId {
+        let id = VarId(u32::try_from(self.kinds.len()).expect("too many variables"));
+        self.kinds.push(kind);
+        id
+    }
+
+    /// Declares `n` fresh nonnegative variables.
+    pub fn add_nonneg_vars(&mut self, n: usize) -> Vec<VarId> {
+        (0..n).map(|_| self.add_var(VarKind::Nonneg)).collect()
+    }
+
+    /// Adds the constraint `expr cmp rhs`.
+    ///
+    /// # Panics
+    /// Panics if `expr` mentions an undeclared variable.
+    pub fn push(&mut self, expr: LinExpr, cmp: Cmp, rhs: Rational) {
+        if let Some(v) = expr.max_var() {
+            assert!(
+                v.index() < self.kinds.len(),
+                "constraint mentions undeclared variable x{}",
+                v.0
+            );
+        }
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The kind of variable `v`.
+    pub fn var_kind(&self, v: VarId) -> VarKind {
+        self.kinds[v.index()]
+    }
+
+    /// The constraints, in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Whether any constraint is strict.
+    pub fn has_strict(&self) -> bool {
+        self.constraints.iter().any(|c| c.cmp.is_strict())
+    }
+
+    /// Checks an explicit assignment against every constraint *and* the
+    /// nonnegativity of [`VarKind::Nonneg`] variables; returns the index of
+    /// the first violated constraint (`Err(None)` for a violated variable
+    /// bound).
+    pub fn check(&self, values: &[Rational]) -> Result<(), Option<usize>> {
+        assert_eq!(values.len(), self.kinds.len(), "assignment arity mismatch");
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if *kind == VarKind::Nonneg && values[i].is_negative() {
+                return Err(None);
+            }
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if !c.holds(values) {
+                return Err(Some(i));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LinSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "vars: {}", self.kinds.len())?;
+        for c in &self.constraints {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Le.eval(&r(1), &r(1)));
+        assert!(!Cmp::Lt.eval(&r(1), &r(1)));
+        assert!(Cmp::Eq.eval(&r(1), &r(1)));
+        assert!(Cmp::Ge.eval(&r(2), &r(1)));
+        assert!(Cmp::Gt.eval(&r(2), &r(1)));
+        assert!(!Cmp::Gt.eval(&r(1), &r(2)));
+    }
+
+    #[test]
+    fn cmp_flip() {
+        assert_eq!(Cmp::Le.flipped(), Cmp::Ge);
+        assert_eq!(Cmp::Gt.flipped(), Cmp::Lt);
+        assert_eq!(Cmp::Eq.flipped(), Cmp::Eq);
+    }
+
+    #[test]
+    fn system_check() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        let y = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::from_terms([(x, 1), (y, 1)]), Cmp::Le, r(10));
+        sys.push(LinExpr::from_terms([(x, 1)]), Cmp::Gt, r(0));
+
+        assert_eq!(sys.check(&[r(1), r(2)]), Ok(()));
+        assert_eq!(sys.check(&[r(0), r(2)]), Err(Some(1))); // x > 0 violated
+        assert_eq!(sys.check(&[r(-1), r(2)]), Err(None)); // nonneg violated
+        assert_eq!(sys.check(&[r(5), r(6)]), Err(Some(0)));
+        // free var may be negative
+        assert_eq!(sys.check(&[r(1), r(-100)]), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared variable")]
+    fn undeclared_variable_panics() {
+        let mut sys = LinSystem::new();
+        sys.push(LinExpr::var(VarId(3)), Cmp::Le, r(0));
+    }
+
+    #[test]
+    fn has_strict() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(0));
+        assert!(!sys.has_strict());
+        sys.push(LinExpr::var(x), Cmp::Lt, r(5));
+        assert!(sys.has_strict());
+    }
+
+    #[test]
+    fn display() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(2));
+        let s = sys.to_string();
+        assert!(s.contains("x0 >= 2"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-validation: the exact simplex and Fourier–Motzkin are independent
+//! implementations and must agree on feasibility of random small systems;
+//! every witness must check out against the original constraints.
+
+use cr_linear::{
+    optimize, solve, solve_fm, Cmp, Direction, Feasibility, FmConfig, LinExpr, LinSystem,
+    OptOutcome, VarKind,
+};
+use cr_rational::Rational;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomSystem {
+    sys: LinSystem,
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    prop_oneof![
+        Just(Cmp::Le),
+        Just(Cmp::Lt),
+        Just(Cmp::Eq),
+        Just(Cmp::Ge),
+        Just(Cmp::Gt),
+    ]
+}
+
+fn arb_system(max_vars: usize, max_cons: usize) -> impl Strategy<Value = RandomSystem> {
+    (1..=max_vars).prop_flat_map(move |nv| {
+        let constraint = (
+            proptest::collection::vec((-4i64..=4, 0..nv), 1..=nv.min(3)),
+            cmp_strategy(),
+            -6i64..=6,
+        );
+        (
+            proptest::collection::vec(any::<bool>(), nv),
+            proptest::collection::vec(constraint, 0..=max_cons),
+        )
+            .prop_map(move |(kinds, cons)| {
+                let mut sys = LinSystem::new();
+                let vars: Vec<_> = kinds
+                    .iter()
+                    .map(|&nn| sys.add_var(if nn { VarKind::Nonneg } else { VarKind::Free }))
+                    .collect();
+                for (terms, cmp, rhs) in cons {
+                    let mut e = LinExpr::new();
+                    for (c, vi) in terms {
+                        e.add_term(vars[vi], Rational::from_int(c));
+                    }
+                    sys.push(e, cmp, Rational::from_int(rhs));
+                }
+                RandomSystem { sys }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn simplex_agrees_with_fm(rs in arb_system(4, 6)) {
+        let fm = solve_fm(&rs.sys, FmConfig::default())
+            .expect("budget ample for 4-var systems");
+        let sx = solve(&rs.sys);
+        prop_assert_eq!(
+            fm.is_feasible(),
+            sx.is_feasible(),
+            "engines disagree on:\n{}",
+            rs.sys
+        );
+        if let Feasibility::Feasible(sol) = &sx {
+            prop_assert_eq!(rs.sys.check(sol.values()), Ok(()));
+        }
+        if let Feasibility::Feasible(sol) = &fm {
+            prop_assert_eq!(rs.sys.check(sol.values()), Ok(()));
+        }
+    }
+
+    #[test]
+    fn optimum_is_feasible_and_bounds_hold(rs in arb_system(3, 5)) {
+        prop_assume!(!rs.sys.has_strict());
+        let mut obj = LinExpr::new();
+        for i in 0..rs.sys.num_vars() {
+            obj.add_term(cr_linear::VarId(i as u32), Rational::from_int(1));
+        }
+        match optimize(&rs.sys, &obj, Direction::Maximize).unwrap() {
+            OptOutcome::Infeasible => {
+                prop_assert!(!solve(&rs.sys).is_feasible());
+            }
+            OptOutcome::Unbounded => {
+                prop_assert!(solve(&rs.sys).is_feasible());
+            }
+            OptOutcome::Optimal { value, solution } => {
+                prop_assert_eq!(rs.sys.check(solution.values()), Ok(()));
+                prop_assert_eq!(obj.eval(solution.values()), value.clone());
+                // Any feasible point found by the other engine must not
+                // beat the claimed optimum.
+                if let Ok(Feasibility::Feasible(other)) =
+                    solve_fm(&rs.sys, FmConfig::default())
+                {
+                    prop_assert!(obj.eval(other.values()) <= value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_scaling_preserves(rs in arb_system(4, 6)) {
+        // Rebuild the system with all RHS forced to zero: for homogeneous
+        // systems, integer scaling of a witness is again a witness.
+        let mut hom = LinSystem::new();
+        for i in 0..rs.sys.num_vars() {
+            hom.add_var(rs.sys.var_kind(cr_linear::VarId(i as u32)));
+        }
+        for c in rs.sys.constraints() {
+            hom.push(c.expr.clone(), c.cmp, Rational::zero());
+        }
+        if let Feasibility::Feasible(sol) = solve(&hom) {
+            let (ints, _factor) = sol.scale_to_integers();
+            let as_rat: Vec<Rational> =
+                ints.into_iter().map(Rational::from_int).collect();
+            prop_assert_eq!(hom.check(&as_rat), Ok(()));
+        }
+    }
+}

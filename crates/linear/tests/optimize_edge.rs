@@ -1,0 +1,143 @@
+//! Edge cases of the exact simplex optimizer: degenerate bases, equality-only
+//! systems, zero objectives, and the support-maximization pattern the
+//! cr-core fixpoint relies on.
+
+use cr_linear::{
+    optimize, solve, Cmp, Direction, Feasibility, LinExpr, LinSystem, OptOutcome, VarKind,
+};
+use cr_rational::Rational;
+
+fn r(n: i64) -> Rational {
+    Rational::from_int(n)
+}
+
+#[test]
+fn zero_objective_returns_any_feasible_point() {
+    let mut sys = LinSystem::new();
+    let x = sys.add_var(VarKind::Nonneg);
+    sys.push(LinExpr::var(x), Cmp::Ge, r(3));
+    sys.push(LinExpr::var(x), Cmp::Le, r(7));
+    let out = optimize(&sys, &LinExpr::new(), Direction::Minimize).unwrap();
+    let OptOutcome::Optimal { value, solution } = out else {
+        panic!("expected optimal");
+    };
+    assert_eq!(value, r(0));
+    assert!(solution.value(x) >= r(3) && solution.value(x) <= r(7));
+}
+
+#[test]
+fn equality_only_system() {
+    // x + y = 10, x - y = 4  =>  x = 7, y = 3.
+    let mut sys = LinSystem::new();
+    let x = sys.add_var(VarKind::Free);
+    let y = sys.add_var(VarKind::Free);
+    sys.push(LinExpr::from_terms([(x, 1), (y, 1)]), Cmp::Eq, r(10));
+    sys.push(LinExpr::from_terms([(x, 1), (y, -1)]), Cmp::Eq, r(4));
+    let out = optimize(&sys, &LinExpr::var(x), Direction::Maximize).unwrap();
+    let OptOutcome::Optimal { value, solution } = out else {
+        panic!("expected optimal");
+    };
+    assert_eq!(value, r(7));
+    assert_eq!(solution.value(y), r(3));
+}
+
+#[test]
+fn objective_on_unconstrained_free_variable_is_unbounded_both_ways() {
+    let mut sys = LinSystem::new();
+    let x = sys.add_var(VarKind::Free);
+    sys.push(LinExpr::var(x), Cmp::Ge, r(-100)); // still unbounded above
+    assert_eq!(
+        optimize(&sys, &LinExpr::var(x), Direction::Maximize).unwrap(),
+        OptOutcome::Unbounded
+    );
+    let mut sys2 = LinSystem::new();
+    let y = sys2.add_var(VarKind::Free);
+    sys2.push(LinExpr::var(y), Cmp::Le, r(100)); // unbounded below
+    assert_eq!(
+        optimize(&sys2, &LinExpr::var(y), Direction::Minimize).unwrap(),
+        OptOutcome::Unbounded
+    );
+}
+
+#[test]
+fn support_maximization_pattern() {
+    // The cr-core fixpoint shape: homogeneous cone rows plus capped
+    // indicators; the optimum must reveal exactly the supportable vars.
+    // Cone: a <= 2b, b <= 2a (a, b tied together); c forced to 0 by c <= 0.
+    let mut sys = LinSystem::new();
+    let a = sys.add_var(VarKind::Nonneg);
+    let b = sys.add_var(VarKind::Nonneg);
+    let c = sys.add_var(VarKind::Nonneg);
+    sys.push(LinExpr::from_terms([(a, 1), (b, -2)]), Cmp::Le, r(0));
+    sys.push(LinExpr::from_terms([(b, 1), (a, -2)]), Cmp::Le, r(0));
+    sys.push(LinExpr::var(c), Cmp::Le, r(0));
+
+    let mut objective = LinExpr::new();
+    for &v in &[a, b, c] {
+        let t = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(t), Cmp::Le, r(1));
+        let mut e = LinExpr::var(v);
+        e.add_term(t, -Rational::one());
+        sys.push(e, Cmp::Ge, r(0));
+        objective.add_term(t, Rational::one());
+    }
+    let out = optimize(&sys, &objective, Direction::Maximize).unwrap();
+    let OptOutcome::Optimal { value, solution } = out else {
+        panic!("expected optimal");
+    };
+    assert_eq!(value, r(2), "exactly a and b are supportable");
+    assert!(solution.value(a) >= r(1));
+    assert!(solution.value(b) >= r(1));
+    assert_eq!(solution.value(c), r(0));
+}
+
+#[test]
+fn alternating_tight_constraints_degeneracy() {
+    // Many constraints active at the optimum (degenerate vertex); Bland's
+    // rule must terminate and agree with the hand solution.
+    let mut sys = LinSystem::new();
+    let x = sys.add_var(VarKind::Nonneg);
+    let y = sys.add_var(VarKind::Nonneg);
+    for k in 1..=6i64 {
+        // k*x + y <= k (all pass through (1, 0)).
+        sys.push(LinExpr::from_terms([(x, k), (y, 1)]), Cmp::Le, r(k));
+    }
+    let obj = LinExpr::from_terms([(x, 1), (y, 1)]);
+    let out = optimize(&sys, &obj, Direction::Maximize).unwrap();
+    let OptOutcome::Optimal { value, .. } = out else {
+        panic!("expected optimal");
+    };
+    // max x+y: candidates (1,0) -> 1 and (0,1) -> 1; both optimal.
+    assert_eq!(value, r(1));
+}
+
+#[test]
+fn rational_coefficients_exactness() {
+    // 1/3 x + 1/7 y = 1 with x = y  =>  x = 21/10: exact arithmetic only.
+    let mut sys = LinSystem::new();
+    let x = sys.add_var(VarKind::Nonneg);
+    let y = sys.add_var(VarKind::Nonneg);
+    let mut e = LinExpr::new();
+    e.add_term(x, Rational::new(1, 3));
+    e.add_term(y, Rational::new(1, 7));
+    sys.push(e, Cmp::Eq, r(1));
+    sys.push(LinExpr::from_terms([(x, 1), (y, -1)]), Cmp::Eq, r(0));
+    let Feasibility::Feasible(sol) = solve(&sys) else {
+        panic!("expected feasible");
+    };
+    assert_eq!(sol.value(x), Rational::new(21, 10));
+}
+
+#[test]
+fn redundant_equalities_dropped_not_fatal() {
+    let mut sys = LinSystem::new();
+    let x = sys.add_var(VarKind::Nonneg);
+    for _ in 0..5 {
+        sys.push(LinExpr::var(x), Cmp::Eq, r(4));
+    }
+    let out = optimize(&sys, &LinExpr::var(x), Direction::Minimize).unwrap();
+    let OptOutcome::Optimal { value, .. } = out else {
+        panic!("expected optimal");
+    };
+    assert_eq!(value, r(4));
+}

@@ -1,0 +1,42 @@
+//! Formatting for [`Rational`]: integers print bare, fractions as `a/b`.
+
+use std::fmt;
+
+use crate::ratio::Rational;
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.numer())
+        } else {
+            write!(f, "{}/{}", self.numer(), self.denom())
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(1, 2).to_string(), "1/2");
+        assert_eq!(Rational::new(-1, 2).to_string(), "-1/2");
+        assert_eq!(Rational::new(4, 2).to_string(), "2");
+        assert_eq!(Rational::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        for (n, d) in [(3, 7), (-3, 7), (22, 11), (0, 5)] {
+            let r = Rational::new(n, d);
+            assert_eq!(r.to_string().parse::<Rational>().unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Exact rational arithmetic.
+//!
+//! [`Rational`] is a normalized fraction of [`cr_bigint::BigInt`]s: the
+//! denominator is always strictly positive and `gcd(num, den) == 1`. All
+//! operations are exact; this is the scalar type of the exact simplex in
+//! `cr-linear`, where any rounding would make the Calvanese–Lenzerini
+//! decision procedure unsound.
+//!
+//! # Example
+//!
+//! ```
+//! use cr_rational::Rational;
+//!
+//! let a = Rational::new(1, 3);
+//! let b = Rational::new(1, 6);
+//! assert_eq!(&a + &b, Rational::new(1, 2));
+//! assert_eq!((&a - &b).to_string(), "1/6");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fmt;
+mod ops;
+mod ratio;
+
+pub use ratio::{ParseRationalError, Rational};

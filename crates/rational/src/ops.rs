@@ -1,0 +1,183 @@
+//! Arithmetic operators for [`Rational`].
+
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::ratio::Rational;
+
+fn add_impl(a: &Rational, b: &Rational) -> Rational {
+    Rational::from_bigints(
+        a.numer() * b.denom() + b.numer() * a.denom(),
+        a.denom() * b.denom(),
+    )
+}
+
+fn sub_impl(a: &Rational, b: &Rational) -> Rational {
+    Rational::from_bigints(
+        a.numer() * b.denom() - b.numer() * a.denom(),
+        a.denom() * b.denom(),
+    )
+}
+
+fn mul_impl(a: &Rational, b: &Rational) -> Rational {
+    Rational::from_bigints(a.numer() * b.numer(), a.denom() * b.denom())
+}
+
+fn div_impl(a: &Rational, b: &Rational) -> Rational {
+    assert!(!b.is_zero(), "rational division by zero");
+    Rational::from_bigints(a.numer() * b.denom(), a.denom() * b.numer())
+}
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $f:ident) => {
+        impl $trait<&Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                $f(self, rhs)
+            }
+        }
+        impl $trait<Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                $f(&self, &rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                $f(&self, rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                $f(self, &rhs)
+            }
+        }
+    };
+}
+
+binop!(Add, add, add_impl);
+binop!(Sub, sub, sub_impl);
+binop!(Mul, mul, mul_impl);
+binop!(Div, div, div_impl);
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational::from_bigints(-self.numer().clone(), self.denom().clone())
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational::from_bigints(-self.numer(), self.denom().clone())
+    }
+}
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = add_impl(self, rhs);
+    }
+}
+
+impl AddAssign<Rational> for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = add_impl(self, &rhs);
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = sub_impl(self, rhs);
+    }
+}
+
+impl SubAssign<Rational> for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = sub_impl(self, &rhs);
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = mul_impl(self, rhs);
+    }
+}
+
+impl MulAssign<Rational> for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = mul_impl(self, &rhs);
+    }
+}
+
+impl DivAssign<&Rational> for Rational {
+    fn div_assign(&mut self, rhs: &Rational) {
+        *self = div_impl(self, rhs);
+    }
+}
+
+impl DivAssign<Rational> for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = div_impl(self, &rhs);
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn add_sub() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 2), Rational::zero());
+        assert_eq!(r(1, 6) + r(1, 6), r(1, 3));
+        assert_eq!(r(-1, 2) + r(1, 3), r(-1, 6));
+    }
+
+    #[test]
+    fn mul_div() {
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 3), r(1, 2));
+        assert_eq!(r(-2, 3) * r(3, 2), r(-1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = r(1, 2) / Rational::zero();
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += r(1, 3);
+        x -= r(1, 6);
+        x *= r(3, 2);
+        x /= r(1, 2);
+        assert_eq!(x, r(2, 1));
+    }
+
+    #[test]
+    fn neg_and_sum() {
+        assert_eq!(-r(1, 2), r(-1, 2));
+        let total: Rational = (1..=4).map(|d| r(1, d)).sum();
+        assert_eq!(total, r(25, 12));
+    }
+}

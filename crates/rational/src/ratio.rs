@@ -1,0 +1,327 @@
+//! The normalized [`Rational`] type.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use cr_bigint::BigInt;
+
+/// An exact rational number.
+///
+/// Invariants: `den > 0` and `gcd(|num|, den) == 1`; zero is `0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Builds `num/den` from primitive integers; panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        Rational::from_bigints(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Builds `num/den` from big integers, normalizing sign and common
+    /// factors; panics if `den` is zero.
+    pub fn from_bigints(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
+        let g = num.gcd(&den);
+        if g.is_one() {
+            Rational { num, den }
+        } else {
+            Rational {
+                num: &num / &g,
+                den: &den / &g,
+            }
+        }
+    }
+
+    /// Builds an integer rational.
+    pub fn from_int(v: impl Into<BigInt>) -> Self {
+        Rational {
+            num: v.into(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The (sign-carrying) numerator.
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The (strictly positive) denominator.
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether this is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Whether this is an integer (denominator 1).
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// The multiplicative inverse; panics if zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        if self.num.is_negative() {
+            Rational {
+                num: -&self.den,
+                den: -&self.num,
+            }
+        } else {
+            Rational {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
+        }
+    }
+
+    /// Floor: the greatest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling: the least integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Returns the integer value if this is an integer.
+    pub fn to_integer(&self) -> Option<&BigInt> {
+        self.is_integer().then_some(&self.num)
+    }
+
+    /// Approximate `f64` value (for reporting only — never used in
+    /// decisions).
+    pub fn to_f64(&self) -> f64 {
+        // Shift both operands down to <= 62 bits so they fit a u64 exactly,
+        // then correct with a power-of-two factor:
+        // num/den ~= (num >> a) / (den >> b) * 2^(a-b).
+        let nb = self.num.bit_len() as i64;
+        let db = self.den.bit_len() as i64;
+        let a = (nb - 62).max(0) as u64;
+        let b = (db - 62).max(0) as u64;
+        let n = self
+            .num
+            .magnitude()
+            .shr_bits(a)
+            .to_u64()
+            .unwrap_or(u64::MAX) as f64;
+        let d = self
+            .den
+            .magnitude()
+            .shr_bits(b)
+            .to_u64()
+            .unwrap_or(u64::MAX) as f64;
+        let base = n / d * 2f64.powi((a as i64 - b as i64) as i32);
+        if self.num.is_negative() {
+            -base
+        } else {
+            base
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+/// Error from parsing a [`Rational`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(pub(crate) String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"a"` or `"a/b"` in decimal.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mk_err = || ParseRationalError(s.to_string());
+        match s.split_once('/') {
+            None => {
+                let n: BigInt = s.parse().map_err(|_| mk_err())?;
+                Ok(Rational::from_int(n))
+            }
+            Some((ns, ds)) => {
+                let n: BigInt = ns.parse().map_err(|_| mk_err())?;
+                let d: BigInt = ds.parse().map_err(|_| mk_err())?;
+                if d.is_zero() {
+                    return Err(mk_err());
+                }
+                Ok(Rational::from_bigints(n, d))
+            }
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Rational {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Rational {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::zero());
+        assert!(Rational::new(-1, 2).denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
+        assert!(Rational::new(-1, 2) < Rational::zero());
+        assert_eq!(Rational::new(3, 9), Rational::new(1, 3));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), BigInt::from(3));
+        assert_eq!(Rational::new(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(Rational::new(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(Rational::new(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(Rational::new(6, 2).floor(), BigInt::from(3));
+        assert_eq!(Rational::new(6, 2).ceil(), BigInt::from(3));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Rational::new(2, 3).recip(), Rational::new(3, 2));
+        assert_eq!(Rational::new(-2, 3).recip(), Rational::new(-3, 2));
+        assert!(Rational::new(-2, 3).recip().denom().is_positive());
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("3/6".parse::<Rational>().unwrap(), Rational::new(1, 2));
+        assert_eq!("-3/6".parse::<Rational>().unwrap(), Rational::new(-1, 2));
+        assert_eq!("5".parse::<Rational>().unwrap(), Rational::from_int(5));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn to_f64_rough() {
+        assert!((Rational::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((Rational::new(-7, 2).to_f64() + 3.5).abs() < 1e-12);
+        assert_eq!(Rational::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn to_integer() {
+        assert_eq!(Rational::new(6, 3).to_integer(), Some(&BigInt::from(2)));
+        assert_eq!(Rational::new(5, 3).to_integer(), None);
+    }
+}

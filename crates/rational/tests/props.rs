@@ -1,0 +1,72 @@
+//! Property tests: field laws and agreement with exact fraction arithmetic
+//! computed independently over i128.
+
+use cr_rational::Rational;
+use proptest::prelude::*;
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (-1_000_000i64..1_000_000, 1i64..1_000_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn nonzero_rational() -> impl Strategy<Value = Rational> {
+    arb_rational().prop_filter("nonzero", |r| !r.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn field_laws(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a + Rational::zero(), a.clone());
+        prop_assert_eq!(&a * Rational::one(), a.clone());
+        prop_assert_eq!(&a + (-&a), Rational::zero());
+    }
+
+    #[test]
+    fn mul_inverse(a in nonzero_rational()) {
+        prop_assert_eq!(&a * a.recip(), Rational::one());
+        prop_assert_eq!(&a / &a, Rational::one());
+    }
+
+    #[test]
+    fn normalization_invariants(a in arb_rational(), b in arb_rational()) {
+        for v in [&a + &b, &a - &b, &a * &b] {
+            prop_assert!(v.denom().is_positive());
+            prop_assert!(v.numer().gcd(v.denom()).is_one() || v.is_zero());
+        }
+    }
+
+    #[test]
+    fn cmp_matches_cross_multiplication(an in -1000i128..1000, ad in 1i128..1000,
+                                        bn in -1000i128..1000, bd in 1i128..1000) {
+        let a = Rational::new(an as i64, ad as i64);
+        let b = Rational::new(bn as i64, bd as i64);
+        prop_assert_eq!(a.cmp(&b), (an * bd).cmp(&(bn * ad)));
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in arb_rational()) {
+        let fl = Rational::from(a.floor());
+        let ce = Rational::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Rational::one());
+        if a.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in arb_rational()) {
+        prop_assert_eq!(a.to_string().parse::<Rational>().unwrap(), a);
+    }
+
+    #[test]
+    fn to_f64_close(n in -10_000i64..10_000, d in 1i64..10_000) {
+        let r = Rational::new(n, d);
+        let expected = n as f64 / d as f64;
+        prop_assert!((r.to_f64() - expected).abs() <= 1e-9 * expected.abs().max(1.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Quickstart: build the paper's meeting schema programmatically, check
+//! satisfiability, ask implication questions, and materialize a verified
+//! finite database state.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cr_core::expansion::ExpansionConfig;
+use cr_core::implication::{implied_maxc, ImpliedBound};
+use cr_core::model::ModelConfig;
+use cr_core::sat::Reasoner;
+use cr_core::schema::{Card, SchemaBuilder};
+
+fn main() {
+    // --- declare the schema (Figures 2/3 of the paper) -------------------
+    let mut b = SchemaBuilder::new();
+    let speaker = b.class("Speaker");
+    let discussant = b.class("Discussant");
+    let talk = b.class("Talk");
+    b.isa(discussant, speaker); // every discussant is a speaker
+
+    let holds = b
+        .relationship("Holds", [("U1", speaker), ("U2", talk)])
+        .unwrap();
+    let participates = b
+        .relationship("Participates", [("U3", discussant), ("U4", talk)])
+        .unwrap();
+
+    // Speakers hold at least one talk; discussants (being busy) at most 2.
+    b.card(speaker, b.role(holds, 0), Card::at_least(1))
+        .unwrap();
+    b.card(discussant, b.role(holds, 0), Card::at_most(2))
+        .unwrap();
+    // Each talk has exactly one holder and at least one discussant.
+    b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+    b.card(talk, b.role(participates, 1), Card::at_least(1))
+        .unwrap();
+    // Each discussant participates in exactly one talk.
+    b.card(discussant, b.role(participates, 0), Card::exactly(1))
+        .unwrap();
+    let schema = b.build().unwrap();
+
+    // --- reason -----------------------------------------------------------
+    let reasoner = Reasoner::new(&schema).unwrap();
+    println!("class satisfiability:");
+    for c in schema.classes() {
+        println!(
+            "  {:<12} {}",
+            schema.class_name(c),
+            if reasoner.is_class_satisfiable(c) {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE"
+            }
+        );
+    }
+
+    // A non-obvious consequence (the paper's Figure 7): the constraints
+    // force every speaker to also be a discussant.
+    println!(
+        "\nimplied: Speaker ≼ Discussant? {}",
+        reasoner.implies_isa(speaker, discussant)
+    );
+
+    // And although Discussant declares (0,2) on Holds.U1, the tightest
+    // implied maximum is 1.
+    let bound = implied_maxc(
+        &schema,
+        speaker,
+        schema.role_by_name(holds, "U1").unwrap(),
+        &ExpansionConfig::default(),
+        1 << 16,
+    )
+    .unwrap();
+    assert_eq!(bound, ImpliedBound::Bound(1));
+    println!("tightest implied maxc(Speaker, Holds, U1) = 1 (declared: ∞)");
+
+    // --- materialize a database state -------------------------------------
+    let model = reasoner
+        .construct_model(&ModelConfig::default())
+        .unwrap()
+        .expect("schema is satisfiable");
+    println!(
+        "\nconstructed + verified a model with {} individuals:",
+        model.domain_size()
+    );
+    for c in schema.classes() {
+        println!(
+            "  |{}| = {}",
+            schema.class_name(c),
+            model.class_extension(c).len()
+        );
+    }
+    assert!(model.is_model_of(&schema));
+}

@@ -1,0 +1,80 @@
+//! Schema debugging: detect an unsatisfiable class, extract a *minimal*
+//! unsatisfiable constraint set (the Section 5 future-work feature), repair
+//! the schema, and confirm the fix — the workflow the paper envisions for
+//! CASE tools.
+//!
+//! Run with `cargo run --example schema_debugging`.
+
+use cr_core::expansion::ExpansionConfig;
+use cr_core::explain::minimal_unsat_core;
+use cr_core::sat::Reasoner;
+
+/// A project-staffing schema with a subtle bug: contractors are employees,
+/// employees need at least two assignments, but contractor assignments are
+/// capped at one *and* every assignment consumes a unique badge, of which
+/// each contractor holds exactly one. The interaction — not any single
+/// constraint — kills the Contractor class.
+const BROKEN: &str = r#"
+    class Employee;
+    class Contractor isa Employee;
+    class Project;
+
+    relationship AssignedTo (worker: Employee, proj: Project);
+    card Employee in AssignedTo.worker: 2..*;
+    card Contractor in AssignedTo.worker: 0..1;
+    card Project in AssignedTo.proj: 1..*;
+"#;
+
+fn main() {
+    let schema = cr_lang::parse_schema(BROKEN).unwrap();
+    let reasoner = Reasoner::new(&schema).unwrap();
+
+    println!("== checking the draft schema ==");
+    let unsat = reasoner.unsatisfiable_classes();
+    for c in schema.classes() {
+        println!(
+            "  {:<11} {}",
+            schema.class_name(c),
+            if reasoner.is_class_satisfiable(c) {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE"
+            }
+        );
+    }
+    assert!(!unsat.is_empty(), "the draft is intentionally broken");
+
+    let contractor = schema.class_by_name("Contractor").unwrap();
+    let config = ExpansionConfig::default();
+    println!("\n== minimal unsatisfiable core for Contractor ==");
+    let core = minimal_unsat_core(&schema, contractor, &config)
+        .unwrap()
+        .expect("Contractor is unsatisfiable");
+    for c in &core {
+        println!("  {}", c.describe(&schema));
+    }
+    println!("  (removing any single one restores satisfiability)");
+
+    // The designer decides the refinement was wrong: contractors may take
+    // two assignments after all.
+    println!("\n== applying the fix: Contractor window (0,1) -> (0,2) ==");
+    let fixed_src = BROKEN.replace(
+        "card Contractor in AssignedTo.worker: 0..1;",
+        "card Contractor in AssignedTo.worker: 0..2;",
+    );
+    let fixed = cr_lang::parse_schema(&fixed_src).unwrap();
+    let reasoner = Reasoner::new(&fixed).unwrap();
+    for c in fixed.classes() {
+        println!(
+            "  {:<11} {}",
+            fixed.class_name(c),
+            if reasoner.is_class_satisfiable(c) {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE"
+            }
+        );
+    }
+    assert!(reasoner.is_schema_fully_satisfiable());
+    println!("\nschema repaired — every class can now be populated");
+}

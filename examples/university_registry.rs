@@ -1,0 +1,110 @@
+//! Conceptual database design for a university registry — the CASE-tool
+//! scenario that motivates the paper's introduction: an ER-style schema with
+//! deep ISA hierarchies and cardinality refinements, where the *interaction*
+//! between the two produces consequences no per-constraint check finds.
+//!
+//! Run with `cargo run --example university_registry`.
+
+use cr_core::expansion::ExpansionConfig;
+use cr_core::implication::{implied_maxc, implied_minc};
+use cr_core::model::ModelConfig;
+use cr_core::sat::Reasoner;
+
+const SCHEMA: &str = r#"
+    // People.
+    class Person;
+    class Student isa Person;
+    class Employee isa Person;
+    class TA isa Student, Employee;      // teaching assistants are both
+
+    // Courses.
+    class Course;
+    class Seminar isa Course;
+
+    // Every student enrolls in 1 to 5 courses; TAs, short on time,
+    // refine that to at most 2.
+    relationship Enrolls (who: Student, what: Course);
+    card Student in Enrolls.who: 1..5;
+    card TA in Enrolls.who: 0..2;
+    // Every course must have at least 3 enrolled students to run.
+    card Course in Enrolls.what: 3..*;
+
+    // Teaching: employees teach between 0 and 3 courses; every course is
+    // taught by exactly one employee; every seminar's teacher also refines
+    // nothing special here, but TAs must teach exactly 1 course.
+    relationship Teaches (teacher: Employee, taught: Course);
+    card Employee in Teaches.teacher: 0..3;
+    card TA in Teaches.teacher: 1..1;
+    card Course in Teaches.taught: 1..1;
+
+    // Mentoring: each student has exactly one mentor, employees mentor at
+    // most 4 students.
+    relationship Mentors (mentor: Employee, mentee: Student);
+    card Student in Mentors.mentee: 1..1;
+    card Employee in Mentors.mentor: 0..4;
+"#;
+
+fn main() {
+    let schema = cr_lang::parse_schema(SCHEMA).unwrap();
+    let reasoner = Reasoner::new(&schema).unwrap();
+
+    println!("== satisfiability ==");
+    for c in schema.classes() {
+        println!(
+            "  {:<10} {}",
+            schema.class_name(c),
+            if reasoner.is_class_satisfiable(c) {
+                "satisfiable"
+            } else {
+                "UNSATISFIABLE"
+            }
+        );
+    }
+    assert!(reasoner.is_schema_fully_satisfiable());
+
+    // What does the design actually entail for TAs?
+    let ta = schema.class_by_name("TA").unwrap();
+    let enrolls = schema.rel_by_name("Enrolls").unwrap();
+    let who = schema.role_by_name(enrolls, "who").unwrap();
+    let config = ExpansionConfig::default();
+    println!("\n== tightest implied windows for TA in Enrolls.who ==");
+    let min = implied_minc(&schema, ta, who, &config).unwrap();
+    let max = implied_maxc(&schema, ta, who, &config, 1 << 12).unwrap();
+    // Declared (0,2) for TA, but TAs are Students, so the inherited
+    // minimum 1 applies: the tightest window is (1, 2).
+    println!("  declared: (0,2) on TA, (1,5) on Student");
+    println!("  implied:  min = {min:?}, max = {max:?}");
+
+    // Implied ISA pairs: is anything forced to coincide?
+    println!("\n== implied (undeclared) ISA ==");
+    let pairs = reasoner.implied_isa_pairs();
+    if pairs.is_empty() {
+        println!("  none — the hierarchy is not collapsed by the cardinalities");
+    }
+    for (sub, sup) in pairs {
+        println!("  {} ≼ {}", schema.class_name(sub), schema.class_name(sup));
+    }
+
+    // Sizing: the smallest populations a consistent registry needs.
+    let model = reasoner
+        .construct_model(&ModelConfig::default())
+        .unwrap()
+        .expect("satisfiable");
+    println!("\n== a verified sample state ==");
+    println!("  domain: {} individuals", model.domain_size());
+    for c in schema.classes() {
+        println!(
+            "  |{}| = {}",
+            schema.class_name(c),
+            model.class_extension(c).len()
+        );
+    }
+    for r in schema.rels() {
+        println!(
+            "  |{}| = {} tuples",
+            schema.rel_name(r),
+            model.rel_extension(r).len()
+        );
+    }
+    assert!(model.is_model_of(&schema));
+}

@@ -1,0 +1,6 @@
+// Figure 1: a finitely unsatisfiable schema.
+class C;
+class D isa C;
+relationship R (U1: C, U2: D);
+card C in R.U1: 2..*;
+card D in R.U2: 0..1;

@@ -1,0 +1,11 @@
+// The meeting schema of Calvanese & Lenzerini, ICDE'94 (Figures 2/3).
+class Speaker;
+class Discussant isa Speaker;
+class Talk;
+relationship Holds (U1: Speaker, U2: Talk);
+relationship Participates (U3: Discussant, U4: Talk);
+card Speaker in Holds.U1: 1..*;
+card Discussant in Holds.U1: 0..2;
+card Talk in Holds.U2: 1..1;
+card Discussant in Participates.U3: 1..1;
+card Talk in Participates.U4: 1..*;

@@ -1,0 +1,13 @@
+// A sealed OO hierarchy: disjoint variants covering the base class.
+class Shape;
+class Circle isa Shape;
+class Polygon isa Shape;
+class Triangle isa Polygon;
+disjoint Circle, Polygon;
+cover Shape by Circle | Polygon;
+
+class Point;
+relationship ControlPoints (owner: Shape, value: Point);
+card Shape in ControlPoints.owner: 1..*;
+card Circle in ControlPoints.owner: 1..1;
+card Triangle in ControlPoints.owner: 3..3;

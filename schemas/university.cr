@@ -1,0 +1,21 @@
+// A university registry: deep ISA with cardinality refinements.
+class Person;
+class Student isa Person;
+class Employee isa Person;
+class TA isa Student, Employee;
+class Course;
+class Seminar isa Course;
+
+relationship Enrolls (who: Student, what: Course);
+card Student in Enrolls.who: 1..5;
+card TA in Enrolls.who: 0..2;
+card Course in Enrolls.what: 3..*;
+
+relationship Teaches (teacher: Employee, taught: Course);
+card Employee in Teaches.teacher: 0..3;
+card TA in Teaches.teacher: 1..1;
+card Course in Teaches.taught: 1..1;
+
+relationship Mentors (mentor: Employee, mentee: Student);
+card Student in Mentors.mentee: 1..1;
+card Employee in Mentors.mentor: 0..4;

@@ -1,0 +1,100 @@
+//! Integration tests for semantic schema comparison through the DSL.
+
+use cr_core::compare::{equivalent, subsumes};
+use cr_core::expansion::ExpansionConfig;
+
+fn parse(src: &str) -> cr_core::Schema {
+    cr_lang::parse_schema(src).unwrap()
+}
+
+const BASE: &str = r#"
+    class Employee;
+    class Manager isa Employee;
+    class Team;
+    relationship Leads (who: Manager, team: Team);
+    relationship MemberOf (who: Employee, team: Team);
+    card Team in Leads.team: 1..1;
+    card Manager in Leads.who: 0..2;
+    card Employee in MemberOf.who: 1..1;
+    card Team in MemberOf.team: 2..*;
+"#;
+
+#[test]
+fn schema_is_equivalent_to_itself() {
+    let a = parse(BASE);
+    let b = parse(BASE);
+    assert!(equivalent(&a, &b, &ExpansionConfig::default()).unwrap());
+}
+
+#[test]
+fn reordering_declarations_is_equivalent() {
+    let reordered = r#"
+        class Team;
+        class Employee;
+        class Manager isa Employee;
+        relationship Leads (who: Manager, team: Team);
+        relationship MemberOf (who: Employee, team: Team);
+        card Team in MemberOf.team: 2..*;
+        card Employee in MemberOf.who: 1..1;
+        card Manager in Leads.who: 0..2;
+        card Team in Leads.team: 1..1;
+    "#;
+    let a = parse(BASE);
+    let b = parse(reordered);
+    assert!(equivalent(&a, &b, &ExpansionConfig::default()).unwrap());
+}
+
+#[test]
+fn widening_a_window_weakens_the_schema() {
+    let widened = BASE.replace(
+        "card Manager in Leads.who: 0..2;",
+        "card Manager in Leads.who: 0..5;",
+    );
+    let a = parse(BASE);
+    let b = parse(&widened);
+    let config = ExpansionConfig::default();
+    // The tight schema subsumes the wide one, not vice versa.
+    assert!(subsumes(&a, &b, &config).unwrap().holds());
+    let back = subsumes(&b, &a, &config).unwrap();
+    assert!(!back.holds());
+    assert!(
+        back.failing
+            .iter()
+            .any(|f| f.contains("maxc(Manager, Leads.who) = 2")),
+        "{:?}",
+        back.failing
+    );
+}
+
+#[test]
+fn dropping_isa_is_detected() {
+    let no_isa = BASE.replace("class Manager isa Employee;", "class Manager;");
+    let a = parse(BASE);
+    let b = parse(&no_isa);
+    let config = ExpansionConfig::default();
+    assert!(subsumes(&a, &b, &config).unwrap().holds());
+    let back = subsumes(&b, &a, &config).unwrap();
+    assert!(back
+        .failing
+        .iter()
+        .any(|f| f.contains("Manager ≼ Employee")));
+}
+
+#[test]
+fn renamed_class_is_a_signature_mismatch() {
+    let renamed = BASE.replace("Manager", "Boss");
+    let a = parse(BASE);
+    let b = parse(&renamed);
+    assert!(subsumes(&a, &b, &ExpansionConfig::default()).is_err());
+}
+
+#[test]
+fn implied_constraints_keep_equivalence_via_dsl() {
+    // Every Team has exactly one leader and at least two members; a version
+    // declaring the implied (vacuous) minc 0 bound is still equivalent.
+    let annotated = format!("{BASE}\ncard Manager in MemberOf.who: 0..*;\n");
+    // (0,∞) is the default window: semantically a no-op declaration.
+    let a = parse(BASE);
+    let b = parse(&annotated);
+    assert!(equivalent(&a, &b, &ExpansionConfig::default()).unwrap());
+}

@@ -1,0 +1,183 @@
+//! Integration tests reproducing every figure of the paper end-to-end
+//! through the public APIs (DSL → expansion → system → satisfiability →
+//! implication → model).
+
+use cr_core::expansion::{Expansion, ExpansionConfig};
+use cr_core::implication::{implied_maxc, implied_minc, ImpliedBound};
+use cr_core::model::ModelConfig;
+use cr_core::sat::Reasoner;
+use cr_core::system::{render_verbatim, CrSystem};
+
+const MEETING: &str = r#"
+    class Speaker;
+    class Discussant isa Speaker;
+    class Talk;
+    relationship Holds (U1: Speaker, U2: Talk);
+    relationship Participates (U3: Discussant, U4: Talk);
+    card Speaker in Holds.U1: 1..*;
+    card Discussant in Holds.U1: 0..2;
+    card Talk in Holds.U2: 1..1;
+    card Discussant in Participates.U3: 1..1;
+    card Talk in Participates.U4: 1..*;
+"#;
+
+#[test]
+fn figure1_finitely_unsatisfiable() {
+    let schema = cr_lang::parse_schema(
+        r#"
+        class C;
+        class D isa C;
+        relationship R (U1: C, U2: D);
+        card C in R.U1: 2..*;
+        card D in R.U2: 0..1;
+    "#,
+    )
+    .unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    // The paper: "this schema admits no finite database state."
+    assert_eq!(r.unsatisfiable_classes().len(), 2);
+    // Yet the empty interpretation is a model (satisfiability vs class
+    // satisfiability, Section 3).
+    let empty = cr_core::interp::Interpretation::empty(&schema);
+    assert!(empty.is_model_of(&schema));
+}
+
+#[test]
+fn figure3_schema_consistent() {
+    let schema = cr_lang::parse_schema(MEETING).unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    assert!(r.is_schema_fully_satisfiable());
+}
+
+#[test]
+fn figure4_expansion_inventory() {
+    let schema = cr_lang::parse_schema(MEETING).unwrap();
+    let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+    assert_eq!(exp.total_compound_classes(), 7);
+    assert_eq!(exp.compound_classes().len(), 5);
+    let holds = schema.rel_by_name("Holds").unwrap();
+    let part = schema.rel_by_name("Participates").unwrap();
+    assert_eq!(exp.compound_rels_of(holds).len(), 12);
+    assert_eq!(exp.compound_rels_of(part).len(), 6);
+
+    // Spot-check the derived windows the paper lists: c̄4 = {S,D} gets
+    // minc=1 (inherited from Speaker) and maxc=2 (Discussant refinement).
+    let s = schema.class_by_name("Speaker").unwrap();
+    let d = schema.class_by_name("Discussant").unwrap();
+    let u1 = schema.role_by_name(holds, "U1").unwrap();
+    let n = schema.num_classes();
+    let sd = exp
+        .index_of(&cr_core::bitset::BitSet::from_iter(
+            n,
+            [s.index(), d.index()],
+        ))
+        .unwrap();
+    assert_eq!(exp.derived_card(sd, u1), cr_core::Card::new(1, Some(2)));
+}
+
+#[test]
+fn figure5_system_inventory() {
+    let schema = cr_lang::parse_schema(MEETING).unwrap();
+    let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+    let sys = CrSystem::build(&exp);
+    assert_eq!(sys.num_unknowns(), 23); // 5 + 18 consistent unknowns
+    assert_eq!(sys.num_rows(), 19);
+    assert!(sys.lin.constraints().iter().all(|c| c.rhs.is_zero())); // homogeneous
+
+    // Verbatim rendering restores the paper's 105-unknown inventory.
+    let text = render_verbatim(&exp, 8).unwrap();
+    let vars = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("Var("))
+        .count();
+    assert_eq!(vars, 7 + 49 + 49);
+}
+
+#[test]
+fn figure6_solution_and_model() {
+    let schema = cr_lang::parse_schema(MEETING).unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    let w = r.witness().expect("satisfiable");
+    assert!(w.verify(r.system()));
+    // The paper's solution populates {Talk} and {Speaker,Discussant}; our
+    // maximal-support witness must populate at least those.
+    let talk = schema.class_by_name("Talk").unwrap();
+    let disc = schema.class_by_name("Discussant").unwrap();
+    assert!(w.class_total(r.expansion(), talk).is_positive());
+    assert!(w.class_total(r.expansion(), disc).is_positive());
+
+    let model = r
+        .construct_model(&ModelConfig::default())
+        .unwrap()
+        .expect("satisfiable");
+    assert!(model.is_model_of(&schema));
+    assert!(!model.class_extension(talk).is_empty());
+}
+
+#[test]
+fn figure7_inferences() {
+    let schema = cr_lang::parse_schema(MEETING).unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    let speaker = schema.class_by_name("Speaker").unwrap();
+    let discussant = schema.class_by_name("Discussant").unwrap();
+    let talk = schema.class_by_name("Talk").unwrap();
+    let holds = schema.rel_by_name("Holds").unwrap();
+    let part = schema.rel_by_name("Participates").unwrap();
+    let u1 = schema.role_by_name(holds, "U1").unwrap();
+    let u4 = schema.role_by_name(part, "U4").unwrap();
+    let config = ExpansionConfig::default();
+
+    // S ⊨ Speaker ≼ Discussant
+    assert!(r.implies_isa(speaker, discussant));
+    // S ⊨ maxc(Talk, Participates, U4) = 1
+    assert_eq!(
+        implied_maxc(&schema, talk, u4, &config, 1 << 16).unwrap(),
+        ImpliedBound::Bound(1)
+    );
+    // S ⊨ maxc(Speaker, Holds, U1) = 1
+    assert_eq!(
+        implied_maxc(&schema, speaker, u1, &config, 1 << 16).unwrap(),
+        ImpliedBound::Bound(1)
+    );
+    // Sanity: the implied minimum stays at the declared 1.
+    assert_eq!(
+        implied_minc(&schema, speaker, u1, &config).unwrap(),
+        ImpliedBound::Bound(1)
+    );
+}
+
+#[test]
+fn support_reflects_figure7_isa_inference() {
+    // Because S ⊨ Speaker ≼ Discussant (Figure 7), the compound classes
+    // "Speaker but not Discussant" can never be populated: the maximal
+    // acceptable support must be exactly {{Talk}, {S,D}, {S,D,T}}.
+    let schema = cr_lang::parse_schema(MEETING).unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    let exp = r.expansion();
+    let supported: Vec<String> = (0..exp.compound_classes().len())
+        .filter(|&cc| r.support()[cc])
+        .map(|cc| exp.cclass_name(cc))
+        .collect();
+    let mut sorted = supported.clone();
+    sorted.sort();
+    assert_eq!(
+        sorted,
+        vec![
+            "{Speaker,Discussant,Talk}",
+            "{Speaker,Discussant}",
+            "{Talk}",
+        ]
+    );
+}
+
+#[test]
+fn section33_counterexample() {
+    let amended = MEETING.replace(
+        "card Discussant in Holds.U1: 0..2;",
+        "card Discussant in Holds.U1: 2..2;",
+    );
+    let schema = cr_lang::parse_schema(&amended).unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    assert_eq!(r.unsatisfiable_classes().len(), 3);
+    assert!(r.witness().is_none());
+}

@@ -1,0 +1,170 @@
+//! Cross-crate pipeline tests: DSL → reasoner → model → checker, baseline
+//! agreement, formatter round-trips on the shipped sample schemas, and the
+//! explain/repair loop.
+
+use cr_baseline::BaselineReasoner;
+use cr_core::expansion::ExpansionConfig;
+use cr_core::explain::minimal_unsat_core;
+use cr_core::model::ModelConfig;
+use cr_core::sat::Reasoner;
+
+#[test]
+fn dsl_to_verified_model() {
+    let schema = cr_lang::parse_schema(
+        r#"
+        class Author;
+        class Reviewer isa Author;
+        class Paper;
+        relationship Writes (w: Author, p: Paper);
+        relationship Reviews (r: Reviewer, p: Paper);
+        card Author in Writes.w: 1..3;
+        card Paper in Writes.p: 1..*;
+        card Reviewer in Reviews.r: 2..4;
+        card Paper in Reviews.p: 1..2;
+    "#,
+    )
+    .unwrap();
+    let reasoner = Reasoner::new(&schema).unwrap();
+    assert!(reasoner.is_schema_fully_satisfiable());
+    let model = reasoner
+        .construct_model(&ModelConfig::default())
+        .unwrap()
+        .expect("satisfiable");
+    assert!(model.check(&schema).is_empty());
+}
+
+#[test]
+fn baseline_and_full_agree_on_flat_dsl() {
+    let schema = cr_lang::parse_schema(
+        r#"
+        class Producer;
+        class Item;
+        class Warehouse;
+        relationship Makes (m: Producer, i: Item);
+        relationship Stores (w: Warehouse, i: Item);
+        card Producer in Makes.m: 1..10;
+        card Item in Makes.i: 1..1;
+        card Item in Stores.i: 1..1;
+        card Warehouse in Stores.w: 5..*;
+    "#,
+    )
+    .unwrap();
+    let base = BaselineReasoner::new(&schema).unwrap();
+    let full = Reasoner::new(&schema).unwrap();
+    for c in schema.classes() {
+        assert_eq!(
+            base.is_class_satisfiable(c),
+            full.is_class_satisfiable(c),
+            "{}",
+            schema.class_name(c)
+        );
+    }
+}
+
+#[test]
+fn shipped_sample_schemas_parse_and_roundtrip() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    for name in ["schemas/meeting.cr", "schemas/figure1.cr"] {
+        let src = std::fs::read_to_string(format!("{root}/{name}")).unwrap();
+        let schema = cr_lang::parse_schema(&src).unwrap();
+        let printed = cr_lang::print_schema(&schema);
+        let reparsed = cr_lang::parse_schema(&printed).unwrap();
+        assert_eq!(schema.num_classes(), reparsed.num_classes());
+        assert_eq!(schema.card_declarations(), reparsed.card_declarations());
+    }
+}
+
+#[test]
+fn explain_then_repair_loop() {
+    // Start from an unsatisfiable design, remove one core constraint,
+    // confirm the class becomes satisfiable — the Section 5 debugging loop.
+    let schema = cr_lang::parse_schema(
+        r#"
+        class C;
+        class D isa C;
+        relationship R (U1: C, U2: D);
+        card C in R.U1: 2..*;
+        card D in R.U2: 0..1;
+    "#,
+    )
+    .unwrap();
+    let c = schema.class_by_name("C").unwrap();
+    let config = ExpansionConfig::default();
+    let core = minimal_unsat_core(&schema, c, &config)
+        .unwrap()
+        .expect("unsat");
+    assert!(!core.is_empty());
+
+    // Repair: drop the refinement on D (the paper's Figure 1 becomes the
+    // unconstrained-and-satisfiable version).
+    let repaired = cr_lang::parse_schema(
+        r#"
+        class C;
+        class D isa C;
+        relationship R (U1: C, U2: D);
+        card C in R.U1: 2..*;
+    "#,
+    )
+    .unwrap();
+    let r = Reasoner::new(&repaired).unwrap();
+    assert!(r.is_class_satisfiable(repaired.class_by_name("C").unwrap()));
+}
+
+#[test]
+fn deep_hierarchy_end_to_end() {
+    // A 5-level chain with refinements at every level; the expansion must
+    // honor the tightest window on the deepest class.
+    let schema = cr_lang::parse_schema(
+        r#"
+        class L0;
+        class L1 isa L0;
+        class L2 isa L1;
+        class L3 isa L2;
+        class L4 isa L3;
+        class T;
+        relationship R (u: L0, v: T);
+        card L0 in R.u: 0..16;
+        card L1 in R.u: 1..8;
+        card L2 in R.u: 2..6;
+        card L3 in R.u: 3..5;
+        card L4 in R.u: 4..4;
+        card T in R.v: 1..1;
+    "#,
+    )
+    .unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    assert!(r.is_schema_fully_satisfiable());
+    let model = r
+        .construct_model(&ModelConfig::default())
+        .unwrap()
+        .expect("satisfiable");
+    assert!(model.is_model_of(&schema));
+    // Every L4 individual participates exactly 4 times.
+    let l4 = schema.class_by_name("L4").unwrap();
+    let rel = schema.rel_by_name("R").unwrap();
+    for &ind in model.class_extension(l4) {
+        assert_eq!(model.participation_count(rel, 0, ind), 4);
+    }
+}
+
+#[test]
+fn contradictory_refinement_chain_detected() {
+    // L2 refines to a window disjoint from its ancestor's: L2 dies, the
+    // ancestors survive.
+    let schema = cr_lang::parse_schema(
+        r#"
+        class L0;
+        class L1 isa L0;
+        class L2 isa L1;
+        class T;
+        relationship R (u: L0, v: T);
+        card L1 in R.u: 0..2;
+        card L2 in R.u: 5..*;
+    "#,
+    )
+    .unwrap();
+    let r = Reasoner::new(&schema).unwrap();
+    assert!(!r.is_class_satisfiable(schema.class_by_name("L2").unwrap()));
+    assert!(r.is_class_satisfiable(schema.class_by_name("L1").unwrap()));
+    assert!(r.is_class_satisfiable(schema.class_by_name("L0").unwrap()));
+}
