@@ -26,9 +26,13 @@
 
 use std::fmt;
 
+use cr_core::budget::{Budget, Stage};
 use cr_core::ids::ClassId;
 use cr_core::schema::Schema;
-use cr_linear::{solve, Cmp, Feasibility, LinExpr, LinSystem, VarId, VarKind};
+use cr_core::CrError;
+use cr_linear::{
+    solve_governed, Cmp, Feasibility, LinExpr, LinSystem, LinearError, VarId, VarKind,
+};
 use cr_rational::Rational;
 
 /// Errors from the baseline reasoner.
@@ -39,6 +43,9 @@ pub enum BaselineError {
     IsaNotSupported,
     /// The schema uses Section 5 extensions (disjointness / covering).
     ExtensionsNotSupported,
+    /// The caller's resource [`Budget`] was exhausted mid-computation
+    /// (wraps the `cr-core` error for a uniform surface across engines).
+    BudgetExceeded(CrError),
 }
 
 impl fmt::Display for BaselineError {
@@ -54,6 +61,7 @@ impl fmt::Display for BaselineError {
                 f,
                 "the Lenzerini-Nobili baseline does not support disjointness/covering"
             ),
+            BaselineError::BudgetExceeded(e) => write!(f, "{e}"),
         }
     }
 }
@@ -75,6 +83,17 @@ pub struct BaselineReasoner {
 impl BaselineReasoner {
     /// Builds the reasoner; rejects schemas outside the 1990 fragment.
     pub fn new(schema: &Schema) -> Result<BaselineReasoner, BaselineError> {
+        BaselineReasoner::with_budget(schema, &Budget::unlimited())
+    }
+
+    /// [`BaselineReasoner::new`] under a resource [`Budget`]: the support
+    /// fixpoint's probes (and their simplex pivots) are charged to
+    /// [`Stage::Fixpoint`], and exhaustion surfaces as
+    /// [`BaselineError::BudgetExceeded`].
+    pub fn with_budget(
+        schema: &Schema,
+        budget: &Budget,
+    ) -> Result<BaselineReasoner, BaselineError> {
         if !schema.isa_statements().is_empty() {
             return Err(BaselineError::IsaNotSupported);
         }
@@ -122,7 +141,8 @@ impl BaselineReasoner {
             }
         }
 
-        let support = maximal_support(&lin, &class_vars, &rel_vars, &deps);
+        let support = maximal_support(&lin, &class_vars, &rel_vars, &deps, budget)
+            .map_err(BaselineError::BudgetExceeded)?;
         Ok(BaselineReasoner {
             class_vars,
             rel_vars,
@@ -170,7 +190,8 @@ fn maximal_support(
     class_vars: &[VarId],
     rel_vars: &[VarId],
     deps: &[Vec<usize>],
-) -> Vec<bool> {
+    budget: &Budget,
+) -> Result<Vec<bool>, CrError> {
     let n = class_vars.len();
     let mut alive = vec![true; n];
     loop {
@@ -179,6 +200,7 @@ fn maximal_support(
             if !alive[c] {
                 continue;
             }
+            budget.charge(Stage::Fixpoint, 1)?;
             let mut probe = lin.clone();
             for (i, &a) in alive.iter().enumerate() {
                 if !a {
@@ -191,16 +213,21 @@ fn maximal_support(
                 }
             }
             probe.push(LinExpr::var(class_vars[c]), Cmp::Ge, Rational::one());
-            if matches!(solve(&probe), Feasibility::Infeasible) {
-                alive[c] = false;
-                removed = true;
+            match solve_governed(&probe, &budget.stage(Stage::Fixpoint)) {
+                Ok(Feasibility::Infeasible) => {
+                    alive[c] = false;
+                    removed = true;
+                }
+                Ok(_) => {}
+                Err(LinearError::Interrupted) => return Err(budget.exceeded_err(Stage::Fixpoint)),
+                Err(e) => unreachable!("feasibility probe cannot reject the system: {e}"),
             }
         }
         if !removed {
             break;
         }
     }
-    alive
+    Ok(alive)
 }
 
 #[cfg(test)]
@@ -281,6 +308,32 @@ mod tests {
         let reasoner = BaselineReasoner::new(&schema).unwrap();
         assert!(!reasoner.is_class_satisfiable(x));
         assert!(!reasoner.is_class_satisfiable(a));
+    }
+
+    #[test]
+    fn governed_build_trips_and_matches() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::exactly(2)).unwrap();
+        b.card(x, b.role(r, 1), Card::exactly(1)).unwrap();
+        let schema = b.build().unwrap();
+
+        let starved = Budget::unlimited().with_stage_limit(Stage::Fixpoint, 1);
+        let err = BaselineReasoner::with_budget(&schema, &starved).unwrap_err();
+        assert!(matches!(err, BaselineError::BudgetExceeded(_)));
+
+        let generous = Budget::unlimited().with_max_steps(1_000_000);
+        let governed = BaselineReasoner::with_budget(&schema, &generous).unwrap();
+        let ungoverned = BaselineReasoner::new(&schema).unwrap();
+        assert!(generous.stage_steps(Stage::Fixpoint) > 0);
+        for c in schema.classes() {
+            assert_eq!(
+                governed.is_class_satisfiable(c),
+                ungoverned.is_class_satisfiable(c)
+            );
+        }
     }
 
     #[test]

@@ -5,14 +5,52 @@ use std::process::ExitCode;
 use cr_core::expansion::ExpansionConfig;
 use cr_core::explain::minimal_unsat_core;
 use cr_core::ids::{ClassId, RoleId};
-use cr_core::implication::{implied_maxc, implied_minc, implies_maxc, implies_minc, ImpliedBound};
+use cr_core::implication::{
+    implied_maxc_governed, implied_minc_governed, implies_maxc_governed, implies_minc_governed,
+    BoundVerdict, ImpliedBound, Verdict,
+};
 use cr_core::model::ModelConfig;
-use cr_core::sat::Reasoner;
+use cr_core::sat::{Reasoner, Strategy};
 use cr_core::system::render_verbatim;
-use cr_core::Schema;
+use cr_core::{Budget, CrError, Schema, Stage};
 
-fn reasoner<'s>(schema: &'s Schema) -> Result<Reasoner<'s>, String> {
-    Reasoner::new(schema).map_err(|e| e.to_string())
+/// Renders `CrError` for the CLI. Budget exhaustion gets the stable
+/// machine-readable form `budget-exceeded stage=<s> spent=<n> limit=<n>`
+/// that `main` routes to stderr with exit code 3.
+fn err_str(e: CrError) -> String {
+    match e {
+        CrError::BudgetExceeded {
+            stage,
+            spent,
+            limit,
+        } => {
+            format!(
+                "budget-exceeded stage={} spent={spent} limit={limit}",
+                stage.as_str()
+            )
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Converts an implication [`Verdict::Unknown`] / [`BoundVerdict::Unknown`]
+/// back into the structured budget-exceeded line: the budget's guards are
+/// still tripped, so re-checking recovers stage/spent/limit.
+fn unknown_to_err(budget: &Budget, reason: String) -> String {
+    match budget.check(Stage::Implication) {
+        Err(e) => err_str(e),
+        Ok(()) => reason,
+    }
+}
+
+fn reasoner<'s>(schema: &'s Schema, budget: &Budget) -> Result<Reasoner<'s>, String> {
+    Reasoner::with_budget(
+        schema,
+        &ExpansionConfig::default(),
+        Strategy::default(),
+        budget,
+    )
+    .map_err(err_str)
 }
 
 fn find_class(schema: &Schema, name: &str) -> Result<ClassId, String> {
@@ -36,8 +74,8 @@ fn find_role(schema: &Schema, spec: &str) -> Result<RoleId, String> {
 
 /// `crsat check`: report finite and unrestricted satisfiability per class
 /// (and per relationship); exit 1 if any class is finitely unsatisfiable.
-pub fn check(schema: &Schema) -> Result<ExitCode, String> {
-    let r = reasoner(schema)?;
+pub fn check(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
+    let r = reasoner(schema, budget)?;
     let viable = cr_core::unrestricted::viable_compound_classes(r.expansion());
     let mut any_unsat = false;
     println!("{:<24} {:<16} unrestricted", "class", "finite");
@@ -83,8 +121,8 @@ pub fn check(schema: &Schema) -> Result<ExitCode, String> {
 }
 
 /// `crsat expand`: print the expansion (Figure 4 style).
-pub fn expand(schema: &Schema) -> Result<ExitCode, String> {
-    let r = reasoner(schema)?;
+pub fn expand(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
+    let r = reasoner(schema, budget)?;
     let exp = r.expansion();
     println!(
         "compound classes: {} total, {} consistent",
@@ -128,8 +166,8 @@ pub fn expand(schema: &Schema) -> Result<ExitCode, String> {
 
 /// `crsat system`: print `Ψ_S` (Figure 5 style), optionally verbatim with
 /// forced-zero unknowns.
-pub fn system(schema: &Schema, verbatim: bool) -> Result<ExitCode, String> {
-    let r = reasoner(schema)?;
+pub fn system(schema: &Schema, verbatim: bool, budget: &Budget) -> Result<ExitCode, String> {
+    let r = reasoner(schema, budget)?;
     if verbatim {
         let text = render_verbatim(r.expansion(), 8).map_err(|e| e.to_string())?;
         print!("{text}");
@@ -140,8 +178,8 @@ pub fn system(schema: &Schema, verbatim: bool) -> Result<ExitCode, String> {
 }
 
 /// `crsat model`: construct a verified model (Figure 6 style).
-pub fn model(schema: &Schema) -> Result<ExitCode, String> {
-    let r = reasoner(schema)?;
+pub fn model(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
+    let r = reasoner(schema, budget)?;
     match r
         .construct_model(&ModelConfig::default())
         .map_err(|e| e.to_string())?
@@ -179,56 +217,68 @@ pub fn model(schema: &Schema) -> Result<ExitCode, String> {
 }
 
 /// `crsat implies <isa A B | min C R.U k | max C R.U k>`.
-pub fn implies(schema: &Schema, rest: &[String]) -> Result<ExitCode, String> {
+pub fn implies(schema: &Schema, rest: &[String], budget: &Budget) -> Result<ExitCode, String> {
     let usage = "implies query: isa <A> <B> | min <C> <Rel.Role> <k> | max <C> <Rel.Role> <k>";
     let config = ExpansionConfig::default();
-    let holds = match rest {
+    let verdict = match rest {
         [kind, a, b] if kind == "isa" => {
-            let r = reasoner(schema)?;
-            r.implies_isa(find_class(schema, a)?, find_class(schema, b)?)
+            let r = reasoner(schema, budget)?;
+            Verdict::from(r.implies_isa(find_class(schema, a)?, find_class(schema, b)?))
         }
         [kind, c, role, k] if kind == "min" => {
             let k: u64 = k.parse().map_err(|_| usage.to_string())?;
-            implies_minc(
+            implies_minc_governed(
                 schema,
                 find_class(schema, c)?,
                 find_role(schema, role)?,
                 k,
                 &config,
+                budget,
             )
-            .map_err(|e| e.to_string())?
+            .map_err(err_str)?
         }
         [kind, c, role, k] if kind == "max" => {
             let k: u64 = k.parse().map_err(|_| usage.to_string())?;
-            implies_maxc(
+            implies_maxc_governed(
                 schema,
                 find_class(schema, c)?,
                 find_role(schema, role)?,
                 k,
                 &config,
+                budget,
             )
-            .map_err(|e| e.to_string())?
+            .map_err(err_str)?
         }
         _ => return Err(usage.to_string()),
     };
-    println!("{}", if holds { "implied" } else { "not implied" });
-    Ok(if holds {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    match verdict {
+        Verdict::True => {
+            println!("implied");
+            Ok(ExitCode::SUCCESS)
+        }
+        Verdict::False => {
+            println!("not implied");
+            Ok(ExitCode::FAILURE)
+        }
+        Verdict::Unknown { reason } => Err(unknown_to_err(budget, reason)),
+    }
 }
 
 /// `crsat bounds <C> <Rel.Role>`: tightest implied window.
-pub fn bounds(schema: &Schema, rest: &[String]) -> Result<ExitCode, String> {
+pub fn bounds(schema: &Schema, rest: &[String], budget: &Budget) -> Result<ExitCode, String> {
     let [class, role] = rest else {
         return Err("bounds query: <C> <Rel.Role>".to_string());
     };
     let c = find_class(schema, class)?;
     let u = find_role(schema, role)?;
     let config = ExpansionConfig::default();
-    let min = implied_minc(schema, c, u, &config).map_err(|e| e.to_string())?;
-    let max = implied_maxc(schema, c, u, &config, 1 << 16).map_err(|e| e.to_string())?;
+    let known = |b: BoundVerdict| match b {
+        BoundVerdict::Known(bound) => Ok(bound),
+        BoundVerdict::Unknown { reason } => Err(unknown_to_err(budget, reason)),
+    };
+    let min = known(implied_minc_governed(schema, c, u, &config, budget).map_err(err_str)?)?;
+    let max =
+        known(implied_maxc_governed(schema, c, u, &config, 1 << 16, budget).map_err(err_str)?)?;
     match (min, max) {
         (ImpliedBound::Unsatisfiable, _) | (_, ImpliedBound::Unsatisfiable) => {
             println!("{class} is unsatisfiable; every window is vacuously implied");
@@ -253,8 +303,8 @@ pub fn bounds(schema: &Schema, rest: &[String]) -> Result<ExitCode, String> {
 /// satisfiability (finite and unrestricted), implied ISA, tightest implied
 /// windows for every declared constraint, and minimal cores for
 /// unsatisfiable classes.
-pub fn report(schema: &Schema) -> Result<ExitCode, String> {
-    let r = reasoner(schema)?;
+pub fn report(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
+    let r = reasoner(schema, budget)?;
     let config = ExpansionConfig::default();
 
     println!("# Schema report\n");
@@ -323,9 +373,17 @@ pub fn report(schema: &Schema) -> Result<ExitCode, String> {
         if unsat.contains(&d.class) {
             continue;
         }
-        let lo = implied_minc(schema, d.class, d.role, &config).map_err(|e| e.to_string())?;
-        let hi =
-            implied_maxc(schema, d.class, d.role, &config, 1 << 12).map_err(|e| e.to_string())?;
+        let known = |b: BoundVerdict| match b {
+            BoundVerdict::Known(bound) => Ok(bound),
+            BoundVerdict::Unknown { reason } => Err(unknown_to_err(budget, reason)),
+        };
+        let lo = known(
+            implied_minc_governed(schema, d.class, d.role, &config, budget).map_err(err_str)?,
+        )?;
+        let hi = known(
+            implied_maxc_governed(schema, d.class, d.role, &config, 1 << 12, budget)
+                .map_err(err_str)?,
+        )?;
         let fmt = |b: ImpliedBound, inf: &str| match b {
             ImpliedBound::Bound(v) => v.to_string(),
             ImpliedBound::NoBoundUpTo(_) => inf.to_string(),

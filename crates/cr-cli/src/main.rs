@@ -11,24 +11,83 @@
 //! crsat report <schema.cr>            full design review
 //! crsat fmt <schema.cr>               parse and pretty-print
 //! ```
+//!
+//! Resource-governor flags (accepted by every reasoning command):
+//!
+//! ```text
+//! --timeout-ms <n>      wall-clock deadline for the whole invocation
+//! --max-steps <n>       cap total reasoning work units across all stages
+//! --max-expansion <n>   cap work units of expansion enumeration alone
+//! ```
+//!
+//! When a budget trips, the process prints a single machine-readable line
+//! `budget-exceeded stage=<s> spent=<n> limit=<n>` to stderr and exits
+//! with code 3 (2 remains "usage or schema error", 1 "query answered
+//! negatively").
 
 mod commands;
 
 use std::process::ExitCode;
+use std::time::Duration;
+
+use cr_core::Budget;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
         Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::from(2)
+            if msg.starts_with("budget-exceeded ") {
+                eprintln!("{msg}");
+                ExitCode::from(3)
+            } else {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
         }
     }
 }
 
+/// Extracts the `--timeout-ms/--max-steps/--max-expansion` flags (either
+/// `--flag value` or `--flag=value`) from `args` and builds the
+/// invocation's [`Budget`]; non-flag arguments are returned in order.
+fn parse_budget(args: &[String]) -> Result<(Budget, Vec<String>), String> {
+    let mut budget = Budget::unlimited();
+    let mut rest = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        if !matches!(flag, "--timeout-ms" | "--max-steps" | "--max-expansion") {
+            rest.push(arg.clone());
+            continue;
+        }
+        let value = match inline_value {
+            Some(v) => v,
+            None => iter
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .clone(),
+        };
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("{flag} needs a nonnegative integer, got {value:?}"))?;
+        budget = match flag {
+            "--timeout-ms" => budget.with_deadline(Duration::from_millis(n)),
+            "--max-steps" => budget.with_max_steps(n),
+            "--max-expansion" => budget.with_stage_limit(cr_core::Stage::Expansion, n),
+            _ => unreachable!("flag matched above"),
+        };
+    }
+    Ok((budget, rest))
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|fmt> <schema.cr> [args...]";
+    let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|fmt> \
+                 <schema.cr> [args...] [--timeout-ms n] [--max-steps n] [--max-expansion n]";
+    let (budget, args) = parse_budget(args)?;
     let Some(cmd) = args.first() else {
         return Err(usage.to_string());
     };
@@ -60,14 +119,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let schema = cr_lang::parse_schema(&source).map_err(|e| format!("{path}:{e}"))?;
     let rest = &args[2..];
     match cmd.as_str() {
-        "check" => commands::check(&schema),
-        "expand" => commands::expand(&schema),
-        "system" => commands::system(&schema, rest.iter().any(|a| a == "-v" || a == "--verbatim")),
-        "model" => commands::model(&schema),
-        "implies" => commands::implies(&schema, rest),
-        "bounds" => commands::bounds(&schema, rest),
+        "check" => commands::check(&schema, &budget),
+        "expand" => commands::expand(&schema, &budget),
+        "system" => commands::system(
+            &schema,
+            rest.iter().any(|a| a == "-v" || a == "--verbatim"),
+            &budget,
+        ),
+        "model" => commands::model(&schema, &budget),
+        "implies" => commands::implies(&schema, rest, &budget),
+        "bounds" => commands::bounds(&schema, rest, &budget),
         "explain" => commands::explain(&schema, rest),
-        "report" => commands::report(&schema),
+        "report" => commands::report(&schema, &budget),
         "fmt" => {
             print!("{}", cr_lang::print_schema(&schema));
             Ok(ExitCode::SUCCESS)

@@ -33,6 +33,8 @@ use cr_bigint::BigInt;
 use cr_linear::{Cmp, LinExpr, LinSystem, Solution, VarId, VarKind};
 use cr_rational::Rational;
 
+use crate::budget::Budget;
+use crate::error::CrResult;
 use crate::expansion::Expansion;
 
 /// The aggregated system: class unknowns plus per-(relationship, role,
@@ -193,13 +195,23 @@ pub struct AggSolution {
 /// [`crate::sat::fixpoint`], with marginal unknowns playing the dependent
 /// role).
 pub fn maximal_support_agg(sys: &AggSystem) -> (Vec<bool>, Option<AggSolution>) {
+    maximal_support_agg_governed(sys, &Budget::unlimited())
+        .expect("the unlimited budget cannot be exceeded")
+}
+
+/// [`maximal_support_agg`] under a resource [`Budget`] — fixpoint passes
+/// and their LP pivots are charged to [`Stage::Fixpoint`](crate::budget::Stage::Fixpoint).
+pub fn maximal_support_agg_governed(
+    sys: &AggSystem,
+    budget: &Budget,
+) -> CrResult<(Vec<bool>, Option<AggSolution>)> {
     let n_cc = sys.cclass_vars.len();
     let (alive, values) =
-        crate::sat::fixpoint::support_by_max_lp(n_cc, &sys.cclass_vars, |alive| {
+        crate::sat::fixpoint::support_by_max_lp(n_cc, &sys.cclass_vars, budget, |alive| {
             sys.restrict(alive, None)
-        });
+        })?;
     let Some(values) = values else {
-        return (alive, None);
+        return Ok((alive, None));
     };
     let (ints, _factor) = Solution::new(values).scale_to_integers();
     let witness = AggSolution {
@@ -222,7 +234,7 @@ pub fn maximal_support_agg(sys: &AggSystem) -> (Vec<bool>, Option<AggSolution>) 
             })
             .collect(),
     };
-    (alive, Some(witness))
+    Ok((alive, Some(witness)))
 }
 
 /// Greedily fills a `K`-axis nonnegative integer tensor with the given

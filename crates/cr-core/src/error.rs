@@ -88,6 +88,20 @@ pub enum CrError {
         /// What differed.
         what: &'static str,
     },
+    /// A resource [`Budget`](crate::budget::Budget) was exhausted: the
+    /// deadline passed, a step limit tripped, or the computation was
+    /// cancelled. The reasoning question is *unanswered* — this is not an
+    /// unsatisfiability verdict.
+    BudgetExceeded {
+        /// Pipeline stage whose charge tripped the governor.
+        stage: crate::budget::Stage,
+        /// Work spent when the governor tripped: work units for step
+        /// limits, elapsed milliseconds for deadlines.
+        spent: u64,
+        /// The limit that was exceeded, in the same unit as `spent`;
+        /// `0` means the computation was cancelled by the caller.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CrError {
@@ -131,6 +145,23 @@ impl fmt::Display for CrError {
             CrError::InvalidId { what } => write!(f, "invalid id: {what}"),
             CrError::SignatureMismatch { what } => {
                 write!(f, "schema signatures differ: {what}")
+            }
+            CrError::BudgetExceeded {
+                stage,
+                spent,
+                limit,
+            } => {
+                if *limit == 0 {
+                    write!(
+                        f,
+                        "reasoning cancelled during {stage} (after {spent} work units)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "resource budget exceeded during {stage}: spent {spent} of {limit}"
+                    )
+                }
             }
         }
     }

@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 
 use crate::bitset::BitSet;
+use crate::budget::{Budget, Stage};
 use crate::error::{CrError, CrResult};
 use crate::ids::{ClassId, RelId, RoleId};
 use crate::isa::IsaClosure;
@@ -78,8 +79,23 @@ pub struct Expansion<'s> {
 
 impl<'s> Expansion<'s> {
     /// Builds the expansion, enumerating consistent compound classes and
-    /// relationships within the configured budget.
+    /// relationships within the configured size budget (ungoverned: no
+    /// deadline or step metering).
     pub fn build(schema: &'s Schema, config: &ExpansionConfig) -> CrResult<Expansion<'s>> {
+        Expansion::build_governed(schema, config, &Budget::unlimited())
+    }
+
+    /// [`Expansion::build`] under a resource [`Budget`]: every DFS node of
+    /// the compound-class enumeration and every compound relationship
+    /// charges one [`Stage::Expansion`] unit, so an adversarial schema
+    /// stops with [`CrError::BudgetExceeded`] instead of exploring an
+    /// exponential space to the end (the size caps in `config` still apply
+    /// on top).
+    pub fn build_governed(
+        schema: &'s Schema,
+        config: &ExpansionConfig,
+        budget: &Budget,
+    ) -> CrResult<Expansion<'s>> {
         let closure = IsaClosure::compute(schema);
         let n = schema.num_classes();
 
@@ -91,6 +107,7 @@ impl<'s> Expansion<'s> {
             0,
             &mut BitSet::new(n),
             &mut BitSet::new(n),
+            budget,
             &mut |set| {
                 if cclasses.len() >= config.max_compound_classes {
                     return Err(CrError::ExpansionTooLarge {
@@ -131,6 +148,7 @@ impl<'s> Expansion<'s> {
             }
             let mut odometer = vec![0usize; candidates.len()];
             loop {
+                budget.charge(Stage::Expansion, 1)?;
                 if crels.len() >= config.max_compound_rels {
                     return Err(CrError::ExpansionTooLarge {
                         what: "compound relationships",
@@ -164,6 +182,16 @@ impl<'s> Expansion<'s> {
                 }
             }
         }
+
+        // Rough peak-memory estimate: bitsets for the compound classes plus
+        // the role vectors of the compound relationships.
+        let words_per_set = n.div_ceil(64).max(1) as u64;
+        let cc_bytes = cclasses.len() as u64 * words_per_set * 8;
+        let crel_bytes: u64 = crels
+            .iter()
+            .map(|cr| (cr.roles.len() * std::mem::size_of::<usize>()) as u64)
+            .sum();
+        budget.note_allocation(cc_bytes + crel_bytes);
 
         Ok(Expansion {
             schema,
@@ -295,15 +323,19 @@ fn consistent_at_leaf(schema: &Schema, closure: &IsaClosure, set: &BitSet) -> bo
 /// class pulls in all its ancestors; excluding one rules out all its
 /// descendants. Disjointness prunes eagerly; coverings are checked at the
 /// leaves (a covering can still be satisfied by a later class, so it cannot
-/// prune mid-path).
+/// prune mid-path). Every call charges one [`Stage::Expansion`] budget unit
+/// — the node count, not the emit count, is what blows up on adversarial
+/// schemas whose subtrees are all pruned at the leaves.
 fn enumerate_consistent(
     schema: &Schema,
     closure: &IsaClosure,
     idx: usize,
     included: &mut BitSet,
     excluded: &mut BitSet,
+    budget: &Budget,
     emit: &mut impl FnMut(&BitSet) -> CrResult<()>,
 ) -> CrResult<()> {
+    budget.charge(Stage::Expansion, 1)?;
     let n = schema.num_classes();
     // Skip classes whose fate is already decided by propagation.
     let mut idx = idx;
@@ -323,7 +355,7 @@ fn enumerate_consistent(
         let mut inc2 = included.clone();
         inc2.union_with(ancestors);
         if no_disjoint_pair(schema, &inc2) {
-            enumerate_consistent(schema, closure, idx + 1, &mut inc2, excluded, emit)?;
+            enumerate_consistent(schema, closure, idx + 1, &mut inc2, excluded, budget, emit)?;
         }
     }
 
@@ -332,7 +364,7 @@ fn enumerate_consistent(
     if !descendants.intersects(included) {
         let mut exc2 = excluded.clone();
         exc2.union_with(descendants);
-        enumerate_consistent(schema, closure, idx + 1, included, &mut exc2, emit)?;
+        enumerate_consistent(schema, closure, idx + 1, included, &mut exc2, budget, emit)?;
     }
     Ok(())
 }
@@ -502,6 +534,29 @@ mod tests {
             Expansion::build(&schema, &config),
             Err(CrError::ExpansionTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn governed_build_trips_step_budget() {
+        let mut b = SchemaBuilder::new();
+        for i in 0..12 {
+            b.class(format!("C{i}"));
+        }
+        let schema = b.build().unwrap();
+        let budget = Budget::unlimited().with_stage_limit(Stage::Expansion, 100);
+        let result = Expansion::build_governed(&schema, &ExpansionConfig::default(), &budget);
+        assert!(matches!(
+            result,
+            Err(CrError::BudgetExceeded {
+                stage: Stage::Expansion,
+                ..
+            })
+        ));
+        // The same build under an unlimited budget succeeds and records a
+        // nonzero peak-allocation estimate.
+        let generous = Budget::unlimited();
+        Expansion::build_governed(&schema, &ExpansionConfig::default(), &generous).unwrap();
+        assert!(generous.peak_allocation_estimate() > 0);
     }
 
     #[test]

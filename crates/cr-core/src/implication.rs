@@ -17,11 +17,12 @@
 //! search carries an explicit cap and reports
 //! [`ImpliedBound::NoBoundUpTo`] honestly when it is hit.
 
+use crate::budget::{Budget, Stage};
 use crate::error::{CrError, CrResult};
 use crate::expansion::ExpansionConfig;
 use crate::ids::{ClassId, RoleId};
 use crate::isa::IsaClosure;
-use crate::sat::Reasoner;
+use crate::sat::{Reasoner, Strategy};
 use crate::schema::{Card, Schema, SchemaBuilder};
 
 /// Result of a tightest-implied-bound query.
@@ -35,6 +36,61 @@ pub enum ImpliedBound {
     /// (Max-bound queries only.) No bound up to the search cap is implied;
     /// participation is unbounded at least up to this value.
     NoBoundUpTo(u64),
+}
+
+/// Three-valued answer of a *governed* implication query: under a resource
+/// [`Budget`] the honest outcomes are "holds", "does not hold", and "the
+/// budget ran out before the question was decided". The last is
+/// [`Verdict::Unknown`] — a budget trip mid-query is *not* evidence either
+/// way, so it must not collapse onto `False`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The schema finitely implies the queried constraint.
+    True,
+    /// The schema does not finitely imply the queried constraint.
+    False,
+    /// The budget was exhausted before an answer was reached.
+    Unknown {
+        /// Human-readable account of which guard tripped (the
+        /// [`CrError::BudgetExceeded`] display).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Whether this is a definite [`Verdict::True`].
+    pub fn is_true(&self) -> bool {
+        matches!(self, Verdict::True)
+    }
+
+    /// Whether the query was actually decided (not [`Verdict::Unknown`]).
+    pub fn is_known(&self) -> bool {
+        !matches!(self, Verdict::Unknown { .. })
+    }
+}
+
+impl From<bool> for Verdict {
+    fn from(b: bool) -> Verdict {
+        if b {
+            Verdict::True
+        } else {
+            Verdict::False
+        }
+    }
+}
+
+/// Three-valued answer of a governed tightest-bound search (the
+/// [`Verdict`] analogue for [`implied_minc_governed`] /
+/// [`implied_maxc_governed`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundVerdict {
+    /// The search completed.
+    Known(ImpliedBound),
+    /// The budget was exhausted mid-search.
+    Unknown {
+        /// Human-readable account of which guard tripped.
+        reason: String,
+    },
 }
 
 impl Reasoner<'_> {
@@ -161,13 +217,44 @@ pub fn implies_minc(
     m: u64,
     config: &ExpansionConfig,
 ) -> CrResult<bool> {
+    implies_minc_with(schema, class, role, m, config, &Budget::unlimited())
+}
+
+/// [`implies_minc`] metered against `budget`, propagating
+/// [`CrError::BudgetExceeded`] (the [`Verdict`]-returning wrapper is
+/// [`implies_minc_governed`]). One [`Stage::Implication`] unit per
+/// auxiliary-schema probe, plus whatever the probe's own expansion and
+/// fixpoint charge.
+fn implies_minc_with(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    m: u64,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<bool> {
     check_query_well_formed(schema, class, role)?;
     if m == 0 {
         return Ok(true); // counts are nonnegative
     }
+    budget.charge(Stage::Implication, 1)?;
     let (extended, exc) = with_exc_class(schema, class, role, Card::at_most(m - 1))?;
-    let r = Reasoner::with_config(&extended, config)?;
+    let r = Reasoner::with_budget(&extended, config, Strategy::default(), budget)?;
     Ok(!r.is_class_satisfiable(exc))
+}
+
+/// [`implies_minc`] under a resource [`Budget`]: a budget trip yields
+/// [`Verdict::Unknown`] instead of an error — the caller asked a yes/no
+/// question and "ran out of budget" is the honest third answer.
+pub fn implies_minc_governed(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    m: u64,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<Verdict> {
+    verdict_of(implies_minc_with(schema, class, role, m, config, budget))
 }
 
 /// Whether `schema ⊨ maxc(class, role) = n` (Section 4).
@@ -178,10 +265,58 @@ pub fn implies_maxc(
     n: u64,
     config: &ExpansionConfig,
 ) -> CrResult<bool> {
+    implies_maxc_with(schema, class, role, n, config, &Budget::unlimited())
+}
+
+fn implies_maxc_with(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    n: u64,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<bool> {
     check_query_well_formed(schema, class, role)?;
+    budget.charge(Stage::Implication, 1)?;
     let (extended, exc) = with_exc_class(schema, class, role, Card::at_least(n + 1))?;
-    let r = Reasoner::with_config(&extended, config)?;
+    let r = Reasoner::with_budget(&extended, config, Strategy::default(), budget)?;
     Ok(!r.is_class_satisfiable(exc))
+}
+
+/// [`implies_maxc`] under a resource [`Budget`] (see
+/// [`implies_minc_governed`] for the three-valued contract).
+pub fn implies_maxc_governed(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    n: u64,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<Verdict> {
+    verdict_of(implies_maxc_with(schema, class, role, n, config, budget))
+}
+
+/// Collapses a budget trip to [`Verdict::Unknown`]; other errors (ill-formed
+/// query, oversized expansion) stay errors.
+fn verdict_of(result: CrResult<bool>) -> CrResult<Verdict> {
+    match result {
+        Ok(b) => Ok(Verdict::from(b)),
+        Err(e @ CrError::BudgetExceeded { .. }) => Ok(Verdict::Unknown {
+            reason: e.to_string(),
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+/// The [`BoundVerdict`] analogue of [`verdict_of`].
+fn bound_verdict_of(result: CrResult<ImpliedBound>) -> CrResult<BoundVerdict> {
+    match result {
+        Ok(b) => Ok(BoundVerdict::Known(b)),
+        Err(e @ CrError::BudgetExceeded { .. }) => Ok(BoundVerdict::Unknown {
+            reason: e.to_string(),
+        }),
+        Err(e) => Err(e),
+    }
 }
 
 /// The largest `m` with `schema ⊨ minc(class, role) = m`.
@@ -191,26 +326,49 @@ pub fn implied_minc(
     role: RoleId,
     config: &ExpansionConfig,
 ) -> CrResult<ImpliedBound> {
+    implied_minc_with(schema, class, role, config, &Budget::unlimited())
+}
+
+/// [`implied_minc`] under a resource [`Budget`]: the whole
+/// doubling-plus-binary search is metered, and exhaustion mid-search yields
+/// [`BoundVerdict::Unknown`] rather than a spuriously loose bound.
+pub fn implied_minc_governed(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<BoundVerdict> {
+    bound_verdict_of(implied_minc_with(schema, class, role, config, budget))
+}
+
+fn implied_minc_with(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<ImpliedBound> {
     check_query_well_formed(schema, class, role)?;
-    let base = Reasoner::with_config(schema, config)?;
+    let base = Reasoner::with_budget(schema, config, Strategy::default(), budget)?;
     if !base.is_class_satisfiable(class) {
         return Ok(ImpliedBound::Unsatisfiable);
     }
-    if !implies_minc(schema, class, role, 1, config)? {
+    if !implies_minc_with(schema, class, role, 1, config, budget)? {
         return Ok(ImpliedBound::Bound(0));
     }
     // Double until a non-implied bound appears (terminates: the class is
     // satisfiable, so some model realizes a finite count).
     let mut lo = 1u64; // implied
     let mut hi = 2u64;
-    while implies_minc(schema, class, role, hi, config)? {
+    while implies_minc_with(schema, class, role, hi, config, budget)? {
         lo = hi;
         hi *= 2;
     }
     // Invariant: minc=lo implied, minc=hi not; binary search the frontier.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if implies_minc(schema, class, role, mid, config)? {
+        if implies_minc_with(schema, class, role, mid, config, budget)? {
             lo = mid;
         } else {
             hi = mid;
@@ -229,12 +387,36 @@ pub fn implied_maxc(
     config: &ExpansionConfig,
     cap: u64,
 ) -> CrResult<ImpliedBound> {
+    implied_maxc_with(schema, class, role, config, cap, &Budget::unlimited())
+}
+
+/// [`implied_maxc`] under a resource [`Budget`] (see
+/// [`implied_minc_governed`]).
+pub fn implied_maxc_governed(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    config: &ExpansionConfig,
+    cap: u64,
+    budget: &Budget,
+) -> CrResult<BoundVerdict> {
+    bound_verdict_of(implied_maxc_with(schema, class, role, config, cap, budget))
+}
+
+fn implied_maxc_with(
+    schema: &Schema,
+    class: ClassId,
+    role: RoleId,
+    config: &ExpansionConfig,
+    cap: u64,
+    budget: &Budget,
+) -> CrResult<ImpliedBound> {
     check_query_well_formed(schema, class, role)?;
-    let base = Reasoner::with_config(schema, config)?;
+    let base = Reasoner::with_budget(schema, config, Strategy::default(), budget)?;
     if !base.is_class_satisfiable(class) {
         return Ok(ImpliedBound::Unsatisfiable);
     }
-    if implies_maxc(schema, class, role, 0, config)? {
+    if implies_maxc_with(schema, class, role, 0, config, budget)? {
         return Ok(ImpliedBound::Bound(0));
     }
     // Double until an implied bound appears or the cap is passed.
@@ -244,7 +426,7 @@ pub fn implied_maxc(
         if hi > cap {
             return Ok(ImpliedBound::NoBoundUpTo(cap));
         }
-        if implies_maxc(schema, class, role, hi, config)? {
+        if implies_maxc_with(schema, class, role, hi, config, budget)? {
             break;
         }
         lo = hi;
@@ -253,7 +435,7 @@ pub fn implied_maxc(
     // Invariant: maxc=hi implied, maxc=lo not.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if implies_maxc(schema, class, role, mid, config)? {
+        if implies_maxc_with(schema, class, role, mid, config, budget)? {
             hi = mid;
         } else {
             lo = mid;
@@ -397,6 +579,40 @@ mod tests {
             implied_maxc(&schema, c, u1, &config, 64).unwrap(),
             ImpliedBound::Unsatisfiable
         );
+    }
+
+    #[test]
+    fn governed_queries_answer_or_say_unknown() {
+        let (schema, speaker, _, talk, u1, _, _, u4) = meeting();
+        let config = ExpansionConfig::default();
+
+        // Generous budget: the governed answers match the ungoverned ones.
+        let free = Budget::unlimited();
+        assert_eq!(
+            implies_maxc_governed(&schema, talk, u4, 1, &config, &free).unwrap(),
+            Verdict::True
+        );
+        assert_eq!(
+            implies_maxc_governed(&schema, talk, u4, 0, &config, &free).unwrap(),
+            Verdict::False
+        );
+        assert_eq!(
+            implied_minc_governed(&schema, speaker, u1, &config, &free).unwrap(),
+            BoundVerdict::Known(ImpliedBound::Bound(1))
+        );
+
+        // Starved budget: the only honest answer is Unknown — never a
+        // definite verdict, never a panic.
+        let starved = Budget::unlimited().with_max_steps(3);
+        let v = implies_maxc_governed(&schema, talk, u4, 1, &config, &starved).unwrap();
+        assert!(matches!(v, Verdict::Unknown { .. }), "got {v:?}");
+        let starved = Budget::unlimited().with_stage_limit(Stage::Implication, 1);
+        let b = implied_maxc_governed(&schema, speaker, u1, &config, 1 << 16, &starved).unwrap();
+        assert!(matches!(b, BoundVerdict::Unknown { .. }), "got {b:?}");
+        // The Unknown reason names the tripped guard.
+        if let BoundVerdict::Unknown { reason } = b {
+            assert!(reason.contains("implication"), "{reason}");
+        }
     }
 
     #[test]

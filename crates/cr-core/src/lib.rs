@@ -72,6 +72,7 @@
 
 pub mod agg;
 pub mod bitset;
+pub mod budget;
 pub mod compare;
 mod error;
 pub mod expansion;
@@ -86,6 +87,7 @@ pub mod schema;
 pub mod system;
 pub mod unrestricted;
 
+pub use budget::{Budget, CancelToken, ManualClock, Stage};
 pub use error::CrError;
 pub use ids::{ClassId, RelId, RoleId};
 pub use schema::{Card, Schema, SchemaBuilder};

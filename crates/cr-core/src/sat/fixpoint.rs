@@ -19,10 +19,13 @@
 //! [`crate::sat`] for the argument.
 
 use cr_linear::{
-    optimize, Cmp, Direction, LinExpr, LinSystem, OptOutcome, Solution, VarId, VarKind,
+    optimize_governed, Cmp, Direction, LinExpr, LinSystem, LinearError, OptOutcome, Solution,
+    VarId, VarKind,
 };
 use cr_rational::Rational;
 
+use crate::budget::{Budget, Stage};
+use crate::error::CrResult;
 use crate::sat::AcceptableSolution;
 use crate::system::CrSystem;
 
@@ -38,15 +41,21 @@ use crate::system::CrSystem;
 /// the whole next candidate set — and, at the final pass, the optimal `x`
 /// itself is an acceptable solution positive on exactly the maximal
 /// support.
+/// Work is metered against `budget` under [`Stage::Fixpoint`]: one unit per
+/// pass, plus one per simplex pivot of each support-maximizing LP; an
+/// exhausted budget aborts with
+/// [`CrError::BudgetExceeded`](crate::CrError::BudgetExceeded).
 pub(crate) fn support_by_max_lp(
     n: usize,
     class_vars: &[VarId],
+    budget: &Budget,
     restrict: impl Fn(&[bool]) -> LinSystem,
-) -> (Vec<bool>, Option<Vec<Rational>>) {
+) -> CrResult<(Vec<bool>, Option<Vec<Rational>>)> {
     let mut alive = vec![true; n];
     loop {
+        budget.charge(Stage::Fixpoint, 1)?;
         if alive.iter().all(|&a| !a) {
-            return (alive, None);
+            return Ok((alive, None));
         }
         let mut lin = restrict(&alive);
         let mut objective = LinExpr::new();
@@ -61,9 +70,19 @@ pub(crate) fn support_by_max_lp(
             lin.push(e, Cmp::Ge, Rational::zero());
             objective.add_term(t, Rational::one());
         }
-        match optimize(&lin, &objective, Direction::Maximize)
-            .expect("support LP has no strict rows")
-        {
+        // Rough tableau footprint: one rational (~2 small bigints) per cell.
+        budget.note_allocation((lin.num_vars() * lin.constraints().len()) as u64 * 16);
+        let outcome = match optimize_governed(
+            &lin,
+            &objective,
+            Direction::Maximize,
+            &budget.stage(Stage::Fixpoint),
+        ) {
+            Ok(outcome) => outcome,
+            Err(LinearError::Interrupted) => return Err(budget.exceeded_err(Stage::Fixpoint)),
+            Err(e) => unreachable!("support LP has no strict rows: {e}"),
+        };
+        match outcome {
             OptOutcome::Optimal { solution, .. } => {
                 let one = Rational::one();
                 let mut changed = false;
@@ -79,7 +98,7 @@ pub(crate) fn support_by_max_lp(
                     }
                 }
                 if !changed {
-                    return (alive, Some(solution.values().to_vec()));
+                    return Ok((alive, Some(solution.values().to_vec())));
                 }
                 alive = next;
             }
@@ -113,11 +132,23 @@ pub(crate) fn restrict(sys: &CrSystem, alive: &[bool], target: Option<usize>) ->
 /// Computes the maximal acceptable support `P*` and (when nonempty) an
 /// integer acceptable solution positive on exactly `P*`.
 pub fn maximal_acceptable_support(sys: &CrSystem) -> (Vec<bool>, Option<AcceptableSolution>) {
+    maximal_acceptable_support_governed(sys, &Budget::unlimited())
+        .expect("the unlimited budget cannot be exceeded")
+}
+
+/// [`maximal_acceptable_support`] under a resource [`Budget`]
+/// ([`Stage::Fixpoint`] metering; see
+/// [`crate::budget`] for the governor's guards).
+pub fn maximal_acceptable_support_governed(
+    sys: &CrSystem,
+    budget: &Budget,
+) -> CrResult<(Vec<bool>, Option<AcceptableSolution>)> {
     let n_cc = sys.cclass_vars.len();
-    let (alive, values) =
-        support_by_max_lp(n_cc, &sys.cclass_vars, |alive| restrict(sys, alive, None));
+    let (alive, values) = support_by_max_lp(n_cc, &sys.cclass_vars, budget, |alive| {
+        restrict(sys, alive, None)
+    })?;
     let Some(values) = values else {
-        return (alive, None);
+        return Ok((alive, None));
     };
     let (ints, _factor) = Solution::new(values).scale_to_integers();
     let witness = AcceptableSolution {
@@ -133,7 +164,7 @@ pub fn maximal_acceptable_support(sys: &CrSystem) -> (Vec<bool>, Option<Acceptab
             .collect(),
     };
     debug_assert!(witness.verify(sys), "fixpoint witness failed verification");
-    (alive, Some(witness))
+    Ok((alive, Some(witness)))
 }
 
 #[cfg(test)]
@@ -168,6 +199,36 @@ mod tests {
             assert!(!alive[cc], "A must be dragged down by acceptability");
         }
         assert!(witness.is_none());
+    }
+
+    #[test]
+    fn governed_fixpoint_trips_and_matches() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("A");
+        let x = b.class("X");
+        let r = b.relationship("R", [("u", a), ("v", x)]).unwrap();
+        b.card(a, b.role(r, 0), Card::exactly(3)).unwrap();
+        b.card(x, b.role(r, 1), Card::exactly(1)).unwrap();
+        let schema = b.build().unwrap();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let sys = crate::system::CrSystem::build(&exp);
+
+        let starved = Budget::unlimited().with_stage_limit(Stage::Fixpoint, 1);
+        let err = maximal_acceptable_support_governed(&sys, &starved).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CrError::BudgetExceeded {
+                stage: Stage::Fixpoint,
+                ..
+            }
+        ));
+
+        let generous = Budget::unlimited().with_max_steps(1_000_000);
+        let (alive, witness) = maximal_acceptable_support_governed(&sys, &generous).unwrap();
+        let (alive_un, witness_un) = maximal_acceptable_support(&sys);
+        assert_eq!(alive, alive_un);
+        assert_eq!(witness.is_some(), witness_un.is_some());
+        assert!(generous.stage_steps(Stage::Fixpoint) > 0);
     }
 
     #[test]

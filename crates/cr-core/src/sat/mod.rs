@@ -28,7 +28,8 @@ pub mod zenum;
 use cr_bigint::BigInt;
 use cr_rational::Rational;
 
-use crate::error::CrResult;
+use crate::budget::{Budget, Stage};
+use crate::error::{CrError, CrResult};
 use crate::expansion::{Expansion, ExpansionConfig};
 use crate::ids::ClassId;
 use crate::schema::Schema;
@@ -131,16 +132,30 @@ impl<'s> Reasoner<'s> {
         config: &ExpansionConfig,
         strategy: Strategy,
     ) -> CrResult<Reasoner<'s>> {
-        let expansion = Expansion::build(schema, config)?;
+        Reasoner::with_budget(schema, config, strategy, &Budget::unlimited())
+    }
+
+    /// Builds the reasoner under a resource [`Budget`]: expansion
+    /// enumeration charges [`Stage::Expansion`], the fixpoint (and its LP
+    /// pivots) [`Stage::Fixpoint`]. An exhausted budget aborts construction
+    /// with [`CrError::BudgetExceeded`] — no partial reasoner is returned.
+    pub fn with_budget(
+        schema: &'s Schema,
+        config: &ExpansionConfig,
+        strategy: Strategy,
+        budget: &Budget,
+    ) -> CrResult<Reasoner<'s>> {
+        let expansion = Expansion::build_governed(schema, config, budget)?;
         let system = std::sync::OnceLock::new();
         let (support, witness) = match strategy {
             Strategy::Direct => {
                 let sys = system.get_or_init(|| CrSystem::build(&expansion));
-                fixpoint::maximal_acceptable_support(sys)
+                fixpoint::maximal_acceptable_support_governed(sys, budget)?
             }
             Strategy::Aggregated => {
                 let agg = crate::agg::AggSystem::build(&expansion);
-                let (support, agg_witness) = crate::agg::maximal_support_agg(&agg);
+                let (support, agg_witness) =
+                    crate::agg::maximal_support_agg_governed(&agg, budget)?;
                 let witness = agg_witness.map(|w| AcceptableSolution {
                     crel_counts: crate::agg::expand_to_crel_counts(&expansion, &w),
                     cclass_counts: w.cclass_counts,
@@ -243,6 +258,52 @@ impl<'s> Reasoner<'s> {
             .rels()
             .filter(|&r| !self.is_rel_satisfiable(r))
             .collect()
+    }
+}
+
+/// Which satisfiability engine produced an answer (see
+/// [`satisfiable_with_fallback`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatEngine {
+    /// The literal Theorem 3.4 `Z ⊆ V_C` enumeration ran to completion.
+    ZEnumeration,
+    /// The polynomial greatest-fixpoint answered (either by choice or
+    /// because the enumeration's budget tripped).
+    Fixpoint,
+}
+
+/// Decides satisfiability of `class` by the Theorem 3.4 `Z`-enumeration,
+/// **degrading gracefully** to the polynomial fixpoint when the oracle's
+/// budget trips: if the enumeration exhausts its
+/// [`Stage::ZEnumeration`] account (or the expansion is outright too large
+/// for it), the question is re-answered via
+/// [`fixpoint::maximal_acceptable_support_governed`] on the remaining
+/// budget instead of failing. Both engines decide the same predicate
+/// (they are property-tested equal), so the fallback loses no soundness —
+/// only the paper-verbatim derivation. Returns the verdict together with
+/// the engine that produced it; errors only when the *fixpoint* budget is
+/// also exhausted.
+pub fn satisfiable_with_fallback(
+    exp: &Expansion<'_>,
+    sys: &CrSystem,
+    class: ClassId,
+    budget: &Budget,
+) -> CrResult<(bool, SatEngine)> {
+    match zenum::satisfiable_by_z_enumeration_governed(exp, sys, class, budget) {
+        Ok(sat) => Ok((sat, SatEngine::ZEnumeration)),
+        Err(CrError::BudgetExceeded {
+            stage: Stage::ZEnumeration,
+            ..
+        })
+        | Err(CrError::ZEnumerationTooLarge { .. }) => {
+            let (support, _witness) = fixpoint::maximal_acceptable_support_governed(sys, budget)?;
+            let sat = exp
+                .compound_classes_containing(class)
+                .iter()
+                .any(|&cc| support[cc]);
+            Ok((sat, SatEngine::Fixpoint))
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -441,6 +502,39 @@ mod tests {
             .unwrap()
             .expect("satisfiable");
         assert!(model.is_model_of(&schema));
+    }
+
+    #[test]
+    fn fallback_degrades_to_fixpoint_and_agrees() {
+        let schema = meeting();
+        let exp = Expansion::build(&schema, &ExpansionConfig::default()).unwrap();
+        let sys = CrSystem::build(&exp);
+        for class in schema.classes() {
+            // Generous budget: the oracle itself answers.
+            let free = Budget::unlimited();
+            let (sat, engine) = satisfiable_with_fallback(&exp, &sys, class, &free).unwrap();
+            assert_eq!(engine, SatEngine::ZEnumeration);
+            // One Z subset of budget: the oracle trips, the fixpoint answers
+            // the same verdict.
+            let starved = Budget::unlimited().with_stage_limit(Stage::ZEnumeration, 1);
+            let (sat_fb, engine_fb) =
+                satisfiable_with_fallback(&exp, &sys, class, &starved).unwrap();
+            assert_eq!(engine_fb, SatEngine::Fixpoint);
+            assert_eq!(sat, sat_fb);
+        }
+    }
+
+    #[test]
+    fn with_budget_trips_during_construction() {
+        let schema = meeting();
+        let starved = Budget::unlimited().with_max_steps(2);
+        let result = Reasoner::with_budget(
+            &schema,
+            &ExpansionConfig::default(),
+            Strategy::Aggregated,
+            &starved,
+        );
+        assert!(matches!(result, Err(CrError::BudgetExceeded { .. })));
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! kept as an independently-implemented oracle for the fixpoint engine
 //! (property-tested equal) and as the E3 ablation baseline.
 
-use cr_linear::{solve, Cmp, LinExpr};
+use cr_linear::{solve_governed, Cmp, LinExpr, LinearError};
 use cr_rational::Rational;
 
+use crate::budget::{Budget, Stage};
 use crate::error::{CrError, CrResult};
 use crate::expansion::Expansion;
 use crate::ids::ClassId;
@@ -31,6 +32,20 @@ pub fn satisfiable_by_z_enumeration(
     sys: &CrSystem,
     class: ClassId,
 ) -> CrResult<bool> {
+    satisfiable_by_z_enumeration_governed(exp, sys, class, &Budget::unlimited())
+}
+
+/// [`satisfiable_by_z_enumeration`] under a resource [`Budget`]: each `Z`
+/// subset charges one [`Stage::ZEnumeration`] unit (plus one per simplex
+/// pivot of its feasibility probe), so a caller can cap the oracle's
+/// exponential sweep and fall back to the polynomial fixpoint — see
+/// [`satisfiable_with_fallback`](crate::sat::satisfiable_with_fallback).
+pub fn satisfiable_by_z_enumeration_governed(
+    exp: &Expansion<'_>,
+    sys: &CrSystem,
+    class: ClassId,
+    budget: &Budget,
+) -> CrResult<bool> {
     let n_cc = sys.cclass_vars.len();
     if n_cc > MAX_Z_UNKNOWNS {
         return Err(CrError::ZEnumerationTooLarge { unknowns: n_cc });
@@ -40,6 +55,7 @@ pub fn satisfiable_by_z_enumeration(
         return Ok(false);
     }
     for z in 0u64..(1u64 << n_cc) {
+        budget.charge(Stage::ZEnumeration, 1)?;
         let in_z = |cc: usize| z & (1 << cc) != 0;
         // Σ Var(C̄ ∋ class) > 0 needs some containing compound class
         // outside Z.
@@ -59,8 +75,14 @@ pub fn satisfiable_by_z_enumeration(
                 lin.push(LinExpr::var(sys.crel_vars[ri]), Cmp::Eq, Rational::zero());
             }
         }
-        if solve(&lin).is_feasible() {
-            return Ok(true);
+        match solve_governed(&lin, &budget.stage(Stage::ZEnumeration)) {
+            Ok(feasibility) => {
+                if feasibility.is_feasible() {
+                    return Ok(true);
+                }
+            }
+            Err(LinearError::Interrupted) => return Err(budget.exceeded_err(Stage::ZEnumeration)),
+            Err(e) => unreachable!("feasibility probe cannot reject the system: {e}"),
         }
     }
     Ok(false)

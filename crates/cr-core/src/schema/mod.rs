@@ -15,7 +15,6 @@ use crate::ids::{ClassId, RelId, RoleId};
 /// Per Definition 2.1 the default for an unconstrained participation is
 /// `(0, ∞)` — see [`Card::UNCONSTRAINED`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Card {
     /// Minimum number of participations.
     pub min: u64,

@@ -15,6 +15,10 @@ pub enum LinearError {
         /// Budget that was exceeded.
         limit: usize,
     },
+    /// A [`WorkBudget`](crate::WorkBudget) refused a charge mid-solve: the
+    /// caller's deadline, step limit, or cancellation flag tripped. The
+    /// partial tableau is discarded; the computation carries no answer.
+    Interrupted,
 }
 
 impl fmt::Display for LinearError {
@@ -31,6 +35,9 @@ impl fmt::Display for LinearError {
                     f,
                     "Fourier-Motzkin exceeded the constraint budget of {limit}"
                 )
+            }
+            LinearError::Interrupted => {
+                write!(f, "solve interrupted by the caller's work budget")
             }
         }
     }

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod error;
 mod expr;
 mod fm;
@@ -49,9 +50,10 @@ mod simplex;
 mod solution;
 mod system;
 
+pub use budget::{Unlimited, WorkBudget};
 pub use error::LinearError;
 pub use expr::{LinExpr, VarId};
 pub use fm::{solve_fm, FmConfig};
-pub use simplex::{optimize, solve, Direction, OptOutcome};
+pub use simplex::{optimize, optimize_governed, solve, solve_governed, Direction, OptOutcome};
 pub use solution::{Feasibility, Solution};
 pub use system::{Cmp, Constraint, LinSystem, VarKind};

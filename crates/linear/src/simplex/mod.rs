@@ -5,6 +5,7 @@ mod tableau;
 
 use cr_rational::Rational;
 
+use crate::budget::{Unlimited, WorkBudget};
 use crate::error::LinearError;
 use crate::expr::{LinExpr, VarId};
 use crate::solution::{Feasibility, Solution};
@@ -219,32 +220,46 @@ impl StandardForm {
 /// feasible. Strict inequalities are fully supported (see the crate docs for
 /// the interior-point reduction).
 pub fn solve(sys: &LinSystem) -> Feasibility {
+    match solve_governed(sys, &Unlimited) {
+        Ok(f) => f,
+        Err(_) => unreachable!("the unlimited budget never interrupts"),
+    }
+}
+
+/// [`solve`] under a caller-supplied [`WorkBudget`]: each simplex pivot
+/// charges one unit, and a refused charge aborts the solve with
+/// [`LinearError::Interrupted`]. No partial answer is reported — an
+/// interrupted feasibility question is unanswered, not infeasible.
+pub fn solve_governed(
+    sys: &LinSystem,
+    budget: &dyn WorkBudget,
+) -> Result<Feasibility, LinearError> {
     if !sys.has_strict() {
         let mut sf = build_standard_form(sys, false);
-        return if sf.tableau.phase_one() {
+        return if sf.tableau.phase_one(budget)? {
             let sol = sf.extract(sys);
             debug_assert_eq!(sys.check(sol.values()), Ok(()));
-            Feasibility::Feasible(sol)
+            Ok(Feasibility::Feasible(sol))
         } else {
-            Feasibility::Infeasible
+            Ok(Feasibility::Infeasible)
         };
     }
     // Strict rows present: maximize the uniform strictness slack t.
     let mut sf = build_standard_form(sys, true);
-    if !sf.tableau.phase_one() {
-        return Feasibility::Infeasible;
+    if !sf.tableau.phase_one(budget)? {
+        return Ok(Feasibility::Infeasible);
     }
     let t = sf.t_col.expect("strict path always has t");
     let mut objective = vec![Rational::zero(); sf.ncols];
     objective[t] = -Rational::one(); // maximize t == minimize -t
-    let outcome = sf.tableau.phase_two(&objective);
+    let outcome = sf.tableau.phase_two(&objective, budget)?;
     debug_assert_eq!(outcome, PivotOutcome::Optimal, "t <= 1 bounds phase 2");
     if sf.tableau.column_value(t).is_positive() {
         let sol = sf.extract(sys);
         debug_assert_eq!(sys.check(sol.values()), Ok(()));
-        Feasibility::Feasible(sol)
+        Ok(Feasibility::Feasible(sol))
     } else {
-        Feasibility::Infeasible
+        Ok(Feasibility::Infeasible)
     }
 }
 
@@ -258,11 +273,22 @@ pub fn optimize(
     objective: &LinExpr,
     direction: Direction,
 ) -> Result<OptOutcome, LinearError> {
+    optimize_governed(sys, objective, direction, &Unlimited)
+}
+
+/// [`optimize`] under a caller-supplied [`WorkBudget`] (one unit per pivot;
+/// refusal surfaces as [`LinearError::Interrupted`]).
+pub fn optimize_governed(
+    sys: &LinSystem,
+    objective: &LinExpr,
+    direction: Direction,
+    budget: &dyn WorkBudget,
+) -> Result<OptOutcome, LinearError> {
     if sys.has_strict() {
         return Err(LinearError::StrictInOptimize);
     }
     let mut sf = build_standard_form(sys, false);
-    if !sf.tableau.phase_one() {
+    if !sf.tableau.phase_one(budget)? {
         return Ok(OptOutcome::Infeasible);
     }
     let mut cols = sf.expand_objective(objective);
@@ -271,7 +297,7 @@ pub fn optimize(
             *c = -c.clone();
         }
     }
-    match sf.tableau.phase_two(&cols) {
+    match sf.tableau.phase_two(&cols, budget)? {
         PivotOutcome::Unbounded => Ok(OptOutcome::Unbounded),
         PivotOutcome::Optimal => {
             let solution = sf.extract(sys);
@@ -471,6 +497,37 @@ mod tests {
         let obj = LinExpr::from_terms([(v[0], 10), (v[1], -57), (v[2], -9), (v[3], -24)]);
         let out = optimize(&sys, &obj, Direction::Maximize).unwrap();
         assert!(matches!(out, OptOutcome::Optimal { .. }));
+    }
+
+    #[test]
+    fn governed_solve_matches_ungoverned_and_interrupts_when_starved() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Capped(AtomicU64);
+        impl WorkBudget for Capped {
+            fn consume(&self, units: u64) -> bool {
+                self.0
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
+                        left.checked_sub(units)
+                    })
+                    .is_ok()
+            }
+        }
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        let y = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::from_terms([(x, 1), (y, 2)]), Cmp::Ge, r(4));
+        sys.push(LinExpr::from_terms([(x, 1), (y, -1)]), Cmp::Eq, r(1));
+        let generous = Capped(AtomicU64::new(10_000));
+        assert_eq!(solve_governed(&sys, &generous).unwrap(), solve(&sys));
+        let starved = Capped(AtomicU64::new(0));
+        assert_eq!(
+            solve_governed(&sys, &starved),
+            Err(LinearError::Interrupted)
+        );
+        assert_eq!(
+            optimize_governed(&sys, &LinExpr::var(x), Direction::Minimize, &starved),
+            Err(LinearError::Interrupted)
+        );
     }
 
     #[test]

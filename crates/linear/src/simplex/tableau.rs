@@ -6,6 +6,9 @@
 
 use cr_rational::Rational;
 
+use crate::budget::WorkBudget;
+use crate::error::LinearError;
+
 /// Result of running the pivot loop on one objective.
 #[derive(Debug, PartialEq, Eq)]
 pub(super) enum PivotOutcome {
@@ -57,15 +60,17 @@ impl Tableau {
     }
 
     /// Runs phase 1 (minimize the sum of artificial variables). Returns
-    /// `true` iff the underlying system is feasible. Afterwards all
+    /// `Ok(true)` iff the underlying system is feasible. Afterwards all
     /// artificial variables are out of the basis (redundant rows are
-    /// dropped) and banned from re-entering.
-    pub(super) fn phase_one(&mut self) -> bool {
+    /// dropped) and banned from re-entering. Each pivot iteration charges
+    /// one unit against `budget`; a refused charge aborts with
+    /// [`LinearError::Interrupted`].
+    pub(super) fn phase_one(&mut self, budget: &dyn WorkBudget) -> Result<bool, LinearError> {
         assert!(!self.phase_one_done, "phase_one run twice");
         self.phase_one_done = true;
         if self.art_start == self.ncols {
             // No artificials: the supplied slack basis is already feasible.
-            return true;
+            return Ok(true);
         }
         // Objective: sum of artificial columns. Express it over the
         // nonbasic columns by subtracting every artificial-basic row.
@@ -83,7 +88,7 @@ impl Tableau {
         }
         self.cost = cost;
 
-        let outcome = self.pivot_loop(self.ncols); // artificials may enter in phase 1
+        let outcome = self.pivot_loop(self.ncols, budget)?; // artificials may enter in phase 1
         debug_assert_eq!(
             outcome,
             PivotOutcome::Optimal,
@@ -91,15 +96,19 @@ impl Tableau {
         );
 
         if self.objective_value().is_positive() {
-            return false;
+            return Ok(false);
         }
         self.evict_artificials();
-        true
+        Ok(true)
     }
 
     /// Installs `objective` (to be minimized; entries indexed by column) and
     /// runs phase 2. Requires a feasible basis from [`phase_one`].
-    pub(super) fn phase_two(&mut self, objective: &[Rational]) -> PivotOutcome {
+    pub(super) fn phase_two(
+        &mut self,
+        objective: &[Rational],
+        budget: &dyn WorkBudget,
+    ) -> Result<PivotOutcome, LinearError> {
         assert!(self.phase_one_done, "phase_two before phase_one");
         let mut cost = vec![Rational::zero(); self.ncols + 1];
         cost[..objective.len()].clone_from_slice(objective);
@@ -112,7 +121,7 @@ impl Tableau {
             }
         }
         self.cost = cost;
-        self.pivot_loop(self.art_start)
+        self.pivot_loop(self.art_start, budget)
     }
 
     /// The current objective value (meaningful after a phase).
@@ -132,11 +141,21 @@ impl Tableau {
 
     /// Bland's-rule pivot loop: entering column is the smallest-index column
     /// below `col_limit` with negative reduced cost; leaving row attains the
-    /// minimum ratio, ties broken by smallest basic column index.
-    fn pivot_loop(&mut self, col_limit: usize) -> PivotOutcome {
+    /// minimum ratio, ties broken by smallest basic column index. Charges
+    /// one budget unit per iteration — Bland's rule guarantees termination
+    /// but not *when*, and exact rationals make each pivot arbitrarily
+    /// expensive, so this is the cancellation point for the whole solver.
+    fn pivot_loop(
+        &mut self,
+        col_limit: usize,
+        budget: &dyn WorkBudget,
+    ) -> Result<PivotOutcome, LinearError> {
         loop {
+            if !budget.consume(1) {
+                return Err(LinearError::Interrupted);
+            }
             let Some(enter) = (0..col_limit).find(|&j| self.cost[j].is_negative()) else {
-                return PivotOutcome::Optimal;
+                return Ok(PivotOutcome::Optimal);
             };
             let mut leave: Option<(usize, Rational)> = None;
             for i in 0..self.rows.len() {
@@ -156,7 +175,7 @@ impl Tableau {
                 }
             }
             let Some((row, _)) = leave else {
-                return PivotOutcome::Unbounded;
+                return Ok(PivotOutcome::Unbounded);
             };
             self.pivot(row, enter);
         }
@@ -222,6 +241,7 @@ impl Tableau {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::Unlimited;
 
     fn r(n: i64) -> Rational {
         Rational::from_int(n)
@@ -232,7 +252,7 @@ mod tests {
     fn phase_one_finds_feasible_basis() {
         let rows = vec![vec![r(1), r(1), r(1), r(2)]];
         let mut t = Tableau::new(rows, vec![2], 3, 2);
-        assert!(t.phase_one());
+        assert!(t.phase_one(&Unlimited).unwrap());
         // x (col 0) should have entered by Bland's rule; x = 2.
         assert_eq!(t.column_value(0), r(2));
         assert_eq!(t.column_value(2), r(0));
@@ -243,7 +263,7 @@ mod tests {
     fn phase_one_detects_infeasible() {
         let rows = vec![vec![r(1), r(1), r(0), r(1)], vec![r(1), r(0), r(1), r(2)]];
         let mut t = Tableau::new(rows, vec![1, 2], 3, 1);
-        assert!(!t.phase_one());
+        assert!(!t.phase_one(&Unlimited).unwrap());
     }
 
     /// min -x s.t. x + s = 5 (slack basis, no artificials): optimum x = 5.
@@ -251,8 +271,8 @@ mod tests {
     fn phase_two_optimizes() {
         let rows = vec![vec![r(1), r(1), r(5)]];
         let mut t = Tableau::new(rows, vec![1], 2, 2);
-        assert!(t.phase_one());
-        let outcome = t.phase_two(&[r(-1), r(0)]);
+        assert!(t.phase_one(&Unlimited).unwrap());
+        let outcome = t.phase_two(&[r(-1), r(0)], &Unlimited).unwrap();
         assert_eq!(outcome, PivotOutcome::Optimal);
         assert_eq!(t.objective_value(), r(-5));
         assert_eq!(t.column_value(0), r(5));
@@ -263,8 +283,8 @@ mod tests {
     fn phase_two_detects_unbounded() {
         let rows = vec![vec![r(1), r(-1), r(1), r(0)]];
         let mut t = Tableau::new(rows, vec![2], 3, 2);
-        assert!(t.phase_one());
-        let outcome = t.phase_two(&[r(-1), r(0)]);
+        assert!(t.phase_one(&Unlimited).unwrap());
+        let outcome = t.phase_two(&[r(-1), r(0)], &Unlimited).unwrap();
         assert_eq!(outcome, PivotOutcome::Unbounded);
     }
 
@@ -274,12 +294,26 @@ mod tests {
     fn redundant_rows_are_dropped() {
         let rows = vec![vec![r(1), r(1), r(0), r(1)], vec![r(1), r(0), r(1), r(1)]];
         let mut t = Tableau::new(rows, vec![1, 2], 3, 1);
-        assert!(t.phase_one());
+        assert!(t.phase_one(&Unlimited).unwrap());
         assert_eq!(t.column_value(0), r(1));
         assert!(t.rows.len() <= 2);
         assert!(t
             .basis
             .iter()
             .all(|&b| b < 1 || t.column_value(b).is_zero()));
+    }
+
+    /// A starved budget interrupts phase 1 instead of looping or panicking.
+    #[test]
+    fn starved_budget_interrupts() {
+        struct Refuse;
+        impl WorkBudget for Refuse {
+            fn consume(&self, _: u64) -> bool {
+                false
+            }
+        }
+        let rows = vec![vec![r(1), r(1), r(1), r(2)]];
+        let mut t = Tableau::new(rows, vec![2], 3, 2);
+        assert_eq!(t.phase_one(&Refuse), Err(LinearError::Interrupted));
     }
 }

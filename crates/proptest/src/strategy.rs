@@ -1,0 +1,342 @@
+//! The `Strategy` trait and the combinators / base strategies the
+//! workspace uses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, UniformInt};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// How many times a filtered strategy retries generation before giving up.
+const FILTER_MAX_RETRIES: u32 = 1_000;
+
+/// A generator of values of one type. Unlike upstream proptest there is no
+/// value tree and no shrinking: `generate` yields a finished value.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and draws from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Retains only values satisfying `pred`, retrying generation
+    /// internally (upstream rejects-and-retries at the runner level).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that clones a fixed value (`proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        for _ in 0..FILTER_MAX_RETRIES {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected {} consecutive values",
+            self.reason, FILTER_MAX_RETRIES
+        );
+    }
+}
+
+/// Uniform choice among type-erased alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base strategies: integer ranges, `any`, tuples, and string "regexes".
+// ---------------------------------------------------------------------------
+
+impl<T> Strategy for Range<T>
+where
+    T: UniformInt,
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: UniformInt,
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`proptest::arbitrary`).
+pub trait Arbitrary {
+    /// Draws a uniform sample from the whole domain of the type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut StdRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut StdRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+/// Strategy for the whole domain of `T` (`proptest::prelude::any`).
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — every value of `T` equally likely.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String-regex strategies. Upstream interprets any `&str` as a regex;
+/// this shim recognizes only the patterns the workspace actually uses and
+/// panics on anything else rather than mis-generating silently.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        match *self {
+            // Any sequence of non-control characters (Unicode class `\PC`).
+            "\\PC*" => {
+                let len = rng.gen_range(0usize..64);
+                (0..len).map(|_| gen_non_control_char(rng)).collect()
+            }
+            other => panic!("string strategy pattern {other:?} is not supported by the shim"),
+        }
+    }
+}
+
+/// A printable (non-control) char, biased toward ASCII so parser fuzzing
+/// spends most of its effort near real token boundaries.
+fn gen_non_control_char(rng: &mut StdRng) -> char {
+    if rng.gen_bool(0.8) {
+        // Printable ASCII.
+        rng.gen_range(0x20u32..0x7F)
+            .try_into()
+            .expect("printable ASCII is valid char")
+    } else {
+        // A scattering of non-ASCII, non-control scalar values.
+        loop {
+            let c = match rng.gen_range(0u32..3) {
+                0 => rng.gen_range(0xA1u32..0x250),    // Latin supplements
+                1 => rng.gen_range(0x391u32..0x3CF),   // Greek
+                _ => rng.gen_range(0x4E00u32..0x4F00), // CJK block start
+            };
+            if let Ok(c) = char::try_from(c) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::seed_rng;
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let mut rng = seed_rng("compose");
+        let s = (1usize..10)
+            .prop_filter("even", |v| v % 2 == 0)
+            .prop_flat_map(|n| (Just(n), 0..n))
+            .prop_map(|(n, k)| (n, k));
+        for _ in 0..200 {
+            let (n, k) = s.generate(&mut rng);
+            assert!(n % 2 == 0 && k < n);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_option() {
+        let mut rng = seed_rng("union");
+        let s = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn pc_star_never_emits_control_chars() {
+        let mut rng = seed_rng("pcstar");
+        for _ in 0..100 {
+            let s = "\\PC*".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Run configuration and per-case error plumbing for the `proptest!`
+//! macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-block configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim keeps the same order so
+        // uncustomized blocks retain their coverage.
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!`); the runner draws another.
+    Reject(String),
+    /// The case failed (`prop_assert!` family); the runner panics.
+    Fail(String),
+}
+
+/// Deterministic per-test generator: the seed is a hash of the fully
+/// qualified test name, so every run of a given test replays the same
+/// sequence of cases (there are no persistence files to rescue a failure —
+/// determinism is the reproduction story).
+pub fn seed_rng(test_path: &str) -> StdRng {
+    // FNV-1a over the test path.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn seeds_differ_by_test_name() {
+        let mut a = seed_rng("crate::tests::alpha");
+        let mut b = seed_rng("crate::tests::beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn seeding_is_stable() {
+        let mut a = seed_rng("same");
+        let mut b = seed_rng("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal, dependency-free stand-in for the subset of the `rand` crate API
+//! this workspace uses (`StdRng::seed_from_u64`, `gen`, `gen_range`,
+//! `gen_bool`).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this tiny deterministic implementation instead. The generator is
+//! xoshiro256++ seeded through SplitMix64 — statistically solid for workload
+//! generation and property tests, **not** cryptographic. Streams are stable
+//! across platforms and releases, which the benches rely on for reproducible
+//! workloads (identical seeds must describe identical schemas forever).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `i128` (every supported type fits).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; the value is guaranteed to be in range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Low bound and span (number of values) of the range. Panics when
+    /// empty. The span is computed with wrapping arithmetic so ranges near
+    /// the `i128` extremes stay representable.
+    fn bounds(&self) -> (i128, u128);
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn bounds(&self) -> (i128, u128) {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample from empty range");
+        (lo, hi.wrapping_sub(lo) as u128)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> (i128, u128) {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample from empty range");
+        let span = (hi.wrapping_sub(lo) as u128)
+            .checked_add(1)
+            .expect("full i128 range is not supported");
+        (lo, span)
+    }
+}
+
+/// Types [`Rng::gen`] can sample uniformly over their whole domain
+/// (the stand-in for rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// A uniform sample built from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+impl_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// The user-facing sampling interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample over the whole domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A uniform sample from `range`.
+    fn gen_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, span) = range.bounds();
+        // The tiny modulo bias of a 128-bit reduction is irrelevant for
+        // workload generation.
+        let wide = (self.next_u64() as u128) | ((self.next_u64() as u128) << 64);
+        T::from_i128(lo.wrapping_add((wide % span) as i128))
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]");
+        // 53 uniform mantissa bits, as rand does.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Namespace mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the stand-in for `rand`'s
+    /// `StdRng`; streams differ from upstream, which nothing here relies
+    /// on).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, per the xoshiro authors'
+            // recommendation.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&w));
+            let u = rng.gen_range(0u64..=0);
+            assert_eq!(u, 0);
+            let huge = rng.gen_range(-(1i128 << 100)..(1i128 << 100));
+            assert!((-(1i128 << 100)..(1i128 << 100)).contains(&huge));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn next_u64_import_works_via_rng_trait() {
+        use super::RngCore;
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = RngCore::next_u64(&mut rng);
+    }
+}
