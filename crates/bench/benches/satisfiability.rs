@@ -1,9 +1,45 @@
 //! E2 — full satisfiability pipeline (expansion + Ψ_S + acceptable-support
-//! fixpoint) as schema size grows.
+//! fixpoint) as schema size grows, plus the null-sink tracing overhead
+//! check and a machine-readable RunReport emitted alongside the criterion
+//! output.
 
 use cr_bench::{SchemaGen, SchemaShape};
-use cr_core::sat::Reasoner;
+use cr_core::expansion::ExpansionConfig;
+use cr_core::sat::{Reasoner, Strategy};
+use cr_core::Budget;
+use cr_trace::{NullSink, Tracer};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Writes a RunReport for one instrumented pipeline run per schema size
+/// next to the criterion output (`<target>/criterion/run_reports/`), so
+/// EXPERIMENTS.md tooling can read stage durations and domain counters
+/// without scraping bench logs.
+fn emit_run_reports() {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "../../target".to_string());
+    let dir = std::path::Path::new(&target).join("criterion/run_reports");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    for classes in [3, 4, 5, 6] {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, classes, 3, 23).build();
+        let tracer = Tracer::new(Box::new(NullSink));
+        let budget = Budget::unlimited().with_tracer(&tracer);
+        let outcome = match Reasoner::with_budget(
+            &schema,
+            &ExpansionConfig::default(),
+            Strategy::default(),
+            &budget,
+        ) {
+            Ok(_) => "ok",
+            Err(_) => "error",
+        };
+        let mut report = cr_core::run_report(&budget, "bench:reasoner_full_check", outcome);
+        report.target = format!("SchemaGen(IsaModerate, classes={classes}, rels=3, seed=23)");
+        let path = dir.join(format!("satisfiability_{classes}.json"));
+        let _ = std::fs::write(path, report.to_json() + "\n");
+    }
+    println!("run reports written to {}", dir.display());
+}
 
 fn bench_satisfiability(c: &mut Criterion) {
     let mut group = c.benchmark_group("reasoner_full_check");
@@ -15,6 +51,29 @@ fn bench_satisfiability(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The acceptance gate for the tracing layer: a null-sink tracer on the
+    // same workload must be indistinguishable from no tracer at all.
+    let mut overhead = c.benchmark_group("tracing_overhead");
+    overhead.sample_size(10);
+    let schema = SchemaGen::shaped(SchemaShape::IsaModerate, 6, 3, 23).build();
+    overhead.bench_function("untraced", |b| b.iter(|| Reasoner::new(&schema).unwrap()));
+    overhead.bench_function("null_sink", |b| {
+        let tracer = Tracer::new(Box::new(NullSink));
+        let budget = Budget::unlimited().with_tracer(&tracer);
+        b.iter(|| {
+            Reasoner::with_budget(
+                &schema,
+                &ExpansionConfig::default(),
+                Strategy::default(),
+                &budget,
+            )
+            .unwrap()
+        })
+    });
+    overhead.finish();
+
+    emit_run_reports();
 
     // The meeting schema of the paper as a fixed reference point.
     let mut fixed = c.benchmark_group("reasoner_meeting_schema");

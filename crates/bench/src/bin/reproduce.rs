@@ -2,10 +2,12 @@
 //! experiments recorded in EXPERIMENTS.md.
 //!
 //! ```text
-//! reproduce            # everything
-//! reproduce figures    # Figures 1-7 + the Section 3.3 counterexample
-//! reproduce scaling    # experiments E1-E7
-//! reproduce --quick    # smaller sweeps (CI-friendly)
+//! reproduce                 # everything
+//! reproduce figures         # Figures 1-7 + the Section 3.3 counterexample
+//! reproduce scaling         # experiments E1-E7
+//! reproduce --quick         # smaller sweeps (CI-friendly)
+//! reproduce --stats FILE    # also write a RunReport (JSON) for the
+//!                           # instrumented reference pipeline to FILE
 //! ```
 
 use std::time::Instant;
@@ -23,16 +25,61 @@ use cr_core::system::render_verbatim;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let stats = stats_path(&args);
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--stats"))
+        .map(|(_, a)| a.as_str())
+        .next()
         .unwrap_or("all");
     if what == "figures" || what == "all" {
         figures();
     }
     if what == "scaling" || what == "all" {
         scaling(quick);
+    }
+    if let Some(path) = stats {
+        write_run_report(&path);
+    }
+}
+
+fn stats_path(args: &[String]) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--stats=") {
+            return Some(v.to_string());
+        }
+        if a == "--stats" {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Runs the reference pipeline (the meeting schema: reasoner, implication
+/// probe, model construction) under a null-sink tracer and writes the
+/// resulting RunReport to `path` — the same JSON document `crsat --stats`
+/// emits, so EXPERIMENTS.md tooling consumes one format.
+fn write_run_report(path: &str) {
+    use cr_core::budget::Budget;
+    use cr_core::implication::implied_minc_governed;
+    use cr_core::sat::Strategy;
+    use cr_trace::{NullSink, Tracer};
+
+    let schema = meeting();
+    let tracer = Tracer::new(Box::new(NullSink));
+    let budget = Budget::unlimited().with_tracer(&tracer);
+    let config = ExpansionConfig::default();
+    let r = Reasoner::with_budget(&schema, &config, Strategy::default(), &budget).unwrap();
+    if let Some(d) = schema.card_declarations().first() {
+        let _ = implied_minc_governed(&schema, d.class, d.role, &config, &budget).unwrap();
+    }
+    let _ = r.construct_model(&ModelConfig::default()).unwrap();
+    let mut report = cr_core::run_report(&budget, "reproduce:reference-pipeline", "ok");
+    report.target = "meeting schema (Figures 2/3)".to_string();
+    match std::fs::write(path, report.to_json() + "\n") {
+        Ok(()) => println!("\nrun report written to {path}"),
+        Err(e) => eprintln!("cannot write stats to {path}: {e}"),
     }
 }
 

@@ -1,9 +1,12 @@
 //! `crsat` subcommand implementations.
-
-use std::process::ExitCode;
+//!
+//! Every command returns `Result<u8, String>` where the `u8` is the
+//! process exit code (0 success, 1 negative answer); `main` owns turning
+//! errors into exit codes 2/3 and emitting the run report, so commands
+//! never print to stderr themselves.
 
 use cr_core::expansion::ExpansionConfig;
-use cr_core::explain::minimal_unsat_core;
+use cr_core::explain::minimal_unsat_core_governed;
 use cr_core::ids::{ClassId, RoleId};
 use cr_core::implication::{
     implied_maxc_governed, implied_minc_governed, implies_maxc_governed, implies_minc_governed,
@@ -74,7 +77,7 @@ fn find_role(schema: &Schema, spec: &str) -> Result<RoleId, String> {
 
 /// `crsat check`: report finite and unrestricted satisfiability per class
 /// (and per relationship); exit 1 if any class is finitely unsatisfiable.
-pub fn check(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
+pub fn check(schema: &Schema, budget: &Budget) -> Result<u8, String> {
     let r = reasoner(schema, budget)?;
     let viable = cr_core::unrestricted::viable_compound_classes(r.expansion());
     let mut any_unsat = false;
@@ -113,15 +116,15 @@ pub fn check(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
         println!(
             "\nschema has finitely unsatisfiable classes; run `crsat explain` for a minimal core"
         );
-        Ok(ExitCode::FAILURE)
+        Ok(1)
     } else {
         println!("\nall {} classes satisfiable", schema.num_classes());
-        Ok(ExitCode::SUCCESS)
+        Ok(0)
     }
 }
 
 /// `crsat expand`: print the expansion (Figure 4 style).
-pub fn expand(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
+pub fn expand(schema: &Schema, budget: &Budget) -> Result<u8, String> {
     let r = reasoner(schema, budget)?;
     let exp = r.expansion();
     println!(
@@ -161,12 +164,12 @@ pub fn expand(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
             }
         }
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(0)
 }
 
 /// `crsat system`: print `Ψ_S` (Figure 5 style), optionally verbatim with
 /// forced-zero unknowns.
-pub fn system(schema: &Schema, verbatim: bool, budget: &Budget) -> Result<ExitCode, String> {
+pub fn system(schema: &Schema, verbatim: bool, budget: &Budget) -> Result<u8, String> {
     let r = reasoner(schema, budget)?;
     if verbatim {
         let text = render_verbatim(r.expansion(), 8).map_err(|e| e.to_string())?;
@@ -174,11 +177,11 @@ pub fn system(schema: &Schema, verbatim: bool, budget: &Budget) -> Result<ExitCo
     } else {
         print!("{}", r.system().render(r.expansion()));
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(0)
 }
 
 /// `crsat model`: construct a verified model (Figure 6 style).
-pub fn model(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
+pub fn model(schema: &Schema, budget: &Budget) -> Result<u8, String> {
     let r = reasoner(schema, budget)?;
     match r
         .construct_model(&ModelConfig::default())
@@ -186,7 +189,7 @@ pub fn model(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
     {
         None => {
             println!("no class is satisfiable; the only model is empty");
-            Ok(ExitCode::FAILURE)
+            Ok(1)
         }
         Some(m) => {
             println!("domain: {} individuals", m.domain_size());
@@ -211,13 +214,13 @@ pub fn model(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
                 }
             }
             println!("verified against Definition 2.2: ok");
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
         }
     }
 }
 
 /// `crsat implies <isa A B | min C R.U k | max C R.U k>`.
-pub fn implies(schema: &Schema, rest: &[String], budget: &Budget) -> Result<ExitCode, String> {
+pub fn implies(schema: &Schema, rest: &[String], budget: &Budget) -> Result<u8, String> {
     let usage = "implies query: isa <A> <B> | min <C> <Rel.Role> <k> | max <C> <Rel.Role> <k>";
     let config = ExpansionConfig::default();
     let verdict = match rest {
@@ -254,18 +257,18 @@ pub fn implies(schema: &Schema, rest: &[String], budget: &Budget) -> Result<Exit
     match verdict {
         Verdict::True => {
             println!("implied");
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
         }
         Verdict::False => {
             println!("not implied");
-            Ok(ExitCode::FAILURE)
+            Ok(1)
         }
         Verdict::Unknown { reason } => Err(unknown_to_err(budget, reason)),
     }
 }
 
 /// `crsat bounds <C> <Rel.Role>`: tightest implied window.
-pub fn bounds(schema: &Schema, rest: &[String], budget: &Budget) -> Result<ExitCode, String> {
+pub fn bounds(schema: &Schema, rest: &[String], budget: &Budget) -> Result<u8, String> {
     let [class, role] = rest else {
         return Err("bounds query: <C> <Rel.Role>".to_string());
     };
@@ -296,14 +299,14 @@ pub fn bounds(schema: &Schema, rest: &[String], budget: &Budget) -> Result<ExitC
             println!("tightest implied window for {class} in {role}: ({lo}, {hi})");
         }
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(0)
 }
 
 /// `crsat report`: the full design review a CASE tool would surface —
 /// satisfiability (finite and unrestricted), implied ISA, tightest implied
 /// windows for every declared constraint, and minimal cores for
 /// unsatisfiable classes.
-pub fn report(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
+pub fn report(schema: &Schema, budget: &Budget) -> Result<u8, String> {
     let r = reasoner(schema, budget)?;
     let config = ExpansionConfig::default();
 
@@ -404,7 +407,7 @@ pub fn report(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
         println!("\n## Minimal unsatisfiable cores\n");
         for c in &unsat {
             if let Some(core) =
-                minimal_unsat_core(schema, *c, &config).map_err(|e| e.to_string())?
+                minimal_unsat_core_governed(schema, *c, &config, budget).map_err(err_str)?
             {
                 println!("- {}:", schema.class_name(*c));
                 for item in core {
@@ -412,35 +415,35 @@ pub fn report(schema: &Schema, budget: &Budget) -> Result<ExitCode, String> {
                 }
             }
         }
-        return Ok(ExitCode::FAILURE);
+        return Ok(1);
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(0)
 }
 
 /// `crsat compare <a> <b>`: semantic subsumption / equivalence of two
 /// schemas over the same signature.
-pub fn compare(a: &Schema, b: &Schema) -> Result<ExitCode, String> {
+pub fn compare(a: &Schema, b: &Schema) -> Result<u8, String> {
     let config = ExpansionConfig::default();
     let ab = cr_core::compare::subsumes(a, b, &config).map_err(|e| e.to_string())?;
     let ba = cr_core::compare::subsumes(b, a, &config).map_err(|e| e.to_string())?;
     match (ab.holds(), ba.holds()) {
         (true, true) => {
             println!("equivalent: the schemas have exactly the same finite models");
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
         }
         (true, false) => {
             println!("first schema is strictly stronger; second does not imply:");
             for f in &ba.failing {
                 println!("  {f}");
             }
-            Ok(ExitCode::FAILURE)
+            Ok(1)
         }
         (false, true) => {
             println!("second schema is strictly stronger; first does not imply:");
             for f in &ab.failing {
                 println!("  {f}");
             }
-            Ok(ExitCode::FAILURE)
+            Ok(1)
         }
         (false, false) => {
             println!("incomparable; first does not imply:");
@@ -451,21 +454,23 @@ pub fn compare(a: &Schema, b: &Schema) -> Result<ExitCode, String> {
             for f in &ba.failing {
                 println!("  {f}");
             }
-            Ok(ExitCode::FAILURE)
+            Ok(1)
         }
     }
 }
 
 /// `crsat explain <class>`: minimal unsatisfiable core.
-pub fn explain(schema: &Schema, rest: &[String]) -> Result<ExitCode, String> {
+pub fn explain(schema: &Schema, rest: &[String], budget: &Budget) -> Result<u8, String> {
     let [class] = rest else {
         return Err("explain query: <class>".to_string());
     };
     let c = find_class(schema, class)?;
-    match minimal_unsat_core(schema, c, &ExpansionConfig::default()).map_err(|e| e.to_string())? {
+    match minimal_unsat_core_governed(schema, c, &ExpansionConfig::default(), budget)
+        .map_err(err_str)?
+    {
         None => {
             println!("{class} is satisfiable; nothing to explain");
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
         }
         Some(core) => {
             println!(
@@ -476,7 +481,7 @@ pub fn explain(schema: &Schema, rest: &[String]) -> Result<ExitCode, String> {
                 println!("  {}", r.describe(schema));
             }
             println!("removing any one of these restores satisfiability");
-            Ok(ExitCode::FAILURE)
+            Ok(1)
         }
     }
 }

@@ -20,6 +20,17 @@
 //! --max-expansion <n>   cap work units of expansion enumeration alone
 //! ```
 //!
+//! Observability flags (also accepted everywhere):
+//!
+//! ```text
+//! --trace[=human|json]  stream span/metric events to stderr: `human`
+//!                       (default) prints indented span enter/exit lines,
+//!                       `json` prints one JSON object per line
+//! --stats <file>        write a machine-readable RunReport (JSON, schema
+//!                       documented in cr-trace) on exit — every exit,
+//!                       including budget-exceeded and errors
+//! ```
+//!
 //! When a budget trips, the process prints a single machine-readable line
 //! `budget-exceeded stage=<s> spent=<n> limit=<n>` to stderr and exits
 //! with code 3 (2 remains "usage or schema error", 1 "query answered
@@ -31,28 +42,79 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use cr_core::Budget;
+use cr_trace::{EventSink, JsonLinesSink, StderrSink, Tracer};
+
+/// Stderr sink flavor selected by `--trace`.
+enum TraceMode {
+    Human,
+    Json,
+}
+
+/// Everything extracted from the raw argument list: the governor budget,
+/// the observability options, and the positional arguments in order.
+struct Invocation {
+    budget: Budget,
+    trace: Option<TraceMode>,
+    stats: Option<String>,
+    rest: Vec<String>,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(code) => code,
+    let inv = match parse_flags(&args) {
+        Ok(inv) => inv,
         Err(msg) => {
-            if msg.starts_with("budget-exceeded ") {
-                eprintln!("{msg}");
-                ExitCode::from(3)
-            } else {
-                eprintln!("error: {msg}");
-                ExitCode::from(2)
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // The tracer is always enabled: the default sink only relays protocol
+    // messages (the budget-exceeded line and error reports), so plain runs
+    // look exactly as before while `--stats` can still collect metrics.
+    let sink: Box<dyn EventSink> = match inv.trace {
+        None => Box::new(StderrSink::messages_only()),
+        Some(TraceMode::Human) => Box::new(StderrSink::verbose()),
+        Some(TraceMode::Json) => Box::new(JsonLinesSink::stderr()),
+    };
+    let tracer = Tracer::new(sink);
+    let budget = inv.budget.with_tracer(&tracer);
+    let result = run(&inv.rest, &budget);
+    let (outcome, code) = match &result {
+        Ok(0) => ("ok", 0u8),
+        Ok(code) => ("negative", *code),
+        Err(msg) if msg.starts_with("budget-exceeded ") => {
+            tracer.message(msg);
+            ("budget-exceeded", 3)
+        }
+        Err(msg) => {
+            tracer.message(&format!("error: {msg}"));
+            ("error", 2)
+        }
+    };
+    if let Some(path) = &inv.stats {
+        let command = inv.rest.first().cloned().unwrap_or_default();
+        let mut report = cr_core::run_report(&budget, &command, outcome);
+        report.target = inv.rest.get(1).cloned().unwrap_or_default();
+        let mut json = report.to_json();
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write stats to {path}: {e}");
+            if code == 0 {
+                return ExitCode::from(2);
             }
         }
     }
+    ExitCode::from(code)
 }
 
-/// Extracts the `--timeout-ms/--max-steps/--max-expansion` flags (either
-/// `--flag value` or `--flag=value`) from `args` and builds the
-/// invocation's [`Budget`]; non-flag arguments are returned in order.
-fn parse_budget(args: &[String]) -> Result<(Budget, Vec<String>), String> {
+/// Extracts the governor flags (`--timeout-ms/--max-steps/--max-expansion`,
+/// either `--flag value` or `--flag=value`) and the observability flags
+/// (`--trace[=human|json]`, `--stats <file>`) from `args`; non-flag
+/// arguments are returned in order.
+fn parse_flags(args: &[String]) -> Result<Invocation, String> {
     let mut budget = Budget::unlimited();
+    let mut trace = None;
+    let mut stats = None;
     let mut rest = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -60,9 +122,32 @@ fn parse_budget(args: &[String]) -> Result<(Budget, Vec<String>), String> {
             Some((f, v)) => (f, Some(v.to_string())),
             None => (arg.as_str(), None),
         };
-        if !matches!(flag, "--timeout-ms" | "--max-steps" | "--max-expansion") {
-            rest.push(arg.clone());
-            continue;
+        match flag {
+            "--trace" => {
+                trace = Some(match inline_value.as_deref() {
+                    None | Some("human") => TraceMode::Human,
+                    Some("json") => TraceMode::Json,
+                    Some(other) => {
+                        return Err(format!("--trace accepts human or json, got {other:?}"))
+                    }
+                });
+                continue;
+            }
+            "--stats" => {
+                stats = Some(match inline_value {
+                    Some(v) => v,
+                    None => iter
+                        .next()
+                        .ok_or_else(|| "--stats needs a file path".to_string())?
+                        .clone(),
+                });
+                continue;
+            }
+            "--timeout-ms" | "--max-steps" | "--max-expansion" => {}
+            _ => {
+                rest.push(arg.clone());
+                continue;
+            }
         }
         let value = match inline_value {
             Some(v) => v,
@@ -81,19 +166,24 @@ fn parse_budget(args: &[String]) -> Result<(Budget, Vec<String>), String> {
             _ => unreachable!("flag matched above"),
         };
     }
-    Ok((budget, rest))
+    Ok(Invocation {
+        budget,
+        trace,
+        stats,
+        rest,
+    })
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|fmt> \
-                 <schema.cr> [args...] [--timeout-ms n] [--max-steps n] [--max-expansion n]";
-    let (budget, args) = parse_budget(args)?;
+                 <schema.cr> [args...] [--timeout-ms n] [--max-steps n] [--max-expansion n] \
+                 [--trace[=human|json]] [--stats file]";
     let Some(cmd) = args.first() else {
         return Err(usage.to_string());
     };
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         println!("{usage}");
-        return Ok(ExitCode::SUCCESS);
+        return Ok(0);
     }
     const COMMANDS: &[&str] = &[
         "check", "expand", "system", "model", "implies", "bounds", "explain", "report", "compare",
@@ -119,21 +209,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let schema = cr_lang::parse_schema(&source).map_err(|e| format!("{path}:{e}"))?;
     let rest = &args[2..];
     match cmd.as_str() {
-        "check" => commands::check(&schema, &budget),
-        "expand" => commands::expand(&schema, &budget),
+        "check" => commands::check(&schema, budget),
+        "expand" => commands::expand(&schema, budget),
         "system" => commands::system(
             &schema,
             rest.iter().any(|a| a == "-v" || a == "--verbatim"),
-            &budget,
+            budget,
         ),
-        "model" => commands::model(&schema, &budget),
-        "implies" => commands::implies(&schema, rest, &budget),
-        "bounds" => commands::bounds(&schema, rest, &budget),
-        "explain" => commands::explain(&schema, rest),
-        "report" => commands::report(&schema, &budget),
+        "model" => commands::model(&schema, budget),
+        "implies" => commands::implies(&schema, rest, budget),
+        "bounds" => commands::bounds(&schema, rest, budget),
+        "explain" => commands::explain(&schema, rest, budget),
+        "report" => commands::report(&schema, budget),
         "fmt" => {
             print!("{}", cr_lang::print_schema(&schema));
-            Ok(ExitCode::SUCCESS)
+            Ok(0)
         }
         _ => unreachable!("command validated above"),
     }

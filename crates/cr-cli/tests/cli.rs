@@ -163,6 +163,159 @@ fn check_sealed_hierarchy() {
 }
 
 #[test]
+fn stats_file_written_on_success() {
+    let stats = std::env::temp_dir().join(format!("crsat-stats-ok-{}.json", std::process::id()));
+    let out = crsat()
+        .args([
+            "check",
+            schema_path("meeting.cr").to_str().unwrap(),
+            "--stats",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let report = cr_trace::json::parse(std::fs::read_to_string(&stats).unwrap().trim()).unwrap();
+    assert_eq!(report.get("command").unwrap().as_str(), Some("check"));
+    assert_eq!(report.get("outcome").unwrap().as_str(), Some("ok"));
+    let counters = report.get("counters").unwrap();
+    assert!(
+        counters
+            .get("compound_classes_considered")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    assert!(counters.get("simplex_pivots").unwrap().as_u64().unwrap() > 0);
+    let stages = report.get("stages").unwrap().as_arr().unwrap();
+    let expansion = stages
+        .iter()
+        .find(|s| s.get("name").unwrap().as_str() == Some("expansion"))
+        .expect("expansion stage present");
+    assert_eq!(expansion.get("calls").unwrap().as_u64(), Some(1));
+    assert!(expansion.get("duration_ns").unwrap().as_u64().unwrap() > 0);
+    let _ = std::fs::remove_file(stats);
+}
+
+#[test]
+fn stats_file_written_on_budget_exceeded() {
+    // The stats report must be written even when the process exits 3, and
+    // the machine-readable stderr protocol line must keep its exact shape.
+    let stats = std::env::temp_dir().join(format!("crsat-stats-be-{}.json", std::process::id()));
+    let out = crsat()
+        .args([
+            "check",
+            schema_path("university.cr").to_str().unwrap(),
+            "--max-expansion=3",
+            "--stats",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.starts_with("budget-exceeded stage=expansion spent="),
+        "protocol line changed: {stderr:?}"
+    );
+    assert!(stderr.contains(" limit=3"), "{stderr:?}");
+    assert_eq!(stderr.lines().count(), 1, "exactly one stderr line");
+    let report = cr_trace::json::parse(std::fs::read_to_string(&stats).unwrap().trim()).unwrap();
+    assert_eq!(
+        report.get("outcome").unwrap().as_str(),
+        Some("budget-exceeded")
+    );
+    let stages = report.get("stages").unwrap().as_arr().unwrap();
+    let expansion = stages
+        .iter()
+        .find(|s| s.get("name").unwrap().as_str() == Some("expansion"))
+        .expect("expansion stage present");
+    assert_eq!(expansion.get("budget_steps").unwrap().as_u64(), Some(4));
+    let _ = std::fs::remove_file(stats);
+}
+
+#[test]
+fn stats_outcome_negative_on_exit_one() {
+    let stats = std::env::temp_dir().join(format!("crsat-stats-neg-{}.json", std::process::id()));
+    let out = crsat()
+        .args([
+            "check",
+            schema_path("figure1.cr").to_str().unwrap(),
+            &format!("--stats={}", stats.to_str().unwrap()),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let report = cr_trace::json::parse(std::fs::read_to_string(&stats).unwrap().trim()).unwrap();
+    assert_eq!(report.get("outcome").unwrap().as_str(), Some("negative"));
+    assert!(report
+        .get("target")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .ends_with("figure1.cr"));
+    let _ = std::fs::remove_file(stats);
+}
+
+#[test]
+fn trace_json_lines_all_parse() {
+    let out = crsat()
+        .args([
+            "check",
+            schema_path("figure1.cr").to_str().unwrap(),
+            "--trace=json",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.is_empty());
+    let mut saw_expansion_end = false;
+    for line in stderr.lines() {
+        let v = cr_trace::json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        if v.get("event").and_then(|e| e.as_str()) == Some("span_end")
+            && v.get("name").and_then(|n| n.as_str()) == Some("expansion")
+        {
+            saw_expansion_end = true;
+            assert!(v.get("dur_ns").unwrap().as_u64().is_some());
+        }
+    }
+    assert!(saw_expansion_end, "no expansion span_end in: {stderr}");
+}
+
+#[test]
+fn trace_human_prints_span_lines() {
+    let out = crsat()
+        .args([
+            "check",
+            schema_path("meeting.cr").to_str().unwrap(),
+            "--trace=human",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("trace: > expansion"), "{stderr}");
+    assert!(stderr.contains("trace: < expansion"), "{stderr}");
+}
+
+#[test]
+fn trace_rejects_unknown_mode() {
+    let out = crsat()
+        .args([
+            "check",
+            schema_path("meeting.cr").to_str().unwrap(),
+            "--trace=xml",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--trace accepts human or json"));
+}
+
+#[test]
 fn system_verbatim_matches_figure5_inventory() {
     let out = crsat()
         .args(["system", schema_path("meeting.cr").to_str().unwrap(), "-v"])

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cr_linear::WorkBudget;
+use cr_trace::{Counter, RunReport, Tracer};
 
 use crate::error::{CrError, CrResult};
 
@@ -103,6 +104,10 @@ impl fmt::Display for Stage {
     }
 }
 
+// Adding a stage without extending `ALL` would silently drop it from every
+// report and iteration; fail the build instead.
+const _: () = assert!(Stage::ALL.len() == Stage::COUNT);
+
 /// Time source for deadline checks: the real monotonic clock, or a
 /// test-controlled counter.
 #[derive(Clone)]
@@ -143,6 +148,14 @@ impl ManualClock {
     /// Time shown on the clock.
     pub fn now(&self) -> Duration {
         Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// The clock's underlying nanosecond counter, shareable with other
+    /// consumers of manual time — notably [`cr_trace::Tracer::manual`], so
+    /// one hand-cranked clock drives budget deadlines and span durations
+    /// in lockstep.
+    pub fn shared_nanos(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.nanos)
     }
 }
 
@@ -194,6 +207,7 @@ pub struct Budget {
     stage_steps: [AtomicU64; Stage::COUNT],
     peak_alloc: AtomicU64,
     cancel: CancelToken,
+    tracer: Tracer,
 }
 
 impl Default for Budget {
@@ -215,6 +229,7 @@ impl Budget {
             stage_steps: std::array::from_fn(|_| AtomicU64::new(0)),
             peak_alloc: AtomicU64::new(0),
             cancel: CancelToken::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -252,6 +267,21 @@ impl Budget {
         self
     }
 
+    /// Attaches an observability [`Tracer`]: every stage the budget is
+    /// threaded through records spans and domain counters into it. The
+    /// default is [`Tracer::disabled`] — a single-branch no-op — so
+    /// ungoverned and untraced runs pay nothing.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Budget {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// The attached tracer (disabled unless [`Budget::with_tracer`] was
+    /// called). Stages open spans and bump counters through this handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// A handle to this budget's cancellation flag.
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
@@ -277,6 +307,7 @@ impl Budget {
     /// for peak memory that needs no allocator hooks.
     pub fn note_allocation(&self, units: u64) {
         self.peak_alloc.fetch_max(units, Ordering::Relaxed);
+        self.tracer.record_max(Counter::PeakAllocBytes, units);
     }
 
     /// The largest allocation estimate recorded so far.
@@ -385,7 +416,12 @@ impl Budget {
 /// Direct [`WorkBudget`] use of a budget charges [`Stage::Simplex`].
 impl WorkBudget for Budget {
     fn consume(&self, units: u64) -> bool {
+        self.tracer.add(Counter::SimplexPivots, units);
         self.charge(Stage::Simplex, units).is_ok()
+    }
+
+    fn note_tableau(&self, rows: usize, cols: usize) {
+        note_tableau_metrics(&self.tracer, rows, cols);
     }
 }
 
@@ -398,8 +434,73 @@ pub struct StageBudget<'b> {
 
 impl WorkBudget for StageBudget<'_> {
     fn consume(&self, units: u64) -> bool {
+        // Units flowing through the solver's WorkBudget are pivots (the
+        // pivot loop is the only `consume` caller in cr-linear), whatever
+        // stage they are booked to.
+        self.budget.tracer.add(Counter::SimplexPivots, units);
         self.budget.charge(self.stage, units).is_ok()
     }
+
+    fn note_tableau(&self, rows: usize, cols: usize) {
+        note_tableau_metrics(&self.budget.tracer, rows, cols);
+    }
+}
+
+/// One solver entry announces one tableau: count the solve and track peak
+/// problem dimensions.
+fn note_tableau_metrics(tracer: &Tracer, rows: usize, cols: usize) {
+    tracer.add(Counter::SimplexSolves, 1);
+    tracer.record_max(Counter::MaxTableauRows, rows as u64);
+    tracer.record_max(Counter::MaxTableauCols, cols as u64);
+}
+
+/// A [`WorkBudget`] that never refuses work but meters it into a
+/// [`Tracer`] — for solver calls that must stay ungoverned (pure probes
+/// outside any budgeted stage) yet should still show up in pivot counts.
+pub struct TracerMeter<'t> {
+    tracer: &'t Tracer,
+}
+
+impl<'t> TracerMeter<'t> {
+    /// A meter recording into `tracer`.
+    pub fn new(tracer: &'t Tracer) -> TracerMeter<'t> {
+        TracerMeter { tracer }
+    }
+}
+
+impl WorkBudget for TracerMeter<'_> {
+    fn consume(&self, units: u64) -> bool {
+        self.tracer.add(Counter::SimplexPivots, units);
+        true
+    }
+
+    fn note_tableau(&self, rows: usize, cols: usize) {
+        note_tableau_metrics(self.tracer, rows, cols);
+    }
+}
+
+/// Builds a [`RunReport`] joining the tracer's spans/counters with the
+/// budget's per-stage step accounts and peak-allocation estimate.
+///
+/// This is *the* way to snapshot a governed run: [`Tracer::report`] alone
+/// knows nothing about budgets, so its `budget_steps` and
+/// `budget_charged_units` fields would stay zero. Stages appear in the
+/// report if they recorded a span or charged at least one unit.
+pub fn run_report(budget: &Budget, command: &str, outcome: &str) -> RunReport {
+    let tracer = budget.tracer();
+    let mut report = tracer.report(command, outcome);
+    for stage in Stage::ALL {
+        let steps = budget.stage_steps(stage);
+        if steps > 0 || report.stage(stage.as_str()).is_some() {
+            report.set_stage_steps(stage.as_str(), steps);
+        }
+    }
+    report.set_counter(Counter::BudgetChargedUnits.as_str(), budget.steps());
+    let peak = budget
+        .peak_allocation_estimate()
+        .max(tracer.counter(Counter::PeakAllocBytes));
+    report.set_counter(Counter::PeakAllocBytes.as_str(), peak);
+    report
 }
 
 #[cfg(test)]
@@ -490,6 +591,54 @@ mod tests {
         b.note_allocation(500);
         b.note_allocation(20);
         assert_eq!(b.peak_allocation_estimate(), 500);
+    }
+
+    #[test]
+    fn run_report_joins_budget_and_tracer() {
+        use cr_trace::NullSink;
+        let tracer = Tracer::new(Box::new(NullSink));
+        let b = Budget::unlimited().with_tracer(&tracer);
+        b.charge(Stage::Expansion, 21).unwrap();
+        b.note_allocation(4096);
+        {
+            let _span = b.tracer().span("expansion");
+        }
+        // Simplex work through the WorkBudget face is metered as pivots.
+        assert!(b.stage(Stage::Fixpoint).consume(5));
+        b.stage(Stage::Fixpoint).note_tableau(8, 13);
+        let report = run_report(&b, "test", "ok");
+        let expansion = report.stage("expansion").unwrap();
+        assert_eq!(expansion.budget_steps, 21);
+        assert_eq!(expansion.calls, 1);
+        assert_eq!(report.stage("fixpoint").unwrap().budget_steps, 5);
+        assert_eq!(report.stage("model"), None, "idle stages stay out");
+        assert_eq!(report.counter("budget_charged_units"), Some(26));
+        assert_eq!(report.counter("peak_alloc_bytes"), Some(4096));
+        assert_eq!(report.counter("simplex_pivots"), Some(5));
+        assert_eq!(report.counter("simplex_solves"), Some(1));
+        assert_eq!(report.counter("max_tableau_rows"), Some(8));
+        assert_eq!(report.counter("max_tableau_cols"), Some(13));
+    }
+
+    #[test]
+    fn tracer_meter_counts_but_never_refuses() {
+        use cr_trace::NullSink;
+        let tracer = Tracer::new(Box::new(NullSink));
+        let meter = TracerMeter::new(&tracer);
+        assert!(meter.consume(1_000_000_000));
+        assert!(meter.consume(1));
+        meter.note_tableau(3, 4);
+        assert_eq!(tracer.counter(Counter::SimplexPivots), 1_000_000_001);
+        assert_eq!(tracer.counter(Counter::SimplexSolves), 1);
+    }
+
+    #[test]
+    fn manual_clock_shares_nanos_with_tracer() {
+        use cr_trace::NullSink;
+        let clock = ManualClock::new();
+        let tracer = Tracer::manual(Box::new(NullSink), clock.shared_nanos());
+        clock.advance(Duration::from_millis(3));
+        assert_eq!(tracer.elapsed(), Duration::from_millis(3));
     }
 
     #[test]

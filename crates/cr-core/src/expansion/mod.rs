@@ -96,6 +96,8 @@ impl<'s> Expansion<'s> {
         config: &ExpansionConfig,
         budget: &Budget,
     ) -> CrResult<Expansion<'s>> {
+        let tracer = budget.tracer();
+        let _span = tracer.span(Stage::Expansion.as_str());
         let closure = IsaClosure::compute(schema);
         let n = schema.num_classes();
 
@@ -119,6 +121,10 @@ impl<'s> Expansion<'s> {
                 Ok(())
             },
         )?;
+        tracer.add(
+            cr_trace::Counter::CompoundClassesConsistent,
+            cclasses.len() as u64,
+        );
         cclasses.sort();
         let cclass_index: HashMap<BitSet, usize> = cclasses
             .iter()
@@ -192,6 +198,7 @@ impl<'s> Expansion<'s> {
             .map(|cr| (cr.roles.len() * std::mem::size_of::<usize>()) as u64)
             .sum();
         budget.note_allocation(cc_bytes + crel_bytes);
+        tracer.add(cr_trace::Counter::CompoundRelsEmitted, crels.len() as u64);
 
         Ok(Expansion {
             schema,
@@ -336,6 +343,9 @@ fn enumerate_consistent(
     emit: &mut impl FnMut(&BitSet) -> CrResult<()>,
 ) -> CrResult<()> {
     budget.charge(Stage::Expansion, 1)?;
+    budget
+        .tracer()
+        .add(cr_trace::Counter::CompoundClassesConsidered, 1);
     let n = schema.num_classes();
     // Skip classes whose fate is already decided by propagation.
     let mut idx = idx;

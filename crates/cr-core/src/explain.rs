@@ -14,11 +14,12 @@
 //! orphans are dropped together with the statement, so "removing an ISA
 //! edge" means removing it *and* everything that rode on it.
 
+use crate::budget::Budget;
 use crate::error::CrResult;
 use crate::expansion::ExpansionConfig;
 use crate::ids::ClassId;
 use crate::isa::IsaClosure;
-use crate::sat::Reasoner;
+use crate::sat::{Reasoner, Strategy};
 use crate::schema::{Schema, SchemaBuilder};
 
 /// A removable constraint of a schema, referenced by declaration index.
@@ -136,8 +137,13 @@ fn subschema(schema: &Schema, active: &[bool], refs: &[ConstraintRef]) -> Schema
     b.build().expect("subschema of a valid schema validates")
 }
 
-fn class_unsat(schema: &Schema, class: ClassId, config: &ExpansionConfig) -> CrResult<bool> {
-    let r = Reasoner::with_config(schema, config)?;
+fn class_unsat(
+    schema: &Schema,
+    class: ClassId,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<bool> {
+    let r = Reasoner::with_budget(schema, config, Strategy::default(), budget)?;
     Ok(!r.is_class_satisfiable(class))
 }
 
@@ -172,7 +178,21 @@ pub fn minimal_unsat_core(
     class: ClassId,
     config: &ExpansionConfig,
 ) -> CrResult<Option<Vec<ConstraintRef>>> {
-    if !class_unsat(schema, class, config)? {
+    minimal_unsat_core_governed(schema, class, config, &Budget::unlimited())
+}
+
+/// [`minimal_unsat_core`] under a resource [`Budget`]: every deletion
+/// probe's expansion and fixpoint charge the shared budget, so the whole
+/// quadratic-in-constraints search is interruptible. The search runs under
+/// an `"explain"` span on the budget's tracer.
+pub fn minimal_unsat_core_governed(
+    schema: &Schema,
+    class: ClassId,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<Option<Vec<ConstraintRef>>> {
+    let _span = budget.tracer().span("explain");
+    if !class_unsat(schema, class, config, budget)? {
         return Ok(None);
     }
     let refs = all_constraints(schema);
@@ -180,7 +200,7 @@ pub fn minimal_unsat_core(
     for i in 0..refs.len() {
         active[i] = false;
         let sub = subschema(schema, &active, &refs);
-        if !class_unsat(&sub, class, config)? {
+        if !class_unsat(&sub, class, config, budget)? {
             // Constraint i is necessary; keep it.
             active[i] = true;
         }

@@ -237,7 +237,9 @@ fn implies_minc_with(
     if m == 0 {
         return Ok(true); // counts are nonnegative
     }
+    let _span = budget.tracer().span(Stage::Implication.as_str());
     budget.charge(Stage::Implication, 1)?;
+    budget.tracer().add(cr_trace::Counter::ImplicationProbes, 1);
     let (extended, exc) = with_exc_class(schema, class, role, Card::at_most(m - 1))?;
     let r = Reasoner::with_budget(&extended, config, Strategy::default(), budget)?;
     Ok(!r.is_class_satisfiable(exc))
@@ -277,7 +279,9 @@ fn implies_maxc_with(
     budget: &Budget,
 ) -> CrResult<bool> {
     check_query_well_formed(schema, class, role)?;
+    let _span = budget.tracer().span(Stage::Implication.as_str());
     budget.charge(Stage::Implication, 1)?;
+    budget.tracer().add(cr_trace::Counter::ImplicationProbes, 1);
     let (extended, exc) = with_exc_class(schema, class, role, Card::at_least(n + 1))?;
     let r = Reasoner::with_budget(&extended, config, Strategy::default(), budget)?;
     Ok(!r.is_class_satisfiable(exc))

@@ -87,7 +87,7 @@ pub mod schema;
 pub mod system;
 pub mod unrestricted;
 
-pub use budget::{Budget, CancelToken, ManualClock, Stage};
+pub use budget::{run_report, Budget, CancelToken, ManualClock, Stage, TracerMeter};
 pub use error::CrError;
 pub use ids::{ClassId, RelId, RoleId};
 pub use schema::{Card, Schema, SchemaBuilder};

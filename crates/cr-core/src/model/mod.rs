@@ -61,9 +61,24 @@ impl Reasoner<'_> {
     /// satisfiable — the empty interpretation is then the only model shape,
     /// available via [`Interpretation::empty`].
     pub fn construct_model(&self, config: &ModelConfig) -> CrResult<Option<Interpretation>> {
+        let tracer = self.tracer();
+        let _span = tracer.span(crate::budget::Stage::Model.as_str());
         match self.witness() {
             None => Ok(None),
-            Some(w) => construct_model(self.expansion(), w, config).map(Some),
+            Some(w) => {
+                let interp = construct_model(self.expansion(), w, config)?;
+                tracer.add(
+                    cr_trace::Counter::ModelIndividuals,
+                    interp.domain_size() as u64,
+                );
+                let tuples: usize = self
+                    .schema()
+                    .rels()
+                    .map(|r| interp.rel_extension(r).len())
+                    .sum();
+                tracer.add(cr_trace::Counter::ModelTuples, tuples as u64);
+                Ok(Some(interp))
+            }
         }
     }
 }

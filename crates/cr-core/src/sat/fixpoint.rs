@@ -51,9 +51,12 @@ pub(crate) fn support_by_max_lp(
     budget: &Budget,
     restrict: impl Fn(&[bool]) -> LinSystem,
 ) -> CrResult<(Vec<bool>, Option<Vec<Rational>>)> {
+    let tracer = budget.tracer();
+    let _span = tracer.span(Stage::Fixpoint.as_str());
     let mut alive = vec![true; n];
     loop {
         budget.charge(Stage::Fixpoint, 1)?;
+        tracer.add(cr_trace::Counter::FixpointIterations, 1);
         if alive.iter().all(|&a| !a) {
             return Ok((alive, None));
         }

@@ -113,6 +113,10 @@ pub struct Reasoner<'s> {
     /// A single acceptable solution positive on exactly the support (absent
     /// when the support is empty).
     witness: Option<AcceptableSolution>,
+    /// Observability handle inherited from the construction budget, so
+    /// post-construction queries (relationship probes, model building) keep
+    /// reporting into the same metrics.
+    tracer: cr_trace::Tracer,
 }
 
 impl<'s> Reasoner<'s> {
@@ -145,15 +149,24 @@ impl<'s> Reasoner<'s> {
         strategy: Strategy,
         budget: &Budget,
     ) -> CrResult<Reasoner<'s>> {
+        let tracer = budget.tracer().clone();
         let expansion = Expansion::build_governed(schema, config, budget)?;
         let system = std::sync::OnceLock::new();
         let (support, witness) = match strategy {
             Strategy::Direct => {
                 let sys = system.get_or_init(|| CrSystem::build(&expansion));
+                tracer.add(
+                    cr_trace::Counter::DisequationsEmitted,
+                    sys.lin.constraints().len() as u64,
+                );
                 fixpoint::maximal_acceptable_support_governed(sys, budget)?
             }
             Strategy::Aggregated => {
                 let agg = crate::agg::AggSystem::build(&expansion);
+                tracer.add(
+                    cr_trace::Counter::DisequationsEmitted,
+                    agg.num_rows() as u64,
+                );
                 let (support, agg_witness) =
                     crate::agg::maximal_support_agg_governed(&agg, budget)?;
                 let witness = agg_witness.map(|w| AcceptableSolution {
@@ -176,7 +189,14 @@ impl<'s> Reasoner<'s> {
             system,
             support,
             witness,
+            tracer,
         })
+    }
+
+    /// The observability handle inherited from the construction budget
+    /// (disabled unless that budget carried a tracer).
+    pub fn tracer(&self) -> &cr_trace::Tracer {
+        &self.tracer
     }
 
     /// The schema being reasoned about.
@@ -249,7 +269,13 @@ impl<'s> Reasoner<'s> {
             return false;
         }
         probe.push(total, Cmp::Ge, Rational::one());
-        cr_linear::solve(&probe).is_feasible()
+        // Ungoverned on purpose (one probe over an already-built support),
+        // but still metered so pivot counts stay complete.
+        let meter = crate::budget::TracerMeter::new(&self.tracer);
+        match cr_linear::solve_governed(&probe, &meter) {
+            Ok(feasibility) => feasibility.is_feasible(),
+            Err(_) => unreachable!("TracerMeter never refuses work"),
+        }
     }
 
     /// All unsatisfiable relationships, in id order.
@@ -296,6 +322,7 @@ pub fn satisfiable_with_fallback(
             ..
         })
         | Err(CrError::ZEnumerationTooLarge { .. }) => {
+            budget.tracer().add(cr_trace::Counter::ZenumFallbacks, 1);
             let (support, _witness) = fixpoint::maximal_acceptable_support_governed(sys, budget)?;
             let sat = exp
                 .compound_classes_containing(class)

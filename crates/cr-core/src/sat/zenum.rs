@@ -54,8 +54,11 @@ pub fn satisfiable_by_z_enumeration_governed(
     if containing.is_empty() {
         return Ok(false);
     }
+    let tracer = budget.tracer();
+    let _span = tracer.span(Stage::ZEnumeration.as_str());
     for z in 0u64..(1u64 << n_cc) {
         budget.charge(Stage::ZEnumeration, 1)?;
+        tracer.add(cr_trace::Counter::ZenumSubsets, 1);
         let in_z = |cc: usize| z & (1 << cc) != 0;
         // Σ Var(C̄ ∋ class) > 0 needs some containing compound class
         // outside Z.

@@ -20,6 +20,14 @@ pub trait WorkBudget {
     /// signals exhaustion: the solver abandons the computation and
     /// reports [`LinearError::Interrupted`](crate::LinearError::Interrupted).
     fn consume(&self, units: u64) -> bool;
+
+    /// Observability hook: the solver reports the dimensions of each
+    /// standard-form tableau it builds (rows × columns, before any row
+    /// elimination). Purely informational — the default does nothing, and
+    /// implementations must not refuse work here. Higher layers use it to
+    /// record peak problem sizes without this crate depending on their
+    /// metrics machinery.
+    fn note_tableau(&self, _rows: usize, _cols: usize) {}
 }
 
 /// The budget that never runs out — used by the ungoverned entry points
@@ -36,6 +44,10 @@ impl WorkBudget for Unlimited {
 impl<B: WorkBudget + ?Sized> WorkBudget for &B {
     fn consume(&self, units: u64) -> bool {
         (**self).consume(units)
+    }
+
+    fn note_tableau(&self, rows: usize, cols: usize) {
+        (**self).note_tableau(rows, cols);
     }
 }
 

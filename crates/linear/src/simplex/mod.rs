@@ -236,6 +236,7 @@ pub fn solve_governed(
 ) -> Result<Feasibility, LinearError> {
     if !sys.has_strict() {
         let mut sf = build_standard_form(sys, false);
+        budget.note_tableau(sf.tableau.num_rows(), sf.ncols);
         return if sf.tableau.phase_one(budget)? {
             let sol = sf.extract(sys);
             debug_assert_eq!(sys.check(sol.values()), Ok(()));
@@ -246,6 +247,7 @@ pub fn solve_governed(
     }
     // Strict rows present: maximize the uniform strictness slack t.
     let mut sf = build_standard_form(sys, true);
+    budget.note_tableau(sf.tableau.num_rows(), sf.ncols);
     if !sf.tableau.phase_one(budget)? {
         return Ok(Feasibility::Infeasible);
     }
@@ -288,6 +290,7 @@ pub fn optimize_governed(
         return Err(LinearError::StrictInOptimize);
     }
     let mut sf = build_standard_form(sys, false);
+    budget.note_tableau(sf.tableau.num_rows(), sf.ncols);
     if !sf.tableau.phase_one(budget)? {
         return Ok(OptOutcome::Infeasible);
     }

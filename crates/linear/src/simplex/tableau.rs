@@ -59,6 +59,11 @@ impl Tableau {
         }
     }
 
+    /// Number of constraint rows currently in the tableau.
+    pub(super) fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
     /// Runs phase 1 (minimize the sum of artificial variables). Returns
     /// `Ok(true)` iff the underlying system is feasible. Afterwards all
     /// artificial variables are out of the basis (redundant rows are

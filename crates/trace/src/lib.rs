@@ -1,0 +1,573 @@
+//! Observability for the reasoning pipeline: hierarchical spans, per-stage
+//! metrics, pluggable event sinks, and machine-readable run reports.
+//!
+//! The paper's complexity story — exponential expansion, polynomial
+//! acceptability fixpoint, exponential `Z`-enumeration oracle — is exactly
+//! the kind of claim the EXPERIMENTS suite measures, so the pipeline must be
+//! able to say *where* work went: how many compound classes were considered
+//! vs. survived consistency filtering, how many fixpoint passes ran, how
+//! many simplex pivots each phase spent, and where wall-clock time was
+//! burned. This crate provides the vocabulary; `cr-core` threads a
+//! [`Tracer`] through every stage via its resource governor (`Budget`), and
+//! `cr-cli`/`cr-bench` turn the result into a [`RunReport`].
+//!
+//! Design constraints:
+//!
+//! * **Zero dependencies** (std only): the build environment is offline,
+//!   and like the in-tree `rand`/`proptest`/`criterion` shims this crate
+//!   must build with nothing from crates.io.
+//! * **Free when off.** A [`Tracer::disabled`] tracer is an `Option::None`
+//!   behind a cheap clone; every `add`/`span` call is a single branch.
+//!   All ungoverned entry points of the pipeline run with a disabled
+//!   tracer, so the default path stays at its pre-instrumentation cost.
+//! * **Cheap when on.** Counters are relaxed atomics; spans take one
+//!   `Mutex` lock at *end of span* only (span ends are rare — they bracket
+//!   stages, not inner loops); sinks see span boundaries and messages,
+//!   never per-unit counter traffic.
+//!
+//! The three built-in sinks are [`NullSink`] (metrics only),
+//! [`StderrSink`] (human-readable), and [`JsonLinesSink`] (one JSON object
+//! per event, machine-readable). A [`RunReport`] aggregates everything into
+//! a stable JSON schema; the schema contract is documented on that type.
+//!
+//! Clocks are injectable for deterministic tests: [`Tracer::manual`] takes
+//! a shared nanosecond counter, the same mechanism `cr_core::ManualClock`
+//! exposes, so one hand-cranked clock can drive deadline checks and span
+//! durations simultaneously.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod report;
+mod sink;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+pub use report::{RunReport, StageReport, RUN_REPORT_VERSION};
+pub use sink::{EventSink, JsonLinesSink, NullSink, StderrSink, TraceEvent};
+
+/// Number of log2 nanosecond buckets in a duration histogram (bucket `i`
+/// counts durations in `[2^i, 2^{i+1})` ns; the last bucket absorbs the
+/// tail — `2^31` ns ≈ 2.1 s, far beyond any single stage invocation worth
+/// histogramming finer).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Domain counters of the reasoning pipeline.
+///
+/// Plain counters accumulate via [`Tracer::add`]; *gauges* (peak values —
+/// see [`Counter::is_gauge`]) keep their maximum via [`Tracer::record_max`].
+/// The JSON names ([`Counter::as_str`]) are a stable schema: tests pin
+/// them, and EXPERIMENTS.md trajectories depend on them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Counter {
+    /// Compound-class DFS nodes visited during expansion (the "considered"
+    /// side of the paper's consistency filtering).
+    CompoundClassesConsidered = 0,
+    /// Consistent compound classes that survived the filtering.
+    CompoundClassesConsistent = 1,
+    /// Consistent compound relationships materialized.
+    CompoundRelsEmitted = 2,
+    /// Rows of the disequation system `Ψ_S` (aggregated or verbatim) built
+    /// for the run.
+    DisequationsEmitted = 3,
+    /// Simplex solves started (feasibility probes and optimizations).
+    SimplexSolves = 4,
+    /// Simplex pivots across all solves.
+    SimplexPivots = 5,
+    /// Greatest-fixpoint passes over the candidate support.
+    FixpointIterations = 6,
+    /// `Z ⊆ V_C` subsets tried by the Theorem 3.4 enumeration oracle.
+    ZenumSubsets = 7,
+    /// Times the enumeration oracle's budget tripped and the question was
+    /// re-answered by the polynomial fixpoint.
+    ZenumFallbacks = 8,
+    /// Auxiliary-schema implication probes (Section 4 reductions).
+    ImplicationProbes = 9,
+    /// Individuals in the last constructed finite model.
+    ModelIndividuals = 10,
+    /// Tuples in the last constructed finite model.
+    ModelTuples = 11,
+    /// Total work units charged to the resource governor.
+    BudgetChargedUnits = 12,
+    /// Gauge: the governor's peak transient-allocation estimate, in bytes.
+    PeakAllocBytes = 13,
+    /// Gauge: largest standard-form tableau row count seen by the solver.
+    MaxTableauRows = 14,
+    /// Gauge: largest standard-form tableau column count seen by the solver.
+    MaxTableauCols = 15,
+}
+
+impl Counter {
+    /// Number of counters (size of the accounting array).
+    pub const COUNT: usize = 16;
+
+    /// All counters, in accounting-array (and JSON) order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::CompoundClassesConsidered,
+        Counter::CompoundClassesConsistent,
+        Counter::CompoundRelsEmitted,
+        Counter::DisequationsEmitted,
+        Counter::SimplexSolves,
+        Counter::SimplexPivots,
+        Counter::FixpointIterations,
+        Counter::ZenumSubsets,
+        Counter::ZenumFallbacks,
+        Counter::ImplicationProbes,
+        Counter::ModelIndividuals,
+        Counter::ModelTuples,
+        Counter::BudgetChargedUnits,
+        Counter::PeakAllocBytes,
+        Counter::MaxTableauRows,
+        Counter::MaxTableauCols,
+    ];
+
+    /// Stable lowercase snake_case name — the JSON schema key.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Counter::CompoundClassesConsidered => "compound_classes_considered",
+            Counter::CompoundClassesConsistent => "compound_classes_consistent",
+            Counter::CompoundRelsEmitted => "compound_rels_emitted",
+            Counter::DisequationsEmitted => "disequations_emitted",
+            Counter::SimplexSolves => "simplex_solves",
+            Counter::SimplexPivots => "simplex_pivots",
+            Counter::FixpointIterations => "fixpoint_iterations",
+            Counter::ZenumSubsets => "zenum_subsets",
+            Counter::ZenumFallbacks => "zenum_fallbacks",
+            Counter::ImplicationProbes => "implication_probes",
+            Counter::ModelIndividuals => "model_individuals",
+            Counter::ModelTuples => "model_tuples",
+            Counter::BudgetChargedUnits => "budget_charged_units",
+            Counter::PeakAllocBytes => "peak_alloc_bytes",
+            Counter::MaxTableauRows => "max_tableau_rows",
+            Counter::MaxTableauCols => "max_tableau_cols",
+        }
+    }
+
+    /// Whether the counter is a gauge (tracks a maximum, not a sum).
+    pub fn is_gauge(self) -> bool {
+        matches!(
+            self,
+            Counter::PeakAllocBytes | Counter::MaxTableauRows | Counter::MaxTableauCols
+        )
+    }
+}
+
+const _: () = assert!(Counter::ALL.len() == Counter::COUNT);
+
+/// Time source for span timestamps: real monotonic clock, or a
+/// test-controlled shared nanosecond counter.
+enum TimeSource {
+    Monotonic(Instant),
+    Manual(Arc<AtomicU64>),
+}
+
+impl TimeSource {
+    fn now_ns(&self) -> u64 {
+        match self {
+            TimeSource::Monotonic(start) => {
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            TimeSource::Manual(nanos) => nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregate duration statistics for one span name.
+#[derive(Clone, Default)]
+struct DurStat {
+    calls: u64,
+    total_ns: u64,
+    max_ns: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl DurStat {
+    fn record(&mut self, dur_ns: u64) {
+        self.calls += 1;
+        self.total_ns = self.total_ns.saturating_add(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+        let bucket = if dur_ns < 2 {
+            0
+        } else {
+            (63 - dur_ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+    }
+}
+
+struct Inner {
+    clock: TimeSource,
+    sink: Box<dyn EventSink>,
+    counters: [AtomicU64; Counter::COUNT],
+    spans: Mutex<BTreeMap<&'static str, DurStat>>,
+    next_span_id: AtomicU64,
+}
+
+thread_local! {
+    /// Stack of active span ids on this thread, for parent attribution.
+    /// Per-thread by construction: spans opened on another thread report no
+    /// parent from this one.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The observability handle threaded through the reasoning pipeline.
+///
+/// Cloning is cheap and shares the underlying metrics; the
+/// [`disabled`](Tracer::disabled) tracer (also [`Default`]) makes every
+/// operation a no-op behind a single branch.
+///
+/// ```
+/// use cr_trace::{Counter, NullSink, Tracer};
+///
+/// let tracer = Tracer::new(Box::new(NullSink));
+/// {
+///     let _span = tracer.span("expansion");
+///     tracer.add(Counter::CompoundClassesConsidered, 7);
+/// }
+/// let report = tracer.report("demo", "ok");
+/// assert_eq!(report.counter("compound_classes_considered"), Some(7));
+/// assert_eq!(report.stage("expansion").unwrap().calls, 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// The no-op tracer: all operations are branches on `None`. This is the
+    /// implicit tracer of every ungoverned pipeline entry point.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer on the real monotonic clock, emitting span and
+    /// message events to `sink`.
+    pub fn new(sink: Box<dyn EventSink>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                clock: TimeSource::Monotonic(Instant::now()),
+                sink,
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                spans: Mutex::new(BTreeMap::new()),
+                next_span_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// An enabled tracer on a test-controlled clock: timestamps and span
+    /// durations read the shared counter (nanoseconds) instead of the real
+    /// clock. `cr_core::ManualClock::shared_nanos` hands out exactly this
+    /// handle, so one hand-cranked clock drives deadlines and spans alike.
+    pub fn manual(sink: Box<dyn EventSink>, nanos: Arc<AtomicU64>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                clock: TimeSource::Manual(nanos),
+                sink,
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                spans: Mutex::new(BTreeMap::new()),
+                next_span_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// Whether this tracer records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to counter `c` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` into gauge `c`, keeping the maximum (no-op when
+    /// disabled).
+    #[inline]
+    pub fn record_max(&self, c: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[c as usize].fetch_max(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites counter `c` (used when exporting externally-accumulated
+    /// totals, e.g. the governor's step account, into a report).
+    pub fn set(&self, c: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[c as usize].store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of counter `c` (0 when disabled).
+    pub fn counter(&self, c: Counter) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.counters[c as usize].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Elapsed time on the tracer's clock since construction (zero when
+    /// disabled).
+    pub fn elapsed(&self) -> Duration {
+        match &self.inner {
+            Some(inner) => Duration::from_nanos(inner.clock.now_ns()),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Opens a hierarchical span. The returned RAII guard records the
+    /// span's duration into the per-name histogram and emits
+    /// start/end events to the sink; dropping it closes the span. Nesting
+    /// is tracked per thread.
+    ///
+    /// `name` doubles as the aggregation key — pipeline stages use their
+    /// `Stage` names (`"expansion"`, `"fixpoint"`, …) so the [`RunReport`]
+    /// can join span durations with the governor's per-stage step accounts.
+    #[must_use = "a span is closed when its guard drops; binding it to _ closes it immediately"]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { active: None };
+        };
+        let id = inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let start_ns = inner.clock.now_ns();
+        let (parent, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            let depth = stack.len();
+            stack.push(id);
+            (parent, depth)
+        });
+        inner.sink.event(&TraceEvent::SpanStart {
+            id,
+            parent,
+            depth,
+            name,
+            at_ns: start_ns,
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                inner: Arc::clone(inner),
+                id,
+                name,
+                start_ns,
+                depth,
+            }),
+        }
+    }
+
+    /// Emits a free-form message event to the sink (no-op when disabled).
+    /// The CLI routes its stderr diagnostics — including the
+    /// `budget-exceeded …` protocol line — through this, so every sink sees
+    /// the same lifecycle.
+    pub fn message(&self, text: &str) {
+        if let Some(inner) = &self.inner {
+            inner.sink.event(&TraceEvent::Message { text });
+        }
+    }
+
+    /// Snapshots everything into a [`RunReport`]. `command` and `outcome`
+    /// are caller-supplied labels (e.g. the CLI subcommand and
+    /// `"ok"` / `"budget-exceeded"`). Stage step accounts
+    /// ([`StageReport::budget_steps`]) are zero here — the layer that owns
+    /// the budget fills them in (see `cr_core::budget::run_report`).
+    pub fn report(&self, command: &str, outcome: &str) -> RunReport {
+        let mut out = RunReport {
+            version: RUN_REPORT_VERSION,
+            command: command.to_string(),
+            target: String::new(),
+            outcome: outcome.to_string(),
+            wall_ms: u64::try_from(self.elapsed().as_millis()).unwrap_or(u64::MAX),
+            stages: Vec::new(),
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| (c.as_str().to_string(), self.counter(c)))
+                .collect(),
+        };
+        if let Some(inner) = &self.inner {
+            let spans = inner.spans.lock().expect("span table poisoned");
+            for (name, stat) in spans.iter() {
+                let mut histogram: Vec<u64> = stat.buckets.to_vec();
+                while histogram.last() == Some(&0) {
+                    histogram.pop();
+                }
+                out.stages.push(StageReport {
+                    name: (*name).to_string(),
+                    calls: stat.calls,
+                    duration_ns: stat.total_ns,
+                    max_ns: stat.max_ns,
+                    budget_steps: 0,
+                    histogram_log2_ns: histogram,
+                });
+            }
+        }
+        out
+    }
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+    depth: usize,
+}
+
+/// RAII guard returned by [`Tracer::span`]; dropping it closes the span.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        let end_ns = span.inner.clock.now_ns();
+        let dur_ns = end_ns.saturating_sub(span.start_ns);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop our own id; tolerate out-of-order drops of sibling guards
+            // by removing the id wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|&id| id == span.id) {
+                stack.remove(pos);
+            }
+        });
+        span.inner
+            .spans
+            .lock()
+            .expect("span table poisoned")
+            .entry(span.name)
+            .or_default()
+            .record(dur_ns);
+        span.inner.sink.event(&TraceEvent::SpanEnd {
+            id: span.id,
+            depth: span.depth,
+            name: span.name,
+            at_ns: end_ns,
+            dur_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.add(Counter::SimplexPivots, 10);
+        t.record_max(Counter::PeakAllocBytes, 99);
+        t.message("nothing happens");
+        let _span = t.span("expansion");
+        assert_eq!(t.counter(Counter::SimplexPivots), 0);
+        let report = t.report("x", "ok");
+        assert!(report.stages.is_empty());
+        assert!(report.counters.iter().all(|(_, v)| *v == 0));
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_keep_max() {
+        let t = Tracer::new(Box::new(NullSink));
+        t.add(Counter::FixpointIterations, 2);
+        t.add(Counter::FixpointIterations, 3);
+        t.record_max(Counter::MaxTableauRows, 10);
+        t.record_max(Counter::MaxTableauRows, 4);
+        assert_eq!(t.counter(Counter::FixpointIterations), 5);
+        assert_eq!(t.counter(Counter::MaxTableauRows), 10);
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        struct CountingSink(AtomicUsize);
+        impl EventSink for CountingSink {
+            fn event(&self, e: &TraceEvent<'_>) {
+                if let TraceEvent::SpanStart { name, depth, .. } = e {
+                    if *name == "fixpoint" {
+                        assert_eq!(*depth, 1, "fixpoint nested under expansion");
+                    }
+                }
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let t = Tracer::new(Box::new(CountingSink(AtomicUsize::new(0))));
+        {
+            let _outer = t.span("expansion");
+            let _inner = t.span("fixpoint");
+        }
+        {
+            let _again = t.span("expansion");
+        }
+        let report = t.report("test", "ok");
+        assert_eq!(report.stage("expansion").unwrap().calls, 2);
+        assert_eq!(report.stage("fixpoint").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn manual_clock_drives_durations() {
+        let nanos = Arc::new(AtomicU64::new(0));
+        let t = Tracer::manual(Box::new(NullSink), Arc::clone(&nanos));
+        {
+            let _span = t.span("zenum");
+            nanos.fetch_add(1_500, Ordering::Relaxed);
+        }
+        let report = t.report("test", "ok");
+        let stage = report.stage("zenum").unwrap();
+        assert_eq!(stage.duration_ns, 1_500);
+        assert_eq!(stage.max_ns, 1_500);
+        // 1500 ns lands in bucket floor(log2(1500)) = 10.
+        assert_eq!(stage.histogram_log2_ns.len(), 11);
+        assert_eq!(*stage.histogram_log2_ns.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut s = DurStat::default();
+        s.record(0);
+        s.record(1);
+        s.record(2);
+        s.record(3);
+        s.record(u64::MAX);
+        assert_eq!(s.buckets[0], 2); // 0 and 1
+        assert_eq!(s.buckets[1], 2); // 2 and 3
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1); // tail absorbs
+        assert_eq!(s.calls, 5);
+        assert_eq!(s.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn counter_names_are_stable() {
+        // The JSON schema contract: renaming a counter is a breaking change.
+        let names: Vec<&str> = Counter::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "compound_classes_considered",
+                "compound_classes_consistent",
+                "compound_rels_emitted",
+                "disequations_emitted",
+                "simplex_solves",
+                "simplex_pivots",
+                "fixpoint_iterations",
+                "zenum_subsets",
+                "zenum_fallbacks",
+                "implication_probes",
+                "model_individuals",
+                "model_tuples",
+                "budget_charged_units",
+                "peak_alloc_bytes",
+                "max_tableau_rows",
+                "max_tableau_cols",
+            ]
+        );
+    }
+}

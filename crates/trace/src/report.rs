@@ -1,0 +1,254 @@
+//! The machine-readable run report and its stable JSON schema.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "command": "check",
+//!   "target": "schemas/figure1.cr",
+//!   "outcome": "ok",
+//!   "wall_ms": 12,
+//!   "stages": [
+//!     {
+//!       "name": "expansion",
+//!       "calls": 1,
+//!       "duration_ns": 1234567,
+//!       "max_ns": 1234567,
+//!       "budget_steps": 42,
+//!       "histogram_log2_ns": [0, 0, 1]
+//!     }
+//!   ],
+//!   "counters": { "compound_classes_considered": 21, "...": 0 }
+//! }
+//! ```
+//!
+//! Contract, pinned by the golden test in `tests/trace.rs`:
+//!
+//! * Top-level keys are exactly `version`, `command`, `target`, `outcome`,
+//!   `wall_ms`, `stages`, `counters` — emitted in that order.
+//! * `stages` entries have exactly the keys shown, sorted by `name`;
+//!   `histogram_log2_ns[i]` counts durations in `[2^i, 2^{i+1})` ns with
+//!   trailing zero buckets trimmed.
+//! * `counters` contains every `Counter` name (see `Counter::ALL`), each a
+//!   non-negative integer, in declaration order.
+//! * `outcome` is one of `"ok"`, `"negative"`, `"error"`,
+//!   `"budget-exceeded"` for CLI runs; other producers may use their own
+//!   labels.
+//!
+//! Adding a key is a compatible change (bump nothing); renaming or removing
+//! one requires bumping [`RUN_REPORT_VERSION`].
+
+use std::fmt::Write as _;
+
+use crate::json::write_escaped;
+
+/// Current report schema version.
+pub const RUN_REPORT_VERSION: u64 = 1;
+
+/// Aggregated metrics for one span name (by convention, one pipeline
+/// stage).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageReport {
+    /// Span name (stage names: `"expansion"`, `"fixpoint"`, …).
+    pub name: String,
+    /// Number of spans recorded under this name.
+    pub calls: u64,
+    /// Total duration across all calls, nanoseconds.
+    pub duration_ns: u64,
+    /// Longest single call, nanoseconds.
+    pub max_ns: u64,
+    /// Work units charged to this stage's budget (0 when no governor was
+    /// attached; filled in by `cr_core::budget::run_report`).
+    pub budget_steps: u64,
+    /// Log2-nanosecond duration histogram, trailing zeros trimmed.
+    pub histogram_log2_ns: Vec<u64>,
+}
+
+/// A complete, machine-readable account of one pipeline run.
+///
+/// Produced by [`Tracer::report`](crate::Tracer::report) (span/counter
+/// side) and enriched by the budget layer (per-stage step accounts); the
+/// CLI writes it to `--stats=FILE`, the bench harness alongside criterion
+/// output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`RUN_REPORT_VERSION`]).
+    pub version: u64,
+    /// What ran (CLI subcommand, bench id, …).
+    pub command: String,
+    /// What it ran on (schema path, generator description); may be empty.
+    pub target: String,
+    /// How it ended (`"ok"`, `"negative"`, `"error"`, `"budget-exceeded"`).
+    pub outcome: String,
+    /// Wall-clock from tracer construction to report, milliseconds.
+    pub wall_ms: u64,
+    /// Per-stage aggregates, sorted by name.
+    pub stages: Vec<StageReport>,
+    /// Domain counters: `(name, value)` in `Counter::ALL` order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunReport {
+    /// The stage entry named `name`, if recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Sets a counter by name, appending it if absent (used by layers that
+    /// export externally-tracked totals into the report).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some(entry) => entry.1 = value,
+            None => self.counters.push((name.to_string(), value)),
+        }
+    }
+
+    /// Sets the budget step account for stage `name`, creating a
+    /// zero-duration entry if the stage never opened a span (a stage can be
+    /// charged without tracing, e.g. under a disabled tracer's budget).
+    /// Keeps `stages` sorted by name.
+    pub fn set_stage_steps(&mut self, name: &str, steps: u64) {
+        if let Some(stage) = self.stages.iter_mut().find(|s| s.name == name) {
+            stage.budget_steps = steps;
+            return;
+        }
+        let entry = StageReport {
+            name: name.to_string(),
+            calls: 0,
+            duration_ns: 0,
+            max_ns: 0,
+            budget_steps: steps,
+            histogram_log2_ns: Vec::new(),
+        };
+        let pos = self
+            .stages
+            .binary_search_by(|s| s.name.as_str().cmp(name))
+            .unwrap_or_else(|p| p);
+        self.stages.insert(pos, entry);
+    }
+
+    /// Serializes to the stable JSON schema (single line, no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(out, "{{\"version\":{}", self.version);
+        out.push_str(",\"command\":");
+        write_escaped(&mut out, &self.command);
+        out.push_str(",\"target\":");
+        write_escaped(&mut out, &self.target);
+        out.push_str(",\"outcome\":");
+        write_escaped(&mut out, &self.outcome);
+        let _ = write!(out, ",\"wall_ms\":{}", self.wall_ms);
+        out.push_str(",\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ",\"calls\":{},\"duration_ns\":{},\"max_ns\":{},\"budget_steps\":{}",
+                s.calls, s.duration_ns, s.max_ns, s.budget_steps
+            );
+            out.push_str(",\"histogram_log2_ns\":[");
+            for (j, b) in s.histogram_log2_ns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> RunReport {
+        RunReport {
+            version: RUN_REPORT_VERSION,
+            command: "check".to_string(),
+            target: "schemas/figure1.cr".to_string(),
+            outcome: "negative".to_string(),
+            wall_ms: 7,
+            stages: vec![StageReport {
+                name: "expansion".to_string(),
+                calls: 1,
+                duration_ns: 500,
+                max_ns: 500,
+                budget_steps: 21,
+                histogram_log2_ns: vec![0, 0, 0, 0, 0, 0, 0, 0, 1],
+            }],
+            counters: vec![
+                ("compound_classes_considered".to_string(), 21),
+                ("simplex_pivots".to_string(), 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let report = sample();
+        let v = parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("version").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("command").unwrap().as_str(), Some("check"));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("negative"));
+        let stages = v.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].get("budget_steps").unwrap().as_u64(), Some(21));
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("compound_classes_considered")
+                .unwrap()
+                .as_u64(),
+            Some(21)
+        );
+    }
+
+    #[test]
+    fn set_stage_steps_creates_sorted_entries() {
+        let mut report = sample();
+        report.set_stage_steps("fixpoint", 9);
+        report.set_stage_steps("expansion", 42);
+        assert_eq!(report.stage("expansion").unwrap().budget_steps, 42);
+        assert_eq!(report.stage("expansion").unwrap().calls, 1);
+        let fixpoint = report.stage("fixpoint").unwrap();
+        assert_eq!(fixpoint.budget_steps, 9);
+        assert_eq!(fixpoint.calls, 0);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["expansion", "fixpoint"]);
+    }
+
+    #[test]
+    fn set_counter_overwrites_or_appends() {
+        let mut report = sample();
+        report.set_counter("simplex_pivots", 5);
+        report.set_counter("brand_new", 1);
+        assert_eq!(report.counter("simplex_pivots"), Some(5));
+        assert_eq!(report.counter("brand_new"), Some(1));
+    }
+}

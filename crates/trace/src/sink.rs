@@ -1,0 +1,290 @@
+//! Event sinks: where span boundaries and diagnostic messages go.
+//!
+//! Sinks see *events*, not counters — counter traffic is too hot to route
+//! through a trait object, so it stays in the tracer's atomics and only
+//! surfaces in the aggregate [`RunReport`](crate::RunReport).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::write_escaped;
+
+/// A single trace event delivered to an [`EventSink`].
+#[derive(Clone, Copy, Debug)]
+pub enum TraceEvent<'a> {
+    /// A span opened.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+        /// Id of the enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Nesting depth on the opening thread (0 = top level).
+        depth: usize,
+        /// Static span name (stage names: `"expansion"`, `"fixpoint"`, …).
+        name: &'a str,
+        /// Timestamp on the tracer's clock, in nanoseconds.
+        at_ns: u64,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id from the matching [`TraceEvent::SpanStart`].
+        id: u64,
+        /// Nesting depth on the opening thread.
+        depth: usize,
+        /// Static span name.
+        name: &'a str,
+        /// Timestamp on the tracer's clock, in nanoseconds.
+        at_ns: u64,
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A free-form diagnostic line (CLI stderr protocol, warnings).
+    Message {
+        /// The message text, without trailing newline.
+        text: &'a str,
+    },
+}
+
+/// Receives trace events. Implementations must be cheap enough to sit on
+/// stage boundaries (not inner loops) and thread-safe, since spans may
+/// close on any thread.
+pub trait EventSink: Send + Sync {
+    /// Handles one event. Errors are the sink's own problem: tracing must
+    /// never fail the computation it observes.
+    fn event(&self, e: &TraceEvent<'_>);
+}
+
+/// Discards span events. Counters and histograms still accumulate in the
+/// tracer, so `RunReport`s remain complete — this is the sink for
+/// "metrics without log output" (and the one benchmarked for overhead).
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn event(&self, _e: &TraceEvent<'_>) {}
+}
+
+/// Human-readable stderr sink.
+///
+/// Two modes:
+/// * [`messages_only`](StderrSink::messages_only) prints just
+///   [`TraceEvent::Message`] lines, verbatim — this is the CLI's default
+///   sink, and is what keeps the `budget-exceeded …` protocol line
+///   byte-identical to the pre-trace `eprintln!`.
+/// * [`verbose`](StderrSink::verbose) additionally prints indented
+///   span open/close lines with durations (the `--trace=human` mode).
+pub struct StderrSink {
+    spans: bool,
+}
+
+impl StderrSink {
+    /// Prints only message events, verbatim.
+    pub fn messages_only() -> StderrSink {
+        StderrSink { spans: false }
+    }
+
+    /// Prints messages and span boundaries.
+    pub fn verbose() -> StderrSink {
+        StderrSink { spans: true }
+    }
+}
+
+impl EventSink for StderrSink {
+    fn event(&self, e: &TraceEvent<'_>) {
+        match e {
+            TraceEvent::Message { text } => {
+                eprintln!("{text}");
+            }
+            TraceEvent::SpanStart { depth, name, .. } if self.spans => {
+                eprintln!("trace: {:indent$}> {name}", "", indent = depth * 2);
+            }
+            TraceEvent::SpanEnd {
+                depth,
+                name,
+                dur_ns,
+                ..
+            } if self.spans => {
+                eprintln!(
+                    "trace: {:indent$}< {name} ({})",
+                    "",
+                    format_ns(*dur_ns),
+                    indent = depth * 2
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// JSON Lines sink: one JSON object per event, written to any
+/// `Write + Send` target (the CLI uses stderr for `--trace=json`).
+///
+/// Event shapes (each on its own line):
+///
+/// ```json
+/// {"event":"span_start","id":1,"parent":null,"depth":0,"name":"expansion","at_ns":123}
+/// {"event":"span_end","id":1,"depth":0,"name":"expansion","at_ns":456,"dur_ns":333,"seq":2}
+/// {"event":"message","text":"budget-exceeded stage=expansion spent=10 limit=10"}
+/// ```
+///
+/// `seq` is a per-sink monotonic sequence number stamped on `span_end`
+/// events so consumers can order closes that race across threads.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    seq: AtomicU64,
+}
+
+impl JsonLinesSink {
+    /// A sink writing to the given target.
+    pub fn new(out: Box<dyn Write + Send>) -> JsonLinesSink {
+        JsonLinesSink {
+            out: Mutex::new(out),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A sink writing to standard error.
+    pub fn stderr() -> JsonLinesSink {
+        JsonLinesSink::new(Box::new(std::io::stderr()))
+    }
+}
+
+impl EventSink for JsonLinesSink {
+    fn event(&self, e: &TraceEvent<'_>) {
+        let mut line = String::with_capacity(96);
+        match e {
+            TraceEvent::SpanStart {
+                id,
+                parent,
+                depth,
+                name,
+                at_ns,
+            } => {
+                line.push_str("{\"event\":\"span_start\",\"id\":");
+                let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{id}"));
+                line.push_str(",\"parent\":");
+                match parent {
+                    Some(p) => {
+                        let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{p}"));
+                    }
+                    None => line.push_str("null"),
+                }
+                let _ = std::fmt::Write::write_fmt(
+                    &mut line,
+                    format_args!(",\"depth\":{depth},\"name\":"),
+                );
+                write_escaped(&mut line, name);
+                let _ = std::fmt::Write::write_fmt(&mut line, format_args!(",\"at_ns\":{at_ns}}}"));
+            }
+            TraceEvent::SpanEnd {
+                id,
+                depth,
+                name,
+                at_ns,
+                dur_ns,
+            } => {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fmt::Write::write_fmt(
+                    &mut line,
+                    format_args!(
+                        "{{\"event\":\"span_end\",\"id\":{id},\"depth\":{depth},\"name\":"
+                    ),
+                );
+                write_escaped(&mut line, name);
+                let _ = std::fmt::Write::write_fmt(
+                    &mut line,
+                    format_args!(",\"at_ns\":{at_ns},\"dur_ns\":{dur_ns},\"seq\":{seq}}}"),
+                );
+            }
+            TraceEvent::Message { text } => {
+                line.push_str("{\"event\":\"message\",\"text\":");
+                write_escaped(&mut line, text);
+                line.push('}');
+            }
+        }
+        line.push('\n');
+        let mut out = self.out.lock().expect("json sink poisoned");
+        // Tracing must never fail the traced computation; drop write errors.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+    use std::sync::Arc;
+
+    /// A Write target backed by a shared buffer, for asserting sink output.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_lines_are_valid_json() {
+        let buf = SharedBuf::default();
+        let sink = JsonLinesSink::new(Box::new(buf.clone()));
+        sink.event(&TraceEvent::SpanStart {
+            id: 1,
+            parent: None,
+            depth: 0,
+            name: "expansion",
+            at_ns: 10,
+        });
+        sink.event(&TraceEvent::SpanEnd {
+            id: 1,
+            depth: 0,
+            name: "expansion",
+            at_ns: 42,
+            dur_ns: 32,
+        });
+        sink.event(&TraceEvent::Message {
+            text: "budget-exceeded stage=expansion spent=1 limit=1",
+        });
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let start = parse(lines[0]).unwrap();
+        assert_eq!(start.get("event").unwrap().as_str(), Some("span_start"));
+        assert_eq!(start.get("parent"), Some(&Value::Null));
+        let end = parse(lines[1]).unwrap();
+        assert_eq!(end.get("dur_ns").unwrap().as_u64(), Some(32));
+        assert_eq!(end.get("seq").unwrap().as_u64(), Some(0));
+        let msg = parse(lines[2]).unwrap();
+        assert_eq!(
+            msg.get("text").unwrap().as_str(),
+            Some("budget-exceeded stage=expansion spent=1 limit=1")
+        );
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(999), "999ns");
+        assert_eq!(format_ns(1_500), "1.5µs");
+        assert_eq!(format_ns(2_500_000), "2.500ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000s");
+    }
+}

@@ -1,0 +1,236 @@
+//! Observability integration tests: the RunReport JSON golden schema and
+//! the "tracing never changes answers" property.
+//!
+//! The golden test is the contract named in `cr-trace`'s report module
+//! docs: top-level keys, stage-entry keys, and the counter inventory are
+//! all pinned here, so any schema change is a conscious one (and renames
+//! or removals must bump `RUN_REPORT_VERSION`).
+
+use std::sync::{Arc, Mutex};
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::budget::Budget;
+use cr_core::expansion::ExpansionConfig;
+use cr_core::implication::implied_minc_governed;
+use cr_core::model::ModelConfig;
+use cr_core::sat::{Reasoner, Strategy};
+use cr_core::schema::Schema;
+use cr_trace::json::parse;
+use cr_trace::{Counter, EventSink, NullSink, TraceEvent, Tracer};
+use proptest::prelude::*;
+
+/// Runs the full pipeline (reasoner + one implication probe + model
+/// construction) on `schema` under a tracer-carrying budget and returns
+/// the finished report.
+fn traced_run(schema: &Schema, sink: Box<dyn EventSink>) -> cr_trace::RunReport {
+    let tracer = Tracer::new(sink);
+    let budget = Budget::unlimited().with_tracer(&tracer);
+    let r = Reasoner::with_budget(
+        schema,
+        &ExpansionConfig::default(),
+        Strategy::default(),
+        &budget,
+    )
+    .unwrap();
+    if let Some(d) = schema.card_declarations().first() {
+        let _ = implied_minc_governed(
+            schema,
+            d.class,
+            d.role,
+            &ExpansionConfig::default(),
+            &budget,
+        )
+        .unwrap();
+    }
+    let _ = r.construct_model(&ModelConfig::default()).unwrap();
+    let mut report = cr_core::run_report(&budget, "pipeline", "ok");
+    report.target = "tests/trace.rs".to_string();
+    report
+}
+
+fn meeting() -> Schema {
+    cr_lang::parse_schema(
+        r#"
+        class Speaker;
+        class Discussant isa Speaker;
+        class Talk;
+        relationship Holds (U1: Speaker, U2: Talk);
+        relationship Participates (U3: Discussant, U4: Talk);
+        card Speaker in Holds.U1: 1..*;
+        card Discussant in Holds.U1: 0..2;
+        card Talk in Holds.U2: 1..1;
+        card Discussant in Participates.U3: 1..1;
+        card Talk in Participates.U4: 1..*;
+    "#,
+    )
+    .unwrap()
+}
+
+/// Golden test: the exact shape of the RunReport JSON document.
+#[test]
+fn run_report_json_schema_is_pinned() {
+    let report = traced_run(&meeting(), Box::new(NullSink));
+    let v = parse(&report.to_json()).unwrap();
+
+    let top: Vec<&str> = v.as_obj().unwrap().keys().map(String::as_str).collect();
+    let mut expected_top = vec![
+        "version", "command", "target", "outcome", "wall_ms", "stages", "counters",
+    ];
+    expected_top.sort_unstable();
+    assert_eq!(top, expected_top, "top-level key set changed");
+    assert_eq!(v.get("version").unwrap().as_u64(), Some(1));
+    assert_eq!(v.get("command").unwrap().as_str(), Some("pipeline"));
+    assert_eq!(v.get("outcome").unwrap().as_str(), Some("ok"));
+    assert!(v.get("wall_ms").unwrap().as_u64().is_some());
+
+    let stages = v.get("stages").unwrap().as_arr().unwrap();
+    assert!(!stages.is_empty());
+    let mut expected_stage = vec![
+        "name",
+        "calls",
+        "duration_ns",
+        "max_ns",
+        "budget_steps",
+        "histogram_log2_ns",
+    ];
+    expected_stage.sort_unstable();
+    for stage in stages {
+        let keys: Vec<&str> = stage.as_obj().unwrap().keys().map(String::as_str).collect();
+        assert_eq!(keys, expected_stage, "stage-entry key set changed");
+        assert!(stage.get("calls").unwrap().as_u64().unwrap() >= 1);
+        let hist: u64 = stage
+            .get("histogram_log2_ns")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|b| b.as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            hist,
+            stage.get("calls").unwrap().as_u64().unwrap(),
+            "histogram buckets must sum to the call count"
+        );
+    }
+    // Stages are sorted by name; the pipeline exercised these three.
+    let names: Vec<&str> = stages
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "stages must be sorted by name");
+    for required in ["expansion", "fixpoint", "implication", "model"] {
+        assert!(names.contains(&required), "missing stage {required:?}");
+    }
+
+    // The counter inventory is exactly Counter::ALL.
+    let counters = v.get("counters").unwrap().as_obj().unwrap();
+    let got: Vec<&str> = counters.keys().map(String::as_str).collect();
+    let mut expected: Vec<&str> = Counter::ALL.iter().map(|c| c.as_str()).collect();
+    expected.sort_unstable();
+    assert_eq!(got, expected, "counter inventory changed");
+    for (name, value) in counters {
+        assert!(value.as_u64().is_some(), "counter {name} not a u64");
+    }
+    // The run did real work and the meters saw it.
+    for nonzero in [
+        "compound_classes_considered",
+        "compound_classes_consistent",
+        "disequations_emitted",
+        "simplex_pivots",
+        "fixpoint_iterations",
+        "implication_probes",
+        "model_individuals",
+        "budget_charged_units",
+    ] {
+        assert!(
+            counters.get(nonzero).unwrap().as_u64().unwrap() > 0,
+            "expected nonzero counter {nonzero}"
+        );
+    }
+}
+
+/// A sink that counts events, proving instrumentation actually streams.
+struct CountingSink(Arc<Mutex<u64>>);
+
+impl EventSink for CountingSink {
+    fn event(&self, _e: &TraceEvent<'_>) {
+        *self.0.lock().unwrap() += 1;
+    }
+}
+
+#[test]
+fn sink_receives_span_events_for_every_recorded_stage() {
+    let count = Arc::new(Mutex::new(0));
+    let report = traced_run(&meeting(), Box::new(CountingSink(Arc::clone(&count))));
+    let events = *count.lock().unwrap();
+    let span_calls: u64 = report.stages.iter().map(|s| s.calls).sum();
+    // Each span emits exactly a start and an end event.
+    assert_eq!(events, 2 * span_calls, "events {events} spans {span_calls}");
+}
+
+/// What every reasoning entry point answered, for equality comparison
+/// between instrumented and uninstrumented runs.
+#[derive(Debug, PartialEq, Eq)]
+struct Answers {
+    support: Vec<bool>,
+    class_sat: Vec<bool>,
+    rel_sat: Vec<bool>,
+    implied_isa: Vec<(cr_core::ids::ClassId, cr_core::ids::ClassId)>,
+    has_model: bool,
+}
+
+fn answers(schema: &Schema, budget: &Budget) -> Answers {
+    let r = Reasoner::with_budget(
+        schema,
+        &ExpansionConfig::default(),
+        Strategy::default(),
+        budget,
+    )
+    .unwrap();
+    Answers {
+        support: r.support().to_vec(),
+        class_sat: schema
+            .classes()
+            .map(|c| r.is_class_satisfiable(c))
+            .collect(),
+        rel_sat: schema.rels().map(|rel| r.is_rel_satisfiable(rel)).collect(),
+        implied_isa: r.implied_isa_pairs(),
+        has_model: r
+            .construct_model(&ModelConfig::default())
+            .unwrap()
+            .is_some(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tracing is purely observational: a NullSink-instrumented run returns
+    /// bit-identical answers to a run with tracing disabled, on random
+    /// schemas across every generator shape.
+    #[test]
+    fn instrumented_run_answers_exactly_like_uninstrumented(
+        shape_idx in 0usize..3,
+        classes in 2usize..=5,
+        rels in 1usize..=3,
+        seed in 0u64..1000,
+    ) {
+        let shape = [SchemaShape::Flat, SchemaShape::IsaModerate, SchemaShape::IsaHeavy][shape_idx];
+        let schema = SchemaGen::shaped(shape, classes, rels, seed).build();
+
+        let plain = answers(&schema, &Budget::unlimited());
+
+        let tracer = Tracer::new(Box::new(NullSink));
+        let budget = Budget::unlimited().with_tracer(&tracer);
+        let traced = answers(&schema, &budget);
+
+        prop_assert_eq!(&plain, &traced);
+        // And the instrumented run really was instrumented.
+        prop_assert!(tracer.counter(Counter::CompoundClassesConsidered) > 0);
+        let report = cr_core::run_report(&budget, "prop", "ok");
+        prop_assert!(report.stage("expansion").is_some());
+        prop_assert!(parse(&report.to_json()).is_ok());
+    }
+}
