@@ -1,0 +1,113 @@
+//! E8 — reasoning-service throughput: requests/second as the worker pool
+//! widens, and the cold-cache vs warm-cache gap for repeated questions.
+//!
+//! Two knobs dominate service latency: parallelism across independent
+//! requests (the pipeline itself is single-threaded per question), and the
+//! verdict cache (a hit skips the EXPTIME pipeline entirely). The groups:
+//!
+//! * `server_throughput/workers=N` — one batch of distinct `check`
+//!   requests pushed through pools of width 1/2/4/8 with caching
+//!   neutralized (capacity 1), isolating worker scaling;
+//! * `server_cache/{cold,warm}` — the same batch against an empty cache
+//!   vs a pre-warmed one, measuring what amortization buys.
+//!
+//! After the criterion runs, the bench prints the warm server's aggregate
+//! hit/miss counters so the observed hit rate lands in the bench log.
+
+use std::sync::mpsc;
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_lang::print_schema;
+use cr_server::{Op, Request, Server, ServerConfig};
+use cr_trace::Counter;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const BATCH: usize = 24;
+
+/// Pre-rendered request lines over distinct generated schemas, so each
+/// request exercises parse → canonicalize → expand → solve.
+fn request_lines() -> Vec<String> {
+    (0..BATCH)
+        .map(|i| {
+            let schema =
+                SchemaGen::shaped(SchemaShape::IsaModerate, 3 + i % 2, 2, 7 + i as u64).build();
+            let mut request = Request::new(format!("r{i}"), Op::Check);
+            request.schema = Some(print_schema(&schema));
+            request.to_json()
+        })
+        .collect()
+}
+
+/// Pushes every line through the server's pool and waits for all
+/// responses — one synchronous "batch of concurrent clients".
+fn drive(server: &Server, lines: &[String]) {
+    let (tx, rx) = mpsc::channel();
+    for line in lines {
+        let tx = tx.clone();
+        let worker = server.clone();
+        let line = line.clone();
+        server
+            .submit(Box::new(move || {
+                let response = worker.process_line(&line);
+                tx.send(response.status).unwrap();
+            }))
+            .expect("pool accepts bench jobs");
+    }
+    drop(tx);
+    assert_eq!(rx.iter().count(), lines.len());
+}
+
+fn bench_server(c: &mut Criterion) {
+    let lines = request_lines();
+
+    let mut throughput = c.benchmark_group("server_throughput");
+    throughput.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        // cache_capacity 1 keeps repeats across criterion iterations from
+        // turning the measurement into a cache benchmark.
+        let server = Server::new(ServerConfig {
+            workers,
+            cache_capacity: 1,
+            cache_shards: 1,
+            ..ServerConfig::default()
+        });
+        throughput.bench_function(format!("workers={workers}"), |b| {
+            b.iter(|| drive(&server, &lines))
+        });
+        server.finish();
+    }
+    throughput.finish();
+
+    let mut cache = c.benchmark_group("server_cache");
+    cache.sample_size(10);
+    {
+        let cold = Server::new(ServerConfig {
+            workers: 4,
+            cache_capacity: 1,
+            cache_shards: 1,
+            ..ServerConfig::default()
+        });
+        cache.bench_function("cold", |b| b.iter(|| drive(&cold, &lines)));
+        cold.finish();
+    }
+    let warm = Server::new(ServerConfig {
+        workers: 4,
+        cache_capacity: 4096,
+        ..ServerConfig::default()
+    });
+    drive(&warm, &lines); // warm-up: fill the cache
+    cache.bench_function("warm", |b| b.iter(|| drive(&warm, &lines)));
+    cache.finish();
+
+    let hits = warm.aggregate_counter(Counter::CacheHits);
+    let misses = warm.aggregate_counter(Counter::CacheMisses);
+    println!(
+        "warm server cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
+    assert_eq!(misses, BATCH as u64, "only the warm-up round may miss");
+    warm.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

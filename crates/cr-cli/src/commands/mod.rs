@@ -17,6 +17,23 @@ use cr_core::sat::{Reasoner, Strategy};
 use cr_core::system::render_verbatim;
 use cr_core::{Budget, CrError, Schema, Stage};
 
+mod service;
+pub use service::{batch, serve};
+
+/// The single source of truth for the CLI's outcome protocol: maps a
+/// command result to the `(outcome, exit_code)` pair — `("ok", 0)`,
+/// `("negative", 1)`, `("error", 2)`, `("budget-exceeded", 3)`. The
+/// budget case is recognized by the stable stderr line prefix that
+/// [`err_str`] (and `cr-server`'s evaluator) emit.
+pub fn classify_outcome(result: &Result<u8, String>) -> (&'static str, u8) {
+    match result {
+        Ok(0) => ("ok", 0),
+        Ok(code) => ("negative", *code),
+        Err(msg) if msg.starts_with("budget-exceeded ") => ("budget-exceeded", 3),
+        Err(_) => ("error", 2),
+    }
+}
+
 /// Renders `CrError` for the CLI. Budget exhaustion gets the stable
 /// machine-readable form `budget-exceeded stage=<s> spent=<n> limit=<n>`
 /// that `main` routes to stderr with exit code 3.

@@ -1,0 +1,279 @@
+//! `crsat serve` and `crsat batch` — the service-mode subcommands, thin
+//! shells over the `cr-server` crate.
+//!
+//! `serve` runs the JSON-lines daemon (stdio by default, TCP with
+//! `--addr`); `batch` fans finite-satisfiability checks of many schema
+//! files out over the same worker pool and verdict cache, with no daemon
+//! involved. Both inherit the invocation's `--timeout-ms` / `--max-steps`
+//! governor flags as *per-request* defaults.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use cr_core::Budget;
+use cr_server::{Op, Request, Server, ServerConfig};
+
+/// Turns the invocation budget's deadline/step-cap into per-request
+/// defaults for the service.
+fn config_from(budget: &Budget) -> ServerConfig {
+    ServerConfig {
+        default_timeout_ms: budget
+            .deadline()
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+        default_max_steps: budget.max_steps(),
+        ..ServerConfig::default()
+    }
+}
+
+/// Parses `--flag value` / `--flag=value` service options from `args`,
+/// returning the leftover positional arguments.
+struct ServiceFlags {
+    addr: Option<String>,
+    port_file: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache: Option<usize>,
+    positional: Vec<String>,
+}
+
+fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
+    let mut flags = ServiceFlags {
+        addr: None,
+        port_file: None,
+        workers: None,
+        queue: None,
+        cache: None,
+        positional: Vec::new(),
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        if !matches!(
+            flag,
+            "--addr" | "--port-file" | "--workers" | "--queue" | "--cache"
+        ) {
+            flags.positional.push(arg.clone());
+            continue;
+        }
+        let value = match inline_value {
+            Some(v) => v,
+            None => iter
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .clone(),
+        };
+        let parse_count = |v: &str| -> Result<usize, String> {
+            v.parse::<usize>()
+                .map_err(|_| format!("{flag} needs a positive integer, got {v:?}"))
+                .and_then(|n| {
+                    if n == 0 {
+                        Err(format!("{flag} must be at least 1"))
+                    } else {
+                        Ok(n)
+                    }
+                })
+        };
+        match flag {
+            "--addr" => flags.addr = Some(value),
+            "--port-file" => flags.port_file = Some(value),
+            "--workers" => flags.workers = Some(parse_count(&value)?),
+            "--queue" => flags.queue = Some(parse_count(&value)?),
+            "--cache" => flags.cache = Some(parse_count(&value)?),
+            _ => unreachable!("flag matched above"),
+        }
+    }
+    Ok(flags)
+}
+
+/// `crsat serve`: run the JSON-lines reasoning daemon until EOF, a
+/// `shutdown` request, or SIGTERM/SIGINT. Stdio by default; `--addr
+/// host:port` serves TCP (port 0 picks a free port; `--port-file <path>`
+/// writes the bound address for scripts to discover).
+pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
+    let flags = parse_service_flags(args)?;
+    if let Some(extra) = flags.positional.first() {
+        return Err(format!(
+            "serve takes no positional arguments, got {extra:?}\n\
+             usage: crsat serve [--addr host:port] [--port-file path] \
+             [--workers n] [--queue n] [--cache n] [--timeout-ms n] [--max-steps n]"
+        ));
+    }
+    let mut config = config_from(budget);
+    if let Some(w) = flags.workers {
+        config.workers = w;
+    }
+    if let Some(q) = flags.queue {
+        config.queue_capacity = q;
+    }
+    if let Some(c) = flags.cache {
+        config.cache_capacity = c;
+    }
+    let server = Server::new(config);
+
+    // First SIGTERM/SIGINT: stop reading, drain in-flight work. Second:
+    // trip the shared CancelToken so stuck requests abort at their next
+    // governor check. The watcher thread is process-lifetime by design.
+    cr_server::signal::install();
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        let cancel = server.cancel_token();
+        std::thread::spawn(move || loop {
+            if cr_server::signal::shutdown_flag().load(Ordering::SeqCst) {
+                stop.store(true, Ordering::SeqCst);
+            }
+            if cr_server::signal::cancel_flag().load(Ordering::SeqCst) {
+                cancel.cancel();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    match &flags.addr {
+        None => server
+            .serve_stdio(&stop)
+            .map_err(|e| format!("stdio serve failed: {e}"))?,
+        Some(addr) => {
+            let port_file = flags.port_file.clone();
+            server
+                .serve_tcp(addr, Arc::clone(&stop), move |bound| {
+                    eprintln!("crsat serve: listening on {bound}");
+                    if let Some(path) = port_file {
+                        if let Err(e) = std::fs::write(&path, format!("{bound}\n")) {
+                            eprintln!("crsat serve: cannot write port file {path}: {e}");
+                        }
+                    }
+                })
+                .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+        }
+    }
+    Ok(0)
+}
+
+/// Recursively collects `.cr` files under `path` (a file argument is taken
+/// as-is, whatever its extension).
+fn collect_schemas(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let meta =
+        std::fs::metadata(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if !meta.is_dir() {
+        out.push(path.to_path_buf());
+        return Ok(());
+    }
+    let entries =
+        std::fs::read_dir(path).map_err(|e| format!("cannot list {}: {e}", path.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", path.display()))?;
+        let child = entry.path();
+        if child.is_dir() {
+            collect_schemas(&child, out)?;
+        } else if child.extension().is_some_and(|ext| ext == "cr") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Checks one schema file through the server (so repeats hit the verdict
+/// cache), returning the display line and its exit code.
+fn check_file(server: &Server, path: &Path) -> (String, u8) {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return (format!("error cannot read: {e}"), 2),
+    };
+    let mut request = Request::new(path.display().to_string(), Op::Check);
+    request.schema = Some(source);
+    let response = server.process_request(&request);
+    let mut line = response.status.as_str().to_string();
+    if let Some(v) = &response.verdict {
+        line.push(' ');
+        line.push_str(v);
+    }
+    if !response.detail.is_empty() {
+        line.push_str(&format!(" ({})", response.detail.join(", ")));
+    }
+    if response.cached {
+        line.push_str(" [cached]");
+    }
+    (line, response.status.exit_code())
+}
+
+/// `crsat batch`: check every given schema file (directories are searched
+/// recursively for `.cr`) in parallel on a `cr-server` worker pool, one
+/// result line per file, in input order. The exit code is the *worst*
+/// per-file outcome (budget-exceeded 3 > error 2 > unsatisfiable 1 > ok 0).
+pub fn batch(args: &[String], budget: &Budget) -> Result<u8, String> {
+    let usage = "usage: crsat batch <dir|file.cr> [more paths...] [--workers n] \
+                 [--timeout-ms n] [--max-steps n]";
+    let flags = parse_service_flags(args)?;
+    if flags.positional.is_empty() {
+        return Err(usage.to_string());
+    }
+    let mut files = Vec::new();
+    for arg in &flags.positional {
+        collect_schemas(Path::new(arg), &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    if files.is_empty() {
+        return Err("no .cr files found".to_string());
+    }
+
+    let mut config = config_from(budget);
+    if let Some(w) = flags.workers {
+        config.workers = w;
+    }
+    let server = Server::new(config);
+    let (tx, rx) = mpsc::channel();
+    for (i, path) in files.iter().enumerate() {
+        let tx = tx.clone();
+        let worker = server.clone();
+        let path = path.clone();
+        server
+            .submit(Box::new(move || {
+                let _ = tx.send((i, check_file(&worker, &path)));
+            }))
+            .map_err(|e| format!("worker pool rejected batch job: {e:?}"))?;
+    }
+    drop(tx);
+    let mut results: Vec<Option<(String, u8)>> = vec![None; files.len()];
+    for (i, outcome) in rx {
+        results[i] = Some(outcome);
+    }
+    server.finish();
+
+    let mut worst = 0u8;
+    let mut budget_line = None;
+    let mut failures = 0usize;
+    for (path, slot) in files.iter().zip(results) {
+        let (line, code) = slot.expect("every batch job reports exactly once");
+        if code == 3 && budget_line.is_none() {
+            // The per-file line carries the structured budget-exceeded
+            // detail; surface the first one as this process's stderr line.
+            budget_line = line
+                .find("budget-exceeded stage=")
+                .map(|at| line[at..].trim_end_matches([')', ']', ' ']).to_string());
+        }
+        if code >= 2 {
+            failures += 1;
+        }
+        worst = worst.max(code);
+        println!("{}: {line}", path.display());
+    }
+    match worst {
+        0 | 1 => Ok(worst),
+        3 => {
+            Err(budget_line
+                .unwrap_or_else(|| "budget-exceeded stage=? spent=? limit=?".to_string()))
+        }
+        _ => Err(format!(
+            "batch: {failures} of {} file(s) failed (see lines above)",
+            files.len()
+        )),
+    }
+}

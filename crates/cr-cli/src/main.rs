@@ -10,6 +10,8 @@
 //! crsat explain <schema.cr> <class>   minimal unsatisfiable constraint set
 //! crsat report <schema.cr>            full design review
 //! crsat fmt <schema.cr>               parse and pretty-print
+//! crsat serve [--addr host:port]      JSON-lines reasoning daemon
+//! crsat batch <dir|file.cr>...        check many schemas in parallel
 //! ```
 //!
 //! Resource-governor flags (accepted by every reasoning command):
@@ -79,18 +81,16 @@ fn main() -> ExitCode {
     let tracer = Tracer::new(sink);
     let budget = inv.budget.with_tracer(&tracer);
     let result = run(&inv.rest, &budget);
-    let (outcome, code) = match &result {
-        Ok(0) => ("ok", 0u8),
-        Ok(code) => ("negative", *code),
-        Err(msg) if msg.starts_with("budget-exceeded ") => {
+    // One helper owns the outcome/exit-code protocol, shared with the
+    // batch command's per-file summary.
+    let (outcome, code) = commands::classify_outcome(&result);
+    if let Err(msg) = &result {
+        if code == 3 {
             tracer.message(msg);
-            ("budget-exceeded", 3)
-        }
-        Err(msg) => {
+        } else {
             tracer.message(&format!("error: {msg}"));
-            ("error", 2)
         }
-    };
+    }
     if let Some(path) = &inv.stats {
         let command = inv.rest.first().cloned().unwrap_or_default();
         let mut report = cr_core::run_report(&budget, &command, outcome);
@@ -175,9 +175,9 @@ fn parse_flags(args: &[String]) -> Result<Invocation, String> {
 }
 
 fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
-    let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|fmt> \
-                 <schema.cr> [args...] [--timeout-ms n] [--max-steps n] [--max-expansion n] \
-                 [--trace[=human|json]] [--stats file]";
+    let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|fmt\
+                 |serve|batch> <schema.cr> [args...] [--timeout-ms n] [--max-steps n] \
+                 [--max-expansion n] [--trace[=human|json]] [--stats file]";
     let Some(cmd) = args.first() else {
         return Err(usage.to_string());
     };
@@ -187,10 +187,17 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     }
     const COMMANDS: &[&str] = &[
         "check", "expand", "system", "model", "implies", "bounds", "explain", "report", "compare",
-        "fmt",
+        "fmt", "serve", "batch",
     ];
     if !COMMANDS.contains(&cmd.as_str()) {
         return Err(format!("unknown command {cmd:?}\n{usage}"));
+    }
+    // The service-mode commands take paths/flags, not one schema file.
+    if cmd == "serve" {
+        return commands::serve(&args[1..], budget);
+    }
+    if cmd == "batch" {
+        return commands::batch(&args[1..], budget);
     }
     if cmd == "compare" {
         let (Some(pa), Some(pb)) = (args.get(1), args.get(2)) else {

@@ -316,6 +316,156 @@ fn trace_rejects_unknown_mode() {
 }
 
 #[test]
+fn batch_directory_reports_every_schema_and_worst_exit_code() {
+    let dir = schema_path("");
+    let out = crsat()
+        .args(["batch", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    // figure1.cr is unsatisfiable, everything else is fine → worst code 1.
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one line per .cr file: {stdout}");
+    for name in ["figure1.cr", "meeting.cr", "shapes.cr", "university.cr"] {
+        assert!(
+            lines.iter().any(|l| l.contains(name)),
+            "missing {name}: {stdout}"
+        );
+    }
+    let figure1 = lines.iter().find(|l| l.contains("figure1.cr")).unwrap();
+    assert!(figure1.contains("negative unsatisfiable"), "{figure1}");
+    assert!(
+        lines
+            .iter()
+            .filter(|l| l.contains("ok satisfiable"))
+            .count()
+            == 3,
+        "{stdout}"
+    );
+}
+
+#[test]
+fn batch_budget_exceeded_exits_three_with_protocol_line() {
+    let out = crsat()
+        .args([
+            "batch",
+            schema_path("university.cr").to_str().unwrap(),
+            "--max-steps=1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.starts_with("budget-exceeded stage="),
+        "protocol line changed: {stderr:?}"
+    );
+}
+
+#[test]
+fn batch_caches_reordered_duplicate_schemas() {
+    // Same constraints as meeting.cr, different declaration order and
+    // whitespace — the canonical cache key must collapse them. One worker
+    // makes execution order deterministic (sorted file order), and /tmp
+    // sorts after this repository's schemas directory.
+    let tmp = write_temp(
+        "meeting-reordered",
+        "class Talk;\nclass Speaker;\nclass Discussant isa Speaker;\n\
+         relationship Participates (U3: Discussant, U4: Talk);\n\
+         relationship Holds (U1: Speaker, U2: Talk);\n\
+         card Talk in Participates.U4: 1..*;\n\
+         card Discussant in Participates.U3: 1..1;\n\
+         card Talk   in Holds.U2: 1..1;\n\
+         card Discussant in Holds.U1: 0..2;\n\
+         card Speaker in Holds.U1: 1..*;\n",
+    );
+    let out = crsat()
+        .args([
+            "batch",
+            schema_path("meeting.cr").to_str().unwrap(),
+            tmp.to_str().unwrap(),
+            "--workers=1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let dup = stdout
+        .lines()
+        .find(|l| l.contains("meeting-reordered"))
+        .unwrap_or_else(|| panic!("no line for the duplicate: {stdout}"));
+    assert!(dup.contains("ok satisfiable [cached]"), "{dup}");
+    let _ = std::fs::remove_file(tmp);
+}
+
+#[test]
+fn serve_stdio_answers_requests_and_drains_on_eof() {
+    use std::io::Write as _;
+    let mut child = crsat()
+        .args(["serve"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let schema = std::fs::read_to_string(schema_path("figure1.cr")).unwrap();
+    let check = format!(
+        "{{\"v\":1,\"id\":\"q1\",\"op\":\"check\",\"schema\":{}}}",
+        // Reuse the workspace JSON writer's escaping rules by hand: the
+        // schema contains no quotes or backslashes, so a plain wrap works.
+        serde_free_quote(&schema)
+    );
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "{{\"v\":1,\"id\":\"p\",\"op\":\"ping\"}}").unwrap();
+        writeln!(stdin, "{check}").unwrap();
+    }
+    drop(child.stdin.take()); // EOF → drain → clean exit
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut saw_ping = false;
+    let mut saw_check = false;
+    for line in stdout.lines() {
+        let v = cr_trace::json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        match v.get("id").and_then(|i| i.as_str()) {
+            Some("p") => {
+                assert_eq!(v.get("verdict").and_then(|x| x.as_str()), Some("pong"));
+                saw_ping = true;
+            }
+            Some("q1") => {
+                assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("negative"));
+                assert_eq!(v.get("exit_code").and_then(|x| x.as_u64()), Some(1));
+                assert!(v.get("report").is_some(), "response embeds a RunReport");
+                saw_check = true;
+            }
+            other => panic!("unexpected response id {other:?}: {line}"),
+        }
+    }
+    assert!(saw_ping && saw_check, "{stdout}");
+}
+
+/// Quotes a string for JSON, escaping the handful of characters our
+/// schemas can contain (newlines from the file).
+fn serde_free_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[test]
 fn system_verbatim_matches_figure5_inventory() {
     let out = crsat()
         .args(["system", schema_path("meeting.cr").to_str().unwrap(), "-v"])

@@ -287,6 +287,17 @@ impl Budget {
         self.cancel.clone()
     }
 
+    /// The configured wall-clock deadline, if any. Service layers use this
+    /// to turn one invocation's governor flags into per-request defaults.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The configured total step cap, if any.
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
+    }
+
     /// Total work units charged so far.
     pub fn steps(&self) -> u64 {
         self.steps.load(Ordering::Relaxed)

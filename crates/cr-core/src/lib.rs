@@ -90,4 +90,4 @@ pub mod unrestricted;
 pub use budget::{run_report, Budget, CancelToken, ManualClock, Stage, TracerMeter};
 pub use error::CrError;
 pub use ids::{ClassId, RelId, RoleId};
-pub use schema::{Card, Schema, SchemaBuilder};
+pub use schema::{canonical_form, canonical_hash, Card, Schema, SchemaBuilder};

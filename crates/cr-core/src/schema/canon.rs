@@ -1,0 +1,286 @@
+//! Canonical content form and hash of a [`Schema`].
+//!
+//! Two schemas that differ only in declaration order (of classes, ISA
+//! statements, relationships, roles within a relationship, cardinality
+//! declarations, disjointness groups, or coverings) or in DSL surface
+//! syntax (whitespace, comments, inline-vs-standalone `isa`) describe the
+//! same set of constraints, so a verdict cache must give them the same key.
+//! [`canonical_form`] renders a schema as a deterministic, order-insensitive
+//! text; [`canonical_hash`] is a 128-bit FNV-1a over that text.
+//!
+//! Guarantees, property-tested in `tests/hash.rs`:
+//!
+//! * **Reorder invariance.** Permuting declarations (and roles within a
+//!   relationship — roles are matched by name, not position) leaves the
+//!   canonical form, and hence the hash, unchanged.
+//! * **Round-trip stability.** Pretty-printing (`cr_lang::print_schema`,
+//!   canonical or not) and reparsing yields the same hash.
+//! * **Hash inequality implies schema inequality.** Equal schemas have
+//!   equal canonical forms by construction, so differing hashes certify
+//!   differing constraint sets. (The converse — equal hashes implying equal
+//!   schemas — holds only up to 128-bit collisions; correctness-critical
+//!   consumers such as the `cr-server` verdict cache key on the full
+//!   canonical form and use the hash for sharding and display.)
+//!
+//! The canonical form orders everything by *name*: classes sorted, ISA
+//! pairs sorted and deduplicated, relationships sorted with their roles
+//! sorted by role name, and so on. Names are length-prefixed when hashed
+//! via the rendered text's quoting-free grammar: every line is
+//! `kind<TAB>field<TAB>field…<NL>`, and schema names cannot contain tabs or
+//! newlines (the DSL lexer admits only identifier characters), so the
+//! rendering is injective on validated schemas.
+
+use super::Schema;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Streaming 128-bit FNV-1a.
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u128;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Renders the order-insensitive canonical form of `schema`.
+///
+/// One declaration per line, lines sorted within each section, sections in
+/// a fixed order. The result is independent of declaration order and is
+/// the authoritative cache key for schema-level verdicts.
+pub fn canonical_form(schema: &Schema) -> String {
+    let mut out = String::with_capacity(256);
+
+    let mut classes: Vec<&str> = schema.classes().map(|c| schema.class_name(c)).collect();
+    classes.sort_unstable();
+    for name in classes {
+        out.push_str("class\t");
+        out.push_str(name);
+        out.push('\n');
+    }
+
+    let mut isa: Vec<(&str, &str)> = schema
+        .isa_statements()
+        .iter()
+        .map(|&(sub, sup)| (schema.class_name(sub), schema.class_name(sup)))
+        .collect();
+    isa.sort_unstable();
+    isa.dedup();
+    for (sub, sup) in isa {
+        out.push_str("isa\t");
+        out.push_str(sub);
+        out.push('\t');
+        out.push_str(sup);
+        out.push('\n');
+    }
+
+    let mut rels: Vec<String> = schema
+        .rels()
+        .map(|r| {
+            let mut roles: Vec<String> = schema
+                .roles_of(r)
+                .iter()
+                .map(|&u| {
+                    format!(
+                        "{}\t{}",
+                        schema.role_name(u),
+                        schema.class_name(schema.primary_class(u))
+                    )
+                })
+                .collect();
+            roles.sort_unstable();
+            format!("rel\t{}\t{}\n", schema.rel_name(r), roles.join("\t"))
+        })
+        .collect();
+    rels.sort_unstable();
+    for line in rels {
+        out.push_str(&line);
+    }
+
+    let mut cards: Vec<String> = schema
+        .card_declarations()
+        .iter()
+        .map(|d| {
+            let max = match d.card.max {
+                Some(m) => m.to_string(),
+                None => "*".to_string(),
+            };
+            format!(
+                "card\t{}\t{}\t{}\t{}\t{}\n",
+                schema.class_name(d.class),
+                schema.rel_name(schema.rel_of_role(d.role)),
+                schema.role_name(d.role),
+                d.card.min,
+                max
+            )
+        })
+        .collect();
+    cards.sort_unstable();
+    for line in cards {
+        out.push_str(&line);
+    }
+
+    let mut groups: Vec<String> = schema
+        .disjointness_groups()
+        .iter()
+        .map(|g| {
+            let mut names: Vec<&str> = g.iter().map(|&c| schema.class_name(c)).collect();
+            names.sort_unstable();
+            names.dedup();
+            format!("disjoint\t{}\n", names.join("\t"))
+        })
+        .collect();
+    groups.sort_unstable();
+    groups.dedup();
+    for line in groups {
+        out.push_str(&line);
+    }
+
+    let mut covers: Vec<String> = schema
+        .coverings()
+        .iter()
+        .map(|(c, covers)| {
+            let mut names: Vec<&str> = covers.iter().map(|&k| schema.class_name(k)).collect();
+            names.sort_unstable();
+            names.dedup();
+            format!("cover\t{}\t{}\n", schema.class_name(*c), names.join("\t"))
+        })
+        .collect();
+    covers.sort_unstable();
+    covers.dedup();
+    for line in covers {
+        out.push_str(&line);
+    }
+
+    out
+}
+
+/// The 128-bit canonical content hash of `schema`: FNV-1a over
+/// [`canonical_form`]. Stable across processes and releases (the canonical
+/// form is part of the cache-key contract).
+pub fn canonical_hash(schema: &Schema) -> u128 {
+    fnv1a_128(canonical_form(schema).as_bytes())
+}
+
+impl Schema {
+    /// The order-insensitive canonical rendering (see [`canonical_form`]).
+    pub fn canonical_form(&self) -> String {
+        canonical_form(self)
+    }
+
+    /// The 128-bit canonical content hash (see [`canonical_hash`]).
+    pub fn canonical_hash(&self) -> u128 {
+        canonical_hash(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Card, SchemaBuilder};
+
+    fn meeting(reordered: bool) -> Schema {
+        let mut b = SchemaBuilder::new();
+        // Same declarations, two different interleavings.
+        if reordered {
+            let talk = b.class("Talk");
+            let speaker = b.class("Speaker");
+            let discussant = b.class("Discussant");
+            b.isa(discussant, speaker);
+            let holds = b
+                .relationship("Holds", [("U2", talk), ("U1", speaker)])
+                .unwrap();
+            let (u2, u1) = (b.role(holds, 0), b.role(holds, 1));
+            b.card(talk, u2, Card::exactly(1)).unwrap();
+            b.card(speaker, u1, Card::at_least(1)).unwrap();
+            b.card(discussant, u1, Card::new(0, Some(2))).unwrap();
+            b.build().unwrap()
+        } else {
+            let speaker = b.class("Speaker");
+            let discussant = b.class("Discussant");
+            let talk = b.class("Talk");
+            b.isa(discussant, speaker);
+            let holds = b
+                .relationship("Holds", [("U1", speaker), ("U2", talk)])
+                .unwrap();
+            let (u1, u2) = (b.role(holds, 0), b.role(holds, 1));
+            b.card(speaker, u1, Card::at_least(1)).unwrap();
+            b.card(discussant, u1, Card::new(0, Some(2))).unwrap();
+            b.card(talk, u2, Card::exactly(1)).unwrap();
+            b.build().unwrap()
+        }
+    }
+
+    #[test]
+    fn reordered_declarations_hash_equal() {
+        let a = meeting(false);
+        let b = meeting(true);
+        assert_eq!(a.canonical_form(), b.canonical_form());
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    #[test]
+    fn constraint_changes_change_the_hash() {
+        let a = meeting(false);
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        b.isa(discussant, speaker);
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
+        let (u1, u2) = (b.role(holds, 0), b.role(holds, 1));
+        b.card(speaker, u1, Card::at_least(2)).unwrap(); // 1 → 2
+        b.card(discussant, u1, Card::new(0, Some(2))).unwrap();
+        b.card(talk, u2, Card::exactly(1)).unwrap();
+        let changed = b.build().unwrap();
+        assert_ne!(a.canonical_hash(), changed.canonical_hash());
+    }
+
+    #[test]
+    fn duplicate_isa_and_groups_are_deduped() {
+        let mut b = SchemaBuilder::new();
+        let x = b.class("X");
+        let y = b.class("Y");
+        b.isa(x, y);
+        b.isa(x, y);
+        let r = b.relationship("R", [("u", x), ("v", y)]).unwrap();
+        let _ = r;
+        let a = b.build().unwrap();
+
+        let mut b = SchemaBuilder::new();
+        let x = b.class("X");
+        let y = b.class("Y");
+        b.isa(x, y);
+        b.relationship("R", [("u", x), ("v", y)]).unwrap();
+        let once = b.build().unwrap();
+        assert_eq!(a.canonical_hash(), once.canonical_hash());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a 128 of the empty string is the offset basis.
+        assert_eq!(fnv1a_128(b""), FNV_OFFSET);
+        // And hashing is sensitive to every byte.
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+    }
+
+    /// The service layer shares schemas, budgets, and cancellation tokens
+    /// across worker threads; keep the whole bundle `Send + Sync` by
+    /// construction. (Compile-time audit — the test body is trivial.)
+    #[test]
+    fn core_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Schema>();
+        assert_send_sync::<crate::Budget>();
+        assert_send_sync::<crate::CancelToken>();
+        assert_send_sync::<crate::ManualClock>();
+        assert_send_sync::<cr_trace::Tracer>();
+        assert_send_sync::<crate::CrError>();
+    }
+}

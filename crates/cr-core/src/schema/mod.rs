@@ -3,8 +3,10 @@
 //! covering constraints).
 
 mod builder;
+mod canon;
 
 pub use builder::SchemaBuilder;
+pub use canon::{canonical_form, canonical_hash};
 
 use std::fmt;
 

@@ -59,7 +59,7 @@ mod printer;
 mod token;
 
 pub use diag::ParseError;
-pub use printer::print_schema;
+pub use printer::{print_schema, print_schema_canonical};
 
 use cr_core::Schema;
 

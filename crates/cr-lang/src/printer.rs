@@ -87,6 +87,124 @@ pub fn print_schema(schema: &Schema) -> String {
     out
 }
 
+/// Renders `schema` as DSL source in *canonical* declaration order: every
+/// section sorted by name, roles within a relationship sorted by role name,
+/// ISA statements standalone (never inlined) and deduplicated.
+///
+/// The output re-parses to a schema with the same
+/// [`canonical_hash`](cr_core::canonical_hash) as the input — this is the
+/// printer to use when a cache key or a diff should not depend on the order
+/// a schema happened to be written in.
+pub fn print_schema_canonical(schema: &Schema) -> String {
+    let mut out = String::new();
+
+    let mut classes: Vec<&str> = schema.classes().map(|c| schema.class_name(c)).collect();
+    classes.sort_unstable();
+    for name in classes {
+        let _ = writeln!(out, "class {name};");
+    }
+
+    let mut isa: Vec<(&str, &str)> = schema
+        .isa_statements()
+        .iter()
+        .map(|&(sub, sup)| (schema.class_name(sub), schema.class_name(sup)))
+        .collect();
+    isa.sort_unstable();
+    isa.dedup();
+    for (sub, sup) in isa {
+        let _ = writeln!(out, "isa {sub} {sup};");
+    }
+
+    let mut rels: Vec<String> = schema
+        .rels()
+        .map(|r| {
+            let mut roles: Vec<(String, &str)> = schema
+                .roles_of(r)
+                .iter()
+                .map(|&u| {
+                    (
+                        schema.role_name(u).to_string(),
+                        schema.class_name(schema.primary_class(u)),
+                    )
+                })
+                .collect();
+            roles.sort_unstable();
+            let roles: Vec<String> = roles
+                .iter()
+                .map(|(role, class)| format!("{role}: {class}"))
+                .collect();
+            format!(
+                "relationship {} ({});\n",
+                schema.rel_name(r),
+                roles.join(", ")
+            )
+        })
+        .collect();
+    rels.sort_unstable();
+    for line in rels {
+        out.push_str(&line);
+    }
+
+    let mut cards: Vec<String> = schema
+        .card_declarations()
+        .iter()
+        .map(|d| {
+            let hi = match d.card.max {
+                Some(n) => n.to_string(),
+                None => "*".to_string(),
+            };
+            format!(
+                "card {} in {}.{}: {}..{};\n",
+                schema.class_name(d.class),
+                schema.rel_name(schema.rel_of_role(d.role)),
+                schema.role_name(d.role),
+                d.card.min,
+                hi
+            )
+        })
+        .collect();
+    cards.sort_unstable();
+    for line in cards {
+        out.push_str(&line);
+    }
+
+    let mut groups: Vec<String> = schema
+        .disjointness_groups()
+        .iter()
+        .map(|g| {
+            let mut names: Vec<&str> = g.iter().map(|&c| schema.class_name(c)).collect();
+            names.sort_unstable();
+            format!("disjoint {};\n", names.join(", "))
+        })
+        .collect();
+    groups.sort_unstable();
+    groups.dedup();
+    for line in groups {
+        out.push_str(&line);
+    }
+
+    let mut covers: Vec<String> = schema
+        .coverings()
+        .iter()
+        .map(|(c, covers)| {
+            let mut names: Vec<&str> = covers.iter().map(|&k| schema.class_name(k)).collect();
+            names.sort_unstable();
+            format!(
+                "cover {} by {};\n",
+                schema.class_name(*c),
+                names.join(" | ")
+            )
+        })
+        .collect();
+    covers.sort_unstable();
+    covers.dedup();
+    for line in covers {
+        out.push_str(&line);
+    }
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +233,24 @@ mod tests {
         assert_eq!(schema.card_declarations(), reparsed.card_declarations());
         assert!(printed.contains("card Discussant in Holds.U1: 0..2;"));
         assert!(printed.contains("class Discussant isa Speaker;"));
+    }
+
+    #[test]
+    fn canonical_print_is_order_insensitive_and_hash_stable() {
+        let a = parse_schema(
+            "class B; class A isa B; relationship R (v: B, u: A); \
+             card A in R.u: 1..2; card B in R.v: 0..*;",
+        )
+        .unwrap();
+        let b = parse_schema(
+            "class A; class B; isa A B; relationship R (u: A, v: B); \
+             card B in R.v: 0..*; card A in R.u: 1..2;",
+        )
+        .unwrap();
+        assert_eq!(print_schema_canonical(&a), print_schema_canonical(&b));
+        let reparsed = parse_schema(&print_schema_canonical(&a)).unwrap();
+        assert_eq!(reparsed.canonical_hash(), a.canonical_hash());
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
     }
 
     #[test]

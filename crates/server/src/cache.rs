@@ -1,0 +1,202 @@
+//! Sharded LRU verdict cache keyed by canonical schema content.
+//!
+//! The paper's procedure is EXPTIME in the expansion, so a service
+//! amortizes cost by answering repeated questions from memory. The key is
+//! the pair (canonical schema form, question): two textually different DSL
+//! sources that declare the same constraints (any declaration order, any
+//! whitespace) collapse to one entry via
+//! [`cr_core::canonical_form`]. The 128-bit canonical *hash* picks the
+//! shard and is what responses display — but the full canonical form is
+//! compared on lookup, so a hash collision can never cross-contaminate
+//! verdicts.
+//!
+//! Each shard is an independent `Mutex`-protected LRU (least-recently-used
+//! eviction at a fixed per-shard capacity), so concurrent workers contend
+//! only when their schemas land on the same shard. Hit/miss/eviction
+//! totals are the caller's to meter (the server routes them into
+//! `cr-trace` counters).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::protocol::Status;
+
+/// Cache key: the canonical schema form plus the question asked of it.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Output of [`cr_core::canonical_form`] for the schema.
+    pub canonical: String,
+    /// Question discriminator, e.g. `"check"` or `"implies isa A B"`.
+    pub question: String,
+}
+
+/// A cached answer: everything needed to build a response without
+/// re-running the pipeline.
+#[derive(Clone, Debug)]
+pub struct CachedVerdict {
+    /// Outcome (only [`Status::Ok`] / [`Status::Negative`] are cached —
+    /// errors and budget trips are request-specific).
+    pub status: Status,
+    /// Machine-readable verdict string.
+    pub verdict: String,
+    /// Human-readable detail lines.
+    pub detail: Vec<String>,
+}
+
+struct Shard {
+    entries: HashMap<CacheKey, (CachedVerdict, u64)>,
+    tick: u64,
+}
+
+/// The sharded LRU cache.
+pub struct VerdictCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl VerdictCache {
+    /// A cache of roughly `capacity` entries spread over `shards` shards
+    /// (each shard holds `capacity / shards`, minimum 1). `shards` is
+    /// rounded up to a power of two so shard selection is a mask.
+    pub fn new(capacity: usize, shards: usize) -> VerdictCache {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        VerdictCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+        }
+    }
+
+    fn shard(&self, schema_hash: u128) -> &Mutex<Shard> {
+        &self.shards[(schema_hash as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks up a verdict, refreshing its recency on hit.
+    pub fn get(&self, schema_hash: u128, key: &CacheKey) -> Option<CachedVerdict> {
+        let mut shard = self
+            .shard(schema_hash)
+            .lock()
+            .expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let (verdict, last_used) = shard.entries.get_mut(key)?;
+        *last_used = tick;
+        Some(verdict.clone())
+    }
+
+    /// Inserts (or refreshes) a verdict. Returns the number of entries
+    /// evicted to make room (0 or 1).
+    pub fn insert(&self, schema_hash: u128, key: CacheKey, verdict: CachedVerdict) -> u64 {
+        let mut shard = self
+            .shard(schema_hash)
+            .lock()
+            .expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let mut evicted = 0;
+        if !shard.entries.contains_key(&key) && shard.entries.len() >= self.per_shard_capacity {
+            // Evict the least-recently-used entry. A linear scan is fine:
+            // shards are small (capacity / shard count) and eviction only
+            // happens on insert into a full shard.
+            if let Some(lru) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&lru);
+                evicted = 1;
+            }
+        }
+        shard.entries.insert(key, (verdict, tick));
+        evicted
+    }
+
+    /// Total entries across all shards (test/stats aid).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> CacheKey {
+        CacheKey {
+            canonical: s.to_string(),
+            question: "check".to_string(),
+        }
+    }
+
+    fn verdict(v: &str) -> CachedVerdict {
+        CachedVerdict {
+            status: Status::Ok,
+            verdict: v.to_string(),
+            detail: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_and_miss_before() {
+        let cache = VerdictCache::new(8, 2);
+        assert!(cache.get(7, &key("a")).is_none());
+        cache.insert(7, key("a"), verdict("satisfiable"));
+        assert_eq!(cache.get(7, &key("a")).unwrap().verdict, "satisfiable");
+        // Same hash, different canonical form: no false hit.
+        assert!(cache.get(7, &key("b")).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        // One shard of capacity 2.
+        let cache = VerdictCache::new(2, 1);
+        cache.insert(0, key("a"), verdict("a"));
+        cache.insert(0, key("b"), verdict("b"));
+        // Touch "a" so "b" is the LRU.
+        assert!(cache.get(0, &key("a")).is_some());
+        let evicted = cache.insert(0, key("c"), verdict("c"));
+        assert_eq!(evicted, 1);
+        assert!(cache.get(0, &key("a")).is_some(), "recently used survives");
+        assert!(cache.get(0, &key("b")).is_none(), "LRU evicted");
+        assert!(cache.get(0, &key("c")).is_some());
+    }
+
+    #[test]
+    fn refresh_does_not_evict() {
+        let cache = VerdictCache::new(2, 1);
+        cache.insert(0, key("a"), verdict("a1"));
+        cache.insert(0, key("b"), verdict("b"));
+        let evicted = cache.insert(0, key("a"), verdict("a2"));
+        assert_eq!(evicted, 0);
+        assert_eq!(cache.get(0, &key("a")).unwrap().verdict, "a2");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let cache = VerdictCache::new(4, 4);
+        for h in 0..4u128 {
+            cache.insert(h, key(&format!("k{h}")), verdict("v"));
+        }
+        assert_eq!(cache.len(), 4);
+        for h in 0..4u128 {
+            assert!(cache.get(h, &key(&format!("k{h}"))).is_some());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `cr-server`: a long-running reasoning service for CR schemas.
+//!
+//! The reasoning procedures in this workspace (finite satisfiability and
+//! constraint implication over ISA + cardinality schemas, after
+//! Calvanese–Lenzerini ICDE'94) are worst-case exponential in the schema
+//! expansion — exactly the profile that rewards a resident daemon with a
+//! verdict cache over a fork-per-question CLI. This crate provides that
+//! daemon, std-only:
+//!
+//! * [`protocol`] — a versioned JSON-lines request/response protocol
+//!   (`{"v":1,"id":…,"op":"check"|"implies"|"ping"|"stats"|"shutdown",…}`)
+//!   spoken identically over TCP and stdio, built on `cr-trace`'s
+//!   hand-rolled JSON writer/parser;
+//! * [`pool`] — a fixed-size worker thread pool with a bounded queue
+//!   (backpressure, not unbounded buffering, under overload);
+//! * [`cache`] — a sharded LRU verdict cache keyed by
+//!   [`cr_core::canonical_form`], so reordered/reformatted copies of the
+//!   same schema share one entry;
+//! * [`eval`] — the bridge onto `cr-core`'s governed reasoning entry
+//!   points, verdict-identical to `crsat check` / `crsat implies`;
+//! * [`Server`] — ties the above together; every response can embed a
+//!   `cr-trace` `RunReport` whose `cache_hits` / `cache_misses` counters
+//!   prove where the verdict came from;
+//! * [`signal`] — SIGTERM/SIGINT → graceful drain; a second signal trips
+//!   the shared `CancelToken` and aborts in-flight reasoning via the
+//!   budget governor.
+//!
+//! The `crsat serve` and `crsat batch` subcommands in `cr-cli` are thin
+//! shells over this crate.
+
+#![deny(unsafe_code)] // sole exception: the `signal(2)` binding in `signal`
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod eval;
+pub mod pool;
+pub mod protocol;
+pub mod signal;
+
+mod server;
+
+pub use cache::{CacheKey, CachedVerdict, VerdictCache};
+pub use pool::{Job, SubmitError, WorkerPool};
+pub use protocol::{Op, Request, Response, Status, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,253 @@
+//! A fixed-size worker thread pool with a bounded request queue.
+//!
+//! Hand-rolled on `Mutex` + `Condvar` (std only). The queue bound is the
+//! service's backpressure: when it is full, [`WorkerPool::try_submit`]
+//! refuses immediately (the server turns that into an overload error
+//! response instead of buffering unboundedly), while
+//! [`WorkerPool::submit_blocking`] waits for space (what `crsat batch`
+//! wants — local work, no client to push back on).
+//!
+//! Shutdown is cooperative and two-flavored:
+//!
+//! * [`shutdown_drain`](WorkerPool::shutdown_drain) — stop accepting new
+//!   jobs, run everything already queued, join the workers (SIGTERM /
+//!   ctrl-D path);
+//! * [`shutdown_now`](WorkerPool::shutdown_now) — additionally discard the
+//!   queue; jobs already *running* still finish (in-flight reasoning is
+//!   interrupted separately, via the `CancelToken` the server threads into
+//!   every request budget).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubmitError {
+    /// The bounded queue is full (backpressure; retry or reject upstream).
+    QueueFull,
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a job (or shutdown) is available.
+    job_ready: Condvar,
+    /// Signals blocked submitters that queue space freed up.
+    space_ready: Condvar,
+    capacity: usize,
+}
+
+/// The pool. Dropping it without calling a shutdown method drains and
+/// joins (so tests can't leak threads).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads servicing a queue bounded at
+    /// `queue_capacity` jobs (both clamped to at least 1).
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            capacity: queue_capacity.max(1),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cr-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Number of jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool poisoned").jobs.len()
+    }
+
+    /// Enqueues `job`, refusing immediately when the queue is full.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `job`, waiting for queue space if necessary.
+    pub fn submit_blocking(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        loop {
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.jobs.len() < self.shared.capacity {
+                state.jobs.push_back(job);
+                drop(state);
+                self.shared.job_ready.notify_one();
+                return Ok(());
+            }
+            state = self.shared.space_ready.wait(state).expect("pool poisoned");
+        }
+    }
+
+    /// Stops accepting new jobs, runs everything already queued, and joins
+    /// the workers. Idempotent.
+    pub fn shutdown_drain(&self) {
+        self.shutdown(false);
+    }
+
+    /// Stops accepting new jobs, discards the queue, and joins the workers
+    /// once in-flight jobs finish. Idempotent.
+    pub fn shutdown_now(&self) {
+        self.shutdown(true);
+    }
+
+    fn shutdown(&self, discard_queue: bool) {
+        {
+            let mut state = self.shared.state.lock().expect("pool poisoned");
+            state.shutdown = true;
+            if discard_queue {
+                state.jobs.clear();
+            }
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("pool poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_drain();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("pool poisoned");
+            }
+        };
+        shared.space_ready.notify_one();
+        // A panicking job must not take the worker (and the whole pool's
+        // throughput) with it; the panic is contained to the one request.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.submit_blocking(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        pool.shutdown_drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn try_submit_refuses_when_full() {
+        // One worker, blocked; capacity 1.
+        let pool = WorkerPool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx.recv().unwrap(); // worker is now busy
+        pool.try_submit(Box::new(|| {})).unwrap(); // fills the queue
+        let err = pool.try_submit(Box::new(|| {})).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        release_tx.send(()).unwrap();
+        pool.shutdown_drain();
+    }
+
+    #[test]
+    fn drain_runs_queued_jobs_but_rejects_new_ones() {
+        let pool = WorkerPool::new(1, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        pool.shutdown_drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        assert_eq!(
+            pool.try_submit(Box::new(|| {})).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.try_submit(Box::new(|| panic!("request handler bug")))
+            .unwrap();
+        let c = Arc::clone(&counter);
+        pool.submit_blocking(Box::new(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+        pool.shutdown_drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

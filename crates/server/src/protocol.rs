@@ -1,0 +1,419 @@
+//! The versioned JSON-lines request/response protocol.
+//!
+//! One request per line, one response per line; requests and responses are
+//! correlated by the client-chosen `id`, so responses may arrive out of
+//! order when the server runs requests concurrently. Serialization uses
+//! `cr-trace`'s hand-rolled JSON writer/parser — no external dependencies.
+//!
+//! # Request (version 1)
+//!
+//! ```json
+//! {"v":1,"id":"r1","op":"check","schema":"class A; ...","timeout_ms":500,"max_steps":100000}
+//! {"v":1,"id":"r2","op":"implies","schema":"...","query":["isa","A","B"]}
+//! {"v":1,"id":"r3","op":"ping"}
+//! {"v":1,"id":"r4","op":"stats"}
+//! {"v":1,"id":"r5","op":"shutdown"}
+//! ```
+//!
+//! * `v` (required): protocol version; requests with any other version are
+//!   rejected with an error response (the response carries the server's
+//!   version, so clients can detect skew).
+//! * `id` (required): opaque correlation string, echoed verbatim.
+//! * `op` (required): `check`, `implies`, `ping`, `stats`, `shutdown`.
+//! * `schema` (required for `check`/`implies`): DSL source text.
+//! * `query` (required for `implies`): the same words `crsat implies`
+//!   takes, e.g. `["isa","A","B"]`, `["min","C","R.U","2"]`,
+//!   `["max","C","R.U","3"]`.
+//! * `timeout_ms`, `max_steps` (optional): per-request resource budget.
+//!
+//! # Response (version 1)
+//!
+//! ```json
+//! {"v":1,"id":"r1","status":"negative","verdict":"unsatisfiable",
+//!  "detail":["Leaf"],"cached":false,"schema_hash":"fa3b…","exit_code":1,
+//!  "report":{...}}
+//! ```
+//!
+//! * `status`: `ok` | `negative` | `error` | `budget-exceeded` — the same
+//!   outcome vocabulary (and `exit_code` mapping 0/1/2/3) as the `crsat`
+//!   CLI.
+//! * `verdict`: a short machine-readable answer (`satisfiable`,
+//!   `unsatisfiable`, `implied`, `not-implied`, `pong`, `stats`,
+//!   `shutting-down`), or absent on errors.
+//! * `detail`: human-readable lines (unsatisfiable class names, error
+//!   messages, the `budget-exceeded stage=… spent=… limit=…` protocol
+//!   line).
+//! * `cached`: whether the verdict came from the server's verdict cache.
+//! * `schema_hash`: hex of the schema's 128-bit canonical content hash
+//!   (present when a schema was parsed).
+//! * `report`: an embedded `RunReport` (schema documented in `cr-trace`)
+//!   for the work this request performed — including `cache_hits` > 0 when
+//!   the verdict was served from cache.
+
+use cr_trace::json::{self, write_escaped, Value};
+use cr_trace::RunReport;
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Request operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Liveness probe; no schema.
+    Ping,
+    /// Per-class (and per-relationship) finite satisfiability.
+    Check,
+    /// Constraint implication (`isa` / `min` / `max` queries).
+    Implies,
+    /// Server counters: requests served, cache hits/misses/evictions.
+    Stats,
+    /// Graceful shutdown: stop accepting, drain in-flight work.
+    Shutdown,
+}
+
+impl Op {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Check => "check",
+            Op::Implies => "implies",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Op> {
+        Some(match s {
+            "ping" => Op::Ping,
+            "check" => Op::Check,
+            "implies" => Op::Implies,
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Request outcome — the same vocabulary (and exit-code mapping) as the
+/// `crsat` CLI, so a scripted client can treat a response's `exit_code`
+/// exactly like a `crsat` process exit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Question answered positively.
+    Ok,
+    /// Question answered negatively (unsatisfiable class / not implied).
+    Negative,
+    /// Usage, parse, or schema error.
+    Error,
+    /// The per-request resource budget tripped; the question is unanswered.
+    BudgetExceeded,
+}
+
+impl Status {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Negative => "negative",
+            Status::Error => "error",
+            Status::BudgetExceeded => "budget-exceeded",
+        }
+    }
+
+    /// The CLI exit code this status maps to (0/1/2/3).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Negative => 1,
+            Status::Error => 2,
+            Status::BudgetExceeded => 3,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Correlation id, echoed in the response.
+    pub id: String,
+    /// The operation.
+    pub op: Op,
+    /// DSL schema source (`check` / `implies`).
+    pub schema: Option<String>,
+    /// Implication query words (`implies`).
+    pub query: Vec<String>,
+    /// Optional wall-clock budget, milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Optional total work-unit budget.
+    pub max_steps: Option<u64>,
+}
+
+impl Request {
+    /// A minimal request with just an id and an op.
+    pub fn new(id: impl Into<String>, op: Op) -> Request {
+        Request {
+            id: id.into(),
+            op,
+            schema: None,
+            query: Vec::new(),
+            timeout_ms: None,
+            max_steps: None,
+        }
+    }
+
+    /// Parses one request line. Errors name the offending field; the caller
+    /// wraps them in an error [`Response`] (echoing the id when one could
+    /// be recovered — see [`Request::salvage_id`]).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let obj = v.as_obj().ok_or("request must be a JSON object")?;
+        let version = obj
+            .get("v")
+            .and_then(Value::as_u64)
+            .ok_or("missing protocol version field \"v\"")?;
+        if version != PROTOCOL_VERSION {
+            return Err(format!(
+                "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+            ));
+        }
+        let id = obj
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("missing request field \"id\"")?
+            .to_string();
+        let op_str = obj
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("missing request field \"op\"")?;
+        let op = Op::parse(op_str).ok_or_else(|| format!("unknown op {op_str:?}"))?;
+        let schema = obj
+            .get("schema")
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or("request field \"schema\" must be a string")
+            })
+            .transpose()?;
+        let query = match obj.get("query") {
+            None => Vec::new(),
+            Some(q) => q
+                .as_arr()
+                .ok_or("request field \"query\" must be an array of strings")?
+                .iter()
+                .map(|w| {
+                    w.as_str()
+                        .map(str::to_string)
+                        .ok_or("request field \"query\" must be an array of strings")
+                })
+                .collect::<Result<Vec<String>, _>>()?,
+        };
+        let num_field = |name: &str| -> Result<Option<u64>, String> {
+            match obj.get(name) {
+                None => Ok(None),
+                Some(n) => n
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("request field {name:?} must be a nonnegative integer")),
+            }
+        };
+        let timeout_ms = num_field("timeout_ms")?;
+        let max_steps = num_field("max_steps")?;
+        if matches!(op, Op::Check | Op::Implies) && schema.is_none() {
+            return Err(format!("op {op_str:?} requires a \"schema\" field"));
+        }
+        if op == Op::Implies && query.is_empty() {
+            return Err("op \"implies\" requires a nonempty \"query\" array".to_string());
+        }
+        Ok(Request {
+            id,
+            op,
+            schema,
+            query,
+            timeout_ms,
+            max_steps,
+        })
+    }
+
+    /// Best-effort extraction of the `id` from a line that failed to parse
+    /// as a request, so error responses can still be correlated.
+    pub fn salvage_id(line: &str) -> String {
+        json::parse(line)
+            .ok()
+            .and_then(|v| v.get("id").and_then(Value::as_str).map(str::to_string))
+            .unwrap_or_default()
+    }
+
+    /// Serializes the request to one JSON line (no trailing newline). The
+    /// scripted clients in the tests and benches use this.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"v\":");
+        out.push_str(&PROTOCOL_VERSION.to_string());
+        out.push_str(",\"id\":");
+        write_escaped(&mut out, &self.id);
+        out.push_str(",\"op\":");
+        write_escaped(&mut out, self.op.as_str());
+        if let Some(schema) = &self.schema {
+            out.push_str(",\"schema\":");
+            write_escaped(&mut out, schema);
+        }
+        if !self.query.is_empty() {
+            out.push_str(",\"query\":[");
+            for (i, w) in self.query.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(&mut out, w);
+            }
+            out.push(']');
+        }
+        if let Some(t) = self.timeout_ms {
+            out.push_str(&format!(",\"timeout_ms\":{t}"));
+        }
+        if let Some(s) = self.max_steps {
+            out.push_str(&format!(",\"max_steps\":{s}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A response, serialized as one JSON line.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Correlation id (empty when the request's id was unrecoverable).
+    pub id: String,
+    /// Outcome.
+    pub status: Status,
+    /// Short machine-readable answer, when the op has one.
+    pub verdict: Option<String>,
+    /// Human-readable lines (unsat classes, error text, budget line).
+    pub detail: Vec<String>,
+    /// Whether the verdict was served from the cache.
+    pub cached: bool,
+    /// Hex canonical content hash of the request's schema, when parsed.
+    pub schema_hash: Option<String>,
+    /// Per-request run report.
+    pub report: Option<RunReport>,
+}
+
+impl Response {
+    /// An error response (also used for protocol-level rejections).
+    pub fn error(id: impl Into<String>, message: impl Into<String>) -> Response {
+        Response {
+            id: id.into(),
+            status: Status::Error,
+            verdict: None,
+            detail: vec![message.into()],
+            cached: false,
+            schema_hash: None,
+            report: None,
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"v\":");
+        out.push_str(&PROTOCOL_VERSION.to_string());
+        out.push_str(",\"id\":");
+        write_escaped(&mut out, &self.id);
+        out.push_str(",\"status\":");
+        write_escaped(&mut out, self.status.as_str());
+        if let Some(verdict) = &self.verdict {
+            out.push_str(",\"verdict\":");
+            write_escaped(&mut out, verdict);
+        }
+        out.push_str(",\"detail\":[");
+        for (i, d) in self.detail.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, d);
+        }
+        out.push(']');
+        out.push_str(",\"cached\":");
+        out.push_str(if self.cached { "true" } else { "false" });
+        if let Some(hash) = &self.schema_hash {
+            out.push_str(",\"schema_hash\":");
+            write_escaped(&mut out, hash);
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(",\"exit_code\":{}", self.status.exit_code()),
+        );
+        if let Some(report) = &self.report {
+            out.push_str(",\"report\":");
+            out.push_str(&report.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let mut req = Request::new("r-42", Op::Implies);
+        req.schema = Some("class A; class B; isa A B; relationship R (u: A, v: B);".to_string());
+        req.query = vec!["isa".into(), "A".into(), "B".into()];
+        req.timeout_ms = Some(250);
+        req.max_steps = Some(10_000);
+        let parsed = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_missing_fields() {
+        assert!(Request::parse(r#"{"id":"x","op":"ping"}"#)
+            .unwrap_err()
+            .contains("version"));
+        assert!(Request::parse(r#"{"v":2,"id":"x","op":"ping"}"#)
+            .unwrap_err()
+            .contains("unsupported protocol version 2"));
+        assert!(Request::parse(r#"{"v":1,"op":"ping"}"#)
+            .unwrap_err()
+            .contains("\"id\""));
+        assert!(Request::parse(r#"{"v":1,"id":"x","op":"frobnicate"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::parse(r#"{"v":1,"id":"x","op":"check"}"#)
+            .unwrap_err()
+            .contains("schema"));
+        assert!(
+            Request::parse(r#"{"v":1,"id":"x","op":"implies","schema":"class A;"}"#)
+                .unwrap_err()
+                .contains("query")
+        );
+        assert!(Request::parse("not json at all").is_err());
+    }
+
+    #[test]
+    fn salvages_ids_from_broken_requests() {
+        assert_eq!(Request::salvage_id(r#"{"v":9,"id":"keep-me"}"#), "keep-me");
+        assert_eq!(Request::salvage_id("garbage"), "");
+    }
+
+    #[test]
+    fn response_json_is_parseable_and_complete() {
+        let resp = Response {
+            id: "r1".to_string(),
+            status: Status::Negative,
+            verdict: Some("unsatisfiable".to_string()),
+            detail: vec!["Leaf".to_string()],
+            cached: true,
+            schema_hash: Some("deadbeef".to_string()),
+            report: None,
+        };
+        let v = json::parse(&resp.to_json()).unwrap();
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(PROTOCOL_VERSION));
+        assert_eq!(v.get("status").unwrap().as_str(), Some("negative"));
+        assert_eq!(v.get("exit_code").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("detail").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,538 @@
+//! The concurrent reasoning service: request processing, the stdio and TCP
+//! transports, and graceful shutdown.
+//!
+//! One [`Server`] owns a [`WorkerPool`], a [`VerdictCache`], a shared
+//! [`CancelToken`], and a server-lifetime aggregate [`Tracer`]. Transports
+//! (stdio loop, TCP acceptor) only move bytes: every request line becomes a
+//! pool job that calls [`Server::process_line`] and writes the response
+//! line to its connection's shared writer. Responses therefore interleave
+//! across requests of one connection — clients correlate by `id`.
+//!
+//! Shutdown: a `shutdown` request, stdin EOF (ctrl-D), or SIGTERM/SIGINT
+//! (see [`crate::signal`]) makes the transports stop reading, after which
+//! [`Server::finish`] drains the pool — queued and in-flight requests
+//! complete and flush their responses. A *second* SIGTERM/SIGINT trips the
+//! shared [`CancelToken`], so in-flight reasoning aborts at its next
+//! governor check and reports `budget-exceeded` instead of stalling
+//! shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cr_core::{Budget, CancelToken};
+use cr_trace::{Counter, NullSink, Tracer};
+
+use crate::cache::{CacheKey, CachedVerdict, VerdictCache};
+use crate::eval;
+use crate::pool::{SubmitError, WorkerPool};
+use crate::protocol::{Op, Request, Response, Status};
+
+/// Tunables for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (default: available parallelism, capped at 8).
+    pub workers: usize,
+    /// Bounded request-queue capacity; a full queue rejects with an
+    /// overload error response rather than buffering unboundedly.
+    pub queue_capacity: usize,
+    /// Approximate verdict-cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Default per-request deadline when the request names none.
+    pub default_timeout_ms: Option<u64>,
+    /// Default per-request step budget when the request names none.
+    pub default_max_steps: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServerConfig {
+            workers: parallelism.min(8),
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            default_timeout_ms: None,
+            default_max_steps: None,
+        }
+    }
+}
+
+struct Inner {
+    config: ServerConfig,
+    pool: WorkerPool,
+    cache: VerdictCache,
+    cancel: CancelToken,
+    shutdown: AtomicBool,
+    /// Server-lifetime aggregate counters (cache traffic, requests served);
+    /// the `stats` op snapshots this tracer.
+    aggregate: Tracer,
+}
+
+/// The service. Cheap to clone (an `Arc`); all state is shared.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Builds a server (spawning its worker threads immediately).
+    pub fn new(config: ServerConfig) -> Server {
+        Server {
+            inner: Arc::new(Inner {
+                pool: WorkerPool::new(config.workers, config.queue_capacity),
+                cache: VerdictCache::new(config.cache_capacity, config.cache_shards),
+                cancel: CancelToken::new(),
+                shutdown: AtomicBool::new(false),
+                aggregate: Tracer::new(Box::new(NullSink)),
+                config,
+            }),
+        }
+    }
+
+    /// The shared cancellation token threaded into every request budget.
+    /// Tripping it aborts all in-flight reasoning at the next governor
+    /// check.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel.clone()
+    }
+
+    /// Whether graceful shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests graceful shutdown: transports stop reading; call
+    /// [`Server::finish`] to drain.
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains queued and in-flight work and joins the workers. Idempotent.
+    pub fn finish(&self) {
+        self.request_shutdown();
+        self.inner.pool.shutdown_drain();
+    }
+
+    /// Current number of cached verdicts (stats/test aid).
+    pub fn cached_verdicts(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Aggregate counter value (stats/test aid).
+    pub fn aggregate_counter(&self, c: Counter) -> u64 {
+        self.inner.aggregate.counter(c)
+    }
+
+    /// Processes one request line to one response line. This is the whole
+    /// service in synchronous form — transports wrap it in pool jobs, tests
+    /// can call it directly.
+    pub fn process_line(&self, line: &str) -> Response {
+        let request = match Request::parse(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                self.inner.aggregate.add(Counter::RequestsServed, 1);
+                return Response::error(Request::salvage_id(line), msg);
+            }
+        };
+        self.process_request(&request)
+    }
+
+    /// Processes an already-parsed request (the `crsat batch` entry point —
+    /// no JSON round-trip needed for local work).
+    pub fn process_request(&self, request: &Request) -> Response {
+        let response = self.process(request);
+        self.inner.aggregate.add(Counter::RequestsServed, 1);
+        response
+    }
+
+    /// Submits a job to the server's worker pool, blocking while the
+    /// bounded queue is full. This is the local (daemon-less) path:
+    /// `crsat batch` fans file checks out over the same pool the daemon
+    /// uses, with no client to push back on.
+    pub fn submit(&self, job: crate::pool::Job) -> Result<(), SubmitError> {
+        self.inner.pool.submit_blocking(job)
+    }
+
+    fn process(&self, request: &Request) -> Response {
+        match request.op {
+            Op::Ping => Response {
+                id: request.id.clone(),
+                status: Status::Ok,
+                verdict: Some("pong".to_string()),
+                detail: Vec::new(),
+                cached: false,
+                schema_hash: None,
+                report: None,
+            },
+            Op::Stats => self.stats_response(&request.id),
+            Op::Shutdown => {
+                self.request_shutdown();
+                Response {
+                    id: request.id.clone(),
+                    status: Status::Ok,
+                    verdict: Some("shutting-down".to_string()),
+                    detail: Vec::new(),
+                    cached: false,
+                    schema_hash: None,
+                    report: None,
+                }
+            }
+            Op::Check | Op::Implies => self.reason(request),
+        }
+    }
+
+    /// The reasoning path: parse schema → cache lookup → (on miss) run the
+    /// governed pipeline → cache fill → response with embedded RunReport.
+    fn reason(&self, request: &Request) -> Response {
+        // Per-request observability: the embedded RunReport accounts for
+        // exactly this request's work (including whether the verdict came
+        // from cache).
+        let tracer = Tracer::new(Box::new(NullSink));
+        let mut budget = Budget::unlimited()
+            .with_tracer(&tracer)
+            .with_cancel_token(&self.inner.cancel);
+        if let Some(ms) = request.timeout_ms.or(self.inner.config.default_timeout_ms) {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(steps) = request.max_steps.or(self.inner.config.default_max_steps) {
+            budget = budget.with_max_steps(steps);
+        }
+
+        let source = request.schema.as_deref().unwrap_or_default();
+        let schema = match cr_lang::parse_schema(source) {
+            Ok(s) => s,
+            Err(e) => {
+                return Response::error(request.id.clone(), format!("schema:{e}"));
+            }
+        };
+        let canonical = schema.canonical_form();
+        let schema_hash = cr_core::canonical_hash(&schema);
+        let question = match request.op {
+            Op::Check => "check".to_string(),
+            Op::Implies => format!("implies {}", request.query.join(" ")),
+            _ => unreachable!("reason() only sees check/implies"),
+        };
+        let key = CacheKey {
+            canonical,
+            question,
+        };
+
+        let (answer, cached) = match self.inner.cache.get(schema_hash, &key) {
+            Some(hit) => {
+                tracer.add(Counter::CacheHits, 1);
+                self.inner.aggregate.add(Counter::CacheHits, 1);
+                (
+                    eval::Answer {
+                        status: hit.status,
+                        verdict: hit.verdict,
+                        detail: hit.detail,
+                    },
+                    true,
+                )
+            }
+            None => {
+                tracer.add(Counter::CacheMisses, 1);
+                self.inner.aggregate.add(Counter::CacheMisses, 1);
+                let answer = match request.op {
+                    Op::Check => eval::check(&schema, &budget),
+                    Op::Implies => eval::implies(&schema, &request.query, &budget),
+                    _ => unreachable!("reason() only sees check/implies"),
+                };
+                if answer.cacheable() {
+                    let evicted = self.inner.cache.insert(
+                        schema_hash,
+                        key,
+                        CachedVerdict {
+                            status: answer.status,
+                            verdict: answer.verdict.clone(),
+                            detail: answer.detail.clone(),
+                        },
+                    );
+                    if evicted > 0 {
+                        tracer.add(Counter::CacheEvictions, evicted);
+                        self.inner.aggregate.add(Counter::CacheEvictions, evicted);
+                    }
+                }
+                (answer, false)
+            }
+        };
+
+        let mut report = cr_core::run_report(&budget, request.op.as_str(), answer.status.as_str());
+        report.target = format!("{schema_hash:032x}");
+        Response {
+            id: request.id.clone(),
+            status: answer.status,
+            verdict: (!answer.verdict.is_empty()).then(|| answer.verdict.clone()),
+            detail: answer.detail,
+            cached,
+            schema_hash: Some(format!("{schema_hash:032x}")),
+            report: Some(report),
+        }
+    }
+
+    fn stats_response(&self, id: &str) -> Response {
+        let agg = &self.inner.aggregate;
+        let detail = vec![
+            format!("requests_served={}", agg.counter(Counter::RequestsServed)),
+            format!("cache_hits={}", agg.counter(Counter::CacheHits)),
+            format!("cache_misses={}", agg.counter(Counter::CacheMisses)),
+            format!("cache_evictions={}", agg.counter(Counter::CacheEvictions)),
+            format!("cache_entries={}", self.inner.cache.len()),
+            format!("workers={}", self.inner.config.workers),
+            format!("queue_capacity={}", self.inner.config.queue_capacity),
+        ];
+        Response {
+            id: id.to_string(),
+            status: Status::Ok,
+            verdict: Some("stats".to_string()),
+            detail,
+            cached: false,
+            schema_hash: None,
+            report: Some(agg.report("stats", "ok")),
+        }
+    }
+
+    /// Submits a request line to the pool; the response line (with trailing
+    /// newline) is written to `out`. A full queue is answered immediately
+    /// (on the caller's thread) with an overload error response — bounded
+    /// memory under overload is the contract.
+    fn dispatch(&self, line: String, out: &Arc<Mutex<dyn Write + Send>>) {
+        let server = self.clone();
+        let writer = Arc::clone(out);
+        let job_line = line.clone();
+        let submitted = self.inner.pool.try_submit(Box::new(move || {
+            let response = server.process_line(&job_line);
+            write_response(&writer, &response);
+        }));
+        match submitted {
+            Ok(()) => {}
+            Err(SubmitError::QueueFull) => {
+                self.inner.aggregate.add(Counter::RequestsServed, 1);
+                write_response(
+                    out,
+                    &Response::error(
+                        Request::salvage_id(&line),
+                        "server overloaded: request queue is full",
+                    ),
+                );
+            }
+            Err(SubmitError::ShuttingDown) => {
+                write_response(
+                    out,
+                    &Response::error(Request::salvage_id(&line), "server is shutting down"),
+                );
+            }
+        }
+    }
+
+    /// Serves JSON-lines over stdin/stdout until EOF (ctrl-D), a `shutdown`
+    /// request, or `stop` turns true (the SIGTERM flag). Drains before
+    /// returning.
+    pub fn serve_stdio(&self, stop: &AtomicBool) -> std::io::Result<()> {
+        let stdin = std::io::stdin();
+        let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(std::io::stdout()));
+        let mut lines = stdin.lock().lines();
+        loop {
+            if self.shutdown_requested() || stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // Blocking read: a quiescent stdio server sits here until the
+            // client writes, closes the pipe, or a signal interrupts the
+            // read (EINTR surfaces as an Err we treat as a stop check).
+            match lines.next() {
+                None => break,
+                Some(Err(_)) => continue,
+                Some(Ok(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.dispatch(line, &out);
+                }
+            }
+        }
+        self.finish();
+        Ok(())
+    }
+
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves until shutdown is
+    /// requested or `stop` turns true. Returns the bound address through
+    /// `on_bound` before entering the accept loop, then blocks; drains
+    /// before returning.
+    pub fn serve_tcp(
+        &self,
+        addr: &str,
+        stop: Arc<AtomicBool>,
+        on_bound: impl FnOnce(SocketAddr),
+    ) -> std::io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        on_bound(listener.local_addr()?);
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shutdown_requested() || stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let server = self.clone();
+                    let stop = Arc::clone(&stop);
+                    connections.push(std::thread::spawn(move || {
+                        let _ = server.handle_connection(stream, &stop);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+            connections.retain(|h| !h.is_finished());
+        }
+        for h in connections {
+            let _ = h.join();
+        }
+        self.finish();
+        Ok(())
+    }
+
+    /// One TCP connection: read request lines, dispatch to the pool,
+    /// responses go back over the same socket (interleaved, correlated by
+    /// id). Returns on client EOF, connection error, or server shutdown.
+    fn handle_connection(&self, stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(stream.try_clone()?));
+        let mut reader = BufReader::new(stream);
+        let mut buf = String::new();
+        loop {
+            if self.shutdown_requested() || stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match reader.read_line(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let line = std::mem::take(&mut buf);
+                    if !line.trim().is_empty() {
+                        self.dispatch(line, &out);
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Read timeout: partial data (if any) stays in `buf`;
+                    // loop to re-check the shutdown flags.
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_response(out: &Arc<Mutex<dyn Write + Send>>, response: &Response) {
+    let mut line = response.to_json();
+    line.push('\n');
+    let mut w = out.lock().expect("response writer poisoned");
+    // A dead client can't be helped; dropping the response is correct.
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEETING: &str = "class Speaker; class Discussant isa Speaker; class Talk; \
+         relationship Holds (U1: Speaker, U2: Talk); \
+         card Speaker in Holds.U1: 1..*; card Talk in Holds.U2: 1..1;";
+
+    fn check_request(id: &str, schema: &str) -> String {
+        let mut r = Request::new(id, Op::Check);
+        r.schema = Some(schema.to_string());
+        r.to_json()
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown() {
+        let server = Server::new(ServerConfig::default());
+        let pong = server.process_line(&Request::new("p", Op::Ping).to_json());
+        assert_eq!(pong.status, Status::Ok);
+        assert_eq!(pong.verdict.as_deref(), Some("pong"));
+        let stats = server.process_line(&Request::new("s", Op::Stats).to_json());
+        assert!(stats
+            .detail
+            .iter()
+            .any(|d| d.starts_with("requests_served=")));
+        assert!(!server.shutdown_requested());
+        let bye = server.process_line(&Request::new("q", Op::Shutdown).to_json());
+        assert_eq!(bye.verdict.as_deref(), Some("shutting-down"));
+        assert!(server.shutdown_requested());
+        server.finish();
+    }
+
+    #[test]
+    fn second_identical_check_is_served_from_cache() {
+        let server = Server::new(ServerConfig::default());
+        let first = server.process_line(&check_request("a", MEETING));
+        assert_eq!(first.status, Status::Ok);
+        assert!(!first.cached);
+        let report = first.report.as_ref().unwrap();
+        assert_eq!(report.counter("cache_hits"), Some(0));
+        assert_eq!(report.counter("cache_misses"), Some(1));
+
+        // Same constraints, different declaration order and whitespace.
+        let reordered = "class Talk; class Speaker;\nclass Discussant isa Speaker;\n\
+             relationship Holds (U1: Speaker, U2: Talk);\n\
+             card Talk   in Holds.U2: 1..1;\ncard Speaker in Holds.U1: 1..*;";
+        let second = server.process_line(&check_request("b", reordered));
+        assert_eq!(second.status, Status::Ok);
+        assert!(second.cached, "canonicalized repeat must hit the cache");
+        let report = second.report.as_ref().unwrap();
+        assert_eq!(report.counter("cache_hits"), Some(1));
+        assert_eq!(first.schema_hash, second.schema_hash);
+        assert_eq!(server.aggregate_counter(Counter::CacheHits), 1);
+        assert_eq!(server.aggregate_counter(Counter::CacheMisses), 1);
+        server.finish();
+    }
+
+    #[test]
+    fn budget_exceeded_is_not_cached() {
+        let server = Server::new(ServerConfig::default());
+        let mut starved = Request::new("x", Op::Check);
+        starved.schema = Some(MEETING.to_string());
+        starved.max_steps = Some(1);
+        let r = server.process_line(&starved.to_json());
+        assert_eq!(r.status, Status::BudgetExceeded);
+        assert!(r.detail[0].starts_with("budget-exceeded stage="));
+        assert_eq!(server.cached_verdicts(), 0);
+        // The same schema with a real budget then computes fresh.
+        let ok = server.process_line(&check_request("y", MEETING));
+        assert!(!ok.cached);
+        assert_eq!(ok.status, Status::Ok);
+        server.finish();
+    }
+
+    #[test]
+    fn malformed_and_parse_error_requests_get_error_responses() {
+        let server = Server::new(ServerConfig::default());
+        let bad = server.process_line("{\"v\":1,\"id\":\"e\",\"op\":\"check\"}");
+        assert_eq!(bad.status, Status::Error);
+        assert_eq!(bad.id, "e");
+        let garbled = server.process_line("][");
+        assert_eq!(garbled.status, Status::Error);
+        assert_eq!(garbled.id, "");
+        let syntax = server.process_line(&check_request("s", "class ;"));
+        assert_eq!(syntax.status, Status::Error);
+        assert!(syntax.detail[0].starts_with("schema:"));
+        server.finish();
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal SIGTERM/SIGINT handling for graceful shutdown, with no
+//! dependency on a bindings crate.
+//!
+//! The handler only flips atomics (the only thing that is async-signal
+//! safe anyway). The transports poll [`shutdown_flag`] and stop reading;
+//! the serve command watches [`cancel_flag`] and trips the server's
+//! `CancelToken` so a *second* signal aborts in-flight reasoning at its
+//! next governor check instead of letting a stuck request hold up the
+//! drain.
+//!
+//! The one `unsafe` item in the workspace lives here: a raw `extern "C"`
+//! binding to POSIX `signal(2)`. On non-unix targets installation is a
+//! no-op and shutdown relies on stdin EOF / the `shutdown` request.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Set once the first SIGTERM/SIGINT arrives: stop accepting work, drain.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Set on the second signal: cancel in-flight work too.
+static CANCEL: AtomicBool = AtomicBool::new(false);
+static SIGNALS_SEEN: AtomicUsize = AtomicUsize::new(0);
+
+/// The graceful-shutdown flag (first signal).
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// The hard-cancel flag (second signal).
+pub fn cancel_flag() -> &'static AtomicBool {
+    &CANCEL
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    let seen = SIGNALS_SEEN.fetch_add(1, Ordering::SeqCst);
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    if seen >= 1 {
+        CANCEL.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Installs the handler for SIGTERM and SIGINT. Idempotent; no-op off
+/// unix.
+pub fn install() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        #[allow(unsafe_code)]
+        // SAFETY: `signal(2)` is the classic POSIX API; the handler only
+        // touches lock-free atomics, which is async-signal-safe. The
+        // returned previous handler is intentionally discarded.
+        unsafe {
+            extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test drives both the installation (via a real raised SIGTERM —
+    /// if `install` didn't take, the raise kills the test process) and the
+    /// first-signal/second-signal escalation. Single test on purpose: the
+    /// flags are process-global statics.
+    #[test]
+    #[cfg(unix)]
+    fn installed_handler_sets_then_escalates_flags() {
+        #[allow(unsafe_code)]
+        fn raise_term() {
+            // SAFETY: raise(3) delivers SIGTERM to this thread; the
+            // installed handler only flips atomics.
+            unsafe {
+                extern "C" {
+                    fn raise(signum: i32) -> i32;
+                }
+                assert_eq!(raise(15), 0);
+            }
+        }
+        assert!(!shutdown_flag().load(Ordering::SeqCst));
+        install();
+        raise_term();
+        assert!(shutdown_flag().load(Ordering::SeqCst));
+        assert!(!cancel_flag().load(Ordering::SeqCst));
+        raise_term();
+        assert!(cancel_flag().load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,225 @@
+//! Concurrency smoke test: many client threads against an in-process TCP
+//! server. Every response must match the single-threaded verdict for the
+//! same question, and repeated questions must be served from the verdict
+//! cache (hit counter > 0 — proven both by the aggregate counters and by
+//! the `cache_hits` counter embedded in a response's RunReport).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::AtomicBool;
+use std::sync::{mpsc, Arc};
+
+use cr_server::{Op, Request, Server, ServerConfig, Status};
+use cr_trace::json::{parse, Value};
+use cr_trace::Counter;
+
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 3;
+
+/// (name, schema source, query) — a mix of satisfiable, unsatisfiable, and
+/// implication questions, textually permuted per client so the canonical
+/// hash is doing real work.
+fn questions() -> Vec<(&'static str, String, Vec<String>)> {
+    let figure1 = "class C; class D isa C; relationship R (U1: C, U2: D); \
+                   card C in R.U1: 2..*; card D in R.U2: 0..1;";
+    let meeting = "class Speaker; class Talk; relationship Holds (U1: Speaker, U2: Talk); \
+                   card Speaker in Holds.U1: 1..*; card Talk in Holds.U2: 1..1;";
+    vec![
+        ("figure1-check", figure1.to_string(), vec![]),
+        ("meeting-check", meeting.to_string(), vec![]),
+        (
+            "figure1-isa",
+            figure1.to_string(),
+            vec!["isa".into(), "D".into(), "C".into()],
+        ),
+        (
+            "meeting-min",
+            meeting.to_string(),
+            vec![
+                "min".into(),
+                "Speaker".into(),
+                "Holds.U1".into(),
+                "1".into(),
+            ],
+        ),
+    ]
+}
+
+/// Reorders the two leading class declarations so different clients send
+/// textually different sources for the same schema.
+fn permuted(source: &str, client: usize) -> String {
+    if client % 2 == 0 {
+        source.to_string()
+    } else {
+        let mut parts: Vec<&str> = source
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if parts.len() >= 2 && parts[0].starts_with("class") && parts[1].starts_with("class") {
+            // Swapping is only safe when the second class doesn't reference
+            // the first (no `isa` clause).
+            if !parts[1].contains("isa") {
+                parts.swap(0, 1);
+            }
+        }
+        parts.join(";\n") + ";"
+    }
+}
+
+fn request_line(id: String, schema: String, query: &[String]) -> String {
+    let op = if query.is_empty() {
+        Op::Check
+    } else {
+        Op::Implies
+    };
+    let mut request = Request::new(id, op);
+    request.schema = Some(schema);
+    request.query = query.to_vec();
+    let mut line = request.to_json();
+    line.push('\n');
+    line
+}
+
+#[test]
+fn concurrent_clients_match_single_threaded_verdicts_and_hit_the_cache() {
+    // Reference verdicts, computed single-threaded on a separate server.
+    let reference = Server::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut expected = std::collections::HashMap::new();
+    for (name, schema, query) in questions() {
+        let response = reference.process_line(&request_line(name.to_string(), schema, &query));
+        assert!(
+            matches!(response.status, Status::Ok | Status::Negative),
+            "reference question {name} errored: {:?}",
+            response.detail
+        );
+        expected.insert(
+            name.to_string(),
+            (response.status, response.verdict.clone()),
+        );
+    }
+    reference.finish();
+
+    // The server under test, on an OS-assigned loopback port.
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let acceptor = {
+        let server = server.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            server
+                .serve_tcp("127.0.0.1:0", stop, move |addr| {
+                    addr_tx.send(addr).unwrap();
+                })
+                .expect("serve_tcp failed");
+        })
+    };
+    let addr = addr_rx.recv().expect("server never bound");
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let verify = |value: &Value| {
+                    let id = value.get("id").and_then(Value::as_str).expect("id");
+                    // id = "c<client>-r<round>-<question name>".
+                    let name = id.splitn(3, '-').nth(2).expect("well-formed id");
+                    let (status, verdict) = expected
+                        .get(name)
+                        .unwrap_or_else(|| panic!("unknown response id {id}"));
+                    assert_eq!(
+                        value.get("status").and_then(Value::as_str),
+                        Some(status.as_str()),
+                        "status mismatch for {id}"
+                    );
+                    assert_eq!(
+                        value.get("verdict").and_then(Value::as_str),
+                        verdict.as_deref(),
+                        "verdict mismatch for {id}"
+                    );
+                };
+
+                // Round 0: pipelined — all questions in flight at once,
+                // responses possibly out of order, correlated by id.
+                let mut sent = 0usize;
+                for (name, schema, query) in questions() {
+                    let id = format!("c{client}-r0-{name}");
+                    let line = request_line(id, permuted(&schema, client), &query);
+                    writer.write_all(line.as_bytes()).expect("send");
+                    sent += 1;
+                }
+                writer.flush().expect("flush");
+                for _ in 0..sent {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read response");
+                    verify(&parse(&line).expect("response is valid JSON"));
+                }
+
+                // Later rounds: lockstep. Having *read* round N-1's
+                // response for a question guarantees its verdict was
+                // inserted into the cache, so the repeat must hit.
+                let mut cached_seen = 0usize;
+                for round in 1..ROUNDS {
+                    for (name, schema, query) in questions() {
+                        let id = format!("c{client}-r{round}-{name}");
+                        let line = request_line(id, permuted(&schema, client), &query);
+                        writer.write_all(line.as_bytes()).expect("send");
+                        writer.flush().expect("flush");
+                        let mut response = String::new();
+                        reader.read_line(&mut response).expect("read response");
+                        let value = parse(&response).expect("response is valid JSON");
+                        verify(&value);
+                        assert_eq!(
+                            value.get("cached"),
+                            Some(&Value::Bool(true)),
+                            "repeat of {name} in round {round} must be served from cache"
+                        );
+                        // The embedded report proves it: this request's
+                        // tracer saw one hit and no miss.
+                        let hits = value
+                            .get("report")
+                            .and_then(|r| r.get("counters"))
+                            .and_then(|c| c.get("cache_hits"))
+                            .and_then(Value::as_u64);
+                        assert_eq!(hits, Some(1), "cached response must record the hit");
+                        cached_seen += 1;
+                    }
+                }
+                cached_seen
+            })
+        })
+        .collect();
+
+    let cached_total: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    assert_eq!(cached_total, CLIENTS * (ROUNDS - 1) * questions().len());
+    assert!(server.aggregate_counter(Counter::CacheHits) >= cached_total as u64);
+    assert!(server.aggregate_counter(Counter::CacheMisses) >= 1);
+    assert_eq!(
+        server.aggregate_counter(Counter::RequestsServed),
+        (CLIENTS * ROUNDS * questions().len()) as u64
+    );
+
+    // Graceful shutdown over the protocol: the accept loop exits, in-flight
+    // work drains, the acceptor thread joins.
+    let mut control = TcpStream::connect(addr).expect("connect control");
+    let shutdown = Request::new("bye", Op::Shutdown).to_json();
+    control
+        .write_all(format!("{shutdown}\n").as_bytes())
+        .unwrap();
+    let mut reply = String::new();
+    BufReader::new(control.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.contains("shutting-down"), "{reply}");
+    acceptor.join().expect("acceptor paniced after shutdown");
+}

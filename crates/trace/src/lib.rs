@@ -100,11 +100,20 @@ pub enum Counter {
     MaxTableauRows = 14,
     /// Gauge: largest standard-form tableau column count seen by the solver.
     MaxTableauCols = 15,
+    /// Service-layer: requests answered from the verdict cache.
+    CacheHits = 16,
+    /// Service-layer: requests that missed the verdict cache and ran the
+    /// pipeline.
+    CacheMisses = 17,
+    /// Service-layer: cache entries evicted to make room.
+    CacheEvictions = 18,
+    /// Service-layer: requests fully served (any status).
+    RequestsServed = 19,
 }
 
 impl Counter {
     /// Number of counters (size of the accounting array).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 20;
 
     /// All counters, in accounting-array (and JSON) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -124,6 +133,10 @@ impl Counter {
         Counter::PeakAllocBytes,
         Counter::MaxTableauRows,
         Counter::MaxTableauCols,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheEvictions,
+        Counter::RequestsServed,
     ];
 
     /// Stable lowercase snake_case name — the JSON schema key.
@@ -145,6 +158,10 @@ impl Counter {
             Counter::PeakAllocBytes => "peak_alloc_bytes",
             Counter::MaxTableauRows => "max_tableau_rows",
             Counter::MaxTableauCols => "max_tableau_cols",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::CacheEvictions => "cache_evictions",
+            Counter::RequestsServed => "requests_served",
         }
     }
 
@@ -567,6 +584,10 @@ mod tests {
                 "peak_alloc_bytes",
                 "max_tableau_rows",
                 "max_tableau_cols",
+                "cache_hits",
+                "cache_misses",
+                "cache_evictions",
+                "requests_served",
             ]
         );
     }

@@ -1,0 +1,147 @@
+//! Canonical-hash invariants, exercised over the bench workload generator.
+//!
+//! The verdict cache in `cr-server` is only sound if
+//! [`cr_core::canonical_hash`] really is a function of schema *content*:
+//! invariant under declaration reordering, whitespace, and pretty-print →
+//! reparse round-trips; and different hashes must mean different schemas
+//! (the converse — no collisions — is probabilistic, so the cache compares
+//! full canonical forms too).
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::{canonical_form, canonical_hash, Schema};
+use cr_lang::{parse_schema, print_schema, print_schema_canonical};
+use proptest::prelude::*;
+
+fn shape(ix: usize) -> SchemaShape {
+    [
+        SchemaShape::Flat,
+        SchemaShape::IsaModerate,
+        SchemaShape::IsaHeavy,
+    ][ix % 3]
+}
+
+fn generated(shape_ix: usize, classes: usize, rels: usize, seed: u64) -> Schema {
+    SchemaGen::shaped(shape(shape_ix), classes, rels, seed).build()
+}
+
+/// Fisher–Yates with a xorshift generator — deterministic, no clock.
+fn shuffle<T>(items: &mut [T], mut state: u64) {
+    state |= 1;
+    for i in (1..items.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        items.swap(i, (state as usize) % (i + 1));
+    }
+}
+
+/// Shuffles declaration lines within each dependency-safe category (the
+/// DSL requires declare-before-use, so classes stay before relationships,
+/// relationships before cards — but order *within* a category is free).
+fn shuffle_declarations(canonical_text: &str, seed: u64) -> String {
+    let mut groups: [Vec<&str>; 6] = Default::default();
+    for line in canonical_text.lines().filter(|l| !l.trim().is_empty()) {
+        let bucket = match line.split_whitespace().next().unwrap_or("") {
+            "class" => 0,
+            "isa" => 1,
+            "relationship" => 2,
+            "card" => 3,
+            "disjoint" => 4,
+            "cover" => 5,
+            other => panic!("unexpected declaration {other:?} in canonical print"),
+        };
+        groups[bucket].push(line);
+    }
+    let mut out = String::new();
+    for (i, group) in groups.iter_mut().enumerate() {
+        shuffle(
+            group,
+            seed.wrapping_add(i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        for line in group.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The hash survives pretty-printing, canonical printing, reparsing,
+    /// and arbitrary declaration reordering of the source text.
+    #[test]
+    fn hash_is_invariant_under_roundtrip_and_reordering(
+        shape_ix in 0usize..3,
+        classes in 2usize..8,
+        rels in 0usize..4,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let schema = generated(shape_ix, classes, rels, seed);
+        let hash = canonical_hash(&schema);
+        let form = canonical_form(&schema);
+
+        let pretty = print_schema(&schema);
+        let reparsed = parse_schema(&pretty)
+            .unwrap_or_else(|e| panic!("pretty print failed to reparse: {e}\n{pretty}"));
+        prop_assert_eq!(canonical_hash(&reparsed), hash, "pretty roundtrip changed the hash");
+
+        let canon_text = print_schema_canonical(&schema);
+        let recanon = parse_schema(&canon_text)
+            .unwrap_or_else(|e| panic!("canonical print failed to reparse: {e}\n{canon_text}"));
+        prop_assert_eq!(canonical_hash(&recanon), hash, "canonical roundtrip changed the hash");
+
+        let shuffled_text = shuffle_declarations(&canon_text, seed ^ 0xdead_beef);
+        let shuffled = parse_schema(&shuffled_text)
+            .unwrap_or_else(|e| panic!("shuffled source failed to parse: {e}\n{shuffled_text}"));
+        prop_assert_eq!(canonical_hash(&shuffled), hash, "reordering changed the hash");
+        prop_assert_eq!(canonical_form(&shuffled), form, "reordering changed the canonical form");
+    }
+
+    /// Different hashes must come from different schemas; identical
+    /// canonical content must agree on the hash. (Together these make the
+    /// hash safe for cache sharding and display, with the full form as
+    /// the collision-proof cache key.)
+    #[test]
+    fn hash_inequality_implies_schema_inequality(
+        a_seed in 0u64..4096,
+        b_seed in 0u64..4096,
+        classes in 2usize..7,
+        rels in 0usize..3,
+    ) {
+        let a = generated(1, classes, rels, a_seed);
+        let b = generated(1, classes, rels, b_seed);
+        let (fa, fb) = (canonical_form(&a), canonical_form(&b));
+        let (ha, hb) = (canonical_hash(&a), canonical_hash(&b));
+        if ha != hb {
+            // Distinct hashes coming from identical canonical forms would
+            // mean the hash reads something beyond schema content.
+            prop_assert_ne!(&fa, &fb);
+        }
+        if fa == fb {
+            prop_assert_eq!(ha, hb, "identical canonical forms must hash identically");
+        }
+        // Same seed, both directions — determinism of the whole chain.
+        if a_seed == b_seed {
+            prop_assert_eq!(ha, hb);
+            prop_assert_eq!(fa, fb);
+        }
+    }
+}
+
+/// Whitespace and comment-free reformatting never touch the hash; single
+/// constraint edits always do (on this workload).
+#[test]
+fn constraint_edits_move_the_hash() {
+    let base = "class C; class D isa C; relationship R (U1: C, U2: D); \
+                card C in R.U1: 2..*; card D in R.U2: 0..1;";
+    let reformatted = "class C;\n\nclass D\n  isa C;\nrelationship R (U1: C, U2: D);\n\
+                       card C in R.U1: 2..*;\ncard D in R.U2: 0..1;";
+    let edited = "class C; class D isa C; relationship R (U1: C, U2: D); \
+                  card C in R.U1: 2..*; card D in R.U2: 0..2;";
+    let h = |src: &str| canonical_hash(&parse_schema(src).unwrap());
+    assert_eq!(h(base), h(reformatted));
+    assert_ne!(h(base), h(edited));
+}
