@@ -13,23 +13,71 @@ Usage: serve_client.py <port-file> <schemas-dir>
 
 import json
 import pathlib
+import random
 import socket
 import sys
+import time
+
+# Deterministic jitter source so CI retry timing is reproducible.
+_JITTER = random.Random(0)
+# Overall client deadline: connection attempts and overload retries both
+# stop when this much wall-clock has elapsed since startup.
+DEADLINE_S = 60.0
+_START = time.monotonic()
+
+
+def _backoff(attempt):
+    """Exponential backoff (10 ms base, 1 s cap) plus up to 50% jitter."""
+    base = min(0.010 * (2**attempt), 1.0)
+    return base + _JITTER.uniform(0, base / 2)
+
+
+def _remaining():
+    return DEADLINE_S - (time.monotonic() - _START)
+
+
+def connect(host, port):
+    """Connects with retry: the daemon may still be binding its socket."""
+    attempt = 0
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=60)
+        except (ConnectionRefusedError, OSError):
+            delay = _backoff(attempt)
+            assert _remaining() > delay, "daemon never came up before the deadline"
+            time.sleep(delay)
+            attempt += 1
 
 
 def main():
     port_file, schemas_dir = sys.argv[1], pathlib.Path(sys.argv[2])
     host, port = open(port_file).read().strip().rsplit(":", 1)
-    sock = socket.create_connection((host, int(port)), timeout=60)
+    sock = connect(host, int(port))
     rfile = sock.makefile("r", encoding="utf-8")
 
-    def rpc(req):
+    def rpc_once(req):
         sock.sendall((json.dumps(req) + "\n").encode())
         line = rfile.readline()
         assert line, f"connection closed before reply to {req['id']}"
         resp = json.loads(line)
         assert resp["id"] == req["id"], resp
         return resp
+
+    def rpc(req):
+        # Overload ("server overloaded: ..." error detail) is transient
+        # backpressure, not failure: retry with backoff until the deadline.
+        attempt = 0
+        while True:
+            resp = rpc_once(req)
+            overloaded = resp["status"] == "error" and any(
+                d.startswith("server overloaded") for d in resp.get("detail", [])
+            )
+            if not overloaded:
+                return resp
+            delay = _backoff(attempt)
+            assert _remaining() > delay, f"still overloaded at the deadline: {resp}"
+            time.sleep(delay)
+            attempt += 1
 
     pong = rpc({"v": 1, "id": "ping", "op": "ping"})
     assert pong["verdict"] == "pong", pong

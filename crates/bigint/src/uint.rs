@@ -199,6 +199,9 @@ impl Uint {
         if small == 0 || self.is_zero() {
             return Uint::zero();
         }
+        // Infallible arithmetic: the failpoint can panic or delay here
+        // (simulating limb-buffer allocation failure) but not error.
+        cr_faults::point!("bigint.alloc");
         let mut out = Vec::with_capacity(self.limbs.len() + 1);
         let mut carry: u64 = 0;
         for &l in &self.limbs {

@@ -94,7 +94,9 @@ fn find_role(schema: &Schema, spec: &str) -> Result<RoleId, String> {
 
 /// `crsat check`: report finite and unrestricted satisfiability per class
 /// (and per relationship); exit 1 if any class is finitely unsatisfiable.
-pub fn check(schema: &Schema, budget: &Budget) -> Result<u8, String> {
+/// With `certify`, the verdict is re-validated through the independent
+/// certificate checker and a refutation turns the run into an error.
+pub fn check(schema: &Schema, certify: bool, budget: &Budget) -> Result<u8, String> {
     let r = reasoner(schema, budget)?;
     let viable = cr_core::unrestricted::viable_compound_classes(r.expansion());
     let mut any_unsat = false;
@@ -127,6 +129,36 @@ pub fn check(schema: &Schema, budget: &Budget) -> Result<u8, String> {
             } else {
                 "UNSATISFIABLE (empty in every finite model)"
             }
+        );
+    }
+    if certify {
+        let certified = cr_core::certify_check(schema, budget).map_err(err_str)?;
+        if !certified.ok() {
+            for f in &certified.failures {
+                println!("certify: {f}");
+            }
+            return Err(format!(
+                "certification refuted the verdict ({} of {} checks failed)",
+                certified.failures.len(),
+                certified.checks
+            ));
+        }
+        let computed_unsat: Vec<String> = schema
+            .classes()
+            .filter(|&c| !r.is_class_satisfiable(c))
+            .map(|c| schema.class_name(c).to_string())
+            .collect();
+        if certified.unsat_classes != computed_unsat {
+            return Err(format!(
+                "certification disagrees with the verdict (answer claims unsat {:?}, \
+                 certificates say {:?})",
+                computed_unsat, certified.unsat_classes
+            ));
+        }
+        println!(
+            "\ncertified: {} checks, {} Farkas certificates, {} classes cross-checked \
+             by the enumeration oracle",
+            certified.checks, certified.farkas_certificates, certified.differential_classes
         );
     }
     if any_unsat {

@@ -13,7 +13,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use cr_core::Budget;
-use cr_server::{Op, Request, Server, ServerConfig};
+use cr_server::{Job, Op, Request, Server, ServerConfig, SubmitError};
 
 /// Turns the invocation budget's deadline/step-cap into per-request
 /// defaults for the service.
@@ -203,6 +203,56 @@ fn check_file(server: &Server, path: &Path) -> (String, u8) {
     (line, response.status.exit_code())
 }
 
+/// Backoff schedule for overload retries: attempt `n` waits `10·2ⁿ` ms
+/// (capped at one second) plus a deterministic xorshift-derived jitter of
+/// up to half the base — retries from concurrent submitters spread out
+/// while staying reproducible for a given `(seed, attempt)` pair.
+fn backoff_delay(seed: u64, attempt: u32) -> Duration {
+    let base = 10u64.saturating_mul(1 << attempt.min(7)).min(1_000);
+    let mut x = seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Duration::from_millis(base + x % (base / 2 + 1))
+}
+
+/// Submits through the non-blocking path, retrying overload with
+/// exponential backoff + jitter. The invocation budget's deadline bounds
+/// the waiting (so `--timeout-ms` covers queueing, not just reasoning):
+/// when it would be crossed, the structured `budget-exceeded` error
+/// surfaces instead of another retry.
+fn submit_with_retry(
+    server: &Server,
+    budget: &Budget,
+    seed: u64,
+    make_job: impl Fn() -> Job,
+) -> Result<(), String> {
+    const MAX_RETRIES: u32 = 8;
+    for attempt in 0..=MAX_RETRIES {
+        match server.try_submit(make_job()) {
+            Ok(()) => return Ok(()),
+            Err(SubmitError::ShuttingDown) => {
+                return Err("worker pool rejected batch job: shutting down".to_string());
+            }
+            Err(SubmitError::QueueFull) if attempt < MAX_RETRIES => {
+                let mut delay = backoff_delay(seed, attempt);
+                if let Some(deadline) = budget.deadline() {
+                    let remaining = deadline.saturating_sub(budget.elapsed());
+                    budget
+                        .check(cr_core::Stage::Expansion)
+                        .map_err(super::err_str)?;
+                    delay = delay.min(remaining);
+                }
+                std::thread::sleep(delay);
+            }
+            Err(SubmitError::QueueFull) => break,
+        }
+    }
+    Err(format!(
+        "server overloaded: request queue still full after {MAX_RETRIES} retries"
+    ))
+}
+
 /// `crsat batch`: check every given schema file (directories are searched
 /// recursively for `.cr`) in parallel on a `cr-server` worker pool, one
 /// result line per file, in input order. The exit code is the *worst*
@@ -231,14 +281,15 @@ pub fn batch(args: &[String], budget: &Budget) -> Result<u8, String> {
     let server = Server::new(config);
     let (tx, rx) = mpsc::channel();
     for (i, path) in files.iter().enumerate() {
-        let tx = tx.clone();
-        let worker = server.clone();
-        let path = path.clone();
-        server
-            .submit(Box::new(move || {
+        let make_job = || -> Job {
+            let tx = tx.clone();
+            let worker = server.clone();
+            let path = path.clone();
+            Box::new(move || {
                 let _ = tx.send((i, check_file(&worker, &path)));
-            }))
-            .map_err(|e| format!("worker pool rejected batch job: {e:?}"))?;
+            })
+        };
+        submit_with_retry(&server, budget, i as u64, make_job)?;
     }
     drop(tx);
     let mut results: Vec<Option<(String, u8)>> = vec![None; files.len()];

@@ -1,7 +1,7 @@
 //! `crsat` — command-line reasoner for CR schemas.
 //!
 //! ```text
-//! crsat check <schema.cr>             satisfiability of every class
+//! crsat check <schema.cr> [--certify] satisfiability of every class
 //! crsat expand <schema.cr>            the expansion (compound classes/rels)
 //! crsat system <schema.cr> [-v]       the disequation system Ψ_S
 //! crsat model <schema.cr>             construct + verify a finite model
@@ -32,6 +32,12 @@
 //!                       documented in cr-trace) on exit — every exit,
 //!                       including budget-exceeded and errors
 //! ```
+//!
+//! `crsat check --certify` additionally re-validates the verdict through
+//! the independent certificate checker (`cr_core::certify`): the witness is
+//! plugged back into Ψ_S, every excluded compound class gets a verified
+//! Farkas certificate, and small expansions are cross-checked against the
+//! Theorem 3.4 enumeration oracle. A refuted verdict exits with code 2.
 //!
 //! When a budget trips, the process prints a single machine-readable line
 //! `budget-exceeded stage=<s> spent=<n> limit=<n>` to stderr and exits
@@ -216,7 +222,7 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     let schema = cr_lang::parse_schema(&source).map_err(|e| format!("{path}:{e}"))?;
     let rest = &args[2..];
     match cmd.as_str() {
-        "check" => commands::check(&schema, budget),
+        "check" => commands::check(&schema, rest.iter().any(|a| a == "--certify"), budget),
         "expand" => commands::expand(&schema, budget),
         "system" => commands::system(
             &schema,

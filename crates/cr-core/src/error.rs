@@ -102,6 +102,14 @@ pub enum CrError {
         /// `0` means the computation was cancelled by the caller.
         limit: u64,
     },
+    /// A `cr-faults` failpoint injected a failure at the named site (only
+    /// reachable in builds with `--features faults`). Like
+    /// [`BudgetExceeded`](CrError::BudgetExceeded), the question is
+    /// *unanswered* — this is never a verdict.
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for CrError {
@@ -163,6 +171,7 @@ impl fmt::Display for CrError {
                     )
                 }
             }
+            CrError::FaultInjected { site } => write!(f, "fault injected at {site}"),
         }
     }
 }

@@ -155,6 +155,9 @@ impl<'s> Expansion<'s> {
             let mut odometer = vec![0usize; candidates.len()];
             loop {
                 budget.charge(Stage::Expansion, 1)?;
+                cr_faults::point!("core.expansion.step", |_| Err(CrError::FaultInjected {
+                    site: "core.expansion.step"
+                }));
                 if crels.len() >= config.max_compound_rels {
                     return Err(CrError::ExpansionTooLarge {
                         what: "compound relationships",
@@ -343,6 +346,9 @@ fn enumerate_consistent(
     emit: &mut impl FnMut(&BitSet) -> CrResult<()>,
 ) -> CrResult<()> {
     budget.charge(Stage::Expansion, 1)?;
+    cr_faults::point!("core.expansion.step", |_| Err(CrError::FaultInjected {
+        site: "core.expansion.step"
+    }));
     budget
         .tracer()
         .add(cr_trace::Counter::CompoundClassesConsidered, 1);

@@ -73,6 +73,7 @@
 pub mod agg;
 pub mod bitset;
 pub mod budget;
+pub mod certify;
 pub mod compare;
 mod error;
 pub mod expansion;
@@ -88,6 +89,7 @@ pub mod system;
 pub mod unrestricted;
 
 pub use budget::{run_report, Budget, CancelToken, ManualClock, Stage, TracerMeter};
+pub use certify::{certify_check, certify_reasoner, CertifyReport};
 pub use error::CrError;
 pub use ids::{ClassId, RelId, RoleId};
 pub use schema::{canonical_form, canonical_hash, Card, Schema, SchemaBuilder};

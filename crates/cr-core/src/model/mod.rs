@@ -90,6 +90,9 @@ pub fn construct_model(
     solution: &AcceptableSolution,
     config: &ModelConfig,
 ) -> CrResult<Interpretation> {
+    cr_faults::point!("core.model.build", |_| Err(CrError::FaultInjected {
+        site: "core.model.build"
+    }));
     let mut scaled = solution.clone();
     let alpha = required_scaling(exp, solution);
     if !alpha.is_one() {

@@ -25,7 +25,7 @@ use cr_linear::{
 use cr_rational::Rational;
 
 use crate::budget::{Budget, Stage};
-use crate::error::CrResult;
+use crate::error::{CrError, CrResult};
 use crate::sat::AcceptableSolution;
 use crate::system::CrSystem;
 
@@ -56,6 +56,9 @@ pub(crate) fn support_by_max_lp(
     let mut alive = vec![true; n];
     loop {
         budget.charge(Stage::Fixpoint, 1)?;
+        cr_faults::point!("core.fixpoint.step", |_| Err(CrError::FaultInjected {
+            site: "core.fixpoint.step"
+        }));
         tracer.add(cr_trace::Counter::FixpointIterations, 1);
         if alive.iter().all(|&a| !a) {
             return Ok((alive, None));
@@ -83,6 +86,9 @@ pub(crate) fn support_by_max_lp(
         ) {
             Ok(outcome) => outcome,
             Err(LinearError::Interrupted) => return Err(budget.exceeded_err(Stage::Fixpoint)),
+            Err(LinearError::FaultInjected { site }) => {
+                return Err(CrError::FaultInjected { site })
+            }
             Err(e) => unreachable!("support LP has no strict rows: {e}"),
         };
         match outcome {

@@ -274,6 +274,11 @@ impl<'s> Reasoner<'s> {
         let meter = crate::budget::TracerMeter::new(&self.tracer);
         match cr_linear::solve_governed(&probe, &meter) {
             Ok(feasibility) => feasibility.is_feasible(),
+            // An injected fault must not decide satisfiability either way;
+            // panic so the chaos harness's catch_unwind contains it.
+            Err(e @ cr_linear::LinearError::FaultInjected { .. }) => {
+                panic!("{e} in relationship probe")
+            }
             Err(_) => unreachable!("TracerMeter never refuses work"),
         }
     }

@@ -58,6 +58,9 @@ pub fn satisfiable_by_z_enumeration_governed(
     let _span = tracer.span(Stage::ZEnumeration.as_str());
     for z in 0u64..(1u64 << n_cc) {
         budget.charge(Stage::ZEnumeration, 1)?;
+        cr_faults::point!("core.zenum.subset", |_| Err(CrError::FaultInjected {
+            site: "core.zenum.subset"
+        }));
         tracer.add(cr_trace::Counter::ZenumSubsets, 1);
         let in_z = |cc: usize| z & (1 << cc) != 0;
         // Σ Var(C̄ ∋ class) > 0 needs some containing compound class
@@ -85,6 +88,9 @@ pub fn satisfiable_by_z_enumeration_governed(
                 }
             }
             Err(LinearError::Interrupted) => return Err(budget.exceeded_err(Stage::ZEnumeration)),
+            Err(LinearError::FaultInjected { site }) => {
+                return Err(CrError::FaultInjected { site })
+            }
             Err(e) => unreachable!("feasibility probe cannot reject the system: {e}"),
         }
     }

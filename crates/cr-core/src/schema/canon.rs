@@ -53,6 +53,9 @@ fn fnv1a_128(bytes: &[u8]) -> u128 {
 /// a fixed order. The result is independent of declaration order and is
 /// the authoritative cache key for schema-level verdicts.
 pub fn canonical_form(schema: &Schema) -> String {
+    // Infallible: the failpoint can panic or delay (corrupting a cache key
+    // is *not* on the menu) but not error.
+    cr_faults::point!("core.canon");
     let mut out = String::with_capacity(256);
 
     let mut classes: Vec<&str> = schema.classes().map(|c| schema.class_name(c)).collect();

@@ -1,0 +1,493 @@
+//! Deterministic fault injection for the cr-reason pipeline.
+//!
+//! Named **failpoints** are compiled into the code base behind the
+//! `faults` cargo feature. A failpoint is a [`point!`] macro invocation
+//! naming a *site* (e.g. `"linear.pivot"`); at runtime each site consults
+//! an installed [`FaultPlan`] (or the `CR_FAULTS` environment variable)
+//! and either does nothing or fires a configured *action*:
+//!
+//! * `return` / `return(arg)` — make the enclosing function return an
+//!   injected error (the two-argument [`point!`] form maps the optional
+//!   string payload through a caller-supplied closure);
+//! * `panic` / `panic(msg)` — panic at the site, exercising
+//!   `catch_unwind` containment;
+//! * `delay(ms)` — sleep, exercising deadlines and timeouts;
+//! * `off` — explicitly disabled.
+//!
+//! Actions take an optional *frequency* prefix:
+//!
+//! * `40%return` — fire with probability 40%, decided by a **seeded**
+//!   per-site xorshift generator, so a whole chaos run replays exactly
+//!   from one printed seed regardless of thread interleaving;
+//! * `3#panic` — fire on the 3rd evaluation of the site only (hit counts
+//!   are per-site and atomic).
+//!
+//! Without `--features faults` the macro expands to nothing at all — not
+//! an atomic load, nothing — so release builds carry zero overhead. The
+//! public functions remain as inert stubs so test harnesses compile under
+//! either configuration.
+//!
+//! Configuration sources, in precedence order:
+//!
+//! 1. [`install`] with a programmatic [`FaultPlan`] (tests);
+//! 2. the `CR_FAULTS` environment variable, read once on first use:
+//!    `CR_FAULTS="linear.pivot=5%return;server.queue.push=panic"`,
+//!    seeded by `CR_FAULTS_SEED` (decimal, default 0).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Catalog of every failpoint site wired into the workspace. The chaos
+/// suite iterates this list, so adding a `point!` without extending the
+/// catalog leaves the new site untested — keep them in sync.
+pub const SITES: &[&str] = &[
+    // cr-bigint: limb-buffer growth on multiply (infallible code path:
+    // panic/delay actions only).
+    "bigint.alloc",
+    // cr-linear: one simplex pivot; standard-form tableau construction.
+    "linear.pivot",
+    "linear.tableau",
+    // cr-core: expansion enumeration step; fixpoint support iteration;
+    // one zenum subset probe; model construction; canonicalization
+    // (infallible: panic/delay only).
+    "core.expansion.step",
+    "core.fixpoint.step",
+    "core.zenum.subset",
+    "core.model.build",
+    "core.canon",
+    // cr-server: request admission to the bounded queue; worker thread
+    // startup; response serialization to the client; verdict-cache
+    // lookup and insert (the insert site panics *inside* the shard
+    // critical section, poisoning the lock).
+    "server.queue.push",
+    "server.worker.start",
+    "server.response.write",
+    "server.cache.get",
+    "server.cache.insert",
+];
+
+/// Declares a failpoint.
+///
+/// `point!("site")` — the site can panic or delay but cannot make the
+/// enclosing function return early (a `return` action fires the trigger
+/// counter but injects nothing).
+///
+/// `point!("site", |payload| expr)` — when a `return` action fires, the
+/// enclosing function returns `expr`, with `payload: Option<String>`
+/// carrying the action's optional argument. The closure's result type
+/// must match the enclosing function's return type.
+#[cfg(feature = "faults")]
+#[macro_export]
+macro_rules! point {
+    ($name:expr) => {
+        let _ = $crate::eval($name);
+    };
+    ($name:expr, $e:expr) => {
+        if let Some(payload) = $crate::eval($name) {
+            #[allow(clippy::redundant_closure_call)]
+            return ($e)(payload);
+        }
+    };
+}
+
+/// Declares a failpoint (inert: the `faults` feature is off, so this
+/// expands to nothing and costs nothing).
+#[cfg(not(feature = "faults"))]
+#[macro_export]
+macro_rules! point {
+    ($name:expr) => {};
+    ($name:expr, $e:expr) => {};
+}
+
+#[cfg(feature = "faults")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    /// What a site does when its frequency gate opens.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum Action {
+        Off,
+        Return(Option<String>),
+        Panic(Option<String>),
+        Delay(u64),
+    }
+
+    /// When the action fires.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum Frequency {
+        Always,
+        /// Percentage 0..=100, decided by the site's seeded RNG.
+        Percent(u32),
+        /// Fire on exactly the n-th evaluation (1-based).
+        Nth(u64),
+    }
+
+    struct SiteState {
+        action: Action,
+        freq: Frequency,
+        rng: u64,
+        hits: u64,
+        triggers: u64,
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        sites: HashMap<String, SiteState>,
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+    fn registry() -> &'static Mutex<Registry> {
+        REGISTRY.get_or_init(|| {
+            let mut reg = Registry::default();
+            if let Ok(spec) = std::env::var("CR_FAULTS") {
+                let seed = std::env::var("CR_FAULTS_SEED")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                let mut plan = super::FaultPlan::new(seed);
+                for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+                    if let Some((name, action)) = part.split_once('=') {
+                        plan = plan.site(name.trim(), action.trim());
+                    }
+                }
+                install_into(&mut reg, &plan);
+                if !reg.sites.is_empty() {
+                    ENABLED.store(true, Ordering::Release);
+                }
+            }
+            Mutex::new(reg)
+        })
+    }
+
+    /// FNV-1a, so each site's RNG stream depends on the plan seed *and*
+    /// the site name — two sites never share a stream, and a site's
+    /// stream does not depend on how often other sites are hit.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// Parses `spec` (frequency prefix + action). Panics on malformed
+    /// specs: a chaos plan with a typo must fail loudly, not silently
+    /// inject nothing.
+    fn parse_spec(site: &str, spec: &str) -> (Frequency, Action) {
+        let spec = spec.trim();
+        let (freq, rest) = if let Some((pct, rest)) = spec.split_once('%') {
+            let p: u32 = pct
+                .parse()
+                .unwrap_or_else(|_| panic!("fault spec {spec:?} for {site}: bad percentage"));
+            assert!(p <= 100, "fault spec {spec:?} for {site}: percentage > 100");
+            (Frequency::Percent(p), rest)
+        } else if let Some((n, rest)) = spec.split_once('#') {
+            let n: u64 = n
+                .parse()
+                .unwrap_or_else(|_| panic!("fault spec {spec:?} for {site}: bad hit index"));
+            assert!(
+                n >= 1,
+                "fault spec {spec:?} for {site}: hit index is 1-based"
+            );
+            (Frequency::Nth(n), rest)
+        } else {
+            (Frequency::Always, spec)
+        };
+        let (verb, arg) = match rest.split_once('(') {
+            Some((verb, tail)) => {
+                let arg = tail
+                    .strip_suffix(')')
+                    .unwrap_or_else(|| panic!("fault spec {spec:?} for {site}: unclosed paren"));
+                (verb, Some(arg.to_string()))
+            }
+            None => (rest, None),
+        };
+        let action = match verb {
+            "off" => Action::Off,
+            "return" => Action::Return(arg),
+            "panic" => Action::Panic(arg),
+            "delay" => {
+                let ms = arg
+                    .as_deref()
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| panic!("fault spec {spec:?} for {site}: delay needs ms"));
+                Action::Delay(ms)
+            }
+            other => panic!("fault spec {spec:?} for {site}: unknown action {other:?}"),
+        };
+        (freq, action)
+    }
+
+    fn install_into(reg: &mut Registry, plan: &super::FaultPlan) {
+        reg.sites.clear();
+        for (name, spec) in &plan.sites {
+            let (freq, action) = parse_spec(name, spec);
+            // A zero xorshift state is absorbing; nudge it.
+            let rng = (plan.seed ^ fnv1a(name)).max(1);
+            reg.sites.insert(
+                name.clone(),
+                SiteState {
+                    action,
+                    freq,
+                    rng,
+                    hits: 0,
+                    triggers: 0,
+                },
+            );
+        }
+    }
+
+    /// Installs `plan`, replacing any previous configuration (including
+    /// one loaded from the environment) and resetting all counters.
+    pub fn install(plan: &super::FaultPlan) {
+        let mut reg = registry().lock().expect("fault registry poisoned");
+        install_into(&mut reg, plan);
+        ENABLED.store(!reg.sites.is_empty(), Ordering::Release);
+    }
+
+    /// Removes every configured site. Failpoints become single-load
+    /// no-ops again.
+    pub fn clear() {
+        let mut reg = registry().lock().expect("fault registry poisoned");
+        reg.sites.clear();
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    /// How many times `site` has been evaluated since the last install.
+    pub fn hits(site: &str) -> u64 {
+        let reg = registry().lock().expect("fault registry poisoned");
+        reg.sites.get(site).map_or(0, |s| s.hits)
+    }
+
+    /// How many times `site` actually fired its action.
+    pub fn triggers(site: &str) -> u64 {
+        let reg = registry().lock().expect("fault registry poisoned");
+        reg.sites.get(site).map_or(0, |s| s.triggers)
+    }
+
+    /// Evaluates the failpoint `site`. Returns `Some(payload)` when a
+    /// `return` action fires (the [`point!`] macro then early-returns
+    /// through its closure); panics or sleeps in place for `panic` /
+    /// `delay` actions; `None` otherwise.
+    pub fn eval(site: &str) -> Option<Option<String>> {
+        if !ENABLED.load(Ordering::Acquire) {
+            return None;
+        }
+        // Decide under the lock, act after releasing it: a panic action
+        // must not poison the fault registry itself, and a delay must
+        // not serialize every other site behind this one.
+        let fired = {
+            let mut reg = registry().lock().expect("fault registry poisoned");
+            let state = reg.sites.get_mut(site)?;
+            state.hits += 1;
+            let fire = match state.freq {
+                Frequency::Always => true,
+                Frequency::Percent(p) => (xorshift(&mut state.rng) % 100) < u64::from(p),
+                Frequency::Nth(n) => state.hits == n,
+            };
+            if !fire || state.action == Action::Off {
+                return None;
+            }
+            state.triggers += 1;
+            state.action.clone()
+        };
+        match fired {
+            Action::Off => None,
+            Action::Return(payload) => Some(payload),
+            Action::Panic(msg) => {
+                let msg = msg.unwrap_or_else(|| format!("injected panic at {site}"));
+                panic!("{msg}");
+            }
+            Action::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                None
+            }
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+pub use imp::{clear, eval, hits, install, triggers};
+
+/// A programmatic fault configuration: a seed plus `site = spec` pairs.
+///
+/// ```
+/// let plan = cr_faults::FaultPlan::new(42)
+///     .site("linear.pivot", "50%return")
+///     .site("server.queue.push", "2#panic");
+/// cr_faults::install(&plan);
+/// // ... run the workload ...
+/// cr_faults::clear();
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: Vec<(String, String)>,
+}
+
+impl FaultPlan {
+    /// A plan with no sites, seeded for the probabilistic frequencies.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            sites: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a site's action spec.
+    pub fn site(mut self, name: &str, spec: &str) -> FaultPlan {
+        self.sites.retain(|(n, _)| n != name);
+        self.sites.push((name.to_string(), spec.to_string()));
+        self
+    }
+
+    /// The plan's seed (printed by chaos harnesses for replay).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Installs a plan (inert stub: the `faults` feature is off).
+#[cfg(not(feature = "faults"))]
+pub fn install(_plan: &FaultPlan) {}
+
+/// Clears all sites (inert stub: the `faults` feature is off).
+#[cfg(not(feature = "faults"))]
+pub fn clear() {}
+
+/// Evaluation count for a site (always 0: the `faults` feature is off).
+#[cfg(not(feature = "faults"))]
+pub fn hits(_site: &str) -> u64 {
+    0
+}
+
+/// Trigger count for a site (always 0: the `faults` feature is off).
+#[cfg(not(feature = "faults"))]
+pub fn triggers(_site: &str) -> u64 {
+    0
+}
+
+/// Evaluates a failpoint (inert stub: never fires).
+#[cfg(not(feature = "faults"))]
+pub fn eval(_site: &str) -> Option<Option<String>> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so tests that install plans must
+    // not run concurrently; serialize them behind one mutex.
+    #[cfg(feature = "faults")]
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[cfg(feature = "faults")]
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn return_action_fires_with_payload() {
+        let _g = serial();
+        install(&FaultPlan::new(1).site("t.return", "return(boom)"));
+        assert_eq!(eval("t.return"), Some(Some("boom".to_string())));
+        assert_eq!(eval("t.other"), None);
+        assert_eq!(hits("t.return"), 1);
+        assert_eq!(triggers("t.return"), 1);
+        clear();
+        assert_eq!(eval("t.return"), None);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn nth_hit_fires_exactly_once() {
+        let _g = serial();
+        install(&FaultPlan::new(1).site("t.nth", "3#return"));
+        assert_eq!(eval("t.nth"), None);
+        assert_eq!(eval("t.nth"), None);
+        assert_eq!(eval("t.nth"), Some(None));
+        assert_eq!(eval("t.nth"), None);
+        assert_eq!(hits("t.nth"), 4);
+        assert_eq!(triggers("t.nth"), 1);
+        clear();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn percent_is_seed_deterministic() {
+        let _g = serial();
+        let run = |seed: u64| -> Vec<bool> {
+            install(&FaultPlan::new(seed).site("t.pct", "40%return"));
+            let fired = (0..64).map(|_| eval("t.pct").is_some()).collect();
+            clear();
+            fired
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_ne!(a, c, "different seeds should diverge");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn panic_action_panics_without_poisoning_registry() {
+        let _g = serial();
+        install(&FaultPlan::new(1).site("t.panic", "panic(chaos)"));
+        let caught = std::panic::catch_unwind(|| eval("t.panic"));
+        assert!(caught.is_err());
+        // The registry survived the panic and still answers queries.
+        assert_eq!(triggers("t.panic"), 1);
+        clear();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn point_macro_return_form_early_returns() {
+        let _g = serial();
+        fn governed() -> Result<u32, String> {
+            crate::point!("t.macro", |p: Option<String>| Err(p.unwrap_or_default()));
+            Ok(7)
+        }
+        install(&FaultPlan::new(1).site("t.macro", "return(injected)"));
+        assert_eq!(governed(), Err("injected".to_string()));
+        clear();
+        assert_eq!(governed(), Ok(7));
+    }
+
+    /// Zero-overhead contract: without the feature, an installed plan is
+    /// inert and `point!` expands to nothing — a site configured to
+    /// panic must not fire.
+    #[cfg(not(feature = "faults"))]
+    #[test]
+    fn failpoints_compile_out_without_the_feature() {
+        fn guarded() -> u32 {
+            crate::point!("t.noop");
+            crate::point!("t.noop2", |_p: Option<String>| 0);
+            41
+        }
+        install(&FaultPlan::new(1).site("t.noop", "panic"));
+        assert_eq!(guarded(), 41);
+        assert_eq!(hits("t.noop"), 0);
+        assert_eq!(eval("t.noop"), None);
+        clear();
+    }
+}

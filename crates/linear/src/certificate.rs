@@ -1,0 +1,390 @@
+//! Farkas-style infeasibility certificates.
+//!
+//! An infeasible [`LinSystem`] can *prove* its own infeasibility: by the
+//! affine Farkas lemma (Motzkin transposition for the strict case), the
+//! system `{expr_i cmp_i rhs_i, x_j ≥ 0 for Nonneg j}` has no solution iff
+//! there are multipliers λ — one per constraint, nonnegative on inequality
+//! rows, unrestricted on equality rows — whose combination is manifestly
+//! contradictory. Normalize every row to the shape `g_i · x ≥ d_i` (flip
+//! `Le`/`Lt` by negation, keep `Eq` with a free multiplier) and let
+//!
+//! * `combo = Σ λ_i g_i` (a linear form),
+//! * `D = Σ λ_i d_i`,
+//! * `strict = Σ λ_i` over strict rows.
+//!
+//! If `combo` has only nonpositive coefficients on nonnegative variables
+//! and zero coefficients on free variables, then `combo · x ≤ 0` for every
+//! candidate `x` — yet any solution would give `combo · x ≥ D` (strictly,
+//! when `strict > 0`). So `D > 0`, or `D ≥ 0` together with `strict > 0`,
+//! is an outright contradiction, checkable with a few exact-rational dot
+//! products and **no trust in any solver**.
+//!
+//! [`FarkasCertificate::check`] performs exactly that arithmetic.
+//! [`farkas_certificate_governed`] *finds* the multipliers by solving the
+//! dual feasibility problem with the crate's own simplex — the point is
+//! that a consumer only needs to trust `check`, which is independent of
+//! (and vastly simpler than) the search.
+
+use std::fmt;
+
+use cr_rational::Rational;
+
+use crate::budget::{Unlimited, WorkBudget};
+use crate::error::LinearError;
+use crate::expr::{LinExpr, VarId};
+use crate::simplex::solve_governed;
+use crate::solution::Feasibility;
+use crate::system::{Cmp, LinSystem, VarKind};
+
+/// Why a certificate failed [`FarkasCertificate::check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertificateError {
+    /// Multiplier count differs from the system's constraint count.
+    ArityMismatch {
+        /// Constraints in the system.
+        expected: usize,
+        /// Multipliers in the certificate.
+        got: usize,
+    },
+    /// An inequality row carries a negative multiplier.
+    NegativeMultiplier {
+        /// Constraint index.
+        row: usize,
+    },
+    /// The combined form has a coefficient of the wrong sign: positive on a
+    /// nonnegative variable, or nonzero on a free variable.
+    BadCombination {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// The combination is sign-correct but not contradictory (`D < 0`, or
+    /// `D = 0` with no strict mass) — it proves nothing.
+    NotContradictory,
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "certificate has {got} multipliers for {expected} constraints"
+                )
+            }
+            CertificateError::NegativeMultiplier { row } => {
+                write!(f, "negative multiplier on inequality row {row}")
+            }
+            CertificateError::BadCombination { var } => {
+                write!(
+                    f,
+                    "combined form has a wrong-signed coefficient on x{}",
+                    var.0
+                )
+            }
+            CertificateError::NotContradictory => {
+                write!(f, "multiplier combination is not contradictory")
+            }
+        }
+    }
+}
+
+/// The sign-normalized shape of row `i`: `g · x ≥ d`, possibly strict.
+fn normalized(c: &crate::system::Constraint) -> (LinExpr, Rational, bool) {
+    match c.cmp {
+        Cmp::Ge | Cmp::Gt | Cmp::Eq => (c.expr.clone(), c.rhs.clone(), c.cmp == Cmp::Gt),
+        Cmp::Le | Cmp::Lt => (c.expr.negated(), -&c.rhs, c.cmp == Cmp::Lt),
+    }
+}
+
+/// A Farkas/Motzkin infeasibility certificate: one rational multiplier per
+/// constraint of the system it refutes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FarkasCertificate {
+    multipliers: Vec<Rational>,
+}
+
+impl FarkasCertificate {
+    /// Wraps explicit multipliers (one per constraint, in system order).
+    pub fn new(multipliers: Vec<Rational>) -> FarkasCertificate {
+        FarkasCertificate { multipliers }
+    }
+
+    /// The multipliers, in constraint order.
+    pub fn multipliers(&self) -> &[Rational] {
+        &self.multipliers
+    }
+
+    /// Verifies that this certificate proves `sys` infeasible, using only
+    /// exact-rational arithmetic — no simplex, no pivoting, nothing shared
+    /// with the code path that produced the verdict being certified.
+    pub fn check(&self, sys: &LinSystem) -> Result<(), CertificateError> {
+        let constraints = sys.constraints();
+        if self.multipliers.len() != constraints.len() {
+            return Err(CertificateError::ArityMismatch {
+                expected: constraints.len(),
+                got: self.multipliers.len(),
+            });
+        }
+        let mut combo = LinExpr::new();
+        let mut d_total = Rational::zero();
+        let mut strict_mass = Rational::zero();
+        for (i, (c, lambda)) in constraints.iter().zip(&self.multipliers).enumerate() {
+            if c.cmp != Cmp::Eq && lambda.is_negative() {
+                return Err(CertificateError::NegativeMultiplier { row: i });
+            }
+            if lambda.is_zero() {
+                continue;
+            }
+            let (g, d, strict) = normalized(c);
+            combo.add_scaled(&g, lambda);
+            d_total += &d * lambda;
+            if strict {
+                strict_mass += lambda;
+            }
+        }
+        for (v, coeff) in combo.iter() {
+            let ok = match sys.var_kind(v) {
+                VarKind::Nonneg => !coeff.is_positive(),
+                VarKind::Free => coeff.is_zero(),
+            };
+            if !ok {
+                return Err(CertificateError::BadCombination { var: v });
+            }
+        }
+        if d_total.is_positive() || (!d_total.is_negative() && strict_mass.is_positive()) {
+            Ok(())
+        } else {
+            Err(CertificateError::NotContradictory)
+        }
+    }
+}
+
+/// Builds the dual feasibility system over multiplier variables λ.
+///
+/// `want`: the contradiction to aim for — `D ≥ 1` (plain Farkas) or
+/// `D ≥ 0 ∧ strict-mass ≥ 1` (Motzkin, for systems whose only
+/// contradiction runs through a strict row).
+fn dual_system(sys: &LinSystem, strict_goal: bool) -> Option<LinSystem> {
+    let constraints = sys.constraints();
+    let mut dual = LinSystem::new();
+    let lambdas: Vec<VarId> = constraints
+        .iter()
+        .map(|c| {
+            dual.add_var(if c.cmp == Cmp::Eq {
+                VarKind::Free
+            } else {
+                VarKind::Nonneg
+            })
+        })
+        .collect();
+    // Column constraints: Σ_i λ_i g_i[j] ≤ 0 (nonneg x_j) or = 0 (free x_j).
+    let mut columns: Vec<LinExpr> = vec![LinExpr::new(); sys.num_vars()];
+    let mut d_expr = LinExpr::new();
+    let mut strict_expr = LinExpr::new();
+    for (i, c) in constraints.iter().enumerate() {
+        let (g, d, strict) = normalized(c);
+        for (v, coeff) in g.iter() {
+            columns[v.index()].add_term(lambdas[i], coeff.clone());
+        }
+        d_expr.add_term(lambdas[i], d);
+        if strict {
+            strict_expr.add_term(lambdas[i], Rational::one());
+        }
+    }
+    for (j, col) in columns.into_iter().enumerate() {
+        let cmp = match sys.var_kind(VarId(j as u32)) {
+            VarKind::Nonneg => Cmp::Le,
+            VarKind::Free => Cmp::Eq,
+        };
+        dual.push(col, cmp, Rational::zero());
+    }
+    if strict_goal {
+        if strict_expr.is_empty() {
+            return None; // no strict rows: the Motzkin goal is unreachable
+        }
+        dual.push(d_expr, Cmp::Ge, Rational::zero());
+        dual.push(strict_expr, Cmp::Ge, Rational::one());
+    } else {
+        dual.push(d_expr, Cmp::Ge, Rational::one());
+    }
+    Some(dual)
+}
+
+/// Searches for a Farkas/Motzkin certificate of infeasibility for `sys`
+/// under a caller-supplied [`WorkBudget`].
+///
+/// Returns `Ok(Some(cert))` with a certificate that is **guaranteed** to
+/// pass [`FarkasCertificate::check`] (checked before returning), or
+/// `Ok(None)` when no certificate exists — which, by Farkas completeness,
+/// means `sys` is feasible. The search runs the crate's simplex on the
+/// dual system; an exhausted budget surfaces as
+/// [`LinearError::Interrupted`].
+pub fn farkas_certificate_governed(
+    sys: &LinSystem,
+    budget: &dyn WorkBudget,
+) -> Result<Option<FarkasCertificate>, LinearError> {
+    // The multiplier cone is scale-invariant, so "D > 0" is reachable iff
+    // "D ≥ 1" is; try the plain Farkas goal first, then the Motzkin goal
+    // that routes the contradiction through a strict row.
+    for strict_goal in [false, true] {
+        let Some(dual) = dual_system(sys, strict_goal) else {
+            continue;
+        };
+        if let Feasibility::Feasible(sol) = solve_governed(&dual, budget)? {
+            let cert = FarkasCertificate::new(
+                (0..sys.constraints().len())
+                    .map(|i| sol.value(VarId(i as u32)))
+                    .collect(),
+            );
+            // The construction above is exactly the dual reading of
+            // `check`; failing here would be a solver bug, which is the
+            // very thing certificates exist to catch.
+            cert.check(sys)
+                .expect("freshly derived certificate must verify");
+            return Ok(Some(cert));
+        }
+    }
+    Ok(None)
+}
+
+/// [`farkas_certificate_governed`] with an unlimited budget.
+pub fn farkas_certificate(sys: &LinSystem) -> Option<FarkasCertificate> {
+    match farkas_certificate_governed(sys, &Unlimited) {
+        Ok(c) => c,
+        Err(e @ LinearError::FaultInjected { .. }) => panic!("{e} in ungoverned certificate"),
+        Err(_) => unreachable!("the unlimited budget never interrupts"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn certifies_a_plain_contradiction() {
+        // x ≥ 3 and x ≤ 1.
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(3));
+        sys.push(LinExpr::var(x), Cmp::Le, r(1));
+        assert_eq!(solve(&sys), Feasibility::Infeasible);
+        let cert = farkas_certificate(&sys).expect("infeasible system must certify");
+        assert_eq!(cert.check(&sys), Ok(()));
+    }
+
+    #[test]
+    fn certifies_equality_clash_with_free_variable() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::var(x), Cmp::Eq, r(1));
+        sys.push(LinExpr::var(x), Cmp::Eq, r(2));
+        let cert = farkas_certificate(&sys).expect("must certify");
+        assert_eq!(cert.check(&sys), Ok(()));
+    }
+
+    #[test]
+    fn certifies_strict_boundary_infeasibility() {
+        // x ≤ 1 ∧ x > 1: the closure is feasible, so only the Motzkin goal
+        // (strict mass) can certify this.
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Le, r(1));
+        sys.push(LinExpr::var(x), Cmp::Gt, r(1));
+        let cert = farkas_certificate(&sys).expect("must certify");
+        assert_eq!(cert.check(&sys), Ok(()));
+    }
+
+    #[test]
+    fn certifies_homogeneous_strict_cone() {
+        // The CR reduction's shape: y ≥ 2x, y ≤ x, x > 0 — homogeneous, so
+        // every d_i is zero and the strict row carries the contradiction.
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        let y = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::from_terms([(y, 1), (x, -2)]), Cmp::Ge, r(0));
+        sys.push(LinExpr::from_terms([(y, 1), (x, -1)]), Cmp::Le, r(0));
+        sys.push(LinExpr::var(x), Cmp::Gt, r(0));
+        assert_eq!(solve(&sys), Feasibility::Infeasible);
+        let cert = farkas_certificate(&sys).expect("must certify");
+        assert_eq!(cert.check(&sys), Ok(()));
+    }
+
+    #[test]
+    fn feasible_systems_have_no_certificate() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(1));
+        sys.push(LinExpr::var(x), Cmp::Le, r(2));
+        assert!(farkas_certificate(&sys).is_none());
+    }
+
+    #[test]
+    fn check_rejects_forged_certificates() {
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        let free = sys.add_var(VarKind::Free);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(3));
+        sys.push(LinExpr::var(x), Cmp::Le, r(1));
+        sys.push(LinExpr::var(free), Cmp::Ge, r(0));
+
+        let wrong_arity = FarkasCertificate::new(vec![r(1)]);
+        assert!(matches!(
+            wrong_arity.check(&sys),
+            Err(CertificateError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
+        ));
+
+        let negative = FarkasCertificate::new(vec![r(-1), r(1), r(0)]);
+        assert!(matches!(
+            negative.check(&sys),
+            Err(CertificateError::NegativeMultiplier { row: 0 })
+        ));
+
+        // Leaves the free variable's coefficient nonzero in the combo.
+        let leaks_free = FarkasCertificate::new(vec![r(1), r(1), r(1)]);
+        assert!(matches!(
+            leaks_free.check(&sys),
+            Err(CertificateError::BadCombination { .. })
+        ));
+
+        // All-zero multipliers combine to 0 ≥ 0: proves nothing.
+        let vacuous = FarkasCertificate::new(vec![r(0), r(0), r(0)]);
+        assert_eq!(vacuous.check(&sys), Err(CertificateError::NotContradictory));
+
+        // And the genuine article passes: x≥3 plus x≤1 (times 1 each)
+        // gives 0 ≥ 2.
+        let genuine = FarkasCertificate::new(vec![r(1), r(1), r(0)]);
+        assert_eq!(genuine.check(&sys), Ok(()));
+    }
+
+    #[test]
+    fn governed_search_respects_the_budget() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Capped(AtomicU64);
+        impl WorkBudget for Capped {
+            fn consume(&self, units: u64) -> bool {
+                self.0
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
+                        left.checked_sub(units)
+                    })
+                    .is_ok()
+            }
+        }
+        let mut sys = LinSystem::new();
+        let x = sys.add_var(VarKind::Nonneg);
+        sys.push(LinExpr::var(x), Cmp::Ge, r(3));
+        sys.push(LinExpr::var(x), Cmp::Le, r(1));
+        let starved = Capped(AtomicU64::new(0));
+        assert_eq!(
+            farkas_certificate_governed(&sys, &starved),
+            Err(LinearError::Interrupted)
+        );
+    }
+}

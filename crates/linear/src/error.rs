@@ -19,6 +19,14 @@ pub enum LinearError {
     /// caller's deadline, step limit, or cancellation flag tripped. The
     /// partial tableau is discarded; the computation carries no answer.
     Interrupted,
+    /// A `cr-faults` failpoint injected a failure at the named site (only
+    /// reachable in builds with `--features faults`). Like
+    /// [`Interrupted`](LinearError::Interrupted), the computation carries
+    /// no answer — callers must propagate, never treat it as a verdict.
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for LinearError {
@@ -38,6 +46,9 @@ impl fmt::Display for LinearError {
             }
             LinearError::Interrupted => {
                 write!(f, "solve interrupted by the caller's work budget")
+            }
+            LinearError::FaultInjected { site } => {
+                write!(f, "fault injected at {site}")
             }
         }
     }

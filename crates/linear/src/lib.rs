@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod certificate;
 mod error;
 mod expr;
 mod fm;
@@ -51,6 +52,9 @@ mod solution;
 mod system;
 
 pub use budget::{Unlimited, WorkBudget};
+pub use certificate::{
+    farkas_certificate, farkas_certificate_governed, CertificateError, FarkasCertificate,
+};
 pub use error::LinearError;
 pub use expr::{LinExpr, VarId};
 pub use fm::{solve_fm, FmConfig};

@@ -222,6 +222,9 @@ impl StandardForm {
 pub fn solve(sys: &LinSystem) -> Feasibility {
     match solve_governed(sys, &Unlimited) {
         Ok(f) => f,
+        // An injected fault must not masquerade as an answer; the panic is
+        // contained by the chaos harness's catch_unwind.
+        Err(e @ LinearError::FaultInjected { .. }) => panic!("{e} in ungoverned solve"),
         Err(_) => unreachable!("the unlimited budget never interrupts"),
     }
 }
@@ -234,6 +237,9 @@ pub fn solve_governed(
     sys: &LinSystem,
     budget: &dyn WorkBudget,
 ) -> Result<Feasibility, LinearError> {
+    cr_faults::point!("linear.tableau", |_| Err(LinearError::FaultInjected {
+        site: "linear.tableau"
+    }));
     if !sys.has_strict() {
         let mut sf = build_standard_form(sys, false);
         budget.note_tableau(sf.tableau.num_rows(), sf.ncols);
@@ -289,6 +295,9 @@ pub fn optimize_governed(
     if sys.has_strict() {
         return Err(LinearError::StrictInOptimize);
     }
+    cr_faults::point!("linear.tableau", |_| Err(LinearError::FaultInjected {
+        site: "linear.tableau"
+    }));
     let mut sf = build_standard_form(sys, false);
     budget.note_tableau(sf.tableau.num_rows(), sf.ncols);
     if !sf.tableau.phase_one(budget)? {

@@ -159,6 +159,9 @@ impl Tableau {
             if !budget.consume(1) {
                 return Err(LinearError::Interrupted);
             }
+            cr_faults::point!("linear.pivot", |_| Err(LinearError::FaultInjected {
+                site: "linear.pivot"
+            }));
             let Some(enter) = (0..col_limit).find(|&j| self.cost[j].is_negative()) else {
                 return Ok(PivotOutcome::Optimal);
             };

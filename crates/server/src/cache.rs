@@ -17,7 +17,7 @@
 //! `cr-trace` counters).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::protocol::Status;
 
@@ -78,12 +78,23 @@ impl VerdictCache {
         &self.shards[(schema_hash as usize) & (self.shards.len() - 1)]
     }
 
+    /// Locks a shard, recovering from poison. A panic inside the critical
+    /// section (a killed worker mid-insert) leaves at worst a stale or
+    /// missing *entry* — every individual mutation here is a single
+    /// `HashMap` operation, so the map itself stays coherent — and a cache
+    /// that refuses all traffic forever is a far worse failure than one
+    /// possibly-lost verdict.
+    fn lock(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+        shard
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Looks up a verdict, refreshing its recency on hit.
     pub fn get(&self, schema_hash: u128, key: &CacheKey) -> Option<CachedVerdict> {
-        let mut shard = self
-            .shard(schema_hash)
-            .lock()
-            .expect("cache shard poisoned");
+        // Chaos: force a miss — the caller must fall back to recomputing.
+        cr_faults::point!("server.cache.get", |_| None);
+        let mut shard = Self::lock(self.shard(schema_hash));
         shard.tick += 1;
         let tick = shard.tick;
         let (verdict, last_used) = shard.entries.get_mut(key)?;
@@ -94,10 +105,10 @@ impl VerdictCache {
     /// Inserts (or refreshes) a verdict. Returns the number of entries
     /// evicted to make room (0 or 1).
     pub fn insert(&self, schema_hash: u128, key: CacheKey, verdict: CachedVerdict) -> u64 {
-        let mut shard = self
-            .shard(schema_hash)
-            .lock()
-            .expect("cache shard poisoned");
+        let mut shard = Self::lock(self.shard(schema_hash));
+        // Chaos: panic *inside* the critical section, poisoning this shard;
+        // `Self::lock`'s poison recovery keeps it serving afterwards.
+        cr_faults::point!("server.cache.insert");
         shard.tick += 1;
         let tick = shard.tick;
         let mut evicted = 0;
@@ -123,13 +134,26 @@ impl VerdictCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .map(|s| Self::lock(s).entries.len())
             .sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Poisons the shard `schema_hash` maps to by panicking while holding
+    /// its lock (test aid for the poison-recovery path).
+    #[cfg(test)]
+    fn poison_shard(&self, schema_hash: u128) {
+        let shard = self.shard(schema_hash);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            panic!("deliberate shard poison");
+        }));
+        assert!(result.is_err());
+        assert!(shard.lock().is_err(), "shard must actually be poisoned");
     }
 }
 
@@ -185,6 +209,68 @@ mod tests {
         let evicted = cache.insert(0, key("a"), verdict("a2"));
         assert_eq!(evicted, 0);
         assert_eq!(cache.get(0, &key("a")).unwrap().verdict, "a2");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_eviction_storm_terminates_with_consistent_counters() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // One shard of capacity 4 shared by 4 threads: every insert past
+        // the fourth races an eviction against concurrent gets.
+        let cache = Arc::new(VerdictCache::new(4, 1));
+        let hits = Arc::new(AtomicU64::new(0));
+        let misses = Arc::new(AtomicU64::new(0));
+        const OPS_PER_THREAD: u64 = 200;
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let hits = Arc::clone(&hits);
+                let misses = Arc::clone(&misses);
+                std::thread::spawn(move || {
+                    for i in 0..OPS_PER_THREAD {
+                        let k = key(&format!("k{}", (t * 31 + i) % 8));
+                        if cache.get(0, &k).is_some() {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                            cache.insert(0, k, verdict("v"));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap(); // no deadlock, no panic
+        }
+        assert_eq!(
+            hits.load(Ordering::Relaxed) + misses.load(Ordering::Relaxed),
+            4 * OPS_PER_THREAD,
+            "every get resolved to exactly one of hit or miss"
+        );
+        assert!(
+            cache.len() <= 4,
+            "eviction kept the shard at capacity, got {}",
+            cache.len()
+        );
+        // The working set (8 keys) exceeds capacity (4), so both outcomes
+        // must actually have occurred.
+        assert!(hits.load(Ordering::Relaxed) > 0);
+        assert!(misses.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn poisoned_shard_keeps_serving() {
+        let cache = VerdictCache::new(8, 2);
+        cache.insert(0, key("before"), verdict("kept"));
+        cache.poison_shard(0);
+        // Reads and writes through the poisoned shard still work, and the
+        // entry written before the poison survives.
+        assert_eq!(cache.get(0, &key("before")).unwrap().verdict, "kept");
+        cache.insert(0, key("after"), verdict("fresh"));
+        assert_eq!(cache.get(0, &key("after")).unwrap().verdict, "fresh");
+        assert!(cache.get(0, &key("never")).is_none());
         assert_eq!(cache.len(), 2);
     }
 

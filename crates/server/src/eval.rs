@@ -54,7 +54,12 @@ pub fn budget_line(e: &CrError) -> Option<String> {
     }
 }
 
-fn from_cr_error(e: CrError) -> Answer {
+fn from_cr_error(e: CrError, budget: &Budget) -> Answer {
+    if let CrError::FaultInjected { .. } = e {
+        // Surfaced faults are metered so chaos runs can see, per request,
+        // that an injection was contained rather than swallowed.
+        budget.tracer().add(cr_trace::Counter::FaultsInjected, 1);
+    }
     match budget_line(&e) {
         Some(line) => Answer {
             status: Status::BudgetExceeded,
@@ -76,7 +81,7 @@ pub fn check(schema: &Schema, budget: &Budget) -> Answer {
         budget,
     ) {
         Ok(r) => r,
-        Err(e) => return from_cr_error(e),
+        Err(e) => return from_cr_error(e, budget),
     };
     let mut unsat = Vec::new();
     for c in schema.classes() {
@@ -147,7 +152,7 @@ pub fn implies(schema: &Schema, query: &[String], budget: &Budget) -> Answer {
             };
             match Reasoner::with_budget(schema, &config, Strategy::default(), budget) {
                 Ok(r) => Verdict::from(r.implies_isa(a, b)),
-                Err(e) => return from_cr_error(e),
+                Err(e) => return from_cr_error(e, budget),
             }
         }
         [kind, c, role, k] if kind == "min" || kind == "max" => {
@@ -170,7 +175,7 @@ pub fn implies(schema: &Schema, query: &[String], budget: &Budget) -> Answer {
             };
             match result {
                 Ok(v) => v,
-                Err(e) => return from_cr_error(e),
+                Err(e) => return from_cr_error(e, budget),
             }
         }
         _ => return Answer::error(usage.to_string()),
@@ -187,7 +192,7 @@ pub fn implies(schema: &Schema, query: &[String], budget: &Budget) -> Answer {
             detail: Vec::new(),
         },
         Verdict::Unknown { reason } => match budget.check(Stage::Implication) {
-            Err(e) => from_cr_error(e),
+            Err(e) => from_cr_error(e, budget),
             Ok(()) => Answer::error(reason),
         },
     }

@@ -90,6 +90,9 @@ impl WorkerPool {
 
     /// Enqueues `job`, refusing immediately when the queue is full.
     pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        // Chaos: simulate a full queue before touching real state, so the
+        // overload path is exercised without actually saturating workers.
+        cr_faults::point!("server.queue.push", |_| Err(SubmitError::QueueFull));
         let mut state = self.shared.state.lock().expect("pool poisoned");
         if state.shutdown {
             return Err(SubmitError::ShuttingDown);
@@ -157,6 +160,10 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Chaos: kill this worker at startup (use an nth-hit spec such as
+    // `2#panic` so at least one worker survives; the pool keeps serving on
+    // the remaining threads).
+    cr_faults::point!("server.worker.start");
     loop {
         let job = {
             let mut state = shared.state.lock().expect("pool poisoned");

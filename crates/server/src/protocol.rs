@@ -25,6 +25,10 @@
 //!   takes, e.g. `["isa","A","B"]`, `["min","C","R.U","2"]`,
 //!   `["max","C","R.U","3"]`.
 //! * `timeout_ms`, `max_steps` (optional): per-request resource budget.
+//! * `certify` (optional, `check` only): when `true`, the server re-checks
+//!   the verdict through the independent certificate checker; the outcome
+//!   is visible in the report's `certify_checks` / `certify_failures`
+//!   counters and a rejected certificate turns the response into an error.
 //!
 //! # Response (version 1)
 //!
@@ -147,6 +151,11 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Optional total work-unit budget.
     pub max_steps: Option<u64>,
+    /// Re-validate the verdict through the independent certificate checker
+    /// (`check` only); certification outcome lands in the response report's
+    /// `certify_*` counters and a failed certificate downgrades the
+    /// response to an error.
+    pub certify: bool,
 }
 
 impl Request {
@@ -159,6 +168,7 @@ impl Request {
             query: Vec::new(),
             timeout_ms: None,
             max_steps: None,
+            certify: false,
         }
     }
 
@@ -219,6 +229,11 @@ impl Request {
         };
         let timeout_ms = num_field("timeout_ms")?;
         let max_steps = num_field("max_steps")?;
+        let certify = match obj.get("certify") {
+            None => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("request field \"certify\" must be a boolean".to_string()),
+        };
         if matches!(op, Op::Check | Op::Implies) && schema.is_none() {
             return Err(format!("op {op_str:?} requires a \"schema\" field"));
         }
@@ -232,6 +247,7 @@ impl Request {
             query,
             timeout_ms,
             max_steps,
+            certify,
         })
     }
 
@@ -273,6 +289,9 @@ impl Request {
         }
         if let Some(s) = self.max_steps {
             out.push_str(&format!(",\"max_steps\":{s}"));
+        }
+        if self.certify {
+            out.push_str(",\"certify\":true");
         }
         out.push('}');
         out
@@ -365,6 +384,17 @@ mod tests {
         req.max_steps = Some(10_000);
         let parsed = Request::parse(&req.to_json()).unwrap();
         assert_eq!(parsed, req);
+
+        let mut certifying = Request::new("r-43", Op::Check);
+        certifying.schema = Some("class A;".to_string());
+        certifying.certify = true;
+        let parsed = Request::parse(&certifying.to_json()).unwrap();
+        assert_eq!(parsed, certifying);
+        assert!(
+            Request::parse(r#"{"v":1,"id":"x","op":"check","schema":"class A;","certify":3}"#)
+                .unwrap_err()
+                .contains("certify")
+        );
     }
 
     #[test]

@@ -160,6 +160,15 @@ impl Server {
         self.inner.pool.submit_blocking(job)
     }
 
+    /// Submits a job without blocking, refusing with
+    /// [`SubmitError::QueueFull`] under backpressure. Callers that can
+    /// re-create the job (`crsat batch`) retry with backoff instead of
+    /// parking a thread on the queue condvar — which also routes them
+    /// through the overload path the chaos harness exercises.
+    pub fn try_submit(&self, job: crate::pool::Job) -> Result<(), SubmitError> {
+        self.inner.pool.try_submit(job)
+    }
+
     fn process(&self, request: &Request) -> Response {
         match request.op {
             Op::Ping => Response {
@@ -224,45 +233,75 @@ impl Server {
             question,
         };
 
-        let (answer, cached) = match self.inner.cache.get(schema_hash, &key) {
-            Some(hit) => {
-                tracer.add(Counter::CacheHits, 1);
-                self.inner.aggregate.add(Counter::CacheHits, 1);
-                (
-                    eval::Answer {
-                        status: hit.status,
-                        verdict: hit.verdict,
-                        detail: hit.detail,
-                    },
-                    true,
-                )
-            }
-            None => {
-                tracer.add(Counter::CacheMisses, 1);
-                self.inner.aggregate.add(Counter::CacheMisses, 1);
-                let answer = match request.op {
-                    Op::Check => eval::check(&schema, &budget),
-                    Op::Implies => eval::implies(&schema, &request.query, &budget),
-                    _ => unreachable!("reason() only sees check/implies"),
-                };
-                if answer.cacheable() {
-                    let evicted = self.inner.cache.insert(
-                        schema_hash,
-                        key,
-                        CachedVerdict {
-                            status: answer.status,
-                            verdict: answer.verdict.clone(),
-                            detail: answer.detail.clone(),
+        // Everything downstream of the parse — cache traffic, the reasoning
+        // pipeline, certification — runs under catch_unwind: a panic (a
+        // bug, or an injected fault) must cost exactly one response, not a
+        // worker's accumulated trace counters. The tracer and budget stay
+        // outside, so on abort the partial per-request report survives.
+        let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match self.inner.cache.get(schema_hash, &key) {
+                Some(hit) => {
+                    tracer.add(Counter::CacheHits, 1);
+                    self.inner.aggregate.add(Counter::CacheHits, 1);
+                    (
+                        eval::Answer {
+                            status: hit.status,
+                            verdict: hit.verdict,
+                            detail: hit.detail,
                         },
-                    );
-                    if evicted > 0 {
-                        tracer.add(Counter::CacheEvictions, evicted);
-                        self.inner.aggregate.add(Counter::CacheEvictions, evicted);
-                    }
+                        true,
+                    )
                 }
-                (answer, false)
+                None => {
+                    tracer.add(Counter::CacheMisses, 1);
+                    self.inner.aggregate.add(Counter::CacheMisses, 1);
+                    let answer = match request.op {
+                        Op::Check => eval::check(&schema, &budget),
+                        Op::Implies => eval::implies(&schema, &request.query, &budget),
+                        _ => unreachable!("reason() only sees check/implies"),
+                    };
+                    if answer.cacheable() {
+                        let evicted = self.inner.cache.insert(
+                            schema_hash,
+                            key,
+                            CachedVerdict {
+                                status: answer.status,
+                                verdict: answer.verdict.clone(),
+                                detail: answer.detail.clone(),
+                            },
+                        );
+                        if evicted > 0 {
+                            tracer.add(Counter::CacheEvictions, evicted);
+                            self.inner.aggregate.add(Counter::CacheEvictions, evicted);
+                        }
+                    }
+                    (answer, false)
+                }
+            }
+        }));
+
+        let (mut answer, cached) = match work {
+            Ok(result) => result,
+            Err(panic) => {
+                let msg = panic_text(&panic);
+                let mut report = cr_core::run_report(&budget, request.op.as_str(), "aborted");
+                report.aborted = true;
+                report.target = format!("{schema_hash:032x}");
+                return Response {
+                    id: request.id.clone(),
+                    status: Status::Error,
+                    verdict: None,
+                    detail: vec![format!("panic: {msg}")],
+                    cached: false,
+                    schema_hash: Some(format!("{schema_hash:032x}")),
+                    report: Some(report),
+                };
             }
         };
+
+        if request.certify && request.op == Op::Check {
+            answer = self.certify_answer(&schema, &budget, answer);
+        }
 
         let mut report = cr_core::run_report(&budget, request.op.as_str(), answer.status.as_str());
         report.target = format!("{schema_hash:032x}");
@@ -275,6 +314,68 @@ impl Server {
             schema_hash: Some(format!("{schema_hash:032x}")),
             report: Some(report),
         }
+    }
+
+    /// Re-validates a `check` answer through `cr_core::certify_check`: the
+    /// schema is re-reasoned from its source text (so a corrupted cache
+    /// entry is caught too) and the independent certificate chain must both
+    /// pass and agree with the answer being returned. Errors and budget
+    /// trips are passed through unchanged — there is nothing to certify.
+    fn certify_answer(
+        &self,
+        schema: &cr_core::Schema,
+        budget: &Budget,
+        answer: eval::Answer,
+    ) -> eval::Answer {
+        if !matches!(answer.status, Status::Ok | Status::Negative) {
+            return answer;
+        }
+        let certified = match cr_core::certify_check(schema, budget) {
+            Ok(report) => report,
+            Err(e) => {
+                return match eval::budget_line(&e) {
+                    Some(line) => eval::Answer {
+                        status: Status::BudgetExceeded,
+                        verdict: String::new(),
+                        detail: vec![line],
+                    },
+                    None => eval::Answer {
+                        status: Status::Error,
+                        verdict: String::new(),
+                        detail: vec![format!("certify: {e}")],
+                    },
+                };
+            }
+        };
+        let claimed_unsat: Vec<String> = answer
+            .detail
+            .iter()
+            .filter(|d| !d.starts_with("rel "))
+            .cloned()
+            .collect();
+        if !certified.ok() {
+            return eval::Answer {
+                status: Status::Error,
+                verdict: String::new(),
+                detail: certified
+                    .failures
+                    .iter()
+                    .map(|f| format!("certify: {f}"))
+                    .collect(),
+            };
+        }
+        if certified.unsat_classes != claimed_unsat {
+            return eval::Answer {
+                status: Status::Error,
+                verdict: String::new(),
+                detail: vec![format!(
+                    "certify: verdict mismatch (answer claims unsat [{}], certificates say [{}])",
+                    claimed_unsat.join(", "),
+                    certified.unsat_classes.join(", ")
+                )],
+            };
+        }
+        answer
     }
 
     fn stats_response(&self, id: &str) -> Response {
@@ -308,7 +409,19 @@ impl Server {
         let writer = Arc::clone(out);
         let job_line = line.clone();
         let submitted = self.inner.pool.try_submit(Box::new(move || {
-            let response = server.process_line(&job_line);
+            // Last line of defense: even a panic that escapes the reasoning
+            // path's own containment (e.g. in canonicalization, which runs
+            // before it) must still cost the client exactly one error
+            // response, never a missing reply.
+            let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                server.process_line(&job_line)
+            }));
+            let response = work.unwrap_or_else(|panic| {
+                Response::error(
+                    Request::salvage_id(&job_line),
+                    format!("panic: {}", panic_text(&panic)),
+                )
+            });
             write_response(&writer, &response);
         }));
         match submitted {
@@ -438,7 +551,22 @@ impl Server {
     }
 }
 
+/// Best-effort text of a caught panic payload.
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn write_response(out: &Arc<Mutex<dyn Write + Send>>, response: &Response) {
+    // Chaos: drop the response on the floor *before* taking the writer
+    // lock — the client sees a missing reply (and must time out or retry),
+    // but the connection's writer is never poisoned.
+    cr_faults::point!("server.response.write", |_| ());
     let mut line = response.to_json();
     line.push('\n');
     let mut w = out.lock().expect("response writer poisoned");
@@ -518,6 +646,57 @@ mod tests {
         let ok = server.process_line(&check_request("y", MEETING));
         assert!(!ok.cached);
         assert_eq!(ok.status, Status::Ok);
+        server.finish();
+    }
+
+    #[test]
+    fn certify_flag_re_validates_the_verdict() {
+        let server = Server::new(ServerConfig::default());
+        let mut sat = Request::new("c", Op::Check);
+        sat.schema = Some(MEETING.to_string());
+        sat.certify = true;
+        let resp = server.process_line(&sat.to_json());
+        assert_eq!(resp.status, Status::Ok);
+        let report = resp.report.as_ref().unwrap();
+        assert!(report.counter("certify_checks").unwrap() > 0);
+        assert_eq!(report.counter("certify_failures"), Some(0));
+
+        // A negative verdict certifies through the Farkas chain.
+        let mut unsat = Request::new("u", Op::Check);
+        unsat.schema = Some(
+            "class C; class D isa C; relationship R (U1: C, U2: D); \
+             card C in R.U1: 2..*; card D in R.U2: 0..1;"
+                .to_string(),
+        );
+        unsat.certify = true;
+        let resp = server.process_line(&unsat.to_json());
+        assert_eq!(resp.status, Status::Negative);
+        let report = resp.report.as_ref().unwrap();
+        assert_eq!(report.counter("certify_failures"), Some(0));
+        assert!(report.counter("certify_farkas_steps").unwrap() > 0);
+        server.finish();
+    }
+
+    #[test]
+    fn certified_cache_hit_agrees_with_fresh_run() {
+        let server = Server::new(ServerConfig::default());
+        let plain = server.process_line(&check_request("a", MEETING));
+        assert_eq!(plain.status, Status::Ok);
+        // The repeat is served from cache *and* re-certified from source.
+        let mut again = Request::new("b", Op::Check);
+        again.schema = Some(MEETING.to_string());
+        again.certify = true;
+        let resp = server.process_line(&again.to_json());
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.cached);
+        assert!(
+            resp.report
+                .as_ref()
+                .unwrap()
+                .counter("certify_checks")
+                .unwrap()
+                > 0
+        );
         server.finish();
     }
 

@@ -109,11 +109,23 @@ pub enum Counter {
     CacheEvictions = 18,
     /// Service-layer: requests fully served (any status).
     RequestsServed = 19,
+    /// Verdict certifications attempted (SAT re-validation, UNSAT
+    /// certificate checks, differential-oracle comparisons).
+    CertifyChecks = 20,
+    /// Certifications that *rejected* the production verdict. Nonzero means
+    /// a soundness bug or an injected fault corrupted a result.
+    CertifyFailures = 21,
+    /// Farkas infeasibility certificates generated and checked while
+    /// certifying UNSAT verdicts.
+    CertifyFarkasSteps = 22,
+    /// Failpoint activations observed by the service layer (builds with
+    /// `--features faults` only; always 0 otherwise).
+    FaultsInjected = 23,
 }
 
 impl Counter {
     /// Number of counters (size of the accounting array).
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 24;
 
     /// All counters, in accounting-array (and JSON) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -137,6 +149,10 @@ impl Counter {
         Counter::CacheMisses,
         Counter::CacheEvictions,
         Counter::RequestsServed,
+        Counter::CertifyChecks,
+        Counter::CertifyFailures,
+        Counter::CertifyFarkasSteps,
+        Counter::FaultsInjected,
     ];
 
     /// Stable lowercase snake_case name — the JSON schema key.
@@ -162,6 +178,10 @@ impl Counter {
             Counter::CacheMisses => "cache_misses",
             Counter::CacheEvictions => "cache_evictions",
             Counter::RequestsServed => "requests_served",
+            Counter::CertifyChecks => "certify_checks",
+            Counter::CertifyFailures => "certify_failures",
+            Counter::CertifyFarkasSteps => "certify_farkas_steps",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 
@@ -400,6 +420,7 @@ impl Tracer {
             command: command.to_string(),
             target: String::new(),
             outcome: outcome.to_string(),
+            aborted: false,
             wall_ms: u64::try_from(self.elapsed().as_millis()).unwrap_or(u64::MAX),
             stages: Vec::new(),
             counters: Counter::ALL
@@ -588,6 +609,10 @@ mod tests {
                 "cache_misses",
                 "cache_evictions",
                 "requests_served",
+                "certify_checks",
+                "certify_failures",
+                "certify_farkas_steps",
+                "faults_injected",
             ]
         );
     }

@@ -81,6 +81,11 @@ pub struct RunReport {
     pub target: String,
     /// How it ended (`"ok"`, `"negative"`, `"error"`, `"budget-exceeded"`).
     pub outcome: String,
+    /// Whether the run was cut short by a panic: the report carries the
+    /// counters accumulated *up to* the abort, not a complete account.
+    /// Serialized only when `true` (a compatible addition — absent means
+    /// the run completed).
+    pub aborted: bool,
     /// Wall-clock from tracer construction to report, milliseconds.
     pub wall_ms: u64,
     /// Per-stage aggregates, sorted by name.
@@ -147,6 +152,9 @@ impl RunReport {
         write_escaped(&mut out, &self.target);
         out.push_str(",\"outcome\":");
         write_escaped(&mut out, &self.outcome);
+        if self.aborted {
+            out.push_str(",\"aborted\":true");
+        }
         let _ = write!(out, ",\"wall_ms\":{}", self.wall_ms);
         out.push_str(",\"stages\":[");
         for (i, s) in self.stages.iter().enumerate() {
@@ -193,6 +201,7 @@ mod tests {
             command: "check".to_string(),
             target: "schemas/figure1.cr".to_string(),
             outcome: "negative".to_string(),
+            aborted: false,
             wall_ms: 7,
             stages: vec![StageReport {
                 name: "expansion".to_string(),
@@ -241,6 +250,15 @@ mod tests {
         assert_eq!(fixpoint.calls, 0);
         let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["expansion", "fixpoint"]);
+    }
+
+    #[test]
+    fn aborted_flag_is_serialized_only_when_set() {
+        let mut report = sample();
+        assert!(!report.to_json().contains("\"aborted\""));
+        report.aborted = true;
+        let v = parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("aborted"), Some(&crate::json::Value::Bool(true)));
     }
 
     #[test]

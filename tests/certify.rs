@@ -1,0 +1,89 @@
+//! Certificate checker over every schema fixture: `crsat check --certify`
+//! (and the server's `"certify": true` flag) must validate each file under
+//! `schemas/` — witness plug-back on the SAT side, a Farkas certificate
+//! per excluded compound class on the UNSAT side, and (on expansions small
+//! enough) agreement with the paper's literal Theorem 3.4 enumeration.
+//!
+//! One pass certifies each fixture exactly once (certification of the
+//! larger fixtures is the expensive part) and applies every assertion to
+//! that single report.
+
+use cr_core::{certify_check, Budget, CertifyReport, Schema};
+
+fn fixtures() -> Vec<(String, Schema)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("schemas/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|ext| ext != "cr") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).expect("readable fixture");
+        let schema =
+            cr_lang::parse_schema(&source).unwrap_or_else(|e| panic!("{name} parses: {e}"));
+        out.push((name, schema));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(
+        out.len() >= 4,
+        "expected the full fixture set, got {}",
+        out.len()
+    );
+    out
+}
+
+fn certified(name: &str, schema: &Schema) -> CertifyReport {
+    let report = certify_check(schema, &Budget::unlimited())
+        .unwrap_or_else(|e| panic!("{name}: certification errored: {e}"));
+    assert!(
+        report.ok(),
+        "{name}: certification refuted the verdict: {:?}",
+        report.failures
+    );
+    assert!(report.checks > 0, "{name}: no checks ran");
+    report
+}
+
+/// Every fixture certifies cleanly, the certified unsat set agrees with
+/// the production reasoner, and the differential oracle engages on the
+/// small fixtures (a pass that silently skipped the cross-check
+/// everywhere would be vacuous). This is the acceptance gate behind
+/// `crsat check --certify schemas/*.cr`.
+#[test]
+fn every_schema_fixture_certifies() {
+    let mut cross_checked = 0u64;
+    for (name, schema) in fixtures() {
+        let report = certified(&name, &schema);
+
+        let reasoner = cr_core::sat::Reasoner::new(&schema).expect("reasoner builds");
+        let unsat: Vec<String> = schema
+            .classes()
+            .filter(|&c| !reasoner.is_class_satisfiable(c))
+            .map(|c| schema.class_name(c).to_string())
+            .collect();
+        assert_eq!(report.unsat_classes, unsat, "{name}: verdict mismatch");
+
+        if name == "figure1.cr" {
+            assert_eq!(report.unsat_classes, vec!["C", "D"]);
+            assert!(
+                report.farkas_certificates > 0,
+                "figure1 exclusions need Farkas certificates"
+            );
+        } else {
+            assert!(
+                report.unsat_classes.is_empty(),
+                "{name}: unexpectedly unsat"
+            );
+        }
+
+        cross_checked += report.differential_classes;
+        if name == "figure1.cr" || name == "meeting.cr" {
+            assert!(
+                report.differential_classes > 0,
+                "{name}: small fixture must be cross-checked by the enumeration oracle"
+            );
+        }
+    }
+    assert!(cross_checked > 0);
+}

@@ -1,0 +1,321 @@
+//! Chaos suite: seeded fault injection across every catalogued failpoint.
+//!
+//! Run with `cargo test -p cr-bench --test chaos --features faults`. For
+//! each site in `cr_faults::SITES` the harness installs a fault plan,
+//! boots a fresh TCP daemon, pushes reasoning requests through it, and
+//! asserts the containment contract:
+//!
+//! * (a) every request is answered with a *clean* protocol response —
+//!   success, a structured error/overload/budget line, or (for the
+//!   response-write site only) a dropped reply the client times out on;
+//!   never a hung connection or a garbled line;
+//! * (b) any *verdict* that is returned matches the fault-free ground
+//!   truth established by the certificate checker up front — a fault may
+//!   abort a request but may never flip its answer;
+//! * (c) after clearing the plan the daemon still answers a ping — no
+//!   fault takes the service down.
+//!
+//! The whole run is deterministic and replayable: one seed (printed, and
+//! overridable via `CR_CHAOS_SEED`) drives every probabilistic site
+//! through per-site seeded generators, independent of thread timing.
+//!
+//! Without `--features faults` the same file asserts the zero-overhead
+//! contract instead: an installed plan is inert and verdicts are normal.
+
+use cr_server::{Op, Request, Server, ServerConfig};
+
+const FIGURE1: &str = include_str!("../schemas/figure1.cr");
+const MEETING: &str = include_str!("../schemas/meeting.cr");
+
+fn check_request(id: &str, schema: &str) -> String {
+    let mut request = Request::new(id.to_string(), Op::Check);
+    request.schema = Some(schema.to_string());
+    request.to_json()
+}
+
+/// Fault-free expected verdict for a schema, established by the
+/// *certificate checker* (not the production pipeline), so the chaos
+/// assertions compare against independently certified ground truth.
+fn certified_verdict(source: &str) -> &'static str {
+    cr_faults::clear();
+    let schema = cr_lang::parse_schema(source).expect("fixture parses");
+    let report = cr_core::certify_check(&schema, &cr_core::Budget::unlimited())
+        .expect("fault-free certification cannot error");
+    assert!(
+        report.ok(),
+        "ground truth refused to certify: {:?}",
+        report.failures
+    );
+    if report.unsat_classes.is_empty() {
+        "satisfiable"
+    } else {
+        "unsatisfiable"
+    }
+}
+
+#[cfg(feature = "faults")]
+mod armed {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    use cr_faults::FaultPlan;
+    use cr_trace::json::{self, Value};
+
+    // The fault registry is process-global: tests that install plans must
+    // not interleave. (A poisoned guard is fine — the registry itself is
+    // panic-safe — so recover instead of propagating.)
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// One action spec per catalogued site. Infallible sites (no governed
+    /// `Result` to return through) get `panic`; the server sites use
+    /// nth-hit specs so the daemon provably *recovers* after the hit.
+    const PLAN: &[(&str, &str)] = &[
+        ("bigint.alloc", "panic(chaos: bigint.alloc)"),
+        ("linear.pivot", "50%return"),
+        ("linear.tableau", "return"),
+        ("core.expansion.step", "return"),
+        ("core.fixpoint.step", "return"),
+        ("core.zenum.subset", "return"),
+        ("core.model.build", "return"),
+        ("core.canon", "panic(chaos: core.canon)"),
+        ("server.queue.push", "1#return"),
+        ("server.worker.start", "2#panic(chaos: worker down)"),
+        ("server.response.write", "1#return"),
+        ("server.cache.get", "return"),
+        ("server.cache.insert", "panic(chaos: cache.insert)"),
+    ];
+
+    struct Daemon {
+        server: Server,
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+        stop: Arc<AtomicBool>,
+        thread: std::thread::JoinHandle<()>,
+    }
+
+    /// Boots a fresh daemon *after* the fault plan is installed (so even
+    /// worker-startup faults are exercised) and connects one client.
+    fn boot() -> Daemon {
+        let server = Server::new(ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            cache_shards: 2,
+            default_timeout_ms: Some(30_000),
+            ..ServerConfig::default()
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr_tx, addr_rx) = mpsc::channel();
+        let thread = {
+            let server = server.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                server
+                    .serve_tcp("127.0.0.1:0", stop, move |bound| {
+                        addr_tx.send(bound).expect("report bound address");
+                    })
+                    .expect("serve_tcp");
+            })
+        };
+        let addr = addr_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("daemon binds within 10s");
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Daemon {
+            server,
+            stream,
+            reader,
+            stop,
+            thread,
+        }
+    }
+
+    impl Daemon {
+        fn send(&mut self, line: &str) {
+            self.stream
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("send request");
+        }
+
+        /// Reads one response line; `None` on read timeout (the only
+        /// site allowed to cause that is `server.response.write`).
+        fn read(&mut self) -> Option<Value> {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => panic!("daemon closed the connection mid-session"),
+                Ok(_) => Some(json::parse(&line).expect("response must be valid JSON")),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    None
+                }
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+
+        fn shutdown(self) {
+            self.stop.store(true, Ordering::SeqCst);
+            self.thread.join().expect("serve thread exits cleanly");
+            self.server.finish();
+        }
+    }
+
+    /// The containment contract for one received response.
+    fn assert_contained(site: &str, id: &str, expected_verdict: &str, resp: &Value) {
+        let status = resp
+            .get("status")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("[{site}] response for {id} has no status: {resp:?}"));
+        assert_eq!(
+            resp.get("id").and_then(Value::as_str),
+            Some(id),
+            "[{site}] response correlates to the wrong request"
+        );
+        match status {
+            // A real verdict got through the fault: it must agree with
+            // the certified fault-free ground truth.
+            "ok" | "negative" => {
+                assert_eq!(
+                    resp.get("verdict").and_then(Value::as_str),
+                    Some(expected_verdict),
+                    "[{site}] fault flipped the verdict for {id}"
+                );
+            }
+            // Clean containment: a structured error (injected fault,
+            // contained panic, overload) or budget line, with detail.
+            "error" | "budget-exceeded" => {
+                let detail = resp.get("detail").and_then(Value::as_arr).unwrap_or(&[]);
+                assert!(
+                    !detail.is_empty(),
+                    "[{site}] error response for {id} carries no detail"
+                );
+            }
+            other => panic!("[{site}] response for {id} has unknown status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_failpoint_site_is_contained() {
+        let _guard = serial();
+        let seed: u64 = std::env::var("CR_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC1A05);
+        eprintln!("chaos seed: {seed} (replay with CR_CHAOS_SEED={seed})");
+
+        // The catalog and the plan must stay in sync: a failpoint wired
+        // into the code but missing here would silently go untested.
+        let planned: Vec<&str> = PLAN.iter().map(|(s, _)| *s).collect();
+        assert_eq!(
+            planned,
+            cr_faults::SITES,
+            "chaos plan out of sync with catalog"
+        );
+
+        let unsat_verdict = certified_verdict(FIGURE1);
+        let sat_verdict = certified_verdict(MEETING);
+        assert_eq!(
+            (unsat_verdict, sat_verdict),
+            ("unsatisfiable", "satisfiable")
+        );
+
+        for (site, spec) in PLAN {
+            eprintln!("chaos: {site} = {spec}");
+            cr_faults::install(&FaultPlan::new(seed).site(site, spec));
+            let mut daemon = boot();
+            // The dropped-response site is the only one where a read is
+            // *expected* to time out; keep that wait short.
+            if *site == "server.response.write" {
+                daemon
+                    .reader
+                    .get_ref()
+                    .set_read_timeout(Some(Duration::from_secs(2)))
+                    .expect("tighten read timeout");
+            }
+
+            let cases = [("q0", FIGURE1, unsat_verdict), ("q1", MEETING, sat_verdict)];
+            for (id, schema, expected) in cases {
+                daemon.send(&check_request(id, schema));
+                match daemon.read() {
+                    Some(resp) => assert_contained(site, id, expected, &resp),
+                    // (a) the only fault allowed to cost the client a
+                    // reply (rather than a clean error) is dropping the
+                    // response write itself.
+                    None => assert_eq!(
+                        *site, "server.response.write",
+                        "[{site}] request {id} got no response"
+                    ),
+                }
+            }
+
+            // (c) the daemon survived: with the plan cleared it must
+            // answer a follow-up ping normally.
+            cr_faults::clear();
+            daemon.send(&Request::new("ping".to_string(), Op::Ping).to_json());
+            let pong = daemon
+                .read()
+                .unwrap_or_else(|| panic!("[{site}] daemon did not answer the follow-up ping"));
+            assert_eq!(pong.get("verdict").and_then(Value::as_str), Some("pong"));
+            daemon.shutdown();
+        }
+    }
+
+    /// The same seed must replay the exact same injection pattern — the
+    /// printed seed is enough to reproduce a chaos failure.
+    #[test]
+    fn injection_pattern_replays_from_the_seed() {
+        let _guard = serial();
+        let pattern = |seed: u64| -> Vec<bool> {
+            cr_faults::install(&FaultPlan::new(seed).site("linear.pivot", "50%return"));
+            let fired = (0..64)
+                .map(|_| cr_faults::eval("linear.pivot").is_some())
+                .collect();
+            cr_faults::clear();
+            fired
+        };
+        assert_eq!(pattern(7), pattern(7), "same seed must replay identically");
+        assert_ne!(pattern(7), pattern(8), "seeds must matter");
+    }
+}
+
+/// Zero-overhead contract: without `--features faults` an installed plan
+/// is inert — a site configured to panic in the middle of the reasoning
+/// pipeline never fires and verdicts are normal.
+#[cfg(not(feature = "faults"))]
+#[test]
+fn failpoints_are_inert_without_the_feature() {
+    cr_faults::install(
+        &cr_faults::FaultPlan::new(1)
+            .site("core.fixpoint.step", "panic(must never fire)")
+            .site("server.cache.get", "return"),
+    );
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut request = Request::new("inert".to_string(), Op::Check);
+    request.schema = Some(FIGURE1.to_string());
+    let response = server.process_request(&request);
+    assert_eq!(response.status.as_str(), "negative");
+    assert_eq!(response.verdict.as_deref(), Some("unsatisfiable"));
+    assert_eq!(cr_faults::hits("core.fixpoint.step"), 0);
+    assert_eq!(certified_verdict(FIGURE1), "unsatisfiable");
+    server.finish();
+    cr_faults::clear();
+    let _ = check_request("unused", MEETING);
+}

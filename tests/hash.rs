@@ -67,8 +67,63 @@ fn shuffle_declarations(canonical_text: &str, seed: u64) -> String {
     out
 }
 
+/// Replaces every whitespace run with a random blank run and sprinkles
+/// `//` / `#` line comments between tokens — the layout noise a formatter
+/// or human editor could introduce, none of which is schema content.
+fn mutate_layout(source: &str, mut state: u64) -> String {
+    state |= 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out = String::new();
+    for token in source.split_whitespace() {
+        match next() % 8 {
+            0 => out.push_str("  "),
+            1 => out.push('\t'),
+            2 => out.push('\n'),
+            3 => out.push_str(" \n\t "),
+            4 => out.push_str(" // layout chaos\n"),
+            5 => out.push_str("\n# layout chaos\n\t"),
+            _ => out.push(' '),
+        }
+        out.push_str(token);
+    }
+    if next() % 2 == 0 {
+        out.push_str("\n// trailing comment");
+    }
+    out.push('\n');
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Parser → printer → parser round-trips under random whitespace and
+    /// comment mutation keep the hash (and canonical form) stable.
+    #[test]
+    fn hash_survives_whitespace_and_comment_mutation(
+        shape_ix in 0usize..3,
+        classes in 2usize..8,
+        rels in 0usize..4,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let schema = generated(shape_ix, classes, rels, seed);
+        let hash = canonical_hash(&schema);
+        let mutated = mutate_layout(&print_schema(&schema), seed ^ 0xc0ffee);
+        let reparsed = parse_schema(&mutated)
+            .unwrap_or_else(|e| panic!("mutated source failed to parse: {e}\n{mutated}"));
+        prop_assert_eq!(canonical_hash(&reparsed), hash, "layout mutation changed the hash");
+        prop_assert_eq!(canonical_form(&reparsed), canonical_form(&schema));
+        // A second print → parse round-trip of the mutated text must
+        // still land on the same hash (printer output is comment-free).
+        let reprinted = print_schema(&reparsed);
+        let again = parse_schema(&reprinted)
+            .unwrap_or_else(|e| panic!("reprinted source failed to parse: {e}\n{reprinted}"));
+        prop_assert_eq!(canonical_hash(&again), hash, "second roundtrip changed the hash");
+    }
 
     /// The hash survives pretty-printing, canonical printing, reparsing,
     /// and arbitrary declaration reordering of the source text.
