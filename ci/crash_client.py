@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scripted client for the crash-recovery CI job.
+
+Two phases against a `crsat serve --cache-dir` daemon (protocol v1, JSON
+lines over TCP):
+
+* `populate` — checks every example schema in sorted order and records
+  each acknowledged verdict in a state file. The workflow then SIGKILLs
+  the daemon and tears the last bytes off the verdict log.
+* `verify` — against the rebooted daemon, replays the same checks and
+  asserts the crash-consistency contract: no verdict flips, and every
+  acknowledged verdict except at most the torn last record is served
+  from memory (`cached: true`).
+
+Usage: crash_client.py <port-file> <schemas-dir> populate|verify
+"""
+
+import json
+import pathlib
+import socket
+import sys
+import time
+
+STATE = pathlib.Path("/tmp/crash-client-state.json")
+
+
+def connect(port_file):
+    host, port = open(port_file).read().strip().rsplit(":", 1)
+    deadline = time.monotonic() + 60
+    while True:
+        try:
+            return socket.create_connection((host, int(port)), timeout=60)
+        except (ConnectionRefusedError, OSError):
+            assert time.monotonic() < deadline, "daemon never accepted"
+            time.sleep(0.1)
+
+
+def main():
+    port_file, schemas_dir, phase = sys.argv[1], pathlib.Path(sys.argv[2]), sys.argv[3]
+    schemas = sorted(schemas_dir.glob("*.cr"))
+    assert schemas, f"no schemas in {schemas_dir}"
+
+    sock = connect(port_file)
+    rfile = sock.makefile("r", encoding="utf-8")
+
+    def rpc(req):
+        sock.sendall((json.dumps(req) + "\n").encode())
+        line = rfile.readline()
+        assert line, f"connection closed before reply to {req['id']}"
+        resp = json.loads(line)
+        assert resp["id"] == req["id"], resp
+        return resp
+
+    responses = []
+    for path in schemas:
+        resp = rpc({"v": 1, "id": path.name, "op": "check", "schema": path.read_text()})
+        assert resp["status"] in ("ok", "negative"), (path.name, resp)
+        responses.append(
+            {"name": path.name, "verdict": resp["verdict"], "cached": resp["cached"]}
+        )
+
+    if phase == "populate":
+        STATE.write_text(json.dumps(responses))
+        print(f"populate: {len(responses)} verdicts acknowledged")
+        return
+
+    assert phase == "verify", phase
+    acknowledged = json.loads(STATE.read_text())
+    assert [r["name"] for r in responses] == [a["name"] for a in acknowledged]
+    cold = []
+    for got, before in zip(responses, acknowledged):
+        # The contract that matters: a crash may cost warmth, never truth.
+        assert got["verdict"] == before["verdict"], (got, before)
+        if not got["cached"]:
+            cold.append(got["name"])
+    # The tear removed at most the final record; appends happen in request
+    # order on this single sequential connection, so only the last schema
+    # may need recomputing.
+    assert cold in ([], [acknowledged[-1]["name"]]), f"lost more than the torn tail: {cold}"
+    print(f"verify: {len(responses) - len(cold)} warm, recomputed {cold or 'nothing'}, zero flips")
+
+
+if __name__ == "__main__":
+    main()

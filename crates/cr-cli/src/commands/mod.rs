@@ -20,6 +20,9 @@ use cr_core::{Budget, CrError, Schema, Stage};
 mod service;
 pub use service::{batch, serve};
 
+mod resume;
+pub use resume::resume;
+
 /// The single source of truth for the CLI's outcome protocol: maps a
 /// command result to the `(outcome, exit_code)` pair — `("ok", 0)`,
 /// `("negative", 1)`, `("error", 2)`, `("budget-exceeded", 3)`. The
@@ -96,8 +99,69 @@ fn find_role(schema: &Schema, spec: &str) -> Result<RoleId, String> {
 /// (and per relationship); exit 1 if any class is finitely unsatisfiable.
 /// With `certify`, the verdict is re-validated through the independent
 /// certificate checker and a refutation turns the run into an error.
-pub fn check(schema: &Schema, certify: bool, budget: &Budget) -> Result<u8, String> {
-    let r = reasoner(schema, budget)?;
+/// With `checkpoint`, a budget trip additionally serializes the
+/// interrupted fixpoint state to the given path for `crsat resume`.
+pub fn check(
+    schema: &Schema,
+    certify: bool,
+    checkpoint: Option<&str>,
+    budget: &Budget,
+) -> Result<u8, String> {
+    let r = Reasoner::with_budget(
+        schema,
+        &ExpansionConfig::default(),
+        Strategy::default(),
+        budget,
+    )
+    .map_err(|e| checkpoint_on_trip(e, schema, checkpoint, budget))?;
+    check_with_reasoner(schema, &r, certify, budget)
+}
+
+/// The budget-exceeded exit path of `check`: when a checkpoint file was
+/// requested, harvest the frontier the fixpoint deposited on the budget
+/// and write it out atomically before surfacing the structured
+/// budget-exceeded line (exit code 3 either way — the checkpoint is a
+/// side artifact, not a success).
+fn checkpoint_on_trip(
+    e: CrError,
+    schema: &Schema,
+    checkpoint: Option<&str>,
+    budget: &Budget,
+) -> String {
+    if let (CrError::BudgetExceeded { stage, .. }, Some(path)) = (&e, checkpoint) {
+        let cp = cr_core::checkpoint::Checkpoint::from_interrupted(
+            "check",
+            cr_lang::print_schema(schema),
+            cr_core::canonical_hash(schema),
+            strategy_name(Strategy::default()),
+            *stage,
+            budget,
+        );
+        match cr_store::write_atomic(std::path::Path::new(path), cp.to_json().as_bytes()) {
+            Ok(()) => println!("checkpoint written to {path}"),
+            Err(werr) => return format!("cannot write checkpoint {path}: {werr}"),
+        }
+    }
+    err_str(e)
+}
+
+/// Stable strategy names shared by the checkpoint schema and `resume`'s
+/// parser.
+pub(crate) fn strategy_name(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Aggregated => "aggregated",
+        Strategy::Direct => "direct",
+    }
+}
+
+/// The reporting half of `check`, shared with `crsat resume` (which builds
+/// its reasoner from a checkpointed frontier instead of from scratch).
+pub(crate) fn check_with_reasoner(
+    schema: &Schema,
+    r: &Reasoner<'_>,
+    certify: bool,
+    budget: &Budget,
+) -> Result<u8, String> {
     let viable = cr_core::unrestricted::viable_compound_classes(r.expansion());
     let mut any_unsat = false;
     println!("{:<24} {:<16} unrestricted", "class", "finite");

@@ -1,0 +1,95 @@
+//! `crsat resume` — continue a budget-interrupted `check` from a
+//! checkpoint written by `crsat check --checkpoint FILE`.
+//!
+//! The checkpoint carries the schema source, its canonical hash, the
+//! solving strategy, and (when the fixpoint got far enough to have one)
+//! the surviving candidate set. Resume re-parses the schema, refuses a
+//! checkpoint whose hash disagrees with the re-parse (the schema changed
+//! between interrupt and resume), seeds the fixpoint with the saved
+//! frontier, and then reports exactly what `crsat check` would. Soundness
+//! does not depend on the frontier being fresh: the alive set only ever
+//! shrinks toward the maximal acceptable support, so any intermediate set
+//! is a superset of the answer and converges to the same fixpoint.
+
+use cr_core::checkpoint::Checkpoint;
+use cr_core::expansion::ExpansionConfig;
+use cr_core::sat::{Reasoner, Strategy};
+use cr_core::Budget;
+
+use super::{check_with_reasoner, err_str, strategy_name};
+
+/// `crsat resume <checkpoint> [--certify]`.
+pub fn resume(args: &[String], budget: &Budget) -> Result<u8, String> {
+    let usage = "usage: crsat resume <checkpoint-file> [--certify]";
+    let mut path = None;
+    let mut certify = false;
+    for arg in args {
+        match arg.as_str() {
+            "--certify" => certify = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("resume does not take {flag:?}\n{usage}"));
+            }
+            positional => {
+                if path.replace(positional).is_some() {
+                    return Err(usage.to_string());
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return Err(usage.to_string());
+    };
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cp = Checkpoint::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    if cp.command != "check" {
+        return Err(format!(
+            "{path}: checkpoint is for {:?}, only \"check\" can be resumed",
+            cp.command
+        ));
+    }
+    let schema =
+        cr_lang::parse_schema(&cp.schema_source).map_err(|e| format!("{path}: schema:{e}"))?;
+    if !cp.matches_schema(cr_core::canonical_hash(&schema)) {
+        return Err(format!(
+            "{path}: canonical hash mismatch — the checkpointed schema does not \
+             re-parse to the schema it was taken against"
+        ));
+    }
+    let strategy = if cp.strategy == strategy_name(Strategy::Aggregated) {
+        Strategy::Aggregated
+    } else if cp.strategy == strategy_name(Strategy::Direct) {
+        Strategy::Direct
+    } else {
+        return Err(format!("{path}: unknown strategy {:?}", cp.strategy));
+    };
+
+    // Mark the budget (and through it this run's RunReport) as a
+    // continuation: `resumed_from_step` records how much work the
+    // interrupted run had already charged.
+    budget.note_resumed_from(cp.steps);
+    match &cp.frontier {
+        Some(alive) => println!(
+            "resuming check from {path}: stage {}, {} steps charged, frontier {}/{} alive",
+            cp.stage,
+            cp.steps,
+            alive.iter().filter(|&&a| a).count(),
+            alive.len()
+        ),
+        None => println!(
+            "resuming check from {path}: stage {}, {} steps charged, no frontier \
+             (restarting the interrupted stage)",
+            cp.stage, cp.steps
+        ),
+    }
+
+    let r = Reasoner::with_budget_resumed(
+        &schema,
+        &ExpansionConfig::default(),
+        strategy,
+        budget,
+        cp.frontier.as_deref(),
+    )
+    .map_err(err_str)?;
+    check_with_reasoner(&schema, &r, certify, budget)
+}

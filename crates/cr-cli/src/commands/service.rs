@@ -35,6 +35,7 @@ struct ServiceFlags {
     workers: Option<usize>,
     queue: Option<usize>,
     cache: Option<usize>,
+    cache_dir: Option<String>,
     positional: Vec<String>,
 }
 
@@ -45,6 +46,7 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
         workers: None,
         queue: None,
         cache: None,
+        cache_dir: None,
         positional: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -55,7 +57,7 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
         };
         if !matches!(
             flag,
-            "--addr" | "--port-file" | "--workers" | "--queue" | "--cache"
+            "--addr" | "--port-file" | "--workers" | "--queue" | "--cache" | "--cache-dir"
         ) {
             flags.positional.push(arg.clone());
             continue;
@@ -84,6 +86,7 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
             "--workers" => flags.workers = Some(parse_count(&value)?),
             "--queue" => flags.queue = Some(parse_count(&value)?),
             "--cache" => flags.cache = Some(parse_count(&value)?),
+            "--cache-dir" => flags.cache_dir = Some(value),
             _ => unreachable!("flag matched above"),
         }
     }
@@ -93,14 +96,20 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
 /// `crsat serve`: run the JSON-lines reasoning daemon until EOF, a
 /// `shutdown` request, or SIGTERM/SIGINT. Stdio by default; `--addr
 /// host:port` serves TCP (port 0 picks a free port; `--port-file <path>`
-/// writes the bound address for scripts to discover).
+/// writes the bound address for scripts to discover). `--cache-dir <dir>`
+/// makes certified verdicts durable: they are rehydrated into the cache
+/// on the next boot, so a restarted (even SIGKILLed) daemon answers
+/// previously settled questions warm. On drain the server emits its
+/// aggregate RunReport as one JSON line on stderr — on every exit path
+/// (client EOF, `shutdown` request, or signal).
 pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
     let flags = parse_service_flags(args)?;
     if let Some(extra) = flags.positional.first() {
         return Err(format!(
             "serve takes no positional arguments, got {extra:?}\n\
              usage: crsat serve [--addr host:port] [--port-file path] \
-             [--workers n] [--queue n] [--cache n] [--timeout-ms n] [--max-steps n]"
+             [--workers n] [--queue n] [--cache n] [--cache-dir dir] \
+             [--timeout-ms n] [--max-steps n]"
         ));
     }
     let mut config = config_from(budget);
@@ -113,7 +122,25 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
     if let Some(c) = flags.cache {
         config.cache_capacity = c;
     }
-    let server = Server::new(config);
+    config.cache_dir = flags.cache_dir.as_ref().map(PathBuf::from);
+    let server = Server::open(config).map_err(|e| format!("cannot open verdict store: {e}"))?;
+    if let Some(recovery) = server.store_recovery() {
+        let mut line = format!(
+            "crsat serve: verdict store recovered {} record(s), {} warm verdict(s)",
+            recovery.recovered_records,
+            server.cached_verdicts()
+        );
+        if recovery.truncated_bytes > 0 {
+            line.push_str(&format!(
+                ", truncated {} byte(s) of torn tail",
+                recovery.truncated_bytes
+            ));
+        }
+        if recovery.rebuilt {
+            line.push_str(", rebuilt (unrecognized header)");
+        }
+        eprintln!("{line}");
+    }
 
     // First SIGTERM/SIGINT: stop reading, drain in-flight work. Second:
     // trip the shared CancelToken so stuck requests abort at their next
@@ -145,7 +172,12 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
                 .serve_tcp(addr, Arc::clone(&stop), move |bound| {
                     eprintln!("crsat serve: listening on {bound}");
                     if let Some(path) = port_file {
-                        if let Err(e) = std::fs::write(&path, format!("{bound}\n")) {
+                        // Atomic (write-temp-then-rename): a script polling
+                        // the path never reads a half-written address.
+                        if let Err(e) = cr_store::write_atomic(
+                            Path::new(&path),
+                            format!("{bound}\n").as_bytes(),
+                        ) {
                             eprintln!("crsat serve: cannot write port file {path}: {e}");
                         }
                     }
@@ -153,6 +185,10 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
                 .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
         }
     }
+    // Both transports have drained through `finish()` by now (EOF,
+    // `shutdown` op, and signal all converge there), so this is the final
+    // word: the server-lifetime RunReport, one JSON line on stderr.
+    eprintln!("{}", server.final_report("ok").to_json());
     Ok(0)
 }
 

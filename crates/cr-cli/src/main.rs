@@ -12,6 +12,14 @@
 //! crsat fmt <schema.cr>               parse and pretty-print
 //! crsat serve [--addr host:port]      JSON-lines reasoning daemon
 //! crsat batch <dir|file.cr>...        check many schemas in parallel
+//! crsat resume <checkpoint>           continue an interrupted check
+//! ```
+//!
+//! Persistence flags:
+//!
+//! ```text
+//! check --checkpoint <file>  on budget trip, write a resumable snapshot
+//! serve --cache-dir <dir>    durable verdict store; warm restarts
 //! ```
 //!
 //! Resource-governor flags (accepted by every reasoning command):
@@ -180,9 +188,28 @@ fn parse_flags(args: &[String]) -> Result<Invocation, String> {
     })
 }
 
+/// Extracts `--name value` / `--name=value` from a command's leftover
+/// arguments (commands that take only boolean flags scan `rest` directly).
+fn value_flag(rest: &[String], name: &str) -> Result<Option<String>, String> {
+    let mut value = None;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        if arg == name {
+            value = Some(
+                iter.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .clone(),
+            );
+        } else if let Some(v) = arg.strip_prefix(name).and_then(|s| s.strip_prefix('=')) {
+            value = Some(v.to_string());
+        }
+    }
+    Ok(value)
+}
+
 fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|fmt\
-                 |serve|batch> <schema.cr> [args...] [--timeout-ms n] [--max-steps n] \
+                 |serve|batch|resume> <schema.cr> [args...] [--timeout-ms n] [--max-steps n] \
                  [--max-expansion n] [--trace[=human|json]] [--stats file]";
     let Some(cmd) = args.first() else {
         return Err(usage.to_string());
@@ -193,7 +220,7 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     }
     const COMMANDS: &[&str] = &[
         "check", "expand", "system", "model", "implies", "bounds", "explain", "report", "compare",
-        "fmt", "serve", "batch",
+        "fmt", "serve", "batch", "resume",
     ];
     if !COMMANDS.contains(&cmd.as_str()) {
         return Err(format!("unknown command {cmd:?}\n{usage}"));
@@ -204,6 +231,10 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     }
     if cmd == "batch" {
         return commands::batch(&args[1..], budget);
+    }
+    // `resume` reads its schema out of the checkpoint, not a .cr file.
+    if cmd == "resume" {
+        return commands::resume(&args[1..], budget);
     }
     if cmd == "compare" {
         let (Some(pa), Some(pb)) = (args.get(1), args.get(2)) else {
@@ -222,7 +253,15 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     let schema = cr_lang::parse_schema(&source).map_err(|e| format!("{path}:{e}"))?;
     let rest = &args[2..];
     match cmd.as_str() {
-        "check" => commands::check(&schema, rest.iter().any(|a| a == "--certify"), budget),
+        "check" => {
+            let checkpoint = value_flag(rest, "--checkpoint")?;
+            commands::check(
+                &schema,
+                rest.iter().any(|a| a == "--certify"),
+                checkpoint.as_deref(),
+                budget,
+            )
+        }
         "expand" => commands::expand(&schema, budget),
         "system" => commands::system(
             &schema,

@@ -205,11 +205,25 @@ pub fn maximal_support_agg_governed(
     sys: &AggSystem,
     budget: &Budget,
 ) -> CrResult<(Vec<bool>, Option<AggSolution>)> {
+    maximal_support_agg_resumed(sys, budget, None)
+}
+
+/// [`maximal_support_agg_governed`] seeded with a checkpointed fixpoint
+/// frontier (see [`crate::Budget::offer_frontier`]); `None` starts from
+/// scratch.
+pub fn maximal_support_agg_resumed(
+    sys: &AggSystem,
+    budget: &Budget,
+    initial: Option<&[bool]>,
+) -> CrResult<(Vec<bool>, Option<AggSolution>)> {
     let n_cc = sys.cclass_vars.len();
-    let (alive, values) =
-        crate::sat::fixpoint::support_by_max_lp(n_cc, &sys.cclass_vars, budget, |alive| {
-            sys.restrict(alive, None)
-        })?;
+    let (alive, values) = crate::sat::fixpoint::support_by_max_lp(
+        n_cc,
+        &sys.cclass_vars,
+        budget,
+        initial,
+        |alive| sys.restrict(alive, None),
+    )?;
     let Some(values) = values else {
         return Ok((alive, None));
     };

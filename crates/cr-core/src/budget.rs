@@ -37,7 +37,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use cr_linear::WorkBudget;
@@ -208,6 +208,27 @@ pub struct Budget {
     peak_alloc: AtomicU64,
     cancel: CancelToken,
     tracer: Tracer,
+    frontier: Mutex<Option<Frontier>>,
+    resumed_from: Mutex<Option<u64>>,
+}
+
+/// A resumable snapshot of the fixpoint engine's candidate set, offered
+/// to the [`Budget`] when a limit trips mid-iteration.
+///
+/// The greatest-fixpoint support computation only ever *shrinks* its
+/// `alive` set from all-`true` toward the final support `P*`, so any
+/// intermediate `alive` is a superset of `P*` and restarting from it is
+/// sound: the same fixpoint is reached with the already-eliminated
+/// candidates pruned up front. `CrError::BudgetExceeded` itself stays
+/// payload-free (its exact shape is part of the error contract tested
+/// across the workspace); the frontier rides on the `Budget` the caller
+/// already holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    /// The stage that was interrupted (always [`Stage::Fixpoint`] today).
+    pub stage: Stage,
+    /// Per-candidate liveness at the moment of interruption.
+    pub alive: Vec<bool>,
 }
 
 impl Default for Budget {
@@ -230,6 +251,8 @@ impl Budget {
             peak_alloc: AtomicU64::new(0),
             cancel: CancelToken::new(),
             tracer: Tracer::disabled(),
+            frontier: Mutex::new(None),
+            resumed_from: Mutex::new(None),
         }
     }
 
@@ -414,6 +437,42 @@ impl Budget {
         }
     }
 
+    /// Deposits the interrupted stage's resumable state. Called by the
+    /// fixpoint engine at every budget-trip exit; the latest offer wins
+    /// (when the zenum oracle trips and the fallback fixpoint then trips
+    /// too, the fixpoint frontier is the one worth checkpointing).
+    pub fn offer_frontier(&self, stage: Stage, alive: &[bool]) {
+        let mut slot = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(Frontier {
+            stage,
+            alive: alive.to_vec(),
+        });
+    }
+
+    /// Takes the resumable state deposited by the interrupted run, if any.
+    /// The slot is cleared so a later error cannot be misattributed to a
+    /// stale frontier.
+    pub fn take_frontier(&self) -> Option<Frontier> {
+        self.frontier
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+
+    /// Records that this run was resumed from a checkpoint taken at
+    /// `steps` charged units, and bumps [`Counter::Resumes`]. Surfaces in
+    /// [`run_report`] as the `resumed_from_step` field.
+    pub fn note_resumed_from(&self, steps: u64) {
+        let mut slot = self.resumed_from.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(steps);
+        self.tracer.add(Counter::Resumes, 1);
+    }
+
+    /// The checkpointed step count this run resumed from, if any.
+    pub fn resumed_from(&self) -> Option<u64> {
+        *self.resumed_from.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// A [`WorkBudget`] view that attributes solver work to `stage`, so a
     /// per-stage limit also bounds the LP pivots that stage performs.
     pub fn stage(&self, stage: Stage) -> StageBudget<'_> {
@@ -511,6 +570,7 @@ pub fn run_report(budget: &Budget, command: &str, outcome: &str) -> RunReport {
         .peak_allocation_estimate()
         .max(tracer.counter(Counter::PeakAllocBytes));
     report.set_counter(Counter::PeakAllocBytes.as_str(), peak);
+    report.resumed_from_step = budget.resumed_from();
     report
 }
 

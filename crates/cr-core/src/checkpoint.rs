@@ -1,0 +1,271 @@
+//! Versioned checkpoints for interrupted reasoning runs.
+//!
+//! When the [`Budget`](crate::Budget) trips mid-fixpoint, the engine
+//! deposits its surviving candidate set on the budget (see
+//! [`Budget::offer_frontier`](crate::Budget::offer_frontier)); a caller
+//! that wants to resume later serializes that state — together with the
+//! schema source and its canonical hash — into a [`Checkpoint`]. The CLI
+//! writes it with `crsat check --checkpoint FILE` and reads it back with
+//! `crsat resume FILE`.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "command": "check",
+//!   "schema": "class A\n...",
+//!   "canonical_hash": "00f3…(32 hex digits)",
+//!   "strategy": "aggregated",
+//!   "stage": "fixpoint",
+//!   "frontier": "110101",
+//!   "steps": 4321
+//! }
+//! ```
+//!
+//! * `schema` is re-parseable DSL source (the CLI stores
+//!   `cr_lang::print_schema` output, *not* the canonical form, which is a
+//!   hashing format and deliberately not parseable).
+//! * `canonical_hash` binds the checkpoint to the schema's canonical
+//!   content: resume recomputes the hash of the re-parsed schema and
+//!   refuses a checkpoint whose hash disagrees — editing the schema file
+//!   between interrupt and resume cannot smuggle a stale frontier in.
+//! * `frontier` encodes the fixpoint's `alive` set as a `'0'`/`'1'`
+//!   string, one character per compound class in expansion order; `null`
+//!   (or absent) means the run was interrupted before the fixpoint
+//!   produced a resumable state (e.g. during expansion) and resume simply
+//!   starts over.
+//! * `steps` is the interrupted budget's charged-unit account, reported on
+//!   resume as `resumed_from_step`.
+//!
+//! Version policy: `version` is checked on parse and mismatches are
+//! rejected — a checkpoint is a short-lived artifact (hours, not years),
+//! so cross-version migration is deliberately out of scope. Adding a key
+//! is a compatible change; renaming/removing one bumps
+//! [`CHECKPOINT_VERSION`].
+
+use std::fmt::Write as _;
+
+use cr_trace::json::{self, write_escaped, Value};
+
+use crate::budget::{Budget, Stage};
+
+/// Current checkpoint schema version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A serialized snapshot of an interrupted reasoning run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// The interrupted command (`"check"` today).
+    pub command: String,
+    /// Re-parseable schema source.
+    pub schema_source: String,
+    /// Lowercase 32-digit hex of the schema's 128-bit canonical hash.
+    pub canonical_hash: String,
+    /// Solving strategy of the interrupted run (`"aggregated"`/`"direct"`).
+    pub strategy: String,
+    /// Name of the interrupted stage ([`Stage::as_str`]).
+    pub stage: String,
+    /// The fixpoint's surviving candidate set, if one was deposited.
+    pub frontier: Option<Vec<bool>>,
+    /// Work units the interrupted budget had charged.
+    pub steps: u64,
+}
+
+impl Checkpoint {
+    /// Assembles a checkpoint from an interrupted `budget` (harvesting the
+    /// frontier the engine deposited, if any).
+    pub fn from_interrupted(
+        command: &str,
+        schema_source: String,
+        canonical_hash: u128,
+        strategy: &str,
+        tripped_stage: Stage,
+        budget: &Budget,
+    ) -> Checkpoint {
+        let frontier = budget.take_frontier();
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            command: command.to_string(),
+            schema_source,
+            canonical_hash: format!("{canonical_hash:032x}"),
+            strategy: strategy.to_string(),
+            stage: frontier
+                .as_ref()
+                .map(|f| f.stage.as_str().to_string())
+                .unwrap_or_else(|| tripped_stage.as_str().to_string()),
+            frontier: frontier.map(|f| f.alive),
+            steps: budget.steps(),
+        }
+    }
+
+    /// Serializes to the version-1 JSON schema (single line, trailing
+    /// newline included so the file is a well-formed text file).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.schema_source.len());
+        let _ = write!(out, "{{\"version\":{}", self.version);
+        out.push_str(",\"command\":");
+        write_escaped(&mut out, &self.command);
+        out.push_str(",\"schema\":");
+        write_escaped(&mut out, &self.schema_source);
+        out.push_str(",\"canonical_hash\":");
+        write_escaped(&mut out, &self.canonical_hash);
+        out.push_str(",\"strategy\":");
+        write_escaped(&mut out, &self.strategy);
+        out.push_str(",\"stage\":");
+        write_escaped(&mut out, &self.stage);
+        out.push_str(",\"frontier\":");
+        match &self.frontier {
+            None => out.push_str("null"),
+            Some(alive) => {
+                out.push('"');
+                out.extend(alive.iter().map(|&a| if a { '1' } else { '0' }));
+                out.push('"');
+            }
+        }
+        let _ = write!(out, ",\"steps\":{}}}", self.steps);
+        out.push('\n');
+        out
+    }
+
+    /// Parses and validates a version-1 checkpoint.
+    pub fn from_json(input: &str) -> Result<Checkpoint, String> {
+        let v = json::parse(input).map_err(|e| format!("checkpoint is not valid JSON: {e}"))?;
+        let obj = v.as_obj().ok_or("checkpoint must be a JSON object")?;
+        let version = obj
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer \"version\"")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (this build reads version {CHECKPOINT_VERSION})"
+            ));
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string {key:?}"))
+        };
+        let frontier = match obj.get("frontier") {
+            None | Some(Value::Null) => None,
+            Some(Value::Str(bits)) => {
+                let mut alive = Vec::with_capacity(bits.len());
+                for ch in bits.chars() {
+                    match ch {
+                        '0' => alive.push(false),
+                        '1' => alive.push(true),
+                        other => return Err(format!("invalid frontier character {other:?}")),
+                    }
+                }
+                Some(alive)
+            }
+            Some(_) => return Err("\"frontier\" must be a bit string or null".to_string()),
+        };
+        Ok(Checkpoint {
+            version,
+            command: str_field("command")?,
+            schema_source: str_field("schema")?,
+            canonical_hash: str_field("canonical_hash")?,
+            strategy: str_field("strategy")?,
+            stage: str_field("stage")?,
+            frontier,
+            steps: obj
+                .get("steps")
+                .and_then(Value::as_u64)
+                .ok_or("missing or non-integer \"steps\"")?,
+        })
+    }
+
+    /// Verifies the checkpoint was taken against `schema_hash` (the
+    /// canonical hash of the schema the resuming run re-parsed).
+    pub fn matches_schema(&self, schema_hash: u128) -> bool {
+        self.canonical_hash == format!("{schema_hash:032x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(frontier: Option<Vec<bool>>) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            command: "check".to_string(),
+            schema_source: "class A\nclass B\nisa A B\n".to_string(),
+            canonical_hash: format!("{:032x}", 0xDEAD_BEEFu128),
+            strategy: "aggregated".to_string(),
+            stage: "fixpoint".to_string(),
+            frontier,
+            steps: 4321,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_with_and_without_frontier() {
+        for cp in [
+            sample(None),
+            sample(Some(vec![true, false, true, true, false])),
+            sample(Some(Vec::new())),
+        ] {
+            let parsed = Checkpoint::from_json(&cp.to_json()).expect("parse back");
+            assert_eq!(parsed, cp);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut cp = sample(None);
+        cp.version = CHECKPOINT_VERSION + 1;
+        let err = Checkpoint::from_json(&cp.to_json()).unwrap_err();
+        assert!(err.contains("version"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn hash_binding_detects_schema_edits() {
+        let cp = sample(None);
+        assert!(cp.matches_schema(0xDEAD_BEEF));
+        assert!(!cp.matches_schema(0xDEAD_BEEF + 1));
+    }
+
+    #[test]
+    fn garbage_frontier_is_rejected() {
+        let json = sample(None)
+            .to_json()
+            .replace("\"frontier\":null", "\"frontier\":\"10x\"");
+        assert!(Checkpoint::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn from_interrupted_harvests_the_offered_frontier() {
+        let budget = Budget::unlimited();
+        budget.charge(Stage::Fixpoint, 17).expect("unlimited");
+        budget.offer_frontier(Stage::Fixpoint, &[true, false, true]);
+        let cp = Checkpoint::from_interrupted(
+            "check",
+            "class A\n".to_string(),
+            7,
+            "aggregated",
+            Stage::Fixpoint,
+            &budget,
+        );
+        assert_eq!(cp.frontier, Some(vec![true, false, true]));
+        assert_eq!(cp.stage, "fixpoint");
+        assert_eq!(cp.steps, 17);
+        assert!(cp.matches_schema(7));
+        // The slot was drained: a second harvest sees no frontier and
+        // records the tripped stage instead.
+        let cp2 = Checkpoint::from_interrupted(
+            "check",
+            "class A\n".to_string(),
+            7,
+            "aggregated",
+            Stage::Expansion,
+            &budget,
+        );
+        assert_eq!(cp2.frontier, None);
+        assert_eq!(cp2.stage, "expansion");
+    }
+}

@@ -74,6 +74,7 @@ pub mod agg;
 pub mod bitset;
 pub mod budget;
 pub mod certify;
+pub mod checkpoint;
 pub mod compare;
 mod error;
 pub mod expansion;
@@ -88,8 +89,10 @@ pub mod schema;
 pub mod system;
 pub mod unrestricted;
 
-pub use budget::{run_report, Budget, CancelToken, ManualClock, Stage, TracerMeter};
+pub use budget::{run_report, Budget, CancelToken, Frontier, ManualClock, Stage, TracerMeter};
 pub use certify::{certify_check, certify_reasoner, CertifyReport};
 pub use error::CrError;
 pub use ids::{ClassId, RelId, RoleId};
-pub use schema::{canonical_form, canonical_hash, Card, Schema, SchemaBuilder};
+pub use schema::{
+    canonical_form, canonical_hash, canonical_text_hash, Card, Schema, SchemaBuilder,
+};

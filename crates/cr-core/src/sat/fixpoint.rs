@@ -44,18 +44,34 @@ use crate::system::CrSystem;
 /// Work is metered against `budget` under [`Stage::Fixpoint`]: one unit per
 /// pass, plus one per simplex pivot of each support-maximizing LP; an
 /// exhausted budget aborts with
-/// [`CrError::BudgetExceeded`](crate::CrError::BudgetExceeded).
+/// [`CrError::BudgetExceeded`](crate::CrError::BudgetExceeded) *after*
+/// depositing the current candidate set on the budget via
+/// [`Budget::offer_frontier`], so the caller can checkpoint and resume.
+///
+/// `initial` seeds the candidate set from such a checkpointed frontier
+/// instead of all-`true`. Soundness: `alive` only ever shrinks, and every
+/// intermediate set contains the final fixpoint `P*`, so restarting from
+/// any offered frontier converges to the same `P*` (the iteration is a
+/// monotone descent whose limit is independent of which superset of `P*`
+/// it starts from).
 pub(crate) fn support_by_max_lp(
     n: usize,
     class_vars: &[VarId],
     budget: &Budget,
+    initial: Option<&[bool]>,
     restrict: impl Fn(&[bool]) -> LinSystem,
 ) -> CrResult<(Vec<bool>, Option<Vec<Rational>>)> {
     let tracer = budget.tracer();
     let _span = tracer.span(Stage::Fixpoint.as_str());
-    let mut alive = vec![true; n];
+    let mut alive = match initial {
+        Some(frontier) if frontier.len() == n => frontier.to_vec(),
+        _ => vec![true; n],
+    };
     loop {
-        budget.charge(Stage::Fixpoint, 1)?;
+        if let Err(e) = budget.charge(Stage::Fixpoint, 1) {
+            budget.offer_frontier(Stage::Fixpoint, &alive);
+            return Err(e);
+        }
         cr_faults::point!("core.fixpoint.step", |_| Err(CrError::FaultInjected {
             site: "core.fixpoint.step"
         }));
@@ -85,7 +101,10 @@ pub(crate) fn support_by_max_lp(
             &budget.stage(Stage::Fixpoint),
         ) {
             Ok(outcome) => outcome,
-            Err(LinearError::Interrupted) => return Err(budget.exceeded_err(Stage::Fixpoint)),
+            Err(LinearError::Interrupted) => {
+                budget.offer_frontier(Stage::Fixpoint, &alive);
+                return Err(budget.exceeded_err(Stage::Fixpoint));
+            }
             Err(LinearError::FaultInjected { site }) => {
                 return Err(CrError::FaultInjected { site })
             }
@@ -152,8 +171,19 @@ pub fn maximal_acceptable_support_governed(
     sys: &CrSystem,
     budget: &Budget,
 ) -> CrResult<(Vec<bool>, Option<AcceptableSolution>)> {
+    maximal_acceptable_support_resumed(sys, budget, None)
+}
+
+/// [`maximal_acceptable_support_governed`] seeded with a checkpointed
+/// fixpoint frontier (see [`Budget::offer_frontier`]); `None` starts from
+/// scratch.
+pub fn maximal_acceptable_support_resumed(
+    sys: &CrSystem,
+    budget: &Budget,
+    initial: Option<&[bool]>,
+) -> CrResult<(Vec<bool>, Option<AcceptableSolution>)> {
     let n_cc = sys.cclass_vars.len();
-    let (alive, values) = support_by_max_lp(n_cc, &sys.cclass_vars, budget, |alive| {
+    let (alive, values) = support_by_max_lp(n_cc, &sys.cclass_vars, budget, initial, |alive| {
         restrict(sys, alive, None)
     })?;
     let Some(values) = values else {

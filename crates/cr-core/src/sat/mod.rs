@@ -149,6 +149,23 @@ impl<'s> Reasoner<'s> {
         strategy: Strategy,
         budget: &Budget,
     ) -> CrResult<Reasoner<'s>> {
+        Reasoner::with_budget_resumed(schema, config, strategy, budget, None)
+    }
+
+    /// [`Reasoner::with_budget`] seeded with a checkpointed fixpoint
+    /// frontier (the `alive` set a previously interrupted run deposited
+    /// via [`Budget::offer_frontier`] and the CLI persisted as a
+    /// checkpoint). The expansion is deterministic, so a frontier recorded
+    /// against the same canonical schema lines up index-for-index; a
+    /// frontier of the wrong length is ignored (fresh start) rather than
+    /// trusted. `None` is exactly [`Reasoner::with_budget`].
+    pub fn with_budget_resumed(
+        schema: &'s Schema,
+        config: &ExpansionConfig,
+        strategy: Strategy,
+        budget: &Budget,
+        frontier: Option<&[bool]>,
+    ) -> CrResult<Reasoner<'s>> {
         let tracer = budget.tracer().clone();
         let expansion = Expansion::build_governed(schema, config, budget)?;
         let system = std::sync::OnceLock::new();
@@ -159,7 +176,7 @@ impl<'s> Reasoner<'s> {
                     cr_trace::Counter::DisequationsEmitted,
                     sys.lin.constraints().len() as u64,
                 );
-                fixpoint::maximal_acceptable_support_governed(sys, budget)?
+                fixpoint::maximal_acceptable_support_resumed(sys, budget, frontier)?
             }
             Strategy::Aggregated => {
                 let agg = crate::agg::AggSystem::build(&expansion);
@@ -168,7 +185,7 @@ impl<'s> Reasoner<'s> {
                     agg.num_rows() as u64,
                 );
                 let (support, agg_witness) =
-                    crate::agg::maximal_support_agg_governed(&agg, budget)?;
+                    crate::agg::maximal_support_agg_resumed(&agg, budget, frontier)?;
                 let witness = agg_witness.map(|w| AcceptableSolution {
                     crel_counts: crate::agg::expand_to_crel_counts(&expansion, &w),
                     cclass_counts: w.cclass_counts,

@@ -169,6 +169,14 @@ pub fn canonical_hash(schema: &Schema) -> u128 {
     fnv1a_128(canonical_form(schema).as_bytes())
 }
 
+/// The hash of an already-rendered canonical form. By construction
+/// `canonical_text_hash(&canonical_form(s)) == canonical_hash(s)` — the
+/// persistence layer uses this to recompute shard hashes from stored
+/// canonical text without re-parsing a schema.
+pub fn canonical_text_hash(canonical: &str) -> u128 {
+    fnv1a_128(canonical.as_bytes())
+}
+
 impl Schema {
     /// The order-insensitive canonical rendering (see [`canonical_form`]).
     pub fn canonical_form(&self) -> String {

@@ -6,7 +6,7 @@ mod builder;
 mod canon;
 
 pub use builder::SchemaBuilder;
-pub use canon::{canonical_form, canonical_hash};
+pub use canon::{canonical_form, canonical_hash, canonical_text_hash};
 
 use std::fmt;
 

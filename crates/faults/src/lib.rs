@@ -64,6 +64,11 @@ pub const SITES: &[&str] = &[
     "server.response.write",
     "server.cache.get",
     "server.cache.insert",
+    // cr-store: record append to the log; fsync of appended records /
+    // staged snapshots; the rename that commits a compaction snapshot.
+    "store.append.write",
+    "store.append.sync",
+    "store.compact.rename",
 ];
 
 /// Declares a failpoint.

@@ -32,7 +32,7 @@ pub struct CacheKey {
 
 /// A cached answer: everything needed to build a response without
 /// re-running the pipeline.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CachedVerdict {
     /// Outcome (only [`Status::Ok`] / [`Status::Negative`] are cached —
     /// errors and budget trips are request-specific).

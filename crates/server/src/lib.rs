@@ -18,6 +18,9 @@
 //!   same schema share one entry;
 //! * [`eval`] — the bridge onto `cr-core`'s governed reasoning entry
 //!   points, verdict-identical to `crsat check` / `crsat implies`;
+//! * [`persist`] — the durable side of the cache: a crash-safe `cr-store`
+//!   log of *certified* verdicts, rehydrated on boot so a restarted daemon
+//!   answers previously settled questions warm;
 //! * [`Server`] — ties the above together; every response can embed a
 //!   `cr-trace` `RunReport` whose `cache_hits` / `cache_misses` counters
 //!   prove where the verdict came from;
@@ -33,6 +36,7 @@
 
 pub mod cache;
 pub mod eval;
+pub mod persist;
 pub mod pool;
 pub mod protocol;
 pub mod signal;
@@ -40,6 +44,7 @@ pub mod signal;
 mod server;
 
 pub use cache::{CacheKey, CachedVerdict, VerdictCache};
+pub use persist::StoreRecovery;
 pub use pool::{Job, SubmitError, WorkerPool};
 pub use protocol::{Op, Request, Response, Status, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

@@ -18,15 +18,17 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use cr_core::{Budget, CancelToken};
-use cr_trace::{Counter, NullSink, Tracer};
+use cr_trace::{Counter, NullSink, RunReport, Tracer};
 
 use crate::cache::{CacheKey, CachedVerdict, VerdictCache};
 use crate::eval;
+use crate::persist::{PersistentStore, StoreRecovery};
 use crate::pool::{SubmitError, WorkerPool};
 use crate::protocol::{Op, Request, Response, Status};
 
@@ -46,6 +48,11 @@ pub struct ServerConfig {
     pub default_timeout_ms: Option<u64>,
     /// Default per-request step budget when the request names none.
     pub default_max_steps: Option<u64>,
+    /// Directory for the durable verdict store (`None` = memory-only).
+    /// When set, certified `check` verdicts are appended to
+    /// `<dir>/verdicts.log` and rehydrated into the cache on boot, so a
+    /// restarted server answers previously settled questions warm.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +67,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             default_timeout_ms: None,
             default_max_steps: None,
+            cache_dir: None,
         }
     }
 }
@@ -68,6 +76,12 @@ struct Inner {
     config: ServerConfig,
     pool: WorkerPool,
     cache: VerdictCache,
+    /// Durable verdict store (present iff `config.cache_dir` is set).
+    store: Option<PersistentStore>,
+    /// Persist failures swallowed so far. A failed append never fails the
+    /// request — the verdict was already computed and certified — but it
+    /// must not vanish either; `stats` surfaces this count.
+    store_errors: AtomicU64,
     cancel: CancelToken,
     shutdown: AtomicBool,
     /// Server-lifetime aggregate counters (cache traffic, requests served);
@@ -82,18 +96,72 @@ pub struct Server {
 }
 
 impl Server {
-    /// Builds a server (spawning its worker threads immediately).
+    /// Builds a server (spawning its worker threads immediately). Panics if
+    /// `config.cache_dir` names an unopenable store — use [`Server::open`]
+    /// to handle that as an error.
     pub fn new(config: ServerConfig) -> Server {
-        Server {
+        Server::open(config).expect("verdict store")
+    }
+
+    /// Builds a server, opening (and recovering) the durable verdict store
+    /// when `config.cache_dir` is set and rehydrating the in-memory cache
+    /// from it — a restarted daemon answers previously certified questions
+    /// warm. Store recovery details are available via
+    /// [`Server::store_recovery`] for the caller to report.
+    pub fn open(config: ServerConfig) -> Result<Server, String> {
+        let store = match &config.cache_dir {
+            Some(dir) => Some(PersistentStore::open(dir)?),
+            None => None,
+        };
+        let cache = VerdictCache::new(config.cache_capacity, config.cache_shards);
+        if let Some(store) = &store {
+            // Rehydrate. Store order is log order (oldest first), so under
+            // LRU pressure the cache keeps the most recently persisted
+            // verdicts; the rest stay reachable through the read-through.
+            for (canonical, question, verdict) in store.entries() {
+                let shard_hash = cr_core::canonical_text_hash(&canonical);
+                cache.insert(
+                    shard_hash,
+                    CacheKey {
+                        canonical,
+                        question,
+                    },
+                    verdict,
+                );
+            }
+        }
+        Ok(Server {
             inner: Arc::new(Inner {
                 pool: WorkerPool::new(config.workers, config.queue_capacity),
-                cache: VerdictCache::new(config.cache_capacity, config.cache_shards),
+                cache,
+                store,
+                store_errors: AtomicU64::new(0),
                 cancel: CancelToken::new(),
                 shutdown: AtomicBool::new(false),
                 aggregate: Tracer::new(Box::new(NullSink)),
                 config,
             }),
-        }
+        })
+    }
+
+    /// What store recovery found at boot (`None` when running without a
+    /// `cache_dir`). The CLI reports truncation so an operator can tell a
+    /// clean boot from a crash-recovered one.
+    pub fn store_recovery(&self) -> Option<StoreRecovery> {
+        self.inner.store.as_ref().map(|s| s.recovery())
+    }
+
+    /// Number of live verdicts in the durable store (`None` when running
+    /// without one).
+    pub fn persisted_verdicts(&self) -> Option<usize> {
+        self.inner.store.as_ref().map(|s| s.len())
+    }
+
+    /// The server-lifetime aggregate report — what a transport emits as the
+    /// final RunReport when it drains (EOF, `shutdown` op, or signal: all
+    /// paths converge in [`Server::finish`]).
+    pub fn final_report(&self, outcome: &str) -> RunReport {
+        self.inner.aggregate.report("serve", outcome)
     }
 
     /// The shared cancellation token threaded into every request budget.
@@ -114,10 +182,16 @@ impl Server {
         self.inner.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Drains queued and in-flight work and joins the workers. Idempotent.
+    /// Drains queued and in-flight work and joins the workers, then flushes
+    /// the durable store. Idempotent.
     pub fn finish(&self) {
         self.request_shutdown();
         self.inner.pool.shutdown_drain();
+        if let Some(store) = &self.inner.store {
+            if store.flush().is_err() {
+                self.inner.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Current number of cached verdicts (stats/test aid).
@@ -253,6 +327,24 @@ impl Server {
                     )
                 }
                 None => {
+                    // Read-through: an LRU eviction must not force a
+                    // recomputation while the verdict sits on disk.
+                    if let Some(hit) = self
+                        .inner
+                        .store
+                        .as_ref()
+                        .and_then(|s| s.lookup(&key.canonical, &key.question))
+                    {
+                        tracer.add(Counter::StoreHits, 1);
+                        self.inner.aggregate.add(Counter::StoreHits, 1);
+                        let answer = eval::Answer {
+                            status: hit.status,
+                            verdict: hit.verdict.clone(),
+                            detail: hit.detail.clone(),
+                        };
+                        self.inner.cache.insert(schema_hash, key, hit);
+                        return (answer, true);
+                    }
                     tracer.add(Counter::CacheMisses, 1);
                     self.inner.aggregate.add(Counter::CacheMisses, 1);
                     let answer = match request.op {
@@ -261,15 +353,15 @@ impl Server {
                         _ => unreachable!("reason() only sees check/implies"),
                     };
                     if answer.cacheable() {
-                        let evicted = self.inner.cache.insert(
-                            schema_hash,
-                            key,
-                            CachedVerdict {
-                                status: answer.status,
-                                verdict: answer.verdict.clone(),
-                                detail: answer.detail.clone(),
-                            },
-                        );
+                        let verdict = CachedVerdict {
+                            status: answer.status,
+                            verdict: answer.verdict.clone(),
+                            detail: answer.detail.clone(),
+                        };
+                        if request.op == Op::Check {
+                            self.persist_certified(&schema, &budget, &key, &verdict, &tracer);
+                        }
+                        let evicted = self.inner.cache.insert(schema_hash, key, verdict);
                         if evicted > 0 {
                             tracer.add(Counter::CacheEvictions, evicted);
                             self.inner.aggregate.add(Counter::CacheEvictions, evicted);
@@ -347,12 +439,7 @@ impl Server {
                 };
             }
         };
-        let claimed_unsat: Vec<String> = answer
-            .detail
-            .iter()
-            .filter(|d| !d.starts_with("rel "))
-            .cloned()
-            .collect();
+        let claimed_unsat = claimed_unsat_classes(&answer.detail);
         if !certified.ok() {
             return eval::Answer {
                 status: Status::Error,
@@ -378,9 +465,48 @@ impl Server {
         answer
     }
 
+    /// Durably records a freshly computed `check` verdict — but only after
+    /// `cr_core::certify_check` independently re-validates it and its
+    /// certified unsat set agrees with the answer. An uncertifiable verdict
+    /// is still served and cached in memory (the governor may simply have
+    /// no budget left for the certificate pass); it just never reaches
+    /// disk, so everything a warm restart serves was once proven.
+    fn persist_certified(
+        &self,
+        schema: &cr_core::Schema,
+        budget: &Budget,
+        key: &CacheKey,
+        verdict: &CachedVerdict,
+        tracer: &Tracer,
+    ) {
+        let Some(store) = &self.inner.store else {
+            return;
+        };
+        let certified = match cr_core::certify_check(schema, budget) {
+            Ok(report) => report,
+            Err(_) => return,
+        };
+        if !certified.ok() || certified.unsat_classes != claimed_unsat_classes(&verdict.detail) {
+            return;
+        }
+        match store.persist(&key.canonical, &key.question, verdict) {
+            Ok(outcome) => {
+                tracer.add(Counter::StoreWrites, 1);
+                self.inner.aggregate.add(Counter::StoreWrites, 1);
+                if outcome.compacted {
+                    tracer.add(Counter::StoreCompactions, 1);
+                    self.inner.aggregate.add(Counter::StoreCompactions, 1);
+                }
+            }
+            Err(_) => {
+                self.inner.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn stats_response(&self, id: &str) -> Response {
         let agg = &self.inner.aggregate;
-        let detail = vec![
+        let mut detail = vec![
             format!("requests_served={}", agg.counter(Counter::RequestsServed)),
             format!("cache_hits={}", agg.counter(Counter::CacheHits)),
             format!("cache_misses={}", agg.counter(Counter::CacheMisses)),
@@ -389,6 +515,22 @@ impl Server {
             format!("workers={}", self.inner.config.workers),
             format!("queue_capacity={}", self.inner.config.queue_capacity),
         ];
+        if let Some(store) = &self.inner.store {
+            detail.push(format!("store_entries={}", store.len()));
+            detail.push(format!("store_hits={}", agg.counter(Counter::StoreHits)));
+            detail.push(format!(
+                "store_writes={}",
+                agg.counter(Counter::StoreWrites)
+            ));
+            detail.push(format!(
+                "store_compactions={}",
+                agg.counter(Counter::StoreCompactions)
+            ));
+            detail.push(format!(
+                "store_errors={}",
+                self.inner.store_errors.load(Ordering::Relaxed)
+            ));
+        }
         Response {
             id: id.to_string(),
             status: Status::Ok,
@@ -549,6 +691,18 @@ impl Server {
         }
         Ok(())
     }
+}
+
+/// The unsat classes an answer claims: its detail lines minus the `rel `
+/// relationship lines. This is the set `cr_core::certify_check` must agree
+/// with before a verdict is trusted (returned to a `--certify` client, or
+/// written to the durable store).
+fn claimed_unsat_classes(detail: &[String]) -> Vec<String> {
+    detail
+        .iter()
+        .filter(|d| !d.starts_with("rel "))
+        .cloned()
+        .collect()
 }
 
 /// Best-effort text of a caught panic payload.

@@ -1,0 +1,105 @@
+//! Atomic whole-file replacement: write a temp file, fsync, rename.
+//!
+//! Readers of the target path either see the complete old contents or the
+//! complete new contents, never a partial write — the guarantee the CLI
+//! relies on for `--port-file` and checkpoint files, and the store for
+//! snapshot compaction.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path used for the staged write. Kept deterministic
+/// (no PID/timestamp) so a crashed writer's leftovers are simply
+/// overwritten by the next attempt instead of accumulating.
+pub fn staging_path(target: &Path) -> PathBuf {
+    let mut name = target
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "atomic".into());
+    name.push(".tmp");
+    target.with_file_name(name)
+}
+
+/// Writes `bytes` to `target` atomically: stage in a sibling temp file,
+/// fsync it, then rename over the target. The rename is the commit point.
+pub fn write_atomic(target: &Path, bytes: &[u8]) -> io::Result<()> {
+    let staged = write_staged(target, bytes)?;
+    commit_rename(&staged.1, target)?;
+    Ok(())
+}
+
+/// Stage-only half of [`write_atomic`]: returns the synced open file and
+/// its temp path so callers (compaction) can keep the handle after the
+/// rename — the renamed file is the same inode.
+pub fn write_staged(target: &Path, bytes: &[u8]) -> io::Result<(File, PathBuf)> {
+    let tmp = staging_path(target);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    file.write_all(bytes)?;
+    cr_faults::point!("store.append.sync", |p: Option<String>| Err(injected(p)));
+    file.sync_all()?;
+    Ok((file, tmp))
+}
+
+/// Commit half of [`write_atomic`]: rename the staged file over the
+/// target. Carries the `store.compact.rename` failpoint.
+pub fn commit_rename(staged: &Path, target: &Path) -> io::Result<()> {
+    cr_faults::point!("store.compact.rename", |p: Option<String>| Err(injected(p)));
+    std::fs::rename(staged, target)
+}
+
+/// The error produced when a failpoint fires on a store I/O site.
+/// (Only referenced from `point!` expansions, which compile away in
+/// inert builds.)
+#[cfg_attr(not(feature = "faults"), allow(dead_code))]
+pub(crate) fn injected(payload: Option<String>) -> io::Error {
+    io::Error::other(format!(
+        "injected fault: {}",
+        payload.unwrap_or_else(|| "store".to_string())
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cr-store-atomic-{tag}-{:x}", seed(tag)));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn seed(tag: &str) -> u64 {
+        // Derive a stable per-test dir name without wall-clock entropy.
+        tag.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        })
+    }
+
+    #[test]
+    fn replaces_existing_contents_atomically() {
+        let dir = tmp_dir("replace");
+        let target = dir.join("port");
+        write_atomic(&target, b"old\n").expect("first write");
+        write_atomic(&target, b"new\n").expect("second write");
+        assert_eq!(std::fs::read(&target).expect("read back"), b"new\n");
+        // The staging file must not linger after a successful commit.
+        assert!(!staging_path(&target).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_staging_leftovers_are_overwritten() {
+        let dir = tmp_dir("stale");
+        let target = dir.join("out");
+        std::fs::write(staging_path(&target), b"crashed writer leftovers").expect("plant stale");
+        write_atomic(&target, b"fresh").expect("write over stale staging");
+        assert_eq!(std::fs::read(&target).expect("read back"), b"fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,38 @@
+//! Crash-safe persistence primitives for the reasoning stack.
+//!
+//! Zero external dependencies (only the in-tree [`cr_faults`] failpoints),
+//! `std`-only, no `unsafe`. Three layers:
+//!
+//! * [`crc`] — hand-rolled CRC-32 (IEEE), the integrity check on every
+//!   record frame;
+//! * [`atomic`] — write-temp-then-rename whole-file replacement, the
+//!   commit primitive for compaction snapshots, checkpoints, and the
+//!   CLI's `--port-file`;
+//! * [`log`] / [`store`] — an append-only CRC-framed record log with
+//!   torn-tail recovery, and a durable key→value map on top of it with
+//!   size-triggered snapshot compaction.
+//!
+//! Design rules (see DESIGN.md §13):
+//!
+//! * **Tolerate, never trust.** Recovery truncates at the first frame
+//!   that fails its length or CRC check instead of erroring: a crashed
+//!   writer costs at most the record it was writing.
+//! * **Rename is the only commit.** Compaction and checkpoint writes go
+//!   through a staged sibling file + `rename(2)`, so readers observe the
+//!   old image or the new one, never a mix.
+//! * **Callers decide what is safe to persist.** The store moves opaque
+//!   bytes; the server only hands it verdicts that passed
+//!   `cr_core::certify`, which is what makes a recovered log trustworthy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod crc;
+pub mod log;
+pub mod store;
+
+pub use atomic::write_atomic;
+pub use crc::crc32;
+pub use log::{RecordLog, Replay};
+pub use store::{PutOutcome, Store, StoreStats, DEFAULT_COMPACT_THRESHOLD};

@@ -1,0 +1,332 @@
+//! Durable key→value store over the append-only [`RecordLog`].
+//!
+//! Each `put` appends one record (`klen:u32le key value`); the latest
+//! record for a key wins on replay. When the log grows past the
+//! compaction threshold *and* carries more than ~2× the live payload, the
+//! store snapshots the live set to a staged sibling file and renames it
+//! over the log — the rename is the commit point, so a crash during
+//! compaction leaves either the old log or the complete snapshot, never a
+//! mix.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::atomic;
+use crate::log::{self, RecordLog, Replay, FRAME_OVERHEAD, MAGIC};
+
+/// Default compaction threshold: don't bother below 1 MiB of log.
+pub const DEFAULT_COMPACT_THRESHOLD: u64 = 1 << 20;
+
+/// Outcome of a [`Store::put`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// True when this put triggered a snapshot compaction.
+    pub compacted: bool,
+}
+
+/// Counters describing the store's life so far (monotonic per open).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records replayed intact at open.
+    pub recovered_records: u64,
+    /// Bytes discarded from the tail at open (torn/corrupt frames).
+    pub truncated_bytes: u64,
+    /// True when the file header was unrecognized and the log rebuilt.
+    pub rebuilt: bool,
+    /// `put` calls since open.
+    pub appends: u64,
+    /// Snapshot compactions since open.
+    pub compactions: u64,
+}
+
+/// A single-writer durable map. Thread safety is the caller's concern
+/// (the server wraps it in a `Mutex`); the store itself is deliberately
+/// free of locking so it can be exercised deterministically in tests.
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    log: RecordLog,
+    index: HashMap<Vec<u8>, Vec<u8>>,
+    /// Bytes the live set would occupy if compacted now.
+    live_bytes: u64,
+    compact_threshold: u64,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `path` with the default
+    /// compaction threshold.
+    pub fn open(path: &Path) -> io::Result<Store> {
+        Store::open_with_threshold(path, DEFAULT_COMPACT_THRESHOLD)
+    }
+
+    /// Opens with an explicit compaction threshold (tests use tiny ones).
+    pub fn open_with_threshold(path: &Path, compact_threshold: u64) -> io::Result<Store> {
+        let (log, replay) = RecordLog::open(path)?;
+        let mut store = Store {
+            path: path.to_path_buf(),
+            log,
+            index: HashMap::new(),
+            live_bytes: 0,
+            compact_threshold,
+            stats: StoreStats {
+                recovered_records: replay.payloads.len() as u64,
+                truncated_bytes: replay.truncated_bytes,
+                rebuilt: replay.rebuilt,
+                ..StoreStats::default()
+            },
+        };
+        store.replay(replay);
+        Ok(store)
+    }
+
+    fn replay(&mut self, replay: Replay) {
+        for payload in replay.payloads {
+            if let Some((key, value)) = decode_entry(&payload) {
+                self.index_insert(key.to_vec(), value.to_vec());
+            }
+            // An undecodable payload passed its CRC, so it is not
+            // corruption but a future format we don't understand; skip it
+            // rather than discard the records after it.
+        }
+    }
+
+    fn index_insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        let key_len = key.len() as u64;
+        self.live_bytes += entry_bytes(&key, &value);
+        if let Some(old) = self.index.insert(key, value) {
+            self.live_bytes -= FRAME_OVERHEAD + 4 + key_len + old.len() as u64;
+        }
+    }
+
+    /// Looks up the latest value for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.index.get(key).map(Vec::as_slice)
+    }
+
+    /// Iterates the live entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.index.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Durable upsert. The record is appended (and the in-memory index
+    /// updated) immediately; call [`Store::sync`] to force it to disk.
+    /// May trigger a compaction when the log has outgrown its live set.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> io::Result<PutOutcome> {
+        let mut payload = Vec::with_capacity(4 + key.len() + value.len());
+        encode_entry(key, value, &mut payload);
+        self.log.append(&payload)?;
+        self.stats.appends += 1;
+        self.index_insert(key.to_vec(), value.to_vec());
+        let compacted = self.maybe_compact()?;
+        Ok(PutOutcome { compacted })
+    }
+
+    /// Forces all appended records to stable storage (fsync).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.log.sync()
+    }
+
+    /// Compacts when the log exceeds the threshold and more than half of
+    /// it is dead weight (overwritten records).
+    fn maybe_compact(&mut self) -> io::Result<bool> {
+        if self.log.len() <= self.compact_threshold || self.log.len() < self.live_bytes * 2 {
+            return Ok(false);
+        }
+        self.compact()?;
+        Ok(true)
+    }
+
+    /// Snapshots the live set to a staged file and renames it over the
+    /// log. On any error the old log (and the in-memory index) remain
+    /// authoritative.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let mut image = Vec::with_capacity(MAGIC.len() + self.live_bytes as usize);
+        image.extend_from_slice(MAGIC);
+        for (key, value) in &self.index {
+            let mut payload = Vec::with_capacity(4 + key.len() + value.len());
+            encode_entry(key, value, &mut payload);
+            log::encode_record(&payload, &mut image);
+        }
+        let snapshot_len = image.len() as u64;
+        let (file, staged) = atomic::write_staged(&self.path, &image)?;
+        atomic::commit_rename(&staged, &self.path)?;
+        // The staged handle is now the live log (rename preserves the
+        // inode); keep appending to it.
+        self.log = RecordLog::from_parts(file, snapshot_len)?;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// Bytes currently occupied by the on-disk log.
+    pub fn log_bytes(&self) -> u64 {
+        self.log.len()
+    }
+
+    /// Lifetime counters for this open.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// On-disk footprint of one framed entry.
+fn entry_bytes(key: &[u8], value: &[u8]) -> u64 {
+    FRAME_OVERHEAD + 4 + key.len() as u64 + value.len() as u64
+}
+
+fn encode_entry(key: &[u8], value: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+}
+
+fn decode_entry(payload: &[u8]) -> Option<(&[u8], &[u8])> {
+    let klen = u32::from_le_bytes(payload.get(0..4)?.try_into().ok()?) as usize;
+    let key = payload.get(4..4 + klen)?;
+    let value = payload.get(4 + klen..)?;
+    Some((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let h = tag.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        let dir = std::env::temp_dir().join(format!("cr-store-kv-{tag}-{h:x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join("store.log")
+    }
+
+    #[test]
+    fn put_get_survives_reopen() {
+        let path = tmp("reopen");
+        {
+            let mut store = Store::open(&path).expect("open");
+            store.put(b"k1", b"v1").expect("put");
+            store.put(b"k2", b"v2").expect("put");
+            store.put(b"k1", b"v1-updated").expect("overwrite");
+            store.sync().expect("sync");
+        }
+        let store = Store::open(&path).expect("reopen");
+        assert_eq!(store.get(b"k1"), Some(b"v1-updated".as_ref()));
+        assert_eq!(store.get(b"k2"), Some(b"v2".as_ref()));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().recovered_records, 3);
+        assert_eq!(store.stats().truncated_bytes, 0);
+    }
+
+    #[test]
+    fn overwrites_trigger_compaction_past_threshold() {
+        let path = tmp("compact");
+        let mut store = Store::open_with_threshold(&path, 256).expect("open");
+        let mut compactions = 0;
+        for round in 0..64u32 {
+            let out = store
+                .put(b"hot-key", format!("value-{round:04}").as_bytes())
+                .expect("put");
+            if out.compacted {
+                compactions += 1;
+            }
+        }
+        assert!(compactions >= 1, "threshold crossing must compact");
+        assert_eq!(store.stats().compactions, compactions);
+        // The compacted log holds exactly the live set.
+        assert!(store.log_bytes() < 256 + 64);
+        store.sync().expect("sync");
+        let reopened = Store::open(&path).expect("reopen after compaction");
+        assert_eq!(reopened.get(b"hot-key"), Some(b"value-0063".as_ref()));
+        assert_eq!(reopened.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_compact_needlessly() {
+        let path = tmp("nodead");
+        let mut store = Store::open_with_threshold(&path, 64).expect("open");
+        for i in 0..32u32 {
+            let out = store
+                .put(format!("key-{i}").as_bytes(), b"payload-payload")
+                .expect("put");
+            // All entries are live: compaction would save nothing, so the
+            // 2x dead-weight guard must keep it off even past threshold.
+            assert!(!out.compacted, "compacted a log with no dead records");
+        }
+        assert_eq!(store.stats().compactions, 0);
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_last_record() {
+        let path = tmp("torn");
+        {
+            let mut store = Store::open(&path).expect("open");
+            store.put(b"a", b"1").expect("put");
+            store.put(b"b", b"2").expect("put");
+            store.put(b"c", b"3").expect("put");
+            store.sync().expect("sync");
+        }
+        // Tear the final record by chopping 2 bytes off the file.
+        let image = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &image[..image.len() - 2]).expect("tear");
+
+        let store = Store::open(&path).expect("recover");
+        assert_eq!(store.get(b"a"), Some(b"1".as_ref()));
+        assert_eq!(store.get(b"b"), Some(b"2".as_ref()));
+        assert_eq!(store.get(b"c"), None, "torn record must not resurrect");
+        assert!(store.stats().truncated_bytes > 0);
+    }
+
+    #[test]
+    fn binary_keys_and_values_roundtrip() {
+        let path = tmp("binary");
+        let key: Vec<u8> = (0..=255u8).collect();
+        let value = vec![0u8, 10, 13, 34, 92, 255];
+        {
+            let mut store = Store::open(&path).expect("open");
+            store.put(&key, &value).expect("put");
+            store.sync().expect("sync");
+        }
+        let store = Store::open(&path).expect("reopen");
+        assert_eq!(store.get(&key), Some(value.as_slice()));
+    }
+
+    #[test]
+    fn compaction_preserves_every_live_entry() {
+        let path = tmp("compact-all");
+        let mut store = Store::open_with_threshold(&path, 64).expect("open");
+        for i in 0..24u32 {
+            store
+                .put(format!("k{}", i % 6).as_bytes(), format!("v{i}").as_bytes())
+                .expect("put");
+        }
+        store.compact().expect("explicit compaction");
+        store.sync().expect("sync");
+        let reopened = Store::open(&path).expect("reopen");
+        assert_eq!(reopened.len(), 6);
+        for i in 0..6u32 {
+            assert_eq!(
+                reopened.get(format!("k{i}").as_bytes()),
+                Some(format!("v{}", 18 + i).as_bytes()),
+                "key k{i} lost or stale after compaction"
+            );
+        }
+    }
+}

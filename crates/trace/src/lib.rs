@@ -121,11 +121,21 @@ pub enum Counter {
     /// Failpoint activations observed by the service layer (builds with
     /// `--features faults` only; always 0 otherwise).
     FaultsInjected = 23,
+    /// Persistence: verdicts served out of the durable store (missed the
+    /// in-memory LRU but were found on disk, or rehydrated at boot).
+    StoreHits = 24,
+    /// Persistence: certified verdicts appended to the durable store.
+    StoreWrites = 25,
+    /// Persistence: snapshot compactions of the store's record log.
+    StoreCompactions = 26,
+    /// Runs resumed from a checkpoint (CLI `resume` or any caller of
+    /// `Budget::note_resumed_from`).
+    Resumes = 27,
 }
 
 impl Counter {
     /// Number of counters (size of the accounting array).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 28;
 
     /// All counters, in accounting-array (and JSON) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -153,6 +163,10 @@ impl Counter {
         Counter::CertifyFailures,
         Counter::CertifyFarkasSteps,
         Counter::FaultsInjected,
+        Counter::StoreHits,
+        Counter::StoreWrites,
+        Counter::StoreCompactions,
+        Counter::Resumes,
     ];
 
     /// Stable lowercase snake_case name — the JSON schema key.
@@ -182,6 +196,10 @@ impl Counter {
             Counter::CertifyFailures => "certify_failures",
             Counter::CertifyFarkasSteps => "certify_farkas_steps",
             Counter::FaultsInjected => "faults_injected",
+            Counter::StoreHits => "store_hits",
+            Counter::StoreWrites => "store_writes",
+            Counter::StoreCompactions => "store_compactions",
+            Counter::Resumes => "resumes",
         }
     }
 
@@ -421,6 +439,7 @@ impl Tracer {
             target: String::new(),
             outcome: outcome.to_string(),
             aborted: false,
+            resumed_from_step: None,
             wall_ms: u64::try_from(self.elapsed().as_millis()).unwrap_or(u64::MAX),
             stages: Vec::new(),
             counters: Counter::ALL
@@ -613,6 +632,10 @@ mod tests {
                 "certify_failures",
                 "certify_farkas_steps",
                 "faults_injected",
+                "store_hits",
+                "store_writes",
+                "store_compactions",
+                "resumes",
             ]
         );
     }

@@ -41,7 +41,7 @@
 
 use std::fmt::Write as _;
 
-use crate::json::write_escaped;
+use crate::json::{write_escaped, Value};
 
 /// Current report schema version.
 pub const RUN_REPORT_VERSION: u64 = 1;
@@ -86,6 +86,11 @@ pub struct RunReport {
     /// Serialized only when `true` (a compatible addition — absent means
     /// the run completed).
     pub aborted: bool,
+    /// The checkpointed step count this run resumed from, when it was
+    /// restarted from a persisted checkpoint (CLI `resume`). Serialized
+    /// only when present (a compatible addition — absent means a fresh
+    /// run).
+    pub resumed_from_step: Option<u64>,
     /// Wall-clock from tracer construction to report, milliseconds.
     pub wall_ms: u64,
     /// Per-stage aggregates, sorted by name.
@@ -141,6 +146,97 @@ impl RunReport {
         self.stages.insert(pos, entry);
     }
 
+    /// Parses a report serialized by [`RunReport::to_json`] back into a
+    /// structured value — the read side of the stable schema, used by
+    /// tooling that joins persisted `--stats` files and by the round-trip
+    /// property test.
+    ///
+    /// Numbers ride through the shared JSON layer as `f64`, so values are
+    /// exact up to 2^53 — far beyond any real counter, but noted for
+    /// completeness. Unknown keys are ignored (compatible additions);
+    /// missing required keys are errors. Counters come back sorted by
+    /// name (JSON objects are unordered; the parser's map is a `BTreeMap`),
+    /// which may differ from the writer's declaration order — compare
+    /// counter *sets*, not sequences, across a round trip.
+    pub fn from_json(input: &str) -> Result<RunReport, String> {
+        let v = crate::json::parse(input)?;
+        let obj = v.as_obj().ok_or("report must be a JSON object")?;
+        let str_field = |key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string {key:?}"))
+        };
+        let num_field = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer {key:?}"))
+        };
+        let mut stages = Vec::new();
+        for s in obj
+            .get("stages")
+            .and_then(Value::as_arr)
+            .ok_or("missing \"stages\" array")?
+        {
+            let name = s
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("stage without a name")?;
+            let stage_num = |key: &str| -> Result<u64, String> {
+                s.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("stage {name:?}: missing or non-integer {key:?}"))
+            };
+            let mut histogram = Vec::new();
+            for bucket in s
+                .get("histogram_log2_ns")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("stage {name:?}: missing histogram"))?
+            {
+                histogram.push(
+                    bucket
+                        .as_u64()
+                        .ok_or_else(|| format!("stage {name:?}: non-integer bucket"))?,
+                );
+            }
+            stages.push(StageReport {
+                name: name.to_string(),
+                calls: stage_num("calls")?,
+                duration_ns: stage_num("duration_ns")?,
+                max_ns: stage_num("max_ns")?,
+                budget_steps: stage_num("budget_steps")?,
+                histogram_log2_ns: histogram,
+            });
+        }
+        let mut counters = Vec::new();
+        for (name, value) in obj
+            .get("counters")
+            .and_then(Value::as_obj)
+            .ok_or("missing \"counters\" object")?
+        {
+            counters.push((
+                name.clone(),
+                value
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {name:?} is not an integer"))?,
+            ));
+        }
+        Ok(RunReport {
+            version: num_field("version")?,
+            command: str_field("command")?,
+            target: str_field("target")?,
+            outcome: str_field("outcome")?,
+            aborted: matches!(obj.get("aborted"), Some(Value::Bool(true))),
+            resumed_from_step: match obj.get("resumed_from_step") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or("non-integer \"resumed_from_step\"")?),
+            },
+            wall_ms: num_field("wall_ms")?,
+            stages,
+            counters,
+        })
+    }
+
     /// Serializes to the stable JSON schema (single line, no trailing
     /// newline).
     pub fn to_json(&self) -> String {
@@ -154,6 +250,9 @@ impl RunReport {
         write_escaped(&mut out, &self.outcome);
         if self.aborted {
             out.push_str(",\"aborted\":true");
+        }
+        if let Some(step) = self.resumed_from_step {
+            let _ = write!(out, ",\"resumed_from_step\":{step}");
         }
         let _ = write!(out, ",\"wall_ms\":{}", self.wall_ms);
         out.push_str(",\"stages\":[");
@@ -202,6 +301,7 @@ mod tests {
             target: "schemas/figure1.cr".to_string(),
             outcome: "negative".to_string(),
             aborted: false,
+            resumed_from_step: None,
             wall_ms: 7,
             stages: vec![StageReport {
                 name: "expansion".to_string(),
@@ -259,6 +359,32 @@ mod tests {
         report.aborted = true;
         let v = parse(&report.to_json()).unwrap();
         assert_eq!(v.get("aborted"), Some(&crate::json::Value::Bool(true)));
+    }
+
+    #[test]
+    fn from_json_round_trips_the_sample() {
+        let report = sample();
+        let parsed = RunReport::from_json(&report.to_json()).expect("parse back");
+        // The sample's counters happen to be alphabetical, so full
+        // structural equality holds here.
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn resumed_from_step_is_serialized_only_when_set() {
+        let mut report = sample();
+        assert!(!report.to_json().contains("resumed_from_step"));
+        report.resumed_from_step = Some(123);
+        let parsed = RunReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed.resumed_from_step, Some(123));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        assert!(RunReport::from_json("[]").is_err());
+        assert!(RunReport::from_json("{\"version\":1}").is_err());
+        let no_outcome = sample().to_json().replace("\"outcome\"", "\"outkome\"");
+        assert!(RunReport::from_json(&no_outcome).is_err());
     }
 
     #[test]

@@ -91,6 +91,12 @@ mod armed {
         ("server.response.write", "1#return"),
         ("server.cache.get", "return"),
         ("server.cache.insert", "panic(chaos: cache.insert)"),
+        // Store sites: a failed append/sync/rename must cost at most the
+        // durability of that one verdict, never the response (the server
+        // counts the error and answers normally).
+        ("store.append.write", "return"),
+        ("store.append.sync", "1#return"),
+        ("store.compact.rename", "return"),
     ];
 
     struct Daemon {
@@ -102,14 +108,19 @@ mod armed {
     }
 
     /// Boots a fresh daemon *after* the fault plan is installed (so even
-    /// worker-startup faults are exercised) and connects one client.
+    /// worker-startup faults are exercised) and connects one client. The
+    /// daemon gets a fresh durable store so the `store.*` sites fire on
+    /// the persist path.
     fn boot() -> Daemon {
+        let cache_dir = std::env::temp_dir().join("cr-chaos-store");
+        let _ = std::fs::remove_dir_all(&cache_dir);
         let server = Server::new(ServerConfig {
             workers: 2,
             queue_capacity: 8,
             cache_capacity: 8,
             cache_shards: 2,
             default_timeout_ms: Some(30_000),
+            cache_dir: Some(cache_dir),
             ..ServerConfig::default()
         });
         let stop = Arc::new(AtomicBool::new(false));

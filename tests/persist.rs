@@ -1,0 +1,252 @@
+//! Persistence invariants, at the library level:
+//!
+//! * **Checkpoint/resume equivalence** — interrupting `check` at *any*
+//!   budget, serializing the checkpoint (through its JSON round trip), and
+//!   resuming from it yields exactly the per-class verdicts and
+//!   certificates of an uninterrupted run.
+//! * **Warm restart** — a server booted on the store directory of a dead
+//!   predecessor serves the predecessor's certified verdicts from memory,
+//!   marked `cached`, with zero flips.
+//! * **Torn-tail tolerance** — cutting the verdict log mid-record costs at
+//!   most the torn record; every earlier verdict survives, unflipped.
+
+use std::path::PathBuf;
+
+use cr_core::checkpoint::Checkpoint;
+use cr_core::expansion::ExpansionConfig;
+use cr_core::sat::{Reasoner, Strategy};
+use cr_core::{Budget, CrError};
+use cr_server::{Op, Request, Server, ServerConfig};
+
+const FIGURE1: &str = include_str!("../schemas/figure1.cr");
+const MEETING: &str = include_str!("../schemas/meeting.cr");
+const UNIVERSITY: &str = include_str!("../schemas/university.cr");
+const SHAPES: &str = include_str!("../schemas/shapes.cr");
+
+const FIXTURES: &[(&str, &str)] = &[
+    ("figure1", FIGURE1),
+    ("meeting", MEETING),
+    ("university", UNIVERSITY),
+    ("shapes", SHAPES),
+];
+
+/// Deterministic scratch dir (no wall clock — FNV of the tag).
+fn tmp(tag: &str) -> PathBuf {
+    let h = tag.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    let dir = std::env::temp_dir().join(format!("cr-persist-{tag}-{h:x}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Per-class satisfiability of an unbudgeted run — the ground truth a
+/// resumed run must reproduce exactly.
+fn baseline(schema: &cr_core::Schema) -> Vec<bool> {
+    let r = Reasoner::with_budget(
+        schema,
+        &ExpansionConfig::default(),
+        Strategy::default(),
+        &Budget::unlimited(),
+    )
+    .expect("unbudgeted run cannot trip");
+    schema
+        .classes()
+        .map(|c| r.is_class_satisfiable(c))
+        .collect()
+}
+
+/// For every fixture, interrupt `check` at a dense-then-geometric schedule
+/// of budgets (every cut early on, where stages transition; growing strides
+/// later), checkpoint through the JSON round trip as the CLI would, resume,
+/// and compare against the uninterrupted run — verdicts always,
+/// certificates on the cuts that carried a frontier.
+#[test]
+fn resume_agrees_with_the_uninterrupted_run_at_every_cut() {
+    for (name, source) in FIXTURES {
+        let schema = cr_lang::parse_schema(source).expect("fixture parses");
+        let truth = baseline(&schema);
+        let hash = cr_core::canonical_hash(&schema);
+
+        let mut frontier_cuts = 0usize;
+        let mut max_steps = 1u64;
+        loop {
+            let budget = Budget::unlimited().with_max_steps(max_steps);
+            match Reasoner::with_budget(
+                &schema,
+                &ExpansionConfig::default(),
+                Strategy::default(),
+                &budget,
+            ) {
+                Ok(_) => break, // budget large enough; nothing left to interrupt
+                Err(CrError::BudgetExceeded { stage, .. }) => {
+                    let cp = Checkpoint::from_interrupted(
+                        "check",
+                        cr_lang::print_schema(&schema),
+                        hash,
+                        "aggregated",
+                        stage,
+                        &budget,
+                    );
+                    // Round-trip through the serialized form, as the CLI
+                    // does between `check --checkpoint` and `resume`.
+                    let cp = Checkpoint::from_json(&cp.to_json()).expect("checkpoint round-trips");
+                    assert!(cp.matches_schema(hash), "[{name}] hash binding broke");
+                    if cp.frontier.is_some() {
+                        frontier_cuts += 1;
+                    }
+
+                    let resumed_budget = Budget::unlimited();
+                    resumed_budget.note_resumed_from(cp.steps);
+                    let r = Reasoner::with_budget_resumed(
+                        &schema,
+                        &ExpansionConfig::default(),
+                        Strategy::default(),
+                        &resumed_budget,
+                        cp.frontier.as_deref(),
+                    )
+                    .expect("unbudgeted resume cannot trip");
+                    let resumed: Vec<bool> = schema
+                        .classes()
+                        .map(|c| r.is_class_satisfiable(c))
+                        .collect();
+                    assert_eq!(
+                        resumed, truth,
+                        "[{name}] resume from max_steps={max_steps} flipped a verdict"
+                    );
+                    // The certificate chain must also hold on resumed runs;
+                    // certifying every cut would dominate the suite, so
+                    // spend it on the interesting ones — those that
+                    // actually carried a frontier into the fixpoint.
+                    if cp.frontier.is_some() && frontier_cuts <= 3 {
+                        let cert = cr_core::certify_check(&schema, &resumed_budget)
+                            .expect("certification of a resumed run");
+                        assert!(
+                            cert.ok(),
+                            "[{name}] resumed run failed certification: {:?}",
+                            cert.failures
+                        );
+                        let unsat: Vec<String> = schema
+                            .classes()
+                            .zip(&resumed)
+                            .filter(|(_, sat)| !**sat)
+                            .map(|(c, _)| schema.class_name(c).to_string())
+                            .collect();
+                        assert_eq!(cert.unsat_classes, unsat, "[{name}] certificate disagrees");
+                    }
+                }
+                Err(other) => panic!("[{name}] unexpected error: {other}"),
+            }
+            // Dense early (stage boundaries live there), geometric later.
+            max_steps += 1 + max_steps / 8;
+        }
+        assert!(
+            frontier_cuts > 0,
+            "[{name}] no cut ever produced a frontier — the offer path is dead"
+        );
+    }
+}
+
+fn check_request(id: &str, schema: &str) -> Request {
+    let mut r = Request::new(id.to_string(), Op::Check);
+    r.schema = Some(schema.to_string());
+    r
+}
+
+/// A server reopened on its predecessor's store directory must serve every
+/// previously certified verdict from memory, unflipped.
+#[test]
+fn warm_restart_serves_all_prior_verdicts_cached() {
+    let dir = tmp("warm-restart");
+    let config = || ServerConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let mut cold = Vec::new();
+    {
+        let server = Server::new(config());
+        for (name, source) in FIXTURES {
+            let resp = server.process_request(&check_request(name, source));
+            assert!(!resp.cached, "[{name}] first sight cannot be cached");
+            cold.push((name, resp.status, resp.verdict.clone()));
+        }
+        assert_eq!(
+            server.persisted_verdicts(),
+            Some(FIXTURES.len()),
+            "every certified check verdict must reach the store"
+        );
+        server.finish();
+        // No graceful close beyond finish(): drop simulates process death
+        // after the appends (each append is synced individually).
+    }
+
+    let server = Server::new(config());
+    let recovery = server.store_recovery().expect("store is configured");
+    assert_eq!(recovery.truncated_bytes, 0, "clean log must recover fully");
+    assert_eq!(recovery.recovered_records as usize, FIXTURES.len());
+    assert_eq!(server.cached_verdicts(), FIXTURES.len(), "rehydration");
+    for (name, status, verdict) in cold {
+        let resp = server.process_request(&check_request(
+            name,
+            FIXTURES
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| *s)
+                .unwrap(),
+        ));
+        assert!(resp.cached, "[{name}] warm restart must serve from memory");
+        assert_eq!(
+            resp.status, status,
+            "[{name}] verdict flipped across restart"
+        );
+        assert_eq!(resp.verdict, verdict, "[{name}] verdict text changed");
+    }
+    server.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torn tail: cut the log mid-record; the reopened server loses at most
+/// the torn verdict and recomputes it to the same answer.
+#[test]
+fn torn_log_tail_loses_at_most_the_last_verdict() {
+    let dir = tmp("torn-tail");
+    let config = || ServerConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let mut verdicts = Vec::new();
+    {
+        let server = Server::new(config());
+        for (name, source) in FIXTURES {
+            let resp = server.process_request(&check_request(name, source));
+            verdicts.push((name, source, resp.status, resp.verdict.clone()));
+        }
+        server.finish();
+    }
+    let log = dir.join("verdicts.log");
+    let image = std::fs::read(&log).expect("log exists");
+    std::fs::write(&log, &image[..image.len() - 5]).expect("tear the tail");
+
+    let server = Server::new(config());
+    let recovery = server.store_recovery().expect("store is configured");
+    assert!(recovery.truncated_bytes > 0, "the tear must be detected");
+    assert_eq!(
+        recovery.recovered_records as usize,
+        FIXTURES.len() - 1,
+        "exactly the torn record is lost"
+    );
+    for (i, (name, source, status, verdict)) in verdicts.iter().enumerate() {
+        let resp = server.process_request(&check_request(name, source));
+        if i < FIXTURES.len() - 1 {
+            assert!(resp.cached, "[{name}] surviving record must serve warm");
+        }
+        // Warm or recomputed, the answer never flips.
+        assert_eq!(resp.status, *status, "[{name}] verdict flipped");
+        assert_eq!(resp.verdict, *verdict, "[{name}] verdict text changed");
+    }
+    server.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}

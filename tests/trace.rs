@@ -16,7 +16,7 @@ use cr_core::model::ModelConfig;
 use cr_core::sat::{Reasoner, Strategy};
 use cr_core::schema::Schema;
 use cr_trace::json::parse;
-use cr_trace::{Counter, EventSink, NullSink, TraceEvent, Tracer};
+use cr_trace::{Counter, EventSink, NullSink, RunReport, StageReport, TraceEvent, Tracer};
 use proptest::prelude::*;
 
 /// Runs the full pipeline (reasoner + one implication probe + model
@@ -232,5 +232,103 @@ proptest! {
         let report = cr_core::run_report(&budget, "prop", "ok");
         prop_assert!(report.stage("expansion").is_some());
         prop_assert!(parse(&report.to_json()).is_ok());
+    }
+}
+
+/// One randomized stage entry. Every count stays below 2^53 so the
+/// f64-backed JSON number representation reads it back exactly.
+fn arb_stage() -> impl proptest::strategy::Strategy<Value = StageReport> {
+    // The reasoner's `Strategy` enum shadows the proptest trait here.
+    use proptest::strategy::Strategy as _;
+    (
+        "\\PC*",
+        0u64..(1u64 << 53),
+        0u64..(1u64 << 53),
+        0u64..(1u64 << 53),
+        0u64..(1u64 << 53),
+        proptest::collection::vec(0u64..(1u64 << 53), 0..10usize),
+    )
+        .prop_map(
+            |(name, calls, duration_ns, max_ns, budget_steps, histogram_log2_ns)| StageReport {
+                name,
+                calls,
+                duration_ns,
+                max_ns,
+                budget_steps,
+                histogram_log2_ns,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hand-rolled report writer and the hand-rolled parser are
+    /// inverses over randomized reports: every field survives
+    /// `to_json` → `from_json`, including arbitrary (escaped) strings,
+    /// empty stage/counter inventories, and the conditionally-serialized
+    /// `aborted` / `resumed_from_step` fields in both states. Counters are
+    /// compared order-insensitively: the writer emits declaration order,
+    /// the parser returns them name-sorted.
+    #[test]
+    fn run_report_round_trips_through_its_json(
+        command in "\\PC*",
+        target in "\\PC*",
+        outcome in "\\PC*",
+        aborted in any::<bool>(),
+        resumed_from_step in proptest::option::of(0u64..(1u64 << 53)),
+        wall_ms in 0u64..(1u64 << 53),
+        stages in proptest::collection::vec(arb_stage(), 0..6usize),
+        counter_names in proptest::collection::btree_set("\\PC*", 0..8usize),
+        counter_values in proptest::collection::vec(0u64..(1u64 << 53), 8usize),
+    ) {
+        // Zip the (unique, name-sorted) counter names with values in
+        // *reverse* order, so the writer emits counters out of the
+        // parser's sorted order — the round trip must normalize, not rely
+        // on the orders happening to match.
+        let counters: Vec<(String, u64)> =
+            counter_names.into_iter().rev().zip(counter_values).collect();
+        let report = RunReport {
+            version: cr_trace::RUN_REPORT_VERSION,
+            command,
+            target,
+            outcome,
+            aborted,
+            resumed_from_step,
+            wall_ms,
+            stages,
+            counters,
+        };
+
+        let json = report.to_json();
+        // The conditional fields only appear when set. (String contents
+        // cannot forge these sequences: a quote inside a value is always
+        // escaped, so `,"aborted":true` can only come from the writer.)
+        if report.aborted {
+            prop_assert!(json.contains(",\"aborted\":true"));
+        }
+        if let Some(step) = report.resumed_from_step {
+            prop_assert!(json.contains(&format!(",\"resumed_from_step\":{step}")));
+        }
+
+        let back = match RunReport::from_json(&json) {
+            Ok(back) => back,
+            Err(e) => return Err(TestCaseError::Fail(format!(
+                "parser rejected the writer's output: {e}\n{json}"
+            ))),
+        };
+        prop_assert_eq!(back.version, report.version);
+        prop_assert_eq!(&back.command, &report.command);
+        prop_assert_eq!(&back.target, &report.target);
+        prop_assert_eq!(&back.outcome, &report.outcome);
+        prop_assert_eq!(back.aborted, report.aborted);
+        prop_assert_eq!(back.resumed_from_step, report.resumed_from_step);
+        prop_assert_eq!(back.wall_ms, report.wall_ms);
+        // Stages live in a JSON array: order round-trips exactly.
+        prop_assert_eq!(&back.stages, &report.stages);
+        // Counters live in a JSON object: compare as sorted sets.
+        let mut expected = report.counters.clone();
+        expected.sort();
+        prop_assert_eq!(&back.counters, &expected);
     }
 }
