@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Scripted client for the failover CI job.
+
+Drives a primary/standby pair of `crsat serve` daemons (protocol v1,
+JSON lines over TCP) through a full failover:
+
+* `populate <primary-port-file>` — streams generated schema checks at
+  the primary and records every *acknowledged* verdict (response
+  received) in a state file, one JSON line per ack, flushed as it goes.
+  Tolerates the connection dying mid-stream — that is the point: what
+  was acknowledged before the cut is the contract, nothing after.
+* `await-sync <primary-port-file> <standby-port-file>` — waits until the
+  standby's replication offset has reached the primary's log length (the
+  standby's poll offset is its ack, so offset == log length means every
+  durable verdict is mirrored).
+* `await-promote <standby-port-file>` — after the workflow SIGKILLs the
+  primary, waits for the standby to notice the lapsed heartbeat and
+  promote itself (stats report `role=primary`).
+* `verify <standby-port-file>` — replays every acknowledged check
+  against the promoted standby and asserts the failover contract: same
+  status, same verdict, and served from the warm store (`cached: true`)
+  — the standby recomputes nothing that was acknowledged.
+
+Usage: failover_client.py populate|await-sync|await-promote|verify <port-file>...
+"""
+
+import json
+import pathlib
+import socket
+import sys
+import time
+
+ACKED = pathlib.Path("/tmp/failover-acked.jsonl")
+DEADLINE_S = 120.0
+_START = time.monotonic()
+
+# Small, satisfiable schemas with an ISA/cardinality interaction; i keeps
+# their canonical forms (and so their store entries) distinct.
+FIXTURES = [
+    f"class A{i}; class B{i} isa A{i}; "
+    f"relationship R{i} (U1: A{i}, U2: B{i}); "
+    f"card A{i} in R{i}.U1: 1..2;"
+    for i in range(10)
+]
+
+
+def _addr_of(port_file):
+    """Parses a daemon port file: `host:port`, or `standby host:port`
+    while the daemon is a follower."""
+    text = open(port_file).read().strip()
+    host, port = text.split()[-1].rsplit(":", 1)
+    return host, int(port)
+
+
+def connect(port_file):
+    host, port = _addr_of(port_file)
+    deadline = time.monotonic() + 60
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=60)
+        except (ConnectionRefusedError, OSError):
+            assert time.monotonic() < deadline, "daemon never accepted"
+            time.sleep(0.1)
+
+
+def rpc(sock, rfile, req):
+    sock.sendall((json.dumps(req) + "\n").encode())
+    line = rfile.readline()
+    assert line, f"connection closed before reply to {req['id']}"
+    resp = json.loads(line)
+    assert resp["id"] == req["id"], resp
+    return resp
+
+
+def stat_of(port_file, key):
+    """One stats round trip; returns the named `key=value` entry."""
+    sock = connect(port_file)
+    rfile = sock.makefile("r", encoding="utf-8")
+    resp = rpc(sock, rfile, {"v": 1, "id": "stat", "op": "stats"})
+    sock.close()
+    for entry in resp["detail"]:
+        if entry.startswith(key + "="):
+            return entry[len(key) + 1 :]
+    return None
+
+
+def populate(port_file):
+    sock = connect(port_file)
+    rfile = sock.makefile("r", encoding="utf-8")
+    acked = 0
+    with ACKED.open("w") as out:
+        for i, schema in enumerate(FIXTURES):
+            req = {"v": 1, "id": f"w{i}", "op": "check", "schema": schema}
+            try:
+                resp = rpc(sock, rfile, req)
+            except (AssertionError, ConnectionError, OSError):
+                # The primary died mid-stream. Unacknowledged work is not
+                # covered by the contract; stop recording and move on.
+                break
+            assert resp["status"] == "ok", (i, resp)
+            out.write(
+                json.dumps(
+                    {"schema": schema, "status": resp["status"], "verdict": resp["verdict"]}
+                )
+                + "\n"
+            )
+            out.flush()
+            acked += 1
+    assert acked > 0, "no verdict was ever acknowledged"
+    print(f"populate: {acked}/{len(FIXTURES)} verdicts acknowledged")
+
+
+def await_sync(primary_port_file, standby_port_file):
+    goal = int(stat_of(primary_port_file, "store_log_bytes"))
+    assert goal > 0, "primary has an empty verdict log"
+    while True:
+        offset = int(stat_of(standby_port_file, "repl_offset") or 0)
+        if offset >= goal:
+            print(f"await-sync: standby mirrored {offset}/{goal} bytes")
+            return
+        assert (
+            time.monotonic() - _START < DEADLINE_S
+        ), f"standby never caught up ({offset}/{goal})"
+        time.sleep(0.1)
+
+
+def await_promote(standby_port_file):
+    while True:
+        role = stat_of(standby_port_file, "role")
+        if role == "primary":
+            promotions = stat_of(standby_port_file, "promotions")
+            print(f"await-promote: standby took over (promotions={promotions})")
+            return
+        assert (
+            time.monotonic() - _START < DEADLINE_S
+        ), f"standby never promoted itself (role={role})"
+        time.sleep(0.1)
+
+
+def verify(standby_port_file):
+    acked = [json.loads(line) for line in ACKED.read_text().splitlines()]
+    assert acked, "nothing to verify"
+    sock = connect(standby_port_file)
+    rfile = sock.makefile("r", encoding="utf-8")
+    for i, entry in enumerate(acked):
+        resp = rpc(
+            sock, rfile, {"v": 1, "id": f"r{i}", "op": "check", "schema": entry["schema"]}
+        )
+        # The failover contract: an acknowledged verdict survives the
+        # primary's death byte-identical and warm.
+        assert resp["status"] == entry["status"], (entry, resp)
+        assert resp["verdict"] == entry["verdict"], (entry, resp)
+        assert resp["cached"] is True, f"verdict {i} was recomputed, not warm: {resp}"
+    print(f"verify: all {len(acked)} acknowledged verdicts warm on the standby, zero flips")
+
+
+def main():
+    mode = sys.argv[1]
+    if mode == "populate":
+        populate(sys.argv[2])
+    elif mode == "await-sync":
+        await_sync(sys.argv[2], sys.argv[3])
+    elif mode == "await-promote":
+        await_promote(sys.argv[2])
+    elif mode == "verify":
+        verify(sys.argv[2])
+    else:
+        raise SystemExit(f"unknown mode {mode!r}")
+
+
+if __name__ == "__main__":
+    main()

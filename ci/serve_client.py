@@ -13,23 +13,47 @@ Usage: serve_client.py <port-file> <schemas-dir>
 
 import json
 import pathlib
-import random
 import socket
 import sys
 import time
 
-# Deterministic jitter source so CI retry timing is reproducible.
-_JITTER = random.Random(0)
-# Overall client deadline: connection attempts and overload retries both
+# Overall client deadline: connection attempts and shed retries both
 # stop when this much wall-clock has elapsed since startup.
 DEADLINE_S = 60.0
 _START = time.monotonic()
 
+# One backoff algorithm, two implementations: `backoff_delay` in
+# crates/server/src/admission.rs is the Rust twin of `backoff_delay_ms`
+# below, and the `backoff_agrees_with_the_python_client` test in
+# tests/ha.rs executes this file to assert the two produce identical
+# delays. Change the constants or the jitter here and you must change
+# them there (the test will tell you).
+BACKOFF_BASE_MS = 10
+BACKOFF_CAP_MS = 1000
+BACKOFF_DOUBLING_CAP = 16
+# Give up after this many shed retries, matching `crsat batch`.
+MAX_SHED_RETRIES = 8
+_MASK64 = (1 << 64) - 1
+# Deterministic jitter state so CI retry timing is reproducible.
+_BACKOFF_STATE = [0x9E3779B97F4A7C15]
+
+
+def backoff_delay_ms(state, attempt):
+    """Delay before retry `attempt` (0-based): a jittered exponential in
+    [B(n), 1.5*B(n)] ms with B(n) = min(10*2**n, 1000), jitter drawn from
+    a seeded xorshift64 (`state` is a one-element list holding it)."""
+    base = min(BACKOFF_BASE_MS * (2 ** min(attempt, BACKOFF_DOUBLING_CAP)), BACKOFF_CAP_MS)
+    x = state[0]
+    x ^= (x << 13) & _MASK64
+    x ^= x >> 7
+    x ^= (x << 17) & _MASK64
+    state[0] = x
+    return base + x % (base // 2 + 1)
+
 
 def _backoff(attempt):
-    """Exponential backoff (10 ms base, 1 s cap) plus up to 50% jitter."""
-    base = min(0.010 * (2**attempt), 1.0)
-    return base + _JITTER.uniform(0, base / 2)
+    """Seconds to sleep before retry `attempt` of this client's work."""
+    return backoff_delay_ms(_BACKOFF_STATE, attempt) / 1000.0
 
 
 def _remaining():
@@ -64,18 +88,18 @@ def main():
         return resp
 
     def rpc(req):
-        # Overload ("server overloaded: ..." error detail) is transient
-        # backpressure, not failure: retry with backoff until the deadline.
+        # `shed` (exit code 4) is the server saying "not now, retryable":
+        # transient backpressure, not failure. Retry with the shared
+        # backoff until the attempt cap or the deadline.
         attempt = 0
         while True:
             resp = rpc_once(req)
-            overloaded = resp["status"] == "error" and any(
-                d.startswith("server overloaded") for d in resp.get("detail", [])
-            )
-            if not overloaded:
+            if resp["status"] != "shed":
                 return resp
+            assert resp["exit_code"] == 4, resp
+            assert attempt < MAX_SHED_RETRIES, f"still shed after {attempt} retries: {resp}"
             delay = _backoff(attempt)
-            assert _remaining() > delay, f"still overloaded at the deadline: {resp}"
+            assert _remaining() > delay, f"still shed at the deadline: {resp}"
             time.sleep(delay)
             attempt += 1
 

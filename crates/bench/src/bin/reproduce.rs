@@ -5,9 +5,13 @@
 //! reproduce                 # everything
 //! reproduce figures         # Figures 1-7 + the Section 3.3 counterexample
 //! reproduce scaling         # experiments E1-E7
+//! reproduce bench           # machine-readable snapshot: E-series timings
+//!                           # + a daemon load run (BENCH_<date>.json)
 //! reproduce --quick         # smaller sweeps (CI-friendly)
 //! reproduce --stats FILE    # also write a RunReport (JSON) for the
 //!                           # instrumented reference pipeline to FILE
+//! reproduce bench --out F   # snapshot destination (default BENCH_<date>.json)
+//! reproduce bench --date D  # stamp the snapshot with date D (default today)
 //! ```
 
 use std::time::Instant;
@@ -29,7 +33,10 @@ fn main() {
     let what = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--stats"))
+        .filter(|&(i, a)| {
+            !(a.starts_with("--")
+                || i > 0 && matches!(args[i - 1].as_str(), "--stats" | "--out" | "--date"))
+        })
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
@@ -39,9 +46,46 @@ fn main() {
     if what == "scaling" || what == "all" {
         scaling(quick);
     }
+    if what == "bench" {
+        let date = flag_value(&args, "--date").unwrap_or_else(today);
+        let out = flag_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
+        bench_snapshot(quick, &out, &date);
+    }
     if let Some(path) = stats {
         write_run_report(&path);
     }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let eq = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Today as `YYYY-MM-DD` (UTC), from the epoch by the standard civil
+/// calendar conversion — no date dependency needed for a file stamp.
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 fn stats_path(args: &[String]) -> Option<String> {
@@ -554,4 +598,163 @@ fn e6_disjointness(quick: bool) {
         let _ = r;
         println!("| {n} | {g} | {ncc} | {rows} | {ms:.2} |");
     }
+}
+
+// --------------------------------------------------------------------------
+// `bench` — machine-readable snapshot (BENCH_<date>.json)
+// --------------------------------------------------------------------------
+
+/// Runs a compact version of the E-series sweeps plus a daemon load run
+/// and writes one JSON document: per-experiment timing rows, and the
+/// daemon's aggregate RunReport (the same schema `crsat --stats` emits,
+/// so one toolchain reads both). The snapshot is what a release commits
+/// at the repo root as `BENCH_<date>.json`.
+fn bench_snapshot(quick: bool, out: &str, date: &str) {
+    header(&format!("bench snapshot — {date}"));
+    let mut rows: Vec<String> = Vec::new();
+
+    // E1: expansion growth by ISA shape.
+    let e1_sizes: &[usize] = if quick { &[4, 6] } else { &[4, 6, 8, 10] };
+    for &shape in &[
+        SchemaShape::Flat,
+        SchemaShape::IsaModerate,
+        SchemaShape::IsaHeavy,
+    ] {
+        for &n in e1_sizes {
+            let schema = SchemaGen::shaped(shape, n, 3, 11).build();
+            let config = ExpansionConfig {
+                max_compound_classes: 1 << 20,
+                max_compound_rels: 1 << 22,
+            };
+            let (exp, ms) = time(|| Expansion::build(&schema, &config));
+            if let Ok(exp) = exp {
+                rows.push(format!(
+                    "{{\"id\":\"E1\",\"shape\":\"{shape:?}\",\"classes\":{n},\
+                     \"compound_classes\":{},\"compound_rels\":{},\"ms\":{ms:.3}}}",
+                    exp.compound_classes().len(),
+                    exp.compound_rels().len()
+                ));
+            }
+        }
+    }
+
+    // E2: full satisfiability check.
+    let e2_sizes: &[usize] = if quick { &[3, 5] } else { &[3, 5, 7, 9] };
+    for &n in e2_sizes {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, n, 3, 23).build();
+        let (r, ms) = time(|| Reasoner::new(&schema).unwrap());
+        rows.push(format!(
+            "{{\"id\":\"E2\",\"classes\":{n},\"unknowns\":{},\
+             \"unsat_classes\":{},\"ms\":{ms:.3}}}",
+            r.system().num_unknowns(),
+            r.unsatisfiable_classes().len()
+        ));
+    }
+
+    // E4: ICDE'94 vs the LN90 baseline on flat schemas.
+    let e4_sizes: &[usize] = if quick { &[4, 6] } else { &[4, 6, 8] };
+    for &n in e4_sizes {
+        let schema = SchemaGen::shaped(SchemaShape::Flat, n, 2, 41).build();
+        let (base, base_ms) = time(|| BaselineReasoner::new(&schema).unwrap());
+        let (full, full_ms) = time(|| Reasoner::new(&schema).unwrap());
+        let agree = schema
+            .classes()
+            .all(|c| base.is_class_satisfiable(c) == full.is_class_satisfiable(c));
+        assert!(agree);
+        rows.push(format!(
+            "{{\"id\":\"E4\",\"classes\":{n},\"baseline_ms\":{base_ms:.3},\
+             \"full_ms\":{full_ms:.3},\"agree\":{agree}}}"
+        ));
+    }
+
+    // E5: implication probes.
+    let e5_sizes: &[usize] = if quick { &[3] } else { &[3, 4, 5] };
+    let config = ExpansionConfig::default();
+    for &n in e5_sizes {
+        let schema = SchemaGen::shaped(SchemaShape::IsaModerate, n, 2, 53).build();
+        if let Some(d) = schema.card_declarations().first() {
+            let (_, minc_ms) = time(|| implied_minc(&schema, d.class, d.role, &config).unwrap());
+            let (_, maxc_ms) =
+                time(|| implied_maxc(&schema, d.class, d.role, &config, 1 << 12).unwrap());
+            rows.push(format!(
+                "{{\"id\":\"E5\",\"classes\":{n},\
+                 \"minc_ms\":{minc_ms:.3},\"maxc_ms\":{maxc_ms:.3}}}"
+            ));
+        }
+    }
+
+    let daemon = daemon_load(quick);
+
+    let doc = format!(
+        "{{\"version\":1,\"date\":\"{date}\",\"quick\":{quick},\
+         \"experiments\":[{}],\"daemon\":{daemon}}}\n",
+        rows.join(",")
+    );
+    match std::fs::write(out, &doc) {
+        Ok(()) => println!(
+            "bench snapshot written to {out} ({} experiment rows)",
+            rows.len()
+        ),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The daemon load generator: boots an in-process server, pushes a batch
+/// of distinct generated checks through the worker pool (with mixed
+/// priorities and per-request deadlines, so the admission path is the
+/// production one), replays half of them to exercise the verdict cache,
+/// and returns a JSON object embedding the server-lifetime aggregate
+/// RunReport.
+fn daemon_load(quick: bool) -> String {
+    use cr_server::{Op, Request, Server, ServerConfig};
+    use std::sync::mpsc;
+
+    let workers = 4;
+    let server = Server::new(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    });
+    let n = if quick { 12 } else { 32 };
+    let lines: Vec<String> = (0..n)
+        .map(|i| {
+            let schema = SchemaGen::shaped(SchemaShape::IsaModerate, 3 + i % 3, 2, 101 + i as u64);
+            let mut request = Request::new(format!("load-{i}"), Op::Check);
+            request.schema = Some(cr_lang::print_schema(&schema.build()));
+            request.priority = (i % 10) as u8;
+            request.deadline_ms = Some(30_000);
+            request.to_json()
+        })
+        .collect();
+    let drive = |batch: &[String]| {
+        let (tx, rx) = mpsc::channel();
+        for line in batch {
+            let tx = tx.clone();
+            let worker = server.clone();
+            let line = line.clone();
+            server
+                .submit(Box::new(move || {
+                    let response = worker.process_line(&line);
+                    tx.send(response.status).unwrap();
+                }))
+                .expect("pool accepts load jobs");
+        }
+        drop(tx);
+        rx.iter().count()
+    };
+    let t0 = Instant::now();
+    let answered = drive(&lines) + drive(&lines[..n / 2]);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let report = server.final_report("ok");
+    server.finish();
+    let requests = lines.len() + n / 2;
+    assert_eq!(answered, requests, "every load request must be answered");
+    format!(
+        "{{\"requests\":{requests},\"workers\":{workers},\"wall_ms\":{wall_ms:.3},\
+         \"throughput_rps\":{:.1},\"report\":{}}}",
+        requests as f64 / (wall_ms / 1e3),
+        report.to_json()
+    )
 }

@@ -13,7 +13,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use cr_core::Budget;
-use cr_server::{Job, Op, Request, Server, ServerConfig, SubmitError};
+use cr_server::{backoff_delay, Job, Op, Request, Server, ServerConfig, Status, SubmitError};
 
 /// Turns the invocation budget's deadline/step-cap into per-request
 /// defaults for the service.
@@ -36,6 +36,9 @@ struct ServiceFlags {
     queue: Option<usize>,
     cache: Option<usize>,
     cache_dir: Option<String>,
+    follow: Option<String>,
+    follow_poll_ms: Option<u64>,
+    promote_after_ms: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -47,6 +50,9 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
         queue: None,
         cache: None,
         cache_dir: None,
+        follow: None,
+        follow_poll_ms: None,
+        promote_after_ms: None,
         positional: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -57,7 +63,15 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
         };
         if !matches!(
             flag,
-            "--addr" | "--port-file" | "--workers" | "--queue" | "--cache" | "--cache-dir"
+            "--addr"
+                | "--port-file"
+                | "--workers"
+                | "--queue"
+                | "--cache"
+                | "--cache-dir"
+                | "--follow"
+                | "--follow-poll-ms"
+                | "--promote-after-ms"
         ) {
             flags.positional.push(arg.clone());
             continue;
@@ -87,6 +101,9 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
             "--queue" => flags.queue = Some(parse_count(&value)?),
             "--cache" => flags.cache = Some(parse_count(&value)?),
             "--cache-dir" => flags.cache_dir = Some(value),
+            "--follow" => flags.follow = Some(value),
+            "--follow-poll-ms" => flags.follow_poll_ms = Some(parse_count(&value)? as u64),
+            "--promote-after-ms" => flags.promote_after_ms = Some(parse_count(&value)? as u64),
             _ => unreachable!("flag matched above"),
         }
     }
@@ -96,12 +113,17 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
 /// `crsat serve`: run the JSON-lines reasoning daemon until EOF, a
 /// `shutdown` request, or SIGTERM/SIGINT. Stdio by default; `--addr
 /// host:port` serves TCP (port 0 picks a free port; `--port-file <path>`
-/// writes the bound address for scripts to discover). `--cache-dir <dir>`
-/// makes certified verdicts durable: they are rehydrated into the cache
-/// on the next boot, so a restarted (even SIGKILLed) daemon answers
-/// previously settled questions warm. On drain the server emits its
-/// aggregate RunReport as one JSON line on stderr — on every exit path
-/// (client EOF, `shutdown` request, or signal).
+/// writes the bound address for scripts to discover — rewritten
+/// atomically on promotion, so a watcher never reads a torn address).
+/// `--cache-dir <dir>` makes certified verdicts durable: they are
+/// rehydrated into the cache on the next boot, so a restarted (even
+/// SIGKILLed) daemon answers previously settled questions warm.
+/// `--follow host:port` boots a warm *standby* that mirrors the primary's
+/// verdict log into `--cache-dir` and promotes itself when the primary's
+/// heartbeat lapses for `--promote-after-ms` (or on a `promote` request).
+/// On drain the server emits its aggregate RunReport as one JSON line on
+/// stderr — on every exit path (client EOF, `shutdown` request, or
+/// signal).
 pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
     let flags = parse_service_flags(args)?;
     if let Some(extra) = flags.positional.first() {
@@ -109,6 +131,7 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
             "serve takes no positional arguments, got {extra:?}\n\
              usage: crsat serve [--addr host:port] [--port-file path] \
              [--workers n] [--queue n] [--cache n] [--cache-dir dir] \
+             [--follow host:port] [--follow-poll-ms n] [--promote-after-ms n] \
              [--timeout-ms n] [--max-steps n]"
         ));
     }
@@ -123,7 +146,22 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
         config.cache_capacity = c;
     }
     config.cache_dir = flags.cache_dir.as_ref().map(PathBuf::from);
+    config.port_file = flags.port_file.as_ref().map(PathBuf::from);
+    config.follow = flags.follow.clone();
+    if let Some(ms) = flags.follow_poll_ms {
+        config.follow_poll_ms = ms;
+    }
+    if let Some(ms) = flags.promote_after_ms {
+        config.promote_after_ms = ms;
+    }
     let server = Server::open(config).map_err(|e| format!("cannot open verdict store: {e}"))?;
+    if server.is_standby() {
+        eprintln!(
+            "crsat serve: standby following {} ({} warm verdict(s) mirrored)",
+            flags.follow.as_deref().unwrap_or("?"),
+            server.cached_verdicts()
+        );
+    }
     if let Some(recovery) = server.store_recovery() {
         let mut line = format!(
             "crsat serve: verdict store recovered {} record(s), {} warm verdict(s)",
@@ -143,19 +181,20 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
     }
 
     // First SIGTERM/SIGINT: stop reading, drain in-flight work. Second:
-    // trip the shared CancelToken so stuck requests abort at their next
-    // governor check. The watcher thread is process-lifetime by design.
+    // abort in-flight reasoning (per-request cancel tokens, so the abort
+    // reaches work already running) at the next governor check. The
+    // watcher thread is process-lifetime by design.
     cr_server::signal::install();
     let stop = Arc::new(AtomicBool::new(false));
     {
         let stop = Arc::clone(&stop);
-        let cancel = server.cancel_token();
+        let server = server.clone();
         std::thread::spawn(move || loop {
             if cr_server::signal::shutdown_flag().load(Ordering::SeqCst) {
                 stop.store(true, Ordering::SeqCst);
             }
             if cr_server::signal::cancel_flag().load(Ordering::SeqCst) {
-                cancel.cancel();
+                server.cancel_inflight();
                 return;
             }
             std::thread::sleep(Duration::from_millis(50));
@@ -167,20 +206,11 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
             .serve_stdio(&stop)
             .map_err(|e| format!("stdio serve failed: {e}"))?,
         Some(addr) => {
-            let port_file = flags.port_file.clone();
+            // The server itself writes (and on promotion atomically
+            // rewrites) the port file; the callback only logs.
             server
                 .serve_tcp(addr, Arc::clone(&stop), move |bound| {
                     eprintln!("crsat serve: listening on {bound}");
-                    if let Some(path) = port_file {
-                        // Atomic (write-temp-then-rename): a script polling
-                        // the path never reads a half-written address.
-                        if let Err(e) = cr_store::write_atomic(
-                            Path::new(&path),
-                            format!("{bound}\n").as_bytes(),
-                        ) {
-                            eprintln!("crsat serve: cannot write port file {path}: {e}");
-                        }
-                    }
                 })
                 .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
         }
@@ -215,8 +245,15 @@ fn collect_schemas(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+/// Shed retries before `crsat batch` gives up on one file. The Python
+/// client (`ci/serve_client.py`) uses the same limit.
+const MAX_SHED_RETRIES: u32 = 8;
+
 /// Checks one schema file through the server (so repeats hit the verdict
-/// cache), returning the display line and its exit code.
+/// cache), returning the display line and its exit code. A `shed`
+/// response is the server saying "not now, retryable": retry it with the
+/// shared jittered-exponential schedule ([`backoff_delay`]) before
+/// reporting it.
 fn check_file(server: &Server, path: &Path) -> (String, u8) {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -224,7 +261,21 @@ fn check_file(server: &Server, path: &Path) -> (String, u8) {
     };
     let mut request = Request::new(path.display().to_string(), Op::Check);
     request.schema = Some(source);
-    let response = server.process_request(&request);
+    let mut seed = path
+        .display()
+        .to_string()
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        })
+        | 1;
+    let mut response = server.process_request(&request);
+    let mut attempt = 0;
+    while response.status == Status::Shed && attempt < MAX_SHED_RETRIES {
+        std::thread::sleep(backoff_delay(&mut seed, attempt));
+        attempt += 1;
+        response = server.process_request(&request);
+    }
     let mut line = response.status.as_str().to_string();
     if let Some(v) = &response.verdict {
         line.push(' ');
@@ -239,39 +290,27 @@ fn check_file(server: &Server, path: &Path) -> (String, u8) {
     (line, response.status.exit_code())
 }
 
-/// Backoff schedule for overload retries: attempt `n` waits `10·2ⁿ` ms
-/// (capped at one second) plus a deterministic xorshift-derived jitter of
-/// up to half the base — retries from concurrent submitters spread out
-/// while staying reproducible for a given `(seed, attempt)` pair.
-fn backoff_delay(seed: u64, attempt: u32) -> Duration {
-    let base = 10u64.saturating_mul(1 << attempt.min(7)).min(1_000);
-    let mut x = seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    Duration::from_millis(base + x % (base / 2 + 1))
-}
-
-/// Submits through the non-blocking path, retrying overload with
-/// exponential backoff + jitter. The invocation budget's deadline bounds
-/// the waiting (so `--timeout-ms` covers queueing, not just reasoning):
-/// when it would be crossed, the structured `budget-exceeded` error
-/// surfaces instead of another retry.
+/// Submits through the non-blocking path, retrying overload with the
+/// shared jittered-exponential backoff ([`backoff_delay`] — the one
+/// schedule used by shed retries here and in `ci/serve_client.py`). The
+/// invocation budget's deadline bounds the waiting (so `--timeout-ms`
+/// covers queueing, not just reasoning): when it would be crossed, the
+/// structured `budget-exceeded` error surfaces instead of another retry.
 fn submit_with_retry(
     server: &Server,
     budget: &Budget,
     seed: u64,
     make_job: impl Fn() -> Job,
 ) -> Result<(), String> {
-    const MAX_RETRIES: u32 = 8;
-    for attempt in 0..=MAX_RETRIES {
+    let mut seed = seed | 1;
+    for attempt in 0..=MAX_SHED_RETRIES {
         match server.try_submit(make_job()) {
             Ok(()) => return Ok(()),
             Err(SubmitError::ShuttingDown) => {
                 return Err("worker pool rejected batch job: shutting down".to_string());
             }
-            Err(SubmitError::QueueFull) if attempt < MAX_RETRIES => {
-                let mut delay = backoff_delay(seed, attempt);
+            Err(SubmitError::QueueFull) if attempt < MAX_SHED_RETRIES => {
+                let mut delay = backoff_delay(&mut seed, attempt);
                 if let Some(deadline) = budget.deadline() {
                     let remaining = deadline.saturating_sub(budget.elapsed());
                     budget
@@ -285,7 +324,7 @@ fn submit_with_retry(
         }
     }
     Err(format!(
-        "server overloaded: request queue still full after {MAX_RETRIES} retries"
+        "server overloaded: request queue still full after {MAX_SHED_RETRIES} retries"
     ))
 }
 

@@ -22,6 +22,17 @@
 //! serve --cache-dir <dir>    durable verdict store; warm restarts
 //! ```
 //!
+//! High-availability flags (`crsat serve`):
+//!
+//! ```text
+//! serve --follow <host:port>    run as a warm standby mirroring that
+//!                               primary's verdict log (requires
+//!                               --cache-dir for the mirror)
+//! serve --follow-poll-ms <n>    replication poll interval (default 100)
+//! serve --promote-after-ms <n>  self-promote to primary after this long
+//!                               without a primary heartbeat (default 3000)
+//! ```
+//!
 //! Resource-governor flags (accepted by every reasoning command):
 //!
 //! ```text

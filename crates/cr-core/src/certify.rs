@@ -8,7 +8,7 @@
 //! solver path that produced it:
 //!
 //! * **SAT side.** The reasoner's witness is plugged back into the
-//!   paper-verbatim system with [`AcceptableSolution::verify`] — pure
+//!   paper-verbatim system with [`AcceptableSolution::verify`](crate::sat::AcceptableSolution::verify) — pure
 //!   rational arithmetic, no simplex — and its positive entries are
 //!   required to coincide exactly with the claimed maximal support.
 //! * **UNSAT side.** For every compound class *outside* the support, a

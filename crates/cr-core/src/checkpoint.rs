@@ -1,6 +1,6 @@
 //! Versioned checkpoints for interrupted reasoning runs.
 //!
-//! When the [`Budget`](crate::Budget) trips mid-fixpoint, the engine
+//! When the [`Budget`] trips mid-fixpoint, the engine
 //! deposits its surviving candidate set on the budget (see
 //! [`Budget::offer_frontier`](crate::Budget::offer_frontier)); a caller
 //! that wants to resume later serializes that state — together with the

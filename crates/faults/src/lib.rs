@@ -69,6 +69,14 @@ pub const SITES: &[&str] = &[
     "store.append.write",
     "store.append.sync",
     "store.compact.rename",
+    // High availability: the admission gate's shed decision; chunk
+    // shipping on the primary; chunk application on the standby's
+    // replica mirror; one supervisor pass (panic/delay only — the
+    // supervisor tick has no error channel, it must survive anything).
+    "server.admission.shed",
+    "server.repl.chunk",
+    "server.repl.apply",
+    "server.supervisor.tick",
 ];
 
 /// Declares a failpoint.

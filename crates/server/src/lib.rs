@@ -24,9 +24,23 @@
 //! * [`Server`] — ties the above together; every response can embed a
 //!   `cr-trace` `RunReport` whose `cache_hits` / `cache_misses` counters
 //!   prove where the verdict came from;
-//! * [`signal`] — SIGTERM/SIGINT → graceful drain; a second signal trips
-//!   the shared `CancelToken` and aborts in-flight reasoning via the
-//!   budget governor.
+//! * [`signal`] — SIGTERM/SIGINT → graceful drain; a second signal aborts
+//!   in-flight reasoning via per-request cancel tokens and the budget
+//!   governor.
+//!
+//! High availability (this crate's serving layer is expected to survive
+//! crashes, overload, and its own bugs):
+//!
+//! * [`repl`] — primary→standby replication by byte-level log shipping
+//!   (`replicate`/`promote` ops); a warm standby promotes itself when the
+//!   primary's heartbeat lapses, losing no acknowledged verdict;
+//! * [`supervise`] — worker respawn, wedge detection (deadline + grace →
+//!   cancel), and quarantine of schemas that crash the pipeline;
+//! * [`admission`] — deadline-aware admission control and AIMD
+//!   priority-based load shedding (`shed` responses are retryable, with
+//!   the shared [`backoff_delay`] schedule);
+//! * [`flight`] — coalescing of concurrent identical requests onto one
+//!   computation.
 //!
 //! The `crsat serve` and `crsat batch` subcommands in `cr-cli` are thin
 //! shells over this crate.
@@ -34,17 +48,22 @@
 #![deny(unsafe_code)] // sole exception: the `signal(2)` binding in `signal`
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod eval;
+pub mod flight;
 pub mod persist;
 pub mod pool;
 pub mod protocol;
+pub mod repl;
 pub mod signal;
+pub mod supervise;
 
 mod server;
 
+pub use admission::{backoff_delay, Admission, Admit};
 pub use cache::{CacheKey, CachedVerdict, VerdictCache};
 pub use persist::StoreRecovery;
 pub use pool::{Job, SubmitError, WorkerPool};
-pub use protocol::{Op, Request, Response, Status, PROTOCOL_VERSION};
+pub use protocol::{Op, ReplChunk, Request, Response, Status, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

@@ -108,6 +108,23 @@ impl PersistentStore {
         self.lock().sync()
     }
 
+    /// Current log length in bytes (replication position high-water mark).
+    pub(crate) fn log_bytes(&self) -> u64 {
+        self.lock().log_bytes()
+    }
+
+    /// Current log epoch (compaction count). Replication offsets are only
+    /// comparable within one epoch: compaction rewrites the file.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.lock().epoch()
+    }
+
+    /// Reads up to `max_len` raw log bytes starting at `offset` for
+    /// shipping to a standby; returns the bytes and the current log length.
+    pub(crate) fn read_range(&self, offset: u64, max_len: usize) -> io::Result<(Vec<u8>, u64)> {
+        self.lock().read_range(offset, max_len)
+    }
+
     /// Decodes every persisted entry for boot-time cache rehydration.
     /// Entries that fail to decode (future formats) are skipped, not
     /// fatal.
@@ -135,7 +152,9 @@ fn encode_key(canonical: &str, question: &str) -> Vec<u8> {
     key
 }
 
-fn decode_key(key: &[u8]) -> Option<(&str, &str)> {
+/// Splits a store key back into (canonical, question). Also used by the
+/// standby to warm its cache from replicated log records.
+pub(crate) fn decode_key(key: &[u8]) -> Option<(&str, &str)> {
     let clen = u32::from_le_bytes(key.get(0..4)?.try_into().ok()?) as usize;
     let canonical = std::str::from_utf8(key.get(4..4 + clen)?).ok()?;
     let question = std::str::from_utf8(key.get(4 + clen..)?).ok()?;
@@ -159,7 +178,9 @@ fn encode_verdict(verdict: &CachedVerdict) -> String {
     out
 }
 
-fn decode_verdict(value: &[u8]) -> Option<CachedVerdict> {
+/// Decodes a stored verdict value. Also used by the standby to warm its
+/// cache from replicated log records.
+pub(crate) fn decode_verdict(value: &[u8]) -> Option<CachedVerdict> {
     let text = std::str::from_utf8(value).ok()?;
     let v = json::parse(text).ok()?;
     let status = match v.get("status").and_then(Value::as_str)? {

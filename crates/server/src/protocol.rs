@@ -13,22 +13,36 @@
 //! {"v":1,"id":"r3","op":"ping"}
 //! {"v":1,"id":"r4","op":"stats"}
 //! {"v":1,"id":"r5","op":"shutdown"}
+//! {"v":1,"id":"r6","op":"replicate","offset":4096,"epoch":0}
+//! {"v":1,"id":"r7","op":"promote"}
 //! ```
 //!
 //! * `v` (required): protocol version; requests with any other version are
 //!   rejected with an error response (the response carries the server's
 //!   version, so clients can detect skew).
 //! * `id` (required): opaque correlation string, echoed verbatim.
-//! * `op` (required): `check`, `implies`, `ping`, `stats`, `shutdown`.
+//! * `op` (required): `check`, `implies`, `ping`, `stats`, `shutdown`,
+//!   `replicate`, `promote`.
 //! * `schema` (required for `check`/`implies`): DSL source text.
 //! * `query` (required for `implies`): the same words `crsat implies`
 //!   takes, e.g. `["isa","A","B"]`, `["min","C","R.U","2"]`,
 //!   `["max","C","R.U","3"]`.
 //! * `timeout_ms`, `max_steps` (optional): per-request resource budget.
+//! * `deadline_ms` (optional, `check`/`implies`): total milliseconds from
+//!   server receipt within which the response must be produced — covers
+//!   queueing, not just reasoning. Admission rejects (with status `shed`)
+//!   requests whose deadline has already expired or provably cannot fit;
+//!   what remains of the deadline at pickup becomes the request's budget.
+//! * `priority` (optional, `check`/`implies`): 0 (most important) to 9;
+//!   default 5. Under overload the adaptive gate sheds the *highest*
+//!   numbers first.
 //! * `certify` (optional, `check` only): when `true`, the server re-checks
 //!   the verdict through the independent certificate checker; the outcome
 //!   is visible in the report's `certify_checks` / `certify_failures`
 //!   counters and a rejected certificate turns the response into an error.
+//! * `offset`, `epoch` (optional, `replicate` only): the byte offset of
+//!   the primary's verdict log the standby wants next, and the log epoch
+//!   it is streaming under (see the `repl` response field).
 //!
 //! # Response (version 1)
 //!
@@ -38,9 +52,11 @@
 //!  "report":{...}}
 //! ```
 //!
-//! * `status`: `ok` | `negative` | `error` | `budget-exceeded` — the same
-//!   outcome vocabulary (and `exit_code` mapping 0/1/2/3) as the `crsat`
-//!   CLI.
+//! * `status`: `ok` | `negative` | `error` | `budget-exceeded` | `shed` —
+//!   the `crsat` outcome vocabulary (`exit_code` mapping 0/1/2/3) plus
+//!   `shed` (`exit_code` 4): the server refused the request under load or
+//!   because its deadline cannot be met. A shed is *retryable*: nothing
+//!   was computed, and a client should back off (with jitter) and resend.
 //! * `verdict`: a short machine-readable answer (`satisfiable`,
 //!   `unsatisfiable`, `implied`, `not-implied`, `pong`, `stats`,
 //!   `shutting-down`), or absent on errors.
@@ -53,12 +69,27 @@
 //! * `report`: an embedded `RunReport` (schema documented in `cr-trace`)
 //!   for the work this request performed — including `cache_hits` > 0 when
 //!   the verdict was served from cache.
+//! * `repl` (replicate responses only): one shipped chunk of the
+//!   primary's verdict log —
+//!   `{"offset":N,"len":N,"epoch":N,"reset":false,"data":"<hex>"}` where
+//!   `offset` echoes the requested offset, `len` is the primary's total
+//!   log length, `epoch` counts the primary's log compactions (offsets
+//!   from different epochs are incompatible), `reset` orders the standby
+//!   to discard its mirror and restart from offset 0, and `data` is the
+//!   raw log bytes (CRC-framed records) in lowercase hex. The standby's
+//!   next request's `offset` is the position ack.
 
 use cr_trace::json::{self, write_escaped, Value};
 use cr_trace::RunReport;
 
 /// Current protocol version.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Priority a request gets when it names none.
+pub const DEFAULT_PRIORITY: u8 = 5;
+
+/// Least-important priority (the first band the overload gate sheds).
+pub const MAX_PRIORITY: u8 = 9;
 
 /// Request operations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -73,6 +104,10 @@ pub enum Op {
     Stats,
     /// Graceful shutdown: stop accepting, drain in-flight work.
     Shutdown,
+    /// Ship one chunk of the verdict log to a standby (replication).
+    Replicate,
+    /// Promote this server from standby to primary.
+    Promote,
 }
 
 impl Op {
@@ -84,6 +119,8 @@ impl Op {
             Op::Implies => "implies",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
+            Op::Replicate => "replicate",
+            Op::Promote => "promote",
         }
     }
 
@@ -94,6 +131,8 @@ impl Op {
             "implies" => Op::Implies,
             "stats" => Op::Stats,
             "shutdown" => Op::Shutdown,
+            "replicate" => Op::Replicate,
+            "promote" => Op::Promote,
             _ => return None,
         })
     }
@@ -112,6 +151,10 @@ pub enum Status {
     Error,
     /// The per-request resource budget tripped; the question is unanswered.
     BudgetExceeded,
+    /// Admission control refused the request (overload shedding, or a
+    /// deadline that has expired / cannot fit). Nothing was computed;
+    /// the request is safe to retry after backing off.
+    Shed,
 }
 
 impl Status {
@@ -122,16 +165,19 @@ impl Status {
             Status::Negative => "negative",
             Status::Error => "error",
             Status::BudgetExceeded => "budget-exceeded",
+            Status::Shed => "shed",
         }
     }
 
-    /// The CLI exit code this status maps to (0/1/2/3).
+    /// The CLI exit code this status maps to (0/1/2/3, plus 4 for the
+    /// retryable shed outcome).
     pub fn exit_code(self) -> u8 {
         match self {
             Status::Ok => 0,
             Status::Negative => 1,
             Status::Error => 2,
             Status::BudgetExceeded => 3,
+            Status::Shed => 4,
         }
     }
 }
@@ -151,6 +197,16 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Optional total work-unit budget.
     pub max_steps: Option<u64>,
+    /// Optional end-to-end deadline, milliseconds from server receipt
+    /// (covers queueing; admission sheds requests that cannot meet it).
+    pub deadline_ms: Option<u64>,
+    /// Scheduling priority 0 (most important) ..= 9; default 5. The
+    /// overload gate sheds the highest numbers first.
+    pub priority: u8,
+    /// `replicate` only: byte offset of the primary's log wanted next.
+    pub offset: Option<u64>,
+    /// `replicate` only: the log epoch the standby is streaming under.
+    pub epoch: Option<u64>,
     /// Re-validate the verdict through the independent certificate checker
     /// (`check` only); certification outcome lands in the response report's
     /// `certify_*` counters and a failed certificate downgrades the
@@ -168,6 +224,10 @@ impl Request {
             query: Vec::new(),
             timeout_ms: None,
             max_steps: None,
+            deadline_ms: None,
+            priority: DEFAULT_PRIORITY,
+            offset: None,
+            epoch: None,
             certify: false,
         }
     }
@@ -229,6 +289,18 @@ impl Request {
         };
         let timeout_ms = num_field("timeout_ms")?;
         let max_steps = num_field("max_steps")?;
+        let deadline_ms = num_field("deadline_ms")?;
+        let priority = match num_field("priority")? {
+            None => DEFAULT_PRIORITY,
+            Some(p) if p <= MAX_PRIORITY as u64 => p as u8,
+            Some(p) => {
+                return Err(format!(
+                    "request field \"priority\" must be 0..={MAX_PRIORITY}, got {p}"
+                ))
+            }
+        };
+        let offset = num_field("offset")?;
+        let epoch = num_field("epoch")?;
         let certify = match obj.get("certify") {
             None => false,
             Some(Value::Bool(b)) => *b,
@@ -247,6 +319,10 @@ impl Request {
             query,
             timeout_ms,
             max_steps,
+            deadline_ms,
+            priority,
+            offset,
+            epoch,
             certify,
         })
     }
@@ -290,6 +366,18 @@ impl Request {
         if let Some(s) = self.max_steps {
             out.push_str(&format!(",\"max_steps\":{s}"));
         }
+        if let Some(d) = self.deadline_ms {
+            out.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        if self.priority != DEFAULT_PRIORITY {
+            out.push_str(&format!(",\"priority\":{}", self.priority));
+        }
+        if let Some(o) = self.offset {
+            out.push_str(&format!(",\"offset\":{o}"));
+        }
+        if let Some(e) = self.epoch {
+            out.push_str(&format!(",\"epoch\":{e}"));
+        }
         if self.certify {
             out.push_str(",\"certify\":true");
         }
@@ -315,6 +403,65 @@ pub struct Response {
     pub schema_hash: Option<String>,
     /// Per-request run report.
     pub report: Option<RunReport>,
+    /// Replication chunk (`replicate` responses only).
+    pub repl: Option<ReplChunk>,
+}
+
+/// One shipped chunk of the primary's verdict log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplChunk {
+    /// Byte offset this chunk starts at (echo of the request).
+    pub offset: u64,
+    /// The primary's total log length right now.
+    pub log_len: u64,
+    /// The primary's log epoch (compaction count; offsets are only
+    /// meaningful within one epoch).
+    pub epoch: u64,
+    /// True orders the standby to discard its mirror and restart from
+    /// offset 0 (the requested offset/epoch is stale).
+    pub reset: bool,
+    /// Raw log bytes, hex-encoded (empty when caught up or on reset).
+    pub data: Vec<u8>,
+}
+
+impl ReplChunk {
+    /// Parses the `repl` object of a replicate response.
+    pub fn from_value(v: &Value) -> Option<ReplChunk> {
+        Some(ReplChunk {
+            offset: v.get("offset").and_then(Value::as_u64)?,
+            log_len: v.get("len").and_then(Value::as_u64)?,
+            epoch: v.get("epoch").and_then(Value::as_u64)?,
+            reset: matches!(v.get("reset"), Some(Value::Bool(true))),
+            data: hex_decode(v.get("data").and_then(Value::as_str).unwrap_or(""))?,
+        })
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.data.len() * 2);
+        out.push_str(&format!(
+            "{{\"offset\":{},\"len\":{},\"epoch\":{},\"reset\":{},\"data\":\"",
+            self.offset, self.log_len, self.epoch, self.reset
+        ));
+        for b in &self.data {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{b:02x}"));
+        }
+        out.push_str("\"}");
+        out
+    }
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
 }
 
 impl Response {
@@ -328,6 +475,22 @@ impl Response {
             cached: false,
             schema_hash: None,
             report: None,
+            repl: None,
+        }
+    }
+
+    /// A shed response: admission refused the request; nothing was
+    /// computed and the client should back off and retry.
+    pub fn shed(id: impl Into<String>, reason: impl Into<String>) -> Response {
+        Response {
+            id: id.into(),
+            status: Status::Shed,
+            verdict: None,
+            detail: vec![reason.into()],
+            cached: false,
+            schema_hash: None,
+            report: None,
+            repl: None,
         }
     }
 
@@ -366,6 +529,10 @@ impl Response {
             out.push_str(",\"report\":");
             out.push_str(&report.to_json());
         }
+        if let Some(repl) = &self.repl {
+            out.push_str(",\"repl\":");
+            out.push_str(&repl.to_json());
+        }
         out.push('}');
         out
     }
@@ -395,6 +562,60 @@ mod tests {
                 .unwrap_err()
                 .contains("certify")
         );
+    }
+
+    #[test]
+    fn deadline_priority_and_replication_fields_round_trip() {
+        let mut req = Request::new("r-44", Op::Check);
+        req.schema = Some("class A;".to_string());
+        req.deadline_ms = Some(750);
+        req.priority = 9;
+        let parsed = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+
+        // Default priority is omitted on the wire and restored on parse.
+        let mut plain = Request::new("r-45", Op::Ping);
+        plain.priority = DEFAULT_PRIORITY;
+        assert!(!plain.to_json().contains("priority"));
+        assert_eq!(Request::parse(&plain.to_json()).unwrap().priority, 5);
+
+        let mut repl = Request::new("r-46", Op::Replicate);
+        repl.offset = Some(4096);
+        repl.epoch = Some(2);
+        let parsed = Request::parse(&repl.to_json()).unwrap();
+        assert_eq!(parsed, repl);
+
+        assert!(
+            Request::parse(r#"{"v":1,"id":"x","op":"ping","priority":10}"#)
+                .unwrap_err()
+                .contains("priority")
+        );
+    }
+
+    #[test]
+    fn shed_response_and_repl_chunk_round_trip() {
+        let shed = Response::shed("r9", "queue full");
+        assert_eq!(shed.status, Status::Shed);
+        let v = json::parse(&shed.to_json()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("shed"));
+        assert_eq!(v.get("exit_code").unwrap().as_u64(), Some(4));
+
+        let chunk = ReplChunk {
+            offset: 8,
+            log_len: 1024,
+            epoch: 3,
+            reset: false,
+            data: vec![0x00, 0xde, 0xad, 0xff],
+        };
+        let mut resp = Response::error("r10", "unused");
+        resp.repl = Some(chunk.clone());
+        let v = json::parse(&resp.to_json()).unwrap();
+        let parsed = ReplChunk::from_value(v.get("repl").unwrap()).unwrap();
+        assert_eq!(parsed, chunk);
+
+        // Odd-length or non-hex data must be rejected, not mangled.
+        assert!(hex_decode("abc").is_none());
+        assert!(hex_decode("zz").is_none());
     }
 
     #[test]
@@ -438,6 +659,7 @@ mod tests {
             cached: true,
             schema_hash: Some("deadbeef".to_string()),
             report: None,
+            repl: None,
         };
         let v = json::parse(&resp.to_json()).unwrap();
         assert_eq!(v.get("v").unwrap().as_u64(), Some(PROTOCOL_VERSION));

@@ -1,44 +1,73 @@
 //! The concurrent reasoning service: request processing, the stdio and TCP
-//! transports, and graceful shutdown.
+//! transports, high availability, and graceful shutdown.
 //!
-//! One [`Server`] owns a [`WorkerPool`], a [`VerdictCache`], a shared
-//! [`CancelToken`], and a server-lifetime aggregate [`Tracer`]. Transports
-//! (stdio loop, TCP acceptor) only move bytes: every request line becomes a
-//! pool job that calls [`Server::process_line`] and writes the response
-//! line to its connection's shared writer. Responses therefore interleave
-//! across requests of one connection — clients correlate by `id`.
+//! One [`Server`] owns a [`WorkerPool`], a [`VerdictCache`], an
+//! [`Admission`] gate, and a server-lifetime aggregate [`Tracer`].
+//! Transports (stdio loop, TCP acceptor) only move bytes: every request
+//! line becomes a pool job that computes the response and writes it to
+//! its connection's shared writer. Responses therefore interleave across
+//! requests of one connection — clients correlate by `id`.
+//!
+//! High availability is three cooperating mechanisms:
+//!
+//! * **Replication / failover** — a server started with `config.follow`
+//!   boots as a *standby*: it mirrors the primary's verdict log byte-for-
+//!   byte (see [`crate::repl`]) into its own `cache_dir` and warms its
+//!   cache from every applied chunk. It serves replicated verdicts but
+//!   refuses fresh computation (so the two never diverge). When the
+//!   primary's heartbeat (a successful replicate poll) lapses for
+//!   `promote_after_ms`, or a `promote` request arrives, the standby
+//!   [`Server::promote`]s: the mirror becomes its durable store and it
+//!   starts computing — warm, with every acknowledged verdict intact.
+//! * **Supervision** — a supervisor thread respawns dead workers, trips
+//!   the cancel token of wedged requests (past deadline + grace), relaxes
+//!   the admission gate, and quarantines poison schemas that crash the
+//!   pipeline repeatedly (see [`crate::supervise`]).
+//! * **Admission control** — requests carrying `deadline_ms` are refused
+//!   up front (`shed` status, exit code 4, retryable) when they cannot
+//!   meet their deadline; under queue-delay overload an AIMD threshold
+//!   sheds the lowest-priority work first (see [`crate::admission`]).
+//!   Concurrent identical requests coalesce onto one computation (see
+//!   [`crate::flight`]).
 //!
 //! Shutdown: a `shutdown` request, stdin EOF (ctrl-D), or SIGTERM/SIGINT
 //! (see [`crate::signal`]) makes the transports stop reading, after which
-//! [`Server::finish`] drains the pool — queued and in-flight requests
-//! complete and flush their responses. A *second* SIGTERM/SIGINT trips the
-//! shared [`CancelToken`], so in-flight reasoning aborts at its next
-//! governor check and reports `budget-exceeded` instead of stalling
-//! shutdown.
+//! [`Server::finish`] joins the helper threads and drains the pool —
+//! queued and in-flight requests complete and flush their responses. A
+//! *second* SIGTERM/SIGINT should call [`Server::cancel_inflight`], which
+//! trips every in-flight request's cancel token so reasoning aborts at
+//! its next governor check and reports `budget-exceeded` instead of
+//! stalling shutdown.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use cr_core::{Budget, CancelToken};
+use cr_store::Replica;
 use cr_trace::{Counter, NullSink, RunReport, Tracer};
 
+use crate::admission::{Admission, Admit};
 use crate::cache::{CacheKey, CachedVerdict, VerdictCache};
 use crate::eval;
+use crate::flight;
 use crate::persist::{PersistentStore, StoreRecovery};
 use crate::pool::{SubmitError, WorkerPool};
-use crate::protocol::{Op, Request, Response, Status};
+use crate::protocol::{Op, ReplChunk, Request, Response, Status};
+use crate::repl::{self, FollowerClient};
+use crate::supervise::{InflightRegistry, PoisonTracker};
 
 /// Tunables for a [`Server`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads (default: available parallelism, capped at 8).
     pub workers: usize,
-    /// Bounded request-queue capacity; a full queue rejects with an
-    /// overload error response rather than buffering unboundedly.
+    /// Bounded request-queue capacity; a full queue sheds with a
+    /// retryable `shed` response rather than buffering unboundedly.
     pub queue_capacity: usize,
     /// Approximate verdict-cache capacity, in entries.
     pub cache_capacity: usize,
@@ -51,8 +80,26 @@ pub struct ServerConfig {
     /// Directory for the durable verdict store (`None` = memory-only).
     /// When set, certified `check` verdicts are appended to
     /// `<dir>/verdicts.log` and rehydrated into the cache on boot, so a
-    /// restarted server answers previously settled questions warm.
+    /// restarted server answers previously settled questions warm. A
+    /// standby (`follow` set) *requires* it: the mirror lives there.
     pub cache_dir: Option<PathBuf>,
+    /// Primary address (`host:port`) to follow. `Some` boots the server
+    /// as a warm standby instead of a primary.
+    pub follow: Option<String>,
+    /// How often the standby polls the primary for log chunks.
+    pub follow_poll_ms: u64,
+    /// How long the primary's heartbeat may lapse before the standby
+    /// promotes itself.
+    pub promote_after_ms: u64,
+    /// File to (atomically) write the bound TCP address to. A standby
+    /// prefixes the line with `standby `; promotion rewrites it, so a
+    /// client watching the file is redirected without a torn read.
+    pub port_file: Option<PathBuf>,
+    /// Queue-delay target for the admission gate: sustained delay above
+    /// this sheds low-priority work (AIMD; see [`Admission`]).
+    pub shed_target_ms: u64,
+    /// Supervisor tick interval.
+    pub supervise_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -68,19 +115,46 @@ impl Default for ServerConfig {
             default_timeout_ms: None,
             default_max_steps: None,
             cache_dir: None,
+            follow: None,
+            follow_poll_ms: 100,
+            promote_after_ms: 3000,
+            port_file: None,
+            shed_target_ms: 50,
+            supervise_interval_ms: 100,
         }
     }
 }
+
+/// This node computes and replicates out.
+const ROLE_PRIMARY: u8 = 0;
+/// This node mirrors a primary and refuses fresh computation.
+const ROLE_STANDBY: u8 = 1;
 
 struct Inner {
     config: ServerConfig,
     pool: WorkerPool,
     cache: VerdictCache,
-    /// Durable verdict store (present iff `config.cache_dir` is set).
-    store: Option<PersistentStore>,
-    /// Persist failures swallowed so far. A failed append never fails the
-    /// request — the verdict was already computed and certified — but it
-    /// must not vanish either; `stats` surfaces this count.
+    /// Durable verdict store. Present on a primary with a `cache_dir`;
+    /// `None` on a standby until promotion installs one (behind `RwLock`
+    /// because promotion swaps it while readers serve lookups).
+    store: RwLock<Option<PersistentStore>>,
+    /// Standby mirror of the primary's log; taken (and closed) by
+    /// promotion.
+    replica: Mutex<Option<Replica>>,
+    role: AtomicU8,
+    admission: Admission,
+    inflight: InflightRegistry,
+    poison: PoisonTracker,
+    flights: flight::Inflight,
+    /// Sequence numbers for the in-flight registry.
+    next_seq: AtomicU64,
+    /// The TCP address we bound (for the port file).
+    bound_addr: Mutex<Option<SocketAddr>>,
+    /// Supervisor / follower threads, joined by [`Server::finish`].
+    helpers: Mutex<Vec<JoinHandle<()>>>,
+    /// Persist/replication failures swallowed so far. A failed append
+    /// never fails the request — the verdict was already computed and
+    /// certified — but it must not vanish either; `stats` surfaces this.
     store_errors: AtomicU64,
     cancel: CancelToken,
     shutdown: AtomicBool,
@@ -103,22 +177,27 @@ impl Server {
         Server::open(config).expect("verdict store")
     }
 
-    /// Builds a server, opening (and recovering) the durable verdict store
-    /// when `config.cache_dir` is set and rehydrating the in-memory cache
-    /// from it — a restarted daemon answers previously certified questions
-    /// warm. Store recovery details are available via
-    /// [`Server::store_recovery`] for the caller to report.
+    /// Builds a server. A primary opens (and recovers) the durable verdict
+    /// store when `config.cache_dir` is set and rehydrates the in-memory
+    /// cache from it — a restarted daemon answers previously certified
+    /// questions warm. A standby (`config.follow` set) instead opens its
+    /// mirror of the primary's log, warms the cache from it, and starts a
+    /// follower thread streaming the rest. Store recovery details are
+    /// available via [`Server::store_recovery`] for the caller to report.
     pub fn open(config: ServerConfig) -> Result<Server, String> {
-        let store = match &config.cache_dir {
-            Some(dir) => Some(PersistentStore::open(dir)?),
-            None => None,
-        };
+        let standby = config.follow.is_some();
         let cache = VerdictCache::new(config.cache_capacity, config.cache_shards);
-        if let Some(store) = &store {
-            // Rehydrate. Store order is log order (oldest first), so under
-            // LRU pressure the cache keeps the most recently persisted
-            // verdicts; the rest stay reachable through the read-through.
-            for (canonical, question, verdict) in store.entries() {
+        let mut store = None;
+        let mut replica = None;
+        if standby {
+            let dir = config.cache_dir.clone().ok_or_else(|| {
+                "standby mode (--follow) requires a cache dir for the mirrored log".to_string()
+            })?;
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("create standby dir {}: {e}", dir.display()))?;
+            let (rep, payloads) = Replica::open(&dir.join("verdicts.log"))
+                .map_err(|e| format!("open standby mirror: {e}"))?;
+            for (canonical, question, verdict) in repl::warm_entries(&payloads) {
                 let shard_hash = cr_core::canonical_text_hash(&canonical);
                 cache.insert(
                     shard_hash,
@@ -129,32 +208,65 @@ impl Server {
                     verdict,
                 );
             }
+            replica = Some(rep);
+        } else if let Some(dir) = &config.cache_dir {
+            let opened = PersistentStore::open(dir)?;
+            // Rehydrate. Store order is log order (oldest first), so under
+            // LRU pressure the cache keeps the most recently persisted
+            // verdicts; the rest stay reachable through the read-through.
+            for (canonical, question, verdict) in opened.entries() {
+                let shard_hash = cr_core::canonical_text_hash(&canonical);
+                cache.insert(
+                    shard_hash,
+                    CacheKey {
+                        canonical,
+                        question,
+                    },
+                    verdict,
+                );
+            }
+            store = Some(opened);
         }
-        Ok(Server {
+        let server = Server {
             inner: Arc::new(Inner {
                 pool: WorkerPool::new(config.workers, config.queue_capacity),
                 cache,
-                store,
+                store: RwLock::new(store),
+                replica: Mutex::new(replica),
+                role: AtomicU8::new(if standby { ROLE_STANDBY } else { ROLE_PRIMARY }),
+                admission: Admission::new(config.shed_target_ms),
+                inflight: InflightRegistry::default(),
+                poison: PoisonTracker::default(),
+                flights: flight::Inflight::default(),
+                next_seq: AtomicU64::new(0),
+                bound_addr: Mutex::new(None),
+                helpers: Mutex::new(Vec::new()),
                 store_errors: AtomicU64::new(0),
                 cancel: CancelToken::new(),
                 shutdown: AtomicBool::new(false),
                 aggregate: Tracer::new(Box::new(NullSink)),
                 config,
             }),
-        })
+        };
+        server.spawn_supervisor();
+        if standby {
+            server.spawn_follower();
+        }
+        Ok(server)
     }
 
     /// What store recovery found at boot (`None` when running without a
-    /// `cache_dir`). The CLI reports truncation so an operator can tell a
-    /// clean boot from a crash-recovered one.
+    /// primary store — memory-only or still a standby). The CLI reports
+    /// truncation so an operator can tell a clean boot from a
+    /// crash-recovered one.
     pub fn store_recovery(&self) -> Option<StoreRecovery> {
-        self.inner.store.as_ref().map(|s| s.recovery())
+        self.read_store().as_ref().map(|s| s.recovery())
     }
 
     /// Number of live verdicts in the durable store (`None` when running
     /// without one).
     pub fn persisted_verdicts(&self) -> Option<usize> {
-        self.inner.store.as_ref().map(|s| s.len())
+        self.read_store().as_ref().map(|s| s.len())
     }
 
     /// The server-lifetime aggregate report — what a transport emits as the
@@ -164,11 +276,20 @@ impl Server {
         self.inner.aggregate.report("serve", outcome)
     }
 
-    /// The shared cancellation token threaded into every request budget.
-    /// Tripping it aborts all in-flight reasoning at the next governor
-    /// check.
+    /// The server-wide cancellation token. New requests inherit its state;
+    /// prefer [`Server::cancel_inflight`] to also abort work already
+    /// running under per-request tokens.
     pub fn cancel_token(&self) -> CancelToken {
         self.inner.cancel.clone()
+    }
+
+    /// Aborts all reasoning: trips the server-wide token (so requests
+    /// picked up from now on start pre-cancelled) and every in-flight
+    /// request's own token (so running work aborts at its next governor
+    /// check with an honest `budget-exceeded`).
+    pub fn cancel_inflight(&self) {
+        self.inner.cancel.cancel();
+        self.inner.inflight.cancel_all();
     }
 
     /// Whether graceful shutdown has been requested.
@@ -182,15 +303,78 @@ impl Server {
         self.inner.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Drains queued and in-flight work and joins the workers, then flushes
-    /// the durable store. Idempotent.
+    /// True while this node is a standby (mirroring, not computing).
+    pub fn is_standby(&self) -> bool {
+        self.inner.role.load(Ordering::SeqCst) == ROLE_STANDBY
+    }
+
+    /// `"primary"` or `"standby"`.
+    pub fn role(&self) -> &'static str {
+        if self.is_standby() {
+            "standby"
+        } else {
+            "primary"
+        }
+    }
+
+    /// Promotes a standby to primary: closes the mirror, opens it as the
+    /// durable store (every replicated verdict intact and already warm in
+    /// cache), flips the role, and rewrites the port file. Idempotent on a
+    /// primary (`Ok("already-primary")`); an `Err` means a concurrent
+    /// promotion is mid-swap.
+    pub fn promote(&self) -> Result<&'static str, String> {
+        let replica = self
+            .inner
+            .replica
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        let Some(mut replica) = replica else {
+            if self.is_standby() {
+                return Err("promotion already in progress".to_string());
+            }
+            return Ok("already-primary");
+        };
+        let _ = replica.sync();
+        drop(replica);
+        let dir = self
+            .inner
+            .config
+            .cache_dir
+            .clone()
+            .ok_or_else(|| "standby has no cache dir".to_string())?;
+        let store = PersistentStore::open(&dir)?;
+        *self.inner.store.write().unwrap_or_else(|e| e.into_inner()) = Some(store);
+        self.inner.role.store(ROLE_PRIMARY, Ordering::SeqCst);
+        self.inner.aggregate.add(Counter::Promotions, 1);
+        self.write_port_file();
+        Ok("promoted")
+    }
+
+    /// Joins the helper threads, drains queued and in-flight work, joins
+    /// the workers, then flushes the durable store / syncs the mirror.
+    /// Idempotent.
     pub fn finish(&self) {
         self.request_shutdown();
+        let helpers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.inner.helpers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in helpers {
+            let _ = h.join();
+        }
         self.inner.pool.shutdown_drain();
-        if let Some(store) = &self.inner.store {
+        if let Some(store) = self.read_store().as_ref() {
             if store.flush().is_err() {
                 self.inner.store_errors.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if let Some(rep) = self
+            .inner
+            .replica
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            let _ = rep.sync();
         }
     }
 
@@ -204,9 +388,14 @@ impl Server {
         self.inner.aggregate.counter(c)
     }
 
+    fn read_store(&self) -> std::sync::RwLockReadGuard<'_, Option<PersistentStore>> {
+        self.inner.store.read().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Processes one request line to one response line. This is the whole
     /// service in synchronous form — transports wrap it in pool jobs, tests
-    /// can call it directly.
+    /// can call it directly. (The transport path also runs the admission
+    /// gate; this direct path does not — local callers have no queue.)
     pub fn process_line(&self, line: &str) -> Response {
         let request = match Request::parse(line) {
             Ok(r) => r,
@@ -221,9 +410,7 @@ impl Server {
     /// Processes an already-parsed request (the `crsat batch` entry point —
     /// no JSON round-trip needed for local work).
     pub fn process_request(&self, request: &Request) -> Response {
-        let response = self.process(request);
-        self.inner.aggregate.add(Counter::RequestsServed, 1);
-        response
+        self.process_picked(request, Duration::ZERO)
     }
 
     /// Submits a job to the server's worker pool, blocking while the
@@ -243,7 +430,29 @@ impl Server {
         self.inner.pool.try_submit(job)
     }
 
-    fn process(&self, request: &Request) -> Response {
+    /// A request picked up for execution after `queue_delay` in the queue.
+    /// Central accounting point: every response produced here is counted,
+    /// and queue delay feeds the admission gate's overload estimate.
+    fn process_picked(&self, request: &Request, queue_delay: Duration) -> Response {
+        if matches!(request.op, Op::Check | Op::Implies) {
+            self.inner.admission.note_queue_delay(queue_delay);
+        }
+        let response = self.process(request, queue_delay);
+        self.inner.aggregate.add(Counter::RequestsServed, 1);
+        if response.status == Status::Shed {
+            self.inner.aggregate.add(Counter::RequestsShed, 1);
+            if response
+                .detail
+                .first()
+                .is_some_and(|d| d.starts_with("deadline"))
+            {
+                self.inner.aggregate.add(Counter::DeadlineRejected, 1);
+            }
+        }
+        response
+    }
+
+    fn process(&self, request: &Request, queue_delay: Duration) -> Response {
         match request.op {
             Op::Ping => Response {
                 id: request.id.clone(),
@@ -253,6 +462,7 @@ impl Server {
                 cached: false,
                 schema_hash: None,
                 report: None,
+                repl: None,
             },
             Op::Stats => self.stats_response(&request.id),
             Op::Shutdown => {
@@ -265,23 +475,98 @@ impl Server {
                     cached: false,
                     schema_hash: None,
                     report: None,
+                    repl: None,
                 }
             }
-            Op::Check | Op::Implies => self.reason(request),
+            Op::Replicate => self.handle_replicate(request),
+            Op::Promote => self.handle_promote(request),
+            Op::Check | Op::Implies => self.reason(request, queue_delay),
         }
     }
 
-    /// The reasoning path: parse schema → cache lookup → (on miss) run the
-    /// governed pipeline → cache fill → response with embedded RunReport.
-    fn reason(&self, request: &Request) -> Response {
+    /// Primary side of replication: answer a standby's poll with a log
+    /// chunk.
+    fn handle_replicate(&self, request: &Request) -> Response {
+        let store = self.read_store();
+        let Some(store) = store.as_ref() else {
+            return Response::error(
+                request.id.clone(),
+                "standby: cannot replicate from a standby",
+            );
+        };
+        match repl::ship_chunk(store, request.offset, request.epoch) {
+            Ok(chunk) => {
+                if !chunk.data.is_empty() {
+                    self.inner
+                        .aggregate
+                        .add(Counter::ReplBytesShipped, chunk.data.len() as u64);
+                }
+                Response {
+                    id: request.id.clone(),
+                    status: Status::Ok,
+                    verdict: Some("replicate".to_string()),
+                    detail: Vec::new(),
+                    cached: false,
+                    schema_hash: None,
+                    report: None,
+                    repl: Some(chunk),
+                }
+            }
+            Err(e) => Response::error(request.id.clone(), format!("replicate: {e}")),
+        }
+    }
+
+    fn handle_promote(&self, request: &Request) -> Response {
+        match self.promote() {
+            Ok(word) => Response {
+                id: request.id.clone(),
+                status: Status::Ok,
+                verdict: Some(word.to_string()),
+                detail: Vec::new(),
+                cached: false,
+                schema_hash: None,
+                report: None,
+                repl: None,
+            },
+            Err(e) => Response::error(request.id.clone(), format!("promote: {e}")),
+        }
+    }
+
+    /// The reasoning path: deadline propagation → parse schema → quarantine
+    /// gate → cache lookup → (on miss) singleflight + the governed pipeline
+    /// → cache fill → response with embedded RunReport.
+    fn reason(&self, request: &Request, queue_delay: Duration) -> Response {
         // Per-request observability: the embedded RunReport accounts for
         // exactly this request's work (including whether the verdict came
         // from cache).
         let tracer = Tracer::new(Box::new(NullSink));
+        // Per-request cancellation: the supervisor can trip exactly this
+        // request (wedge detection) without aborting its neighbors. The
+        // server-wide token's state is inherited at pickup.
+        let cancel = CancelToken::new();
+        if self.inner.cancel.is_cancelled() {
+            cancel.cancel();
+        }
         let mut budget = Budget::unlimited()
             .with_tracer(&tracer)
-            .with_cancel_token(&self.inner.cancel);
-        if let Some(ms) = request.timeout_ms.or(self.inner.config.default_timeout_ms) {
+            .with_cancel_token(&cancel);
+        // Deadline propagation: queueing already consumed part of the
+        // end-to-end deadline; what remains caps every other limit. Zero
+        // left means the work is sheddable without touching the pipeline.
+        let deadline_left = request
+            .deadline_ms
+            .map(|ms| Duration::from_millis(ms).saturating_sub(queue_delay));
+        if let Some(left) = deadline_left {
+            if left.is_zero() {
+                return Response::shed(request.id.clone(), "deadline expired while queued");
+            }
+        }
+        let mut effective_ms = request.timeout_ms.or(self.inner.config.default_timeout_ms);
+        if let Some(left) = deadline_left {
+            let left_ms = u64::try_from(left.as_millis()).unwrap_or(u64::MAX);
+            effective_ms = Some(effective_ms.map_or(left_ms, |t| t.min(left_ms)));
+        }
+        if let Some(ms) = effective_ms {
             budget = budget.with_deadline(Duration::from_millis(ms));
         }
         if let Some(steps) = request.max_steps.or(self.inner.config.default_max_steps) {
@@ -307,67 +592,123 @@ impl Server {
             question,
         };
 
+        if self.inner.poison.is_quarantined(schema_hash) {
+            return Response::error(
+                request.id.clone(),
+                format!("schema quarantined after repeated crashes (hash {schema_hash:032x})"),
+            );
+        }
+
+        // Wedge watch: while this request runs, the supervisor may trip
+        // its token if it blows past deadline + grace.
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .inflight
+            .register(seq, cancel.clone(), deadline_left);
+        let _dereg = Dereg {
+            registry: &self.inner.inflight,
+            seq,
+        };
+
         // Everything downstream of the parse — cache traffic, the reasoning
         // pipeline, certification — runs under catch_unwind: a panic (a
         // bug, or an injected fault) must cost exactly one response, not a
         // worker's accumulated trace counters. The tracer and budget stay
         // outside, so on abort the partial per-request report survives.
         let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            match self.inner.cache.get(schema_hash, &key) {
-                Some(hit) => {
-                    tracer.add(Counter::CacheHits, 1);
-                    self.inner.aggregate.add(Counter::CacheHits, 1);
-                    (
-                        eval::Answer {
-                            status: hit.status,
-                            verdict: hit.verdict,
-                            detail: hit.detail,
-                        },
-                        true,
-                    )
-                }
-                None => {
-                    // Read-through: an LRU eviction must not force a
-                    // recomputation while the verdict sits on disk.
-                    if let Some(hit) = self
-                        .inner
-                        .store
-                        .as_ref()
-                        .and_then(|s| s.lookup(&key.canonical, &key.question))
-                    {
-                        tracer.add(Counter::StoreHits, 1);
-                        self.inner.aggregate.add(Counter::StoreHits, 1);
-                        let answer = eval::Answer {
-                            status: hit.status,
-                            verdict: hit.verdict.clone(),
-                            detail: hit.detail.clone(),
-                        };
-                        self.inner.cache.insert(schema_hash, key, hit);
-                        return (answer, true);
-                    }
-                    tracer.add(Counter::CacheMisses, 1);
-                    self.inner.aggregate.add(Counter::CacheMisses, 1);
-                    let answer = match request.op {
-                        Op::Check => eval::check(&schema, &budget),
-                        Op::Implies => eval::implies(&schema, &request.query, &budget),
-                        _ => unreachable!("reason() only sees check/implies"),
+            if let Some(hit) = self.inner.cache.get(schema_hash, &key) {
+                tracer.add(Counter::CacheHits, 1);
+                self.inner.aggregate.add(Counter::CacheHits, 1);
+                return (
+                    eval::Answer {
+                        status: hit.status,
+                        verdict: hit.verdict,
+                        detail: hit.detail,
+                    },
+                    true,
+                );
+            }
+            // Read-through: an LRU eviction must not force a recomputation
+            // while the verdict sits on disk.
+            {
+                let store = self.read_store();
+                if let Some(hit) = store
+                    .as_ref()
+                    .and_then(|s| s.lookup(&key.canonical, &key.question))
+                {
+                    tracer.add(Counter::StoreHits, 1);
+                    self.inner.aggregate.add(Counter::StoreHits, 1);
+                    let answer = eval::Answer {
+                        status: hit.status,
+                        verdict: hit.verdict.clone(),
+                        detail: hit.detail.clone(),
                     };
-                    if answer.cacheable() {
-                        let verdict = CachedVerdict {
-                            status: answer.status,
-                            verdict: answer.verdict.clone(),
-                            detail: answer.detail.clone(),
-                        };
-                        if request.op == Op::Check {
-                            self.persist_certified(&schema, &budget, &key, &verdict, &tracer);
+                    self.inner.cache.insert(schema_hash, key.clone(), hit);
+                    return (answer, true);
+                }
+            }
+            tracer.add(Counter::CacheMisses, 1);
+            self.inner.aggregate.add(Counter::CacheMisses, 1);
+            // A standby serves what was replicated but never computes: a
+            // fresh verdict here would fork the store the moment the real
+            // primary certifies a different trace for the same question.
+            if self.is_standby() {
+                return (
+                    eval::Answer {
+                        status: Status::Error,
+                        verdict: String::new(),
+                        detail: vec![
+                            "standby: verdict not replicated yet; retry on the primary or after promotion"
+                                .to_string(),
+                        ],
+                    },
+                    false,
+                );
+            }
+            // Coalesce concurrent identical work: followers wait for the
+            // leader's verdict instead of burning a worker each on the
+            // same EXPTIME question.
+            match self.inner.flights.begin(key.clone()) {
+                flight::Entry::Follower(f) => {
+                    let wait = effective_ms
+                        .map(Duration::from_millis)
+                        .unwrap_or(Duration::from_secs(30));
+                    match f.wait(wait) {
+                        Some(hit) => {
+                            tracer.add(Counter::RequestsCoalesced, 1);
+                            self.inner.aggregate.add(Counter::RequestsCoalesced, 1);
+                            (
+                                eval::Answer {
+                                    status: hit.status,
+                                    verdict: hit.verdict,
+                                    detail: hit.detail,
+                                },
+                                true,
+                            )
                         }
-                        let evicted = self.inner.cache.insert(schema_hash, key, verdict);
-                        if evicted > 0 {
-                            tracer.add(Counter::CacheEvictions, evicted);
-                            self.inner.aggregate.add(Counter::CacheEvictions, evicted);
+                        // Leader died or we timed out first: compute it
+                        // ourselves under our own budget.
+                        None => {
+                            self.compute_fresh(request, &schema, &budget, schema_hash, key, &tracer)
                         }
                     }
-                    (answer, false)
+                }
+                flight::Entry::Leader(guard) => {
+                    let started = Instant::now();
+                    let (answer, cached) =
+                        self.compute_fresh(request, &schema, &budget, schema_hash, key, &tracer);
+                    // Cost model: fresh-compute wall time by schema size,
+                    // feeding the admission gate's can-it-fit estimate.
+                    self.inner
+                        .admission
+                        .note_compute_cost(source.len(), started.elapsed());
+                    let publish = answer.cacheable().then(|| CachedVerdict {
+                        status: answer.status,
+                        verdict: answer.verdict.clone(),
+                        detail: answer.detail.clone(),
+                    });
+                    guard.publish(publish);
+                    (answer, cached)
                 }
             }
         }));
@@ -376,6 +717,9 @@ impl Server {
             Ok(result) => result,
             Err(panic) => {
                 let msg = panic_text(&panic);
+                if self.inner.poison.note_crash(schema_hash) {
+                    self.inner.aggregate.add(Counter::PoisonQuarantined, 1);
+                }
                 let mut report = cr_core::run_report(&budget, request.op.as_str(), "aborted");
                 report.aborted = true;
                 report.target = format!("{schema_hash:032x}");
@@ -387,6 +731,7 @@ impl Server {
                     cached: false,
                     schema_hash: Some(format!("{schema_hash:032x}")),
                     report: Some(report),
+                    repl: None,
                 };
             }
         };
@@ -405,7 +750,42 @@ impl Server {
             cached,
             schema_hash: Some(format!("{schema_hash:032x}")),
             report: Some(report),
+            repl: None,
         }
+    }
+
+    /// Runs the governed pipeline for a cache-missed request and fills the
+    /// cache (and, for certified `check` verdicts, the durable store).
+    fn compute_fresh(
+        &self,
+        request: &Request,
+        schema: &cr_core::Schema,
+        budget: &Budget,
+        schema_hash: u128,
+        key: CacheKey,
+        tracer: &Tracer,
+    ) -> (eval::Answer, bool) {
+        let answer = match request.op {
+            Op::Check => eval::check(schema, budget),
+            Op::Implies => eval::implies(schema, &request.query, budget),
+            _ => unreachable!("only check/implies compute"),
+        };
+        if answer.cacheable() {
+            let verdict = CachedVerdict {
+                status: answer.status,
+                verdict: answer.verdict.clone(),
+                detail: answer.detail.clone(),
+            };
+            if request.op == Op::Check {
+                self.persist_certified(schema, budget, &key, &verdict, tracer);
+            }
+            let evicted = self.inner.cache.insert(schema_hash, key, verdict);
+            if evicted > 0 {
+                tracer.add(Counter::CacheEvictions, evicted);
+                self.inner.aggregate.add(Counter::CacheEvictions, evicted);
+            }
+        }
+        (answer, false)
     }
 
     /// Re-validates a `check` answer through `cr_core::certify_check`: the
@@ -470,7 +850,8 @@ impl Server {
     /// certified unsat set agrees with the answer. An uncertifiable verdict
     /// is still served and cached in memory (the governor may simply have
     /// no budget left for the certificate pass); it just never reaches
-    /// disk, so everything a warm restart serves was once proven.
+    /// disk, so everything a warm restart — or a standby mirroring the
+    /// log — serves was once proven.
     fn persist_certified(
         &self,
         schema: &cr_core::Schema,
@@ -479,7 +860,8 @@ impl Server {
         verdict: &CachedVerdict,
         tracer: &Tracer,
     ) {
-        let Some(store) = &self.inner.store else {
+        let store = self.read_store();
+        let Some(store) = store.as_ref() else {
             return;
         };
         let certified = match cr_core::certify_check(schema, budget) {
@@ -514,8 +896,35 @@ impl Server {
             format!("cache_entries={}", self.inner.cache.len()),
             format!("workers={}", self.inner.config.workers),
             format!("queue_capacity={}", self.inner.config.queue_capacity),
+            format!("role={}", self.role()),
+            format!("alive_workers={}", self.inner.pool.alive_workers()),
+            format!("inflight={}", self.inner.inflight.len()),
+            format!("shed_threshold={}", self.inner.admission.threshold()),
+            format!(
+                "queue_delay_ewma_us={}",
+                self.inner.admission.queue_delay_us()
+            ),
+            format!("requests_shed={}", agg.counter(Counter::RequestsShed)),
+            format!(
+                "deadline_rejected={}",
+                agg.counter(Counter::DeadlineRejected)
+            ),
+            format!(
+                "requests_coalesced={}",
+                agg.counter(Counter::RequestsCoalesced)
+            ),
+            format!(
+                "workers_respawned={}",
+                agg.counter(Counter::WorkersRespawned)
+            ),
+            format!("wedge_cancels={}", agg.counter(Counter::WedgeCancels)),
+            format!(
+                "poison_quarantined={}",
+                agg.counter(Counter::PoisonQuarantined)
+            ),
+            format!("promotions={}", agg.counter(Counter::Promotions)),
         ];
-        if let Some(store) = &self.inner.store {
+        if let Some(store) = self.read_store().as_ref() {
             detail.push(format!("store_entries={}", store.len()));
             detail.push(format!("store_hits={}", agg.counter(Counter::StoreHits)));
             detail.push(format!(
@@ -530,6 +939,26 @@ impl Server {
                 "store_errors={}",
                 self.inner.store_errors.load(Ordering::Relaxed)
             ));
+            detail.push(format!("store_log_bytes={}", store.log_bytes()));
+            detail.push(format!("store_epoch={}", store.epoch()));
+            detail.push(format!(
+                "repl_bytes_shipped={}",
+                agg.counter(Counter::ReplBytesShipped)
+            ));
+        }
+        if let Some(rep) = self
+            .inner
+            .replica
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            detail.push(format!("repl_offset={}", rep.offset()));
+            detail.push(format!("repl_epoch={}", rep.epoch().unwrap_or(0)));
+            detail.push(format!(
+                "repl_chunks_applied={}",
+                agg.counter(Counter::ReplChunksApplied)
+            ));
         }
         Response {
             id: id.to_string(),
@@ -539,51 +968,262 @@ impl Server {
             cached: false,
             schema_hash: None,
             report: Some(agg.report("stats", "ok")),
+            repl: None,
         }
     }
 
-    /// Submits a request line to the pool; the response line (with trailing
-    /// newline) is written to `out`. A full queue is answered immediately
-    /// (on the caller's thread) with an overload error response — bounded
-    /// memory under overload is the contract.
+    // ------------------------------------------------------------------
+    // Helper threads
+    // ------------------------------------------------------------------
+
+    /// Spawns the supervisor. It holds only a `Weak` on the server's
+    /// state: a server dropped without `finish()` lets the thread notice
+    /// and exit instead of keeping `Inner` alive forever.
+    fn spawn_supervisor(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        let interval = Duration::from_millis(self.inner.config.supervise_interval_ms.max(10));
+        let handle = std::thread::Builder::new()
+            .name("cr-supervisor".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let Some(inner) = weak.upgrade() else {
+                    return;
+                };
+                let server = Server { inner };
+                if server.shutdown_requested() {
+                    return;
+                }
+                // Contain a panicking tick (injected or real): the
+                // supervisor must outlive its own faults to keep the pool
+                // honest.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    server.supervise_tick();
+                }));
+            })
+            .expect("spawn supervisor thread");
+        self.inner
+            .helpers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+
+    fn supervise_tick(&self) {
+        // Chaos: panic or stall one tick (the catch_unwind above and the
+        // next tick absorb it; repair is merely delayed, never lost).
+        cr_faults::point!("server.supervisor.tick");
+        let respawned = self.inner.pool.respawn_dead();
+        if respawned > 0 {
+            self.inner
+                .aggregate
+                .add(Counter::WorkersRespawned, respawned);
+        }
+        let tripped = self.inner.inflight.trip_wedged();
+        if tripped > 0 {
+            self.inner.aggregate.add(Counter::WedgeCancels, tripped);
+        }
+        self.inner.admission.maybe_relax();
+    }
+
+    /// Spawns the standby's follower thread: polls the primary for log
+    /// chunks, applies them, and self-promotes when the primary's
+    /// heartbeat lapses for `promote_after_ms`.
+    fn spawn_follower(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        let addr = self
+            .inner
+            .config
+            .follow
+            .clone()
+            .expect("spawn_follower requires config.follow");
+        let poll = Duration::from_millis(self.inner.config.follow_poll_ms.max(10));
+        let promote_after = Duration::from_millis(self.inner.config.promote_after_ms.max(100));
+        let io_timeout = promote_after.min(Duration::from_millis(1000));
+        let handle = std::thread::Builder::new()
+            .name("cr-follower".to_string())
+            .spawn(move || {
+                let mut client = FollowerClient::new(addr, io_timeout);
+                let mut last_ok = Instant::now();
+                loop {
+                    let Some(inner) = weak.upgrade() else {
+                        return;
+                    };
+                    let server = Server { inner };
+                    if server.shutdown_requested() || !server.is_standby() {
+                        return;
+                    }
+                    let at = {
+                        let replica = server
+                            .inner
+                            .replica
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner());
+                        match replica.as_ref() {
+                            Some(r) => (r.offset(), r.epoch().unwrap_or(0)),
+                            // Promotion took the mirror out from under us.
+                            None => return,
+                        }
+                    };
+                    match client.poll(at.0, at.1) {
+                        Ok(chunk) => {
+                            last_ok = Instant::now();
+                            let full = chunk.data.len() >= repl::CHUNK_MAX;
+                            server.apply_chunk(&chunk);
+                            if full {
+                                // Mid-catch-up: more bytes are waiting;
+                                // stream them without the poll delay.
+                                continue;
+                            }
+                        }
+                        Err(_) => {
+                            if last_ok.elapsed() >= promote_after {
+                                let _ = server.promote();
+                                return;
+                            }
+                        }
+                    }
+                    drop(server);
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn follower thread");
+        self.inner
+            .helpers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+
+    /// Applies one shipped chunk to the mirror and warms the cache from
+    /// every complete record it carried.
+    fn apply_chunk(&self, chunk: &ReplChunk) {
+        let outcome = {
+            let mut replica = self.inner.replica.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(rep) = replica.as_mut() else {
+                return;
+            };
+            rep.apply(chunk.offset, chunk.epoch, chunk.reset, &chunk.data)
+        };
+        match outcome {
+            Ok(outcome) => {
+                if !chunk.data.is_empty() {
+                    self.inner.aggregate.add(Counter::ReplChunksApplied, 1);
+                }
+                for (canonical, question, verdict) in repl::warm_entries(&outcome.payloads) {
+                    let shard_hash = cr_core::canonical_text_hash(&canonical);
+                    self.inner.cache.insert(
+                        shard_hash,
+                        CacheKey {
+                            canonical,
+                            question,
+                        },
+                        verdict,
+                    );
+                }
+            }
+            Err(_) => {
+                self.inner.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Atomically (re)writes the port file naming the bound address and
+    /// role. Promotion calls this again, so a watching client is
+    /// redirected by a complete line — never a torn half-write.
+    fn write_port_file(&self) {
+        let Some(path) = &self.inner.config.port_file else {
+            return;
+        };
+        let addr = *self
+            .inner
+            .bound_addr
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(addr) = addr else {
+            return;
+        };
+        let line = if self.is_standby() {
+            format!("standby {addr}\n")
+        } else {
+            format!("{addr}\n")
+        };
+        if cr_store::write_atomic(path, line.as_bytes()).is_err() {
+            self.inner.store_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transports
+    // ------------------------------------------------------------------
+
+    /// Parses and submits a request line to the pool; the response line
+    /// (with trailing newline) is written to `out`. Admission runs here,
+    /// before the queue: expired or unfittable deadlines and overload
+    /// sheds are answered immediately (on the caller's thread) with a
+    /// retryable `shed` response — bounded memory under overload is the
+    /// contract.
     fn dispatch(&self, line: String, out: &Arc<Mutex<dyn Write + Send>>) {
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(msg) => {
+                self.inner.aggregate.add(Counter::RequestsServed, 1);
+                write_response(out, &Response::error(Request::salvage_id(&line), msg));
+                return;
+            }
+        };
+        if matches!(request.op, Op::Check | Op::Implies) {
+            let schema_len = request.schema.as_deref().map_or(0, str::len);
+            if let Admit::Shed { reason, deadline } =
+                self.inner
+                    .admission
+                    .admit(request.deadline_ms, request.priority, schema_len)
+            {
+                self.count_shed(deadline);
+                write_response(out, &Response::shed(request.id.clone(), reason));
+                return;
+            }
+        }
+        let id = request.id.clone();
         let server = self.clone();
         let writer = Arc::clone(out);
-        let job_line = line.clone();
+        let enqueued = Instant::now();
         let submitted = self.inner.pool.try_submit(Box::new(move || {
+            let queue_delay = enqueued.elapsed();
             // Last line of defense: even a panic that escapes the reasoning
             // path's own containment (e.g. in canonicalization, which runs
             // before it) must still cost the client exactly one error
             // response, never a missing reply.
             let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                server.process_line(&job_line)
+                server.process_picked(&request, queue_delay)
             }));
             let response = work.unwrap_or_else(|panic| {
-                Response::error(
-                    Request::salvage_id(&job_line),
-                    format!("panic: {}", panic_text(&panic)),
-                )
+                Response::error(request.id.clone(), format!("panic: {}", panic_text(&panic)))
             });
             write_response(&writer, &response);
         }));
         match submitted {
             Ok(()) => {}
             Err(SubmitError::QueueFull) => {
-                self.inner.aggregate.add(Counter::RequestsServed, 1);
+                self.count_shed(false);
+                self.inner.admission.note_overload();
                 write_response(
                     out,
-                    &Response::error(
-                        Request::salvage_id(&line),
-                        "server overloaded: request queue is full",
-                    ),
+                    &Response::shed(id, "server overloaded: request queue is full"),
                 );
             }
             Err(SubmitError::ShuttingDown) => {
-                write_response(
-                    out,
-                    &Response::error(Request::salvage_id(&line), "server is shutting down"),
-                );
+                write_response(out, &Response::error(id, "server is shutting down"));
             }
+        }
+    }
+
+    /// Counts one shed answered outside `process_picked` (admission gate
+    /// or full queue).
+    fn count_shed(&self, deadline: bool) {
+        self.inner.aggregate.add(Counter::RequestsServed, 1);
+        self.inner.aggregate.add(Counter::RequestsShed, 1);
+        if deadline {
+            self.inner.aggregate.add(Counter::DeadlineRejected, 1);
         }
     }
 
@@ -617,9 +1257,9 @@ impl Server {
     }
 
     /// Binds `addr` (e.g. `127.0.0.1:0`) and serves until shutdown is
-    /// requested or `stop` turns true. Returns the bound address through
-    /// `on_bound` before entering the accept loop, then blocks; drains
-    /// before returning.
+    /// requested or `stop` turns true. Writes the port file (when
+    /// configured) and returns the bound address through `on_bound` before
+    /// entering the accept loop, then blocks; drains before returning.
     pub fn serve_tcp(
         &self,
         addr: &str,
@@ -628,7 +1268,14 @@ impl Server {
     ) -> std::io::Result<()> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        on_bound(listener.local_addr()?);
+        let bound = listener.local_addr()?;
+        *self
+            .inner
+            .bound_addr
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(bound);
+        self.write_port_file();
+        on_bound(bound);
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             if self.shutdown_requested() || stop.load(Ordering::SeqCst) {
@@ -693,6 +1340,19 @@ impl Server {
     }
 }
 
+/// Drop guard deregistering a request from the in-flight registry even
+/// when the reasoning path unwinds.
+struct Dereg<'a> {
+    registry: &'a InflightRegistry,
+    seq: u64,
+}
+
+impl Drop for Dereg<'_> {
+    fn drop(&mut self) {
+        self.registry.deregister(self.seq);
+    }
+}
+
 /// The unsat classes an answer claims: its detail lines minus the `rel `
 /// relationship lines. This is the set `cr_core::certify_check` must agree
 /// with before a verdict is trusted (returned to a `--certify` client, or
@@ -743,6 +1403,15 @@ mod tests {
         r.to_json()
     }
 
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let h = tag.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        let dir = std::env::temp_dir().join(format!("cr-server-ha-{tag}-{h:x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn ping_stats_and_shutdown() {
         let server = Server::new(ServerConfig::default());
@@ -754,6 +1423,7 @@ mod tests {
             .detail
             .iter()
             .any(|d| d.starts_with("requests_served=")));
+        assert!(stats.detail.iter().any(|d| d == "role=primary"));
         assert!(!server.shutdown_requested());
         let bye = server.process_line(&Request::new("q", Op::Shutdown).to_json());
         assert_eq!(bye.verdict.as_deref(), Some("shutting-down"));
@@ -867,5 +1537,89 @@ mod tests {
         assert_eq!(syntax.status, Status::Error);
         assert!(syntax.detail[0].starts_with("schema:"));
         server.finish();
+    }
+
+    #[test]
+    fn standby_requires_cache_dir() {
+        let err = match Server::open(ServerConfig {
+            follow: Some("127.0.0.1:1".to_string()),
+            ..ServerConfig::default()
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("standby without a cache dir must be refused"),
+        };
+        assert!(err.contains("cache dir"), "got: {err}");
+    }
+
+    #[test]
+    fn promote_on_primary_is_a_noop() {
+        let server = Server::new(ServerConfig::default());
+        assert_eq!(server.promote().unwrap(), "already-primary");
+        assert_eq!(server.aggregate_counter(Counter::Promotions), 0);
+        let resp = server.process_line(&Request::new("p", Op::Promote).to_json());
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.verdict.as_deref(), Some("already-primary"));
+        server.finish();
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_without_touching_a_worker() {
+        let server = Server::new(ServerConfig::default());
+        let mut r = Request::new("d", Op::Check);
+        r.schema = Some(MEETING.to_string());
+        r.deadline_ms = Some(0);
+        let resp = server.process_request(&r);
+        assert_eq!(resp.status, Status::Shed);
+        assert!(resp.detail[0].starts_with("deadline"));
+        assert_eq!(
+            server.aggregate_counter(Counter::CacheMisses),
+            0,
+            "expired work must not reach the pipeline"
+        );
+        assert_eq!(server.aggregate_counter(Counter::RequestsShed), 1);
+        assert_eq!(server.aggregate_counter(Counter::DeadlineRejected), 1);
+        server.finish();
+    }
+
+    #[test]
+    fn standby_serves_replicated_verdicts_and_promotes_to_compute() {
+        let dir = tmp("standby");
+        {
+            let primary = Server::new(ServerConfig {
+                cache_dir: Some(dir.clone()),
+                ..ServerConfig::default()
+            });
+            let r = primary.process_line(&check_request("a", MEETING));
+            assert_eq!(r.status, Status::Ok);
+            primary.finish();
+        }
+        // A standby over the same directory treats the primary's log as
+        // its mirror; point `follow` at a dead address and park the
+        // promotion timer so nothing races the assertions.
+        let standby = Server::open(ServerConfig {
+            cache_dir: Some(dir.clone()),
+            follow: Some("127.0.0.1:1".to_string()),
+            promote_after_ms: 3_600_000,
+            ..ServerConfig::default()
+        })
+        .expect("standby open");
+        assert!(standby.is_standby());
+        let hit = standby.process_line(&check_request("b", MEETING));
+        assert_eq!(hit.status, Status::Ok, "detail: {:?}", hit.detail);
+        assert!(hit.cached, "replicated verdict must be served warm");
+        // Novel work is refused honestly, never computed.
+        let mut novel = Request::new("c", Op::Check);
+        novel.schema = Some("class OnlyHere;".to_string());
+        let miss = standby.process_request(&novel);
+        assert_eq!(miss.status, Status::Error);
+        assert!(miss.detail[0].starts_with("standby:"), "{:?}", miss.detail);
+        // Promotion turns the mirror into the store and unlocks compute.
+        assert_eq!(standby.promote().unwrap(), "promoted");
+        assert!(!standby.is_standby());
+        assert_eq!(standby.aggregate_counter(Counter::Promotions), 1);
+        let fresh = standby.process_request(&novel);
+        assert_eq!(fresh.status, Status::Ok, "detail: {:?}", fresh.detail);
+        standby.finish();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -30,9 +30,11 @@
 pub mod atomic;
 pub mod crc;
 pub mod log;
+pub mod replica;
 pub mod store;
 
 pub use atomic::write_atomic;
 pub use crc::crc32;
 pub use log::{RecordLog, Replay};
-pub use store::{PutOutcome, Store, StoreStats, DEFAULT_COMPACT_THRESHOLD};
+pub use replica::{ApplyOutcome, Replica};
+pub use store::{decode_entry, PutOutcome, Store, StoreStats, DEFAULT_COMPACT_THRESHOLD};

@@ -81,7 +81,7 @@ impl RecordLog {
             file.write_all(MAGIC)?;
             MAGIC.len() as u64
         } else {
-            let valid = scan(&bytes, &mut replay.payloads);
+            let valid = scan_frames(&bytes, &mut replay.payloads);
             replay.truncated_bytes = bytes.len() as u64 - valid;
             if replay.truncated_bytes > 0 {
                 file.set_len(valid)?;
@@ -157,7 +157,7 @@ pub fn encode_record(payload: &[u8], out: &mut Vec<u8>) {
 /// Scans `bytes` (which starts with a valid magic) frame by frame,
 /// pushing intact payloads and returning the byte offset of the first
 /// torn/corrupt frame (== `bytes.len()` on a clean log).
-fn scan(bytes: &[u8], payloads: &mut Vec<Vec<u8>>) -> u64 {
+pub(crate) fn scan_frames(bytes: &[u8], payloads: &mut Vec<Vec<u8>>) -> u64 {
     let mut pos = MAGIC.len();
     loop {
         let Some(header) = bytes.get(pos..pos + FRAME_OVERHEAD as usize) else {

@@ -1,0 +1,380 @@
+//! Standby-side mirror of a primary's record log.
+//!
+//! A [`Replica`] receives raw byte ranges of the primary's verdict log
+//! (shipped by the `replicate` protocol op) and appends them verbatim to
+//! a local file, so the mirror is byte-identical to the primary's log up
+//! to the replicated offset. Because the log format is self-validating
+//! (CRC-framed records, torn-tail recovery), the mirror can be opened as
+//! a normal [`crate::Store`] at promotion time with no extra bookkeeping:
+//! a partially shipped frame at the tail is truncated exactly like a
+//! torn write would be.
+//!
+//! While streaming, the replica also decodes every *complete* frame it
+//! receives and hands the payloads back to the caller, so a standby can
+//! warm its in-memory cache continuously instead of replaying the whole
+//! log at promotion.
+//!
+//! Resync rules (any of these forces a restart from offset 0):
+//!
+//! * the primary reports a different epoch than the one we are streaming
+//!   under (it compacted, so our offsets are meaningless);
+//! * the primary's log is shorter than our mirror (it restarted or
+//!   compacted);
+//! * a received frame fails its CRC or length check (we spliced into an
+//!   incompatible image — the CRC backstop catches what the epoch check
+//!   misses).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::log::{scan_frames, FRAME_OVERHEAD, MAGIC, MAX_RECORD_LEN};
+
+/// What applying one shipped chunk produced.
+#[derive(Debug, Default)]
+pub struct ApplyOutcome {
+    /// Payloads of every frame completed by this chunk, in log order.
+    pub payloads: Vec<Vec<u8>>,
+    /// True when the replica discarded its mirror and restarted from
+    /// offset 0 (epoch change, shrunken primary log, or CRC mismatch).
+    /// The caller should also drop any state derived from the old
+    /// mirror— the next poll re-streams everything.
+    pub resynced: bool,
+}
+
+/// A byte-level mirror of a primary's record log.
+#[derive(Debug)]
+pub struct Replica {
+    path: PathBuf,
+    file: File,
+    /// Mirrored bytes so far (= the next offset to request).
+    len: u64,
+    /// Bytes received but not yet forming a complete frame.
+    undecoded: Vec<u8>,
+    /// Whether the 8-byte magic is still owed at the head of the stream.
+    need_magic: bool,
+    /// The primary epoch the current mirror was streamed under (`None`
+    /// until the first chunk arrives, or after a local restart).
+    epoch: Option<u64>,
+}
+
+impl Replica {
+    /// Opens (creating if absent) the mirror file at `path`, validates
+    /// the existing image frame-by-frame, truncates any torn tail, and
+    /// returns the replica plus the payloads of every intact record (for
+    /// cache rehydration).
+    pub fn open(path: &Path) -> io::Result<(Replica, Vec<Vec<u8>>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        use std::io::Read;
+        file.read_to_end(&mut bytes)?;
+        let mut payloads = Vec::new();
+        let valid = if bytes.is_empty() || !bytes.starts_with(MAGIC) {
+            // An unrecognized image cannot be a mirror of any primary;
+            // restart from nothing (the magic arrives over the wire).
+            file.set_len(0)?;
+            0
+        } else {
+            let valid = scan_frames(&bytes, &mut payloads);
+            if valid < bytes.len() as u64 {
+                file.set_len(valid)?;
+            }
+            valid
+        };
+        file.seek(SeekFrom::Start(valid))?;
+        Ok((
+            Replica {
+                path: path.to_path_buf(),
+                file,
+                len: valid,
+                undecoded: Vec::new(),
+                need_magic: valid == 0,
+                epoch: None,
+            },
+            payloads,
+        ))
+    }
+
+    /// The next byte offset this replica wants from the primary.
+    pub fn offset(&self) -> u64 {
+        self.len
+    }
+
+    /// The epoch the current mirror is streamed under, if known.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// The mirror file's path (the store opened at promotion).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Applies one shipped chunk. `offset`/`epoch` are the primary's
+    /// claims for this chunk; `reset` is the primary ordering a resync
+    /// (it detected our offset or epoch is stale).
+    pub fn apply(
+        &mut self,
+        offset: u64,
+        epoch: u64,
+        reset: bool,
+        bytes: &[u8],
+    ) -> io::Result<ApplyOutcome> {
+        cr_faults::point!("server.repl.apply", |p: Option<String>| Err(
+            crate::atomic::injected(p)
+        ));
+        if reset || self.epoch.is_some_and(|e| e != epoch) {
+            self.restart()?;
+            self.epoch = Some(epoch);
+            return Ok(ApplyOutcome {
+                payloads: Vec::new(),
+                resynced: true,
+            });
+        }
+        self.epoch = Some(epoch);
+        if offset != self.len || bytes.is_empty() {
+            // Stale or duplicate chunk: ignore; the caller re-requests at
+            // `offset()`.
+            return Ok(ApplyOutcome::default());
+        }
+        self.file.write_all(bytes)?;
+        self.len += bytes.len() as u64;
+        self.undecoded.extend_from_slice(bytes);
+        match self.drain_frames() {
+            Some(payloads) => Ok(ApplyOutcome {
+                payloads,
+                resynced: false,
+            }),
+            None => {
+                // Frame-level corruption: we spliced into an incompatible
+                // image. Discard the mirror; next poll restarts at 0.
+                self.restart()?;
+                Ok(ApplyOutcome {
+                    payloads: Vec::new(),
+                    resynced: true,
+                })
+            }
+        }
+    }
+
+    /// Forces mirrored bytes to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    fn restart(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        self.undecoded.clear();
+        self.need_magic = true;
+        self.epoch = None;
+        Ok(())
+    }
+
+    /// Extracts complete frames from the undecoded buffer. `None` means
+    /// the stream is corrupt (bad magic, implausible length, CRC fail).
+    fn drain_frames(&mut self) -> Option<Vec<Vec<u8>>> {
+        let mut payloads = Vec::new();
+        let mut pos = 0usize;
+        if self.need_magic {
+            if self.undecoded.len() < MAGIC.len() {
+                return Some(payloads);
+            }
+            if &self.undecoded[..MAGIC.len()] != MAGIC {
+                return None;
+            }
+            self.need_magic = false;
+            pos = MAGIC.len();
+        }
+        while let Some(header) = self.undecoded.get(pos..pos + FRAME_OVERHEAD as usize) {
+            let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_LEN {
+                return None;
+            }
+            let body_start = pos + FRAME_OVERHEAD as usize;
+            let Some(payload) = self.undecoded.get(body_start..body_start + len as usize) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                return None;
+            }
+            payloads.push(payload.to_vec());
+            pos = body_start + len as usize;
+        }
+        self.undecoded.drain(..pos);
+        Some(payloads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{decode_entry, Store};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let h = tag.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        let dir = std::env::temp_dir().join(format!("cr-store-replica-{tag}-{h:x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    /// Ship the primary's whole log to the replica in `chunk`-byte slices.
+    fn ship_all(primary: &Store, replica: &mut Replica, chunk: usize) -> Vec<Vec<u8>> {
+        let mut decoded = Vec::new();
+        loop {
+            let (bytes, _len) = primary.read_range(replica.offset(), chunk).expect("read");
+            if bytes.is_empty() {
+                break;
+            }
+            let out = replica
+                .apply(replica.offset(), primary.epoch(), false, &bytes)
+                .expect("apply");
+            assert!(!out.resynced, "in-sync shipping must not resync");
+            decoded.extend(out.payloads);
+        }
+        decoded
+    }
+
+    #[test]
+    fn mirror_is_byte_identical_and_promotable() {
+        let dir = tmp("mirror");
+        let primary_path = dir.join("primary.log");
+        let mirror_path = dir.join("mirror.log");
+        let mut primary = Store::open(&primary_path).expect("open primary");
+        for i in 0..20u32 {
+            primary
+                .put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .expect("put");
+        }
+        primary.sync().expect("sync");
+
+        let (mut replica, warm) = Replica::open(&mirror_path).expect("open replica");
+        assert!(warm.is_empty());
+        // Odd chunk size: frames arrive split across chunk boundaries.
+        let decoded = ship_all(&primary, &mut replica, 37);
+        assert_eq!(decoded.len(), 20);
+        replica.sync().expect("sync");
+        assert_eq!(
+            std::fs::read(&primary_path).unwrap(),
+            std::fs::read(&mirror_path).unwrap(),
+            "mirror must be byte-identical"
+        );
+
+        // Promotion: the mirror opens as a normal store with every entry.
+        let promoted = Store::open(&mirror_path).expect("promote");
+        assert_eq!(promoted.len(), 20);
+        assert_eq!(promoted.get(b"k7"), Some(b"v7".as_ref()));
+    }
+
+    #[test]
+    fn reopen_resumes_from_the_valid_prefix() {
+        let dir = tmp("resume");
+        let primary_path = dir.join("primary.log");
+        let mirror_path = dir.join("mirror.log");
+        let mut primary = Store::open(&primary_path).expect("open primary");
+        for i in 0..8u32 {
+            primary
+                .put(format!("k{i}").as_bytes(), b"value")
+                .expect("put");
+        }
+
+        let (mut replica, _) = Replica::open(&mirror_path).expect("open");
+        // Ship only part of the log, splitting the final frame.
+        let (bytes, _) = primary.read_range(0, 100).expect("read");
+        replica.apply(0, 0, false, &bytes).expect("apply");
+        let resumed_at = replica.offset();
+        drop(replica);
+
+        let (mut replica, warm) = Replica::open(&mirror_path).expect("reopen");
+        // The torn tail (partial frame) is truncated; complete frames stay.
+        assert!(replica.offset() <= resumed_at);
+        assert!(!warm.is_empty());
+        for payload in &warm {
+            assert!(decode_entry(payload).is_some());
+        }
+        // Resume shipping from the recovered offset to full sync.
+        loop {
+            let (bytes, _) = primary.read_range(replica.offset(), 64).expect("read");
+            if bytes.is_empty() {
+                break;
+            }
+            replica
+                .apply(replica.offset(), primary.epoch(), false, &bytes)
+                .expect("apply");
+        }
+        let promoted = Store::open(&mirror_path).expect("promote");
+        assert_eq!(promoted.len(), 8);
+    }
+
+    #[test]
+    fn epoch_change_forces_resync() {
+        let dir = tmp("epoch");
+        let mirror_path = dir.join("mirror.log");
+        let (mut replica, _) = Replica::open(&mirror_path).expect("open");
+        let mut primary = Store::open(&dir.join("primary.log")).expect("open primary");
+        for i in 0..64u32 {
+            primary
+                .put(b"hot", format!("v{i}").as_bytes())
+                .expect("put");
+        }
+        ship_all(&primary, &mut replica, 4096);
+        let before = replica.offset();
+        assert!(before > 0);
+
+        primary.compact().expect("compact");
+        assert_eq!(primary.epoch(), 1);
+        let (bytes, _) = primary.read_range(0, 4096).expect("read");
+        // The primary would answer a stale-epoch request with reset=true;
+        // even a plain chunk under the new epoch must trigger the resync.
+        let out = replica
+            .apply(before, primary.epoch(), false, &bytes)
+            .expect("apply");
+        assert!(out.resynced);
+        assert_eq!(replica.offset(), 0);
+        ship_all(&primary, &mut replica, 4096);
+        let promoted = Store::open(&mirror_path).expect("promote");
+        assert_eq!(promoted.get(b"hot"), Some(b"v63".as_ref()));
+    }
+
+    #[test]
+    fn corrupt_chunk_is_detected_and_resyncs() {
+        let dir = tmp("corrupt");
+        let (mut replica, _) = Replica::open(&dir.join("mirror.log")).expect("open");
+        let mut primary = Store::open(&dir.join("primary.log")).expect("open primary");
+        primary.put(b"k", b"v").expect("put");
+        let (mut bytes, _) = primary.read_range(0, 4096).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a payload bit: CRC must catch it
+        let out = replica.apply(0, 0, false, &bytes).expect("apply");
+        assert!(out.resynced, "CRC mismatch must force a resync");
+        assert!(out.payloads.is_empty());
+        assert_eq!(replica.offset(), 0);
+    }
+
+    #[test]
+    fn stale_offset_chunks_are_ignored() {
+        let dir = tmp("stale");
+        let (mut replica, _) = Replica::open(&dir.join("mirror.log")).expect("open");
+        let mut primary = Store::open(&dir.join("primary.log")).expect("open primary");
+        primary.put(b"k", b"v").expect("put");
+        let (bytes, _) = primary.read_range(0, 4096).expect("read");
+        replica.apply(0, 0, false, &bytes).expect("apply");
+        let offset = replica.offset();
+        // A duplicate of the first chunk must not be re-appended.
+        let out = replica.apply(0, 0, false, &bytes).expect("apply dup");
+        assert!(out.payloads.is_empty());
+        assert!(!out.resynced);
+        assert_eq!(replica.offset(), offset);
+    }
+}

@@ -174,6 +174,44 @@ impl Store {
         self.log.len()
     }
 
+    /// Replication epoch: compaction rewrites the log in place, so byte
+    /// offsets from before a compaction are meaningless after it. A
+    /// standby echoes the epoch it is streaming under; a mismatch tells
+    /// the primary to order a full resync instead of serving bytes that
+    /// would splice two incompatible log images.
+    pub fn epoch(&self) -> u64 {
+        self.stats.compactions
+    }
+
+    /// Reads up to `max_len` raw log bytes starting at byte `offset`
+    /// (0 = start of file, magic included), for shipping to a standby.
+    /// Returns the bytes and the current log length. Reads through a
+    /// fresh handle so the append position is untouched; only bytes
+    /// below the recovered/appended length are served (a torn tail past
+    /// it is never shipped).
+    pub fn read_range(&self, offset: u64, max_len: usize) -> io::Result<(Vec<u8>, u64)> {
+        let len = self.log.len();
+        if offset >= len {
+            return Ok((Vec::new(), len));
+        }
+        let take = usize::try_from(len - offset)
+            .unwrap_or(usize::MAX)
+            .min(max_len);
+        let mut file = std::fs::File::open(&self.path)?;
+        use std::io::{Read, Seek, SeekFrom};
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; take];
+        let mut filled = 0;
+        while filled < buf.len() {
+            match file.read(&mut buf[filled..])? {
+                0 => break,
+                n => filled += n,
+            }
+        }
+        buf.truncate(filled);
+        Ok((buf, len))
+    }
+
     /// Lifetime counters for this open.
     pub fn stats(&self) -> StoreStats {
         self.stats
@@ -196,7 +234,10 @@ fn encode_entry(key: &[u8], value: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(value);
 }
 
-fn decode_entry(payload: &[u8]) -> Option<(&[u8], &[u8])> {
+/// Decodes one store record payload (`klen:u32le key value`) back into
+/// its key and value. Public for replication: a standby decodes the
+/// payloads streamed off the primary's log to warm its own cache.
+pub fn decode_entry(payload: &[u8]) -> Option<(&[u8], &[u8])> {
     let klen = u32::from_le_bytes(payload.get(0..4)?.try_into().ok()?) as usize;
     let key = payload.get(4..4 + klen)?;
     let value = payload.get(4 + klen..)?;

@@ -131,11 +131,38 @@ pub enum Counter {
     /// Runs resumed from a checkpoint (CLI `resume` or any caller of
     /// `Budget::note_resumed_from`).
     Resumes = 27,
+    /// Admission control: requests refused with the retryable `shed`
+    /// status (load shedding, overload, or an unserviceable deadline).
+    RequestsShed = 28,
+    /// Admission control: requests rejected because their `deadline_ms`
+    /// had already expired (on arrival, or while queued) — a subset of
+    /// the shed count.
+    DeadlineRejected = 29,
+    /// Requests that joined another request's in-flight computation
+    /// instead of recomputing (identical canonical form + question).
+    RequestsCoalesced = 30,
+    /// Supervision: dead worker threads detected and respawned.
+    WorkersRespawned = 31,
+    /// Supervision: wedged requests whose cancel token the supervisor
+    /// tripped after they overran their budget-aware wedge threshold.
+    WedgeCancels = 32,
+    /// Supervision: canonical hashes quarantined after crashing the
+    /// reasoning pipeline repeatedly (poison requests).
+    PoisonQuarantined = 33,
+    /// Replication: raw verdict-log bytes served to standbys (primary
+    /// side).
+    ReplBytesShipped = 34,
+    /// Replication: log chunks applied to the local mirror (standby
+    /// side).
+    ReplChunksApplied = 35,
+    /// Standby→primary promotions (explicit `promote` op or heartbeat
+    /// lapse).
+    Promotions = 36,
 }
 
 impl Counter {
     /// Number of counters (size of the accounting array).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 37;
 
     /// All counters, in accounting-array (and JSON) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -167,6 +194,15 @@ impl Counter {
         Counter::StoreWrites,
         Counter::StoreCompactions,
         Counter::Resumes,
+        Counter::RequestsShed,
+        Counter::DeadlineRejected,
+        Counter::RequestsCoalesced,
+        Counter::WorkersRespawned,
+        Counter::WedgeCancels,
+        Counter::PoisonQuarantined,
+        Counter::ReplBytesShipped,
+        Counter::ReplChunksApplied,
+        Counter::Promotions,
     ];
 
     /// Stable lowercase snake_case name — the JSON schema key.
@@ -200,6 +236,15 @@ impl Counter {
             Counter::StoreWrites => "store_writes",
             Counter::StoreCompactions => "store_compactions",
             Counter::Resumes => "resumes",
+            Counter::RequestsShed => "requests_shed",
+            Counter::DeadlineRejected => "deadline_rejected",
+            Counter::RequestsCoalesced => "requests_coalesced",
+            Counter::WorkersRespawned => "workers_respawned",
+            Counter::WedgeCancels => "wedge_cancels",
+            Counter::PoisonQuarantined => "poison_quarantined",
+            Counter::ReplBytesShipped => "repl_bytes_shipped",
+            Counter::ReplChunksApplied => "repl_chunks_applied",
+            Counter::Promotions => "promotions",
         }
     }
 
@@ -636,6 +681,15 @@ mod tests {
                 "store_writes",
                 "store_compactions",
                 "resumes",
+                "requests_shed",
+                "deadline_rejected",
+                "requests_coalesced",
+                "workers_respawned",
+                "wedge_cancels",
+                "poison_quarantined",
+                "repl_bytes_shipped",
+                "repl_chunks_applied",
+                "promotions",
             ]
         );
     }

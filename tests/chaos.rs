@@ -97,6 +97,15 @@ mod armed {
         ("store.append.write", "return"),
         ("store.append.sync", "1#return"),
         ("store.compact.rename", "return"),
+        // HA sites. The admission site sheds the first request (the
+        // client must see a clean, retryable `shed`); the replication
+        // pair only fires on replicate traffic (exercised end-to-end in
+        // `replication_faults_never_corrupt_the_standby`); a panicking
+        // supervisor tick must never take the service down.
+        ("server.admission.shed", "1#return"),
+        ("server.repl.chunk", "50%return"),
+        ("server.repl.apply", "50%return"),
+        ("server.supervisor.tick", "panic(chaos: supervisor tick)"),
     ];
 
     struct Daemon {
@@ -208,8 +217,9 @@ mod armed {
                 );
             }
             // Clean containment: a structured error (injected fault,
-            // contained panic, overload) or budget line, with detail.
-            "error" | "budget-exceeded" => {
+            // contained panic), budget line, or retryable load shed,
+            // with detail — never a wrong verdict.
+            "error" | "budget-exceeded" | "shed" => {
                 let detail = resp.get("detail").and_then(Value::as_arr).unwrap_or(&[]);
                 assert!(
                     !detail.is_empty(),
@@ -284,6 +294,129 @@ mod armed {
             assert_eq!(pong.get("verdict").and_then(Value::as_str), Some("pong"));
             daemon.shutdown();
         }
+    }
+
+    fn stat_of(server: &Server, key: &str) -> u64 {
+        let resp = server.process_request(&Request::new("st".to_string(), Op::Stats));
+        let prefix = format!("{key}=");
+        resp.detail
+            .iter()
+            .find_map(|d| d.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+            .unwrap_or(0)
+    }
+
+    /// Replication under fire: with both the ship and apply failpoints
+    /// firing at 50%, a standby must still converge on the primary's log
+    /// (every refused chunk is simply re-requested — the poll offset is
+    /// the ack), and after the primary dies and the standby promotes,
+    /// every acknowledged verdict is served from the warm store with the
+    /// correct answer. Faults may slow replication; they may never
+    /// corrupt it.
+    #[test]
+    fn replication_faults_never_corrupt_the_standby() {
+        let _guard = serial();
+        let seed: u64 = std::env::var("CR_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xFA11);
+        eprintln!("chaos seed: {seed} (replay with CR_CHAOS_SEED={seed})");
+        cr_faults::install(
+            &FaultPlan::new(seed)
+                .site("server.repl.chunk", "50%return")
+                .site("server.repl.apply", "50%return"),
+        );
+
+        let primary_dir = std::env::temp_dir().join("cr-chaos-failover-primary");
+        let standby_dir = std::env::temp_dir().join("cr-chaos-failover-standby");
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&standby_dir);
+        let primary = Server::new(ServerConfig {
+            workers: 2,
+            cache_dir: Some(primary_dir.clone()),
+            ..ServerConfig::default()
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr_tx, addr_rx) = mpsc::channel();
+        let serve_thread = {
+            let primary = primary.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                primary
+                    .serve_tcp("127.0.0.1:0", stop, move |bound| {
+                        addr_tx.send(bound).expect("report bound address");
+                    })
+                    .expect("serve_tcp");
+            })
+        };
+        let addr = addr_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("primary binds within 10s");
+
+        // Populate the primary: distinct, certifiable, satisfiable
+        // schemas, each acknowledged before the standby exists.
+        let schemas: Vec<String> = (0..4)
+            .map(|i| {
+                format!(
+                    "class A{i}; class B{i} isa A{i}; \
+                     relationship R{i} (U1: A{i}, U2: B{i}); \
+                     card A{i} in R{i}.U1: 1..2;"
+                )
+            })
+            .collect();
+        for (i, schema) in schemas.iter().enumerate() {
+            let mut r = Request::new(format!("w{i}"), Op::Check);
+            r.schema = Some(schema.clone());
+            let resp = primary.process_request(&r);
+            assert_eq!(resp.status.as_str(), "ok", "fixture {i}: {:?}", resp.detail);
+        }
+        let goal = stat_of(&primary, "store_log_bytes");
+        assert!(goal > 0, "fixtures must reach the durable log");
+
+        let standby = Server::open(ServerConfig {
+            workers: 1,
+            cache_dir: Some(standby_dir.clone()),
+            follow: Some(addr.to_string()),
+            follow_poll_ms: 20,
+            // Park self-promotion: this test promotes explicitly, and a
+            // fault-heavy poll pattern must not race it.
+            promote_after_ms: 600_000,
+            ..ServerConfig::default()
+        })
+        .expect("standby boots");
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while stat_of(&standby, "repl_offset") < goal {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "standby failed to catch up under replication faults \
+                 (offset {}/{goal})",
+                stat_of(&standby, "repl_offset")
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        cr_faults::clear();
+
+        // The primary dies; the standby takes over warm.
+        stop.store(true, Ordering::SeqCst);
+        serve_thread.join().expect("serve thread exits");
+        primary.finish();
+        let resp = standby.process_request(&Request::new("pr".to_string(), Op::Promote));
+        assert_eq!(resp.verdict.as_deref(), Some("promoted"));
+        for (i, schema) in schemas.iter().enumerate() {
+            let mut r = Request::new(format!("r{i}"), Op::Check);
+            r.schema = Some(schema.clone());
+            let resp = standby.process_request(&r);
+            assert_eq!(
+                resp.status.as_str(),
+                "ok",
+                "verdict {i} lost or wrong after failover: {:?}",
+                resp.detail
+            );
+            assert!(resp.cached, "verdict {i} must come from the warm store");
+            assert_eq!(resp.verdict.as_deref(), Some("satisfiable"));
+        }
+        standby.finish();
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&standby_dir);
     }
 
     /// The same seed must replay the exact same injection pattern — the
