@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh BENCH snapshot against a committed
+baseline and exit 1 when any experiment family regresses.
+
+    python3 ci/bench_gate.py NEW.json BASE.json [--threshold PCT]
+
+Mirrors `reproduce bench --compare` exactly, so the gate can run either
+natively (one process, no interpreter needed) or from CI scripting:
+
+* rows are matched by identity — `id` plus every non-timing field
+  (shape, classes, ...);
+* each matched row contributes one slowdown ratio new/base per shared
+  `*_ms` field; rows with a sub-0.5 ms baseline are skipped as noise;
+* the daemon run contributes base/new over `throughput_rps` (lower
+  throughput = regression), so every ratio reads ">1 means worse";
+* ratios aggregate per family (E1, E2, E4, E5, daemon) by geometric
+  mean — one noisy row cannot trip the gate, a consistent family-wide
+  slowdown does;
+* the gate fails when any family's geomean exceeds 1 + threshold/100
+  (default threshold 75, i.e. 1.75x).
+
+Exit codes: 0 ok, 1 regression, 2 usage/unreadable snapshot.
+"""
+
+import json
+import math
+import sys
+
+DEFAULT_THRESHOLD_PCT = 75.0
+NOISE_FLOOR_MS = 0.5
+
+
+def row_identity(row):
+    """Every non-timing field as a sorted `k=v` string (matches the Rust
+    gate's BTreeMap ordering)."""
+    parts = []
+    for k in sorted(row):
+        if k.endswith("_ms") or k in ("ms", "throughput_rps"):
+            continue
+        v = row[k]
+        if isinstance(v, bool):
+            parts.append(f"{k}={str(v).lower()}")
+        elif isinstance(v, (str, int, float)):
+            parts.append(f"{k}={v}")
+    return " ".join(parts)
+
+
+def collect_ratios(fresh, base):
+    """Per-family lists of slowdown ratios (>1 means the fresh run is
+    worse)."""
+    families = {}
+    base_rows = {row_identity(r): r for r in base.get("experiments", [])}
+    for row in fresh.get("experiments", []):
+        match = base_rows.get(row_identity(row))
+        if match is None:
+            print(f"bench gate: no baseline row for {row_identity(row)} "
+                  "(new experiment, skipped)")
+            continue
+        family = str(row.get("id", "?"))
+        for field, value in row.items():
+            if not field.endswith("_ms"):
+                continue
+            base_ms = match.get(field)
+            if not isinstance(value, (int, float)) or not isinstance(base_ms, (int, float)):
+                continue
+            if base_ms > NOISE_FLOOR_MS and value > 0:
+                families.setdefault(family, []).append(value / base_ms)
+    new_rps = fresh.get("daemon", {}).get("throughput_rps")
+    base_rps = base.get("daemon", {}).get("throughput_rps")
+    if isinstance(new_rps, (int, float)) and isinstance(base_rps, (int, float)):
+        if new_rps > 0 and base_rps > 0:
+            families.setdefault("daemon", []).append(base_rps / new_rps)
+    return families
+
+
+def geomean(ratios):
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = DEFAULT_THRESHOLD_PCT
+    if "--threshold" in argv:
+        try:
+            threshold = float(argv[argv.index("--threshold") + 1])
+        except (IndexError, ValueError):
+            print("bench gate: --threshold needs a number (percent)", file=sys.stderr)
+            return 2
+    if len(args) != 2:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    new_path, base_path = args
+    try:
+        with open(new_path) as f:
+            fresh = json.load(f)
+        with open(base_path) as f:
+            base = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench gate: cannot load snapshot: {e}", file=sys.stderr)
+        return 2
+
+    families = collect_ratios(fresh, base)
+    if not families:
+        print(f"bench gate: no comparable rows between {new_path} and {base_path}",
+              file=sys.stderr)
+        return 2
+    limit = 1.0 + threshold / 100.0
+    failed = False
+    print(f"\nbench gate: {new_path} vs {base_path} (threshold {threshold:.0f}%)")
+    print("| family | rows | geomean slowdown | verdict |")
+    print("|---|---|---|---|")
+    for family in sorted(families):
+        ratios = families[family]
+        g = geomean(ratios)
+        verdict = "ok"
+        if g > limit:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"| {family} | {len(ratios)} | {g:.3f}x | {verdict} |")
+    if failed:
+        print(f"bench gate: FAILED — a family regressed past {limit:.2f}x",
+              file=sys.stderr)
+        return 1
+    print("bench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,6 +12,11 @@
 //!                           # instrumented reference pipeline to FILE
 //! reproduce bench --out F   # snapshot destination (default BENCH_<date>.json)
 //! reproduce bench --date D  # stamp the snapshot with date D (default today)
+//! reproduce bench --compare BASE.json   # after snapshotting, diff against a
+//!                           # committed baseline and exit 1 on regression
+//! reproduce bench --threshold P         # regression threshold in percent
+//!                           # (default 75: fail when a family's geometric-
+//!                           # mean slowdown exceeds 1.75x)
 //! ```
 
 use std::time::Instant;
@@ -35,7 +40,11 @@ fn main() {
         .enumerate()
         .filter(|&(i, a)| {
             !(a.starts_with("--")
-                || i > 0 && matches!(args[i - 1].as_str(), "--stats" | "--out" | "--date"))
+                || i > 0
+                    && matches!(
+                        args[i - 1].as_str(),
+                        "--stats" | "--out" | "--date" | "--compare" | "--threshold"
+                    ))
         })
         .map(|(_, a)| a.as_str())
         .next()
@@ -50,6 +59,17 @@ fn main() {
         let date = flag_value(&args, "--date").unwrap_or_else(today);
         let out = flag_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
         bench_snapshot(quick, &out, &date);
+        if let Some(base) = flag_value(&args, "--compare") {
+            let threshold = flag_value(&args, "--threshold")
+                .map(|v| {
+                    v.parse::<f64>().unwrap_or_else(|_| {
+                        eprintln!("--threshold needs a number (percent), got {v:?}");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(75.0);
+            compare_snapshots(&out, &base, threshold);
+        }
     }
     if let Some(path) = stats {
         write_run_report(&path);
@@ -699,6 +719,153 @@ fn bench_snapshot(quick: bool, out: &str, date: &str) {
             eprintln!("cannot write {out}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+// --------------------------------------------------------------------------
+// `bench --compare` — the regression gate
+// --------------------------------------------------------------------------
+
+/// Diffs the freshly written snapshot at `new_path` against the committed
+/// baseline at `base_path` and exits 1 when any experiment family's
+/// geometric-mean slowdown exceeds `threshold_pct` percent.
+///
+/// Rows are matched by identity (`id` plus every non-timing field:
+/// `shape`, `classes`, ...); for each matched row every `*_ms` field
+/// contributes a slowdown ratio new/base, and the daemon row contributes
+/// base/new over `throughput_rps` (lower throughput = regression). Ratios
+/// are aggregated per family (E1, E2, E4, E5, daemon) by geometric mean —
+/// a single noisy row cannot trip the gate, a consistent slowdown across
+/// a family does. The same logic is mirrored by `ci/bench_gate.py` so the
+/// gate runs both natively and from CI scripting.
+fn compare_snapshots(new_path: &str, base_path: &str, threshold_pct: f64) {
+    let read = |p: &str| -> cr_trace::json::Value {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench gate: cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        cr_trace::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench gate: cannot parse {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let fresh = read(new_path);
+    let base = read(base_path);
+    let mut families: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
+
+    // Experiment rows: match by identity key, ratio every shared *_ms.
+    let rows = |doc: &cr_trace::json::Value| -> Vec<cr_trace::json::Value> {
+        doc.get("experiments")
+            .and_then(|e| e.as_arr())
+            .map(<[cr_trace::json::Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let base_rows = rows(&base);
+    for row in rows(&fresh) {
+        let Some(obj) = row.as_obj() else { continue };
+        let key = row_identity(obj);
+        let Some(base_obj) = base_rows
+            .iter()
+            .filter_map(|r| r.as_obj())
+            .find(|b| row_identity(b) == key)
+        else {
+            println!("bench gate: no baseline row for {key} (new experiment, skipped)");
+            continue;
+        };
+        let family = obj
+            .get("id")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        for (field, value) in obj {
+            if !field.ends_with("_ms") {
+                continue;
+            }
+            let (Some(new_ms), Some(base_ms)) =
+                (as_f64(value), base_obj.get(field).and_then(as_f64))
+            else {
+                continue;
+            };
+            // Sub-millisecond rows are pure noise at CI granularity.
+            if base_ms > 0.5 && new_ms > 0.0 {
+                families
+                    .entry(family.clone())
+                    .or_default()
+                    .push(new_ms / base_ms);
+            }
+        }
+    }
+
+    // Daemon throughput: invert so >1 always means "got worse".
+    let rps = |doc: &cr_trace::json::Value| {
+        doc.get("daemon")
+            .and_then(|d| d.get("throughput_rps"))
+            .and_then(as_f64)
+    };
+    if let (Some(new_rps), Some(base_rps)) = (rps(&fresh), rps(&base)) {
+        if new_rps > 0.0 && base_rps > 0.0 {
+            families
+                .entry("daemon".to_string())
+                .or_default()
+                .push(base_rps / new_rps);
+        }
+    }
+
+    if families.is_empty() {
+        eprintln!("bench gate: no comparable rows between {new_path} and {base_path}");
+        std::process::exit(2);
+    }
+    let limit = 1.0 + threshold_pct / 100.0;
+    let mut failed = false;
+    println!("\nbench gate: {new_path} vs {base_path} (threshold {threshold_pct:.0}%)");
+    println!("| family | rows | geomean slowdown | verdict |");
+    println!("|---|---|---|---|");
+    for (family, ratios) in &families {
+        let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        let verdict = if geomean > limit {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "| {family} | {} | {geomean:.3}x | {verdict} |",
+            ratios.len()
+        );
+    }
+    if failed {
+        eprintln!("bench gate: FAILED — a family regressed past {limit:.2}x");
+        std::process::exit(1);
+    }
+    println!("bench gate: ok");
+}
+
+/// A row's identity: every field that is not a timing/throughput
+/// measurement, rendered `k=v` sorted (BTreeMap order) — `id=E1
+/// shape=Flat classes=4` matches across snapshots even if timing fields
+/// come and go.
+fn row_identity(obj: &std::collections::BTreeMap<String, cr_trace::json::Value>) -> String {
+    let mut parts = Vec::new();
+    for (k, v) in obj {
+        if k.ends_with("_ms") || k == "ms" || k == "throughput_rps" {
+            continue;
+        }
+        let rendered = match v {
+            cr_trace::json::Value::Str(s) => s.clone(),
+            cr_trace::json::Value::Num(n) => format!("{n}"),
+            cr_trace::json::Value::Bool(b) => format!("{b}"),
+            _ => continue,
+        };
+        parts.push(format!("{k}={rendered}"));
+    }
+    parts.join(" ")
+}
+
+fn as_f64(v: &cr_trace::json::Value) -> Option<f64> {
+    match v {
+        cr_trace::json::Value::Num(n) => Some(*n),
+        _ => None,
     }
 }
 

@@ -31,6 +31,7 @@ fn config_from(budget: &Budget) -> ServerConfig {
 /// returning the leftover positional arguments.
 struct ServiceFlags {
     addr: Option<String>,
+    metrics_addr: Option<String>,
     port_file: Option<String>,
     workers: Option<usize>,
     queue: Option<usize>,
@@ -45,6 +46,7 @@ struct ServiceFlags {
 fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
     let mut flags = ServiceFlags {
         addr: None,
+        metrics_addr: None,
         port_file: None,
         workers: None,
         queue: None,
@@ -64,6 +66,7 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
         if !matches!(
             flag,
             "--addr"
+                | "--metrics-addr"
                 | "--port-file"
                 | "--workers"
                 | "--queue"
@@ -96,6 +99,7 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
         };
         match flag {
             "--addr" => flags.addr = Some(value),
+            "--metrics-addr" => flags.metrics_addr = Some(value),
             "--port-file" => flags.port_file = Some(value),
             "--workers" => flags.workers = Some(parse_count(&value)?),
             "--queue" => flags.queue = Some(parse_count(&value)?),
@@ -121,6 +125,10 @@ fn parse_service_flags(args: &[String]) -> Result<ServiceFlags, String> {
 /// `--follow host:port` boots a warm *standby* that mirrors the primary's
 /// verdict log into `--cache-dir` and promotes itself when the primary's
 /// heartbeat lapses for `--promote-after-ms` (or on a `promote` request).
+/// `--metrics-addr host:port` additionally serves the telemetry plane
+/// over plain HTTP: `GET /metrics` (Prometheus text exposition) and
+/// `GET /statusz` (operational JSON), on a dedicated listener that never
+/// touches the worker pool.
 /// On drain the server emits its aggregate RunReport as one JSON line on
 /// stderr — on every exit path (client EOF, `shutdown` request, or
 /// signal).
@@ -129,10 +137,10 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
     if let Some(extra) = flags.positional.first() {
         return Err(format!(
             "serve takes no positional arguments, got {extra:?}\n\
-             usage: crsat serve [--addr host:port] [--port-file path] \
-             [--workers n] [--queue n] [--cache n] [--cache-dir dir] \
-             [--follow host:port] [--follow-poll-ms n] [--promote-after-ms n] \
-             [--timeout-ms n] [--max-steps n]"
+             usage: crsat serve [--addr host:port] [--metrics-addr host:port] \
+             [--port-file path] [--workers n] [--queue n] [--cache n] \
+             [--cache-dir dir] [--follow host:port] [--follow-poll-ms n] \
+             [--promote-after-ms n] [--timeout-ms n] [--max-steps n]"
         ));
     }
     let mut config = config_from(budget);
@@ -154,13 +162,20 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
     if let Some(ms) = flags.promote_after_ms {
         config.promote_after_ms = ms;
     }
+    config.metrics_addr = flags.metrics_addr.clone();
+    // The daemon narrates operational facts (boot recovery, promotion)
+    // through the invocation tracer, so they land wherever `--trace`
+    // points (verbatim on stderr by default, structured under
+    // `--trace=json`) instead of as raw eprintln.
+    let tracer = budget.tracer().clone();
+    config.event_sink = Some(cr_server::SharedSink::new(Arc::new(tracer.clone())));
     let server = Server::open(config).map_err(|e| format!("cannot open verdict store: {e}"))?;
     if server.is_standby() {
-        eprintln!(
+        tracer.message(&format!(
             "crsat serve: standby following {} ({} warm verdict(s) mirrored)",
             flags.follow.as_deref().unwrap_or("?"),
             server.cached_verdicts()
-        );
+        ));
     }
     if let Some(recovery) = server.store_recovery() {
         let mut line = format!(
@@ -177,7 +192,7 @@ pub fn serve(args: &[String], budget: &Budget) -> Result<u8, String> {
         if recovery.rebuilt {
             line.push_str(", rebuilt (unrecognized header)");
         }
-        eprintln!("{line}");
+        tracer.message(&line);
     }
 
     // First SIGTERM/SIGINT: stop reading, drain in-flight work. Second:

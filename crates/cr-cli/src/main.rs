@@ -52,6 +52,12 @@
 //!                       including budget-exceeded and errors
 //! ```
 //!
+//! Every invocation mints a 128-bit trace id: `--trace=json` events and
+//! the `--stats` report carry it, and `crsat serve` propagates ids end to
+//! end (request → response → cached/persisted/replicated verdict).
+//! `crsat serve --metrics-addr host:port` exposes the live telemetry
+//! plane: `GET /metrics` (Prometheus text) and `GET /statusz` (JSON).
+//!
 //! `crsat check --certify` additionally re-validates the verdict through
 //! the independent certificate checker (`cr_core::certify`): the witness is
 //! plugged back into Ψ_S, every excluded compound class gets a verified
@@ -95,13 +101,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Every invocation gets one trace id, minted up front: `--trace=json`
+    // events carry it, the `--stats` report embeds it, and daemon requests
+    // inherit it downstream — one id follows one question end to end.
+    let trace_id = cr_trace::mint_trace_id();
     // The tracer is always enabled: the default sink only relays protocol
     // messages (the budget-exceeded line and error reports), so plain runs
     // look exactly as before while `--stats` can still collect metrics.
     let sink: Box<dyn EventSink> = match inv.trace {
         None => Box::new(StderrSink::messages_only()),
         Some(TraceMode::Human) => Box::new(StderrSink::verbose()),
-        Some(TraceMode::Json) => Box::new(JsonLinesSink::stderr()),
+        Some(TraceMode::Json) => Box::new(JsonLinesSink::stderr().with_trace_id(&trace_id)),
     };
     let tracer = Tracer::new(sink);
     let budget = inv.budget.with_tracer(&tracer);
@@ -120,6 +130,7 @@ fn main() -> ExitCode {
         let command = inv.rest.first().cloned().unwrap_or_default();
         let mut report = cr_core::run_report(&budget, &command, outcome);
         report.target = inv.rest.get(1).cloned().unwrap_or_default();
+        report.trace_id = Some(trace_id.clone());
         let mut json = report.to_json();
         json.push('\n');
         if let Err(e) = std::fs::write(path, json) {

@@ -77,6 +77,13 @@ pub const SITES: &[&str] = &[
     "server.repl.chunk",
     "server.repl.apply",
     "server.supervisor.tick",
+    // Telemetry plane: one /metrics or /statusz scrape; the window-roll
+    // detection a scrape performs when it observes the fine-resolution
+    // epoch advance. Both sites live exclusively on the scrape path —
+    // request handling records telemetry without any failpoint — so
+    // injected scrape faults must never perturb verdicts.
+    "server.metrics.scrape",
+    "server.metrics.window_roll",
 ];
 
 /// Declares a failpoint.

@@ -41,6 +41,11 @@ pub struct CachedVerdict {
     pub verdict: String,
     /// Human-readable detail lines.
     pub detail: Vec<String>,
+    /// Trace id of the request whose computation produced this verdict.
+    /// Rides along through singleflight publication, persistence, and
+    /// replication, so a hit anywhere can name its *leader* — the
+    /// request a client would look up to see the original RunReport.
+    pub trace_id: Option<String>,
 }
 
 struct Shard {
@@ -173,6 +178,7 @@ mod tests {
             status: Status::Ok,
             verdict: v.to_string(),
             detail: Vec::new(),
+            trace_id: None,
         }
     }
 

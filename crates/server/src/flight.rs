@@ -167,6 +167,7 @@ mod tests {
             status: Status::Ok,
             verdict: format!("satisfiable-{tag}"),
             detail: Vec::new(),
+            trace_id: None,
         }
     }
 

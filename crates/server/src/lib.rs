@@ -40,7 +40,13 @@
 //!   priority-based load shedding (`shed` responses are retryable, with
 //!   the shared [`backoff_delay`] schedule);
 //! * [`flight`] — coalescing of concurrent identical requests onto one
-//!   computation.
+//!   computation;
+//! * [`metrics`] — the live telemetry plane: sliding-window time series
+//!   over every response, scraped through a hand-rolled HTTP endpoint
+//!   (`/metrics` Prometheus text, `/statusz` JSON), plus end-to-end
+//!   trace-id propagation: ids minted at admission ride the response,
+//!   its embedded report, the verdict cache, the durable log, and
+//!   replicated chunks.
 //!
 //! The `crsat serve` and `crsat batch` subcommands in `cr-cli` are thin
 //! shells over this crate.
@@ -52,6 +58,7 @@ pub mod admission;
 pub mod cache;
 pub mod eval;
 pub mod flight;
+pub mod metrics;
 pub mod persist;
 pub mod pool;
 pub mod protocol;
@@ -63,6 +70,7 @@ mod server;
 
 pub use admission::{backoff_delay, Admission, Admit};
 pub use cache::{CacheKey, CachedVerdict, VerdictCache};
+pub use metrics::{MetricsView, SharedSink, Telemetry};
 pub use persist::StoreRecovery;
 pub use pool::{Job, SubmitError, WorkerPool};
 pub use protocol::{Op, ReplChunk, Request, Response, Status, PROTOCOL_VERSION};

@@ -1,0 +1,638 @@
+//! The live telemetry plane: per-request time series, coherent metric
+//! snapshots, and the text formats they are scraped in.
+//!
+//! The server-lifetime aggregate [`Tracer`](cr_trace::Tracer) answers
+//! "what has this daemon done since boot"; the [`Telemetry`] registry
+//! here answers "what is it doing *right now*" — request and shed rates,
+//! p50/p99 latency — over sliding windows (see [`cr_trace::window`]).
+//! Workers record into sharded series (one uncontended mutex each, no
+//! global lock); a scrape merges the shards on demand, so telemetry
+//! costs the request path a few hundred nanoseconds and nothing ticks in
+//! the background.
+//!
+//! Everything an exposition format needs is first collected into one
+//! [`MetricsView`] — a single coherent snapshot, so `/metrics`,
+//! `/statusz`, and the JSON-lines `stats` op all describe the same
+//! instant instead of racing each other counter by counter. The
+//! renderers are pure functions of the view:
+//!
+//! * [`render_prometheus`] — Prometheus text exposition, `crsat_`
+//!   prefixed, lifetime latency as a cumulative histogram plus windowed
+//!   quantile gauges labeled `{window="10s"|"60s"}`;
+//! * [`render_statusz`] — a JSON status page: role, uptime, replication
+//!   offset/lag, queue depth, cache and store occupancy, and the
+//!   quarantine list.
+//!
+//! The scrape endpoint itself is a hand-rolled HTTP/1.1 `GET` handler
+//! (this workspace takes no dependencies); the header parsing and
+//! response framing helpers live here, the listener lifecycle in the
+//! server (it shares the main listener's shutdown flags). Two chaos
+//! sites — `server.metrics.scrape` and `server.metrics.window_roll` —
+//! live exclusively on the scrape path: an injected scrape fault may
+//! cost a scrape, never a verdict.
+
+use std::io::BufRead;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cr_trace::{
+    CounterSeries, EventSink, Histogram, HistogramSeries, TraceEvent, FINE_RESOLUTION_NS,
+};
+
+/// The short ("last 10 s") exposition window.
+pub const FINE_WINDOW_NS: u64 = 10 * 1_000_000_000;
+
+/// The long ("last 60 s") exposition window.
+pub const COARSE_WINDOW_NS: u64 = 60 * 1_000_000_000;
+
+/// A cloneable, `Debug`-printable handle to a shared [`EventSink`].
+///
+/// `ServerConfig` derives `Clone + Debug`, but a sink is a trait object
+/// with neither; this newtype carries one through the config so the CLI
+/// can hand the daemon "where my events go" (its per-invocation tracer)
+/// and both ends share one event stream and one lifecycle.
+#[derive(Clone)]
+pub struct SharedSink(Arc<dyn EventSink>);
+
+impl SharedSink {
+    /// Wraps a shared sink.
+    pub fn new(sink: Arc<dyn EventSink>) -> SharedSink {
+        SharedSink(sink)
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedSink(..)")
+    }
+}
+
+impl EventSink for SharedSink {
+    fn event(&self, e: &TraceEvent<'_>) {
+        self.0.event(e);
+    }
+}
+
+/// The server's live time-series registry. One per [`crate::Server`];
+/// every response produced records into it.
+pub struct Telemetry {
+    started: Instant,
+    latency: HistogramSeries,
+    served: CounterSeries,
+    shed: CounterSeries,
+    scrapes: AtomicU64,
+    /// The fine-window epoch the previous scrape observed; a scrape that
+    /// sees it advance has witnessed a window roll (chaos hook).
+    last_fine_epoch: AtomicU64,
+}
+
+impl Telemetry {
+    /// A registry sharded for about `shards` writer threads.
+    pub fn new(shards: usize) -> Telemetry {
+        Telemetry {
+            started: Instant::now(),
+            latency: HistogramSeries::new(shards),
+            served: CounterSeries::new(shards),
+            shed: CounterSeries::new(shards),
+            scrapes: AtomicU64::new(0),
+            last_fine_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Nanoseconds since the registry was created — the `now_ns` every
+    /// window operation is anchored to.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Milliseconds since boot.
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one finished request: its end-to-end latency (queue wait
+    /// included) and whether it was shed.
+    pub fn record(&self, latency_ns: u64, shed: bool) {
+        let now_ns = self.now_ns();
+        self.latency.record(now_ns, latency_ns);
+        self.served.add(now_ns, 1);
+        if shed {
+            self.shed.add(now_ns, 1);
+        }
+    }
+
+    /// Scrapes served so far (`/metrics` + `/statusz`).
+    pub fn scrapes_total(&self) -> u64 {
+        self.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime (served, shed) totals.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.served.total(), self.shed.total())
+    }
+
+    /// Called once per scrape: counts it and, when this scrape is the
+    /// first to observe the fine-resolution epoch advance, crosses the
+    /// `server.metrics.window_roll` chaos site. Returns the snapshot
+    /// `now_ns` the caller should build its [`MetricsView`] at.
+    pub(crate) fn observe_scrape(&self) -> u64 {
+        self.scrapes.fetch_add(1, Ordering::Relaxed);
+        let now_ns = self.now_ns();
+        let fine_epoch = now_ns / FINE_RESOLUTION_NS;
+        let prev = self.last_fine_epoch.swap(fine_epoch, Ordering::Relaxed);
+        if fine_epoch != prev {
+            // Chaos: fault the roll-observation path. Purely a scrape
+            // concern — the ring buffers themselves roll lazily on write.
+            cr_faults::point!("server.metrics.window_roll");
+        }
+        now_ns
+    }
+
+    /// Latency over the last `window_ns` at 1 s resolution.
+    pub fn latency_fine(&self, now_ns: u64, window_ns: u64) -> Histogram {
+        self.latency.fine(now_ns, window_ns)
+    }
+
+    /// Lifetime latency histogram.
+    pub fn latency_lifetime(&self) -> Histogram {
+        self.latency.lifetime()
+    }
+
+    /// (served, shed) sums over the last `window_ns` at 1 s resolution.
+    pub fn rates_fine(&self, now_ns: u64, window_ns: u64) -> (u64, u64) {
+        (
+            self.served.fine_sum(now_ns, window_ns),
+            self.shed.fine_sum(now_ns, window_ns),
+        )
+    }
+}
+
+/// Replication state as seen from whichever side this node is on.
+#[derive(Clone, Debug, Default)]
+pub struct ReplView {
+    /// Standby: bytes of the primary's log applied to the mirror.
+    pub offset: u64,
+    /// Standby: the mirrored log's epoch.
+    pub epoch: u64,
+    /// Standby: the primary's log length at the last successful poll —
+    /// the replication head the mirror is chasing.
+    pub head: u64,
+    /// `head - offset`, clamped at zero: bytes the standby still lacks.
+    pub lag: u64,
+}
+
+/// Durable-store state (primary side).
+#[derive(Clone, Debug, Default)]
+pub struct StoreView {
+    /// Live verdicts in the store.
+    pub entries: usize,
+    /// Bytes in the verdict log.
+    pub log_bytes: u64,
+    /// Compaction epoch.
+    pub epoch: u64,
+}
+
+/// One coherent snapshot of everything the exposition formats describe.
+///
+/// Built in one pass by `Server::metrics_view()`; `/metrics`,
+/// `/statusz`, and the `stats` op are all pure functions of it.
+#[derive(Clone, Debug)]
+pub struct MetricsView {
+    /// `"primary"` or `"standby"`.
+    pub role: &'static str,
+    /// Milliseconds since boot.
+    pub uptime_ms: u64,
+    /// Crate version baked in at compile time.
+    pub build_version: &'static str,
+    /// Requests answered since boot (every response counts, sheds
+    /// included).
+    pub served_total: u64,
+    /// Requests shed since boot.
+    pub shed_total: u64,
+    /// Requests answered in the last 10 s.
+    pub served_10s: u64,
+    /// Requests answered in the last 60 s.
+    pub served_60s: u64,
+    /// Requests shed in the last 10 s.
+    pub shed_10s: u64,
+    /// Requests shed in the last 60 s.
+    pub shed_60s: u64,
+    /// Scrapes served since boot.
+    pub scrapes_total: u64,
+    /// End-to-end latency since boot.
+    pub latency_lifetime: Histogram,
+    /// End-to-end latency over the last 10 s.
+    pub latency_10s: Histogram,
+    /// End-to-end latency over the last 60 s.
+    pub latency_60s: Histogram,
+    /// Configured worker threads.
+    pub workers: usize,
+    /// Workers currently alive (the supervisor respawns the dead).
+    pub alive_workers: usize,
+    /// Jobs waiting in the bounded queue.
+    pub queue_depth: usize,
+    /// The queue's capacity.
+    pub queue_capacity: usize,
+    /// Requests currently executing.
+    pub inflight: usize,
+    /// Admission gate: lowest priority currently admitted.
+    pub shed_threshold: u8,
+    /// Admission gate: queue-delay EWMA, microseconds.
+    pub queue_delay_ewma_us: u64,
+    /// Verdicts in the in-memory cache.
+    pub cache_entries: usize,
+    /// The cache's configured capacity.
+    pub cache_capacity: usize,
+    /// Durable store, when this node has one open.
+    pub store: Option<StoreView>,
+    /// Persist/replication errors swallowed so far.
+    pub store_errors: u64,
+    /// Replication state, when this node is a standby.
+    pub repl: Option<ReplView>,
+    /// Quarantined schema hashes, sorted.
+    pub quarantined: Vec<u128>,
+}
+
+/// `ns` rendered as seconds with nanosecond precision (Prometheus uses
+/// base units).
+fn secs(ns: u64) -> String {
+    format!("{:.9}", ns as f64 / 1e9)
+}
+
+fn gauge(out: &mut String, name: &str, value: impl std::fmt::Display) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push_str(" gauge\n");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn counter(out: &mut String, name: &str, value: impl std::fmt::Display) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push_str(" counter\n");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Renders the Prometheus text exposition of one snapshot.
+pub fn render_prometheus(view: &MetricsView) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# TYPE crsat_build_info gauge\n");
+    out.push_str(&format!(
+        "crsat_build_info{{version=\"{}\",role=\"{}\"}} 1\n",
+        view.build_version, view.role
+    ));
+    gauge(
+        &mut out,
+        "crsat_uptime_seconds",
+        secs(view.uptime_ms.saturating_mul(1_000_000)),
+    );
+    counter(&mut out, "crsat_requests_served_total", view.served_total);
+    counter(&mut out, "crsat_requests_shed_total", view.shed_total);
+    counter(&mut out, "crsat_scrapes_total", view.scrapes_total);
+    out.push_str("# TYPE crsat_requests_served_window gauge\n");
+    out.push_str(&format!(
+        "crsat_requests_served_window{{window=\"10s\"}} {}\n",
+        view.served_10s
+    ));
+    out.push_str(&format!(
+        "crsat_requests_served_window{{window=\"60s\"}} {}\n",
+        view.served_60s
+    ));
+    out.push_str("# TYPE crsat_requests_shed_window gauge\n");
+    out.push_str(&format!(
+        "crsat_requests_shed_window{{window=\"10s\"}} {}\n",
+        view.shed_10s
+    ));
+    out.push_str(&format!(
+        "crsat_requests_shed_window{{window=\"60s\"}} {}\n",
+        view.shed_60s
+    ));
+
+    // Lifetime latency as a cumulative histogram. Log2-ns buckets map to
+    // `le` edges of (2^(i+1) - 1) ns; the top bucket is the +Inf tail.
+    out.push_str("# TYPE crsat_request_latency_seconds histogram\n");
+    let buckets = view.latency_lifetime.buckets();
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate().take(buckets.len() - 1) {
+        cumulative += n;
+        out.push_str(&format!(
+            "crsat_request_latency_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
+            secs((1u64 << (i + 1)) - 1)
+        ));
+    }
+    out.push_str(&format!(
+        "crsat_request_latency_seconds_bucket{{le=\"+Inf\"}} {}\n",
+        view.latency_lifetime.count()
+    ));
+    out.push_str(&format!(
+        "crsat_request_latency_seconds_sum {}\n",
+        secs(view.latency_lifetime.total())
+    ));
+    out.push_str(&format!(
+        "crsat_request_latency_seconds_count {}\n",
+        view.latency_lifetime.count()
+    ));
+    out.push_str("# TYPE crsat_request_latency_quantile_seconds gauge\n");
+    for (window, hist) in [("10s", &view.latency_10s), ("60s", &view.latency_60s)] {
+        for q in ["0.5", "0.99"] {
+            let quant = hist.quantile(q.parse().expect("static quantile"));
+            out.push_str(&format!(
+                "crsat_request_latency_quantile_seconds{{window=\"{window}\",q=\"{q}\"}} {}\n",
+                secs(quant)
+            ));
+        }
+    }
+
+    gauge(&mut out, "crsat_workers", view.workers);
+    gauge(&mut out, "crsat_workers_alive", view.alive_workers);
+    gauge(&mut out, "crsat_queue_depth", view.queue_depth);
+    gauge(&mut out, "crsat_queue_capacity", view.queue_capacity);
+    gauge(&mut out, "crsat_inflight_requests", view.inflight);
+    gauge(&mut out, "crsat_shed_threshold", view.shed_threshold);
+    gauge(
+        &mut out,
+        "crsat_queue_delay_ewma_seconds",
+        secs(view.queue_delay_ewma_us.saturating_mul(1_000)),
+    );
+    gauge(&mut out, "crsat_cache_entries", view.cache_entries);
+    gauge(&mut out, "crsat_cache_capacity", view.cache_capacity);
+    counter(&mut out, "crsat_store_errors_total", view.store_errors);
+    if let Some(store) = &view.store {
+        gauge(&mut out, "crsat_store_entries", store.entries);
+        gauge(&mut out, "crsat_store_log_bytes", store.log_bytes);
+        gauge(&mut out, "crsat_store_epoch", store.epoch);
+    }
+    if let Some(repl) = &view.repl {
+        gauge(&mut out, "crsat_repl_offset_bytes", repl.offset);
+        gauge(&mut out, "crsat_repl_head_bytes", repl.head);
+        gauge(&mut out, "crsat_repl_lag_bytes", repl.lag);
+        gauge(&mut out, "crsat_repl_epoch", repl.epoch);
+    }
+    gauge(
+        &mut out,
+        "crsat_quarantined_schemas",
+        view.quarantined.len(),
+    );
+    out
+}
+
+/// Renders the `/statusz` JSON status page of one snapshot.
+pub fn render_statusz(view: &MetricsView) -> String {
+    let lat10 = &view.latency_10s;
+    let lat60 = &view.latency_60s;
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "{{\"role\":\"{}\",\"build_version\":\"{}\",\"uptime_ms\":{}",
+        view.role, view.build_version, view.uptime_ms
+    ));
+    out.push_str(&format!(
+        ",\"requests\":{{\"served_total\":{},\"shed_total\":{},\"served_10s\":{},\"served_60s\":{},\"shed_10s\":{},\"shed_60s\":{},\"latency_p50_ms_10s\":{},\"latency_p99_ms_10s\":{},\"latency_p50_ms_60s\":{},\"latency_p99_ms_60s\":{},\"latency_mean_ms_lifetime\":{}}}",
+        view.served_total,
+        view.shed_total,
+        view.served_10s,
+        view.served_60s,
+        view.shed_10s,
+        view.shed_60s,
+        lat10.quantile(0.5) / 1_000_000,
+        lat10.quantile(0.99) / 1_000_000,
+        lat60.quantile(0.5) / 1_000_000,
+        lat60.quantile(0.99) / 1_000_000,
+        view.latency_lifetime.mean() / 1_000_000,
+    ));
+    out.push_str(&format!(
+        ",\"pool\":{{\"workers\":{},\"alive_workers\":{},\"queue_depth\":{},\"queue_capacity\":{},\"inflight\":{}}}",
+        view.workers, view.alive_workers, view.queue_depth, view.queue_capacity, view.inflight
+    ));
+    out.push_str(&format!(
+        ",\"admission\":{{\"shed_threshold\":{},\"queue_delay_ewma_us\":{}}}",
+        view.shed_threshold, view.queue_delay_ewma_us
+    ));
+    out.push_str(&format!(
+        ",\"cache\":{{\"entries\":{},\"capacity\":{}}}",
+        view.cache_entries, view.cache_capacity
+    ));
+    match &view.store {
+        Some(store) => out.push_str(&format!(
+            ",\"store\":{{\"entries\":{},\"log_bytes\":{},\"epoch\":{},\"errors\":{}}}",
+            store.entries, store.log_bytes, store.epoch, view.store_errors
+        )),
+        None => out.push_str(",\"store\":null"),
+    }
+    match &view.repl {
+        Some(repl) => out.push_str(&format!(
+            ",\"replication\":{{\"offset\":{},\"epoch\":{},\"head\":{},\"lag\":{}}}",
+            repl.offset, repl.epoch, repl.head, repl.lag
+        )),
+        None => out.push_str(",\"replication\":null"),
+    }
+    out.push_str(",\"quarantined\":[");
+    for (i, hash) in view.quarantined.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{hash:032x}\""));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Reads one HTTP request head from `reader`: the request line's method
+/// and path, draining headers through the terminating blank line.
+/// `Ok(None)` means the client closed or sent something unparseable.
+pub(crate) fn read_request_head(
+    reader: &mut dyn BufRead,
+) -> std::io::Result<Option<(String, String)>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let head = (method.to_string(), path.to_string());
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    Ok(Some(head))
+}
+
+/// Frames one `Connection: close` HTTP/1.1 response.
+pub(crate) fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_trace::json::{self, Value};
+
+    fn sample_view() -> MetricsView {
+        let mut lifetime = Histogram::new();
+        let mut windowed = Histogram::new();
+        for v in [1_000u64, 2_000, 1_000_000, 40_000_000] {
+            lifetime.record(v);
+            windowed.record(v);
+        }
+        MetricsView {
+            role: "primary",
+            uptime_ms: 1234,
+            build_version: "0.0-test",
+            served_total: 42,
+            shed_total: 3,
+            served_10s: 7,
+            served_60s: 40,
+            shed_10s: 1,
+            shed_60s: 3,
+            scrapes_total: 9,
+            latency_lifetime: lifetime,
+            latency_10s: windowed.clone(),
+            latency_60s: windowed,
+            workers: 4,
+            alive_workers: 4,
+            queue_depth: 2,
+            queue_capacity: 256,
+            inflight: 1,
+            shed_threshold: 10,
+            queue_delay_ewma_us: 55,
+            cache_entries: 11,
+            cache_capacity: 1024,
+            store: Some(StoreView {
+                entries: 5,
+                log_bytes: 4096,
+                epoch: 2,
+            }),
+            store_errors: 0,
+            repl: Some(ReplView {
+                offset: 100,
+                epoch: 2,
+                head: 150,
+                lag: 50,
+            }),
+            quarantined: vec![0xdead_beef],
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let text = render_prometheus(&sample_view());
+        assert!(text.ends_with('\n'));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                let mut parts = line.split_whitespace();
+                assert_eq!(parts.next(), Some("#"));
+                assert_eq!(parts.next(), Some("TYPE"));
+                assert!(parts.next().is_some_and(|n| n.starts_with("crsat_")));
+                assert!(matches!(
+                    parts.next(),
+                    Some("gauge" | "counter" | "histogram")
+                ));
+                continue;
+            }
+            // Every sample line: name[{labels}] value.
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(name.starts_with("crsat_"), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
+        assert!(text.contains("crsat_requests_served_total 42\n"));
+        assert!(text.contains("crsat_requests_served_window{window=\"10s\"} 7\n"));
+        assert!(text.contains("crsat_repl_lag_bytes 50\n"));
+        assert!(text.contains("crsat_quarantined_schemas 1\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_and_consistent() {
+        let text = render_prometheus(&sample_view());
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("crsat_request_latency_seconds_bucket{le=") {
+                let count: u64 = rest.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(count >= last, "cumulative counts must not decrease");
+                last = count;
+                if rest.starts_with("\"+Inf\"") {
+                    inf = Some(count);
+                }
+            }
+        }
+        assert_eq!(inf, Some(4), "+Inf bucket must equal the total count");
+        assert!(text.contains("crsat_request_latency_seconds_count 4\n"));
+    }
+
+    #[test]
+    fn statusz_is_valid_json_with_the_operational_keys() {
+        let text = render_statusz(&sample_view());
+        let v = json::parse(&text).expect("statusz must be valid JSON");
+        assert_eq!(v.get("role").and_then(Value::as_str), Some("primary"));
+        assert_eq!(v.get("uptime_ms").and_then(Value::as_u64), Some(1234));
+        let repl = v.get("replication").expect("replication block");
+        assert_eq!(repl.get("lag").and_then(Value::as_u64), Some(50));
+        let pool = v.get("pool").expect("pool block");
+        assert_eq!(pool.get("queue_depth").and_then(Value::as_u64), Some(2));
+        let quarantined = v.get("quarantined").and_then(Value::as_arr).unwrap();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(
+            quarantined[0].as_str(),
+            Some("000000000000000000000000deadbeef")
+        );
+    }
+
+    #[test]
+    fn statusz_renders_null_for_absent_subsystems() {
+        let mut view = sample_view();
+        view.store = None;
+        view.repl = None;
+        let text = render_statusz(&view);
+        let v = json::parse(&text).expect("valid JSON");
+        assert!(matches!(v.get("store"), Some(Value::Null)));
+        assert!(matches!(v.get("replication"), Some(Value::Null)));
+    }
+
+    #[test]
+    fn http_head_parsing_and_response_framing() {
+        let raw = b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n";
+        let mut reader = std::io::BufReader::new(&raw[..]);
+        let (method, path) = read_request_head(&mut reader).unwrap().unwrap();
+        assert_eq!(method, "GET");
+        assert_eq!(path, "/metrics");
+
+        let mut empty = std::io::BufReader::new(&b""[..]);
+        assert!(read_request_head(&mut empty).unwrap().is_none());
+
+        let resp = http_response("200 OK", "text/plain; version=0.0.4", "hello\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(resp.contains("Content-Length: 6\r\n"));
+        assert!(resp.ends_with("\r\n\r\nhello\n"));
+    }
+
+    #[test]
+    fn telemetry_records_and_windows() {
+        let t = Telemetry::new(2);
+        t.record(1_000_000, false);
+        t.record(2_000_000, true);
+        let now = t.now_ns();
+        let (served, shed) = t.rates_fine(now, FINE_WINDOW_NS);
+        assert_eq!(served, 2);
+        assert_eq!(shed, 1);
+        assert_eq!(t.latency_lifetime().count(), 2);
+        assert!(t.latency_fine(now, FINE_WINDOW_NS).count() >= 1);
+        let _ = t.observe_scrape();
+        assert_eq!(t.scrapes_total(), 1);
+    }
+}

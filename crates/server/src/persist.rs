@@ -174,7 +174,12 @@ fn encode_verdict(verdict: &CachedVerdict) -> String {
         }
         write_escaped(&mut out, d);
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(id) = &verdict.trace_id {
+        out.push_str(",\"trace_id\":");
+        write_escaped(&mut out, id);
+    }
+    out.push('}');
     out
 }
 
@@ -195,10 +200,15 @@ pub(crate) fn decode_verdict(value: &[u8]) -> Option<CachedVerdict> {
     for d in v.get("detail").and_then(Value::as_arr)? {
         detail.push(d.as_str()?.to_string());
     }
+    let trace_id = v
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .map(str::to_string);
     Some(CachedVerdict {
         status,
         verdict,
         detail,
+        trace_id,
     })
 }
 
@@ -221,6 +231,7 @@ mod tests {
             status,
             verdict: verdict.to_string(),
             detail: detail.iter().map(|s| s.to_string()).collect(),
+            trace_id: None,
         }
     }
 
@@ -275,6 +286,31 @@ mod tests {
         assert_eq!(entries[0].0, "c1\n");
         assert_eq!(entries[0].1, "check");
         assert_eq!(entries[1].2.detail, vec!["X".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_id_rides_the_persisted_record() {
+        let dir = tmp("traceid");
+        let canonical = "class A;\n";
+        let id = "00112233445566778899aabbccddeeff";
+        {
+            let store = PersistentStore::open(&dir).expect("open");
+            let mut v = verdict(Status::Ok, "satisfiable", &[]);
+            v.trace_id = Some(id.to_string());
+            store.persist(canonical, "check", &v).expect("persist");
+        }
+        // Survives a reopen: the id is in the record bytes, not memory.
+        let store = PersistentStore::open(&dir).expect("reopen");
+        let got = store.lookup(canonical, "check").expect("lookup");
+        assert_eq!(got.trace_id.as_deref(), Some(id));
+        // Pre-trace records (no trace_id key) still decode.
+        assert_eq!(
+            decode_verdict(br#"{"status":"ok","verdict":"satisfiable","detail":[]}"#)
+                .expect("legacy record decodes")
+                .trace_id,
+            None
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -43,6 +43,13 @@
 //! * `offset`, `epoch` (optional, `replicate` only): the byte offset of
 //!   the primary's verdict log the standby wants next, and the log epoch
 //!   it is streaming under (see the `repl` response field).
+//! * `trace_id` (optional): a client-supplied 128-bit trace id as exactly
+//!   32 lowercase hex digits. The server mints one at admission when the
+//!   client names none; either way the id is echoed in the response,
+//!   stamped into the request's RunReport, carried by the cached verdict
+//!   through persistence and replication, and recorded by coalesced
+//!   followers as their `leader_trace_id` — one id follows the request
+//!   from client to standby.
 //!
 //! # Response (version 1)
 //!
@@ -212,6 +219,10 @@ pub struct Request {
     /// `certify_*` counters and a failed certificate downgrades the
     /// response to an error.
     pub certify: bool,
+    /// End-to-end trace id (32 lowercase hex digits). Client-supplied or
+    /// minted by the server at admission; propagated through dispatch,
+    /// singleflight, persistence, and replication.
+    pub trace_id: Option<String>,
 }
 
 impl Request {
@@ -229,6 +240,7 @@ impl Request {
             offset: None,
             epoch: None,
             certify: false,
+            trace_id: None,
         }
     }
 
@@ -306,6 +318,20 @@ impl Request {
             Some(Value::Bool(b)) => *b,
             Some(_) => return Err("request field \"certify\" must be a boolean".to_string()),
         };
+        let trace_id = match obj.get("trace_id") {
+            None => None,
+            Some(t) => {
+                let s = t
+                    .as_str()
+                    .ok_or("request field \"trace_id\" must be a string")?;
+                if !cr_trace::is_trace_id(s) {
+                    return Err(format!(
+                        "request field \"trace_id\" must be exactly 32 lowercase hex digits, got {s:?}"
+                    ));
+                }
+                Some(s.to_string())
+            }
+        };
         if matches!(op, Op::Check | Op::Implies) && schema.is_none() {
             return Err(format!("op {op_str:?} requires a \"schema\" field"));
         }
@@ -324,6 +350,7 @@ impl Request {
             offset,
             epoch,
             certify,
+            trace_id,
         })
     }
 
@@ -381,6 +408,10 @@ impl Request {
         if self.certify {
             out.push_str(",\"certify\":true");
         }
+        if let Some(id) = &self.trace_id {
+            out.push_str(",\"trace_id\":");
+            write_escaped(&mut out, id);
+        }
         out.push('}');
         out
     }
@@ -405,6 +436,9 @@ pub struct Response {
     pub report: Option<RunReport>,
     /// Replication chunk (`replicate` responses only).
     pub repl: Option<ReplChunk>,
+    /// The request's end-to-end trace id, echoed back (present whenever
+    /// the request carried or was minted one).
+    pub trace_id: Option<String>,
 }
 
 /// One shipped chunk of the primary's verdict log.
@@ -476,6 +510,7 @@ impl Response {
             schema_hash: None,
             report: None,
             repl: None,
+            trace_id: None,
         }
     }
 
@@ -491,6 +526,7 @@ impl Response {
             schema_hash: None,
             report: None,
             repl: None,
+            trace_id: None,
         }
     }
 
@@ -525,6 +561,10 @@ impl Response {
             &mut out,
             format_args!(",\"exit_code\":{}", self.status.exit_code()),
         );
+        if let Some(id) = &self.trace_id {
+            out.push_str(",\"trace_id\":");
+            write_escaped(&mut out, id);
+        }
         if let Some(report) = &self.report {
             out.push_str(",\"report\":");
             out.push_str(&report.to_json());
@@ -660,6 +700,7 @@ mod tests {
             schema_hash: Some("deadbeef".to_string()),
             report: None,
             repl: None,
+            trace_id: Some("00112233445566778899aabbccddeeff".to_string()),
         };
         let v = json::parse(&resp.to_json()).unwrap();
         assert_eq!(v.get("v").unwrap().as_u64(), Some(PROTOCOL_VERSION));
@@ -667,5 +708,34 @@ mod tests {
         assert_eq!(v.get("exit_code").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("cached"), Some(&Value::Bool(true)));
         assert_eq!(v.get("detail").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(
+            v.get("trace_id").unwrap().as_str(),
+            Some("00112233445566778899aabbccddeeff")
+        );
+    }
+
+    #[test]
+    fn trace_id_round_trips_and_malformed_ids_are_rejected() {
+        let mut req = Request::new("r-47", Op::Check);
+        req.schema = Some("class A;".to_string());
+        req.trace_id = Some("00112233445566778899aabbccddeeff".to_string());
+        let parsed = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+
+        // Absent on the wire stays absent.
+        let plain = Request::new("r-48", Op::Ping);
+        assert!(!plain.to_json().contains("trace_id"));
+        assert_eq!(Request::parse(&plain.to_json()).unwrap().trace_id, None);
+
+        for bad in [
+            r#"{"v":1,"id":"x","op":"ping","trace_id":"short"}"#,
+            r#"{"v":1,"id":"x","op":"ping","trace_id":"00112233445566778899AABBCCDDEEFF"}"#,
+            r#"{"v":1,"id":"x","op":"ping","trace_id":17}"#,
+        ] {
+            assert!(
+                Request::parse(bad).unwrap_err().contains("trace_id"),
+                "{bad} must be rejected"
+            );
+        }
     }
 }

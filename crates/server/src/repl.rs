@@ -215,6 +215,7 @@ mod tests {
             status: Status::Ok,
             verdict: "satisfiable".to_string(),
             detail: Vec::new(),
+            trace_id: None,
         }
     }
 

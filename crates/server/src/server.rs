@@ -55,6 +55,9 @@ use crate::admission::{Admission, Admit};
 use crate::cache::{CacheKey, CachedVerdict, VerdictCache};
 use crate::eval;
 use crate::flight;
+use crate::metrics::{
+    self, MetricsView, ReplView, SharedSink, StoreView, Telemetry, COARSE_WINDOW_NS, FINE_WINDOW_NS,
+};
 use crate::persist::{PersistentStore, StoreRecovery};
 use crate::pool::{SubmitError, WorkerPool};
 use crate::protocol::{Op, ReplChunk, Request, Response, Status};
@@ -100,6 +103,15 @@ pub struct ServerConfig {
     pub shed_target_ms: u64,
     /// Supervisor tick interval.
     pub supervise_interval_ms: u64,
+    /// Address (`host:port`) for the telemetry endpoint serving
+    /// `GET /metrics` (Prometheus text) and `GET /statusz` (JSON).
+    /// `None` disables the listener. Scrapes share the server's
+    /// shutdown lifecycle but never its worker pool or request queue.
+    pub metrics_addr: Option<String>,
+    /// Where the server-lifetime aggregate tracer emits its events
+    /// (promotion notices and other operational messages). `None` keeps
+    /// the aggregate silent, as before.
+    pub event_sink: Option<SharedSink>,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +133,8 @@ impl Default for ServerConfig {
             port_file: None,
             shed_target_ms: 50,
             supervise_interval_ms: 100,
+            metrics_addr: None,
+            event_sink: None,
         }
     }
 }
@@ -150,6 +164,14 @@ struct Inner {
     next_seq: AtomicU64,
     /// The TCP address we bound (for the port file).
     bound_addr: Mutex<Option<SocketAddr>>,
+    /// The telemetry endpoint's bound address, when one is configured.
+    metrics_bound: Mutex<Option<SocketAddr>>,
+    /// Live time-series registry: every response records its latency and
+    /// shed-ness here; scrapes and the `stats` op read it.
+    telemetry: Telemetry,
+    /// Standby: the primary's log length at the last successful poll —
+    /// what replication lag is measured against.
+    repl_head: AtomicU64,
     /// Supervisor / follower threads, joined by [`Server::finish`].
     helpers: Mutex<Vec<JoinHandle<()>>>,
     /// Persist/replication failures swallowed so far. A failed append
@@ -227,6 +249,10 @@ impl Server {
             }
             store = Some(opened);
         }
+        let aggregate = match &config.event_sink {
+            Some(sink) => Tracer::new(Box::new(sink.clone())),
+            None => Tracer::new(Box::new(NullSink)),
+        };
         let server = Server {
             inner: Arc::new(Inner {
                 pool: WorkerPool::new(config.workers, config.queue_capacity),
@@ -240,17 +266,25 @@ impl Server {
                 flights: flight::Inflight::default(),
                 next_seq: AtomicU64::new(0),
                 bound_addr: Mutex::new(None),
+                metrics_bound: Mutex::new(None),
+                // Sized for the workers plus a few transport threads that
+                // record shed/error responses from outside the pool.
+                telemetry: Telemetry::new(config.workers + 4),
+                repl_head: AtomicU64::new(0),
                 helpers: Mutex::new(Vec::new()),
                 store_errors: AtomicU64::new(0),
                 cancel: CancelToken::new(),
                 shutdown: AtomicBool::new(false),
-                aggregate: Tracer::new(Box::new(NullSink)),
+                aggregate,
                 config,
             }),
         };
         server.spawn_supervisor();
         if standby {
             server.spawn_follower();
+        }
+        if let Some(addr) = server.inner.config.metrics_addr.clone() {
+            server.spawn_metrics(&addr)?;
         }
         Ok(server)
     }
@@ -347,6 +381,12 @@ impl Server {
         *self.inner.store.write().unwrap_or_else(|e| e.into_inner()) = Some(store);
         self.inner.role.store(ROLE_PRIMARY, Ordering::SeqCst);
         self.inner.aggregate.add(Counter::Promotions, 1);
+        // The promotion notice rides the aggregate's event sink (when the
+        // embedder configured one) instead of raw stderr, so every sink —
+        // human stderr, JSON lines — sees the same lifecycle.
+        self.inner
+            .aggregate
+            .message("promoted: standby became primary; mirror is now the durable store");
         self.write_port_file();
         Ok("promoted")
     }
@@ -401,6 +441,7 @@ impl Server {
             Ok(r) => r,
             Err(msg) => {
                 self.inner.aggregate.add(Counter::RequestsServed, 1);
+                self.inner.telemetry.record(0, false);
                 return Response::error(Request::salvage_id(line), msg);
             }
         };
@@ -408,9 +449,15 @@ impl Server {
     }
 
     /// Processes an already-parsed request (the `crsat batch` entry point —
-    /// no JSON round-trip needed for local work).
+    /// no JSON round-trip needed for local work). Requests arriving without
+    /// a trace id get one minted here, so every response carries one.
     pub fn process_request(&self, request: &Request) -> Response {
-        self.process_picked(request, Duration::ZERO)
+        if request.trace_id.is_some() {
+            return self.process_picked(request, Duration::ZERO);
+        }
+        let mut traced = request.clone();
+        traced.trace_id = Some(cr_trace::mint_trace_id());
+        self.process_picked(&traced, Duration::ZERO)
     }
 
     /// Submits a job to the server's worker pool, blocking while the
@@ -434,12 +481,18 @@ impl Server {
     /// Central accounting point: every response produced here is counted,
     /// and queue delay feeds the admission gate's overload estimate.
     fn process_picked(&self, request: &Request, queue_delay: Duration) -> Response {
+        let started = Instant::now();
         if matches!(request.op, Op::Check | Op::Implies) {
             self.inner.admission.note_queue_delay(queue_delay);
         }
-        let response = self.process(request, queue_delay);
+        let mut response = self.process(request, queue_delay);
+        // Trace propagation is centralized: whatever id the request
+        // carried (client-supplied or minted at admission) is echoed on
+        // its response, whichever path produced it.
+        response.trace_id = request.trace_id.clone();
         self.inner.aggregate.add(Counter::RequestsServed, 1);
-        if response.status == Status::Shed {
+        let shed = response.status == Status::Shed;
+        if shed {
             self.inner.aggregate.add(Counter::RequestsShed, 1);
             if response
                 .detail
@@ -449,6 +502,10 @@ impl Server {
                 self.inner.aggregate.add(Counter::DeadlineRejected, 1);
             }
         }
+        let latency = queue_delay + started.elapsed();
+        self.inner
+            .telemetry
+            .record(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX), shed);
         response
     }
 
@@ -463,6 +520,7 @@ impl Server {
                 schema_hash: None,
                 report: None,
                 repl: None,
+                trace_id: None,
             },
             Op::Stats => self.stats_response(&request.id),
             Op::Shutdown => {
@@ -476,6 +534,7 @@ impl Server {
                     schema_hash: None,
                     report: None,
                     repl: None,
+                    trace_id: None,
                 }
             }
             Op::Replicate => self.handle_replicate(request),
@@ -510,6 +569,7 @@ impl Server {
                     schema_hash: None,
                     report: None,
                     repl: Some(chunk),
+                    trace_id: None,
                 }
             }
             Err(e) => Response::error(request.id.clone(), format!("replicate: {e}")),
@@ -527,6 +587,7 @@ impl Server {
                 schema_hash: None,
                 report: None,
                 repl: None,
+                trace_id: None,
             },
             Err(e) => Response::error(request.id.clone(), format!("promote: {e}")),
         }
@@ -619,6 +680,9 @@ impl Server {
             if let Some(hit) = self.inner.cache.get(schema_hash, &key) {
                 tracer.add(Counter::CacheHits, 1);
                 self.inner.aggregate.add(Counter::CacheHits, 1);
+                // The cached verdict remembers which request computed it;
+                // surface that as the hit's leader trace.
+                let leader = hit.trace_id.clone();
                 return (
                     eval::Answer {
                         status: hit.status,
@@ -626,6 +690,7 @@ impl Server {
                         detail: hit.detail,
                     },
                     true,
+                    leader,
                 );
             }
             // Read-through: an LRU eviction must not force a recomputation
@@ -638,13 +703,14 @@ impl Server {
                 {
                     tracer.add(Counter::StoreHits, 1);
                     self.inner.aggregate.add(Counter::StoreHits, 1);
+                    let leader = hit.trace_id.clone();
                     let answer = eval::Answer {
                         status: hit.status,
                         verdict: hit.verdict.clone(),
                         detail: hit.detail.clone(),
                     };
                     self.inner.cache.insert(schema_hash, key.clone(), hit);
-                    return (answer, true);
+                    return (answer, true, leader);
                 }
             }
             tracer.add(Counter::CacheMisses, 1);
@@ -663,6 +729,7 @@ impl Server {
                         ],
                     },
                     false,
+                    None,
                 );
             }
             // Coalesce concurrent identical work: followers wait for the
@@ -677,6 +744,10 @@ impl Server {
                         Some(hit) => {
                             tracer.add(Counter::RequestsCoalesced, 1);
                             self.inner.aggregate.add(Counter::RequestsCoalesced, 1);
+                            // A coalesced follower inherited the leader's
+                            // verdict — and records whose computation it
+                            // rode (the id inside the published verdict).
+                            let leader = hit.trace_id.clone();
                             (
                                 eval::Answer {
                                     status: hit.status,
@@ -684,12 +755,21 @@ impl Server {
                                     detail: hit.detail,
                                 },
                                 true,
+                                leader,
                             )
                         }
                         // Leader died or we timed out first: compute it
                         // ourselves under our own budget.
                         None => {
-                            self.compute_fresh(request, &schema, &budget, schema_hash, key, &tracer)
+                            let (answer, cached) = self.compute_fresh(
+                                request,
+                                &schema,
+                                &budget,
+                                schema_hash,
+                                key,
+                                &tracer,
+                            );
+                            (answer, cached, None)
                         }
                     }
                 }
@@ -706,14 +786,15 @@ impl Server {
                         status: answer.status,
                         verdict: answer.verdict.clone(),
                         detail: answer.detail.clone(),
+                        trace_id: request.trace_id.clone(),
                     });
                     guard.publish(publish);
-                    (answer, cached)
+                    (answer, cached, None)
                 }
             }
         }));
 
-        let (mut answer, cached) = match work {
+        let (mut answer, cached, leader_trace_id) = match work {
             Ok(result) => result,
             Err(panic) => {
                 let msg = panic_text(&panic);
@@ -723,6 +804,7 @@ impl Server {
                 let mut report = cr_core::run_report(&budget, request.op.as_str(), "aborted");
                 report.aborted = true;
                 report.target = format!("{schema_hash:032x}");
+                report.trace_id = request.trace_id.clone();
                 return Response {
                     id: request.id.clone(),
                     status: Status::Error,
@@ -732,6 +814,7 @@ impl Server {
                     schema_hash: Some(format!("{schema_hash:032x}")),
                     report: Some(report),
                     repl: None,
+                    trace_id: None,
                 };
             }
         };
@@ -742,6 +825,8 @@ impl Server {
 
         let mut report = cr_core::run_report(&budget, request.op.as_str(), answer.status.as_str());
         report.target = format!("{schema_hash:032x}");
+        report.trace_id = request.trace_id.clone();
+        report.leader_trace_id = leader_trace_id;
         Response {
             id: request.id.clone(),
             status: answer.status,
@@ -751,6 +836,7 @@ impl Server {
             schema_hash: Some(format!("{schema_hash:032x}")),
             report: Some(report),
             repl: None,
+            trace_id: None,
         }
     }
 
@@ -775,6 +861,7 @@ impl Server {
                 status: answer.status,
                 verdict: answer.verdict.clone(),
                 detail: answer.detail.clone(),
+                trace_id: request.trace_id.clone(),
             };
             if request.op == Op::Check {
                 self.persist_certified(schema, budget, &key, &verdict, tracer);
@@ -887,77 +974,53 @@ impl Server {
     }
 
     fn stats_response(&self, id: &str) -> Response {
-        let agg = &self.inner.aggregate;
+        // One coherent snapshot: the aggregate report and the metrics view
+        // are each taken once, and every detail line below reads from
+        // them. Before this, each line loaded its counter independently,
+        // so a `stats` racing live traffic could report e.g. a cache hit
+        // whose request was not yet counted as served.
+        let report = self.inner.aggregate.report("stats", "ok");
+        let view = self.metrics_view();
+        let agg = |name: &str| report.counter(name).unwrap_or(0);
         let mut detail = vec![
-            format!("requests_served={}", agg.counter(Counter::RequestsServed)),
-            format!("cache_hits={}", agg.counter(Counter::CacheHits)),
-            format!("cache_misses={}", agg.counter(Counter::CacheMisses)),
-            format!("cache_evictions={}", agg.counter(Counter::CacheEvictions)),
-            format!("cache_entries={}", self.inner.cache.len()),
-            format!("workers={}", self.inner.config.workers),
-            format!("queue_capacity={}", self.inner.config.queue_capacity),
-            format!("role={}", self.role()),
-            format!("alive_workers={}", self.inner.pool.alive_workers()),
-            format!("inflight={}", self.inner.inflight.len()),
-            format!("shed_threshold={}", self.inner.admission.threshold()),
-            format!(
-                "queue_delay_ewma_us={}",
-                self.inner.admission.queue_delay_us()
-            ),
-            format!("requests_shed={}", agg.counter(Counter::RequestsShed)),
-            format!(
-                "deadline_rejected={}",
-                agg.counter(Counter::DeadlineRejected)
-            ),
-            format!(
-                "requests_coalesced={}",
-                agg.counter(Counter::RequestsCoalesced)
-            ),
-            format!(
-                "workers_respawned={}",
-                agg.counter(Counter::WorkersRespawned)
-            ),
-            format!("wedge_cancels={}", agg.counter(Counter::WedgeCancels)),
-            format!(
-                "poison_quarantined={}",
-                agg.counter(Counter::PoisonQuarantined)
-            ),
-            format!("promotions={}", agg.counter(Counter::Promotions)),
+            format!("requests_served={}", agg("requests_served")),
+            format!("cache_hits={}", agg("cache_hits")),
+            format!("cache_misses={}", agg("cache_misses")),
+            format!("cache_evictions={}", agg("cache_evictions")),
+            format!("cache_entries={}", view.cache_entries),
+            format!("workers={}", view.workers),
+            format!("queue_capacity={}", view.queue_capacity),
+            format!("role={}", view.role),
+            format!("alive_workers={}", view.alive_workers),
+            format!("inflight={}", view.inflight),
+            format!("shed_threshold={}", view.shed_threshold),
+            format!("queue_delay_ewma_us={}", view.queue_delay_ewma_us),
+            format!("requests_shed={}", agg("requests_shed")),
+            format!("deadline_rejected={}", agg("deadline_rejected")),
+            format!("requests_coalesced={}", agg("requests_coalesced")),
+            format!("workers_respawned={}", agg("workers_respawned")),
+            format!("wedge_cancels={}", agg("wedge_cancels")),
+            format!("poison_quarantined={}", agg("poison_quarantined")),
+            format!("promotions={}", agg("promotions")),
+            format!("uptime_ms={}", view.uptime_ms),
+            format!("build_version={}", view.build_version),
         ];
-        if let Some(store) = self.read_store().as_ref() {
-            detail.push(format!("store_entries={}", store.len()));
-            detail.push(format!("store_hits={}", agg.counter(Counter::StoreHits)));
-            detail.push(format!(
-                "store_writes={}",
-                agg.counter(Counter::StoreWrites)
-            ));
-            detail.push(format!(
-                "store_compactions={}",
-                agg.counter(Counter::StoreCompactions)
-            ));
-            detail.push(format!(
-                "store_errors={}",
-                self.inner.store_errors.load(Ordering::Relaxed)
-            ));
-            detail.push(format!("store_log_bytes={}", store.log_bytes()));
-            detail.push(format!("store_epoch={}", store.epoch()));
-            detail.push(format!(
-                "repl_bytes_shipped={}",
-                agg.counter(Counter::ReplBytesShipped)
-            ));
+        if let Some(store) = &view.store {
+            detail.push(format!("store_entries={}", store.entries));
+            detail.push(format!("store_hits={}", agg("store_hits")));
+            detail.push(format!("store_writes={}", agg("store_writes")));
+            detail.push(format!("store_compactions={}", agg("store_compactions")));
+            detail.push(format!("store_errors={}", view.store_errors));
+            detail.push(format!("store_log_bytes={}", store.log_bytes));
+            detail.push(format!("store_epoch={}", store.epoch));
+            detail.push(format!("repl_bytes_shipped={}", agg("repl_bytes_shipped")));
         }
-        if let Some(rep) = self
-            .inner
-            .replica
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .as_ref()
-        {
-            detail.push(format!("repl_offset={}", rep.offset()));
-            detail.push(format!("repl_epoch={}", rep.epoch().unwrap_or(0)));
+        if let Some(repl) = &view.repl {
+            detail.push(format!("repl_offset={}", repl.offset));
+            detail.push(format!("repl_epoch={}", repl.epoch));
             detail.push(format!(
                 "repl_chunks_applied={}",
-                agg.counter(Counter::ReplChunksApplied)
+                agg("repl_chunks_applied")
             ));
         }
         Response {
@@ -967,8 +1030,82 @@ impl Server {
             detail,
             cached: false,
             schema_hash: None,
-            report: Some(agg.report("stats", "ok")),
+            report: Some(report),
             repl: None,
+            trace_id: None,
+        }
+    }
+
+    /// One coherent snapshot of the server's operational state — what
+    /// `/metrics`, `/statusz`, and the `stats` op all render from.
+    pub fn metrics_view(&self) -> MetricsView {
+        self.view_at(self.inner.telemetry.now_ns())
+    }
+
+    /// The telemetry endpoint's bound address (when one is configured).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        *self
+            .inner
+            .metrics_bound
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn view_at(&self, now_ns: u64) -> MetricsView {
+        let t = &self.inner.telemetry;
+        let (served_total, shed_total) = t.totals();
+        let (served_10s, shed_10s) = t.rates_fine(now_ns, FINE_WINDOW_NS);
+        let (served_60s, shed_60s) = t.rates_fine(now_ns, COARSE_WINDOW_NS);
+        let store = self.read_store().as_ref().map(|s| StoreView {
+            entries: s.len(),
+            log_bytes: s.log_bytes(),
+            epoch: s.epoch(),
+        });
+        let repl = self
+            .inner
+            .replica
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|r| {
+                let offset = r.offset();
+                // The head only moves on a successful poll; a mirror that
+                // has caught up past the last-known head reads as zero lag.
+                let head = self.inner.repl_head.load(Ordering::Relaxed).max(offset);
+                ReplView {
+                    offset,
+                    epoch: r.epoch().unwrap_or(0),
+                    head,
+                    lag: head - offset,
+                }
+            });
+        MetricsView {
+            role: self.role(),
+            uptime_ms: t.uptime_ms(),
+            build_version: env!("CARGO_PKG_VERSION"),
+            served_total,
+            shed_total,
+            served_10s,
+            served_60s,
+            shed_10s,
+            shed_60s,
+            scrapes_total: t.scrapes_total(),
+            latency_lifetime: t.latency_lifetime(),
+            latency_10s: t.latency_fine(now_ns, FINE_WINDOW_NS),
+            latency_60s: t.latency_fine(now_ns, COARSE_WINDOW_NS),
+            workers: self.inner.config.workers,
+            alive_workers: self.inner.pool.alive_workers(),
+            queue_depth: self.inner.pool.queued(),
+            queue_capacity: self.inner.config.queue_capacity,
+            inflight: self.inner.inflight.len(),
+            shed_threshold: self.inner.admission.threshold(),
+            queue_delay_ewma_us: self.inner.admission.queue_delay_us(),
+            cache_entries: self.inner.cache.len(),
+            cache_capacity: self.inner.config.cache_capacity,
+            store,
+            store_errors: self.inner.store_errors.load(Ordering::Relaxed),
+            repl,
+            quarantined: self.inner.poison.quarantined_hashes(),
         }
     }
 
@@ -1067,6 +1204,12 @@ impl Server {
                     match client.poll(at.0, at.1) {
                         Ok(chunk) => {
                             last_ok = Instant::now();
+                            // The primary's log length is the replication
+                            // head the lag gauge measures against.
+                            server
+                                .inner
+                                .repl_head
+                                .store(chunk.log_len, Ordering::Relaxed);
                             let full = chunk.data.len() >= repl::CHUNK_MAX;
                             server.apply_chunk(&chunk);
                             if full {
@@ -1092,6 +1235,117 @@ impl Server {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(handle);
+    }
+
+    /// Binds and spawns the telemetry listener. Bind errors fail `open` —
+    /// an operator who asked for `/metrics` and silently got none would
+    /// fly blind. The listener is deliberately single-threaded: a scrape
+    /// storm queues on the socket instead of spawning threads, and can
+    /// never touch the worker pool or the request queue.
+    fn spawn_metrics(&self, addr: &str) -> Result<(), String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind metrics {addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("metrics listener: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("metrics listener: {e}"))?;
+        *self
+            .inner
+            .metrics_bound
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(bound);
+        let weak = Arc::downgrade(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name("cr-metrics".to_string())
+            .spawn(move || loop {
+                let Some(inner) = weak.upgrade() else {
+                    return;
+                };
+                let server = Server { inner };
+                if server.shutdown_requested() {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Contain scrape faults (injected or real): a
+                        // panicking scrape costs that scrape, never the
+                        // listener — and never a request.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            server.handle_scrape(stream);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        drop(server);
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => {
+                        drop(server);
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            })
+            .expect("spawn metrics thread");
+        self.inner
+            .helpers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        Ok(())
+    }
+
+    /// One scrape connection: parse the request head, render the asked-for
+    /// exposition, write it back, close.
+    fn handle_scrape(&self, stream: TcpStream) {
+        // Chaos: fault one scrape (panic/stall/error). This site exists
+        // only on the scrape path — request handling records telemetry
+        // without any failpoint — so injected scrape faults must never
+        // perturb a verdict.
+        cr_faults::point!("server.metrics.scrape");
+        let _ = self.try_scrape(stream);
+    }
+
+    fn try_scrape(&self, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let Some((method, path)) = metrics::read_request_head(&mut reader)? else {
+            return Ok(());
+        };
+        let response = if method != "GET" {
+            metrics::http_response(
+                "405 Method Not Allowed",
+                "text/plain",
+                "only GET is served\n",
+            )
+        } else {
+            match path.as_str() {
+                "/metrics" => {
+                    let now_ns = self.inner.telemetry.observe_scrape();
+                    metrics::http_response(
+                        "200 OK",
+                        "text/plain; version=0.0.4",
+                        &metrics::render_prometheus(&self.view_at(now_ns)),
+                    )
+                }
+                "/statusz" => {
+                    let now_ns = self.inner.telemetry.observe_scrape();
+                    metrics::http_response(
+                        "200 OK",
+                        "application/json",
+                        &metrics::render_statusz(&self.view_at(now_ns)),
+                    )
+                }
+                _ => metrics::http_response(
+                    "404 Not Found",
+                    "text/plain",
+                    "try /metrics or /statusz\n",
+                ),
+            }
+        };
+        let mut stream = stream;
+        stream.write_all(response.as_bytes())?;
+        stream.flush()
     }
 
     /// Applies one shipped chunk to the mirror and warms the cache from
@@ -1163,14 +1417,20 @@ impl Server {
     /// retryable `shed` response — bounded memory under overload is the
     /// contract.
     fn dispatch(&self, line: String, out: &Arc<Mutex<dyn Write + Send>>) {
-        let request = match Request::parse(&line) {
+        let mut request = match Request::parse(&line) {
             Ok(r) => r,
             Err(msg) => {
                 self.inner.aggregate.add(Counter::RequestsServed, 1);
+                self.inner.telemetry.record(0, false);
                 write_response(out, &Response::error(Request::salvage_id(&line), msg));
                 return;
             }
         };
+        // Mint the trace id at admission — before the gate — so even a
+        // response shed right here carries an id the client can quote.
+        if request.trace_id.is_none() {
+            request.trace_id = Some(cr_trace::mint_trace_id());
+        }
         if matches!(request.op, Op::Check | Op::Implies) {
             let schema_len = request.schema.as_deref().map_or(0, str::len);
             if let Admit::Shed { reason, deadline } =
@@ -1179,11 +1439,14 @@ impl Server {
                     .admit(request.deadline_ms, request.priority, schema_len)
             {
                 self.count_shed(deadline);
-                write_response(out, &Response::shed(request.id.clone(), reason));
+                let mut response = Response::shed(request.id.clone(), reason);
+                response.trace_id = request.trace_id.clone();
+                write_response(out, &response);
                 return;
             }
         }
         let id = request.id.clone();
+        let trace_id = request.trace_id.clone();
         let server = self.clone();
         let writer = Arc::clone(out);
         let enqueued = Instant::now();
@@ -1206,13 +1469,14 @@ impl Server {
             Err(SubmitError::QueueFull) => {
                 self.count_shed(false);
                 self.inner.admission.note_overload();
-                write_response(
-                    out,
-                    &Response::shed(id, "server overloaded: request queue is full"),
-                );
+                let mut response = Response::shed(id, "server overloaded: request queue is full");
+                response.trace_id = trace_id;
+                write_response(out, &response);
             }
             Err(SubmitError::ShuttingDown) => {
-                write_response(out, &Response::error(id, "server is shutting down"));
+                let mut response = Response::error(id, "server is shutting down");
+                response.trace_id = trace_id;
+                write_response(out, &response);
             }
         }
     }
@@ -1222,6 +1486,7 @@ impl Server {
     fn count_shed(&self, deadline: bool) {
         self.inner.aggregate.add(Counter::RequestsServed, 1);
         self.inner.aggregate.add(Counter::RequestsShed, 1);
+        self.inner.telemetry.record(0, true);
         if deadline {
             self.inner.aggregate.add(Counter::DeadlineRejected, 1);
         }
@@ -1424,6 +1689,15 @@ mod tests {
             .iter()
             .any(|d| d.starts_with("requests_served=")));
         assert!(stats.detail.iter().any(|d| d == "role=primary"));
+        assert!(stats.detail.iter().any(|d| d.starts_with("uptime_ms=")));
+        assert_eq!(
+            stats
+                .detail
+                .iter()
+                .find(|d| d.starts_with("build_version="))
+                .map(String::as_str),
+            Some(concat!("build_version=", env!("CARGO_PKG_VERSION")))
+        );
         assert!(!server.shutdown_requested());
         let bye = server.process_line(&Request::new("q", Op::Shutdown).to_json());
         assert_eq!(bye.verdict.as_deref(), Some("shutting-down"));
@@ -1578,6 +1852,86 @@ mod tests {
         );
         assert_eq!(server.aggregate_counter(Counter::RequestsShed), 1);
         assert_eq!(server.aggregate_counter(Counter::DeadlineRejected), 1);
+        server.finish();
+    }
+
+    #[test]
+    fn responses_carry_minted_trace_ids_and_hits_name_their_leader() {
+        let server = Server::new(ServerConfig::default());
+        let first = server.process_line(&check_request("a", MEETING));
+        let first_id = first.trace_id.clone().expect("a trace id is minted");
+        assert!(cr_trace::is_trace_id(&first_id));
+        let report = first.report.as_ref().unwrap();
+        assert_eq!(report.trace_id.as_deref(), Some(first_id.as_str()));
+        assert!(
+            report.leader_trace_id.is_none(),
+            "fresh compute has no leader"
+        );
+
+        let second = server.process_line(&check_request("b", MEETING));
+        let second_id = second.trace_id.clone().unwrap();
+        assert_ne!(first_id, second_id, "every request gets its own id");
+        let report = second.report.as_ref().unwrap();
+        assert_eq!(report.trace_id.as_deref(), Some(second_id.as_str()));
+        assert_eq!(
+            report.leader_trace_id.as_deref(),
+            Some(first_id.as_str()),
+            "a cache hit must name the request whose computation it rode"
+        );
+
+        // A client-supplied id is honored, never replaced.
+        let mut supplied = Request::new("c", Op::Ping);
+        supplied.trace_id = Some("00112233445566778899aabbccddeeff".to_string());
+        let resp = server.process_request(&supplied);
+        assert_eq!(
+            resp.trace_id.as_deref(),
+            Some("00112233445566778899aabbccddeeff")
+        );
+        server.finish();
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        use std::io::Read as _;
+        let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("send scrape");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read scrape");
+        raw
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_and_statusz() {
+        let server = Server::new(ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        });
+        let addr = server.metrics_addr().expect("metrics listener bound");
+        let ok = server.process_line(&check_request("a", MEETING));
+        assert_eq!(ok.status, Status::Ok);
+
+        let raw = http_get(addr, "/metrics");
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        let body = raw.split("\r\n\r\n").nth(1).expect("body");
+        assert!(body.contains("crsat_requests_served_total 1\n"), "{body}");
+        assert!(body.contains("crsat_request_latency_seconds_count 1\n"));
+
+        let raw = http_get(addr, "/statusz");
+        let body = raw.split("\r\n\r\n").nth(1).expect("body");
+        let v = cr_trace::json::parse(body).expect("statusz is JSON");
+        assert_eq!(
+            v.get("role").and_then(cr_trace::json::Value::as_str),
+            Some("primary")
+        );
+        assert_eq!(
+            v.get("requests")
+                .and_then(|r| r.get("served_total"))
+                .and_then(cr_trace::json::Value::as_u64),
+            Some(1)
+        );
+
+        assert!(http_get(addr, "/nope").starts_with("HTTP/1.1 404"));
         server.finish();
     }
 

@@ -145,6 +145,15 @@ impl PoisonTracker {
         self.lock().quarantined.len()
     }
 
+    /// The quarantined canonical hashes, sorted (the `/statusz`
+    /// quarantine list — operators need *which* schemas are poisoned,
+    /// not just how many).
+    pub fn quarantined_hashes(&self) -> Vec<u128> {
+        let mut hashes: Vec<u128> = self.lock().quarantined.iter().copied().collect();
+        hashes.sort_unstable();
+        hashes
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, PoisonState> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -204,6 +213,7 @@ mod tests {
         // Further crashes don't re-announce the quarantine.
         assert!(!tracker.note_crash(hash));
         assert_eq!(tracker.quarantined_count(), 1);
+        assert_eq!(tracker.quarantined_hashes(), vec![hash]);
         assert!(!tracker.is_quarantined(0x0dd_ba11));
     }
 }

@@ -41,6 +41,7 @@
 pub mod json;
 mod report;
 mod sink;
+pub mod window;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -50,6 +51,43 @@ use std::time::{Duration, Instant};
 
 pub use report::{RunReport, StageReport, RUN_REPORT_VERSION};
 pub use sink::{EventSink, JsonLinesSink, NullSink, StderrSink, TraceEvent};
+pub use window::{
+    CounterSeries, Histogram, HistogramSeries, WindowedCounter, WindowedHistogram,
+    COARSE_RESOLUTION_NS, FINE_RESOLUTION_NS, WINDOW_SLOTS,
+};
+
+/// Mints a process-unique 128-bit trace id as 32 lowercase hex digits.
+///
+/// Combines wall-clock nanoseconds, the process id, and a process-wide
+/// sequence number through a SplitMix-style finalizer, so concurrent
+/// mints never collide within a process and collide across processes
+/// only if two mint in the same nanosecond with the same pid. Not
+/// cryptographic — a correlation handle, not a secret.
+pub fn mint_trace_id() -> String {
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = u64::from(std::process::id());
+    let hi = mix(nanos ^ pid.rotate_left(32));
+    let lo = mix(nanos.wrapping_add(seq).rotate_left(17) ^ mix(seq));
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// Whether `s` is a well-formed trace id: exactly 32 lowercase hex
+/// digits. Shared by everything that accepts ids from the outside
+/// (protocol parsing, tests), so malformed ids are rejected uniformly.
+pub fn is_trace_id(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+}
 
 /// Number of log2 nanosecond buckets in a duration histogram (bucket `i`
 /// counts durations in `[2^i, 2^{i+1})` ns; the last bucket absorbs the
@@ -291,12 +329,7 @@ impl DurStat {
         self.calls += 1;
         self.total_ns = self.total_ns.saturating_add(dur_ns);
         self.max_ns = self.max_ns.max(dur_ns);
-        let bucket = if dur_ns < 2 {
-            0
-        } else {
-            (63 - dur_ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
-        };
-        self.buckets[bucket] += 1;
+        self.buckets[window::log2_bucket(dur_ns)] += 1;
     }
 }
 
@@ -485,6 +518,8 @@ impl Tracer {
             outcome: outcome.to_string(),
             aborted: false,
             resumed_from_step: None,
+            trace_id: None,
+            leader_trace_id: None,
             wall_ms: u64::try_from(self.elapsed().as_millis()).unwrap_or(u64::MAX),
             stages: Vec::new(),
             counters: Counter::ALL
@@ -510,6 +545,19 @@ impl Tracer {
             }
         }
         out
+    }
+}
+
+/// A [`Tracer`] is itself a sink: events forward to its configured sink
+/// (and vanish when disabled). This lets a layer that owns a tracer —
+/// the CLI's per-invocation tracer, say — hand "where my events go" to
+/// another component (the server daemon) without exposing the sink
+/// field, so both ends share one event stream and one lifecycle.
+impl EventSink for Tracer {
+    fn event(&self, e: &TraceEvent<'_>) {
+        if let Some(inner) = &self.inner {
+            inner.sink.event(e);
+        }
     }
 }
 
@@ -644,6 +692,35 @@ mod tests {
         assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1); // tail absorbs
         assert_eq!(s.calls, 5);
         assert_eq!(s.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn trace_ids_are_well_formed_and_unique() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert!(is_trace_id(&a), "minted id {a:?} must be 32 lowercase hex");
+        assert!(is_trace_id(&b));
+        assert_ne!(a, b, "sequence counter must separate same-ns mints");
+        assert!(!is_trace_id(""));
+        assert!(!is_trace_id(&a[..31]));
+        assert!(!is_trace_id(&a.to_uppercase()));
+        assert!(!is_trace_id(&format!("{}g", &a[..31])));
+    }
+
+    #[test]
+    fn tracer_forwards_events_as_a_sink() {
+        struct CountingSink(Arc<AtomicUsize>);
+        impl EventSink for CountingSink {
+            fn event(&self, _e: &TraceEvent<'_>) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let hits = Arc::new(AtomicUsize::new(0));
+        let t = Tracer::new(Box::new(CountingSink(Arc::clone(&hits))));
+        EventSink::event(&t, &TraceEvent::Message { text: "hello" });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        // A disabled tracer swallows forwarded events.
+        EventSink::event(&Tracer::disabled(), &TraceEvent::Message { text: "x" });
     }
 
     #[test]

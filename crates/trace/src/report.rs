@@ -91,6 +91,15 @@ pub struct RunReport {
     /// only when present (a compatible addition — absent means a fresh
     /// run).
     pub resumed_from_step: Option<u64>,
+    /// The 128-bit trace id (32 lowercase hex digits) this run executed
+    /// under, when one was minted or propagated to it. Serialized only
+    /// when present (a compatible addition).
+    pub trace_id: Option<String>,
+    /// When this run's answer came from another request's computation
+    /// (singleflight coalescing, cache hit), the trace id of the request
+    /// that actually computed it. Serialized only when present (a
+    /// compatible addition).
+    pub leader_trace_id: Option<String>,
     /// Wall-clock from tracer construction to report, milliseconds.
     pub wall_ms: u64,
     /// Per-stage aggregates, sorted by name.
@@ -231,6 +240,18 @@ impl RunReport {
                 None => None,
                 Some(v) => Some(v.as_u64().ok_or("non-integer \"resumed_from_step\"")?),
             },
+            trace_id: match obj.get("trace_id") {
+                None => None,
+                Some(v) => Some(v.as_str().ok_or("non-string \"trace_id\"")?.to_string()),
+            },
+            leader_trace_id: match obj.get("leader_trace_id") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or("non-string \"leader_trace_id\"")?
+                        .to_string(),
+                ),
+            },
             wall_ms: num_field("wall_ms")?,
             stages,
             counters,
@@ -253,6 +274,14 @@ impl RunReport {
         }
         if let Some(step) = self.resumed_from_step {
             let _ = write!(out, ",\"resumed_from_step\":{step}");
+        }
+        if let Some(id) = &self.trace_id {
+            out.push_str(",\"trace_id\":");
+            write_escaped(&mut out, id);
+        }
+        if let Some(id) = &self.leader_trace_id {
+            out.push_str(",\"leader_trace_id\":");
+            write_escaped(&mut out, id);
         }
         let _ = write!(out, ",\"wall_ms\":{}", self.wall_ms);
         out.push_str(",\"stages\":[");
@@ -302,6 +331,8 @@ mod tests {
             outcome: "negative".to_string(),
             aborted: false,
             resumed_from_step: None,
+            trace_id: None,
+            leader_trace_id: None,
             wall_ms: 7,
             stages: vec![StageReport {
                 name: "expansion".to_string(),
@@ -377,6 +408,17 @@ mod tests {
         report.resumed_from_step = Some(123);
         let parsed = RunReport::from_json(&report.to_json()).expect("parse back");
         assert_eq!(parsed.resumed_from_step, Some(123));
+    }
+
+    #[test]
+    fn trace_ids_are_serialized_only_when_set() {
+        let mut report = sample();
+        assert!(!report.to_json().contains("trace_id"));
+        report.trace_id = Some("00112233445566778899aabbccddeeff".to_string());
+        report.leader_trace_id = Some("ffeeddccbbaa99887766554433221100".to_string());
+        let parsed = RunReport::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed.trace_id, report.trace_id);
+        assert_eq!(parsed.leader_trace_id, report.leader_trace_id);
     }
 
     #[test]

@@ -55,6 +55,14 @@ pub trait EventSink: Send + Sync {
     fn event(&self, e: &TraceEvent<'_>);
 }
 
+/// Shared sinks are sinks: lets one sink instance be handed to several
+/// components (CLI tracer + daemon aggregate) without wrapper types.
+impl<S: EventSink + ?Sized> EventSink for std::sync::Arc<S> {
+    fn event(&self, e: &TraceEvent<'_>) {
+        (**self).event(e);
+    }
+}
+
 /// Discards span events. Counters and histograms still accumulate in the
 /// tracer, so `RunReport`s remain complete — this is the sink for
 /// "metrics without log output" (and the one benchmarked for overhead).
@@ -141,9 +149,15 @@ fn format_ns(ns: u64) -> String {
 ///
 /// `seq` is a per-sink monotonic sequence number stamped on `span_end`
 /// events so consumers can order closes that race across threads.
+///
+/// A sink configured with [`with_trace_id`](JsonLinesSink::with_trace_id)
+/// additionally stamps every event line with a `trace_id` key, so one
+/// invocation's whole event stream correlates with its RunReport and any
+/// daemon-side records carrying the same id.
 pub struct JsonLinesSink {
     out: Mutex<Box<dyn Write + Send>>,
     seq: AtomicU64,
+    trace_id: Option<String>,
 }
 
 impl JsonLinesSink {
@@ -152,12 +166,19 @@ impl JsonLinesSink {
         JsonLinesSink {
             out: Mutex::new(out),
             seq: AtomicU64::new(0),
+            trace_id: None,
         }
     }
 
     /// A sink writing to standard error.
     pub fn stderr() -> JsonLinesSink {
         JsonLinesSink::new(Box::new(std::io::stderr()))
+    }
+
+    /// Stamps every emitted event line with `"trace_id":<id>`.
+    pub fn with_trace_id(mut self, id: &str) -> JsonLinesSink {
+        self.trace_id = Some(id.to_string());
+        self
     }
 }
 
@@ -213,6 +234,14 @@ impl EventSink for JsonLinesSink {
                 write_escaped(&mut line, text);
                 line.push('}');
             }
+        }
+        if let Some(id) = &self.trace_id {
+            // Every arm above closes its object; reopen it to stamp the
+            // configured trace id as the last key.
+            line.pop();
+            line.push_str(",\"trace_id\":");
+            write_escaped(&mut line, id);
+            line.push('}');
         }
         line.push('\n');
         let mut out = self.out.lock().expect("json sink poisoned");
@@ -278,6 +307,40 @@ mod tests {
             msg.get("text").unwrap().as_str(),
             Some("budget-exceeded stage=expansion spent=1 limit=1")
         );
+    }
+
+    #[test]
+    fn trace_id_is_stamped_on_every_line() {
+        let buf = SharedBuf::default();
+        let sink = JsonLinesSink::new(Box::new(buf.clone()))
+            .with_trace_id("00112233445566778899aabbccddeeff");
+        sink.event(&TraceEvent::SpanStart {
+            id: 1,
+            parent: None,
+            depth: 0,
+            name: "expansion",
+            at_ns: 10,
+        });
+        sink.event(&TraceEvent::Message { text: "note" });
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        for line in text.lines() {
+            let v = parse(line).unwrap();
+            assert_eq!(
+                v.get("trace_id").unwrap().as_str(),
+                Some("00112233445566778899aabbccddeeff"),
+                "line {line:?} missing the trace id"
+            );
+        }
+    }
+
+    #[test]
+    fn arc_wrapped_sinks_forward() {
+        let buf = SharedBuf::default();
+        let sink: Arc<dyn EventSink> = Arc::new(JsonLinesSink::new(Box::new(buf.clone())));
+        sink.event(&TraceEvent::Message { text: "via arc" });
+        let bytes = buf.0.lock().unwrap().clone();
+        assert!(String::from_utf8(bytes).unwrap().contains("via arc"));
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! Sliding-window time series: mergeable log2-ns histograms and
+//! epoch-tagged ring buffers, the live-telemetry complement to the
+//! whole-run aggregates in [`RunReport`](crate::RunReport).
+//!
+//! A [`RunReport`](crate::RunReport) answers "what did this run cost, in
+//! total"; the types
+//! here answer "what is the daemon doing *right now*" — p50/p99 latency,
+//! request and shed rates over the last ten seconds or the last hour —
+//! without ever scanning an event log.
+//!
+//! # Window model
+//!
+//! Time is divided into fixed *epochs* of one resolution step each
+//! (`epoch = now_ns / resolution_ns`). A window keeps [`WINDOW_SLOTS`]
+//! slots in a ring; slot `epoch % WINDOW_SLOTS` holds the data for that
+//! epoch, tagged with the epoch number. Writes lazily reset a slot whose
+//! tag is stale (the ring rolled past it); reads merge every slot whose
+//! tag falls inside the queried window. Nothing ticks in the background:
+//! a quiet series costs nothing, and reads are exact for any window up to
+//! `WINDOW_SLOTS` epochs.
+//!
+//! Two standard resolutions cover the operational questions: 60×1 s fine
+//! slots ("last 10 s") and 60×1 m coarse slots ("last hour"). All
+//! functions take the current time as an explicit `now_ns` argument —
+//! callers on a real clock pass `Tracer::elapsed().as_nanos()`, tests
+//! hand-crank a counter — so window arithmetic is deterministic.
+//!
+//! # Mergeability
+//!
+//! [`Histogram`] merge is *exact*: buckets are fixed log2-ns ranges, so
+//! merging is bucketwise addition plus count/total/max combination — no
+//! resampling error. That is what makes the sharded series types work:
+//! each worker thread records into its own shard (its own mutex, picked
+//! by a per-thread hint, so the hot path never contends), and a scrape
+//! merges the shards on demand. The same property lets the windowed
+//! reads merge ring slots, and would let a fleet aggregator merge
+//! histograms across processes.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::HISTOGRAM_BUCKETS;
+
+/// Slots per sliding-window ring. With 1 s fine and 1 m coarse
+/// resolutions this bounds exact windows at "last minute" and "last
+/// hour".
+pub const WINDOW_SLOTS: usize = 60;
+
+/// Resolution of the fine window: one slot per second.
+pub const FINE_RESOLUTION_NS: u64 = 1_000_000_000;
+
+/// Resolution of the coarse window: one slot per minute.
+pub const COARSE_RESOLUTION_NS: u64 = 60 * 1_000_000_000;
+
+/// A mergeable log2-nanosecond histogram with count/sum/max.
+///
+/// Bucket `i` counts values in `[2^i, 2^{i+1})` ns (bucket 0 also takes
+/// 0 and 1; the last bucket absorbs the tail) — the same bucketing as
+/// [`StageReport::histogram_log2_ns`](crate::StageReport), so exposition
+/// layers can treat both identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    total: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The log2 bucket a value falls into (shared with `DurStat` in the
+/// tracer core).
+pub(crate) fn log2_bucket(value: u64) -> usize {
+    if value < 2 {
+        0
+    } else {
+        (63 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            total: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Records one value (typically a duration in nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+        self.max = self.max.max(value);
+        self.buckets[log2_bucket(value)] += 1;
+    }
+
+    /// Merges `other` into `self`. Exact: fixed bucket edges make this
+    /// bucketwise addition, so `merge(a, b)` equals the histogram of the
+    /// concatenated value streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The raw buckets, in log2 order.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Mean recorded value, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.total.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as an upper bound: the smallest
+    /// bucket upper edge at or past the target rank, clamped by the
+    /// recorded maximum. 0 when empty. Log2 buckets make this exact to
+    /// within a factor of 2 — the right fidelity for an at-a-glance
+    /// p50/p99, and merge-stable where a sampled quantile would not be.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The tail bucket absorbs everything past the bucketed
+                // range, so its only honest upper edge is the recorded
+                // maximum itself.
+                let upper = if i + 1 >= HISTOGRAM_BUCKETS {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One ring slot: a value tagged with the epoch it belongs to.
+/// `EMPTY_EPOCH` marks a slot that has never been written.
+#[derive(Clone)]
+struct Slot<T> {
+    epoch: u64,
+    value: T,
+}
+
+const EMPTY_EPOCH: u64 = u64::MAX;
+
+/// How many epochs a queried window covers at the given resolution
+/// (at least 1, at most the ring length).
+fn window_epochs(window_ns: u64, resolution_ns: u64, len: usize) -> u64 {
+    window_ns.div_ceil(resolution_ns).clamp(1, len as u64)
+}
+
+/// A sliding-window histogram: [`WINDOW_SLOTS`] epoch-tagged
+/// [`Histogram`] slots at a fixed resolution.
+#[derive(Clone)]
+pub struct WindowedHistogram {
+    resolution_ns: u64,
+    slots: Vec<Slot<Histogram>>,
+}
+
+impl WindowedHistogram {
+    /// A window at the given resolution (ns per slot).
+    pub fn new(resolution_ns: u64) -> WindowedHistogram {
+        assert!(resolution_ns > 0, "resolution must be positive");
+        WindowedHistogram {
+            resolution_ns,
+            slots: vec![
+                Slot {
+                    epoch: EMPTY_EPOCH,
+                    value: Histogram::new(),
+                };
+                WINDOW_SLOTS
+            ],
+        }
+    }
+
+    /// Records `value` at time `now_ns`, lazily resetting the slot if
+    /// the ring has rolled past its previous epoch.
+    pub fn record(&mut self, now_ns: u64, value: u64) {
+        let epoch = now_ns / self.resolution_ns;
+        let slot = &mut self.slots[(epoch % WINDOW_SLOTS as u64) as usize];
+        if slot.epoch != epoch {
+            slot.epoch = epoch;
+            slot.value = Histogram::new();
+        }
+        slot.value.record(value);
+    }
+
+    /// Merges every slot inside the last `window_ns` (ending at
+    /// `now_ns`, current partial epoch included) into one histogram.
+    pub fn merged(&self, now_ns: u64, window_ns: u64) -> Histogram {
+        let epoch = now_ns / self.resolution_ns;
+        let k = window_epochs(window_ns, self.resolution_ns, self.slots.len());
+        let mut out = Histogram::new();
+        for slot in &self.slots {
+            if epoch.checked_sub(slot.epoch).is_some_and(|d| d < k) {
+                out.merge(&slot.value);
+            }
+        }
+        out
+    }
+}
+
+/// A sliding-window counter: [`WINDOW_SLOTS`] epoch-tagged sums.
+#[derive(Clone)]
+pub struct WindowedCounter {
+    resolution_ns: u64,
+    slots: Vec<Slot<u64>>,
+}
+
+impl WindowedCounter {
+    /// A window at the given resolution (ns per slot).
+    pub fn new(resolution_ns: u64) -> WindowedCounter {
+        assert!(resolution_ns > 0, "resolution must be positive");
+        WindowedCounter {
+            resolution_ns,
+            slots: vec![
+                Slot {
+                    epoch: EMPTY_EPOCH,
+                    value: 0,
+                };
+                WINDOW_SLOTS
+            ],
+        }
+    }
+
+    /// Adds `n` at time `now_ns`, lazily resetting a rolled-past slot.
+    pub fn add(&mut self, now_ns: u64, n: u64) {
+        let epoch = now_ns / self.resolution_ns;
+        let slot = &mut self.slots[(epoch % WINDOW_SLOTS as u64) as usize];
+        if slot.epoch != epoch {
+            slot.epoch = epoch;
+            slot.value = 0;
+        }
+        slot.value += n;
+    }
+
+    /// Sum over the last `window_ns` ending at `now_ns` (current partial
+    /// epoch included).
+    pub fn sum(&self, now_ns: u64, window_ns: u64) -> u64 {
+        let epoch = now_ns / self.resolution_ns;
+        let k = window_epochs(window_ns, self.resolution_ns, self.slots.len());
+        self.slots
+            .iter()
+            .filter(|s| epoch.checked_sub(s.epoch).is_some_and(|d| d < k))
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread shard hint, assigned once per thread from a global
+    /// round-robin counter. Long-lived worker threads therefore settle
+    /// onto distinct shards and the record path never contends.
+    static SHARD_HINT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn shard_hint() -> usize {
+    SHARD_HINT.with(|h| match h.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT_SHARD.fetch_add(1, Ordering::Relaxed);
+            h.set(Some(i));
+            i
+        }
+    })
+}
+
+fn lock_shard<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panic while holding a shard lock (e.g. an injected fault in a
+    // worker) must not take telemetry down with it.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct HistogramShard {
+    fine: WindowedHistogram,
+    coarse: WindowedHistogram,
+    lifetime: Histogram,
+}
+
+impl HistogramShard {
+    fn new() -> HistogramShard {
+        HistogramShard {
+            fine: WindowedHistogram::new(FINE_RESOLUTION_NS),
+            coarse: WindowedHistogram::new(COARSE_RESOLUTION_NS),
+            lifetime: Histogram::new(),
+        }
+    }
+}
+
+/// A thread-safe, sharded, dual-resolution histogram series: per-worker
+/// locals aggregate by exact merge at read time, so the record path
+/// takes one uncontended mutex and no global lock exists at all.
+pub struct HistogramSeries {
+    shards: Vec<Mutex<HistogramShard>>,
+}
+
+impl HistogramSeries {
+    /// A series with `shards` independent shards (clamped to ≥ 1);
+    /// size it to the expected writer-thread count.
+    pub fn new(shards: usize) -> HistogramSeries {
+        HistogramSeries {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HistogramShard::new()))
+                .collect(),
+        }
+    }
+
+    /// Records `value` at `now_ns` into the calling thread's shard
+    /// (fine window, coarse window, and lifetime aggregate at once).
+    pub fn record(&self, now_ns: u64, value: u64) {
+        let mut shard = lock_shard(&self.shards[shard_hint() % self.shards.len()]);
+        shard.fine.record(now_ns, value);
+        shard.coarse.record(now_ns, value);
+        shard.lifetime.record(value);
+    }
+
+    /// Merged fine-window histogram over the last `window_ns`.
+    pub fn fine(&self, now_ns: u64, window_ns: u64) -> Histogram {
+        let mut out = Histogram::new();
+        for shard in &self.shards {
+            out.merge(&lock_shard(shard).fine.merged(now_ns, window_ns));
+        }
+        out
+    }
+
+    /// Merged coarse-window histogram over the last `window_ns`.
+    pub fn coarse(&self, now_ns: u64, window_ns: u64) -> Histogram {
+        let mut out = Histogram::new();
+        for shard in &self.shards {
+            out.merge(&lock_shard(shard).coarse.merged(now_ns, window_ns));
+        }
+        out
+    }
+
+    /// Merged lifetime histogram (everything ever recorded).
+    pub fn lifetime(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for shard in &self.shards {
+            out.merge(&lock_shard(shard).lifetime);
+        }
+        out
+    }
+}
+
+struct CounterShard {
+    fine: WindowedCounter,
+    coarse: WindowedCounter,
+    total: u64,
+}
+
+impl CounterShard {
+    fn new() -> CounterShard {
+        CounterShard {
+            fine: WindowedCounter::new(FINE_RESOLUTION_NS),
+            coarse: WindowedCounter::new(COARSE_RESOLUTION_NS),
+            total: 0,
+        }
+    }
+}
+
+/// A thread-safe, sharded, dual-resolution event counter — the rate
+/// (served/s, shed/s) counterpart of [`HistogramSeries`].
+pub struct CounterSeries {
+    shards: Vec<Mutex<CounterShard>>,
+}
+
+impl CounterSeries {
+    /// A series with `shards` independent shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> CounterSeries {
+        CounterSeries {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(CounterShard::new()))
+                .collect(),
+        }
+    }
+
+    /// Adds `n` at `now_ns` into the calling thread's shard.
+    pub fn add(&self, now_ns: u64, n: u64) {
+        let mut shard = lock_shard(&self.shards[shard_hint() % self.shards.len()]);
+        shard.fine.add(now_ns, n);
+        shard.coarse.add(now_ns, n);
+        shard.total += n;
+    }
+
+    /// Sum over the last `window_ns` at fine (1 s) resolution.
+    pub fn fine_sum(&self, now_ns: u64, window_ns: u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).fine.sum(now_ns, window_ns))
+            .sum()
+    }
+
+    /// Sum over the last `window_ns` at coarse (1 m) resolution.
+    pub fn coarse_sum(&self, now_ns: u64, window_ns: u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).coarse.sum(now_ns, window_ns))
+            .sum()
+    }
+
+    /// Lifetime total.
+    pub fn total(&self) -> u64 {
+        self.shards.iter().map(|s| lock_shard(s).total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let values_a = [0u64, 1, 2, 3, 1_500, u64::MAX];
+        let values_b = [7u64, 4096, 4097, 9];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in values_a {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn quantile_walks_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(1_000_000); // bucket 19
+        assert_eq!(h.quantile(0.5), 127);
+        // p100 lands in the tail bucket, clamped by the true max.
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.mean(), (99 * 100 + 1_000_000) / 100);
+    }
+
+    #[test]
+    fn windowed_counter_expires_old_epochs() {
+        let mut w = WindowedCounter::new(FINE_RESOLUTION_NS);
+        let s = FINE_RESOLUTION_NS;
+        w.add(0, 5);
+        w.add(s, 7);
+        assert_eq!(w.sum(s, 2 * s), 12);
+        assert_eq!(w.sum(s, s), 7, "1s window sees only the current epoch");
+        // 61 epochs later the ring has rolled past both slots.
+        assert_eq!(w.sum(61 * s, 60 * s), 0);
+        // A write into a rolled-past slot resets it rather than adding.
+        w.add(60 * s, 3); // same slot index as epoch 0
+        assert_eq!(w.sum(60 * s, s), 3);
+    }
+
+    #[test]
+    fn windowed_histogram_merges_only_the_window() {
+        let mut w = WindowedHistogram::new(FINE_RESOLUTION_NS);
+        let s = FINE_RESOLUTION_NS;
+        w.record(0, 10);
+        w.record(5 * s, 20);
+        w.record(5 * s + 1, 30);
+        let last_two = w.merged(5 * s, 2 * s);
+        assert_eq!(last_two.count(), 2);
+        assert_eq!(last_two.max(), 30);
+        let all = w.merged(5 * s, 60 * s);
+        assert_eq!(all.count(), 3);
+        // The future is not in any window.
+        assert_eq!(w.merged(0, 60 * s).count(), 1);
+    }
+
+    #[test]
+    fn series_shards_merge_across_threads() {
+        let series = std::sync::Arc::new(HistogramSeries::new(4));
+        let counters = std::sync::Arc::new(CounterSeries::new(4));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let series = std::sync::Arc::clone(&series);
+            let counters = std::sync::Arc::clone(&counters);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    series.record(0, t * 100 + i);
+                    counters.add(0, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(series.lifetime().count(), 800);
+        assert_eq!(series.fine(0, FINE_RESOLUTION_NS).count(), 800);
+        assert_eq!(counters.total(), 800);
+        assert_eq!(counters.fine_sum(0, FINE_RESOLUTION_NS), 800);
+        assert_eq!(
+            counters.coarse_sum(0, COARSE_RESOLUTION_NS),
+            800,
+            "coarse window sees the same events"
+        );
+    }
+
+    #[test]
+    fn window_epoch_count_is_clamped() {
+        assert_eq!(window_epochs(0, FINE_RESOLUTION_NS, WINDOW_SLOTS), 1);
+        assert_eq!(
+            window_epochs(10 * FINE_RESOLUTION_NS, FINE_RESOLUTION_NS, WINDOW_SLOTS),
+            10
+        );
+        assert_eq!(
+            window_epochs(u64::MAX, FINE_RESOLUTION_NS, WINDOW_SLOTS),
+            WINDOW_SLOTS as u64
+        );
+    }
+}

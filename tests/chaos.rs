@@ -106,6 +106,12 @@ mod armed {
         ("server.repl.chunk", "50%return"),
         ("server.repl.apply", "50%return"),
         ("server.supervisor.tick", "panic(chaos: supervisor tick)"),
+        // Telemetry sites: both live exclusively on the scrape path, so
+        // they cannot fire in the generic request loop below (no scraper
+        // is attached there) — `scrape_faults_never_affect_request_handling`
+        // exercises them end-to-end over real HTTP.
+        ("server.metrics.scrape", "panic(chaos: metrics scrape)"),
+        ("server.metrics.window_roll", "panic(chaos: window roll)"),
     ];
 
     struct Daemon {
@@ -417,6 +423,72 @@ mod armed {
         standby.finish();
         let _ = std::fs::remove_dir_all(&primary_dir);
         let _ = std::fs::remove_dir_all(&standby_dir);
+    }
+
+    /// The telemetry plane is observational: with both scrape-path
+    /// failpoints panicking on *every* hit, request handling must be
+    /// completely unaffected — every check still returns its certified
+    /// verdict — and once the plan clears, scrapes work again. A faulty
+    /// scrape costs that scrape its HTTP response, nothing more.
+    #[test]
+    fn scrape_faults_never_affect_request_handling() {
+        let _guard = serial();
+        cr_faults::install(
+            &FaultPlan::new(0x5C4A9E)
+                .site("server.metrics.scrape", "panic(chaos: metrics scrape)")
+                .site("server.metrics.window_roll", "panic(chaos: window roll)"),
+        );
+        let server = Server::open(ServerConfig {
+            workers: 2,
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        })
+        .expect("server boots with a metrics listener");
+        let addr = server.metrics_addr().expect("metrics listener bound");
+        let scrape = |path: &str| -> String {
+            let mut stream = TcpStream::connect(addr).expect("connect to metrics listener");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("set read timeout");
+            stream
+                .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .expect("send scrape");
+            let mut body = String::new();
+            use std::io::Read;
+            let _ = stream.read_to_string(&mut body);
+            body
+        };
+        // Faulty scrapes die before rendering: the client sees a closed
+        // connection (empty response), never a torn exposition.
+        for _ in 0..3 {
+            let body = scrape("/metrics");
+            assert!(
+                !body.contains("crsat_"),
+                "a panicking scrape must not deliver an exposition: {body:?}"
+            );
+        }
+        assert!(cr_faults::hits("server.metrics.scrape") >= 3);
+        // Request handling is oblivious to the dying scrapes.
+        let expected = certified_verdict(MEETING);
+        cr_faults::install(
+            &FaultPlan::new(0x5C4A9E)
+                .site("server.metrics.scrape", "panic(chaos: metrics scrape)")
+                .site("server.metrics.window_roll", "panic(chaos: window roll)"),
+        );
+        let mut request = Request::new("during-scrape-faults".to_string(), Op::Check);
+        request.schema = Some(MEETING.to_string());
+        let response = server.process_request(&request);
+        assert_eq!(response.status.as_str(), "ok");
+        assert_eq!(response.verdict.as_deref(), Some(expected));
+        // Clear the plan: the very next scrape succeeds, and it reports
+        // the traffic that flowed while scrapes were failing.
+        cr_faults::clear();
+        let body = scrape("/metrics");
+        assert!(
+            body.contains("crsat_requests_served_total 1"),
+            "post-fault scrape must see the request served under fire: {body}"
+        );
+        server.finish();
     }
 
     /// The same seed must replay the exact same injection pattern — the

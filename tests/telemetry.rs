@@ -1,0 +1,400 @@
+//! Telemetry-plane integration suite: the windowed histogram algebra,
+//! the `/metrics`–`/statusz` endpoint under concurrent load, and
+//! end-to-end trace-id continuity (client → response → report →
+//! durable log → replicated standby).
+//!
+//! The window tests drive every clock explicitly (`now_ns` is always a
+//! test-chosen constant), so nothing here depends on wall time; the
+//! endpoint test uses real sockets but asserts only counts it fully
+//! controls.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use cr_server::{Op, Request, Server, ServerConfig, Status};
+use cr_trace::{Histogram, WindowedCounter, WindowedHistogram, FINE_RESOLUTION_NS, WINDOW_SLOTS};
+use proptest::prelude::*;
+
+const MEETING: &str = include_str!("../schemas/meeting.cr");
+const FIGURE1: &str = include_str!("../schemas/figure1.cr");
+
+// ---------------------------------------------------------------------------
+// The histogram algebra
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging is exact: recording a stream into one histogram and
+    /// recording an arbitrary two-way split of the same stream into two
+    /// histograms then merging them produce *identical* state — counts,
+    /// totals, max, and every bucket. (This is what makes the sharded
+    /// per-thread series safe to aggregate at scrape time.)
+    #[test]
+    fn histogram_merge_is_exact_over_any_split(
+        values in proptest::collection::vec(0u64..(1u64 << 48), 0..200),
+        split in 0usize..201,
+    ) {
+        let split = split.min(values.len());
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for &v in &values[..split] {
+            left.record(v);
+        }
+        for &v in &values[split..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.total(), whole.total());
+        prop_assert_eq!(left.max(), whole.max());
+        prop_assert_eq!(left.buckets(), whole.buckets());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Quantiles are sound for a log2 histogram: every reported quantile
+    /// is at least the true quantile of the recorded stream and at most
+    /// the recorded maximum (the bucket upper bound can only round up,
+    /// never below the true value).
+    #[test]
+    fn quantiles_bound_the_true_order_statistics(
+        mut values in proptest::collection::vec(0u64..(1u64 << 48), 1..200),
+        q_milli in 0u64..1000,
+    ) {
+        let q = q_milli as f64 / 1000.0;
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let true_q = values[rank - 1];
+        let est = h.quantile(q);
+        prop_assert!(est >= true_q, "estimate {est} below true quantile {true_q}");
+        prop_assert!(est <= h.max(), "estimate {est} above recorded max {}", h.max());
+    }
+}
+
+/// Sliding windows forget: values recorded in old slots roll out of the
+/// merged view once the clock advances past the window, and the counter
+/// sum follows the same epochs.
+#[test]
+fn windows_roll_deterministically() {
+    let mut h = WindowedHistogram::new(FINE_RESOLUTION_NS);
+    let mut c = WindowedCounter::new(FINE_RESOLUTION_NS);
+    // One recording per second for WINDOW_SLOTS seconds.
+    for slot in 0..WINDOW_SLOTS as u64 {
+        let now = slot * FINE_RESOLUTION_NS;
+        h.record(now, 1000 + slot);
+        c.add(now, 1);
+    }
+    let at_end = (WINDOW_SLOTS as u64 - 1) * FINE_RESOLUTION_NS;
+    let window = 10 * FINE_RESOLUTION_NS;
+    assert_eq!(h.merged(at_end, window).count(), 10, "10s window sees 10");
+    assert_eq!(c.sum(at_end, window), 10);
+    // The clock jumps far ahead: everything has rolled off.
+    let later = at_end + 2 * WINDOW_SLOTS as u64 * FINE_RESOLUTION_NS;
+    assert_eq!(h.merged(later, window).count(), 0, "stale slots roll off");
+    assert_eq!(c.sum(later, window), 0);
+    // A stale slot is lazily reclaimed by the next recording, not
+    // double-counted.
+    h.record(later, 7);
+    c.add(later, 3);
+    assert_eq!(h.merged(later, window).count(), 1);
+    assert_eq!(c.sum(later, window), 3);
+}
+
+// ---------------------------------------------------------------------------
+// The scrape endpoint under concurrent load
+// ---------------------------------------------------------------------------
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send scrape");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read scrape");
+    raw
+}
+
+/// Eight clients hammer the daemon while a scraper polls `/metrics` and
+/// `/statusz` the whole time. Every scrape must be a well-formed HTTP
+/// response (the single-threaded listener just queues concurrent
+/// scrapers), no verdict may be perturbed, and the final scrape must
+/// account for every request.
+#[test]
+fn metrics_scrapes_are_harmless_under_client_load() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 6;
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    });
+    let addr = server.metrics_addr().expect("metrics listener bound");
+
+    let done = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !done.load(Ordering::SeqCst) {
+                for path in ["/metrics", "/statusz"] {
+                    let raw = http_get(addr, path);
+                    assert!(
+                        raw.starts_with("HTTP/1.1 200 OK\r\n"),
+                        "scrape of {path} mid-load is malformed: {raw:?}"
+                    );
+                    scrapes += 1;
+                }
+            }
+            scrapes
+        })
+    };
+
+    let (tx, rx) = mpsc::channel::<(String, Option<String>)>();
+    let mut clients = Vec::new();
+    for client in 0..CLIENTS {
+        let server = server.clone();
+        let tx = tx.clone();
+        clients.push(std::thread::spawn(move || {
+            for i in 0..PER_CLIENT {
+                // Alternate a satisfiable and an unsatisfiable fixture so
+                // a perturbed verdict cannot hide behind uniformity.
+                let (schema, _) = if (client + i) % 2 == 0 {
+                    (MEETING, "satisfiable")
+                } else {
+                    (FIGURE1, "unsatisfiable")
+                };
+                let mut request = Request::new(format!("c{client}-q{i}"), Op::Check);
+                request.schema = Some(schema.to_string());
+                let response = server.process_request(&request);
+                tx.send((
+                    if schema == MEETING {
+                        "satisfiable".to_string()
+                    } else {
+                        "unsatisfiable".to_string()
+                    },
+                    response.verdict,
+                ))
+                .expect("report verdict");
+            }
+        }));
+    }
+    drop(tx);
+    for (expected, got) in rx {
+        assert_eq!(got.as_deref(), Some(expected.as_str()), "verdict perturbed");
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    done.store(true, Ordering::SeqCst);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes > 0, "the scraper must have gotten through");
+
+    let raw = http_get(addr, "/metrics");
+    let body = raw.split("\r\n\r\n").nth(1).expect("body");
+    let total = (CLIENTS * PER_CLIENT) as u64;
+    assert!(
+        body.contains(&format!("crsat_requests_served_total {total}\n")),
+        "final scrape must account for all {total} requests: {body}"
+    );
+    assert!(body.contains(&format!("crsat_request_latency_seconds_count {total}\n")));
+    server.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Trace-id continuity, end to end
+// ---------------------------------------------------------------------------
+
+/// One client-supplied trace id is followed through every layer it is
+/// promised to reach: the response echo, the embedded report, the
+/// durable verdict log on disk, a replicated standby's warm store after
+/// failover, and the `leader_trace_id` lineage of later cache hits.
+#[test]
+fn trace_ids_survive_response_log_and_replication() {
+    let primary_dir = std::env::temp_dir().join("cr-telemetry-primary");
+    let standby_dir = std::env::temp_dir().join("cr-telemetry-standby");
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+
+    let primary = Server::new(ServerConfig {
+        workers: 2,
+        cache_dir: Some(primary_dir.clone()),
+        ..ServerConfig::default()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let serve_thread = {
+        let primary = primary.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            primary
+                .serve_tcp("127.0.0.1:0", stop, move |bound| {
+                    addr_tx.send(bound).expect("report bound address");
+                })
+                .expect("serve_tcp");
+        })
+    };
+    let addr = addr_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("primary binds");
+
+    // 1. The client supplies its own id; the response and report echo it.
+    let supplied = "5ca1ab1e5ca1ab1e5ca1ab1e5ca1ab1e";
+    let mut request = Request::new("first".to_string(), Op::Check);
+    request.schema = Some(MEETING.to_string());
+    request.trace_id = Some(supplied.to_string());
+    let response = primary.process_request(&request);
+    assert_eq!(response.status, Status::Ok);
+    assert_eq!(response.trace_id.as_deref(), Some(supplied));
+    let report = response.report.as_ref().expect("check responses report");
+    assert_eq!(report.trace_id.as_deref(), Some(supplied));
+    assert!(
+        report.leader_trace_id.is_none(),
+        "fresh compute leads itself"
+    );
+
+    // 2. The id reaches the durable log verbatim (the log is framed
+    //    binary around JSON records, so search raw bytes).
+    let log = std::fs::read(primary_dir.join("verdicts.log")).expect("the verdict store exists");
+    assert!(
+        log.windows(supplied.len())
+            .any(|w| w == supplied.as_bytes()),
+        "the computing request's id must ride the persisted record"
+    );
+
+    // 3. A later request for the same schema gets a new id but names the
+    //    computing request as its leader.
+    let mut again = Request::new("second".to_string(), Op::Check);
+    again.schema = Some(MEETING.to_string());
+    let hit = primary.process_request(&again);
+    assert!(hit.cached, "second ask must be a cache hit");
+    let hit_id = hit.trace_id.clone().expect("hits still get their own id");
+    assert_ne!(hit_id, supplied);
+    assert_eq!(
+        hit.report.as_ref().unwrap().leader_trace_id.as_deref(),
+        Some(supplied),
+        "a hit names the request whose computation it rode"
+    );
+
+    // 4. A standby mirrors the log; after promotion its warm verdicts
+    //    still carry the original computing request's id.
+    let standby = Server::open(ServerConfig {
+        workers: 1,
+        cache_dir: Some(standby_dir.clone()),
+        follow: Some(addr.to_string()),
+        follow_poll_ms: 20,
+        promote_after_ms: 600_000,
+        ..ServerConfig::default()
+    })
+    .expect("standby boots");
+    let goal = {
+        let stats = primary.process_request(&Request::new("st".to_string(), Op::Stats));
+        stats
+            .detail
+            .iter()
+            .find_map(|d| {
+                d.strip_prefix("store_log_bytes=")
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(0u64)
+    };
+    assert!(goal > 0);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = standby.process_request(&Request::new("st".to_string(), Op::Stats));
+        let offset = stats
+            .detail
+            .iter()
+            .find_map(|d| d.strip_prefix("repl_offset=").and_then(|v| v.parse().ok()))
+            .unwrap_or(0u64);
+        if offset >= goal {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "standby failed to catch up ({offset}/{goal})"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    stop.store(true, Ordering::SeqCst);
+    serve_thread.join().expect("serve thread exits");
+    primary.finish();
+
+    let promoted = standby.process_request(&Request::new("pr".to_string(), Op::Promote));
+    assert_eq!(promoted.verdict.as_deref(), Some("promoted"));
+    let mut warm = Request::new("after-failover".to_string(), Op::Check);
+    warm.schema = Some(MEETING.to_string());
+    let warm_hit = standby.process_request(&warm);
+    assert!(warm_hit.cached, "failover must serve the verdict warm");
+    assert_eq!(
+        warm_hit.report.as_ref().unwrap().leader_trace_id.as_deref(),
+        Some(supplied),
+        "replication must not strip the computing request's id"
+    );
+    standby.finish();
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+}
+
+/// Concurrent identical requests coalesce onto one leader; whoever
+/// followed must name a real member of the group as its leader, and no
+/// follower may name itself.
+#[test]
+fn coalesced_followers_name_their_leader() {
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    // A fresh schema (not in any cache) asked four times at once.
+    let schema = "class Z1; class Z2 isa Z1; \
+                  relationship RZ (U1: Z1, U2: Z2); \
+                  card Z1 in RZ.U1: 1..3;";
+    let (tx, rx) = mpsc::channel();
+    for i in 0..4 {
+        let tx = tx.clone();
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let mut request = Request::new(format!("co{i}"), Op::Check);
+            request.schema = Some(schema.to_string());
+            tx.send(server.process_request(&request)).expect("send");
+        });
+    }
+    drop(tx);
+    let responses: Vec<_> = rx.iter().collect();
+    assert_eq!(responses.len(), 4);
+    let ids: Vec<String> = responses
+        .iter()
+        .map(|r| r.trace_id.clone().expect("every response carries an id"))
+        .collect();
+    for response in &responses {
+        assert_eq!(response.verdict.as_deref(), Some("satisfiable"));
+        let report = response.report.as_ref().expect("report");
+        if let Some(leader) = &report.leader_trace_id {
+            assert_ne!(
+                Some(leader.as_str()),
+                report.trace_id.as_deref(),
+                "nobody leads themselves"
+            );
+            assert!(
+                ids.iter().any(|id| id == leader),
+                "a follower's leader must be a member of the group: {leader} not in {ids:?}"
+            );
+        }
+    }
+    server.finish();
+}

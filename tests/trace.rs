@@ -281,7 +281,13 @@ proptest! {
         stages in proptest::collection::vec(arb_stage(), 0..6usize),
         counter_names in proptest::collection::btree_set("\\PC*", 0..8usize),
         counter_values in proptest::collection::vec(0u64..(1u64 << 53), 8usize),
+        trace_bits in proptest::option::of(any::<u64>()),
+        leader_bits in proptest::option::of(any::<u64>()),
     ) {
+        // The shim has no regex string strategy: derive well-formed
+        // 32-hex-digit ids from random bits instead.
+        let trace_id = trace_bits.map(|v| format!("{v:032x}"));
+        let leader_trace_id = leader_bits.map(|v| format!("{v:032x}"));
         // Zip the (unique, name-sorted) counter names with values in
         // *reverse* order, so the writer emits counters out of the
         // parser's sorted order — the round trip must normalize, not rely
@@ -298,6 +304,8 @@ proptest! {
             wall_ms,
             stages,
             counters,
+            trace_id,
+            leader_trace_id,
         };
 
         let json = report.to_json();
@@ -324,6 +332,9 @@ proptest! {
         prop_assert_eq!(back.aborted, report.aborted);
         prop_assert_eq!(back.resumed_from_step, report.resumed_from_step);
         prop_assert_eq!(back.wall_ms, report.wall_ms);
+        // The trace ids are conditionally serialized, like `aborted`.
+        prop_assert_eq!(&back.trace_id, &report.trace_id);
+        prop_assert_eq!(&back.leader_trace_id, &report.leader_trace_id);
         // Stages live in a JSON array: order round-trips exactly.
         prop_assert_eq!(&back.stages, &report.stages);
         // Counters live in a JSON object: compare as sorted sets.
