@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Delta-equivalence client for the `crsat serve` CI check.
+
+Talks protocol v1 (JSON lines over TCP) to a daemon started with
+`crsat serve --addr 127.0.0.1:0 --port-file <file>`: pins a base schema,
+streams 50 seeded one-constraint edits through `check_delta` (chaining
+each response's `schema_hash` onto the auto-pinned edited context), and
+diffs every delta verdict against a from-scratch `check` of the same
+edited schema on the same daemon — the scratch runs share no state with
+the delta path (different cache key), so agreement is a real equivalence
+check. Two directed edits flip satisfiability (sat -> unsat -> sat) and a
+structural edit must produce a declared, transparent fallback. Exits
+nonzero on any divergence.
+
+Usage: delta_client.py <port-file>
+"""
+
+import json
+import socket
+import sys
+import time
+
+DEADLINE_S = 120.0
+_START = time.monotonic()
+
+CHAINS = 3
+START_MAX = 64
+EDITS = 50
+
+
+def base_source():
+    """The pinned base: CHAINS pairwise-disjoint ISA chains, each with one
+    relationship and two cardinality windows (the edit stream's targets)."""
+    parts = []
+    for i in range(CHAINS):
+        parts.append(
+            f"class A{i}; class B{i} isa A{i}; class C{i} isa B{i};\n"
+            f"relationship R{i} (U1: A{i}, U2: C{i});\n"
+            f"card A{i} in R{i}.U1: 1..{START_MAX};\n"
+            f"card C{i} in R{i}.U2: 1..{START_MAX};\n"
+        )
+    parts.append("disjoint " + ", ".join(f"A{i}" for i in range(CHAINS)) + ";\n")
+    return "".join(parts)
+
+
+def card_line(cls, rel, role, lo, hi):
+    """One canonical-form card line (tab-separated, `*` = unbounded)."""
+    hi_txt = "*" if hi is None else str(hi)
+    return f"card\t{cls}\t{rel}\t{role}\t{lo}\t{hi_txt}"
+
+
+class EditStream:
+    """Seeded xorshift64 edit generator over the per-chain windows."""
+
+    def __init__(self, seed):
+        self.state = seed | 1
+        # Current (min, max) per chain for C{i}'s U2 window.
+        self.windows = [(1, START_MAX)] * CHAINS
+
+    def _next(self):
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self.state = x
+        return x
+
+    def edit(self):
+        """One seeded edit: tighten (shrink max / raise min) or loosen
+        (grow max) one chain's C-side window, staying non-empty. Returns
+        (diff lines, source replacement pair)."""
+        chain = self._next() % CHAINS
+        lo, hi = self.windows[chain]
+        roll = self._next() % 4
+        if roll == 0 and lo + 1 <= hi:
+            new = (lo + 1, hi)
+        elif roll == 1:
+            new = (lo, hi + 1)
+        elif hi - 1 >= lo:
+            new = (lo, hi - 1)
+        else:
+            new = (lo, hi + 1)
+        self.windows[chain] = new
+        old_line = card_line(f"C{chain}", f"R{chain}", "U2", lo, hi)
+        new_line = card_line(f"C{chain}", f"R{chain}", "U2", *new)
+        src_old = f"card C{chain} in R{chain}.U2: {lo}..{hi};"
+        src_new = f"card C{chain} in R{chain}.U2: {new[0]}..{new[1]};"
+        return [f"-\t{old_line}", f"+\t{new_line}"], (src_old, src_new)
+
+
+def connect(host, port):
+    attempt = 0
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=60)
+        except (ConnectionRefusedError, OSError):
+            assert time.monotonic() - _START < DEADLINE_S, "daemon never came up"
+            time.sleep(0.05 * (attempt + 1))
+            attempt += 1
+
+
+def main():
+    port_file = sys.argv[1]
+    host, port = open(port_file).read().strip().rsplit(":", 1)
+    sock = connect(host, int(port))
+    rfile = sock.makefile("r", encoding="utf-8")
+
+    def rpc(req):
+        sock.sendall((json.dumps(req) + "\n").encode())
+        line = rfile.readline()
+        assert line, f"connection closed before reply to {req['id']}"
+        resp = json.loads(line)
+        assert resp["id"] == req["id"], resp
+        assert resp["status"] != "shed", f"CI daemon shed a request: {resp}"
+        return resp
+
+    source = base_source()
+    pinned = rpc({"v": 1, "id": "pin", "op": "pin_base", "schema": source})
+    assert pinned["verdict"] == "pinned", pinned
+    cur_hash = pinned["schema_hash"]
+    assert cur_hash, pinned
+
+    stream = EditStream(0xD5EED)
+    fast_path = 0
+    for i in range(EDITS):
+        diff, (src_old, src_new) = stream.edit()
+        assert src_old in source, (i, src_old)
+        source = source.replace(src_old, src_new)
+
+        delta = rpc(
+            {"v": 1, "id": f"d{i}", "op": "check_delta", "base": cur_hash, "diff": diff}
+        )
+        scratch = rpc({"v": 1, "id": f"s{i}", "op": "check", "schema": source})
+        assert delta["status"] == scratch["status"], (i, delta, scratch)
+        assert delta.get("verdict") == scratch.get("verdict"), (i, delta, scratch)
+        detail = delta.get("detail") or []
+        if not any("delta-fallback" in d for d in detail):
+            fast_path += 1
+        # Chain: the response names the edited schema, which the daemon
+        # auto-pinned for the next edit.
+        assert delta["schema_hash"], (i, delta)
+        cur_hash = delta["schema_hash"]
+    # Constraint-only card edits must overwhelmingly stay on the delta
+    # path (an occasional eviction-driven fallback is tolerated).
+    assert fast_path >= EDITS - 2, f"only {fast_path}/{EDITS} edits took the delta path"
+
+    # Directed flips: demanding more A0-side tuples than the C0 side can
+    # absorb kills the whole chain (unsat), and reverting restores it.
+    lo, hi = 1, START_MAX
+    flip = [
+        f"-\t{card_line('A0', 'R0', 'U1', lo, hi)}",
+        f"+\t{card_line('A0', 'R0', 'U1', START_MAX + 1, None)}",
+    ]
+    resp = rpc({"v": 1, "id": "flip", "op": "check_delta", "base": cur_hash, "diff": flip})
+    assert resp["status"] == "negative", resp
+    assert resp["verdict"] == "unsatisfiable", resp
+    back = [
+        f"-\t{card_line('A0', 'R0', 'U1', START_MAX + 1, None)}",
+        f"+\t{card_line('A0', 'R0', 'U1', lo, hi)}",
+    ]
+    resp = rpc(
+        {"v": 1, "id": "flip-back", "op": "check_delta", "base": resp["schema_hash"], "diff": back}
+    )
+    assert resp["status"] == "ok", resp
+    assert resp["verdict"] == "satisfiable", resp
+    assert resp["schema_hash"] == cur_hash, "reverting the edit must restore the hash"
+
+    # A structural edit cannot reuse the base: the daemon must still
+    # answer — transparently, via the declared from-scratch fallback.
+    structural = rpc(
+        {
+            "v": 1,
+            "id": "structural",
+            "op": "check_delta",
+            "base": cur_hash,
+            "diff": ["+\tclass\tUnpinnedNewcomer"],
+        }
+    )
+    assert structural["status"] == "ok", structural
+    assert any(
+        "delta-fallback" in d and "structural" in d
+        for d in structural.get("detail") or []
+    ), structural
+
+    stats = rpc({"v": 1, "id": "stats", "op": "stats"})
+    hits = next(
+        int(d.split("=", 1)[1]) for d in stats["detail"] if d.startswith("delta_hits=")
+    )
+    fallbacks = next(
+        int(d.split("=", 1)[1]) for d in stats["detail"] if d.startswith("delta_fallbacks=")
+    )
+    assert hits >= fast_path, stats
+    assert fallbacks >= 1, stats
+
+    bye = rpc({"v": 1, "id": "bye", "op": "shutdown"})
+    assert bye["verdict"] == "shutting-down", bye
+    print(f"delta client: {EDITS} edits equivalent, {fast_path} on the delta path")
+
+
+if __name__ == "__main__":
+    main()

@@ -703,6 +703,8 @@ fn bench_snapshot(quick: bool, out: &str, date: &str) {
         }
     }
 
+    d_series(quick, &mut rows);
+
     let daemon = daemon_load(quick);
 
     let doc = format!(
@@ -720,6 +722,131 @@ fn bench_snapshot(quick: bool, out: &str, date: &str) {
             std::process::exit(1);
         }
     }
+}
+
+// --------------------------------------------------------------------------
+// D-series — incremental (delta) re-checking on an edit stream
+// --------------------------------------------------------------------------
+
+/// `g` pairwise-disjoint ISA chains (C ≼ B ≼ A), each with a relationship
+/// whose cards have min ≥ 1 and a wide max window — the interactive-editor
+/// shape: tightening one bound at a time never changes the Venn atoms and
+/// keeps the base witness acceptable, so the delta path can reuse the
+/// whole fixpoint (`cr-delta`'s zero-LP reuse).
+fn edit_stream_schema(g: usize, max: u64) -> String {
+    let mut s = String::new();
+    let mut roots = Vec::new();
+    for i in 0..g {
+        s.push_str(&format!(
+            "class A{i}; class B{i} isa A{i}; class C{i} isa B{i};\n\
+             relationship R{i} (U1: A{i}, U2: C{i});\n\
+             card A{i} in R{i}.U1: 1..{max};\n\
+             card C{i} in R{i}.U2: 1..{max};\n"
+        ));
+        roots.push(format!("A{i}"));
+    }
+    if roots.len() >= 2 {
+        s.push_str(&format!("disjoint {};\n", roots.join(", ")));
+    }
+    s
+}
+
+/// The edit-stream workload: `edits` sequential one-constraint tightenings
+/// per schema size, each checked twice — incrementally through
+/// `cr_delta::check_delta` (chaining each verdict's context into the next
+/// edit, as an editor session would) and from scratch. Appends one
+/// `D<n>` row per size with both cumulative timings and prints the
+/// geometric-mean speedup across sizes.
+fn d_series(quick: bool, rows: &mut Vec<String>) {
+    use cr_core::budget::Budget;
+
+    header("D — incremental re-check on an edit stream (delta vs from-scratch)");
+    println!("| id | classes | edits | delta ms | scratch ms | speedup |");
+    println!("|---|---|---|---|---|---|");
+    const START_MAX: u64 = 64;
+    let sweeps: &[(usize, usize)] = if quick {
+        &[(2, 8), (3, 8)]
+    } else {
+        &[(2, 24), (4, 24), (6, 24)]
+    };
+    let budget = Budget::unlimited();
+    let config = ExpansionConfig::default();
+    let mut speedups = Vec::new();
+    for (d, &(g, edits)) in sweeps.iter().enumerate() {
+        let base_src = edit_stream_schema(g, START_MAX);
+        let base_schema = cr_lang::parse_schema(&base_src).unwrap();
+        let mut ctx = cr_delta::DeltaContext::from_schema(&base_schema, &config, &budget).unwrap();
+        let mut cur = base_src;
+        let mut delta_ms = 0.0;
+        let mut scratch_ms = 0.0;
+        for j in 0..edits {
+            // Round-robin over the chains; each edit shrinks one max by 1.
+            let chain = j % g;
+            let old_max = START_MAX - (j / g) as u64;
+            let next = cur.replace(
+                &format!("card C{chain} in R{chain}.U2: 1..{old_max};"),
+                &format!("card C{chain} in R{chain}.U2: 1..{};", old_max - 1),
+            );
+            assert_ne!(next, cur, "edit {j} must change the schema");
+            let edited_schema = cr_lang::parse_schema(&next).unwrap();
+            let diff = cr_lang::diff_canonical(ctx.canonical(), &edited_schema.canonical_form());
+            let (outcome, d_ms) = time(|| {
+                cr_delta::check_delta(
+                    &ctx,
+                    &diff,
+                    &cr_delta::DeltaConfig::default(),
+                    &config,
+                    &budget,
+                )
+                .unwrap()
+            });
+            delta_ms += d_ms;
+            let verdict = match outcome {
+                cr_delta::DeltaOutcome::Checked(v) => v,
+                cr_delta::DeltaOutcome::Fallback { reason, .. } => {
+                    panic!("D-series edits must stay on the delta path, got fallback: {reason}")
+                }
+            };
+            let (scratch_unsat, s_ms) = time(|| {
+                let r = Reasoner::new(&edited_schema).unwrap();
+                let classes = r.unsatisfiable_classes().len();
+                let rels = edited_schema
+                    .rels()
+                    .filter(|&rel| !r.is_rel_satisfiable(rel))
+                    .count();
+                (classes, rels)
+            });
+            scratch_ms += s_ms;
+            assert_eq!(
+                scratch_unsat,
+                (verdict.unsat_classes.len(), verdict.unsat_rels.len()),
+                "delta and from-scratch verdicts must agree on edit {j}"
+            );
+            ctx = verdict.next;
+            cur = next;
+        }
+        let speedup = scratch_ms / delta_ms;
+        speedups.push(speedup);
+        println!(
+            "| D{} | {} | {edits} | {delta_ms:.2} | {scratch_ms:.2} | {speedup:.1}x |",
+            d + 1,
+            3 * g
+        );
+        rows.push(format!(
+            "{{\"id\":\"D{}\",\"classes\":{},\"edits\":{edits},\
+             \"delta_ms\":{delta_ms:.3},\"scratch_ms\":{scratch_ms:.3}}}",
+            d + 1,
+            3 * g
+        ));
+    }
+    let geomean =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("D-series geometric-mean speedup: {geomean:.1}x (delta vs from-scratch)");
+    assert!(
+        geomean >= 2.0,
+        "delta path must stay at least 2x faster than from-scratch on the edit stream \
+         (got {geomean:.2}x)"
+    );
 }
 
 // --------------------------------------------------------------------------

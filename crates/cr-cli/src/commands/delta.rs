@@ -1,0 +1,71 @@
+//! `crsat diff` — incremental re-check of an edited schema against a base.
+//!
+//! Computes the canonical constraint diff between the two files, runs the
+//! `cr-delta` reuse pipeline (base expansion + fixpoint state seeded into
+//! the edited schema's check), and reports which path answered: the delta
+//! slice, or a transparent full re-check when the diff is structural or
+//! invalidates too much of the base.
+
+use cr_core::expansion::ExpansionConfig;
+use cr_core::{Budget, Schema};
+use cr_delta::{check_delta, DeltaConfig, DeltaContext, DeltaError, DeltaOutcome};
+
+pub(crate) fn delta_err(e: DeltaError) -> String {
+    match e {
+        DeltaError::Malformed(what) => format!("delta: {what}"),
+        DeltaError::Core(e) => super::err_str(e),
+    }
+}
+
+/// `crsat diff <base.cr> <edited.cr>`: exit codes mirror `check` on the
+/// edited schema (0 satisfiable, 1 some class finitely unsatisfiable).
+pub fn diff(base: &Schema, edited: &Schema, budget: &Budget) -> Result<u8, String> {
+    let config = ExpansionConfig::default();
+    let diff = cr_lang::diff_canonical(&base.canonical_form(), &edited.canonical_form());
+    let lines = diff.to_lines();
+    if lines.is_empty() {
+        println!("no constraint changes (schemas are canonically identical)");
+    } else {
+        println!("diff ({} line(s)):", lines.len());
+        for line in &lines {
+            println!("  {}", line.replace('\t', " "));
+        }
+    }
+    let ctx = DeltaContext::from_schema(base, &config, budget).map_err(delta_err)?;
+    println!("base   {}", ctx.hash_hex());
+    match check_delta(&ctx, &diff, &DeltaConfig::default(), &config, budget).map_err(delta_err)? {
+        DeltaOutcome::Checked(v) => {
+            println!("edited {}", v.next.hash_hex());
+            println!(
+                "path delta: {} atom(s) invalidated, support {}, descent {}",
+                v.atoms_invalidated,
+                if v.support_reused {
+                    "reused"
+                } else {
+                    "recomputed"
+                },
+                if v.seeded {
+                    "seeded from base"
+                } else {
+                    "restarted"
+                },
+            );
+            for c in &v.unsat_classes {
+                println!("{c:<24} UNSATISFIABLE");
+            }
+            for r in &v.unsat_rels {
+                println!("rel {r:<20} UNSATISFIABLE (empty in every finite model)");
+            }
+            if v.unsat_classes.is_empty() && v.unsat_rels.is_empty() {
+                println!("satisfiable");
+            }
+            // As everywhere else, only unsatisfiable *classes* flip the
+            // exit code; an empty-in-every-finite-model rel is reported.
+            Ok(u8::from(!v.unsat_classes.is_empty()))
+        }
+        DeltaOutcome::Fallback { reason, .. } => {
+            println!("path full ({reason})");
+            super::check(edited, false, None, budget)
+        }
+    }
+}

@@ -17,6 +17,9 @@ use cr_core::sat::{Reasoner, Strategy};
 use cr_core::system::render_verbatim;
 use cr_core::{Budget, CrError, Schema, Stage};
 
+mod delta;
+pub use delta::diff;
+
 mod service;
 pub use service::{batch, serve};
 

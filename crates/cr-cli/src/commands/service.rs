@@ -264,32 +264,24 @@ fn collect_schemas(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 /// client (`ci/serve_client.py`) uses the same limit.
 const MAX_SHED_RETRIES: u32 = 8;
 
-/// Checks one schema file through the server (so repeats hit the verdict
-/// cache), returning the display line and its exit code. A `shed`
-/// response is the server saying "not now, retryable": retry it with the
-/// shared jittered-exponential schedule ([`backoff_delay`]) before
-/// reporting it.
-fn check_file(server: &Server, path: &Path) -> (String, u8) {
-    let source = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => return (format!("error cannot read: {e}"), 2),
-    };
-    let mut request = Request::new(path.display().to_string(), Op::Check);
-    request.schema = Some(source);
-    let mut seed = path
-        .display()
-        .to_string()
+/// Runs one prebuilt batch request through the server, returning the
+/// display line and its exit code. A `shed` response is the server saying
+/// "not now, retryable": retry it with the shared jittered-exponential
+/// schedule ([`backoff_delay`]) before reporting it.
+fn run_request(server: &Server, request: &Request) -> (String, u8) {
+    let mut seed = request
+        .id
         .bytes()
         .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
         })
         | 1;
-    let mut response = server.process_request(&request);
+    let mut response = server.process_request(request);
     let mut attempt = 0;
     while response.status == Status::Shed && attempt < MAX_SHED_RETRIES {
         std::thread::sleep(backoff_delay(&mut seed, attempt));
         attempt += 1;
-        response = server.process_request(&request);
+        response = server.process_request(request);
     }
     let mut line = response.status.as_str().to_string();
     if let Some(v) = &response.verdict {
@@ -302,7 +294,64 @@ fn check_file(server: &Server, path: &Path) -> (String, u8) {
     if response.cached {
         line.push_str(" [cached]");
     }
+    if request.op == Op::CheckDelta
+        && !response
+            .detail
+            .iter()
+            .any(|d| d.starts_with("delta-fallback"))
+        && matches!(response.status, Status::Ok | Status::Negative)
+    {
+        line.push_str(" [delta]");
+    }
     (line, response.status.exit_code())
+}
+
+/// Builds one request per batch member. A member whose canonical form is
+/// one non-structural edit away from the *previous* parseable member is
+/// routed through `check_delta` against that member's hash — the first
+/// member is pinned up front, every delta verdict auto-pins its edited
+/// schema, so an ordered stream of near-identical schemas chains. The
+/// schema always rides along, so a base the server has not pinned yet
+/// (parallel workers race) degrades to a plain check, never an error.
+/// Returns the per-member requests (an `Err` is a file that could not be
+/// read) and the first parseable member's source, for pinning.
+fn plan_batch(files: &[PathBuf]) -> (Vec<Result<Request, String>>, Option<String>) {
+    let mut plans = Vec::with_capacity(files.len());
+    let mut prev: Option<(String, u128)> = None;
+    let mut first_base = None;
+    for path in files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                plans.push(Err(format!("error cannot read: {e}")));
+                continue;
+            }
+        };
+        let mut request = Request::new(path.display().to_string(), Op::Check);
+        if let Ok(schema) = cr_lang::parse_schema(&source) {
+            let canonical = schema.canonical_form();
+            let hash = cr_core::canonical_text_hash(&canonical);
+            match &prev {
+                // An identical canonical form stays a plain check: the
+                // verdict cache collapses it by hash, which beats an
+                // empty-diff delta round.
+                Some((prev_canonical, prev_hash)) if *prev_hash != hash => {
+                    let diff = cr_lang::diff_canonical(prev_canonical, &canonical);
+                    if cr_delta::classify(&diff) != cr_delta::DiffClass::Structural {
+                        request.op = Op::CheckDelta;
+                        request.base = Some(format!("{prev_hash:032x}"));
+                        request.diff = diff.to_lines();
+                    }
+                }
+                Some(_) => {}
+                None => first_base = Some(source.clone()),
+            }
+            prev = Some((canonical, hash));
+        }
+        request.schema = Some(source);
+        plans.push(Ok(request));
+    }
+    (plans, first_base)
 }
 
 /// Submits through the non-blocking path, retrying overload with the
@@ -369,14 +418,30 @@ pub fn batch(args: &[String], budget: &Budget) -> Result<u8, String> {
         config.workers = w;
     }
     let server = Server::new(config);
+    let (plans, first_base) = plan_batch(&files);
+    // Pin the stream's first schema before the fan-out so at least the
+    // second member's delta request can find its base; later members chain
+    // off auto-pinned predecessors when worker scheduling permits.
+    if let Some(source) = first_base {
+        let mut pin = Request::new("batch-pin".to_string(), Op::PinBase);
+        pin.schema = Some(source);
+        let _ = server.process_request(&pin);
+    }
     let (tx, rx) = mpsc::channel();
-    for (i, path) in files.iter().enumerate() {
+    for (i, plan) in plans.into_iter().enumerate() {
+        let request = match plan {
+            Ok(request) => request,
+            Err(line) => {
+                let _ = tx.send((i, (line, 2)));
+                continue;
+            }
+        };
         let make_job = || -> Job {
             let tx = tx.clone();
             let worker = server.clone();
-            let path = path.clone();
+            let request = request.clone();
             Box::new(move || {
-                let _ = tx.send((i, check_file(&worker, &path)));
+                let _ = tx.send((i, run_request(&worker, &request)));
             })
         };
         submit_with_retry(&server, budget, i as u64, make_job)?;

@@ -9,6 +9,7 @@
 //! crsat bounds <schema.cr> C R.U      tightest implied cardinality window
 //! crsat explain <schema.cr> <class>   minimal unsatisfiable constraint set
 //! crsat report <schema.cr>            full design review
+//! crsat diff <base.cr> <edited.cr>    incremental re-check of an edit
 //! crsat fmt <schema.cr>               parse and pretty-print
 //! crsat serve [--addr host:port]      JSON-lines reasoning daemon
 //! crsat batch <dir|file.cr>...        check many schemas in parallel
@@ -230,9 +231,9 @@ fn value_flag(rest: &[String], name: &str) -> Result<Option<String>, String> {
 }
 
 fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
-    let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|fmt\
-                 |serve|batch|resume> <schema.cr> [args...] [--timeout-ms n] [--max-steps n] \
-                 [--max-expansion n] [--trace[=human|json]] [--stats file]";
+    let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|compare\
+                 |diff|fmt|serve|batch|resume> <schema.cr> [args...] [--timeout-ms n] \
+                 [--max-steps n] [--max-expansion n] [--trace[=human|json]] [--stats file]";
     let Some(cmd) = args.first() else {
         return Err(usage.to_string());
     };
@@ -242,7 +243,7 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     }
     const COMMANDS: &[&str] = &[
         "check", "expand", "system", "model", "implies", "bounds", "explain", "report", "compare",
-        "fmt", "serve", "batch", "resume",
+        "diff", "fmt", "serve", "batch", "resume",
     ];
     if !COMMANDS.contains(&cmd.as_str()) {
         return Err(format!("unknown command {cmd:?}\n{usage}"));
@@ -258,15 +259,19 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     if cmd == "resume" {
         return commands::resume(&args[1..], budget);
     }
-    if cmd == "compare" {
+    if cmd == "compare" || cmd == "diff" {
         let (Some(pa), Some(pb)) = (args.get(1), args.get(2)) else {
-            return Err("compare needs two schema files".to_string());
+            return Err(format!("{cmd} needs two schema files"));
         };
         let read = |p: &String| -> Result<cr_core::Schema, String> {
             let src = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
             cr_lang::parse_schema(&src).map_err(|e| format!("{p}:{e}"))
         };
-        return commands::compare(&read(pa)?, &read(pb)?);
+        return if cmd == "compare" {
+            commands::compare(&read(pa)?, &read(pb)?)
+        } else {
+            commands::diff(&read(pa)?, &read(pb)?, budget)
+        };
     }
     let Some(path) = args.get(1) else {
         return Err(usage.to_string());

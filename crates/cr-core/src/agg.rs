@@ -251,6 +251,79 @@ pub fn maximal_support_agg_resumed(
     Ok((alive, Some(witness)))
 }
 
+/// Re-solves the converged system for a **minimum-norm** witness over the
+/// given support: minimize the sum of all unknowns subject to every alive
+/// compound-class count being at least one.
+///
+/// The fixpoint's own witness is whatever vertex the support-maximizing LP
+/// happened to converge at — it routinely sits *on* upper cardinality
+/// boundaries (`S = max·C` exactly), which makes it useless for the delta
+/// fast path: the first max-tightening edit invalidates it and forces a
+/// fresh LP. The minimum-norm witness instead hugs the *lower* boundaries,
+/// leaving every upper window with slack proportional to its width, so a
+/// stream of max-tightening edits (the common incremental edit) keeps
+/// re-validating it by pure evaluation. Min-tightening edits may still
+/// land on it and fall back to the seeded descent — correct, just not
+/// zero-LP.
+///
+/// Costs one LP; callers invoke it only when snapshotting state for reuse
+/// ([`Reasoner::reusable_state`](crate::sat::Reasoner::reusable_state)),
+/// never on the plain check path. Returns `None` when the support is empty
+/// or the re-solve fails (callers then keep the original witness).
+pub fn harden_witness(sys: &AggSystem, alive: &[bool]) -> Option<AggSolution> {
+    use cr_linear::{optimize_governed, Direction, OptOutcome};
+
+    if alive.iter().all(|&a| !a) {
+        return None;
+    }
+    let mut lin = sys.restrict(alive, None);
+    let mut objective = LinExpr::new();
+    for v in 0..lin.num_vars() {
+        objective.add_term(VarId(v as u32), Rational::one());
+    }
+    for (cc, &a) in alive.iter().enumerate() {
+        if a {
+            lin.push(
+                LinExpr::var(sys.cclass_vars[cc]),
+                Cmp::Ge,
+                Rational::one(),
+            );
+        }
+    }
+    let budget = Budget::unlimited();
+    let outcome = optimize_governed(
+        &lin,
+        &objective,
+        Direction::Minimize,
+        &budget.stage(crate::budget::Stage::Fixpoint),
+    )
+    .ok()?;
+    let OptOutcome::Optimal { solution, .. } = outcome else {
+        return None;
+    };
+    let (ints, _factor) = Solution::new(solution.values().to_vec()).scale_to_integers();
+    Some(AggSolution {
+        cclass_counts: sys
+            .cclass_vars
+            .iter()
+            .map(|v| ints[v.index()].clone())
+            .collect(),
+        marginals: sys
+            .role_aggs
+            .iter()
+            .map(|rel| {
+                rel.iter()
+                    .map(|role| {
+                        role.iter()
+                            .map(|&(cc, v)| (cc, ints[v.index()].clone()))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect(),
+    })
+}
+
 /// Greedily fills a `K`-axis nonnegative integer tensor with the given
 /// per-axis marginals (all axes must total the same), returning its sparse
 /// nonzero entries as `(role filler per axis, count)`.

@@ -1,0 +1,379 @@
+//! Reusable intermediate state for incremental (delta) checking.
+//!
+//! A full [`Reasoner`](crate::sat::Reasoner) run spends its time in three
+//! places: enumerating the consistent compound classes (the Venn atoms),
+//! building the aggregated disequation system, and descending the greatest
+//! fixpoint to the maximal acceptable support `P*`. For a *constraint-only*
+//! edit — cardinality windows changed, ISA/disjointness/covering assertions
+//! added — most of that work is provably reusable:
+//!
+//! * **Atoms.** Cardinality changes never touch atom consistency, and
+//!   *adding* an ISA/disjointness/covering assertion can only *shrink* the
+//!   atom set (consistency at a leaf is a conjunction of per-assertion
+//!   checks). So the edited atoms are exactly the base atoms that survive
+//!   [`consistent_at_leaf`](crate::expansion) under the edited schema — a
+//!   linear filter instead of an exponential DFS. Edits that *remove*
+//!   ISA/disjointness/covering (or touch classes/relationships themselves)
+//!   can create new atoms and are out of scope here; callers fall back to a
+//!   from-scratch run.
+//! * **Support.** For a *tightening* edit (additions only), every acceptable
+//!   solution of the edited system is acceptable in the base system, so the
+//!   edited `P*` is contained in the base `P*` restricted to surviving
+//!   atoms — which therefore seeds the monotone fixpoint descent, typically
+//!   converging in one or two passes instead of `O(|atoms|)`. For a
+//!   *loosening* edit (a cardinality window removed or widened) the support
+//!   can only grow, so the descent restarts from all-true — still reusing
+//!   the filtered atoms.
+//! * **Witness.** The base run's marginal-form witness
+//!   ([`AggSolution`](crate::agg::AggSolution)) is a concrete nonnegative
+//!   integer point. When no atom was invalidated the edited aggregated
+//!   system has the *identical* variable layout (construction order depends
+//!   only on atoms and candidate lists, never on cardinality values), so
+//!   the witness can be re-checked against the edited rows by pure
+//!   evaluation. If it still satisfies them, the base support is achievable
+//!   in the edited system, pinning `P*` exactly — **zero LPs solved**.
+//!
+//! The soundness of each reuse step is re-verified the same way the
+//! from-scratch path is: in debug builds the final witness is checked
+//! against the paper-verbatim system `Ψ_S`.
+
+use crate::agg::{AggSolution, AggSystem};
+use crate::bitset::BitSet;
+use crate::budget::Budget;
+use crate::error::{CrError, CrResult};
+use crate::expansion::{Expansion, ExpansionConfig};
+use crate::sat::{AcceptableSolution, Reasoner};
+use crate::schema::Schema;
+use cr_rational::Rational;
+
+/// The `what` tag [`reasoner_from_state`] puts on the
+/// [`CrError::ExpansionTooLarge`] it raises when a diff invalidates more
+/// base atoms than the caller's cap allows — callers match on it to
+/// distinguish "fall back to a full check" from genuine expansion
+/// overflow.
+pub const INVALIDATION_CAP: &str = "delta invalidated atoms";
+
+/// The intermediate state of a completed reasoning run that an edited
+/// schema can reuse. Produced by
+/// [`Reasoner::reusable_state`](crate::sat::Reasoner::reusable_state);
+/// deliberately schema-borrow-free so it can outlive the base schema (and
+/// be held in caches keyed by canonical hash).
+#[derive(Clone, Debug)]
+pub struct ReusableState {
+    /// The consistent compound classes of the base schema, sorted (the
+    /// order [`Expansion`] produces). Bit `i` refers to class index `i` of
+    /// the base schema — reuse is only sound against an edited schema whose
+    /// class indexing agrees, which callers guarantee by building both
+    /// sides from canonical form.
+    pub atoms: Vec<BitSet>,
+    /// The maximal acceptable support over `atoms` (parallel indexing).
+    pub support: Vec<bool>,
+    /// The marginal-form witness, positive exactly on the support (absent
+    /// when the support is empty or the run used the Direct strategy).
+    pub agg_witness: Option<AggSolution>,
+}
+
+/// How much of the base run a delta run actually reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReuseReport {
+    /// Base atoms rejected by the edited schema's consistency filter.
+    pub atoms_invalidated: usize,
+    /// Whether the base support and witness were reused verbatim (the
+    /// zero-LP fast path: no fixpoint descent ran at all).
+    pub support_reused: bool,
+}
+
+/// Builds a [`Reasoner`] for `schema` by reusing `state` from a prior run
+/// on a base schema, instead of re-running the full pipeline.
+///
+/// `tighten_only` must be `true` iff the edit consists solely of
+/// *additions* on canonical form (no constraint removed) — the caller
+/// derives this from the diff classification. It gates whether the base
+/// support may seed the fixpoint (see the module docs for why that is
+/// sound only for tightening edits).
+///
+/// `max_invalidated`, when set, caps how many base atoms the edited
+/// schema's filter may reject: past the cap the run aborts with
+/// [`CrError::ExpansionTooLarge`] (`what == `[`INVALIDATION_CAP`]) *before*
+/// any fixpoint work, so callers can fall back to a from-scratch run when
+/// the dirty slice grows too large for the delta path to pay off.
+///
+/// Returns the reasoner plus a [`ReuseReport`]. Errors mirror the
+/// from-scratch path (budget, expansion caps), plus
+/// [`CrError::SignatureMismatch`] when `state` cannot belong to a schema
+/// shaped like this one — callers treat that as "fall back to full check".
+pub fn reasoner_from_state<'s>(
+    schema: &'s Schema,
+    state: &ReusableState,
+    tighten_only: bool,
+    max_invalidated: Option<usize>,
+    config: &ExpansionConfig,
+    budget: &Budget,
+) -> CrResult<(Reasoner<'s>, ReuseReport)> {
+    if state.support.len() != state.atoms.len() {
+        return Err(CrError::SignatureMismatch {
+            what: "delta state support/atom lengths",
+        });
+    }
+    if state
+        .atoms
+        .iter()
+        .any(|a| a.universe() != schema.num_classes())
+    {
+        return Err(CrError::SignatureMismatch {
+            what: "delta state atom universe vs schema class count",
+        });
+    }
+
+    let tracer = budget.tracer().clone();
+    let (expansion, atoms_invalidated) =
+        Expansion::build_from_candidates(schema, config, budget, &state.atoms)?;
+    if let Some(cap) = max_invalidated {
+        if atoms_invalidated > cap {
+            return Err(CrError::ExpansionTooLarge {
+                what: INVALIDATION_CAP,
+                limit: cap,
+            });
+        }
+    }
+    let agg = AggSystem::build(&expansion);
+    tracer.add(cr_trace::Counter::DisequationsEmitted, agg.num_rows() as u64);
+
+    // Map the base support onto the surviving atoms. Both lists are sorted
+    // and the survivors are a subsequence of the base atoms, so one merge
+    // walk suffices.
+    let survivors = expansion.compound_classes();
+    let mut seed = vec![true; survivors.len()];
+    let mut j = 0;
+    for (i, atom) in survivors.iter().enumerate() {
+        while j < state.atoms.len() && &state.atoms[j] != atom {
+            j += 1;
+        }
+        debug_assert!(j < state.atoms.len(), "survivor not among base atoms");
+        if j < state.atoms.len() {
+            seed[i] = state.support[j];
+            j += 1;
+        }
+    }
+
+    // Zero-LP fast path: nothing invalidated and the stored witness still
+    // satisfies the edited rows by pure evaluation. Then the base support
+    // is achievable in the edited system, so `P*` is unchanged: for a
+    // tightening edit `P*` cannot grow past the base one, and for a
+    // loosening edit an all-true base support leaves no room to grow.
+    if atoms_invalidated == 0 && (tighten_only || seed.iter().all(|&s| s)) {
+        if let Some(w) = &state.agg_witness {
+            if let Some(values) = witness_values(&agg, w) {
+                if agg.lin.check(&values).is_ok() {
+                    let witness = AcceptableSolution {
+                        crel_counts: crate::agg::expand_to_crel_counts(&expansion, w),
+                        cclass_counts: w.cclass_counts.clone(),
+                    };
+                    // The inherited witness was hardened when the base
+                    // state was snapshotted — flag it so the next
+                    // snapshot in an edit stream reuses it LP-free.
+                    let reasoner = Reasoner::from_parts(
+                        expansion,
+                        seed,
+                        Some(witness),
+                        Some(w.clone()),
+                        true,
+                        tracer,
+                    );
+                    let report = ReuseReport {
+                        atoms_invalidated,
+                        support_reused: true,
+                    };
+                    return Ok((reasoner, report));
+                }
+            }
+        }
+    }
+
+    // Fixpoint descent on the dirty slice. A tightening edit may seed from
+    // the (restricted) base support — any superset of the true fixpoint
+    // converges to it; a loosening edit must restart from all-true.
+    let frontier = if tighten_only { Some(&seed[..]) } else { None };
+    let (support, agg_witness) = crate::agg::maximal_support_agg_resumed(&agg, budget, frontier)?;
+    let witness = agg_witness.as_ref().map(|w| AcceptableSolution {
+        crel_counts: crate::agg::expand_to_crel_counts(&expansion, w),
+        cclass_counts: w.cclass_counts.clone(),
+    });
+    debug_assert!(
+        expansion.compound_rels().len() > 100_000
+            || witness.as_ref().is_none_or(|w| {
+                w.verify(&crate::system::CrSystem::build(&expansion))
+            }),
+    );
+    let reasoner = Reasoner::from_parts(expansion, support, witness, agg_witness, false, tracer);
+    let report = ReuseReport {
+        atoms_invalidated,
+        support_reused: false,
+    };
+    Ok((reasoner, report))
+}
+
+/// Lays the witness's counts out as a value vector over the edited
+/// aggregated system's unknowns, or `None` when the shapes disagree (which
+/// can only happen if the caller's alignment guarantee was violated — the
+/// fast path then simply declines).
+fn witness_values(agg: &AggSystem, w: &AggSolution) -> Option<Vec<Rational>> {
+    if w.cclass_counts.len() != agg.cclass_vars.len() || w.marginals.len() != agg.role_aggs.len() {
+        return None;
+    }
+    let mut values = vec![Rational::zero(); agg.lin.num_vars()];
+    for (count, var) in w.cclass_counts.iter().zip(&agg.cclass_vars) {
+        values[var.index()] = Rational::from_int(count.clone());
+    }
+    for (wrel, arel) in w.marginals.iter().zip(&agg.role_aggs) {
+        if wrel.len() != arel.len() {
+            return None;
+        }
+        for (wrole, arole) in wrel.iter().zip(arel) {
+            if wrole.len() != arole.len() {
+                return None;
+            }
+            for (&(wcc, ref count), &(acc, var)) in wrole.iter().zip(arole) {
+                if wcc != acc {
+                    return None;
+                }
+                values[var.index()] = Rational::from_int(count.clone());
+            }
+        }
+    }
+    Some(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{Reasoner, Strategy};
+    use crate::schema::{Card, SchemaBuilder};
+
+    fn meeting() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        let holds = b.relationship("Holds", [("U1", speaker), ("U2", talk)]).unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        b.isa(discussant, speaker);
+        b.card(speaker, b.role(holds, 0), Card::at_least(1)).unwrap();
+        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2))).unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1)).unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Rebuilds the meeting schema with one cardinality changed:
+    /// `card Talk in Participates.U4` gets the given window.
+    fn meeting_edited(min: u64, max: Option<u64>) -> Schema {
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        let holds = b.relationship("Holds", [("U1", speaker), ("U2", talk)]).unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        b.isa(discussant, speaker);
+        b.card(speaker, b.role(holds, 0), Card::at_least(1)).unwrap();
+        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2))).unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1)).unwrap();
+        b.card(talk, b.role(participates, 1), Card::new(min, max)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn delta_matches_scratch(base: &Schema, edited: &Schema, tighten_only: bool) -> ReuseReport {
+        let config = ExpansionConfig::default();
+        let budget = Budget::unlimited();
+        let base_run = Reasoner::with_budget(base, &config, Strategy::Aggregated, &budget).unwrap();
+        let state = base_run.reusable_state();
+        let (delta, report) =
+            reasoner_from_state(edited, &state, tighten_only, None, &config, &budget).unwrap();
+        let scratch =
+            Reasoner::with_budget(edited, &config, Strategy::Aggregated, &budget).unwrap();
+        assert_eq!(delta.support(), scratch.support());
+        assert_eq!(delta.unsatisfiable_classes(), scratch.unsatisfiable_classes());
+        assert_eq!(delta.unsatisfiable_rels(), scratch.unsatisfiable_rels());
+        report
+    }
+
+    #[test]
+    fn identical_schema_takes_fast_path() {
+        let base = meeting();
+        let edited = meeting();
+        let report = delta_matches_scratch(&base, &edited, true);
+        assert_eq!(report.atoms_invalidated, 0);
+        assert!(report.support_reused, "no-op edit must not solve any LP");
+    }
+
+    #[test]
+    fn widening_card_is_loosening_and_matches() {
+        let base = meeting();
+        let edited = meeting_edited(0, None);
+        let report = delta_matches_scratch(&base, &edited, false);
+        assert_eq!(report.atoms_invalidated, 0);
+    }
+
+    #[test]
+    fn tightening_card_that_flips_unsat_matches() {
+        // Forcing each Talk into >= 3 Participates tuples while each
+        // Discussant participates exactly once and holds at most 2 talks
+        // makes the discussant side infeasible (Figure 1 style imbalance).
+        let base = meeting();
+        let edited = meeting_edited(3, None);
+        let report = delta_matches_scratch(&base, &edited, true);
+        assert_eq!(report.atoms_invalidated, 0);
+        assert!(!report.support_reused, "a flipped verdict cannot reuse the witness");
+    }
+
+    #[test]
+    fn added_disjointness_invalidates_atoms() {
+        let base = meeting();
+        let mut b = SchemaBuilder::new();
+        let speaker = b.class("Speaker");
+        let discussant = b.class("Discussant");
+        let talk = b.class("Talk");
+        let holds = b.relationship("Holds", [("U1", speaker), ("U2", talk)]).unwrap();
+        let participates = b
+            .relationship("Participates", [("U3", discussant), ("U4", talk)])
+            .unwrap();
+        b.isa(discussant, speaker);
+        b.card(speaker, b.role(holds, 0), Card::at_least(1)).unwrap();
+        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2))).unwrap();
+        b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1)).unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1)).unwrap();
+        b.disjoint([discussant, talk]).unwrap();
+        let edited = b.build().unwrap();
+        let report = delta_matches_scratch(&base, &edited, true);
+        assert!(report.atoms_invalidated > 0);
+    }
+
+    #[test]
+    fn mismatched_state_is_rejected() {
+        let base = meeting();
+        let run = Reasoner::new(&base).unwrap();
+        let state = run.reusable_state();
+        let mut b = SchemaBuilder::new();
+        b.class("Lonely");
+        let other = b.build().unwrap();
+        let result = reasoner_from_state(
+            &other,
+            &state,
+            true,
+            None,
+            &ExpansionConfig::default(),
+            &Budget::unlimited(),
+        );
+        assert!(matches!(
+            result.err(),
+            Some(CrError::SignatureMismatch { .. })
+        ));
+    }
+}

@@ -126,6 +126,63 @@ impl<'s> Expansion<'s> {
             cclasses.len() as u64,
         );
         cclasses.sort();
+        Expansion::finish(schema, closure, cclasses, config, budget)
+    }
+
+    /// Rebuilds an expansion for `schema` from a previously enumerated
+    /// candidate atom list instead of the DFS — the incremental-checking
+    /// entry point. `candidates` must be the (sorted) consistent compound
+    /// classes of a *base* schema whose class set, in index order, equals
+    /// this schema's; every candidate is re-checked against this schema's
+    /// ISA/disjointness/covering assertions and kept only if still
+    /// consistent. Sound whenever this schema's constraints are a superset
+    /// of the base's (constraints only shrink the consistent atom set);
+    /// the caller owns that precondition. Returns the expansion and the
+    /// number of candidates invalidated.
+    pub fn build_from_candidates(
+        schema: &'s Schema,
+        config: &ExpansionConfig,
+        budget: &Budget,
+        candidates: &[BitSet],
+    ) -> CrResult<(Expansion<'s>, usize)> {
+        let tracer = budget.tracer();
+        let _span = tracer.span(Stage::Expansion.as_str());
+        let closure = IsaClosure::compute(schema);
+        let mut cclasses = Vec::with_capacity(candidates.len());
+        for set in candidates {
+            budget.charge(Stage::Expansion, 1)?;
+            if cclasses.len() >= config.max_compound_classes {
+                return Err(CrError::ExpansionTooLarge {
+                    what: "compound classes",
+                    limit: config.max_compound_classes,
+                });
+            }
+            if !set.is_empty() && consistent_at_leaf(schema, &closure, set) {
+                cclasses.push(set.clone());
+            }
+        }
+        let invalidated = candidates.len() - cclasses.len();
+        tracer.add(cr_trace::Counter::AtomsInvalidated, invalidated as u64);
+        tracer.add(
+            cr_trace::Counter::CompoundClassesConsistent,
+            cclasses.len() as u64,
+        );
+        let exp = Expansion::finish(schema, closure, cclasses, config, budget)?;
+        Ok((exp, invalidated))
+    }
+
+    /// Shared tail of both builders: index the (sorted) consistent
+    /// compound classes and materialize the consistent compound
+    /// relationships by odometer product.
+    fn finish(
+        schema: &'s Schema,
+        closure: IsaClosure,
+        cclasses: Vec<BitSet>,
+        config: &ExpansionConfig,
+        budget: &Budget,
+    ) -> CrResult<Expansion<'s>> {
+        let tracer = budget.tracer();
+        let n = schema.num_classes();
         let cclass_index: HashMap<BitSet, usize> = cclasses
             .iter()
             .cloned()

@@ -76,6 +76,7 @@ pub mod budget;
 pub mod certify;
 pub mod checkpoint;
 pub mod compare;
+pub mod delta;
 mod error;
 pub mod expansion;
 pub mod explain;

@@ -113,6 +113,19 @@ pub struct Reasoner<'s> {
     /// A single acceptable solution positive on exactly the support (absent
     /// when the support is empty).
     witness: Option<AcceptableSolution>,
+    /// The aggregated-form witness the fixpoint produced (Aggregated
+    /// strategy only). Retained because it is the reusable piece of
+    /// incremental checking: its marginal layout is structurally stable
+    /// across constraint-only edits, so [`crate::delta`] can re-validate
+    /// it against an edited system without solving a single LP.
+    pub(crate) agg_witness: Option<crate::agg::AggSolution>,
+    /// Whether `agg_witness` was already *hardened* — re-solved into the
+    /// minimum-norm witness that survives max-tightening edits (see
+    /// [`crate::agg::harden_witness`]). Fresh runs store the fixpoint's
+    /// vertex witness (`false`); the delta fast path inherits the base's
+    /// hardened witness (`true`), so chained edits never re-pay the
+    /// hardening LP.
+    agg_witness_hardened: bool,
     /// Observability handle inherited from the construction budget, so
     /// post-construction queries (relationship probes, model building) keep
     /// reporting into the same metrics.
@@ -169,14 +182,16 @@ impl<'s> Reasoner<'s> {
         let tracer = budget.tracer().clone();
         let expansion = Expansion::build_governed(schema, config, budget)?;
         let system = std::sync::OnceLock::new();
-        let (support, witness) = match strategy {
+        let (support, witness, agg_witness) = match strategy {
             Strategy::Direct => {
                 let sys = system.get_or_init(|| CrSystem::build(&expansion));
                 tracer.add(
                     cr_trace::Counter::DisequationsEmitted,
                     sys.lin.constraints().len() as u64,
                 );
-                fixpoint::maximal_acceptable_support_resumed(sys, budget, frontier)?
+                let (support, witness) =
+                    fixpoint::maximal_acceptable_support_resumed(sys, budget, frontier)?;
+                (support, witness, None)
             }
             Strategy::Aggregated => {
                 let agg = crate::agg::AggSystem::build(&expansion);
@@ -186,11 +201,11 @@ impl<'s> Reasoner<'s> {
                 );
                 let (support, agg_witness) =
                     crate::agg::maximal_support_agg_resumed(&agg, budget, frontier)?;
-                let witness = agg_witness.map(|w| AcceptableSolution {
-                    crel_counts: crate::agg::expand_to_crel_counts(&expansion, &w),
-                    cclass_counts: w.cclass_counts,
+                let witness = agg_witness.as_ref().map(|w| AcceptableSolution {
+                    crel_counts: crate::agg::expand_to_crel_counts(&expansion, w),
+                    cclass_counts: w.cclass_counts.clone(),
                 });
-                (support, witness)
+                (support, witness, agg_witness)
             }
         };
         // Re-verify the witness against the paper-verbatim system when that
@@ -206,6 +221,8 @@ impl<'s> Reasoner<'s> {
             system,
             support,
             witness,
+            agg_witness,
+            agg_witness_hardened: false,
             tracer,
         })
     }
@@ -214,6 +231,54 @@ impl<'s> Reasoner<'s> {
     /// (disabled unless that budget carried a tracer).
     pub fn tracer(&self) -> &cr_trace::Tracer {
         &self.tracer
+    }
+
+    /// Snapshots the schema-independent intermediate state of this run —
+    /// the consistent compound classes, the maximal support, and (when the
+    /// Aggregated strategy produced one) the marginal-form witness — for
+    /// reuse by [`crate::delta::reasoner_from_state`] on an edited schema.
+    ///
+    /// A fresh run's witness is *hardened* here (one extra LP, see
+    /// [`crate::agg::harden_witness`]): the minimum-norm re-solve leaves
+    /// slack under every upper cardinality window, which is what lets the
+    /// delta fast path re-validate it by pure evaluation across a stream
+    /// of tightening edits. The plain check path never calls this, so it
+    /// pays nothing; a witness inherited through the delta fast path is
+    /// already hardened and is snapshotted as-is.
+    pub fn reusable_state(&self) -> crate::delta::ReusableState {
+        let agg_witness = match &self.agg_witness {
+            Some(w) if !self.agg_witness_hardened => {
+                let agg = crate::agg::AggSystem::build(&self.expansion);
+                Some(crate::agg::harden_witness(&agg, &self.support).unwrap_or_else(|| w.clone()))
+            }
+            other => other.clone(),
+        };
+        crate::delta::ReusableState {
+            atoms: self.expansion.compound_classes().to_vec(),
+            support: self.support.clone(),
+            agg_witness,
+        }
+    }
+
+    /// Assembles a reasoner from an already-computed expansion, support,
+    /// and witnesses (the delta path's constructor; `Ψ_S` stays lazy).
+    pub(crate) fn from_parts(
+        expansion: Expansion<'s>,
+        support: Vec<bool>,
+        witness: Option<AcceptableSolution>,
+        agg_witness: Option<crate::agg::AggSolution>,
+        agg_witness_hardened: bool,
+        tracer: cr_trace::Tracer,
+    ) -> Reasoner<'s> {
+        Reasoner {
+            expansion,
+            system: std::sync::OnceLock::new(),
+            support,
+            witness,
+            agg_witness,
+            agg_witness_hardened,
+            tracer,
+        }
     }
 
     /// The schema being reasoned about.
@@ -274,6 +339,20 @@ impl<'s> Reasoner<'s> {
     pub fn is_rel_satisfiable(&self, rel: crate::ids::RelId) -> bool {
         use cr_linear::{Cmp, LinExpr};
         use cr_rational::Rational;
+        // Witness shortcut: the stored witness is a verified acceptable
+        // solution, so any positive compound-relationship count in it is
+        // already a finite model containing a tuple of `rel` — no probe LP
+        // (and no Ψ_S construction) needed.
+        if let Some(w) = &self.witness {
+            if self
+                .expansion
+                .compound_rels_of(rel)
+                .iter()
+                .any(|&ri| w.crel_counts[ri].is_positive())
+            {
+                return true;
+            }
+        }
         let sys = self.system();
         let mut probe = fixpoint::restrict(sys, &self.support, None);
         let mut total = LinExpr::new();

@@ -1,0 +1,351 @@
+//! Constraint-level schema diffing on canonical forms.
+//!
+//! The canonical form (see [`cr_core::canonical_form`]) renders a schema as
+//! one declaration per line, lines sorted within fixed sections. Two
+//! canonical forms therefore diff *as line sets*: a [`SchemaDiff`] is an
+//! ordered list of `+`/`-` [`DiffOp`]s over canonical lines, and applying a
+//! diff to a base canonical form reproduces the edited canonical form
+//! exactly. This is the wire format of the `check_delta` protocol op and
+//! the unit of reuse for the incremental `cr-delta` engine: the *kind* of
+//! each touched line (class/rel structure vs. isa/card/disjoint/cover
+//! constraints, add vs. remove) decides how much of the base reasoning
+//! state survives the edit.
+//!
+//! Guarantees (tested below and property-tested in `tests/delta.rs`):
+//!
+//! * **Soundness of apply.** `apply_diff(canon(base), diff_schemas(base,
+//!   edited))` equals `canon(edited)` for any two valid schemas.
+//! * **Injectivity.** The diff of two distinct canonical forms is nonempty,
+//!   and [`SchemaDiff::hash`] keys delta-aware cache and store entries.
+//! * **Round-trip.** `parse_lines(to_lines(d)) == d`.
+
+use std::collections::BTreeSet;
+
+use cr_core::Schema;
+
+/// One edit: add (`+`) or remove (`-`) a single canonical-form line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffOp {
+    /// `true` for an addition, `false` for a removal.
+    pub add: bool,
+    /// The canonical line (tab-separated, no trailing newline), e.g.
+    /// `isa\tDiscussant\tSpeaker` or `card\tTalk\tHolds\tU2\t1\t1`.
+    pub line: String,
+}
+
+impl DiffOp {
+    /// The section keyword of the touched line: `class`, `isa`, `rel`,
+    /// `card`, `disjoint`, or `cover`.
+    pub fn kind(&self) -> &str {
+        self.line.split('\t').next().unwrap_or("")
+    }
+}
+
+/// An ordered constraint diff between two schemas, removals first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchemaDiff {
+    /// The edits, removals before additions, canonical order within each.
+    pub ops: Vec<DiffOp>,
+}
+
+/// Fixed canonical section order; used to re-sort lines after an apply and
+/// to validate parsed diff lines.
+const SECTIONS: [&str; 6] = ["class", "isa", "rel", "card", "disjoint", "cover"];
+
+fn section_rank(line: &str) -> Option<usize> {
+    let kind = line.split('\t').next().unwrap_or("");
+    SECTIONS.iter().position(|&s| s == kind)
+}
+
+impl SchemaDiff {
+    /// Whether the diff contains no edits.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Serializes to wire lines: `+\t<canonical line>` / `-\t<canonical
+    /// line>`, one per op, order preserved.
+    pub fn to_lines(&self) -> Vec<String> {
+        self.ops
+            .iter()
+            .map(|op| format!("{}\t{}", if op.add { "+" } else { "-" }, op.line))
+            .collect()
+    }
+
+    /// Parses wire lines produced by [`SchemaDiff::to_lines`] (order
+    /// preserved; unknown markers or section keywords are rejected).
+    pub fn parse_lines<S: AsRef<str>>(lines: &[S]) -> Result<SchemaDiff, String> {
+        let mut ops = Vec::with_capacity(lines.len());
+        for raw in lines {
+            let raw = raw.as_ref();
+            let (marker, line) = raw
+                .split_once('\t')
+                .ok_or_else(|| format!("diff line {raw:?} has no tab after the +/- marker"))?;
+            let add = match marker {
+                "+" => true,
+                "-" => false,
+                other => return Err(format!("diff line marker {other:?} is not + or -")),
+            };
+            if section_rank(line).is_none() {
+                return Err(format!("diff line {line:?} has an unknown section keyword"));
+            }
+            ops.push(DiffOp {
+                add,
+                line: line.to_string(),
+            });
+        }
+        Ok(SchemaDiff { ops })
+    }
+
+    /// 128-bit content hash of the serialized diff (order-sensitive). Keys
+    /// delta-aware verdict-cache and store entries together with the base
+    /// schema's canonical hash.
+    pub fn hash(&self) -> u128 {
+        let mut text = String::new();
+        for line in self.to_lines() {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        cr_core::canonical_text_hash(&text)
+    }
+}
+
+/// Diffs two canonical forms as line sets: removals (base-only lines) then
+/// additions (edited-only lines), each in canonical line order.
+pub fn diff_canonical(base: &str, edited: &str) -> SchemaDiff {
+    let base_set: BTreeSet<&str> = base.lines().collect();
+    let edited_set: BTreeSet<&str> = edited.lines().collect();
+    let mut ops = Vec::new();
+    for line in base.lines() {
+        if !edited_set.contains(line) {
+            ops.push(DiffOp {
+                add: false,
+                line: line.to_string(),
+            });
+        }
+    }
+    for line in edited.lines() {
+        if !base_set.contains(line) {
+            ops.push(DiffOp {
+                add: true,
+                line: line.to_string(),
+            });
+        }
+    }
+    SchemaDiff { ops }
+}
+
+/// Diffs two schemas via their canonical forms.
+pub fn diff_schemas(base: &Schema, edited: &Schema) -> SchemaDiff {
+    diff_canonical(
+        &cr_core::canonical_form(base),
+        &cr_core::canonical_form(edited),
+    )
+}
+
+/// Applies a diff to a base canonical form, producing the edited canonical
+/// form. Errors when a removal names an absent line or an addition names a
+/// present one — a stale diff must fail loudly, not corrupt a cache key.
+pub fn apply_diff(base_canonical: &str, diff: &SchemaDiff) -> Result<String, String> {
+    let mut lines: BTreeSet<String> = base_canonical.lines().map(str::to_string).collect();
+    for op in &diff.ops {
+        if op.add {
+            if !lines.insert(op.line.clone()) {
+                return Err(format!("diff adds already-present line {:?}", op.line));
+            }
+        } else if !lines.remove(&op.line) {
+            return Err(format!("diff removes absent line {:?}", op.line));
+        }
+    }
+    // Re-render in canonical order: sections in fixed order, lines sorted
+    // within each (BTreeSet already sorts; bucket by section).
+    let mut sections: Vec<Vec<&str>> = vec![Vec::new(); SECTIONS.len()];
+    for line in &lines {
+        let rank = section_rank(line)
+            .ok_or_else(|| format!("line {line:?} has an unknown section keyword"))?;
+        sections[rank].push(line);
+    }
+    let mut out = String::with_capacity(base_canonical.len());
+    for bucket in sections {
+        for line in bucket {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Rebuilds a validated [`Schema`] from its canonical form. The inverse of
+/// [`cr_core::canonical_form`] up to declaration order (classes, rels, and
+/// constraints come back in canonical/name order).
+pub fn schema_from_canonical(text: &str) -> Result<Schema, String> {
+    use cr_core::schema::{Card, SchemaBuilder};
+    let mut b = SchemaBuilder::new();
+    let mut classes: Vec<(String, cr_core::ClassId)> = Vec::new();
+    let find_class = |classes: &[(String, cr_core::ClassId)], name: &str| {
+        classes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+            .ok_or_else(|| format!("canonical form references unknown class {name:?}"))
+    };
+    // (rel name, role name) -> RoleId, recorded as relationships are built.
+    let mut roles: Vec<(String, String, cr_core::RoleId)> = Vec::new();
+    for line in text.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["class", name] => classes.push((name.to_string(), b.class(*name))),
+            ["isa", sub, sup] => {
+                let (sub, sup) = (find_class(&classes, sub)?, find_class(&classes, sup)?);
+                b.isa(sub, sup);
+            }
+            ["rel", name, pairs @ ..] => {
+                if pairs.len() < 2 || pairs.len() % 2 != 0 {
+                    return Err(format!("malformed rel line {line:?}"));
+                }
+                let mut decl = Vec::with_capacity(pairs.len() / 2);
+                for pair in pairs.chunks(2) {
+                    decl.push((pair[0], find_class(&classes, pair[1])?));
+                }
+                let rel = b
+                    .relationship(*name, decl.iter().map(|&(n, c)| (n, c)))
+                    .map_err(|e| e.to_string())?;
+                for (k, &(role_name, _)) in decl.iter().enumerate() {
+                    roles.push((name.to_string(), role_name.to_string(), b.role(rel, k)));
+                }
+            }
+            ["card", class, rel, role, min, max] => {
+                let class = find_class(&classes, class)?;
+                let role_id = roles
+                    .iter()
+                    .find(|(r, u, _)| r == rel && u == role)
+                    .map(|&(_, _, id)| id)
+                    .ok_or_else(|| format!("card line references unknown role {rel}.{role}"))?;
+                let min: u64 = min
+                    .parse()
+                    .map_err(|_| format!("bad card minimum in {line:?}"))?;
+                let max = match *max {
+                    "*" => None,
+                    m => Some(
+                        m.parse::<u64>()
+                            .map_err(|_| format!("bad card maximum in {line:?}"))?,
+                    ),
+                };
+                b.card(class, role_id, Card::new(min, max))
+                    .map_err(|e| e.to_string())?;
+            }
+            ["disjoint", names @ ..] if names.len() >= 2 => {
+                let ids: Result<Vec<_>, String> =
+                    names.iter().map(|n| find_class(&classes, n)).collect();
+                b.disjoint(ids?).map_err(|e| e.to_string())?;
+            }
+            ["cover", class, covers @ ..] if !covers.is_empty() => {
+                let class = find_class(&classes, class)?;
+                let ids: Result<Vec<_>, String> =
+                    covers.iter().map(|n| find_class(&classes, n)).collect();
+                b.covering(class, ids?).map_err(|e| e.to_string())?;
+            }
+            _ => return Err(format!("malformed canonical line {line:?}")),
+        }
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEETING: &str = "class Speaker; class Discussant isa Speaker; class Talk; \
+         relationship Holds (U1: Speaker, U2: Talk); \
+         relationship Participates (U3: Discussant, U4: Talk); \
+         card Speaker in Holds.U1: 1..*; card Discussant in Holds.U1: 0..2; \
+         card Talk in Holds.U2: 1..1; card Discussant in Participates.U3: 1..1; \
+         card Talk in Participates.U4: 1..*;";
+
+    fn meeting() -> Schema {
+        crate::parse_schema(MEETING).unwrap()
+    }
+
+    #[test]
+    fn identical_schemas_diff_empty() {
+        let a = meeting();
+        let b = meeting();
+        assert!(diff_schemas(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn diff_then_apply_reproduces_edited_canonical() {
+        let base = meeting();
+        let edited = crate::parse_schema(&format!("{MEETING} card Speaker in Holds.U1: 2..3;"))
+            .map(|_| ())
+            .err();
+        // Duplicate (class, role) card: replace the existing one instead.
+        assert!(edited.is_some(), "duplicate card must be rejected");
+        let edited =
+            crate::parse_schema(&MEETING.replace("card Speaker in Holds.U1: 1..*", "card Speaker in Holds.U1: 2..3"))
+                .unwrap();
+        let diff = diff_schemas(&base, &edited);
+        assert_eq!(diff.ops.len(), 2, "one remove + one add: {diff:?}");
+        assert!(!diff.ops[0].add && diff.ops[1].add);
+        let applied = apply_diff(&cr_core::canonical_form(&base), &diff).unwrap();
+        assert_eq!(applied, cr_core::canonical_form(&edited));
+    }
+
+    #[test]
+    fn wire_lines_round_trip_and_hash_is_order_sensitive() {
+        let base = meeting();
+        let edited = crate::parse_schema(&format!("{MEETING} isa Talk Speaker; disjoint Speaker, Talk;")).unwrap();
+        let diff = diff_schemas(&base, &edited);
+        let lines = diff.to_lines();
+        let parsed = SchemaDiff::parse_lines(&lines).unwrap();
+        assert_eq!(parsed, diff);
+        let mut reversed = diff.clone();
+        reversed.ops.reverse();
+        assert_ne!(diff.hash(), reversed.hash());
+        assert_ne!(diff.hash(), SchemaDiff::default().hash());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(SchemaDiff::parse_lines(&["noise"]).is_err());
+        assert!(SchemaDiff::parse_lines(&["*\tisa\tA\tB"]).is_err());
+        assert!(SchemaDiff::parse_lines(&["+\tbogus\tA"]).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_stale_ops() {
+        let canon = cr_core::canonical_form(&meeting());
+        let absent = SchemaDiff {
+            ops: vec![DiffOp {
+                add: false,
+                line: "isa\tTalk\tSpeaker".into(),
+            }],
+        };
+        assert!(apply_diff(&canon, &absent).is_err());
+        let present = SchemaDiff {
+            ops: vec![DiffOp {
+                add: true,
+                line: "class\tTalk".into(),
+            }],
+        };
+        assert!(apply_diff(&canon, &present).is_err());
+    }
+
+    #[test]
+    fn canonical_round_trips_through_schema_from_canonical() {
+        let schema = meeting();
+        let canon = cr_core::canonical_form(&schema);
+        let rebuilt = schema_from_canonical(&canon).unwrap();
+        assert_eq!(cr_core::canonical_form(&rebuilt), canon);
+        assert_eq!(rebuilt.canonical_hash(), schema.canonical_hash());
+    }
+
+    #[test]
+    fn structural_and_constraint_kinds_are_distinguished() {
+        let base = meeting();
+        let edited = crate::parse_schema(&format!("{MEETING} class Chair isa Speaker;")).unwrap();
+        let diff = diff_schemas(&base, &edited);
+        let kinds: Vec<&str> = diff.ops.iter().map(|op| op.kind()).collect();
+        assert!(kinds.contains(&"class") && kinds.contains(&"isa"));
+    }
+}

@@ -52,6 +52,7 @@
 
 mod ast;
 mod diag;
+pub mod diff;
 mod lexer;
 mod lower;
 mod parser;
@@ -59,6 +60,7 @@ mod printer;
 mod token;
 
 pub use diag::ParseError;
+pub use diff::{apply_diff, diff_canonical, diff_schemas, schema_from_canonical, DiffOp, SchemaDiff};
 pub use printer::{print_schema, print_schema_canonical};
 
 use cr_core::Schema;

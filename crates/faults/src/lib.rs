@@ -84,6 +84,14 @@ pub const SITES: &[&str] = &[
     // injected scrape faults must never perturb verdicts.
     "server.metrics.scrape",
     "server.metrics.window_roll",
+    // Incremental checking (cr-delta): diff application/classification;
+    // base-atom invalidation; verdict merge. All three sites sit on the
+    // delta path only, and an injected `return` degrades the request to
+    // the from-scratch check — a delta fault may cost time, never a
+    // wrong verdict.
+    "delta.diff",
+    "delta.invalidate",
+    "delta.merge",
 ];
 
 /// Declares a failpoint.

@@ -121,6 +121,86 @@ pub fn check(schema: &Schema, budget: &Budget) -> Answer {
     }
 }
 
+/// The outcome of the delta evaluation path.
+pub enum DeltaEval {
+    /// The delta path produced a verdict; `next` is the edited schema's
+    /// context, ready to be pinned for the next edit in a stream.
+    Answered {
+        /// The answer (same shape as [`check`]'s).
+        answer: Answer,
+        /// Context of the edited schema.
+        next: cr_delta::DeltaContext,
+    },
+    /// The delta path declined (structural diff, invalidation blow-up,
+    /// injected delta fault); the caller runs a full check on the already-
+    /// derived edited canonical form.
+    Fallback {
+        /// Canonical form of the edited schema.
+        edited_canonical: String,
+        /// Human-readable reason, surfaced in the response detail.
+        reason: String,
+    },
+}
+
+/// `check_delta`: satisfiability of a pinned base with a diff applied,
+/// reusing the base's cached expansion/support/witness (see `cr-delta`).
+/// Errors (malformed diff, budget trips) come back as an [`Answer`] in
+/// [`DeltaEval::Answered`] with no `next` — hence the `Option`.
+pub fn check_delta(
+    base: &cr_delta::DeltaContext,
+    diff: &cr_delta::SchemaDiff,
+    budget: &Budget,
+) -> Result<DeltaEval, Answer> {
+    let outcome = cr_delta::check_delta(
+        base,
+        diff,
+        &cr_delta::DeltaConfig::default(),
+        &ExpansionConfig::default(),
+        budget,
+    );
+    match outcome {
+        Ok(cr_delta::DeltaOutcome::Checked(v)) => {
+            let mut detail: Vec<String> = v.unsat_classes.clone();
+            detail.extend(v.unsat_rels.iter().map(|r| format!("rel {r}")));
+            let any_class_unsat = !v.unsat_classes.is_empty();
+            let answer = Answer {
+                status: if any_class_unsat {
+                    Status::Negative
+                } else {
+                    Status::Ok
+                },
+                verdict: if any_class_unsat {
+                    "unsatisfiable".to_string()
+                } else {
+                    "satisfiable".to_string()
+                },
+                detail,
+            };
+            Ok(DeltaEval::Answered {
+                answer,
+                next: v.next,
+            })
+        }
+        Ok(cr_delta::DeltaOutcome::Fallback {
+            edited_canonical,
+            reason,
+        }) => Ok(DeltaEval::Fallback {
+            edited_canonical,
+            reason: reason.to_string(),
+        }),
+        Err(e) => Err(delta_error_answer(e, budget)),
+    }
+}
+
+/// Renders a `cr-delta` error as an [`Answer`] (budget trips keep their
+/// protocol status; everything else is a plain error).
+pub fn delta_error_answer(e: cr_delta::DeltaError, budget: &Budget) -> Answer {
+    match e {
+        cr_delta::DeltaError::Malformed(what) => Answer::error(format!("delta: {what}")),
+        cr_delta::DeltaError::Core(e) => from_cr_error(e, budget),
+    }
+}
+
 fn find_class(schema: &Schema, name: &str) -> Result<ClassId, String> {
     schema
         .class_by_name(name)

@@ -252,6 +252,8 @@ pub struct MetricsView {
     pub repl: Option<ReplView>,
     /// Quarantined schema hashes, sorted.
     pub quarantined: Vec<u128>,
+    /// Delta bases currently pinned in the session registry.
+    pub pinned_bases: usize,
 }
 
 /// `ns` rendered as seconds with nanosecond precision (Prometheus uses
@@ -380,6 +382,7 @@ pub fn render_prometheus(view: &MetricsView) -> String {
         "crsat_quarantined_schemas",
         view.quarantined.len(),
     );
+    gauge(&mut out, "crsat_pinned_bases", view.pinned_bases);
     out
 }
 
@@ -526,6 +529,7 @@ mod tests {
                 lag: 50,
             }),
             quarantined: vec![0xdead_beef],
+            pinned_bases: 2,
         }
     }
 

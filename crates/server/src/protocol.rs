@@ -15,6 +15,8 @@
 //! {"v":1,"id":"r5","op":"shutdown"}
 //! {"v":1,"id":"r6","op":"replicate","offset":4096,"epoch":0}
 //! {"v":1,"id":"r7","op":"promote"}
+//! {"v":1,"id":"r8","op":"pin_base","schema":"class A; ..."}
+//! {"v":1,"id":"r9","op":"check_delta","base":"<32 hex>","diff":["+\tcard\tA\tR\tU\t1\t*"]}
 //! ```
 //!
 //! * `v` (required): protocol version; requests with any other version are
@@ -22,8 +24,15 @@
 //!   version, so clients can detect skew).
 //! * `id` (required): opaque correlation string, echoed verbatim.
 //! * `op` (required): `check`, `implies`, `ping`, `stats`, `shutdown`,
-//!   `replicate`, `promote`.
-//! * `schema` (required for `check`/`implies`): DSL source text.
+//!   `replicate`, `promote`, `pin_base`, `check_delta`.
+//! * `schema` (required for `check`/`implies`/`pin_base`): DSL source text.
+//! * `base` (required for `check_delta`): canonical hash of a previously
+//!   pinned base, 32 lowercase hex digits (a `pin_base` response's
+//!   `schema_hash`).
+//! * `diff` (`check_delta`): ordered canonical-form edit lines,
+//!   `"+\t<line>"` to add and `"-\t<line>"` to remove (the format `crsat
+//!   diff` prints). An unknown base falls back to a full check when the
+//!   request also carries `schema`, and errors otherwise.
 //! * `query` (required for `implies`): the same words `crsat implies`
 //!   takes, e.g. `["isa","A","B"]`, `["min","C","R.U","2"]`,
 //!   `["max","C","R.U","3"]`.
@@ -115,6 +124,13 @@ pub enum Op {
     Replicate,
     /// Promote this server from standby to primary.
     Promote,
+    /// Pin a schema as a delta base: run (or reuse) its full check and
+    /// cache its reusable intermediate state under its canonical hash.
+    PinBase,
+    /// Check the schema obtained by applying `diff` to a pinned base,
+    /// reusing the base's cached state (transparent fallback to a full
+    /// check when the diff is structural or invalidates too much).
+    CheckDelta,
 }
 
 impl Op {
@@ -128,6 +144,8 @@ impl Op {
             Op::Shutdown => "shutdown",
             Op::Replicate => "replicate",
             Op::Promote => "promote",
+            Op::PinBase => "pin_base",
+            Op::CheckDelta => "check_delta",
         }
     }
 
@@ -140,6 +158,8 @@ impl Op {
             "shutdown" => Op::Shutdown,
             "replicate" => Op::Replicate,
             "promote" => Op::Promote,
+            "pin_base" => Op::PinBase,
+            "check_delta" => Op::CheckDelta,
             _ => return None,
         })
     }
@@ -214,6 +234,12 @@ pub struct Request {
     pub offset: Option<u64>,
     /// `replicate` only: the log epoch the standby is streaming under.
     pub epoch: Option<u64>,
+    /// `check_delta` only: canonical hash (32 lowercase hex digits) of the
+    /// pinned base the diff applies to.
+    pub base: Option<String>,
+    /// `check_delta` only: ordered canonical-form diff lines
+    /// (`"+\t<line>"` / `"-\t<line>"`; see `cr-lang`'s wire format).
+    pub diff: Vec<String>,
     /// Re-validate the verdict through the independent certificate checker
     /// (`check` only); certification outcome lands in the response report's
     /// `certify_*` counters and a failed certificate downgrades the
@@ -239,6 +265,8 @@ impl Request {
             priority: DEFAULT_PRIORITY,
             offset: None,
             epoch: None,
+            base: None,
+            diff: Vec::new(),
             certify: false,
             trace_id: None,
         }
@@ -313,6 +341,27 @@ impl Request {
         };
         let offset = num_field("offset")?;
         let epoch = num_field("epoch")?;
+        let base = obj
+            .get("base")
+            .map(|b| {
+                b.as_str()
+                    .map(str::to_string)
+                    .ok_or("request field \"base\" must be a string")
+            })
+            .transpose()?;
+        let diff = match obj.get("diff") {
+            None => Vec::new(),
+            Some(d) => d
+                .as_arr()
+                .ok_or("request field \"diff\" must be an array of strings")?
+                .iter()
+                .map(|w| {
+                    w.as_str()
+                        .map(str::to_string)
+                        .ok_or("request field \"diff\" must be an array of strings")
+                })
+                .collect::<Result<Vec<String>, _>>()?,
+        };
         let certify = match obj.get("certify") {
             None => false,
             Some(Value::Bool(b)) => *b,
@@ -332,11 +381,22 @@ impl Request {
                 Some(s.to_string())
             }
         };
-        if matches!(op, Op::Check | Op::Implies) && schema.is_none() {
+        if matches!(op, Op::Check | Op::Implies | Op::PinBase) && schema.is_none() {
             return Err(format!("op {op_str:?} requires a \"schema\" field"));
         }
         if op == Op::Implies && query.is_empty() {
             return Err("op \"implies\" requires a nonempty \"query\" array".to_string());
+        }
+        if op == Op::CheckDelta {
+            match &base {
+                None => return Err("op \"check_delta\" requires a \"base\" field".to_string()),
+                Some(b) if b.len() != 32 || !b.bytes().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()) => {
+                    return Err(format!(
+                        "request field \"base\" must be exactly 32 lowercase hex digits, got {b:?}"
+                    ))
+                }
+                Some(_) => {}
+            }
         }
         Ok(Request {
             id,
@@ -349,6 +409,8 @@ impl Request {
             priority,
             offset,
             epoch,
+            base,
+            diff,
             certify,
             trace_id,
         })
@@ -404,6 +466,20 @@ impl Request {
         }
         if let Some(e) = self.epoch {
             out.push_str(&format!(",\"epoch\":{e}"));
+        }
+        if let Some(b) = &self.base {
+            out.push_str(",\"base\":");
+            write_escaped(&mut out, b);
+        }
+        if !self.diff.is_empty() {
+            out.push_str(",\"diff\":[");
+            for (i, d) in self.diff.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(&mut out, d);
+            }
+            out.push(']');
         }
         if self.certify {
             out.push_str(",\"certify\":true");
@@ -681,6 +757,37 @@ mod tests {
                 .contains("query")
         );
         assert!(Request::parse("not json at all").is_err());
+    }
+
+    #[test]
+    fn delta_ops_round_trip_and_validate() {
+        let mut pin = Request::new("p1", Op::PinBase);
+        pin.schema = Some("class A;".to_string());
+        let parsed = Request::parse(&pin.to_json()).unwrap();
+        assert_eq!(parsed, pin);
+
+        let mut delta = Request::new("d1", Op::CheckDelta);
+        delta.base = Some("00112233445566778899aabbccddeeff".to_string());
+        delta.diff = vec!["+\tcard\tA\tR\tU\t1\t*".to_string(), "-\tisa\tA\tB".to_string()];
+        let parsed = Request::parse(&delta.to_json()).unwrap();
+        assert_eq!(parsed, delta);
+
+        assert!(Request::parse(r#"{"v":1,"id":"x","op":"pin_base"}"#)
+            .unwrap_err()
+            .contains("schema"));
+        assert!(Request::parse(r#"{"v":1,"id":"x","op":"check_delta"}"#)
+            .unwrap_err()
+            .contains("base"));
+        assert!(
+            Request::parse(r#"{"v":1,"id":"x","op":"check_delta","base":"SHOUTY"}"#)
+                .unwrap_err()
+                .contains("32 lowercase hex")
+        );
+        assert!(Request::parse(
+            r#"{"v":1,"id":"x","op":"check_delta","base":"00112233445566778899aabbccddeeff","diff":7}"#
+        )
+        .unwrap_err()
+        .contains("diff"));
     }
 
     #[test]

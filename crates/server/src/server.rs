@@ -39,6 +39,7 @@
 //! its next governor check and reports `budget-exceeded` instead of
 //! stalling shutdown.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -139,6 +140,11 @@ impl Default for ServerConfig {
     }
 }
 
+/// Most delta bases a server keeps pinned at once. Each pinned base holds
+/// a schema plus its expansion atoms and witness — bounded memory, and an
+/// edit stream only ever needs its current head pinned.
+const MAX_PINNED_BASES: usize = 64;
+
 /// This node computes and replicates out.
 const ROLE_PRIMARY: u8 = 0;
 /// This node mirrors a primary and refuses fresh computation.
@@ -162,6 +168,10 @@ struct Inner {
     flights: flight::Inflight,
     /// Sequence numbers for the in-flight registry.
     next_seq: AtomicU64,
+    /// Delta bases pinned by `pin_base` (and auto-pinned by successful
+    /// `check_delta` verdicts), keyed by canonical hash hex. Bounded by
+    /// [`MAX_PINNED_BASES`]; an arbitrary entry is evicted past that.
+    pinned: Mutex<HashMap<String, Arc<cr_delta::DeltaContext>>>,
     /// The TCP address we bound (for the port file).
     bound_addr: Mutex<Option<SocketAddr>>,
     /// The telemetry endpoint's bound address, when one is configured.
@@ -265,6 +275,7 @@ impl Server {
                 poison: PoisonTracker::default(),
                 flights: flight::Inflight::default(),
                 next_seq: AtomicU64::new(0),
+                pinned: Mutex::new(HashMap::new()),
                 bound_addr: Mutex::new(None),
                 metrics_bound: Mutex::new(None),
                 // Sized for the workers plus a few transport threads that
@@ -482,7 +493,10 @@ impl Server {
     /// and queue delay feeds the admission gate's overload estimate.
     fn process_picked(&self, request: &Request, queue_delay: Duration) -> Response {
         let started = Instant::now();
-        if matches!(request.op, Op::Check | Op::Implies) {
+        if matches!(
+            request.op,
+            Op::Check | Op::Implies | Op::PinBase | Op::CheckDelta
+        ) {
             self.inner.admission.note_queue_delay(queue_delay);
         }
         let mut response = self.process(request, queue_delay);
@@ -540,6 +554,8 @@ impl Server {
             Op::Replicate => self.handle_replicate(request),
             Op::Promote => self.handle_promote(request),
             Op::Check | Op::Implies => self.reason(request, queue_delay),
+            Op::PinBase => self.handle_pin_base(request),
+            Op::CheckDelta => self.handle_check_delta(request, queue_delay),
         }
     }
 
@@ -590,6 +606,307 @@ impl Server {
                 trace_id: None,
             },
             Err(e) => Response::error(request.id.clone(), format!("promote: {e}")),
+        }
+    }
+
+    /// A per-request budget for the delta ops: tracer, cancellation, and
+    /// the request's (or server default) timeout/step limits. The returned
+    /// tracer outlives the budget so the handler can build a RunReport.
+    fn delta_budget(&self) -> (Tracer, CancelToken) {
+        let tracer = Tracer::new(Box::new(NullSink));
+        let cancel = CancelToken::new();
+        if self.inner.cancel.is_cancelled() {
+            cancel.cancel();
+        }
+        (tracer, cancel)
+    }
+
+    fn budget_for(&self, request: &Request, tracer: &Tracer, cancel: &CancelToken) -> Budget {
+        let mut budget = Budget::unlimited()
+            .with_tracer(tracer)
+            .with_cancel_token(cancel);
+        if let Some(ms) = request.timeout_ms.or(self.inner.config.default_timeout_ms) {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(steps) = request.max_steps.or(self.inner.config.default_max_steps) {
+            budget = budget.with_max_steps(steps);
+        }
+        budget
+    }
+
+    /// Pins a schema as a delta base: parse, canonicalize, run the full
+    /// pipeline once (unless the hash is already pinned), and remember its
+    /// reusable state under the canonical hash for `check_delta`.
+    fn handle_pin_base(&self, request: &Request) -> Response {
+        if self.is_standby() {
+            return Response::error(
+                request.id.clone(),
+                "standby: cannot pin delta bases; retry on the primary",
+            );
+        }
+        let source = request.schema.as_deref().unwrap_or_default();
+        let schema = match cr_lang::parse_schema(source) {
+            Ok(s) => s,
+            Err(e) => return Response::error(request.id.clone(), format!("schema:{e}")),
+        };
+        let canonical = schema.canonical_form();
+        let hash_hex = format!("{:032x}", cr_core::canonical_text_hash(&canonical));
+        let already = {
+            let pinned = self.inner.pinned.lock().unwrap_or_else(|e| e.into_inner());
+            pinned.contains_key(&hash_hex)
+        };
+        let (tracer, cancel) = self.delta_budget();
+        if !already {
+            let budget = self.budget_for(request, &tracer, &cancel);
+            let ctx = match cr_delta::DeltaContext::from_canonical(&canonical, &Default::default(), &budget)
+            {
+                Ok(ctx) => ctx,
+                Err(e) => {
+                    let answer = eval::delta_error_answer(e, &budget);
+                    let mut report =
+                        cr_core::run_report(&budget, "pin_base", answer.status.as_str());
+                    report.target = hash_hex.clone();
+                    report.trace_id = request.trace_id.clone();
+                    return Response {
+                        id: request.id.clone(),
+                        status: answer.status,
+                        verdict: None,
+                        detail: answer.detail,
+                        cached: false,
+                        schema_hash: Some(hash_hex),
+                        report: Some(report),
+                        repl: None,
+                        trace_id: None,
+                    };
+                }
+            };
+            self.pin_context(Arc::new(ctx));
+        }
+        let budget = self.budget_for(request, &tracer, &cancel);
+        let mut report = cr_core::run_report(&budget, "pin_base", "ok");
+        report.target = hash_hex.clone();
+        report.trace_id = request.trace_id.clone();
+        Response {
+            id: request.id.clone(),
+            status: Status::Ok,
+            verdict: Some("pinned".to_string()),
+            detail: Vec::new(),
+            cached: already,
+            schema_hash: Some(hash_hex),
+            report: Some(report),
+            repl: None,
+            trace_id: None,
+        }
+    }
+
+    /// Remembers a delta context under its canonical hash, evicting an
+    /// arbitrary entry when the registry is full.
+    fn pin_context(&self, ctx: Arc<cr_delta::DeltaContext>) {
+        let mut pinned = self.inner.pinned.lock().unwrap_or_else(|e| e.into_inner());
+        if pinned.len() >= MAX_PINNED_BASES && !pinned.contains_key(&ctx.hash_hex()) {
+            if let Some(k) = pinned.keys().next().cloned() {
+                pinned.remove(&k);
+            }
+        }
+        pinned.insert(ctx.hash_hex(), ctx);
+    }
+
+    /// The `check_delta` path: pinned-base lookup → delta cache lookup →
+    /// `cr-delta` reuse pipeline → cache/persist under (base hash, diff
+    /// hash) → auto-pin the edited schema for the next edit. Falls back to
+    /// a full check when the base is unknown (and the request carries a
+    /// schema), when the diff is structural, or when invalidation blows
+    /// past the threshold — transparently: the client still gets a
+    /// verdict, plus a detail line naming the fallback.
+    fn handle_check_delta(&self, request: &Request, queue_delay: Duration) -> Response {
+        if self.is_standby() {
+            return Response::error(
+                request.id.clone(),
+                "standby: cannot check deltas; retry on the primary",
+            );
+        }
+        let base_hash = request.base.clone().unwrap_or_default();
+        let base = {
+            let pinned = self.inner.pinned.lock().unwrap_or_else(|e| e.into_inner());
+            pinned.get(&base_hash).cloned()
+        };
+        let Some(base) = base else {
+            // Base miss. With a schema in hand the check still succeeds —
+            // as a plain full check — so an evicted or never-pinned base
+            // degrades performance, not availability.
+            self.inner.aggregate.add(Counter::DeltaFallbacks, 1);
+            if request.schema.is_some() {
+                let mut full = request.clone();
+                full.op = Op::Check;
+                let mut response = self.reason(&full, queue_delay);
+                response
+                    .detail
+                    .push(format!("delta-fallback: base {base_hash} not pinned"));
+                return response;
+            }
+            return Response::error(
+                request.id.clone(),
+                format!("unknown delta base {base_hash}; pin_base it first or include a \"schema\" field"),
+            );
+        };
+
+        let diff = match cr_lang::SchemaDiff::parse_lines(&request.diff) {
+            Ok(d) => d,
+            Err(e) => return Response::error(request.id.clone(), format!("diff: {e}")),
+        };
+        let diff_hash = format!("{:032x}", diff.hash());
+        // The verdict is about the *edited* schema: `schema_hash` carries
+        // its hash (which is also the auto-pinned context's key, so a
+        // client can chain the next edit off the response), while the
+        // report target keeps naming the base the delta ran against.
+        let edited_hash_hex = match cr_lang::apply_diff(base.canonical(), &diff) {
+            Ok(c) => format!("{:032x}", cr_core::canonical_text_hash(&c)),
+            Err(e) => return Response::error(request.id.clone(), format!("delta: {e}")),
+        };
+        let key = CacheKey {
+            canonical: base.canonical().to_string(),
+            question: format!("delta {base_hash} {diff_hash}"),
+        };
+        let shard_hash = base.hash();
+
+        let (tracer, cancel) = self.delta_budget();
+        let budget = self.budget_for(request, &tracer, &cancel);
+
+        // Delta verdicts are cached and persisted like any other verdict,
+        // keyed by (base canonical, "delta <base> <diff>") — warm restarts
+        // and standbys replay them from the same log records.
+        if let Some(hit) = self.inner.cache.get(shard_hash, &key) {
+            tracer.add(Counter::CacheHits, 1);
+            self.inner.aggregate.add(Counter::CacheHits, 1);
+            self.inner.aggregate.add(Counter::DeltaHits, 1);
+            let mut report = cr_core::run_report(&budget, "check_delta", hit.status.as_str());
+            report.target = base_hash.clone();
+            report.trace_id = request.trace_id.clone();
+            return Response {
+                id: request.id.clone(),
+                status: hit.status,
+                verdict: (!hit.verdict.is_empty()).then(|| hit.verdict.clone()),
+                detail: hit.detail,
+                cached: true,
+                schema_hash: Some(edited_hash_hex),
+                report: Some(report),
+                repl: None,
+                trace_id: None,
+            };
+        }
+        {
+            let store = self.read_store();
+            if let Some(hit) = store
+                .as_ref()
+                .and_then(|s| s.lookup(&key.canonical, &key.question))
+            {
+                tracer.add(Counter::StoreHits, 1);
+                self.inner.aggregate.add(Counter::StoreHits, 1);
+                self.inner.aggregate.add(Counter::DeltaHits, 1);
+                let mut report = cr_core::run_report(&budget, "check_delta", hit.status.as_str());
+                report.target = base_hash.clone();
+                report.trace_id = request.trace_id.clone();
+                let response = Response {
+                    id: request.id.clone(),
+                    status: hit.status,
+                    verdict: (!hit.verdict.is_empty()).then(|| hit.verdict.clone()),
+                    detail: hit.detail.clone(),
+                    cached: true,
+                    schema_hash: Some(edited_hash_hex.clone()),
+                    report: Some(report),
+                    repl: None,
+                    trace_id: None,
+                };
+                self.inner.cache.insert(shard_hash, key, hit);
+                return response;
+            }
+        }
+        tracer.add(Counter::CacheMisses, 1);
+        self.inner.aggregate.add(Counter::CacheMisses, 1);
+
+        let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eval::check_delta(&base, &diff, &budget)
+        }));
+        let evaluated = match work {
+            Ok(e) => e,
+            Err(panic) => {
+                return Response::error(
+                    request.id.clone(),
+                    format!("panic: {}", panic_text(&panic)),
+                )
+            }
+        };
+        let (answer, fallback_line) = match evaluated {
+            Ok(eval::DeltaEval::Answered { answer, next }) => {
+                self.inner.aggregate.add(Counter::DeltaHits, 1);
+                if answer.cacheable() {
+                    let verdict = CachedVerdict {
+                        status: answer.status,
+                        verdict: answer.verdict.clone(),
+                        detail: answer.detail.clone(),
+                        trace_id: request.trace_id.clone(),
+                    };
+                    // Certify against the *edited* schema: the record must
+                    // only reach disk (and standbys) if the edited schema
+                    // independently proves the same unsat set.
+                    self.persist_certified(next.schema(), &budget, &key, &verdict, &tracer);
+                    let evicted = self.inner.cache.insert(shard_hash, key, verdict);
+                    if evicted > 0 {
+                        tracer.add(Counter::CacheEvictions, evicted);
+                        self.inner.aggregate.add(Counter::CacheEvictions, evicted);
+                    }
+                }
+                self.pin_context(Arc::new(next));
+                (answer, None)
+            }
+            Ok(eval::DeltaEval::Fallback {
+                edited_canonical,
+                reason,
+            }) => {
+                self.inner.aggregate.add(Counter::DeltaFallbacks, 1);
+                let edited = match cr_lang::schema_from_canonical(&edited_canonical) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return Response::error(request.id.clone(), format!("delta: {e}"))
+                    }
+                };
+                // The full check caches under the edited schema's own
+                // (canonical, "check") key — shared with plain `check`
+                // requests for the same schema.
+                let edited_hash = cr_core::canonical_text_hash(&edited_canonical);
+                let full_key = CacheKey {
+                    canonical: edited_canonical,
+                    question: "check".to_string(),
+                };
+                let mut full = request.clone();
+                full.op = Op::Check;
+                let (answer, _) =
+                    self.compute_fresh(&full, &edited, &budget, edited_hash, full_key, &tracer);
+                (answer, Some(format!("delta-fallback: {reason}")))
+            }
+            Err(answer) => (answer, None),
+        };
+        let invalidated = tracer.counter(Counter::AtomsInvalidated);
+        if invalidated > 0 {
+            self.inner.aggregate.add(Counter::AtomsInvalidated, invalidated);
+        }
+        let mut report = cr_core::run_report(&budget, "check_delta", answer.status.as_str());
+        report.target = base_hash.clone();
+        report.trace_id = request.trace_id.clone();
+        let mut detail = answer.detail;
+        if let Some(line) = fallback_line {
+            detail.push(line);
+        }
+        Response {
+            id: request.id.clone(),
+            status: answer.status,
+            verdict: (!answer.verdict.is_empty()).then(|| answer.verdict.clone()),
+            detail,
+            cached: false,
+            schema_hash: Some(edited_hash_hex),
+            report: Some(report),
+            repl: None,
+            trace_id: None,
         }
     }
 
@@ -1002,6 +1319,10 @@ impl Server {
             format!("wedge_cancels={}", agg("wedge_cancels")),
             format!("poison_quarantined={}", agg("poison_quarantined")),
             format!("promotions={}", agg("promotions")),
+            format!("delta_hits={}", agg("delta_hits")),
+            format!("delta_fallbacks={}", agg("delta_fallbacks")),
+            format!("atoms_invalidated={}", agg("atoms_invalidated")),
+            format!("pinned_bases={}", view.pinned_bases),
             format!("uptime_ms={}", view.uptime_ms),
             format!("build_version={}", view.build_version),
         ];
@@ -1106,6 +1427,12 @@ impl Server {
             store_errors: self.inner.store_errors.load(Ordering::Relaxed),
             repl,
             quarantined: self.inner.poison.quarantined_hashes(),
+            pinned_bases: self
+                .inner
+                .pinned
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
         }
     }
 
@@ -1431,8 +1758,14 @@ impl Server {
         if request.trace_id.is_none() {
             request.trace_id = Some(cr_trace::mint_trace_id());
         }
-        if matches!(request.op, Op::Check | Op::Implies) {
-            let schema_len = request.schema.as_deref().map_or(0, str::len);
+        if matches!(
+            request.op,
+            Op::Check | Op::Implies | Op::PinBase | Op::CheckDelta
+        ) {
+            // Delta requests carry their cost in the diff (plus an optional
+            // fallback schema); screen on the total payload either way.
+            let schema_len = request.schema.as_deref().map_or(0, str::len)
+                + request.diff.iter().map(String::len).sum::<usize>();
             if let Admit::Shed { reason, deadline } =
                 self.inner
                     .admission
@@ -1744,6 +2077,125 @@ mod tests {
         let ok = server.process_line(&check_request("y", MEETING));
         assert!(!ok.cached);
         assert_eq!(ok.status, Status::Ok);
+        server.finish();
+    }
+
+    // Figure 1 minus the conflicting minc: satisfiable until an edit
+    // raises C's minimum back to 2 (the paper's ISA/card interaction).
+    const FIG1_RELAXED: &str = "class C; class D isa C; relationship R (U1: C, U2: D); \
+         card C in R.U1: 0..*; card D in R.U2: 0..1;";
+
+    fn delta_diff(base_dsl: &str, edited_dsl: &str) -> Vec<String> {
+        let base = cr_lang::parse_schema(base_dsl).unwrap().canonical_form();
+        let edited = cr_lang::parse_schema(edited_dsl).unwrap().canonical_form();
+        cr_lang::diff_canonical(&base, &edited).to_lines()
+    }
+
+    #[test]
+    fn pin_base_then_check_delta_matches_full_check() {
+        let server = Server::new(ServerConfig::default());
+        let mut pin = Request::new("p", Op::PinBase);
+        pin.schema = Some(FIG1_RELAXED.to_string());
+        let pinned = server.process_line(&pin.to_json());
+        assert_eq!(pinned.status, Status::Ok);
+        assert_eq!(pinned.verdict.as_deref(), Some("pinned"));
+        let base_hash = pinned.schema_hash.clone().unwrap();
+        assert_eq!(base_hash.len(), 32);
+
+        // Tightening edit: minc 0 -> 2 on C flips the schema to unsat.
+        let edited = FIG1_RELAXED.replace("card C in R.U1: 0..*", "card C in R.U1: 2..*");
+        let mut delta = Request::new("d", Op::CheckDelta);
+        delta.base = Some(base_hash.clone());
+        delta.diff = delta_diff(FIG1_RELAXED, &edited);
+        let verdict = server.process_line(&delta.to_json());
+        assert_eq!(verdict.status, Status::Negative);
+        assert_eq!(verdict.verdict.as_deref(), Some("unsatisfiable"));
+        assert!(!verdict.cached);
+
+        // The from-scratch path agrees on both status and unsat set.
+        let scratch = server.process_line(&check_request("s", &edited));
+        assert_eq!(scratch.status, Status::Negative);
+        let mut want = scratch.detail.clone();
+        want.sort();
+        let mut got = verdict.detail.clone();
+        got.sort();
+        assert_eq!(got, want);
+
+        // The same (base, diff) pair is now a delta cache hit.
+        let mut again = Request::new("d2", Op::CheckDelta);
+        again.base = Some(base_hash.clone());
+        again.diff = delta_diff(FIG1_RELAXED, &edited);
+        let hit = server.process_line(&again.to_json());
+        assert_eq!(hit.status, Status::Negative);
+        assert!(hit.cached);
+
+        // The edited schema was auto-pinned: a follow-up edit can use its
+        // hash as the next base without re-pinning.
+        let relaxed_again = edited.replace("card C in R.U1: 2..*", "card C in R.U1: 1..*");
+        let mut chain = Request::new("d3", Op::CheckDelta);
+        chain.base = Some(format!(
+            "{:032x}",
+            cr_core::canonical_text_hash(&cr_lang::parse_schema(&edited).unwrap().canonical_form())
+        ));
+        chain.diff = delta_diff(&edited, &relaxed_again);
+        let chained = server.process_line(&chain.to_json());
+        assert_eq!(chained.status, Status::Ok, "{:?}", chained.detail);
+        assert!(!chained
+            .detail
+            .iter()
+            .any(|d| d.starts_with("delta-fallback")));
+
+        let stats = server.process_line(&Request::new("st", Op::Stats).to_json());
+        assert!(stats.detail.iter().any(|d| d.starts_with("delta_hits=")));
+        assert!(stats
+            .detail
+            .iter()
+            .any(|d| d.starts_with("pinned_bases=")));
+        server.finish();
+    }
+
+    #[test]
+    fn check_delta_unknown_base_falls_back_or_errors() {
+        let server = Server::new(ServerConfig::default());
+        let bogus = "0".repeat(32);
+        // With a schema along for the ride the verdict still lands — as a
+        // plain full check, flagged in the detail.
+        let mut with_schema = Request::new("a", Op::CheckDelta);
+        with_schema.base = Some(bogus.clone());
+        with_schema.schema = Some(MEETING.to_string());
+        let r = server.process_line(&with_schema.to_json());
+        assert_eq!(r.status, Status::Ok);
+        assert!(r
+            .detail
+            .iter()
+            .any(|d| d.contains("delta-fallback") && d.contains("not pinned")));
+        // Without one there is nothing to check.
+        let mut bare = Request::new("b", Op::CheckDelta);
+        bare.base = Some(bogus);
+        let r = server.process_line(&bare.to_json());
+        assert_eq!(r.status, Status::Error);
+        assert!(r.detail[0].contains("pin_base"));
+        assert_eq!(server.aggregate_counter(Counter::DeltaFallbacks), 2);
+        server.finish();
+    }
+
+    #[test]
+    fn structural_diff_falls_back_transparently() {
+        let server = Server::new(ServerConfig::default());
+        let mut pin = Request::new("p", Op::PinBase);
+        pin.schema = Some(MEETING.to_string());
+        let pinned = server.process_line(&pin.to_json());
+        let base_hash = pinned.schema_hash.clone().unwrap();
+        let mut delta = Request::new("d", Op::CheckDelta);
+        delta.base = Some(base_hash);
+        delta.diff = vec!["+\tclass\tChair".to_string()];
+        let r = server.process_line(&delta.to_json());
+        assert_eq!(r.status, Status::Ok, "{:?}", r.detail);
+        assert!(r
+            .detail
+            .iter()
+            .any(|d| d.contains("delta-fallback") && d.contains("structural")));
+        assert_eq!(server.aggregate_counter(Counter::DeltaFallbacks), 1);
         server.finish();
     }
 

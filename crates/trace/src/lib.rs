@@ -196,11 +196,21 @@ pub enum Counter {
     /// Standby→primary promotions (explicit `promote` op or heartbeat
     /// lapse).
     Promotions = 36,
+    /// Incremental checking: `check_delta` requests answered on the delta
+    /// path (base state reused instead of a from-scratch pipeline run).
+    DeltaHits = 37,
+    /// Incremental checking: delta requests that fell back to the full
+    /// from-scratch check (base miss, structural diff, invalidation past
+    /// the threshold, or an injected delta fault).
+    DeltaFallbacks = 38,
+    /// Incremental checking: base Venn atoms invalidated by applied diffs
+    /// (filtered out of the reused consistent-compound set).
+    AtomsInvalidated = 39,
 }
 
 impl Counter {
     /// Number of counters (size of the accounting array).
-    pub const COUNT: usize = 37;
+    pub const COUNT: usize = 40;
 
     /// All counters, in accounting-array (and JSON) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -241,6 +251,9 @@ impl Counter {
         Counter::ReplBytesShipped,
         Counter::ReplChunksApplied,
         Counter::Promotions,
+        Counter::DeltaHits,
+        Counter::DeltaFallbacks,
+        Counter::AtomsInvalidated,
     ];
 
     /// Stable lowercase snake_case name — the JSON schema key.
@@ -283,6 +296,9 @@ impl Counter {
             Counter::ReplBytesShipped => "repl_bytes_shipped",
             Counter::ReplChunksApplied => "repl_chunks_applied",
             Counter::Promotions => "promotions",
+            Counter::DeltaHits => "delta_hits",
+            Counter::DeltaFallbacks => "delta_fallbacks",
+            Counter::AtomsInvalidated => "atoms_invalidated",
         }
     }
 
@@ -767,6 +783,9 @@ mod tests {
                 "repl_bytes_shipped",
                 "repl_chunks_applied",
                 "promotions",
+                "delta_hits",
+                "delta_fallbacks",
+                "atoms_invalidated",
             ]
         );
     }

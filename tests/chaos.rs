@@ -112,6 +112,13 @@ mod armed {
         // exercises them end-to-end over real HTTP.
         ("server.metrics.scrape", "panic(chaos: metrics scrape)"),
         ("server.metrics.window_roll", "panic(chaos: window roll)"),
+        // Delta sites fire only on `check_delta` requests, which the
+        // generic loop below never sends —
+        // `delta_faults_fall_back_without_flipping_verdicts` exercises
+        // them end-to-end and asserts the fallback contract.
+        ("delta.diff", "return"),
+        ("delta.invalidate", "return"),
+        ("delta.merge", "return"),
     ];
 
     struct Daemon {
@@ -489,6 +496,82 @@ mod armed {
             "post-fault scrape must see the request served under fire: {body}"
         );
         server.finish();
+    }
+
+    /// The incremental-checking contract under fire: with each delta-path
+    /// failpoint firing on every hit, a `check_delta` request must
+    /// degrade to the transparent from-scratch fallback — same verdict
+    /// as the certified ground truth of the edited schema, with the
+    /// fallback declared in the detail — and never flip an answer. After
+    /// the plan clears, the delta path works again.
+    #[test]
+    fn delta_faults_fall_back_without_flipping_verdicts() {
+        let _guard = serial();
+        // Figure 1's interaction, relaxed (satisfiable); the edit
+        // tightens `C in R.U1` to `2..*`, flipping it unsatisfiable —
+        // the flip is what catches a fault that answers from the base.
+        let base_dsl = "class C; class D isa C; relationship R (U1: C, U2: D); \
+                        card C in R.U1: 0..*; card D in R.U2: 0..1;";
+        let edited_dsl = "class C; class D isa C; relationship R (U1: C, U2: D); \
+                          card C in R.U1: 2..*; card D in R.U2: 0..1;";
+        assert_eq!(certified_verdict(base_dsl), "satisfiable");
+        assert_eq!(certified_verdict(edited_dsl), "unsatisfiable");
+        let base_canonical = cr_lang::parse_schema(base_dsl).unwrap().canonical_form();
+        let base_hash = format!("{:032x}", cr_core::canonical_text_hash(&base_canonical));
+        let edited_canonical = cr_lang::parse_schema(edited_dsl).unwrap().canonical_form();
+        let diff = cr_lang::diff_canonical(&base_canonical, &edited_canonical).to_lines();
+
+        for site in ["delta.diff", "delta.invalidate", "delta.merge"] {
+            cr_faults::clear();
+            let server = Server::new(ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            });
+            let mut pin = Request::new("pin".to_string(), Op::PinBase);
+            pin.schema = Some(base_dsl.to_string());
+            let resp = server.process_request(&pin);
+            assert_eq!(resp.verdict.as_deref(), Some("pinned"), "{:?}", resp.detail);
+
+            cr_faults::install(&FaultPlan::new(0xDE17A).site(site, "return"));
+            let mut delta = Request::new("d0".to_string(), Op::CheckDelta);
+            delta.base = Some(base_hash.clone());
+            delta.diff = diff.clone();
+            let resp = server.process_request(&delta);
+            assert!(cr_faults::hits(site) >= 1, "[{site}] failpoint never fired");
+            assert_eq!(
+                resp.status.as_str(),
+                "negative",
+                "[{site}] fallback lost the verdict: {:?}",
+                resp.detail
+            );
+            assert_eq!(
+                resp.verdict.as_deref(),
+                Some("unsatisfiable"),
+                "[{site}] fault flipped the verdict"
+            );
+            assert!(
+                resp.detail
+                    .iter()
+                    .any(|d| d.contains("delta-fallback") && d.contains(site)),
+                "[{site}] fallback must be declared in the detail: {:?}",
+                resp.detail
+            );
+
+            // Plan cleared: the same edit goes back to the delta path
+            // (no fallback in the detail) with the same verdict.
+            cr_faults::clear();
+            let mut again = Request::new("d1".to_string(), Op::CheckDelta);
+            again.base = Some(base_hash.clone());
+            again.diff = diff.clone();
+            let resp = server.process_request(&again);
+            assert_eq!(resp.verdict.as_deref(), Some("unsatisfiable"));
+            assert!(
+                !resp.detail.iter().any(|d| d.contains("delta-fallback")),
+                "[{site}] delta path must recover once the plan clears: {:?}",
+                resp.detail
+            );
+            server.finish();
+        }
     }
 
     /// The same seed must replay the exact same injection pattern — the

@@ -1,0 +1,331 @@
+//! Delta / from-scratch equivalence.
+//!
+//! The incremental path (`cr_delta::check_delta`) is only sound if it
+//! answers exactly like a from-scratch check of the edited schema — for
+//! every kind of edit it claims to handle, and with a transparent fallback
+//! for the rest. This suite throws randomized (base, edit) pairs at it:
+//! a seeded workload schema, one mutation of its canonical form (tighten
+//! or loosen a window on either end, drop a card, add a disjointness,
+//! remove an ISA), and a verdict comparison against
+//! [`cr_core::sat::Reasoner`] run fresh on the edited schema. Directed
+//! cases pin down the interesting boundary: edits that flip
+//! satisfiability in both directions, and chained edits where each
+//! verdict's context seeds the next.
+
+use cr_bench::{SchemaGen, SchemaShape};
+use cr_core::expansion::ExpansionConfig;
+use cr_core::sat::Reasoner;
+use cr_core::Budget;
+use cr_delta::{check_delta, DeltaConfig, DeltaContext, DeltaOutcome};
+use cr_lang::{diff_canonical, schema_from_canonical};
+use proptest::prelude::*;
+
+/// From-scratch ground truth: unsatisfiable class and relationship names
+/// of the schema described by `canonical`, sorted.
+fn scratch_verdict(canonical: &str) -> (Vec<String>, Vec<String>) {
+    let schema = schema_from_canonical(canonical).expect("canonical text parses");
+    let r = Reasoner::new(&schema).expect("scratch run succeeds");
+    let mut classes: Vec<String> = r
+        .unsatisfiable_classes()
+        .into_iter()
+        .map(|c| schema.class_name(c).to_string())
+        .collect();
+    let mut rels: Vec<String> = schema
+        .rels()
+        .filter(|&rel| !r.is_rel_satisfiable(rel))
+        .map(|rel| schema.rel_name(rel).to_string())
+        .collect();
+    classes.sort();
+    rels.sort();
+    (classes, rels)
+}
+
+/// Runs the delta path from `base` to the schema in `edited_canonical` and
+/// asserts the verdict matches the from-scratch ground truth (a declared
+/// fallback is checked from scratch, which is exactly what callers do).
+/// Returns the context the next edit in a chain would use.
+fn assert_delta_matches_scratch(
+    ctx: &DeltaContext,
+    edited_canonical: &str,
+) -> Option<DeltaContext> {
+    let diff = diff_canonical(ctx.canonical(), edited_canonical);
+    let outcome = check_delta(
+        ctx,
+        &diff,
+        &DeltaConfig::default(),
+        &ExpansionConfig::default(),
+        &Budget::unlimited(),
+    )
+    .expect("a canonical-to-canonical diff is never malformed");
+    match outcome {
+        DeltaOutcome::Checked(v) => {
+            let mut got_classes = v.unsat_classes.clone();
+            let mut got_rels = v.unsat_rels.clone();
+            got_classes.sort();
+            got_rels.sort();
+            let (want_classes, want_rels) = scratch_verdict(edited_canonical);
+            assert_eq!(got_classes, want_classes, "unsat classes diverge");
+            assert_eq!(got_rels, want_rels, "unsat rels diverge");
+            assert_eq!(
+                v.next.canonical(),
+                edited_canonical,
+                "the returned context must pin the edited schema"
+            );
+            Some(v.next)
+        }
+        DeltaOutcome::Fallback {
+            edited_canonical: ec,
+            ..
+        } => {
+            // The fallback must hand back the *edited* schema so the full
+            // check answers the right question.
+            assert_eq!(ec, edited_canonical, "fallback must carry the edited canonical");
+            None
+        }
+    }
+}
+
+/// Deterministic xorshift64* stream for picking mutation targets.
+struct Picks(u64);
+
+impl Picks {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn choose(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n.max(1)
+    }
+}
+
+/// One mutation of a canonical form: rewrites, drops, or adds a line, then
+/// re-canonicalizes through the parser (mutations can perturb sort order).
+/// Returns `None` when the mutated text is not a valid schema (e.g. an
+/// empty window) — the property simply skips those.
+fn mutate_canonical(canonical: &str, kind: usize, picks: &mut Picks) -> Option<String> {
+    let mut lines: Vec<String> = canonical.lines().map(str::to_string).collect();
+    let card_lines: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.starts_with("card\t"))
+        .map(|(i, _)| i)
+        .collect();
+    let isa_lines: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.starts_with("isa\t"))
+        .map(|(i, _)| i)
+        .collect();
+    let class_names: Vec<String> = lines
+        .iter()
+        .filter(|l| l.starts_with("class\t"))
+        .map(|l| l["class\t".len()..].to_string())
+        .collect();
+
+    // Rewrites a card line's window with `f(min, max)`.
+    let rewrite_card = |lines: &mut Vec<String>,
+                            idx: usize,
+                            f: &dyn Fn(u64, Option<u64>) -> (u64, Option<u64>)| {
+        let fields: Vec<&str> = lines[idx].split('\t').collect();
+        let min: u64 = fields[4].parse().ok()?;
+        let max: Option<u64> = match fields[5] {
+            "*" => None,
+            n => Some(n.parse().ok()?),
+        };
+        let (nmin, nmax) = f(min, max);
+        if let Some(m) = nmax {
+            if m < nmin {
+                return None; // empty window: invalid schema
+            }
+        }
+        lines[idx] = format!(
+            "card\t{}\t{}\t{}\t{}\t{}",
+            fields[1],
+            fields[2],
+            fields[3],
+            nmin,
+            nmax.map_or("*".to_string(), |m| m.to_string())
+        );
+        Some(())
+    };
+
+    match kind % 6 {
+        // Tighten the max end: finite max shrinks by one, `*` becomes
+        // min + 1.
+        0 => {
+            let idx = *card_lines.get(picks.choose(card_lines.len()))?;
+            rewrite_card(&mut lines, idx, &|min, max| match max {
+                Some(m) => (min, Some(m.saturating_sub(1))),
+                None => (min, Some(min + 1)),
+            })?;
+        }
+        // Tighten the min end.
+        1 => {
+            let idx = *card_lines.get(picks.choose(card_lines.len()))?;
+            rewrite_card(&mut lines, idx, &|min, max| (min + 1, max))?;
+        }
+        // Loosen the max end: finite max grows or becomes `*`.
+        2 => {
+            let idx = *card_lines.get(picks.choose(card_lines.len()))?;
+            let unbound = picks.next() % 2 == 0;
+            rewrite_card(&mut lines, idx, &|min, max| match max {
+                Some(m) if !unbound => (min, Some(m + 1)),
+                _ => (min, None),
+            })?;
+        }
+        // Loosen the min end.
+        3 => {
+            let idx = *card_lines.get(picks.choose(card_lines.len()))?;
+            rewrite_card(&mut lines, idx, &|min, max| (min.saturating_sub(1), max))?;
+        }
+        // Drop a card constraint entirely (loosening).
+        4 => {
+            let idx = *card_lines.get(picks.choose(card_lines.len()))?;
+            lines.remove(idx);
+        }
+        // Add a two-class disjointness (tightening), or remove an ISA
+        // assertion (structural — must fall back) when one exists and the
+        // coin says so.
+        _ => {
+            if !isa_lines.is_empty() && picks.next() % 2 == 0 {
+                lines.remove(isa_lines[picks.choose(isa_lines.len())]);
+            } else {
+                if class_names.len() < 2 {
+                    return None;
+                }
+                let a = picks.choose(class_names.len());
+                let mut b = picks.choose(class_names.len());
+                if a == b {
+                    b = (b + 1) % class_names.len();
+                }
+                lines.push(format!("disjoint\t{}\t{}", class_names[a], class_names[b]));
+            }
+        }
+    }
+
+    // Re-canonicalize: mutations may perturb sort order, and a removed ISA
+    // changes derived constraints the canonical printer reflects.
+    let schema = schema_from_canonical(&(lines.join("\n") + "\n")).ok()?;
+    Some(schema.canonical_form())
+}
+
+fn shape(ix: usize) -> SchemaShape {
+    [
+        SchemaShape::Flat,
+        SchemaShape::IsaModerate,
+        SchemaShape::IsaHeavy,
+    ][ix % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One random edit of a random base: `check_delta` answers exactly
+    /// like a from-scratch run of the edited schema (or declares a
+    /// fallback carrying the edited canonical form).
+    #[test]
+    fn delta_matches_scratch_on_random_edits(
+        shape_ix in 0usize..3,
+        classes in 2usize..6,
+        rels in 1usize..3,
+        seed in 0u64..1u64 << 32,
+        kind in 0usize..6,
+    ) {
+        let base = SchemaGen::shaped(shape(shape_ix), classes, rels, seed).build();
+        let ctx = DeltaContext::from_schema(
+            &base,
+            &ExpansionConfig::default(),
+            &Budget::unlimited(),
+        ).expect("base pins");
+        let mut picks = Picks(seed | 1);
+        if let Some(edited) = mutate_canonical(ctx.canonical(), kind, &mut picks) {
+            assert_delta_matches_scratch(&ctx, &edited);
+        }
+    }
+
+    /// Three chained random edits: each verdict's context is the next
+    /// edit's base, and every hop still matches from-scratch.
+    #[test]
+    fn chained_edits_match_scratch(
+        classes in 3usize..6,
+        rels in 1usize..3,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let base = SchemaGen::shaped(SchemaShape::IsaModerate, classes, rels, seed).build();
+        let mut ctx = DeltaContext::from_schema(
+            &base,
+            &ExpansionConfig::default(),
+            &Budget::unlimited(),
+        ).expect("base pins");
+        let mut picks = Picks(seed | 1);
+        for hop in 0..3usize {
+            // Constraint-only mutations (kinds 0..5) so the chain stays on
+            // the delta path when valid.
+            let kind = picks.choose(5);
+            let Some(edited) = mutate_canonical(ctx.canonical(), kind, &mut picks) else {
+                continue;
+            };
+            match assert_delta_matches_scratch(&ctx, &edited) {
+                Some(next) => ctx = next,
+                None => {
+                    // A fallback ends the delta chain; re-pin from the
+                    // edited schema like the server does.
+                    let _ = hop;
+                    ctx = DeltaContext::from_canonical(
+                        &edited,
+                        &ExpansionConfig::default(),
+                        &Budget::unlimited(),
+                    ).expect("edited schema pins");
+                }
+            }
+        }
+    }
+}
+
+/// Figure 1's ISA/cardinality interaction with the critical window
+/// relaxed: satisfiable as written; tightening `C in R.U1` to `2..*`
+/// makes it unsatisfiable (every C — hence every D — must appear in at
+/// least two R-tuples, but the D side supplies at most one per instance).
+const FLIPPABLE: &str = "class C;\nclass D isa C;\nrelationship R (U1: C, U2: D);\n\
+                         card C in R.U1: 0..*;\ncard D in R.U2: 0..1;\n";
+
+#[test]
+fn tightening_edit_flips_sat_to_unsat() {
+    let base = cr_lang::parse_schema(FLIPPABLE).unwrap();
+    let (sat_classes, _) = scratch_verdict(&base.canonical_form());
+    assert!(sat_classes.is_empty(), "base must start satisfiable");
+
+    let ctx = DeltaContext::from_schema(
+        &base,
+        &ExpansionConfig::default(),
+        &Budget::unlimited(),
+    )
+    .unwrap();
+    let edited_src = FLIPPABLE.replace("card C in R.U1: 0..*;", "card C in R.U1: 2..*;");
+    let edited = cr_lang::parse_schema(&edited_src).unwrap().canonical_form();
+    let (unsat, _) = scratch_verdict(&edited);
+    assert!(!unsat.is_empty(), "the edit must flip the verdict");
+    assert_delta_matches_scratch(&ctx, &edited);
+}
+
+#[test]
+fn loosening_edit_flips_unsat_back_to_sat() {
+    let base_src = FLIPPABLE.replace("card C in R.U1: 0..*;", "card C in R.U1: 2..*;");
+    let base = cr_lang::parse_schema(&base_src).unwrap();
+    let (unsat, _) = scratch_verdict(&base.canonical_form());
+    assert!(!unsat.is_empty(), "base must start unsatisfiable");
+
+    let ctx = DeltaContext::from_schema(
+        &base,
+        &ExpansionConfig::default(),
+        &Budget::unlimited(),
+    )
+    .unwrap();
+    let edited = cr_lang::parse_schema(FLIPPABLE).unwrap().canonical_form();
+    let (sat_classes, _) = scratch_verdict(&edited);
+    assert!(sat_classes.is_empty(), "the edit must flip the verdict back");
+    assert_delta_matches_scratch(&ctx, &edited);
+}
