@@ -839,8 +839,7 @@ fn d_series(quick: bool, rows: &mut Vec<String>) {
             3 * g
         ));
     }
-    let geomean =
-        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
     println!("D-series geometric-mean speedup: {geomean:.1}x (delta vs from-scratch)");
     assert!(
         geomean >= 2.0,

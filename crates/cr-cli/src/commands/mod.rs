@@ -26,6 +26,9 @@ pub use service::{batch, serve};
 mod resume;
 pub use resume::resume;
 
+mod sim;
+pub use sim::{sim, store};
+
 /// The single source of truth for the CLI's outcome protocol: maps a
 /// command result to the `(outcome, exit_code)` pair — `("ok", 0)`,
 /// `("negative", 1)`, `("error", 2)`, `("budget-exceeded", 3)`. The

@@ -269,13 +269,9 @@ const MAX_SHED_RETRIES: u32 = 8;
 /// "not now, retryable": retry it with the shared jittered-exponential
 /// schedule ([`backoff_delay`]) before reporting it.
 fn run_request(server: &Server, request: &Request) -> (String, u8) {
-    let mut seed = request
-        .id
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-        })
-        | 1;
+    let mut seed = request.id.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    }) | 1;
     let mut response = server.process_request(request);
     let mut attempt = 0;
     while response.status == Status::Shed && attempt < MAX_SHED_RETRIES {

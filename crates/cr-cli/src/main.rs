@@ -14,6 +14,8 @@
 //! crsat serve [--addr host:port]      JSON-lines reasoning daemon
 //! crsat batch <dir|file.cr>...        check many schemas in parallel
 //! crsat resume <checkpoint>           continue an interrupted check
+//! crsat sim [--seeds n|--replay s]    deterministic cluster failure swarm
+//! crsat store verify <log|dir>        read-only scrub of a verdict log
 //! ```
 //!
 //! Persistence flags:
@@ -232,7 +234,7 @@ fn value_flag(rest: &[String], name: &str) -> Result<Option<String>, String> {
 
 fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     let usage = "usage: crsat <check|expand|system|model|implies|bounds|explain|report|compare\
-                 |diff|fmt|serve|batch|resume> <schema.cr> [args...] [--timeout-ms n] \
+                 |diff|fmt|serve|batch|resume|sim|store> <schema.cr> [args...] [--timeout-ms n] \
                  [--max-steps n] [--max-expansion n] [--trace[=human|json]] [--stats file]";
     let Some(cmd) = args.first() else {
         return Err(usage.to_string());
@@ -243,7 +245,7 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     }
     const COMMANDS: &[&str] = &[
         "check", "expand", "system", "model", "implies", "bounds", "explain", "report", "compare",
-        "diff", "fmt", "serve", "batch", "resume",
+        "diff", "fmt", "serve", "batch", "resume", "sim", "store",
     ];
     if !COMMANDS.contains(&cmd.as_str()) {
         return Err(format!("unknown command {cmd:?}\n{usage}"));
@@ -251,6 +253,12 @@ fn run(args: &[String], budget: &Budget) -> Result<u8, String> {
     // The service-mode commands take paths/flags, not one schema file.
     if cmd == "serve" {
         return commands::serve(&args[1..], budget);
+    }
+    if cmd == "sim" {
+        return commands::sim(&args[1..]);
+    }
+    if cmd == "store" {
+        return commands::store(&args[1..]);
     }
     if cmd == "batch" {
         return commands::batch(&args[1..], budget);

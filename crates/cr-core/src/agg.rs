@@ -283,11 +283,7 @@ pub fn harden_witness(sys: &AggSystem, alive: &[bool]) -> Option<AggSolution> {
     }
     for (cc, &a) in alive.iter().enumerate() {
         if a {
-            lin.push(
-                LinExpr::var(sys.cclass_vars[cc]),
-                Cmp::Ge,
-                Rational::one(),
-            );
+            lin.push(LinExpr::var(sys.cclass_vars[cc]), Cmp::Ge, Rational::one());
         }
     }
     let budget = Budget::unlimited();

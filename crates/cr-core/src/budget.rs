@@ -159,6 +159,54 @@ impl ManualClock {
     }
 }
 
+/// A shareable monotonic-or-manual time reading — the injectable-clock
+/// convention of [`Budget`] as a standalone handle, for components whose
+/// timers must run on virtual time under deterministic simulation (AIMD
+/// shedding cooldowns, wedge timers, singleflight waits). Readings are
+/// durations since an arbitrary epoch (process start for the monotonic
+/// source, zero for a manual one); only differences are meaningful.
+#[derive(Clone, Debug)]
+pub struct Clock {
+    source: ClockSource,
+}
+
+#[derive(Clone, Debug)]
+enum ClockSource {
+    Monotonic(Instant),
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// The real monotonic clock, anchored at creation.
+    pub fn monotonic() -> Clock {
+        Clock {
+            source: ClockSource::Monotonic(Instant::now()),
+        }
+    }
+
+    /// A clock driven by a [`ManualClock`]'s nanosecond counter: readings
+    /// advance only when the owning harness cranks it.
+    pub fn manual(clock: &ManualClock) -> Clock {
+        Clock {
+            source: ClockSource::Manual(clock.shared_nanos()),
+        }
+    }
+
+    /// The current reading.
+    pub fn now(&self) -> Duration {
+        match &self.source {
+            ClockSource::Monotonic(start) => start.elapsed(),
+            ClockSource::Manual(nanos) => Duration::from_nanos(nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::monotonic()
+    }
+}
+
 /// A shared cancellation flag. Cloning shares the flag; tripping it makes
 /// every [`Budget`] built from it refuse all further work.
 #[derive(Clone, Default)]

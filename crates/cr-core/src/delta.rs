@@ -1,6 +1,6 @@
 //! Reusable intermediate state for incremental (delta) checking.
 //!
-//! A full [`Reasoner`](crate::sat::Reasoner) run spends its time in three
+//! A full [`Reasoner`] run spends its time in three
 //! places: enumerating the consistent compound classes (the Venn atoms),
 //! building the aggregated disequation system, and descending the greatest
 //! fixpoint to the maximal acceptable support `P*`. For a *constraint-only*
@@ -25,7 +25,7 @@
 //!   can only grow, so the descent restarts from all-true — still reusing
 //!   the filtered atoms.
 //! * **Witness.** The base run's marginal-form witness
-//!   ([`AggSolution`](crate::agg::AggSolution)) is a concrete nonnegative
+//!   ([`AggSolution`]) is a concrete nonnegative
 //!   integer point. When no atom was invalidated the edited aggregated
 //!   system has the *identical* variable layout (construction order depends
 //!   only on atoms and candidate lists, never on cardinality values), so
@@ -137,7 +137,10 @@ pub fn reasoner_from_state<'s>(
         }
     }
     let agg = AggSystem::build(&expansion);
-    tracer.add(cr_trace::Counter::DisequationsEmitted, agg.num_rows() as u64);
+    tracer.add(
+        cr_trace::Counter::DisequationsEmitted,
+        agg.num_rows() as u64,
+    );
 
     // Map the base support onto the surviving atoms. Both lists are sorted
     // and the survivors are a subsequence of the base atoms, so one merge
@@ -201,9 +204,9 @@ pub fn reasoner_from_state<'s>(
     });
     debug_assert!(
         expansion.compound_rels().len() > 100_000
-            || witness.as_ref().is_none_or(|w| {
-                w.verify(&crate::system::CrSystem::build(&expansion))
-            }),
+            || witness
+                .as_ref()
+                .is_none_or(|w| { w.verify(&crate::system::CrSystem::build(&expansion)) }),
     );
     let reasoner = Reasoner::from_parts(expansion, support, witness, agg_witness, false, tracer);
     let report = ReuseReport {
@@ -255,16 +258,22 @@ mod tests {
         let speaker = b.class("Speaker");
         let discussant = b.class("Discussant");
         let talk = b.class("Talk");
-        let holds = b.relationship("Holds", [("U1", speaker), ("U2", talk)]).unwrap();
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
         let participates = b
             .relationship("Participates", [("U3", discussant), ("U4", talk)])
             .unwrap();
         b.isa(discussant, speaker);
-        b.card(speaker, b.role(holds, 0), Card::at_least(1)).unwrap();
-        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2))).unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2)))
+            .unwrap();
         b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
-        b.card(discussant, b.role(participates, 0), Card::exactly(1)).unwrap();
-        b.card(talk, b.role(participates, 1), Card::at_least(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1))
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -275,16 +284,22 @@ mod tests {
         let speaker = b.class("Speaker");
         let discussant = b.class("Discussant");
         let talk = b.class("Talk");
-        let holds = b.relationship("Holds", [("U1", speaker), ("U2", talk)]).unwrap();
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
         let participates = b
             .relationship("Participates", [("U3", discussant), ("U4", talk)])
             .unwrap();
         b.isa(discussant, speaker);
-        b.card(speaker, b.role(holds, 0), Card::at_least(1)).unwrap();
-        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2))).unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2)))
+            .unwrap();
         b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
-        b.card(discussant, b.role(participates, 0), Card::exactly(1)).unwrap();
-        b.card(talk, b.role(participates, 1), Card::new(min, max)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        b.card(talk, b.role(participates, 1), Card::new(min, max))
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -298,7 +313,10 @@ mod tests {
         let scratch =
             Reasoner::with_budget(edited, &config, Strategy::Aggregated, &budget).unwrap();
         assert_eq!(delta.support(), scratch.support());
-        assert_eq!(delta.unsatisfiable_classes(), scratch.unsatisfiable_classes());
+        assert_eq!(
+            delta.unsatisfiable_classes(),
+            scratch.unsatisfiable_classes()
+        );
         assert_eq!(delta.unsatisfiable_rels(), scratch.unsatisfiable_rels());
         report
     }
@@ -329,7 +347,10 @@ mod tests {
         let edited = meeting_edited(3, None);
         let report = delta_matches_scratch(&base, &edited, true);
         assert_eq!(report.atoms_invalidated, 0);
-        assert!(!report.support_reused, "a flipped verdict cannot reuse the witness");
+        assert!(
+            !report.support_reused,
+            "a flipped verdict cannot reuse the witness"
+        );
     }
 
     #[test]
@@ -339,16 +360,22 @@ mod tests {
         let speaker = b.class("Speaker");
         let discussant = b.class("Discussant");
         let talk = b.class("Talk");
-        let holds = b.relationship("Holds", [("U1", speaker), ("U2", talk)]).unwrap();
+        let holds = b
+            .relationship("Holds", [("U1", speaker), ("U2", talk)])
+            .unwrap();
         let participates = b
             .relationship("Participates", [("U3", discussant), ("U4", talk)])
             .unwrap();
         b.isa(discussant, speaker);
-        b.card(speaker, b.role(holds, 0), Card::at_least(1)).unwrap();
-        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2))).unwrap();
+        b.card(speaker, b.role(holds, 0), Card::at_least(1))
+            .unwrap();
+        b.card(discussant, b.role(holds, 0), Card::new(0, Some(2)))
+            .unwrap();
         b.card(talk, b.role(holds, 1), Card::exactly(1)).unwrap();
-        b.card(discussant, b.role(participates, 0), Card::exactly(1)).unwrap();
-        b.card(talk, b.role(participates, 1), Card::at_least(1)).unwrap();
+        b.card(discussant, b.role(participates, 0), Card::exactly(1))
+            .unwrap();
+        b.card(talk, b.role(participates, 1), Card::at_least(1))
+            .unwrap();
         b.disjoint([discussant, talk]).unwrap();
         let edited = b.build().unwrap();
         let report = delta_matches_scratch(&base, &edited, true);

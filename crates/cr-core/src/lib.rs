@@ -90,7 +90,9 @@ pub mod schema;
 pub mod system;
 pub mod unrestricted;
 
-pub use budget::{run_report, Budget, CancelToken, Frontier, ManualClock, Stage, TracerMeter};
+pub use budget::{
+    run_report, Budget, CancelToken, Clock, Frontier, ManualClock, Stage, TracerMeter,
+};
 pub use certify::{certify_check, certify_reasoner, CertifyReport};
 pub use error::CrError;
 pub use ids::{ClassId, RelId, RoleId};

@@ -36,8 +36,8 @@ use cr_core::delta::{reasoner_from_state, ReusableState, INVALIDATION_CAP};
 use cr_core::expansion::ExpansionConfig;
 use cr_core::sat::{Reasoner, Strategy};
 use cr_core::{canonical_text_hash, Budget, CrError, Schema};
-use cr_lang::{apply_diff, schema_from_canonical};
 pub use cr_lang::SchemaDiff;
+use cr_lang::{apply_diff, schema_from_canonical};
 
 /// Tuning knobs for the delta path.
 #[derive(Clone, Copy, Debug)]
@@ -285,6 +285,11 @@ pub struct DeltaVerdict {
 /// The outcome of [`check_delta`]: either a verdict, or a declared
 /// fallback the caller resolves with a from-scratch check of
 /// `edited_canonical`.
+// The size asymmetry is deliberate: `Checked` carries the reusable state
+// for the next edit in the stream, and every outcome is consumed
+// immediately (never collected), so boxing would buy nothing but an
+// allocation on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum DeltaOutcome {
     /// The delta path answered.
@@ -550,7 +555,10 @@ mod tests {
         let base = ctx(MEETING);
         let edited = format!("{MEETING}\nclass Chair isa Speaker;");
         match delta_of(&base, &edited) {
-            DeltaOutcome::Fallback { reason, edited_canonical } => {
+            DeltaOutcome::Fallback {
+                reason,
+                edited_canonical,
+            } => {
                 assert_eq!(reason, FallbackReason::Structural);
                 let schema = cr_lang::parse_schema(&edited).unwrap();
                 assert_eq!(edited_canonical, schema.canonical_form());

@@ -281,9 +281,11 @@ mod tests {
             .err();
         // Duplicate (class, role) card: replace the existing one instead.
         assert!(edited.is_some(), "duplicate card must be rejected");
-        let edited =
-            crate::parse_schema(&MEETING.replace("card Speaker in Holds.U1: 1..*", "card Speaker in Holds.U1: 2..3"))
-                .unwrap();
+        let edited = crate::parse_schema(&MEETING.replace(
+            "card Speaker in Holds.U1: 1..*",
+            "card Speaker in Holds.U1: 2..3",
+        ))
+        .unwrap();
         let diff = diff_schemas(&base, &edited);
         assert_eq!(diff.ops.len(), 2, "one remove + one add: {diff:?}");
         assert!(!diff.ops[0].add && diff.ops[1].add);
@@ -294,7 +296,10 @@ mod tests {
     #[test]
     fn wire_lines_round_trip_and_hash_is_order_sensitive() {
         let base = meeting();
-        let edited = crate::parse_schema(&format!("{MEETING} isa Talk Speaker; disjoint Speaker, Talk;")).unwrap();
+        let edited = crate::parse_schema(&format!(
+            "{MEETING} isa Talk Speaker; disjoint Speaker, Talk;"
+        ))
+        .unwrap();
         let diff = diff_schemas(&base, &edited);
         let lines = diff.to_lines();
         let parsed = SchemaDiff::parse_lines(&lines).unwrap();

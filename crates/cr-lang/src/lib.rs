@@ -60,7 +60,9 @@ mod printer;
 mod token;
 
 pub use diag::ParseError;
-pub use diff::{apply_diff, diff_canonical, diff_schemas, schema_from_canonical, DiffOp, SchemaDiff};
+pub use diff::{
+    apply_diff, diff_canonical, diff_schemas, schema_from_canonical, DiffOp, SchemaDiff,
+};
 pub use printer::{print_schema, print_schema_canonical};
 
 use cr_core::Schema;

@@ -1,0 +1,962 @@
+//! The whole-cluster deterministic simulation: one primary, one warm
+//! standby following it, and N scripted clients — all driven from a
+//! single-threaded event loop on virtual time, every nondeterminism
+//! source derived from one seed.
+//!
+//! # Topology
+//!
+//! Node A boots as the primary (durable store on its own [`SimVfs`]);
+//! node B boots as a standby with `follow = "primary:1"` and
+//! `follow_external = true`, so the simulation — not a wall-clock
+//! thread — pumps [`Server::follower_step`] and owns the promotion
+//! timer. The replication fabric is a [`SimNet`]; clients bypass the
+//! network entirely and call [`Server::respond_line`] on whichever node
+//! currently holds the primary role (the synchronous full-dispatch
+//! path: parse → admission → reasoning → persistence).
+//!
+//! # Invariants checked
+//!
+//! 1. **Acked durability** — every conclusive `check` response was
+//!    fsynced before it was acknowledged. Verified at end of run by
+//!    crash-restarting the current primary from its *durable* disk
+//!    image and re-asking every acked question: the verdict must match
+//!    and must come back `cached` (recovered, not recomputed).
+//! 2. **Verdict safety** — no conclusive response ever disagrees with
+//!    an unfaulted oracle (a pristine single server asked the same
+//!    questions before the run).
+//! 3. **Response identity** — every request line yields exactly one
+//!    response, echoing the request id ([`Server::respond_line`] makes
+//!    the one-response shape structural; the id echo is checked here).
+//! 4. **Promotion liveness** — if the schedule kills the primary for
+//!    good, the standby must notice the lapsed heartbeat and promote
+//!    itself before the run ends.
+//!
+//! # Determinism
+//!
+//! Replaying a `(seed, schedule)` pair reproduces the run byte-for-byte:
+//! the trace in the returned [`SimReport`] is asserted identical across
+//! replays by the crate's tests. Client scripts and torn-write lengths
+//! come from forks of the seed's rng; virtual time only moves when the
+//! event loop (or a simulated io timeout) advances the shared
+//! [`ManualClock`]; and the server seams this crate injects
+//! ([`SimVfs`], [`SimNet`], the manual clock) remove every other source
+//! of scheduling noise from the observed protocol.
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cr_core::{Clock, ManualClock};
+use cr_server::repl::FollowerClient;
+use cr_server::{FollowerStep, Op, Request, Response, Server, ServerConfig, Status};
+
+use crate::net::{NodeSlot, SimNet};
+use crate::rng::SimRng;
+use crate::schedule::{FaultEvent, FaultKind};
+use crate::vfs::SimVfs;
+
+/// Simulation sizing knobs (defaults give a ~2s-virtual, sub-second-real
+/// run).
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Scripted clients.
+    pub clients: usize,
+    /// Requests per client across the horizon.
+    pub requests_per_client: usize,
+    /// Virtual span within which traffic and faults are scheduled.
+    pub horizon: Duration,
+    /// Store compaction threshold (bytes); set low to force
+    /// compaction-triggered replication epoch resets mid-run.
+    pub compact_threshold: u64,
+    /// Standby promotion timer. Must exceed the worst transient
+    /// replication outage the fault generator can produce, or a healthy
+    /// partition becomes a split brain.
+    pub promote_after: Duration,
+    /// Follower poll cadence (virtual).
+    pub follow_poll: Duration,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            clients: 3,
+            requests_per_client: 8,
+            horizon: Duration::from_millis(2000),
+            compact_threshold: 4096,
+            // Must exceed the worst transient-outage streak the fault
+            // generator can produce: each partitioned poll burns up to
+            // 2×io_timeout (2s) of virtual time without a success, and a
+            // schedule can stack three partitions back to back (~6s).
+            // Anything lower risks a split-brain promotion under a
+            // healthy-but-partitioned primary.
+            promote_after: Duration::from_millis(8000),
+            follow_poll: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant (`acked-durability`, `verdict-safety`,
+    /// `response-identity`, `promotion-liveness`).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// What one simulated run did and found.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The run seed.
+    pub seed: u64,
+    /// The fault schedule that was applied.
+    pub schedule: Vec<FaultEvent>,
+    /// Deterministic event trace; byte-identical across replays of the
+    /// same `(seed, schedule)`.
+    pub trace: Vec<String>,
+    /// Invariant violations (empty = the run passed).
+    pub violations: Vec<Violation>,
+    /// Client requests that reached a live node.
+    pub requests: u64,
+    /// Whether the standby promoted itself.
+    pub promoted: bool,
+}
+
+impl SimReport {
+    /// True when any invariant was violated.
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// The fault schedule a seed implies (what [`run_seed`] applies).
+pub fn schedule_for_seed(seed: u64, opts: &SimOptions) -> Vec<FaultEvent> {
+    let mut rng = SimRng::new(seed).fork(0x5eed);
+    crate::schedule::generate(&mut rng, opts.horizon)
+}
+
+/// Runs one seed end to end: derive its fault schedule, simulate, audit.
+pub fn run_seed(seed: u64, opts: &SimOptions) -> SimReport {
+    let schedule = schedule_for_seed(seed, opts);
+    run_schedule(seed, &schedule, opts)
+}
+
+/// Runs `seed`'s traffic under an explicit fault schedule (the replay and
+/// shrinking entry point: traffic depends only on `seed`, so removing
+/// schedule entries perturbs nothing else).
+pub fn run_schedule(seed: u64, schedule: &[FaultEvent], opts: &SimOptions) -> SimReport {
+    Cluster::new(seed, schedule.to_vec(), opts.clone()).run()
+}
+
+/// What one scripted client request does.
+#[derive(Debug, Clone, Copy)]
+enum ClientOp {
+    /// `check`, optionally with explicit certification.
+    Check {
+        /// Schema-pool index.
+        si: usize,
+        /// Request the certificate checker explicitly.
+        certify: bool,
+    },
+    /// `implies` with the pool entry's query.
+    Implies {
+        /// Schema-pool index.
+        si: usize,
+    },
+    /// `pin_base` + `check_delta` (empty diff, schema included so the
+    /// delta falls back to a full check when the base was lost to a
+    /// crash or failover).
+    Delta {
+        /// Schema-pool index.
+        si: usize,
+    },
+}
+
+impl ClientOp {
+    fn name(self) -> &'static str {
+        match self {
+            ClientOp::Check { certify: false, .. } => "check",
+            ClientOp::Check { certify: true, .. } => "check+certify",
+            ClientOp::Implies { .. } => "implies",
+            ClientOp::Delta { .. } => "delta",
+        }
+    }
+
+    fn si(self) -> usize {
+        match self {
+            ClientOp::Check { si, .. } | ClientOp::Implies { si } | ClientOp::Delta { si } => si,
+        }
+    }
+}
+
+/// What the event loop processes.
+#[derive(Debug)]
+enum Event {
+    /// Client `client` issues its `idx`-th scripted request.
+    ClientReq {
+        client: usize,
+        idx: usize,
+    },
+    /// Pump the standby's replication follower once.
+    FollowerPoll,
+    /// Apply schedule entry `k`.
+    Fault(usize),
+    HealPartition,
+    HealDelay,
+    RestartPrimary,
+    RestartFollower,
+}
+
+struct Scheduled {
+    at: Duration,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Scheduled) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Scheduled) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Scheduled) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // lowest-seq) event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct PoolEntry {
+    schema: String,
+    query: Vec<String>,
+}
+
+/// The deterministic question pool: three satisfiable ISA+card fixtures
+/// and the paper's Figure-1-style unsatisfiable interaction (a subclass
+/// forced by cardinalities into more instances than its superclass
+/// allows).
+fn schema_pool() -> Vec<PoolEntry> {
+    let mut pool = Vec::new();
+    for i in 0..3 {
+        pool.push(PoolEntry {
+            schema: format!(
+                "class A{i}; class B{i} isa A{i}; \
+                 relationship R{i} (U1: A{i}, U2: B{i}); \
+                 card A{i} in R{i}.U1: 1..2;"
+            ),
+            query: vec!["isa".into(), format!("B{i}"), format!("A{i}")],
+        });
+    }
+    pool.push(PoolEntry {
+        schema: "class C0; class D0 isa C0; \
+                 relationship S0 (U1: C0, U2: D0); \
+                 card C0 in S0.U1: 2..*; card D0 in S0.U2: 0..1;"
+            .into(),
+        query: vec!["isa".into(), "D0".into(), "C0".into()],
+    });
+    pool
+}
+
+fn conclusive(status: Status) -> bool {
+    matches!(status, Status::Ok | Status::Negative)
+}
+
+/// Oracle key: which question a response answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Question {
+    Check(usize),
+    Implies(usize),
+}
+
+struct Cluster {
+    seed: u64,
+    opts: SimOptions,
+    schedule: Vec<FaultEvent>,
+    clock: ManualClock,
+    net: SimNet,
+    pri_vfs: SimVfs,
+    stb_vfs: SimVfs,
+    pri_slot: NodeSlot,
+    stb_slot: NodeSlot,
+    follower: Option<FollowerClient>,
+    last_ok: Duration,
+    promoted: bool,
+    killed: bool,
+    pool: Vec<PoolEntry>,
+    oracle: HashMap<Question, (Status, Option<String>)>,
+    acked: BTreeMap<usize, String>,
+    crash_rng: SimRng,
+    scripts: Vec<Vec<(Duration, ClientOp)>>,
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    next_trace: u64,
+    trace: Vec<String>,
+    violations: Vec<Violation>,
+    requests: u64,
+}
+
+const PRIMARY_ADDR: &str = "primary:1";
+
+impl Cluster {
+    fn new(seed: u64, schedule: Vec<FaultEvent>, opts: SimOptions) -> Cluster {
+        let mut root = SimRng::new(seed);
+        // Fork order is part of the replay contract: traffic first, then
+        // crash randomness. The schedule rng (0x5eed) is forked from a
+        // fresh root in `schedule_for_seed`, so explicit schedules
+        // (replay, shrinking) never perturb the traffic stream.
+        let mut traffic_rng = root.fork(0x7afc);
+        let crash_rng = root.fork(0xc4a5);
+        let clock = ManualClock::new();
+        let net = SimNet::new(&clock);
+        let pool = schema_pool();
+
+        let mut scripts = Vec::new();
+        let horizon_ms = opts.horizon.as_millis() as u64;
+        for _ in 0..opts.clients {
+            let mut script = Vec::new();
+            for _ in 0..opts.requests_per_client {
+                let at = Duration::from_millis(traffic_rng.range(10, horizon_ms * 8 / 10));
+                let si = traffic_rng.below(pool.len() as u64) as usize;
+                let op = match traffic_rng.below(4) {
+                    0 => ClientOp::Check { si, certify: false },
+                    1 => ClientOp::Check { si, certify: true },
+                    2 => ClientOp::Implies { si },
+                    _ => ClientOp::Delta { si },
+                };
+                script.push((at, op));
+            }
+            script.sort_by_key(|(at, _)| *at);
+            scripts.push(script);
+        }
+
+        Cluster {
+            seed,
+            opts,
+            schedule,
+            clock,
+            net,
+            pri_vfs: SimVfs::default(),
+            stb_vfs: SimVfs::default(),
+            pri_slot: Arc::new(Mutex::new(None)),
+            stb_slot: Arc::new(Mutex::new(None)),
+            follower: None,
+            last_ok: Duration::ZERO,
+            promoted: false,
+            killed: false,
+            pool,
+            oracle: HashMap::new(),
+            acked: BTreeMap::new(),
+            crash_rng,
+            scripts,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_trace: 0,
+            trace: Vec::new(),
+            violations: Vec::new(),
+            requests: 0,
+        }
+    }
+
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    fn push(&mut self, at: Duration, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    fn note(&mut self, line: String) {
+        self.trace
+            .push(format!("[{}ms] {line}", self.now().as_millis()));
+    }
+
+    fn violate(&mut self, invariant: &'static str, detail: String) {
+        self.note(format!("VIOLATION {invariant}: {detail}"));
+        self.violations.push(Violation { invariant, detail });
+    }
+
+    /// A fresh 32-lowercase-hex trace id, deterministic per run.
+    fn mint_trace_id(&mut self) -> String {
+        let n = self.next_trace;
+        self.next_trace += 1;
+        format!("{:032x}", (self.seed as u128) << 64 | n as u128)
+    }
+
+    fn primary_config(&self) -> ServerConfig {
+        ServerConfig {
+            workers: 1,
+            cache_dir: Some(PathBuf::from("/pri")),
+            supervise_interval_ms: 5,
+            clock: Clock::manual(&self.clock),
+            vfs: Arc::new(self.pri_vfs.clone()),
+            connector: Arc::new(self.net.clone()),
+            store_compact_threshold: Some(self.opts.compact_threshold),
+            ..ServerConfig::default()
+        }
+    }
+
+    fn standby_config(&self) -> ServerConfig {
+        ServerConfig {
+            workers: 1,
+            cache_dir: Some(PathBuf::from("/stb")),
+            follow: Some(PRIMARY_ADDR.to_string()),
+            follow_external: true,
+            follow_poll_ms: self.opts.follow_poll.as_millis() as u64,
+            promote_after_ms: self.opts.promote_after.as_millis() as u64,
+            supervise_interval_ms: 5,
+            clock: Clock::manual(&self.clock),
+            vfs: Arc::new(self.stb_vfs.clone()),
+            connector: Arc::new(self.net.clone()),
+            store_compact_threshold: Some(self.opts.compact_threshold),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// The promoted standby reopens as a plain primary over its mirror
+    /// directory (used by the durability audit's crash-restart).
+    fn promoted_config(&self) -> ServerConfig {
+        ServerConfig {
+            cache_dir: Some(PathBuf::from("/stb")),
+            vfs: Arc::new(self.stb_vfs.clone()),
+            ..self.primary_config()
+        }
+    }
+
+    fn primary_server(&self) -> Option<Server> {
+        let slot = if self.promoted {
+            &self.stb_slot
+        } else {
+            &self.pri_slot
+        };
+        slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn standby_server(&self) -> Option<Server> {
+        self.stb_slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Asks a pristine, unfaulted server every pool question once and
+    /// records the expected conclusive verdicts.
+    fn build_oracle(&mut self) {
+        let config = ServerConfig {
+            workers: 1,
+            supervise_interval_ms: 5,
+            clock: Clock::manual(&self.clock),
+            ..ServerConfig::default()
+        };
+        let server = Server::open(config).expect("oracle server");
+        for si in 0..self.pool.len() {
+            let mut req = Request::new(format!("oracle-chk-{si}"), Op::Check);
+            req.schema = Some(self.pool[si].schema.clone());
+            req.trace_id = Some(self.mint_trace_id());
+            let resp = server.respond_line(&req.to_json());
+            self.oracle
+                .insert(Question::Check(si), (resp.status, resp.verdict));
+
+            let mut req = Request::new(format!("oracle-imp-{si}"), Op::Implies);
+            req.schema = Some(self.pool[si].schema.clone());
+            req.query = self.pool[si].query.clone();
+            req.trace_id = Some(self.mint_trace_id());
+            let resp = server.respond_line(&req.to_json());
+            self.oracle
+                .insert(Question::Implies(si), (resp.status, resp.verdict));
+        }
+        server.finish();
+    }
+
+    /// Checks a conclusive response against the oracle and the id echo;
+    /// appends the trace line.
+    fn observe(
+        &mut self,
+        client: usize,
+        op: ClientOp,
+        req_id: &str,
+        question: Question,
+        resp: &Response,
+    ) {
+        self.requests += 1;
+        if resp.id != req_id {
+            self.violate(
+                "response-identity",
+                format!("request {req_id} answered as {}", resp.id),
+            );
+        }
+        if conclusive(resp.status) {
+            match self.oracle.get(&question) {
+                Some((status, verdict)) if (*status, verdict) != (resp.status, &resp.verdict) => {
+                    self.violate(
+                        "verdict-safety",
+                        format!(
+                            "{question:?} answered {}/{:?}, oracle says {}/{:?}",
+                            resp.status.as_str(),
+                            resp.verdict,
+                            status.as_str(),
+                            verdict,
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+        self.note(format!(
+            "c{client} {} s{} -> {} {} cached={}",
+            op.name(),
+            op.si(),
+            resp.status.as_str(),
+            resp.verdict.as_deref().unwrap_or("-"),
+            resp.cached,
+        ));
+    }
+
+    fn client_request(&mut self, client: usize, idx: usize) {
+        let (_, op) = self.scripts[client][idx];
+        let Some(server) = self.primary_server() else {
+            self.note(format!(
+                "c{client} {} s{} -> primary-down",
+                op.name(),
+                op.si()
+            ));
+            return;
+        };
+        let si = op.si();
+        match op {
+            ClientOp::Check { certify, .. } => {
+                let id = format!("c{client}-r{idx}");
+                let mut req = Request::new(&id, Op::Check);
+                req.schema = Some(self.pool[si].schema.clone());
+                req.certify = certify;
+                req.trace_id = Some(self.mint_trace_id());
+                let resp = server.respond_line(&req.to_json());
+                if conclusive(resp.status) {
+                    // The server's contract: a conclusive check verdict
+                    // was certified + fsynced before this response.
+                    if let Some(v) = &resp.verdict {
+                        self.acked.insert(si, v.clone());
+                    }
+                }
+                self.observe(client, op, &id, Question::Check(si), &resp);
+            }
+            ClientOp::Implies { .. } => {
+                let id = format!("c{client}-r{idx}");
+                let mut req = Request::new(&id, Op::Implies);
+                req.schema = Some(self.pool[si].schema.clone());
+                req.query = self.pool[si].query.clone();
+                req.trace_id = Some(self.mint_trace_id());
+                let resp = server.respond_line(&req.to_json());
+                self.observe(client, op, &id, Question::Implies(si), &resp);
+            }
+            ClientOp::Delta { .. } => {
+                let pin_id = format!("c{client}-r{idx}p");
+                let mut pin = Request::new(&pin_id, Op::PinBase);
+                pin.schema = Some(self.pool[si].schema.clone());
+                pin.trace_id = Some(self.mint_trace_id());
+                let pinned = server.respond_line(&pin.to_json());
+                if pinned.id != pin_id {
+                    self.violate(
+                        "response-identity",
+                        format!("request {pin_id} answered as {}", pinned.id),
+                    );
+                }
+                let Some(hash) = pinned.schema_hash.clone() else {
+                    self.note(format!("c{client} pin s{si} -> {}", pinned.status.as_str()));
+                    return;
+                };
+                let id = format!("c{client}-r{idx}");
+                let mut req = Request::new(&id, Op::CheckDelta);
+                req.base = Some(hash);
+                // Empty diff, schema included: if a crash or failover
+                // lost the pinned base, the server falls back to a full
+                // check and the verdict stays conclusive.
+                req.schema = Some(self.pool[si].schema.clone());
+                req.trace_id = Some(self.mint_trace_id());
+                let resp = server.respond_line(&req.to_json());
+                self.observe(client, op, &id, Question::Check(si), &resp);
+            }
+        }
+    }
+
+    /// One externally-driven follower step, owning the promotion timer
+    /// (the same policy `Server::spawn_follower` runs on a thread for
+    /// the real daemon, here on virtual time).
+    fn follower_poll(&mut self) {
+        if self.promoted || self.now() >= self.end_of_time() {
+            return;
+        }
+        let Some(standby) = self.standby_server() else {
+            // Crashed; polls resume after its restart event.
+            let at = self.now() + self.opts.follow_poll;
+            self.push(at, Event::FollowerPoll);
+            return;
+        };
+        if self.follower.is_none() {
+            self.follower = standby.follower_client();
+            self.last_ok = self.now();
+        }
+        let Some(mut client) = self.follower.take() else {
+            return;
+        };
+        let step = standby.follower_step(&mut client);
+        self.follower = Some(client);
+        let next = match step {
+            Ok(FollowerStep::Applied { more }) => {
+                self.last_ok = self.now();
+                if more {
+                    Duration::from_nanos(1)
+                } else {
+                    self.opts.follow_poll
+                }
+            }
+            Ok(FollowerStep::Stopped) => return,
+            Err(_) => {
+                if self.now().saturating_sub(self.last_ok) >= self.opts.promote_after {
+                    match standby.promote() {
+                        Ok(_) => {
+                            self.promoted = true;
+                            self.note("standby promoted to primary".into());
+                        }
+                        Err(e) => self.note(format!("promotion failed: {e}")),
+                    }
+                    return;
+                }
+                self.opts.follow_poll
+            }
+        };
+        let at = self.now() + next;
+        self.push(at, Event::FollowerPoll);
+    }
+
+    fn restart_primary(&mut self) {
+        if self.killed {
+            return;
+        }
+        let mut slot = self.pri_slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_some() {
+            return;
+        }
+        *slot = Some(Server::open(self.primary_config()).expect("primary restart"));
+        drop(slot);
+        self.note("primary restarted".into());
+    }
+
+    fn restart_follower(&mut self) {
+        if self.promoted {
+            return;
+        }
+        let mut slot = self.stb_slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_some() {
+            return;
+        }
+        *slot = Some(Server::open(self.standby_config()).expect("standby restart"));
+        drop(slot);
+        self.follower = None;
+        self.last_ok = self.now();
+        self.note("standby restarted".into());
+    }
+
+    /// Crash a node: snapshot what its disk would hold after power loss
+    /// (synced bytes, plus — when `torn` — a random prefix of the final
+    /// unsynced write), shut the process, and put the crashed image back
+    /// for the eventual restart.
+    fn crash_node(&mut self, primary: bool, torn: bool) -> bool {
+        let (slot, vfs) = if primary {
+            (Arc::clone(&self.pri_slot), self.pri_vfs.clone())
+        } else {
+            (Arc::clone(&self.stb_slot), self.stb_vfs.clone())
+        };
+        let Some(server) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() else {
+            return false;
+        };
+        let image = vfs.crash_image(&mut self.crash_rng, torn);
+        // finish() flushes — after the image snapshot, so the flush is
+        // exactly what the crash destroys.
+        server.finish();
+        drop(server);
+        vfs.restore(&image);
+        if !primary {
+            self.follower = None;
+        }
+        true
+    }
+
+    fn heal_all(&mut self) {
+        self.net.set_partitioned(false);
+        self.net.set_delay(Duration::ZERO);
+    }
+
+    /// Pumps replication until the standby has the primary's whole log
+    /// (bounded; used before a permanent kill so the failover loses no
+    /// acknowledged verdict — the same guarantee the real drain-then-kill
+    /// runbook gives).
+    fn drain_replication(&mut self) {
+        let Some(standby) = self.standby_server() else {
+            return;
+        };
+        if self.follower.is_none() {
+            self.follower = standby.follower_client();
+        }
+        let Some(mut client) = self.follower.take() else {
+            return;
+        };
+        let mut errs = 0;
+        for _ in 0..10_000 {
+            match standby.follower_step(&mut client) {
+                Ok(FollowerStep::Applied { more: true }) => errs = 0,
+                Ok(FollowerStep::Applied { more: false }) | Ok(FollowerStep::Stopped) => break,
+                Err(_) => {
+                    errs += 1;
+                    if errs > 3 {
+                        break;
+                    }
+                }
+            }
+        }
+        self.follower = Some(client);
+        self.last_ok = self.now();
+    }
+
+    fn apply_fault(&mut self, k: usize) {
+        let FaultEvent { kind, .. } = self.schedule[k].clone();
+        self.note(format!("fault {}", kind.site()));
+        match kind {
+            FaultKind::PartitionRepl { heal_after } => {
+                self.net.set_partitioned(true);
+                let at = self.now() + heal_after;
+                self.push(at, Event::HealPartition);
+            }
+            FaultKind::DropReplConn { count } => {
+                self.net.drop_next(count);
+            }
+            FaultKind::DelayRepl { delay, dur } => {
+                self.net.set_delay(delay);
+                let at = self.now() + dur;
+                self.push(at, Event::HealDelay);
+            }
+            FaultKind::CrashPrimary {
+                torn,
+                restart_after,
+            } => {
+                if self.crash_node(true, torn) {
+                    self.note("primary crashed".into());
+                    let at = self.now() + restart_after;
+                    self.push(at, Event::RestartPrimary);
+                }
+            }
+            FaultKind::CrashFollower {
+                torn,
+                restart_after,
+            } => {
+                if self.promoted {
+                    return;
+                }
+                if self.crash_node(false, torn) {
+                    self.note("standby crashed".into());
+                    let at = self.now() + restart_after;
+                    self.push(at, Event::RestartFollower);
+                }
+            }
+            FaultKind::KillPrimary => {
+                // Graceful-ish failover: heal the fabric, revive both
+                // nodes if mid-crash, drain replication, then kill — so
+                // the promotion that follows loses nothing acked.
+                self.heal_all();
+                self.restart_primary();
+                self.restart_follower();
+                self.drain_replication();
+                self.killed = true;
+                let taken = self
+                    .pri_slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                if let Some(server) = taken {
+                    server.finish();
+                    self.note("primary killed".into());
+                }
+            }
+            FaultKind::SkipFsync => {
+                self.pri_vfs.lie_on_sync(true);
+            }
+        }
+    }
+
+    fn end_of_time(&self) -> Duration {
+        self.opts.horizon + self.opts.promote_after * 2
+    }
+
+    /// The end-of-run acked-durability audit: crash-restart the current
+    /// primary from durable bytes and re-ask every acked question.
+    fn audit_durability(&mut self) {
+        if self.killed && !self.promoted {
+            self.violate(
+                "promotion-liveness",
+                "primary killed but the standby never promoted".into(),
+            );
+            return;
+        }
+        if self.acked.is_empty() {
+            return;
+        }
+        let (config, which) = if self.promoted {
+            (self.promoted_config(), false)
+        } else {
+            (self.primary_config(), true)
+        };
+        // If the current primary is already down (restart still pending
+        // at end of schedule) its durable image is already on disk and
+        // crash_node is a no-op.
+        self.crash_node(which, false);
+        self.note("audit: crash-restarting current primary".into());
+        let server = Server::open(config).expect("audit reopen");
+        let acked: Vec<(usize, String)> =
+            self.acked.iter().map(|(si, v)| (*si, v.clone())).collect();
+        for (si, expected) in acked {
+            let id = format!("audit-{si}");
+            let mut req = Request::new(&id, Op::Check);
+            req.schema = Some(self.pool[si].schema.clone());
+            req.trace_id = Some(self.mint_trace_id());
+            let resp = server.respond_line(&req.to_json());
+            let verdict = resp.verdict.clone().unwrap_or_default();
+            if !conclusive(resp.status) || verdict != expected {
+                self.violate(
+                    "acked-durability",
+                    format!(
+                        "acked verdict for s{si} was {expected:?}, \
+                         after crash-restart got {}/{verdict:?}",
+                        resp.status.as_str()
+                    ),
+                );
+            } else if !resp.cached {
+                self.violate(
+                    "acked-durability",
+                    format!(
+                        "acked verdict for s{si} not recovered from the \
+                         durable log (recomputed cold after crash-restart)"
+                    ),
+                );
+            } else {
+                self.note(format!("audit s{si} ok ({verdict})"));
+            }
+        }
+        server.finish();
+    }
+
+    fn run(mut self) -> SimReport {
+        self.build_oracle();
+        *self.pri_slot.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(Server::open(self.primary_config()).expect("primary boot"));
+        self.net.register(PRIMARY_ADDR, Arc::clone(&self.pri_slot));
+        *self.stb_slot.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(Server::open(self.standby_config()).expect("standby boot"));
+        self.note(format!("boot seed={}", self.seed));
+
+        for c in 0..self.scripts.len() {
+            for i in 0..self.scripts[c].len() {
+                let at = self.scripts[c][i].0;
+                self.push(at, Event::ClientReq { client: c, idx: i });
+            }
+        }
+        for k in 0..self.schedule.len() {
+            let at = self.schedule[k].at;
+            self.push(at, Event::Fault(k));
+        }
+        self.push(self.opts.follow_poll, Event::FollowerPoll);
+
+        while let Some(Scheduled { at, event, .. }) = self.heap.pop() {
+            // Virtual time never rewinds: simulated io timeouts may have
+            // advanced the clock past this event's nominal time, in
+            // which case it simply runs late (deterministically so).
+            let now = self.now();
+            if at > now {
+                self.clock.advance(at - now);
+            }
+            match event {
+                Event::ClientReq { client, idx } => self.client_request(client, idx),
+                Event::FollowerPoll => self.follower_poll(),
+                Event::Fault(k) => self.apply_fault(k),
+                Event::HealPartition => self.net.set_partitioned(false),
+                Event::HealDelay => self.net.set_delay(Duration::ZERO),
+                Event::RestartPrimary => self.restart_primary(),
+                Event::RestartFollower => self.restart_follower(),
+            }
+        }
+
+        self.audit_durability();
+
+        // Tear down whatever still runs.
+        for slot in [&self.pri_slot, &self.stb_slot] {
+            if let Some(server) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                server.finish();
+            }
+        }
+
+        SimReport {
+            seed: self.seed,
+            schedule: self.schedule,
+            trace: self.trace,
+            violations: self.violations,
+            requests: self.requests,
+            promoted: self.promoted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_run_passes_and_replays_identically() {
+        let opts = SimOptions::default();
+        let a = run_schedule(7, &[], &opts);
+        assert!(!a.failed(), "violations: {:?}", a.violations);
+        assert!(a.requests > 0);
+        let b = run_schedule(7, &[], &opts);
+        assert_eq!(a.trace, b.trace, "replay must be byte-identical");
+    }
+
+    #[test]
+    fn kill_primary_promotes_standby() {
+        let opts = SimOptions::default();
+        let schedule = vec![FaultEvent {
+            at: Duration::from_millis(900),
+            kind: FaultKind::KillPrimary,
+        }];
+        let report = run_schedule(11, &schedule, &opts);
+        assert!(report.promoted, "standby must take over");
+        assert!(!report.failed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn skipped_fsync_is_caught_by_the_durability_audit() {
+        let opts = SimOptions::default();
+        let schedule = vec![FaultEvent {
+            at: Duration::from_millis(1),
+            kind: FaultKind::SkipFsync,
+        }];
+        let report = run_schedule(13, &schedule, &opts);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == "acked-durability"),
+            "a lying fsync must fail the audit; got {:?}",
+            report.violations
+        );
+    }
+}

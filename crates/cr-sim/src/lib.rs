@@ -1,0 +1,57 @@
+//! `cr-sim`: deterministic whole-cluster simulation for the CR serving
+//! stack.
+//!
+//! The serving layer (`cr-server` + `cr-store`) claims crash safety,
+//! replication that loses no acknowledged verdict, and a standby that
+//! promotes itself when the primary dies. Those claims live exactly
+//! where unit tests do not reach: in the interleaving of network
+//! faults, torn disk writes, and process crashes. This crate tests them
+//! the FoundationDB way — run the *whole* cluster (primary, warm
+//! standby, scripted clients) single-threaded on virtual time, draw
+//! every nondeterministic choice from one seed, and check invariants
+//! over thousands of seeded failure schedules. A failing seed replays
+//! byte-identically and shrinks to a minimal fault set.
+//!
+//! The pieces:
+//!
+//! * [`rng`] — one xorshift64* stream per run; every choice (fault
+//!   schedule, torn-write lengths, client scripts) forks off the seed.
+//! * [`vfs`] — [`SimVfs`], an in-memory [`cr_store::Vfs`] tracking
+//!   live vs durable bytes per file: crashes revert to durable (torn
+//!   crashes keep a rng-chosen prefix of the unsynced suffix), and a
+//!   scheduled *lying fsync* makes acked-durability violations
+//!   reachable on purpose.
+//! * [`net`] — [`SimNet`], an in-memory [`cr_server::Connector`] with
+//!   partition / delay / disconnect faults; delivery advances the
+//!   shared [`cr_core::ManualClock`] instead of sleeping.
+//! * [`cluster`] — the event loop: topology bring-up, scripted
+//!   check/certify/implies/delta traffic, fault application, promotion
+//!   pumping, and the four invariant checkers (acked durability,
+//!   verdict safety vs an unfaulted oracle, response identity,
+//!   promotion liveness).
+//! * [`schedule`] — the seeded fault vocabulary, each fault naming the
+//!   subsystem site it attacks.
+//! * [`mod@swarm`] — seed sweeps, replay, and greedy schedule shrinking
+//!   (`crsat sim` is a thin shell over this module).
+//!
+//! Nothing here touches the real network or disk: the same `Server`
+//! code that serves production TCP traffic runs against injected seams
+//! ([`cr_server::ServerConfig`]'s `clock`, `vfs`, and `connector`
+//! fields), so a bug found by the swarm is a bug in the real daemon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod net;
+pub mod rng;
+pub mod schedule;
+pub mod swarm;
+pub mod vfs;
+
+pub use cluster::{run_schedule, run_seed, schedule_for_seed, SimOptions, SimReport, Violation};
+pub use net::{NodeSlot, SimConn, SimNet};
+pub use rng::SimRng;
+pub use schedule::{generate, FaultEvent, FaultKind};
+pub use swarm::{shrink, swarm, SwarmFailure, SwarmReport};
+pub use vfs::{FsImage, SimVfs};

@@ -1,0 +1,278 @@
+//! The virtual network: an in-memory [`cr_server::Connector`] connecting
+//! simulated nodes, with scheduled delay, partition, and disconnect
+//! faults.
+//!
+//! A connection is FIFO: requests written to it are answered in order
+//! (reordering happens at *connection* granularity — the event scheduler
+//! interleaves different connections' traffic in seed-dependent order,
+//! but one connection never reorders internally, matching TCP). Each
+//! request line written through a connection is delivered synchronously
+//! to the destination node's [`cr_server::Server::respond_line`] — the
+//! whole cluster runs on one thread, so "the network" is a function
+//! call plus virtual-time accounting:
+//!
+//! * **delay** — advances the shared [`ManualClock`] per delivered line;
+//! * **partition** — requests are silently swallowed; the caller's next
+//!   read times out (after advancing virtual time by its io timeout),
+//!   exactly what a lapsed heartbeat looks like;
+//! * **disconnect** — the next `n` request lines kill their connection
+//!   with `ConnectionReset`, forcing the follower's reconnect path.
+//!
+//! A node that is down (its slot holds `None`) refuses connections and
+//! resets established ones.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use cr_core::ManualClock;
+use cr_server::{Conn, Connector, Server};
+
+/// Where a simulated node lives: `None` while crashed.
+pub type NodeSlot = Arc<Mutex<Option<Server>>>;
+
+#[derive(Default)]
+struct NetState {
+    endpoints: HashMap<String, NodeSlot>,
+    partitioned: bool,
+    delay: Duration,
+    drop_next: u64,
+}
+
+/// The cluster's network fabric; also the [`Connector`] injected into
+/// every node. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct SimNet {
+    state: Arc<Mutex<NetState>>,
+    clock: ManualClock,
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.lock();
+        f.debug_struct("SimNet")
+            .field("endpoints", &state.endpoints.len())
+            .field("partitioned", &state.partitioned)
+            .field("delay", &state.delay)
+            .field("drop_next", &state.drop_next)
+            .finish()
+    }
+}
+
+impl SimNet {
+    /// A fabric advancing `clock` for its latencies.
+    pub fn new(clock: &ManualClock) -> SimNet {
+        SimNet {
+            state: Arc::new(Mutex::new(NetState::default())),
+            clock: clock.clone(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, NetState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers `addr` as reachable at `slot`.
+    pub fn register(&self, addr: impl Into<String>, slot: NodeSlot) {
+        self.lock().endpoints.insert(addr.into(), slot);
+    }
+
+    /// Starts or heals a full partition (requests swallowed; reads time
+    /// out).
+    pub fn set_partitioned(&self, on: bool) {
+        self.lock().partitioned = on;
+    }
+
+    /// Sets the per-delivered-line latency (advances the virtual clock).
+    pub fn set_delay(&self, delay: Duration) {
+        self.lock().delay = delay;
+    }
+
+    /// Kills the next `n` request lines' connections with
+    /// `ConnectionReset`.
+    pub fn drop_next(&self, n: u64) {
+        self.lock().drop_next += n;
+    }
+}
+
+/// What reading a [`SimConn`] with nothing buffered should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnFate {
+    /// Connection healthy; an empty read times out (virtual io timeout).
+    Open,
+    /// Peer vanished or the fault plane killed the connection.
+    Reset,
+}
+
+struct ConnState {
+    addr: String,
+    net: SimNet,
+    timeout: Duration,
+    pending: Vec<u8>,
+    inbox: Vec<u8>,
+    fate: ConnFate,
+}
+
+impl ConnState {
+    /// Delivers every complete line in `pending` to the destination,
+    /// applying the fault plane per line.
+    fn pump(&mut self) -> io::Result<()> {
+        while let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = self.pending.drain(..=nl).collect();
+            let (partitioned, delay, dropped, slot) = {
+                let mut state = self.net.lock();
+                let dropped = if state.drop_next > 0 {
+                    state.drop_next -= 1;
+                    true
+                } else {
+                    false
+                };
+                (
+                    state.partitioned,
+                    state.delay,
+                    dropped,
+                    state.endpoints.get(&self.addr).cloned(),
+                )
+            };
+            if dropped {
+                self.fate = ConnFate::Reset;
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "sim: connection dropped",
+                ));
+            }
+            if partitioned {
+                // The line is in flight on a dead link: swallowed. The
+                // caller discovers it by read timeout.
+                continue;
+            }
+            let server = slot.and_then(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone());
+            let Some(server) = server else {
+                self.fate = ConnFate::Reset;
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "sim: peer is down",
+                ));
+            };
+            if !delay.is_zero() {
+                self.net.clock.advance(delay);
+            }
+            let line = String::from_utf8_lossy(&line_bytes);
+            let response = server.respond_line(line.trim_end_matches('\n'));
+            self.inbox.extend_from_slice(response.to_json().as_bytes());
+            self.inbox.push(b'\n');
+        }
+        Ok(())
+    }
+}
+
+/// One virtual connection (see the module docs).
+pub struct SimConn {
+    state: Arc<Mutex<ConnState>>,
+}
+
+impl fmt::Debug for SimConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SimConn")
+    }
+}
+
+impl Read for SimConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.inbox.is_empty() {
+            return match state.fate {
+                ConnFate::Reset => Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "sim: connection reset",
+                )),
+                ConnFate::Open => {
+                    // A blocking read with nothing coming: virtual time
+                    // passes (the io timeout) and the read times out.
+                    let timeout = state.timeout;
+                    state.net.clock.advance(timeout);
+                    Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "sim: read timed out",
+                    ))
+                }
+            };
+        }
+        let n = buf.len().min(state.inbox.len());
+        buf[..n].copy_from_slice(&state.inbox[..n]);
+        state.inbox.drain(..n);
+        Ok(n)
+    }
+}
+
+impl Write for SimConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.fate == ConnFate::Reset {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "sim: connection reset",
+            ));
+        }
+        state.pending.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.pump()
+    }
+}
+
+impl Conn for SimConn {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        if let Some(t) = timeout {
+            self.state.lock().unwrap_or_else(|e| e.into_inner()).timeout = t;
+        }
+        Ok(())
+    }
+
+    fn clone_writer(&self) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(SimConn {
+            state: Arc::clone(&self.state),
+        }))
+    }
+}
+
+impl Connector for SimNet {
+    fn connect(&self, addr: &str, timeout: Duration) -> io::Result<Box<dyn Conn>> {
+        let state = self.lock();
+        if state.partitioned {
+            self.clock.advance(timeout);
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "sim: connect timed out (partitioned)",
+            ));
+        }
+        let Some(slot) = state.endpoints.get(addr) else {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("sim: no endpoint {addr}"),
+            ));
+        };
+        if slot.lock().unwrap_or_else(|e| e.into_inner()).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("sim: {addr} is down"),
+            ));
+        }
+        drop(state);
+        Ok(Box::new(SimConn {
+            state: Arc::new(Mutex::new(ConnState {
+                addr: addr.to_string(),
+                net: self.clone(),
+                timeout,
+                pending: Vec::new(),
+                inbox: Vec::new(),
+                fate: ConnFate::Open,
+            })),
+        }))
+    }
+}

@@ -1,0 +1,185 @@
+//! Fault schedules: the discrete, replayable list of bad things one
+//! simulated run does to the cluster — and the greedy shrinker that
+//! reduces a failing schedule to a minimal reproduction.
+//!
+//! A schedule is *data*, derived deterministically from the run seed (or
+//! handed in explicitly). The simulator applies each entry at its
+//! virtual time; replaying the same seed rebuilds the same schedule and
+//! therefore the same run. When a run violates an invariant, the
+//! shrinker re-runs the same seed with subsets of the schedule, keeping
+//! each removal that still reproduces the *same* invariant violation —
+//! the surviving entries are the minimal fault set, each naming the
+//! subsystem site it attacks.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::rng::SimRng;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault applies.
+    pub at: Duration,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The fault vocabulary. Network faults act on the replication fabric;
+/// node faults crash whole processes against their virtual disk; the
+/// disk fault makes `fsync` lie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Full replication partition, healing after `heal_after`.
+    PartitionRepl {
+        /// How long the partition lasts.
+        heal_after: Duration,
+    },
+    /// Kill the next `count` replication request lines' connections.
+    DropReplConn {
+        /// Connections to reset.
+        count: u64,
+    },
+    /// Add `delay` latency per replicated line for `dur`.
+    DelayRepl {
+        /// Injected per-line latency.
+        delay: Duration,
+        /// How long the slow period lasts.
+        dur: Duration,
+    },
+    /// Crash the primary (losing unsynced bytes; `torn` keeps a partial
+    /// final write) and restart it after `restart_after`.
+    CrashPrimary {
+        /// Tear the final unsynced write instead of dropping it whole.
+        torn: bool,
+        /// Downtime before the reboot.
+        restart_after: Duration,
+    },
+    /// Crash the standby and restart it after `restart_after`.
+    CrashFollower {
+        /// Tear the final unsynced write instead of dropping it whole.
+        torn: bool,
+        /// Downtime before the reboot.
+        restart_after: Duration,
+    },
+    /// Kill the primary permanently: the standby must notice the lapsed
+    /// heartbeat and promote itself (the liveness scenario).
+    KillPrimary,
+    /// From this point on the primary's disk stops honoring fsync
+    /// (reports success, pins nothing). Never generated for swarm
+    /// schedules — this is the deliberate acked-durability violation
+    /// the checker self-test plants. (Permanent rather than one-shot: a
+    /// single skipped sync is silently repaired by the next honest sync
+    /// of the same file, so only a disk that *stays* broken reliably
+    /// violates the invariant.)
+    SkipFsync,
+}
+
+impl FaultKind {
+    /// The subsystem site this fault attacks — what a shrunk schedule
+    /// names in its report.
+    pub fn site(&self) -> &'static str {
+        match self {
+            FaultKind::PartitionRepl { .. } => "net.repl.partition",
+            FaultKind::DropReplConn { .. } => "net.repl.drop",
+            FaultKind::DelayRepl { .. } => "net.repl.delay",
+            FaultKind::CrashPrimary { .. } => "node.primary.crash",
+            FaultKind::CrashFollower { .. } => "node.follower.crash",
+            FaultKind::KillPrimary => "node.primary.kill",
+            FaultKind::SkipFsync => "store.append.sync",
+        }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}ms {} {:?}",
+            self.at.as_millis(),
+            self.kind.site(),
+            self.kind
+        )
+    }
+}
+
+/// Derives a run's fault schedule from its seed: 0–3 faults at times
+/// inside `horizon`, drawn from the swarm vocabulary (everything except
+/// [`FaultKind::SkipFsync`], which only the self-test plants — a lying
+/// disk *should* fail the durability invariant, so it has no place in a
+/// schedule that must pass).
+pub fn generate(rng: &mut SimRng, horizon: Duration) -> Vec<FaultEvent> {
+    let mut events = Vec::new();
+    let n = rng.below(4);
+    let horizon_ms = horizon.as_millis() as u64;
+    for _ in 0..n {
+        let at = Duration::from_millis(rng.range(horizon_ms / 10, horizon_ms));
+        let kind = match rng.below(6) {
+            0 => FaultKind::PartitionRepl {
+                heal_after: Duration::from_millis(rng.range(50, horizon_ms / 2)),
+            },
+            1 => FaultKind::DropReplConn {
+                count: rng.range(1, 4),
+            },
+            2 => FaultKind::DelayRepl {
+                delay: Duration::from_millis(rng.range(1, 20)),
+                dur: Duration::from_millis(rng.range(50, horizon_ms / 2)),
+            },
+            3 => FaultKind::CrashPrimary {
+                torn: rng.chance(50),
+                restart_after: Duration::from_millis(rng.range(20, 200)),
+            },
+            4 => FaultKind::CrashFollower {
+                torn: rng.chance(50),
+                restart_after: Duration::from_millis(rng.range(20, 200)),
+            },
+            _ => FaultKind::KillPrimary,
+        };
+        events.push(FaultEvent { at, kind });
+    }
+    // At most one permanent kill, and nothing scheduled after it on the
+    // primary: later primary crashes would hit a corpse.
+    if let Some(kill_at) = events
+        .iter()
+        .filter(|e| e.kind == FaultKind::KillPrimary)
+        .map(|e| e.at)
+        .min()
+    {
+        events.retain(|e| {
+            e.at <= kill_at
+                || !matches!(
+                    e.kind,
+                    FaultKind::KillPrimary | FaultKind::CrashPrimary { .. }
+                )
+        });
+    }
+    events.sort_by_key(|e| e.at);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let horizon = Duration::from_millis(2000);
+        let a = generate(&mut SimRng::new(99), horizon);
+        let b = generate(&mut SimRng::new(99), horizon);
+        assert_eq!(a, b);
+        // Some seed in a small range produces a non-empty schedule.
+        assert!((0..20).any(|s| !generate(&mut SimRng::new(s), horizon).is_empty()));
+    }
+
+    #[test]
+    fn at_most_one_kill_survives() {
+        for seed in 0..200 {
+            let events = generate(&mut SimRng::new(seed), Duration::from_millis(2000));
+            let kills = events
+                .iter()
+                .filter(|e| e.kind == FaultKind::KillPrimary)
+                .count();
+            assert!(kills <= 1, "seed {seed} kept {kills} kills");
+        }
+    }
+}

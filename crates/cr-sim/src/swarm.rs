@@ -1,0 +1,125 @@
+//! The failure swarm: sweep a seed range, replay any failure, and
+//! greedily shrink its fault schedule to a minimal reproduction.
+
+use crate::cluster::{run_schedule, run_seed, schedule_for_seed, SimOptions, SimReport};
+use crate::schedule::FaultEvent;
+
+/// One failing seed, with its shrunk reproduction.
+#[derive(Debug, Clone)]
+pub struct SwarmFailure {
+    /// The failing run (full schedule, trace, violations).
+    pub report: SimReport,
+    /// The minimal fault subset that still reproduces the first
+    /// violated invariant (replay with
+    /// [`run_schedule`]`(seed, &shrunk, opts)`).
+    pub shrunk: Vec<FaultEvent>,
+}
+
+/// A sweep's outcome.
+#[derive(Debug, Clone)]
+pub struct SwarmReport {
+    /// Seeds simulated.
+    pub seeds_run: u64,
+    /// Failing seeds, each with a shrunk schedule.
+    pub failures: Vec<SwarmFailure>,
+}
+
+impl SwarmReport {
+    /// True when every seed passed every invariant.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `count` seeds starting at `base_seed`, shrinking every failure.
+pub fn swarm(base_seed: u64, count: u64, opts: &SimOptions) -> SwarmReport {
+    let mut failures = Vec::new();
+    for seed in base_seed..base_seed.saturating_add(count) {
+        let report = run_seed(seed, opts);
+        if report.failed() {
+            let shrunk = shrink(seed, &report.schedule, opts);
+            failures.push(SwarmFailure { report, shrunk });
+        }
+    }
+    SwarmReport {
+        seeds_run: count,
+        failures,
+    }
+}
+
+/// Greedily shrinks a failing schedule: repeatedly drop any single fault
+/// whose removal still reproduces the originally violated invariant,
+/// until no single removal does. The result is locally minimal — every
+/// remaining fault is necessary (removing it alone makes the run pass
+/// that invariant).
+pub fn shrink(seed: u64, schedule: &[FaultEvent], opts: &SimOptions) -> Vec<FaultEvent> {
+    let baseline = run_schedule(seed, schedule, opts);
+    let Some(target) = baseline.violations.first().map(|v| v.invariant) else {
+        return Vec::new();
+    };
+    let mut current = schedule.to_vec();
+    loop {
+        let mut progressed = false;
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            let report = run_schedule(seed, &candidate, opts);
+            if report.violations.iter().any(|v| v.invariant == target) {
+                current = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Convenience: what [`swarm`] would simulate for `seed` (exposed for
+/// `crsat sim --replay`).
+pub fn replay(seed: u64, opts: &SimOptions) -> SimReport {
+    run_seed(seed, opts)
+}
+
+/// Returns the seed's derived schedule without running it (for
+/// reporting).
+pub fn planned_schedule(seed: u64, opts: &SimOptions) -> Vec<FaultEvent> {
+    schedule_for_seed(seed, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultKind;
+    use std::time::Duration;
+
+    #[test]
+    fn shrink_drops_irrelevant_faults_and_names_the_sync_site() {
+        let opts = SimOptions::default();
+        // A lying fsync plus two innocuous network faults: shrinking must
+        // keep only the fsync skip.
+        let schedule = vec![
+            FaultEvent {
+                at: Duration::from_millis(1),
+                kind: FaultKind::SkipFsync,
+            },
+            FaultEvent {
+                at: Duration::from_millis(400),
+                kind: FaultKind::DelayRepl {
+                    delay: Duration::from_millis(2),
+                    dur: Duration::from_millis(100),
+                },
+            },
+            FaultEvent {
+                at: Duration::from_millis(700),
+                kind: FaultKind::DropReplConn { count: 1 },
+            },
+        ];
+        let report = run_schedule(21, &schedule, &opts);
+        assert!(report.failed(), "the lying fsync must be caught");
+        let shrunk = shrink(21, &schedule, &opts);
+        assert_eq!(shrunk.len(), 1, "shrunk to {shrunk:?}");
+        assert_eq!(shrunk[0].kind.site(), "store.append.sync");
+    }
+}

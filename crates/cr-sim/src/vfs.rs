@@ -1,0 +1,403 @@
+//! The virtual disk: an in-memory [`cr_store::Vfs`] with crash semantics
+//! and fault injection.
+//!
+//! Every node in the simulated cluster writes its durable state (verdict
+//! log, mirror, port file) through one [`SimVfs`]. The model tracks, per
+//! file, both the *live* image (what readers see now) and the *durable*
+//! image (what the last successful `sync_all` pinned). A simulated crash
+//! reverts every file to its durable image — optionally keeping a
+//! rng-chosen prefix of the unsynced suffix, which is exactly a torn
+//! final write. Faults are scheduled by global operation ordinal, so a
+//! replayed seed hits the same operation:
+//!
+//! * **skip-sync** — the lying disk: `sync_all` returns `Ok` without
+//!   pinning anything. Acked-durability violations become reachable and
+//!   the swarm's durability checker must catch them (the deliberate
+//!   self-test in CI schedules one and asserts detection).
+//! * **fail-sync / fail-write** — the honest-error disk: the operation
+//!   returns an injected `io::Error`, exercising the store's error
+//!   paths.
+//!
+//! Rename is modeled as atomic *and* immediately durable — stricter than
+//! a real filesystem needs to be, but the store's crash-safety argument
+//! never relies on losing a rename, and a model that can lose one would
+//! be testing claims the store does not make. Inode identity survives
+//! rename (a handle keeps addressing its file after the path is renamed
+//! over), which the store's compaction handle handoff relies on.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cr_store::{Vfs, VfsFile};
+
+use crate::rng::SimRng;
+
+#[derive(Debug, Default)]
+struct Inode {
+    /// What readers observe now.
+    live: Vec<u8>,
+    /// What the last successful sync pinned; all a crash guarantees.
+    durable: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct FsState {
+    inodes: HashMap<PathBuf, Arc<Mutex<Inode>>>,
+    dirs: HashSet<PathBuf>,
+    /// Global operation ordinals (1-based), for fault scheduling.
+    syncs: u64,
+    writes: u64,
+    skip_sync: BTreeSet<u64>,
+    fail_sync: BTreeSet<u64>,
+    fail_write: BTreeSet<u64>,
+    /// When set, every `sync_all` lies (reports success, pins nothing).
+    lying: bool,
+}
+
+/// The in-memory filesystem. Cheap to clone (an `Arc`); clones share
+/// state — hand one to each component of a node.
+#[derive(Debug, Clone, Default)]
+pub struct SimVfs {
+    state: Arc<Mutex<FsState>>,
+}
+
+/// A point-in-time byte image of the whole filesystem (what survived a
+/// crash), restorable into the same [`SimVfs`].
+#[derive(Debug, Clone)]
+pub struct FsImage {
+    files: Vec<(PathBuf, Vec<u8>)>,
+    dirs: Vec<PathBuf>,
+}
+
+impl SimVfs {
+    /// A fresh, empty filesystem.
+    pub fn new() -> SimVfs {
+        SimVfs::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FsState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Schedules the `n`-th `sync_all` (1-based, counted across all
+    /// files) to *lie*: return `Ok` without pinning anything. The
+    /// canonical acked-durability violation.
+    pub fn skip_nth_sync(&self, n: u64) {
+        self.lock().skip_sync.insert(n);
+    }
+
+    /// Turns the permanently lying disk on or off: while on, every
+    /// `sync_all` reports success without pinning anything. A single
+    /// skipped sync can be silently repaired by the next honest sync of
+    /// the same file (real fsync pins the whole file), so the swarm's
+    /// durability self-test uses this mode — once the disk stops
+    /// honoring fsync, every later acknowledgment is a lie the audit
+    /// must catch.
+    pub fn lie_on_sync(&self, on: bool) {
+        self.lock().lying = on;
+    }
+
+    /// Schedules the `n`-th `sync_all` to fail with an injected error.
+    pub fn fail_nth_sync(&self, n: u64) {
+        self.lock().fail_sync.insert(n);
+    }
+
+    /// Schedules the `n`-th `write_all` to fail with an injected error.
+    pub fn fail_nth_write(&self, n: u64) {
+        self.lock().fail_write.insert(n);
+    }
+
+    /// Syncs observed so far (to aim ordinal-scheduled faults).
+    pub fn sync_count(&self) -> u64 {
+        self.lock().syncs
+    }
+
+    /// The byte image a crash right now would leave behind: every file
+    /// reverted to its durable image, plus — when `torn` — a rng-chosen
+    /// prefix of any unsynced appended suffix (a torn final write).
+    pub fn crash_image(&self, rng: &mut SimRng, torn: bool) -> FsImage {
+        let state = self.lock();
+        let mut files: Vec<(PathBuf, Vec<u8>)> = Vec::new();
+        // Deterministic iteration: the rng draws below must not depend on
+        // HashMap order.
+        let mut paths: Vec<&PathBuf> = state.inodes.keys().collect();
+        paths.sort();
+        for path in paths {
+            let inode = state.inodes[path].lock().unwrap_or_else(|e| e.into_inner());
+            let mut survives = inode.durable.clone();
+            if torn && inode.live.len() > inode.durable.len() && inode.live.starts_with(&survives) {
+                let unsynced = inode.live.len() - inode.durable.len();
+                let keep = rng.below(unsynced as u64 + 1) as usize;
+                survives.extend_from_slice(&inode.live[inode.durable.len()..][..keep]);
+            }
+            files.push((path.clone(), survives));
+        }
+        let mut dirs: Vec<PathBuf> = state.dirs.iter().cloned().collect();
+        dirs.sort();
+        FsImage { files, dirs }
+    }
+
+    /// Replaces the filesystem contents with `image` (the crashed node
+    /// rebooting against what its disk actually held). Fault schedules
+    /// and operation ordinals continue counting — they are per-run, not
+    /// per-boot.
+    pub fn restore(&self, image: &FsImage) {
+        let mut state = self.lock();
+        state.inodes.clear();
+        state.dirs = image.dirs.iter().cloned().collect();
+        for (path, bytes) in &image.files {
+            state.inodes.insert(
+                path.clone(),
+                Arc::new(Mutex::new(Inode {
+                    live: bytes.clone(),
+                    durable: bytes.clone(),
+                })),
+            );
+        }
+    }
+
+    /// Raw live bytes of `path` (test/inspection aid).
+    pub fn live_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        let state = self.lock();
+        let inode = Arc::clone(state.inodes.get(path)?);
+        drop(state);
+        let bytes = inode.lock().unwrap_or_else(|e| e.into_inner()).live.clone();
+        Some(bytes)
+    }
+}
+
+/// An open handle onto one [`SimVfs`] inode.
+#[derive(Debug)]
+struct SimFile {
+    vfs: Arc<Mutex<FsState>>,
+    inode: Arc<Mutex<Inode>>,
+    pos: u64,
+}
+
+impl SimFile {
+    /// Checks (and counts) this write against the fault schedule.
+    fn write_gate(&self) -> io::Result<()> {
+        let mut state = self.vfs.lock().unwrap_or_else(|e| e.into_inner());
+        state.writes += 1;
+        let ordinal = state.writes;
+        if state.fail_write.remove(&ordinal) {
+            return Err(io::Error::other(format!(
+                "sim: injected write error (write #{ordinal})"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl VfsFile for SimFile {
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let inode = self.inode.lock().unwrap_or_else(|e| e.into_inner());
+        let from = (self.pos as usize).min(inode.live.len());
+        let tail = &inode.live[from..];
+        buf.extend_from_slice(tail);
+        self.pos = inode.live.len() as u64;
+        Ok(tail.len())
+    }
+
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.write_gate()?;
+        let mut inode = self.inode.lock().unwrap_or_else(|e| e.into_inner());
+        let at = self.pos as usize;
+        if inode.live.len() < at {
+            inode.live.resize(at, 0);
+        }
+        let overlap = (inode.live.len() - at).min(data.len());
+        inode.live[at..at + overlap].copy_from_slice(&data[..overlap]);
+        inode.live.extend_from_slice(&data[overlap..]);
+        self.pos += data.len() as u64;
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        let mut inode = self.inode.lock().unwrap_or_else(|e| e.into_inner());
+        inode.live.resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        self.pos = pos;
+        Ok(())
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        let mut state = self.vfs.lock().unwrap_or_else(|e| e.into_inner());
+        state.syncs += 1;
+        let ordinal = state.syncs;
+        if state.lying || state.skip_sync.remove(&ordinal) {
+            // The lying disk: report success, pin nothing.
+            return Ok(());
+        }
+        if state.fail_sync.remove(&ordinal) {
+            return Err(io::Error::other(format!(
+                "sim: injected sync error (sync #{ordinal})"
+            )));
+        }
+        drop(state);
+        let mut inode = self.inode.lock().unwrap_or_else(|e| e.into_inner());
+        inode.durable = inode.live.clone();
+        Ok(())
+    }
+}
+
+impl Vfs for SimVfs {
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut state = self.lock();
+        let inode = Arc::clone(
+            state
+                .inodes
+                .entry(path.to_path_buf())
+                .or_insert_with(|| Arc::new(Mutex::new(Inode::default()))),
+        );
+        Ok(Box::new(SimFile {
+            vfs: Arc::clone(&self.state),
+            inode,
+            pos: 0,
+        }))
+    }
+
+    fn open_truncated(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = self.open_rw(path)?;
+        // Truncation empties the live image in place (inode identity is
+        // preserved, like O_TRUNC); durability of the truncate itself
+        // still waits for a sync.
+        {
+            let state = self.lock();
+            if let Some(inode) = state.inodes.get(path) {
+                inode.lock().unwrap_or_else(|e| e.into_inner()).live.clear();
+            }
+        }
+        Ok(file)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, max_len: usize) -> io::Result<Vec<u8>> {
+        let state = self.lock();
+        let inode = state
+            .inodes
+            .get(path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "sim: no such file"))?;
+        let inode = inode.lock().unwrap_or_else(|e| e.into_inner());
+        let from = (offset as usize).min(inode.live.len());
+        let to = (from + max_len).min(inode.live.len());
+        Ok(inode.live[from..to].to_vec())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        let inode = state
+            .inodes
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "sim: rename source"))?;
+        // Atomic and immediately durable (see the module docs); the moved
+        // image is pinned as-is.
+        {
+            let mut inode = inode.lock().unwrap_or_else(|e| e.into_inner());
+            inode.durable = inode.live.clone();
+        }
+        state.inodes.insert(to.to_path_buf(), inode);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.lock().dirs.insert(path.to_path_buf());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_suffix_is_lost_on_crash_and_synced_bytes_survive() {
+        let vfs = SimVfs::new();
+        let path = Path::new("/n/log");
+        let mut f = vfs.open_rw(path).expect("open");
+        f.write_all(b"synced").expect("w");
+        f.sync_all().expect("sync");
+        f.write_all(b"-unsynced").expect("w2");
+        let mut rng = SimRng::new(1);
+        let image = vfs.crash_image(&mut rng, false);
+        vfs.restore(&image);
+        assert_eq!(vfs.live_bytes(path).expect("file"), b"synced");
+    }
+
+    #[test]
+    fn torn_crash_keeps_a_prefix_of_the_unsynced_suffix() {
+        let vfs = SimVfs::new();
+        let path = Path::new("/n/log");
+        let mut f = vfs.open_rw(path).expect("open");
+        f.write_all(b"base").expect("w");
+        f.sync_all().expect("sync");
+        f.write_all(b"XYZ").expect("w2");
+        // Some seed keeps a strict prefix; all seeds keep at least "base".
+        for seed in 0..16 {
+            let mut rng = SimRng::new(seed);
+            let image = vfs.crash_image(&mut rng, true);
+            let bytes = &image.files[0].1;
+            assert!(bytes.starts_with(b"base"));
+            assert!(bytes.len() <= 7);
+        }
+    }
+
+    #[test]
+    fn skipped_sync_lies_and_loses_data() {
+        let vfs = SimVfs::new();
+        let path = Path::new("/n/log");
+        vfs.skip_nth_sync(1);
+        let mut f = vfs.open_rw(path).expect("open");
+        f.write_all(b"doomed").expect("w");
+        f.sync_all().expect("the lying sync reports success");
+        let mut rng = SimRng::new(1);
+        let image = vfs.crash_image(&mut rng, false);
+        vfs.restore(&image);
+        assert_eq!(vfs.live_bytes(path).expect("file"), b"");
+        // The next sync is honest again.
+        let mut f = vfs.open_rw(path).expect("reopen");
+        f.write_all(b"safe").expect("w");
+        f.sync_all().expect("sync");
+        let image = vfs.crash_image(&mut rng, false);
+        vfs.restore(&image);
+        assert_eq!(vfs.live_bytes(path).expect("file"), b"safe");
+    }
+
+    #[test]
+    fn rename_moves_the_inode_and_pins_it() {
+        let vfs = SimVfs::new();
+        let staged = Path::new("/n/staged");
+        let target = Path::new("/n/target");
+        let mut f = vfs.open_rw(staged).expect("open");
+        f.write_all(b"snapshot").expect("w");
+        vfs.rename(staged, target).expect("rename");
+        // The pre-rename handle still addresses the same inode.
+        f.write_all(b"-more").expect("post-rename write");
+        assert_eq!(vfs.live_bytes(target).expect("file"), b"snapshot-more");
+        assert!(vfs.live_bytes(staged).is_none());
+        // The renamed image was pinned durable.
+        let mut rng = SimRng::new(1);
+        let image = vfs.crash_image(&mut rng, false);
+        vfs.restore(&image);
+        assert_eq!(vfs.live_bytes(target).expect("file"), b"snapshot");
+    }
+
+    #[test]
+    fn store_round_trips_on_the_sim_vfs() {
+        let vfs = Arc::new(SimVfs::new());
+        let path = Path::new("/n/verdicts.log");
+        {
+            let mut store = cr_store::Store::open_on(vfs.clone(), path, 1 << 20).expect("open");
+            store.put(b"k1", b"v1").expect("put");
+            store.put(b"k2", b"v2").expect("put");
+            store.sync().expect("sync");
+        }
+        let store = cr_store::Store::open_on(vfs.clone(), path, 1 << 20).expect("reopen");
+        assert_eq!(store.get(b"k1"), Some(&b"v1"[..]));
+        assert_eq!(store.get(b"k2"), Some(&b"v2"[..]));
+    }
+}

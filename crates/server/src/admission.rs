@@ -30,6 +30,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use cr_core::Clock;
+
 use crate::protocol::MAX_PRIORITY;
 
 /// Queue-delay EWMA smoothing factor, in percent (α = 0.2).
@@ -76,20 +78,29 @@ pub struct Admission {
     queue_delay_us: AtomicU64,
     /// Queue delay above which the gate tightens, microseconds.
     target_us: u64,
-    /// Monotonic ms clock at the last multiplicative cut (rate limiter).
-    last_cut: Mutex<Option<std::time::Instant>>,
+    /// Caller-supplied time source: the cut cooldown must run on virtual
+    /// time under deterministic simulation, not the wall clock.
+    clock: Clock,
+    /// Clock reading at the last multiplicative cut (rate limiter).
+    last_cut: Mutex<Option<Duration>>,
     /// Fresh-compute wall-time EWMA per source-length bucket, µs.
     /// Zero = no observation yet.
     cost_us: [AtomicU64; COST_BUCKETS.len()],
 }
 
 impl Admission {
-    /// Creates the gate with a queue-delay target (ms).
+    /// Creates the gate with a queue-delay target (ms) on the real clock.
     pub fn new(shed_target_ms: u64) -> Admission {
+        Admission::with_clock(shed_target_ms, Clock::monotonic())
+    }
+
+    /// Creates the gate on an explicit time source.
+    pub fn with_clock(shed_target_ms: u64, clock: Clock) -> Admission {
         Admission {
             shed_threshold: AtomicU64::new(u64::from(MAX_PRIORITY)),
             queue_delay_us: AtomicU64::new(0),
             target_us: shed_target_ms.saturating_mul(1000),
+            clock,
             last_cut: Mutex::new(None),
             cost_us: Default::default(),
         }
@@ -224,9 +235,9 @@ impl Admission {
     /// Multiplicative decrease, rate-limited to one cut per cooldown.
     fn cut(&self) {
         let mut last = self.last_cut.lock().unwrap_or_else(|e| e.into_inner());
-        let now = std::time::Instant::now();
+        let now = self.clock.now();
         if let Some(at) = *last {
-            if now.duration_since(at) < CUT_COOLDOWN {
+            if now.saturating_sub(at) < CUT_COOLDOWN {
                 return;
             }
         }

@@ -122,6 +122,10 @@ pub fn check(schema: &Schema, budget: &Budget) -> Answer {
 }
 
 /// The outcome of the delta evaluation path.
+// `Answered` dwarfs `Fallback` (it carries the next edit's reusable
+// context), but every value is consumed immediately on one path, so the
+// boxing clippy suggests would only add a hot-path allocation.
+#[allow(clippy::large_enum_variant)]
 pub enum DeltaEval {
     /// The delta path produced a verdict; `next` is the edited schema's
     /// context, ready to be pinned for the next edit in a stream.

@@ -17,7 +17,9 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use cr_core::Clock;
 
 use crate::cache::{CacheKey, CachedVerdict};
 
@@ -31,13 +33,18 @@ enum FlightState {
 /// One in-flight computation: the leader's eventual answer and the
 /// condvar followers park on.
 pub struct Flight {
+    clock: Clock,
     state: Mutex<FlightState>,
     done: Condvar,
 }
 
-/// The table of in-flight computations.
+/// The table of in-flight computations. Follower deadlines read the
+/// injected [`Clock`] so they run on virtual time under deterministic
+/// simulation (where the single sim thread never actually parks: the
+/// leader always publishes synchronously before a follower could wait).
 #[derive(Default)]
 pub struct Inflight {
+    clock: Clock,
     flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
 }
 
@@ -58,6 +65,14 @@ pub struct LeaderGuard<'a> {
 }
 
 impl Inflight {
+    /// A table whose follower waits read `clock`.
+    pub fn with_clock(clock: Clock) -> Inflight {
+        Inflight {
+            clock,
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
     /// Joins or starts the flight for `key`.
     pub fn begin(&self, key: CacheKey) -> Entry<'_> {
         let mut flights = self.lock();
@@ -67,6 +82,7 @@ impl Inflight {
                 flights.insert(
                     key.clone(),
                     Arc::new(Flight {
+                        clock: self.clock.clone(),
                         state: Mutex::new(FlightState::Running),
                         done: Condvar::new(),
                     }),
@@ -128,13 +144,17 @@ impl Flight {
     /// passes. `None` means timed out (or the leader published nothing):
     /// compute for yourself.
     pub fn wait(&self, deadline: Duration) -> Option<CachedVerdict> {
-        let until = Instant::now() + deadline;
+        let until = self.clock.now().saturating_add(deadline);
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let FlightState::Done(answer) = &*state {
                 return answer.clone();
             }
-            let remaining = until.checked_duration_since(Instant::now())?;
+            let now = self.clock.now();
+            if now >= until {
+                return None;
+            }
+            let remaining = until - now;
             let (next, timeout) = self
                 .done
                 .wait_timeout(state, remaining)

@@ -65,6 +65,7 @@ pub mod protocol;
 pub mod repl;
 pub mod signal;
 pub mod supervise;
+pub mod transport;
 
 mod server;
 
@@ -74,4 +75,5 @@ pub use metrics::{MetricsView, SharedSink, Telemetry};
 pub use persist::StoreRecovery;
 pub use pool::{Job, SubmitError, WorkerPool};
 pub use protocol::{Op, ReplChunk, Request, Response, Status, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig};
+pub use server::{FollowerStep, Server, ServerConfig};
+pub use transport::{Conn, Connector, Listener, TcpConn, TcpConnector, TcpListenerSource};

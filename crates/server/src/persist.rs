@@ -21,9 +21,9 @@
 
 use std::io;
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use cr_store::{PutOutcome, Store};
+use cr_store::{PutOutcome, Store, Vfs};
 use cr_trace::json::{self, write_escaped, Value};
 
 use crate::cache::CachedVerdict;
@@ -48,11 +48,27 @@ pub(crate) struct PersistentStore {
 }
 
 impl PersistentStore {
-    /// Opens (creating as needed) `dir/verdicts.log`.
+    /// Opens (creating as needed) `dir/verdicts.log` on the real
+    /// filesystem with the default compaction threshold.
+    #[cfg(test)]
     pub(crate) fn open(dir: &Path) -> Result<PersistentStore, String> {
-        std::fs::create_dir_all(dir).map_err(|e| format!("cache-dir {}: {e}", dir.display()))?;
+        PersistentStore::open_on(cr_store::std_vfs(), dir, None)
+    }
+
+    /// Opens against an explicit filesystem and optional compaction
+    /// threshold (the simulation injects a virtual disk and a tiny
+    /// threshold to force compaction-triggered epoch resets).
+    pub(crate) fn open_on(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        compact_threshold: Option<u64>,
+    ) -> Result<PersistentStore, String> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| format!("cache-dir {}: {e}", dir.display()))?;
         let path = dir.join("verdicts.log");
-        let store = Store::open(&path).map_err(|e| format!("store {}: {e}", path.display()))?;
+        let threshold = compact_threshold.unwrap_or(cr_store::DEFAULT_COMPACT_THRESHOLD);
+        let store = Store::open_on(vfs, &path, threshold)
+            .map_err(|e| format!("store {}: {e}", path.display()))?;
         let stats = store.stats();
         Ok(PersistentStore {
             recovery: StoreRecovery {
@@ -106,6 +122,12 @@ impl PersistentStore {
     /// sync failed mid-run).
     pub(crate) fn flush(&self) -> io::Result<()> {
         self.lock().sync()
+    }
+
+    /// Forces a compaction regardless of the threshold (admin hook;
+    /// the simulation uses it to exercise epoch-reset resyncs).
+    pub(crate) fn compact(&self) -> io::Result<()> {
+        self.lock().compact()
     }
 
     /// Current log length in bytes (replication position high-water mark).

@@ -390,7 +390,12 @@ impl Request {
         if op == Op::CheckDelta {
             match &base {
                 None => return Err("op \"check_delta\" requires a \"base\" field".to_string()),
-                Some(b) if b.len() != 32 || !b.bytes().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()) => {
+                Some(b)
+                    if b.len() != 32
+                        || !b
+                            .bytes()
+                            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()) =>
+                {
                     return Err(format!(
                         "request field \"base\" must be exactly 32 lowercase hex digits, got {b:?}"
                     ))
@@ -768,7 +773,10 @@ mod tests {
 
         let mut delta = Request::new("d1", Op::CheckDelta);
         delta.base = Some("00112233445566778899aabbccddeeff".to_string());
-        delta.diff = vec!["+\tcard\tA\tR\tU\t1\t*".to_string(), "-\tisa\tA\tB".to_string()];
+        delta.diff = vec![
+            "+\tcard\tA\tR\tU\t1\t*".to_string(),
+            "-\tisa\tA\tB".to_string(),
+        ];
         let parsed = Request::parse(&delta.to_json()).unwrap();
         assert_eq!(parsed, delta);
 

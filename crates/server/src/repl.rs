@@ -21,7 +21,7 @@
 //! standby crashed before applying is simply re-requested.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cr_trace::json::{self, Value};
@@ -29,6 +29,7 @@ use cr_trace::json::{self, Value};
 use crate::cache::CachedVerdict;
 use crate::persist::{decode_key, decode_verdict, PersistentStore};
 use crate::protocol::{Op, ReplChunk, Request};
+use crate::transport::{Conn, Connector, TcpConnector};
 
 /// Largest data payload shipped in one replicate response. Bounded so a
 /// cold standby syncing a large log neither stalls the primary's reader
@@ -99,21 +100,33 @@ pub fn warm_entries(payloads: &[Vec<u8>]) -> Vec<(String, String, CachedVerdict)
 /// timer.
 pub struct FollowerClient {
     addr: String,
-    conn: Option<BufReader<TcpStream>>,
+    conn: Option<BufReader<Box<dyn Conn>>>,
     seq: u64,
     io_timeout: Duration,
+    connector: Arc<dyn Connector>,
 }
 
 impl FollowerClient {
-    /// A client for the primary at `addr` (host:port). `io_timeout`
-    /// bounds each connect/read/write so a silently dead primary cannot
-    /// wedge the follower past its promotion deadline.
+    /// A client for the primary at `addr` (host:port), over TCP.
+    /// `io_timeout` bounds each connect/read/write so a silently dead
+    /// primary cannot wedge the follower past its promotion deadline.
     pub fn new(addr: impl Into<String>, io_timeout: Duration) -> FollowerClient {
+        FollowerClient::with_connector(addr, io_timeout, Arc::new(TcpConnector))
+    }
+
+    /// A client dialing through an explicit [`Connector`] (the simulation
+    /// injects its in-memory network here).
+    pub fn with_connector(
+        addr: impl Into<String>,
+        io_timeout: Duration,
+        connector: Arc<dyn Connector>,
+    ) -> FollowerClient {
         FollowerClient {
             addr: addr.into(),
             conn: None,
             seq: 0,
             io_timeout,
+            connector,
         }
     }
 
@@ -179,20 +192,12 @@ impl FollowerClient {
         Ok(resp)
     }
 
-    fn connect(&self) -> Result<BufReader<TcpStream>, String> {
-        let addrs: Vec<_> = std::net::ToSocketAddrs::to_socket_addrs(self.addr.as_str())
-            .map_err(|e| format!("primary address {}: {e}", self.addr))?
-            .collect();
-        let addr = addrs
-            .first()
-            .ok_or_else(|| format!("primary address {} resolves to nothing", self.addr))?;
-        let stream = TcpStream::connect_timeout(addr, self.io_timeout)
+    fn connect(&self) -> Result<BufReader<Box<dyn Conn>>, String> {
+        let conn = self
+            .connector
+            .connect(&self.addr, self.io_timeout)
             .map_err(|e| format!("primary {}: connect: {e}", self.addr))?;
-        stream
-            .set_read_timeout(Some(self.io_timeout))
-            .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
-            .map_err(|e| format!("primary {}: socket timeout: {e}", self.addr))?;
-        Ok(BufReader::new(stream))
+        Ok(BufReader::new(conn))
     }
 }
 

@@ -40,7 +40,7 @@
 //! stalling shutdown.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -48,8 +48,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cr_core::{Budget, CancelToken};
-use cr_store::Replica;
+use cr_core::{Budget, CancelToken, Clock};
+use cr_store::{Replica, Vfs};
 use cr_trace::{Counter, NullSink, RunReport, Tracer};
 
 use crate::admission::{Admission, Admit};
@@ -113,6 +113,26 @@ pub struct ServerConfig {
     /// (promotion notices and other operational messages). `None` keeps
     /// the aggregate silent, as before.
     pub event_sink: Option<SharedSink>,
+    /// Time source for admission cooldowns, wedge timers, and follower
+    /// deadline waits. Defaults to the monotonic wall clock; the
+    /// deterministic simulation injects a manually advanced one.
+    pub clock: Clock,
+    /// Filesystem the durable store, standby mirror, and port file are
+    /// written through. Defaults to the real filesystem; the simulation
+    /// injects an in-memory one with crash/torn-write fault injection.
+    pub vfs: Arc<dyn Vfs>,
+    /// How the replication follower dials the primary. Defaults to TCP;
+    /// the simulation injects an in-memory network.
+    pub connector: Arc<dyn crate::transport::Connector>,
+    /// Store compaction threshold override in bytes (`None` = the store's
+    /// default). Tests and the simulation set this low to force
+    /// compaction-triggered epoch resets.
+    pub store_compact_threshold: Option<u64>,
+    /// Standby only: when true, no follower thread is spawned — an
+    /// external driver pumps replication via [`Server::follower_step`]
+    /// and decides promotion itself. The deterministic simulation uses
+    /// this to run the follower on virtual time.
+    pub follow_external: bool,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +156,11 @@ impl Default for ServerConfig {
             supervise_interval_ms: 100,
             metrics_addr: None,
             event_sink: None,
+            clock: Clock::monotonic(),
+            vfs: cr_store::std_vfs(),
+            connector: Arc::new(crate::transport::TcpConnector),
+            store_compact_threshold: None,
+            follow_external: false,
         }
     }
 }
@@ -144,6 +169,19 @@ impl Default for ServerConfig {
 /// a schema plus its expansion atoms and witness — bounded memory, and an
 /// edit stream only ever needs its current head pinned.
 const MAX_PINNED_BASES: usize = 64;
+
+/// Outcome of one [`Server::follower_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowerStep {
+    /// A chunk was polled and applied; `more` means it was full and the
+    /// next poll should follow without delay (mid-catch-up streaming).
+    Applied {
+        /// More bytes are waiting on the primary.
+        more: bool,
+    },
+    /// The mirror is gone — promotion already consumed it; stop pumping.
+    Stopped,
+}
 
 /// This node computes and replicates out.
 const ROLE_PRIMARY: u8 = 0;
@@ -225,9 +263,11 @@ impl Server {
             let dir = config.cache_dir.clone().ok_or_else(|| {
                 "standby mode (--follow) requires a cache dir for the mirrored log".to_string()
             })?;
-            std::fs::create_dir_all(&dir)
+            config
+                .vfs
+                .create_dir_all(&dir)
                 .map_err(|e| format!("create standby dir {}: {e}", dir.display()))?;
-            let (rep, payloads) = Replica::open(&dir.join("verdicts.log"))
+            let (rep, payloads) = Replica::open_on(config.vfs.as_ref(), &dir.join("verdicts.log"))
                 .map_err(|e| format!("open standby mirror: {e}"))?;
             for (canonical, question, verdict) in repl::warm_entries(&payloads) {
                 let shard_hash = cr_core::canonical_text_hash(&canonical);
@@ -242,7 +282,11 @@ impl Server {
             }
             replica = Some(rep);
         } else if let Some(dir) = &config.cache_dir {
-            let opened = PersistentStore::open(dir)?;
+            let opened = PersistentStore::open_on(
+                Arc::clone(&config.vfs),
+                dir,
+                config.store_compact_threshold,
+            )?;
             // Rehydrate. Store order is log order (oldest first), so under
             // LRU pressure the cache keeps the most recently persisted
             // verdicts; the rest stay reachable through the read-through.
@@ -270,10 +314,10 @@ impl Server {
                 store: RwLock::new(store),
                 replica: Mutex::new(replica),
                 role: AtomicU8::new(if standby { ROLE_STANDBY } else { ROLE_PRIMARY }),
-                admission: Admission::new(config.shed_target_ms),
-                inflight: InflightRegistry::default(),
+                admission: Admission::with_clock(config.shed_target_ms, config.clock.clone()),
+                inflight: InflightRegistry::with_clock(config.clock.clone()),
                 poison: PoisonTracker::default(),
-                flights: flight::Inflight::default(),
+                flights: flight::Inflight::with_clock(config.clock.clone()),
                 next_seq: AtomicU64::new(0),
                 pinned: Mutex::new(HashMap::new()),
                 bound_addr: Mutex::new(None),
@@ -291,7 +335,7 @@ impl Server {
             }),
         };
         server.spawn_supervisor();
-        if standby {
+        if standby && !server.inner.config.follow_external {
             server.spawn_follower();
         }
         if let Some(addr) = server.inner.config.metrics_addr.clone() {
@@ -312,6 +356,20 @@ impl Server {
     /// without one).
     pub fn persisted_verdicts(&self) -> Option<usize> {
         self.read_store().as_ref().map(|s| s.len())
+    }
+
+    /// Forces a verdict-store compaction (admin hook): rewrites the log
+    /// down to its live set and bumps the replication epoch, so every
+    /// standby's next poll resyncs from offset zero. Returns `Ok(false)`
+    /// when there is no store to compact (memory-only, or a standby).
+    pub fn compact_store(&self) -> io::Result<bool> {
+        match self.read_store().as_ref() {
+            Some(store) => {
+                store.compact()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     /// The server-lifetime aggregate report — what a transport emits as the
@@ -388,7 +446,11 @@ impl Server {
             .cache_dir
             .clone()
             .ok_or_else(|| "standby has no cache dir".to_string())?;
-        let store = PersistentStore::open(&dir)?;
+        let store = PersistentStore::open_on(
+            Arc::clone(&self.inner.config.vfs),
+            &dir,
+            self.inner.config.store_compact_threshold,
+        )?;
         *self.inner.store.write().unwrap_or_else(|e| e.into_inner()) = Some(store);
         self.inner.role.store(ROLE_PRIMARY, Ordering::SeqCst);
         self.inner.aggregate.add(Counter::Promotions, 1);
@@ -469,6 +531,54 @@ impl Server {
         let mut traced = request.clone();
         traced.trace_id = Some(cr_trace::mint_trace_id());
         self.process_picked(&traced, Duration::ZERO)
+    }
+
+    /// The full transport path in synchronous form: parse, mint a trace
+    /// id, run the admission gate, execute under panic containment — and
+    /// *always* return exactly one response, exactly as a connection
+    /// handler would write back for this line. The deterministic
+    /// simulation's clients and the protocol fuzzer call this directly:
+    /// it exercises the same code as the TCP path minus the worker pool
+    /// (the caller's thread is the worker), so the one-response-per-line
+    /// contract is checkable without sockets.
+    pub fn respond_line(&self, line: &str) -> Response {
+        let mut request = match Request::parse(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                self.inner.aggregate.add(Counter::RequestsServed, 1);
+                self.inner.telemetry.record(0, false);
+                return Response::error(Request::salvage_id(line), msg);
+            }
+        };
+        if request.trace_id.is_none() {
+            request.trace_id = Some(cr_trace::mint_trace_id());
+        }
+        if matches!(
+            request.op,
+            Op::Check | Op::Implies | Op::PinBase | Op::CheckDelta
+        ) {
+            let schema_len = request.schema.as_deref().map_or(0, str::len)
+                + request.diff.iter().map(String::len).sum::<usize>();
+            if let Admit::Shed { reason, deadline } =
+                self.inner
+                    .admission
+                    .admit(request.deadline_ms, request.priority, schema_len)
+            {
+                self.count_shed(deadline);
+                let mut response = Response::shed(request.id.clone(), reason);
+                response.trace_id = request.trace_id.clone();
+                return response;
+            }
+        }
+        let work = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.process_picked(&request, Duration::ZERO)
+        }));
+        work.unwrap_or_else(|panic| {
+            let mut response =
+                Response::error(request.id.clone(), format!("panic: {}", panic_text(&panic)));
+            response.trace_id = request.trace_id.clone();
+            response
+        })
     }
 
     /// Submits a job to the server's worker pool, blocking while the
@@ -658,8 +768,11 @@ impl Server {
         let (tracer, cancel) = self.delta_budget();
         if !already {
             let budget = self.budget_for(request, &tracer, &cancel);
-            let ctx = match cr_delta::DeltaContext::from_canonical(&canonical, &Default::default(), &budget)
-            {
+            let ctx = match cr_delta::DeltaContext::from_canonical(
+                &canonical,
+                &Default::default(),
+                &budget,
+            ) {
                 Ok(ctx) => ctx,
                 Err(e) => {
                     let answer = eval::delta_error_answer(e, &budget);
@@ -866,9 +979,7 @@ impl Server {
                 self.inner.aggregate.add(Counter::DeltaFallbacks, 1);
                 let edited = match cr_lang::schema_from_canonical(&edited_canonical) {
                     Ok(s) => s,
-                    Err(e) => {
-                        return Response::error(request.id.clone(), format!("delta: {e}"))
-                    }
+                    Err(e) => return Response::error(request.id.clone(), format!("delta: {e}")),
                 };
                 // The full check caches under the edited schema's own
                 // (canonical, "check") key — shared with plain `check`
@@ -888,7 +999,9 @@ impl Server {
         };
         let invalidated = tracer.counter(Counter::AtomsInvalidated);
         if invalidated > 0 {
-            self.inner.aggregate.add(Counter::AtomsInvalidated, invalidated);
+            self.inner
+                .aggregate
+                .add(Counter::AtomsInvalidated, invalidated);
         }
         let mut report = cr_core::run_report(&budget, "check_delta", answer.status.as_str());
         report.target = base_hash.clone();
@@ -1489,24 +1602,58 @@ impl Server {
         self.inner.admission.maybe_relax();
     }
 
-    /// Spawns the standby's follower thread: polls the primary for log
-    /// chunks, applies them, and self-promotes when the primary's
-    /// heartbeat lapses for `promote_after_ms`.
-    fn spawn_follower(&self) {
-        let weak = Arc::downgrade(&self.inner);
-        let addr = self
-            .inner
-            .config
-            .follow
-            .clone()
-            .expect("spawn_follower requires config.follow");
-        let poll = Duration::from_millis(self.inner.config.follow_poll_ms.max(10));
+    /// A replication client configured from this standby's `follow`
+    /// address, io timeout, and connector — what the follower thread
+    /// dials with, exposed so an external driver (`follow_external`) can
+    /// pump [`Server::follower_step`] itself. `None` on a primary.
+    pub fn follower_client(&self) -> Option<FollowerClient> {
+        let addr = self.inner.config.follow.clone()?;
         let promote_after = Duration::from_millis(self.inner.config.promote_after_ms.max(100));
         let io_timeout = promote_after.min(Duration::from_millis(1000));
+        Some(FollowerClient::with_connector(
+            addr,
+            io_timeout,
+            Arc::clone(&self.inner.config.connector),
+        ))
+    }
+
+    /// One follower iteration: reads the mirror's position, polls the
+    /// primary for the next chunk, applies it. `Ok(Applied{more})` is a
+    /// successful poll (doubles as a primary heartbeat; `more` means a
+    /// full chunk arrived and the caller should poll again without
+    /// delay); `Ok(Stopped)` means the mirror is gone (promotion already
+    /// took it); `Err` is a failed poll the caller counts against its
+    /// promotion timer.
+    pub fn follower_step(&self, client: &mut FollowerClient) -> Result<FollowerStep, String> {
+        let at = {
+            let replica = self.inner.replica.lock().unwrap_or_else(|e| e.into_inner());
+            match replica.as_ref() {
+                Some(r) => (r.offset(), r.epoch().unwrap_or(0)),
+                None => return Ok(FollowerStep::Stopped),
+            }
+        };
+        let chunk = client.poll(at.0, at.1)?;
+        // The primary's log length is the replication head the lag gauge
+        // measures against.
+        self.inner.repl_head.store(chunk.log_len, Ordering::Relaxed);
+        let more = chunk.data.len() >= repl::CHUNK_MAX;
+        self.apply_chunk(&chunk);
+        Ok(FollowerStep::Applied { more })
+    }
+
+    /// Spawns the standby's follower thread: polls the primary for log
+    /// chunks via [`Server::follower_step`], and self-promotes when the
+    /// primary's heartbeat lapses for `promote_after_ms`.
+    fn spawn_follower(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        let poll = Duration::from_millis(self.inner.config.follow_poll_ms.max(10));
+        let promote_after = Duration::from_millis(self.inner.config.promote_after_ms.max(100));
+        let mut client = self
+            .follower_client()
+            .expect("spawn_follower requires config.follow");
         let handle = std::thread::Builder::new()
             .name("cr-follower".to_string())
             .spawn(move || {
-                let mut client = FollowerClient::new(addr, io_timeout);
                 let mut last_ok = Instant::now();
                 loop {
                     let Some(inner) = weak.upgrade() else {
@@ -1516,30 +1663,11 @@ impl Server {
                     if server.shutdown_requested() || !server.is_standby() {
                         return;
                     }
-                    let at = {
-                        let replica = server
-                            .inner
-                            .replica
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner());
-                        match replica.as_ref() {
-                            Some(r) => (r.offset(), r.epoch().unwrap_or(0)),
-                            // Promotion took the mirror out from under us.
-                            None => return,
-                        }
-                    };
-                    match client.poll(at.0, at.1) {
-                        Ok(chunk) => {
+                    match server.follower_step(&mut client) {
+                        Ok(FollowerStep::Stopped) => return,
+                        Ok(FollowerStep::Applied { more }) => {
                             last_ok = Instant::now();
-                            // The primary's log length is the replication
-                            // head the lag gauge measures against.
-                            server
-                                .inner
-                                .repl_head
-                                .store(chunk.log_len, Ordering::Relaxed);
-                            let full = chunk.data.len() >= repl::CHUNK_MAX;
-                            server.apply_chunk(&chunk);
-                            if full {
+                            if more {
                                 // Mid-catch-up: more bytes are waiting;
                                 // stream them without the poll delay.
                                 continue;
@@ -1683,7 +1811,17 @@ impl Server {
             let Some(rep) = replica.as_mut() else {
                 return;
             };
-            rep.apply(chunk.offset, chunk.epoch, chunk.reset, &chunk.data)
+            let outcome = rep.apply(chunk.offset, chunk.epoch, chunk.reset, &chunk.data);
+            // An applied chunk only counts once the mirror is durable:
+            // while the primary lives a crashed follower refetches from
+            // its recovered offset, but after the primary dies — the one
+            // case promotion exists for — anything applied but unsynced
+            // would be lost for good. (Found by the cr-sim failure swarm:
+            // kill-primary followed by a follower crash before promotion.)
+            if outcome.is_ok() && !chunk.data.is_empty() && rep.sync().is_err() {
+                self.inner.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            outcome
         };
         match outcome {
             Ok(outcome) => {
@@ -1728,7 +1866,8 @@ impl Server {
         } else {
             format!("{addr}\n")
         };
-        if cr_store::write_atomic(path, line.as_bytes()).is_err() {
+        if cr_store::write_atomic_on(self.inner.config.vfs.as_ref(), path, line.as_bytes()).is_err()
+        {
             self.inner.store_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -1864,9 +2003,7 @@ impl Server {
         stop: Arc<AtomicBool>,
         on_bound: impl FnOnce(SocketAddr),
     ) -> std::io::Result<()> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let bound = listener.local_addr()?;
+        let (listener, bound) = crate::transport::TcpListenerSource::bind(addr)?;
         *self
             .inner
             .bound_addr
@@ -1874,22 +2011,32 @@ impl Server {
             .unwrap_or_else(|e| e.into_inner()) = Some(bound);
         self.write_port_file();
         on_bound(bound);
+        self.serve_listener(Box::new(listener), stop)
+    }
+
+    /// The accept loop over any [`crate::transport::Listener`] (TCP in
+    /// production; the
+    /// simulation substitutes an in-memory one). Serves until shutdown is
+    /// requested or `stop` turns true; drains before returning.
+    pub fn serve_listener(
+        &self,
+        mut listener: Box<dyn crate::transport::Listener>,
+        stop: Arc<AtomicBool>,
+    ) -> std::io::Result<()> {
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             if self.shutdown_requested() || stop.load(Ordering::SeqCst) {
                 break;
             }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
+            match listener.poll_accept() {
+                Ok(Some(conn)) => {
                     let server = self.clone();
                     let stop = Arc::clone(&stop);
                     connections.push(std::thread::spawn(move || {
-                        let _ = server.handle_connection(stream, &stop);
+                        let _ = server.handle_connection(conn, &stop);
                     }));
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
                 Err(_) => std::thread::sleep(Duration::from_millis(20)),
             }
             connections.retain(|h| !h.is_finished());
@@ -1901,12 +2048,16 @@ impl Server {
         Ok(())
     }
 
-    /// One TCP connection: read request lines, dispatch to the pool,
-    /// responses go back over the same socket (interleaved, correlated by
+    /// One connection: read request lines, dispatch to the pool,
+    /// responses go back over the same conn (interleaved, correlated by
     /// id). Returns on client EOF, connection error, or server shutdown.
-    fn handle_connection(&self, stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
+    fn handle_connection(
+        &self,
+        mut stream: Box<dyn crate::transport::Conn>,
+        stop: &AtomicBool,
+    ) -> std::io::Result<()> {
         stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-        let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(stream.try_clone()?));
+        let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(stream.clone_writer()?));
         let mut reader = BufReader::new(stream);
         let mut buf = String::new();
         loop {
@@ -2147,10 +2298,7 @@ mod tests {
 
         let stats = server.process_line(&Request::new("st", Op::Stats).to_json());
         assert!(stats.detail.iter().any(|d| d.starts_with("delta_hits=")));
-        assert!(stats
-            .detail
-            .iter()
-            .any(|d| d.starts_with("pinned_bases=")));
+        assert!(stats.detail.iter().any(|d| d.starts_with("pinned_bases=")));
         server.finish();
     }
 

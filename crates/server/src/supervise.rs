@@ -20,9 +20,10 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cr_core::budget::CancelToken;
+use cr_core::Clock;
 
 /// Pipeline panics for one schema before it is quarantined.
 pub const POISON_THRESHOLD: u32 = 3;
@@ -35,25 +36,36 @@ pub const WEDGE_GRACE: Duration = Duration::from_millis(1000);
 
 struct InflightEntry {
     cancel: CancelToken,
-    /// When the supervisor may declare this request wedged (requests
-    /// without a deadline have none and are never tripped).
-    wedge_at: Option<Instant>,
+    /// Clock reading past which the supervisor may declare this request
+    /// wedged (requests without a deadline have none and are never
+    /// tripped).
+    wedge_at: Option<Duration>,
 }
 
 /// Registry of currently-executing requests, keyed by a server-assigned
-/// sequence number.
+/// sequence number. Wedge timers read the injected [`Clock`] so they run
+/// on virtual time under deterministic simulation.
 #[derive(Default)]
 pub struct InflightRegistry {
+    clock: Clock,
     inner: Mutex<HashMap<u64, InflightEntry>>,
 }
 
 impl InflightRegistry {
+    /// A registry whose wedge timers read `clock`.
+    pub fn with_clock(clock: Clock) -> InflightRegistry {
+        InflightRegistry {
+            clock,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
     /// Registers a picked-up request. `deadline_left` is what remains of
     /// its declared deadline (None = no deadline, never wedge-tripped).
     pub fn register(&self, seq: u64, cancel: CancelToken, deadline_left: Option<Duration>) {
         let entry = InflightEntry {
             cancel,
-            wedge_at: deadline_left.map(|d| Instant::now() + d + WEDGE_GRACE),
+            wedge_at: deadline_left.map(|d| self.clock.now().saturating_add(d + WEDGE_GRACE)),
         };
         self.lock().insert(seq, entry);
     }
@@ -67,7 +79,7 @@ impl InflightRegistry {
     /// returns how many were tripped. Tripped entries stay registered
     /// (the worker is still on them) but are not tripped twice.
     pub fn trip_wedged(&self) -> u64 {
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut tripped = 0;
         for entry in self.lock().values_mut() {
             if let Some(at) = entry.wedge_at {

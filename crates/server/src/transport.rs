@@ -1,0 +1,126 @@
+//! Network seam: the daemon's accept loop, connection handling, and the
+//! replication follower all speak these traits instead of `TcpStream`
+//! directly.
+//!
+//! Production runs on the `Tcp*` implementations below — a straight
+//! delegation whose behavior is byte-identical to the pre-seam code. The
+//! deterministic simulation (`cr-sim`) substitutes an in-memory network
+//! with scheduled delay, partition, reorder, and disconnect faults, which
+//! is what lets a whole primary/standby/client topology run
+//! single-threaded on virtual time.
+//!
+//! Semantics every implementation must honor:
+//!
+//! * [`Conn`] is a bidirectional byte stream; `read` returning `Ok(0)`
+//!   means the peer closed, and a `WouldBlock`/`TimedOut` error means
+//!   "nothing yet, try again" (the read-timeout idiom the connection
+//!   loop uses to poll its shutdown flag);
+//! * [`Conn::clone_writer`] yields an independently usable writer to the
+//!   same peer (responses are written from pool threads while the
+//!   connection thread keeps reading);
+//! * [`Listener::poll_accept`] never blocks: `Ok(None)` means no pending
+//!   connection;
+//! * [`Connector::connect`] bounds the connection attempt — and all
+//!   subsequent reads/writes on the returned conn — by `timeout`.
+
+use std::fmt::Debug;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// One established bidirectional byte-stream connection.
+pub trait Conn: Read + Write + Send {
+    /// Bounds subsequent reads: a read with no data errs with
+    /// `WouldBlock`/`TimedOut` after roughly `timeout` instead of
+    /// blocking forever.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+    /// An independently usable writer to the same peer.
+    fn clone_writer(&self) -> io::Result<Box<dyn Write + Send>>;
+}
+
+/// A bound, non-blocking accept source.
+pub trait Listener: Send {
+    /// Accepts one pending connection, or `Ok(None)` when none is
+    /// waiting.
+    fn poll_accept(&mut self) -> io::Result<Option<Box<dyn Conn>>>;
+}
+
+/// Opens client connections by address string (the follower's dial-out
+/// path).
+pub trait Connector: Send + Sync + Debug {
+    /// Connects to `addr` (`host:port`), bounding the attempt and the
+    /// returned conn's reads/writes by `timeout`.
+    fn connect(&self, addr: &str, timeout: Duration) -> io::Result<Box<dyn Conn>>;
+}
+
+/// Production [`Conn`]: a TCP stream.
+#[derive(Debug)]
+pub struct TcpConn(pub TcpStream);
+
+impl Read for TcpConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl Write for TcpConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Conn for TcpConn {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.0.set_read_timeout(timeout)
+    }
+
+    fn clone_writer(&self) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(self.0.try_clone()?))
+    }
+}
+
+/// Production [`Listener`]: a non-blocking TCP listener.
+#[derive(Debug)]
+pub struct TcpListenerSource(TcpListener);
+
+impl TcpListenerSource {
+    /// Binds `addr` non-blocking; returns the source and its bound
+    /// address.
+    pub fn bind(addr: &str) -> io::Result<(TcpListenerSource, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        Ok((TcpListenerSource(listener), bound))
+    }
+}
+
+impl Listener for TcpListenerSource {
+    fn poll_accept(&mut self) -> io::Result<Option<Box<dyn Conn>>> {
+        match self.0.accept() {
+            Ok((stream, _peer)) => Ok(Some(Box::new(TcpConn(stream)))),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Production [`Connector`]: TCP with connect/read/write timeouts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpConnector;
+
+impl Connector for TcpConnector {
+    fn connect(&self, addr: &str, timeout: Duration) -> io::Result<Box<dyn Conn>> {
+        let addrs: Vec<_> = std::net::ToSocketAddrs::to_socket_addrs(addr)?.collect();
+        let sock = addrs
+            .first()
+            .ok_or_else(|| io::Error::other(format!("address {addr} resolves to nothing")))?;
+        let stream = TcpStream::connect_timeout(sock, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Box::new(TcpConn(stream)))
+    }
+}

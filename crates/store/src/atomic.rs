@@ -5,9 +5,10 @@
 //! relies on for `--port-file` and checkpoint files, and the store for
 //! snapshot compaction.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 
 /// The sibling temp path used for the staged write. Kept deterministic
 /// (no PID/timestamp) so a crashed writer's leftovers are simply
@@ -24,21 +25,31 @@ pub fn staging_path(target: &Path) -> PathBuf {
 /// Writes `bytes` to `target` atomically: stage in a sibling temp file,
 /// fsync it, then rename over the target. The rename is the commit point.
 pub fn write_atomic(target: &Path, bytes: &[u8]) -> io::Result<()> {
-    let staged = write_staged(target, bytes)?;
-    commit_rename(&staged.1, target)?;
+    write_atomic_on(&StdVfs, target, bytes)
+}
+
+/// [`write_atomic`] against an explicit filesystem.
+pub fn write_atomic_on(vfs: &dyn Vfs, target: &Path, bytes: &[u8]) -> io::Result<()> {
+    let staged = write_staged_on(vfs, target, bytes)?;
+    commit_rename_on(vfs, &staged.1, target)?;
     Ok(())
 }
 
 /// Stage-only half of [`write_atomic`]: returns the synced open file and
 /// its temp path so callers (compaction) can keep the handle after the
 /// rename — the renamed file is the same inode.
-pub fn write_staged(target: &Path, bytes: &[u8]) -> io::Result<(File, PathBuf)> {
+pub fn write_staged(target: &Path, bytes: &[u8]) -> io::Result<(Box<dyn VfsFile>, PathBuf)> {
+    write_staged_on(&StdVfs, target, bytes)
+}
+
+/// [`write_staged`] against an explicit filesystem.
+pub fn write_staged_on(
+    vfs: &dyn Vfs,
+    target: &Path,
+    bytes: &[u8],
+) -> io::Result<(Box<dyn VfsFile>, PathBuf)> {
     let tmp = staging_path(target);
-    let mut file = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(&tmp)?;
+    let mut file = vfs.open_truncated(&tmp)?;
     file.write_all(bytes)?;
     cr_faults::point!("store.append.sync", |p: Option<String>| Err(injected(p)));
     file.sync_all()?;
@@ -48,8 +59,13 @@ pub fn write_staged(target: &Path, bytes: &[u8]) -> io::Result<(File, PathBuf)> 
 /// Commit half of [`write_atomic`]: rename the staged file over the
 /// target. Carries the `store.compact.rename` failpoint.
 pub fn commit_rename(staged: &Path, target: &Path) -> io::Result<()> {
+    commit_rename_on(&StdVfs, staged, target)
+}
+
+/// [`commit_rename`] against an explicit filesystem.
+pub fn commit_rename_on(vfs: &dyn Vfs, staged: &Path, target: &Path) -> io::Result<()> {
     cr_faults::point!("store.compact.rename", |p: Option<String>| Err(injected(p)));
-    std::fs::rename(staged, target)
+    vfs.rename(staged, target)
 }
 
 /// The error produced when a failpoint fires on a store I/O site.

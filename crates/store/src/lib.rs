@@ -5,6 +5,10 @@
 //!
 //! * [`crc`] — hand-rolled CRC-32 (IEEE), the integrity check on every
 //!   record frame;
+//! * [`vfs`] — the filesystem seam: every byte the crate persists flows
+//!   through a [`vfs::Vfs`], so the deterministic simulation (`cr-sim`)
+//!   can substitute a virtual disk with scheduled faults while
+//!   production runs on [`vfs::StdVfs`];
 //! * [`atomic`] — write-temp-then-rename whole-file replacement, the
 //!   commit primitive for compaction snapshots, checkpoints, and the
 //!   CLI's `--port-file`;
@@ -32,9 +36,11 @@ pub mod crc;
 pub mod log;
 pub mod replica;
 pub mod store;
+pub mod vfs;
 
-pub use atomic::write_atomic;
+pub use atomic::{write_atomic, write_atomic_on};
 pub use crc::crc32;
-pub use log::{RecordLog, Replay};
+pub use log::{scrub_image, RecordLog, Replay};
 pub use replica::{ApplyOutcome, Replica};
 pub use store::{decode_entry, PutOutcome, Store, StoreStats, DEFAULT_COMPACT_THRESHOLD};
+pub use vfs::{std_vfs, StdVfs, Vfs, VfsFile};

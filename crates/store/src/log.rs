@@ -16,11 +16,11 @@
 //! (or `kill -9`) mid-append therefore costs at most the record being
 //! written; every record before it stays intact and verified.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::Path;
 
 use crate::crc::crc32;
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 
 /// Magic bytes identifying a record log (and pinning its format version).
 pub const MAGIC: &[u8; 8] = b"CRSTORE1";
@@ -50,20 +50,22 @@ pub struct Replay {
 /// An open append-only log positioned at its (recovered) end.
 #[derive(Debug)]
 pub struct RecordLog {
-    file: File,
+    file: Box<dyn VfsFile>,
     len: u64,
 }
 
 impl RecordLog {
-    /// Opens (creating if absent) the log at `path`, replays it, repairs
-    /// the tail if torn, and leaves the handle positioned for appends.
+    /// Opens (creating if absent) the log at `path` on the real
+    /// filesystem. See [`RecordLog::open_on`].
     pub fn open(path: &Path) -> io::Result<(RecordLog, Replay)> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        RecordLog::open_on(&StdVfs, path)
+    }
+
+    /// Opens (creating if absent) the log at `path` on `vfs`, replays it,
+    /// repairs the tail if torn, and leaves the handle positioned for
+    /// appends.
+    pub fn open_on(vfs: &dyn Vfs, path: &Path) -> io::Result<(RecordLog, Replay)> {
+        let mut file = vfs.open_rw(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
 
@@ -77,7 +79,7 @@ impl RecordLog {
             replay.truncated_bytes = bytes.len() as u64;
             replay.rebuilt = true;
             file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
+            file.seek_to(0)?;
             file.write_all(MAGIC)?;
             MAGIC.len() as u64
         } else {
@@ -89,7 +91,7 @@ impl RecordLog {
             valid
         };
         replay.kept_bytes = valid_len;
-        file.seek(SeekFrom::Start(valid_len))?;
+        file.seek_to(valid_len)?;
         Ok((
             RecordLog {
                 file,
@@ -139,10 +141,31 @@ impl RecordLog {
     /// Wraps an already-written file (used by compaction, which stages a
     /// snapshot with [`crate::atomic::write_staged`] and keeps the handle
     /// across the rename — same inode).
-    pub fn from_parts(mut file: File, len: u64) -> io::Result<RecordLog> {
-        file.seek(SeekFrom::Start(len))?;
+    pub fn from_parts(mut file: Box<dyn VfsFile>, len: u64) -> io::Result<RecordLog> {
+        file.seek_to(len)?;
         Ok(RecordLog { file, len })
     }
+}
+
+/// Read-only integrity walk over a log image: what [`RecordLog::open`]
+/// *would* recover, without opening the file for writing or repairing
+/// anything. Backs `crsat store verify` (the operator-facing twin of the
+/// simulation's durability checker): `rebuilt` means the header is
+/// unrecognized, `truncated_bytes` counts the torn/corrupt tail.
+pub fn scrub_image(bytes: &[u8]) -> Replay {
+    let mut replay = Replay::default();
+    if bytes.is_empty() {
+        return replay;
+    }
+    if !bytes.starts_with(MAGIC) {
+        replay.truncated_bytes = bytes.len() as u64;
+        replay.rebuilt = true;
+        return replay;
+    }
+    let valid = scan_frames(bytes, &mut replay.payloads);
+    replay.kept_bytes = valid;
+    replay.truncated_bytes = bytes.len() as u64 - valid;
+    replay
 }
 
 /// Serializes `payload` as a single framed record (no I/O). Used by

@@ -24,12 +24,12 @@
 //!   incompatible image — the CRC backstop catches what the epoch check
 //!   misses).
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::crc::crc32;
 use crate::log::{scan_frames, FRAME_OVERHEAD, MAGIC, MAX_RECORD_LEN};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 
 /// What applying one shipped chunk produced.
 #[derive(Debug, Default)]
@@ -47,7 +47,7 @@ pub struct ApplyOutcome {
 #[derive(Debug)]
 pub struct Replica {
     path: PathBuf,
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Mirrored bytes so far (= the next offset to request).
     len: u64,
     /// Bytes received but not yet forming a complete frame.
@@ -65,14 +65,13 @@ impl Replica {
     /// returns the replica plus the payloads of every intact record (for
     /// cache rehydration).
     pub fn open(path: &Path) -> io::Result<(Replica, Vec<Vec<u8>>)> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        Replica::open_on(&StdVfs, path)
+    }
+
+    /// [`Replica::open`] against an explicit filesystem.
+    pub fn open_on(vfs: &dyn Vfs, path: &Path) -> io::Result<(Replica, Vec<Vec<u8>>)> {
+        let mut file = vfs.open_rw(path)?;
         let mut bytes = Vec::new();
-        use std::io::Read;
         file.read_to_end(&mut bytes)?;
         let mut payloads = Vec::new();
         let valid = if bytes.is_empty() || !bytes.starts_with(MAGIC) {
@@ -87,7 +86,7 @@ impl Replica {
             }
             valid
         };
-        file.seek(SeekFrom::Start(valid))?;
+        file.seek_to(valid)?;
         Ok((
             Replica {
                 path: path.to_path_buf(),
@@ -170,7 +169,7 @@ impl Replica {
 
     fn restart(&mut self) -> io::Result<()> {
         self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
+        self.file.seek_to(0)?;
         self.len = 0;
         self.undecoded.clear();
         self.need_magic = true;

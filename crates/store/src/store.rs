@@ -11,9 +11,11 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::atomic;
 use crate::log::{self, RecordLog, Replay, FRAME_OVERHEAD, MAGIC};
+use crate::vfs::{std_vfs, Vfs};
 
 /// Default compaction threshold: don't bother below 1 MiB of log.
 pub const DEFAULT_COMPACT_THRESHOLD: u64 = 1 << 20;
@@ -45,6 +47,7 @@ pub struct StoreStats {
 /// free of locking so it can be exercised deterministically in tests.
 #[derive(Debug)]
 pub struct Store {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
     log: RecordLog,
     index: HashMap<Vec<u8>, Vec<u8>>,
@@ -63,8 +66,16 @@ impl Store {
 
     /// Opens with an explicit compaction threshold (tests use tiny ones).
     pub fn open_with_threshold(path: &Path, compact_threshold: u64) -> io::Result<Store> {
-        let (log, replay) = RecordLog::open(path)?;
+        Store::open_on(std_vfs(), path, compact_threshold)
+    }
+
+    /// Opens against an explicit filesystem (the simulation swaps in a
+    /// virtual disk here; the other constructors delegate with
+    /// [`crate::vfs::StdVfs`]).
+    pub fn open_on(vfs: Arc<dyn Vfs>, path: &Path, compact_threshold: u64) -> io::Result<Store> {
+        let (log, replay) = RecordLog::open_on(vfs.as_ref(), path)?;
         let mut store = Store {
+            vfs,
             path: path.to_path_buf(),
             log,
             index: HashMap::new(),
@@ -160,8 +171,8 @@ impl Store {
             log::encode_record(&payload, &mut image);
         }
         let snapshot_len = image.len() as u64;
-        let (file, staged) = atomic::write_staged(&self.path, &image)?;
-        atomic::commit_rename(&staged, &self.path)?;
+        let (file, staged) = atomic::write_staged_on(self.vfs.as_ref(), &self.path, &image)?;
+        atomic::commit_rename_on(self.vfs.as_ref(), &staged, &self.path)?;
         // The staged handle is now the live log (rename preserves the
         // inode); keep appending to it.
         self.log = RecordLog::from_parts(file, snapshot_len)?;
@@ -197,18 +208,7 @@ impl Store {
         let take = usize::try_from(len - offset)
             .unwrap_or(usize::MAX)
             .min(max_len);
-        let mut file = std::fs::File::open(&self.path)?;
-        use std::io::{Read, Seek, SeekFrom};
-        file.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; take];
-        let mut filled = 0;
-        while filled < buf.len() {
-            match file.read(&mut buf[filled..])? {
-                0 => break,
-                n => filled += n,
-            }
-        }
-        buf.truncate(filled);
+        let buf = self.vfs.read_range(&self.path, offset, take)?;
         Ok((buf, len))
     }
 

@@ -1,0 +1,190 @@
+//! Filesystem seam: every byte `cr-store` persists flows through [`Vfs`].
+//!
+//! The store's durability story (CRC-framed appends, fsync-before-ack,
+//! staged-write-then-rename compaction) is only as testable as the disk
+//! under it. This trait pair narrows the store's filesystem surface to
+//! exactly the operations its crash-safety argument relies on — open,
+//! append-positioned writes, truncate, fsync, whole-file rename — so a
+//! deterministic simulation (`cr-sim`) can substitute an in-memory disk
+//! with scheduled faults (torn final write, lost unsynced suffix on
+//! crash, injected I/O errors) while production code runs on [`StdVfs`],
+//! a zero-cost delegation to `std::fs`.
+//!
+//! Invariants every implementation must honor (the store depends on
+//! them):
+//!
+//! * `open_rw` creates the file when absent and never truncates it;
+//! * `open_truncated` always yields an empty file (the staging half of
+//!   atomic replacement);
+//! * `rename` over an existing target is atomic: readers of the target
+//!   observe the old image or the new one, never a mix;
+//! * a handle returned by `open_*` keeps addressing the same underlying
+//!   file even if the *path* is renamed over (inode semantics — the
+//!   compaction handle handoff in [`crate::Store::compact`] relies on
+//!   it);
+//! * bytes written before a `sync_all` that returned `Ok` survive any
+//!   crash; bytes after the last successful sync may be lost or torn.
+
+use std::fmt::Debug;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// An open file handle, positionable and syncable. The store only ever
+/// seeks to absolute offsets, so the full `Seek` surface is not exposed.
+pub trait VfsFile: Send + Debug {
+    /// Reads the remainder of the file (from the current position) into
+    /// `buf`, returning the number of bytes read.
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize>;
+    /// Writes all of `buf` at the current position, advancing it.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Truncates (or extends with zeros) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Moves the read/write position to absolute offset `pos`.
+    fn seek_to(&mut self, pos: u64) -> io::Result<()>;
+    /// Forces everything written so far to stable storage (fsync).
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// A filesystem root. `Send + Sync` because the server shares one handle
+/// across its store, replica, and port-file writers.
+pub trait Vfs: Send + Sync + Debug {
+    /// Opens `path` read/write, creating it empty if absent. Never
+    /// truncates existing contents; the position starts at 0.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens `path` write-only-semantics, truncating any existing
+    /// contents (the staged-write primitive).
+    fn open_truncated(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Reads up to `max_len` bytes starting at byte `offset` through a
+    /// fresh read-only handle (never perturbs writer positions).
+    fn read_range(&self, path: &Path, offset: u64, max_len: usize) -> io::Result<Vec<u8>>;
+    /// Atomically renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Creates `path` and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production filesystem: straight delegation to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+/// Shared handle to the production filesystem.
+pub fn std_vfs() -> Arc<dyn Vfs> {
+    Arc::new(StdVfs)
+}
+
+impl VfsFile for File {
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        Read::read_to_end(self, buf)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        File::set_len(self, len)
+    }
+
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        Seek::seek(self, SeekFrom::Start(pos)).map(|_| ())
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+}
+
+impl Vfs for StdVfs {
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Box::new(file))
+    }
+
+    fn open_truncated(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(file))
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, max_len: usize) -> io::Result<Vec<u8>> {
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; max_len];
+        let mut filled = 0;
+        while filled < buf.len() {
+            match file.read(&mut buf[filled..])? {
+                0 => break,
+                n => filled += n,
+            }
+        }
+        buf.truncate(filled);
+        Ok(buf)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let h = tag.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        let dir = std::env::temp_dir().join(format!("cr-store-vfs-{tag}-{h:x}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn open_rw_preserves_and_open_truncated_clears() {
+        let dir = tmp("modes");
+        let path = dir.join("f");
+        {
+            let mut f = StdVfs.open_rw(&path).expect("create");
+            f.write_all(b"hello").expect("write");
+            f.sync_all().expect("sync");
+        }
+        {
+            let mut f = StdVfs.open_rw(&path).expect("reopen");
+            let mut buf = Vec::new();
+            f.read_to_end(&mut buf).expect("read");
+            assert_eq!(buf, b"hello");
+        }
+        {
+            let _f = StdVfs.open_truncated(&path).expect("truncate");
+        }
+        assert_eq!(std::fs::read(&path).expect("read back"), b"");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_range_is_offset_exact() {
+        let dir = tmp("range");
+        let path = dir.join("f");
+        std::fs::write(&path, b"0123456789").expect("seed");
+        assert_eq!(StdVfs.read_range(&path, 3, 4).expect("range"), b"3456");
+        assert_eq!(StdVfs.read_range(&path, 8, 100).expect("tail"), b"89");
+        assert_eq!(StdVfs.read_range(&path, 10, 4).expect("eof"), b"");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

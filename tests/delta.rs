@@ -79,7 +79,10 @@ fn assert_delta_matches_scratch(
         } => {
             // The fallback must hand back the *edited* schema so the full
             // check answers the right question.
-            assert_eq!(ec, edited_canonical, "fallback must carry the edited canonical");
+            assert_eq!(
+                ec, edited_canonical,
+                "fallback must carry the edited canonical"
+            );
             None
         }
     }
@@ -127,8 +130,8 @@ fn mutate_canonical(canonical: &str, kind: usize, picks: &mut Picks) -> Option<S
 
     // Rewrites a card line's window with `f(min, max)`.
     let rewrite_card = |lines: &mut Vec<String>,
-                            idx: usize,
-                            f: &dyn Fn(u64, Option<u64>) -> (u64, Option<u64>)| {
+                        idx: usize,
+                        f: &dyn Fn(u64, Option<u64>) -> (u64, Option<u64>)| {
         let fields: Vec<&str> = lines[idx].split('\t').collect();
         let min: u64 = fields[4].parse().ok()?;
         let max: Option<u64> = match fields[5] {
@@ -298,12 +301,8 @@ fn tightening_edit_flips_sat_to_unsat() {
     let (sat_classes, _) = scratch_verdict(&base.canonical_form());
     assert!(sat_classes.is_empty(), "base must start satisfiable");
 
-    let ctx = DeltaContext::from_schema(
-        &base,
-        &ExpansionConfig::default(),
-        &Budget::unlimited(),
-    )
-    .unwrap();
+    let ctx = DeltaContext::from_schema(&base, &ExpansionConfig::default(), &Budget::unlimited())
+        .unwrap();
     let edited_src = FLIPPABLE.replace("card C in R.U1: 0..*;", "card C in R.U1: 2..*;");
     let edited = cr_lang::parse_schema(&edited_src).unwrap().canonical_form();
     let (unsat, _) = scratch_verdict(&edited);
@@ -318,14 +317,13 @@ fn loosening_edit_flips_unsat_back_to_sat() {
     let (unsat, _) = scratch_verdict(&base.canonical_form());
     assert!(!unsat.is_empty(), "base must start unsatisfiable");
 
-    let ctx = DeltaContext::from_schema(
-        &base,
-        &ExpansionConfig::default(),
-        &Budget::unlimited(),
-    )
-    .unwrap();
+    let ctx = DeltaContext::from_schema(&base, &ExpansionConfig::default(), &Budget::unlimited())
+        .unwrap();
     let edited = cr_lang::parse_schema(FLIPPABLE).unwrap().canonical_form();
     let (sat_classes, _) = scratch_verdict(&edited);
-    assert!(sat_classes.is_empty(), "the edit must flip the verdict back");
+    assert!(
+        sat_classes.is_empty(),
+        "the edit must flip the verdict back"
+    );
     assert_delta_matches_scratch(&ctx, &edited);
 }

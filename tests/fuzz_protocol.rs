@@ -1,0 +1,157 @@
+//! Protocol fuzzing: a seeded, structure-aware mutator over JSON-lines
+//! requests, driven straight into [`cr_server::Server::respond_line`].
+//!
+//! The contract under test is the transport's survival envelope:
+//!
+//! * the daemon never panics, whatever bytes arrive on a line;
+//! * every line gets exactly one response (`respond_line` returning is
+//!   the "exactly one" — a panic would poison the server and fail the
+//!   next assertion);
+//! * when the line still parses as a request carrying an `id`, the
+//!   response echoes that id, so a pipelining client can always match
+//!   answers to questions.
+//!
+//! Mutations are structure-aware: they start from a valid request and
+//! break one aspect at a time — truncation, type swaps, duplicate keys,
+//! oversized payloads, invalid UTF-8 — because a mutant adjacent to the
+//! grammar probes deeper than uniformly random bytes.
+
+use cr_server::{Op, Request, Server, ServerConfig};
+use cr_sim::SimRng;
+
+/// One memory-only server shared by the whole fuzz run: a panic anywhere
+/// poisons its locks and surfaces in every later iteration.
+fn server() -> Server {
+    Server::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+}
+
+/// A pool of well-formed request lines the mutator starts from.
+fn seeds() -> Vec<String> {
+    let schema = "class A; class B isa A; relationship R (U1: A, U2: B); \
+                  card A in R.U1: 1..2;";
+    let mut pool = Vec::new();
+    let mut check = Request::new("fz-check", Op::Check);
+    check.schema = Some(schema.to_string());
+    pool.push(check.to_json());
+    let mut certify = Request::new("fz-certify", Op::Check);
+    certify.schema = Some(schema.to_string());
+    certify.certify = true;
+    pool.push(certify.to_json());
+    let mut implies = Request::new("fz-implies", Op::Implies);
+    implies.schema = Some(schema.to_string());
+    implies.query = vec!["isa".to_string(), "B".to_string(), "A".to_string()];
+    pool.push(implies.to_json());
+    let mut pin = Request::new("fz-pin", Op::PinBase);
+    pin.schema = Some(schema.to_string());
+    pool.push(pin.to_json());
+    let mut delta = Request::new("fz-delta", Op::CheckDelta);
+    delta.schema = Some(schema.to_string());
+    delta.base = Some("0".repeat(16));
+    pool.push(delta.to_json());
+    pool.push(Request::new("fz-stats", Op::Stats).to_json());
+    pool
+}
+
+/// Applies one seeded structural mutation to `line`.
+fn mutate(rng: &mut SimRng, line: &str) -> Vec<u8> {
+    let bytes = line.as_bytes();
+    match rng.below(8) {
+        // Truncate at an arbitrary byte (possibly inside a UTF-8 char
+        // or a JSON token).
+        0 => bytes[..rng.below(bytes.len() as u64 + 1) as usize].to_vec(),
+        // Swap a value's type: replace a quoted string with a number.
+        1 => {
+            let mut s = line.to_string();
+            if let Some(start) = s.find('"') {
+                if let Some(end) = s[start + 1..].find('"') {
+                    s.replace_range(start..=start + 1 + end, "42");
+                }
+            }
+            s.into_bytes()
+        }
+        // Duplicate a key: splice the first `"key":value` pair in twice.
+        2 => {
+            let mut s = line.to_string();
+            if let (Some(open), Some(comma)) = (s.find('{'), s.find(',')) {
+                let pair = s[open + 1..comma].to_string();
+                s.insert_str(comma, &format!(",{pair}"));
+            }
+            s.into_bytes()
+        }
+        // Oversized line: pad the id out to ~1MiB.
+        3 => {
+            let mut req = Request::new("x".repeat(1 << 20), Op::Check);
+            req.schema = Some("class A;".to_string());
+            req.to_json().into_bytes()
+        }
+        // Invalid UTF-8 mid-line (reaches the handler via lossy decode).
+        4 => {
+            let mut b = bytes.to_vec();
+            if !b.is_empty() {
+                let at = rng.below(b.len() as u64) as usize;
+                b[at] = 0xFF;
+            }
+            b
+        }
+        // Flip one byte.
+        5 => {
+            let mut b = bytes.to_vec();
+            if !b.is_empty() {
+                let at = rng.below(b.len() as u64) as usize;
+                b[at] ^= 1 << rng.below(8);
+            }
+            b
+        }
+        // Nest garbage where a scalar belongs.
+        6 => line.replace("\"check\"", "[[[]]]").into_bytes(),
+        // Raw non-JSON noise.
+        _ => {
+            let len = rng.below(64) as usize;
+            (0..len).map(|_| rng.below(256) as u8).collect()
+        }
+    }
+}
+
+#[test]
+fn mutated_requests_never_panic_and_echo_ids() {
+    let server = server();
+    let pool = seeds();
+    let mut rng = SimRng::new(0xf022);
+    for i in 0..600 {
+        let seed = &pool[rng.below(pool.len() as u64) as usize];
+        let mutant = mutate(&mut rng, seed);
+        let line = String::from_utf8_lossy(&mutant);
+        // One line in, exactly one response out — a panic inside the
+        // dispatcher would unwind through this call and fail the test.
+        let resp = server.respond_line(line.trim_end_matches('\n'));
+        let _ = resp.to_json();
+        // When the mutant still parses and carries a string id, the
+        // response must echo it.
+        if let Some(id) = parsed_id(&line) {
+            assert_eq!(
+                resp.id, id,
+                "iteration {i}: response for {line:?} answered as {:?}",
+                resp.id
+            );
+        }
+    }
+    // The server survived the whole campaign: a well-formed request
+    // still gets a conclusive answer.
+    let mut req = Request::new("fz-after", Op::Check);
+    req.schema = Some("class A; class B isa A;".to_string());
+    let resp = server.respond_line(&req.to_json());
+    assert_eq!(resp.id, "fz-after");
+    server.finish();
+}
+
+/// Extracts the `id` field iff the line is valid JSON carrying a string
+/// id — exactly the envelope `Request::salvage_id` promises to echo.
+/// Uses the in-tree JSON parser so the oracle agrees with the server on
+/// what "parses" means (including which duplicate key wins).
+fn parsed_id(line: &str) -> Option<String> {
+    let value = cr_trace::json::parse(line).ok()?;
+    value.get("id")?.as_str().map(str::to_string)
+}

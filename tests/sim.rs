@@ -1,0 +1,367 @@
+//! Deterministic-simulation acceptance tests (see `crates/cr-sim`).
+//!
+//! Four claims are pinned here:
+//!
+//! 1. **Determinism** — the same seed produces byte-identical event
+//!    traces, run after run. Everything else (replay debugging, schedule
+//!    shrinking, the pinned regression corpus) rests on this.
+//! 2. **The swarm passes** — a batch of seeds drawn from the fault
+//!    generator upholds all four invariants (acked-durability, verdict
+//!    safety, response identity, promotion liveness).
+//! 3. **The checkers can fail** — a deliberately broken disk (fsync
+//!    lies) is caught by the durability audit and shrunk to a one-fault
+//!    schedule naming the faulty site. A checker that cannot fail
+//!    checks nothing.
+//! 4. **Epoch resets converge** — crashing the follower at every chunk
+//!    boundary across a compaction-triggered replication epoch reset
+//!    still converges the mirror byte-identically, and verdicts the
+//!    standby served warm never regress.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cr_server::repl::FollowerClient;
+use cr_server::{FollowerStep, Op, Request, Server, ServerConfig, Status};
+use cr_sim::{
+    run_schedule, run_seed, schedule_for_seed, shrink, swarm, FaultEvent, FaultKind, NodeSlot,
+    SimNet, SimOptions, SimRng, SimVfs,
+};
+
+use cr_core::{Clock, ManualClock};
+
+/// Seeds where the swarm historically found a real bug (the replication
+/// mirror was applied but never fsynced, so a follower crash after the
+/// primary's death lost acknowledged verdicts). They must stay green.
+const REGRESSION_SEEDS: &[u64] = &[105, 108, 245];
+
+fn small() -> SimOptions {
+    SimOptions::default()
+}
+
+#[test]
+fn replaying_a_seed_is_byte_identical() {
+    // Pick the first seed whose derived schedule is non-empty, so the
+    // determinism claim covers the fault plane, not just quiet traffic.
+    let seed = (0..64)
+        .find(|&s| !schedule_for_seed(s, &small()).is_empty())
+        .expect("some seed in 0..64 has faults");
+    let a = run_seed(seed, &small());
+    let b = run_seed(seed, &small());
+    assert!(a.requests > 0, "simulation issued no requests");
+    assert_eq!(a.trace, b.trace, "seed {seed} diverged between runs");
+    assert_eq!(
+        a.violations.len(),
+        b.violations.len(),
+        "seed {seed} verdict flapped between runs"
+    );
+}
+
+#[test]
+fn swarm_batch_upholds_all_invariants() {
+    // CI scales this up (crsat sim --seeds 200); the in-tree default
+    // keeps `cargo test` fast.
+    let seeds: u64 = std::env::var("CRSAT_SIM_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let report = swarm(0, seeds, &small());
+    assert_eq!(report.seeds_run, seeds);
+    for failure in &report.failures {
+        for v in &failure.report.violations {
+            eprintln!(
+                "seed {} violated {}: {}",
+                failure.report.seed, v.invariant, v.detail
+            );
+        }
+    }
+    assert!(report.passed(), "{} seed(s) failed", report.failures.len());
+}
+
+#[test]
+fn regression_seeds_stay_green() {
+    for &seed in REGRESSION_SEEDS {
+        let report = run_seed(seed, &small());
+        assert!(
+            !report.failed(),
+            "regression seed {seed} failed again: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn lying_fsync_is_caught_and_shrunk_to_the_sync_site() {
+    // The self-test the CI job runs: a disk that acknowledges fsync
+    // without persisting must trip the acked-durability audit, and the
+    // shrinker must reduce the schedule to that one fault.
+    let schedule = vec![
+        FaultEvent {
+            at: Duration::from_millis(1),
+            kind: FaultKind::SkipFsync,
+        },
+        FaultEvent {
+            at: Duration::from_millis(600),
+            kind: FaultKind::DropReplConn { count: 1 },
+        },
+    ];
+    let report = run_schedule(77, &schedule, &small());
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "acked-durability"),
+        "lying disk not caught: {:?}",
+        report.violations
+    );
+    let shrunk = shrink(77, &schedule, &small());
+    assert_eq!(
+        shrunk.len(),
+        1,
+        "shrinker kept irrelevant faults: {shrunk:?}"
+    );
+    assert_eq!(shrunk[0].kind.site(), "store.append.sync");
+}
+
+// ---------------------------------------------------------------------
+// Epoch-reset convergence: a scripted primary/standby pair (no fault
+// generator — the crash point is the parameter under test).
+// ---------------------------------------------------------------------
+
+const PRIMARY_ADDR: &str = "primary:1";
+
+/// What the scripted run does between follower chunk boundaries.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    /// Persist a fresh certified verdict for pool schema `i`.
+    Persist(usize),
+    /// One follower poll (a chunk boundary once applied).
+    Step,
+    /// Force a primary compaction: the log is rewritten, byte offsets
+    /// die, and the replication epoch bumps.
+    Compact,
+}
+
+/// Interleaves appends and polls so the follower crosses several chunk
+/// boundaries before and after the epoch reset.
+const SCRIPT: &[Action] = &[
+    Action::Persist(0),
+    Action::Step,
+    Action::Persist(1),
+    Action::Step,
+    Action::Persist(2),
+    Action::Step,
+    Action::Compact,
+    Action::Persist(3),
+    Action::Step,
+    Action::Persist(4),
+    Action::Step,
+    Action::Persist(5),
+    Action::Step,
+];
+
+fn pool_schema(i: usize) -> String {
+    format!(
+        "class A{i}; class B{i} isa A{i}; relationship R{i} (U1: A{i}, U2: B{i}); \
+         card A{i} in R{i}.U1: 1..2;"
+    )
+}
+
+struct Rig {
+    clock: ManualClock,
+    net: SimNet,
+    pri_vfs: SimVfs,
+    stb_vfs: SimVfs,
+    pri_slot: NodeSlot,
+    primary: Server,
+    standby: Server,
+    follower: Option<FollowerClient>,
+    crash_rng: SimRng,
+    /// Verdicts the primary acknowledged, by pool index.
+    acked: Vec<(usize, String)>,
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let clock = ManualClock::default();
+        let net = SimNet::new(&clock);
+        let pri_vfs = SimVfs::new();
+        let stb_vfs = SimVfs::new();
+        let primary = Server::open(ServerConfig {
+            workers: 1,
+            cache_dir: Some(PathBuf::from("/pri")),
+            clock: Clock::manual(&clock),
+            vfs: Arc::new(pri_vfs.clone()),
+            connector: Arc::new(net.clone()),
+            ..ServerConfig::default()
+        })
+        .expect("boot primary");
+        let pri_slot: NodeSlot = Arc::new(Mutex::new(Some(primary.clone())));
+        net.register(PRIMARY_ADDR, Arc::clone(&pri_slot));
+        let standby = Self::boot_standby(&clock, &net, &stb_vfs);
+        Rig {
+            clock,
+            net,
+            pri_vfs,
+            stb_vfs,
+            pri_slot,
+            primary,
+            standby,
+            follower: None,
+            crash_rng: SimRng::new(0xc4a5),
+            acked: Vec::new(),
+        }
+    }
+
+    fn boot_standby(clock: &ManualClock, net: &SimNet, stb_vfs: &SimVfs) -> Server {
+        Server::open(ServerConfig {
+            workers: 1,
+            cache_dir: Some(PathBuf::from("/stb")),
+            follow: Some(PRIMARY_ADDR.to_string()),
+            follow_external: true,
+            clock: Clock::manual(clock),
+            vfs: Arc::new(stb_vfs.clone()),
+            connector: Arc::new(net.clone()),
+            ..ServerConfig::default()
+        })
+        .expect("boot standby")
+    }
+
+    fn persist(&mut self, i: usize) {
+        let id = format!("p{i}");
+        let mut req = Request::new(&id, Op::Check);
+        req.schema = Some(pool_schema(i));
+        let resp = self.primary.respond_line(&req.to_json());
+        assert!(
+            matches!(resp.status, Status::Ok | Status::Negative),
+            "primary could not answer schema {i}: {:?}",
+            resp.detail
+        );
+        let verdict = resp.verdict.expect("conclusive check carries a verdict");
+        self.acked.push((i, verdict));
+    }
+
+    /// One follower poll. Returns true when a chunk was applied (a
+    /// boundary a crash can land on).
+    fn step(&mut self) -> bool {
+        if self.follower.is_none() {
+            self.follower = self.standby.follower_client();
+        }
+        let Some(mut client) = self.follower.take() else {
+            return false;
+        };
+        let step = self.standby.follower_step(&mut client);
+        self.follower = Some(client);
+        matches!(step, Ok(FollowerStep::Applied { .. }))
+    }
+
+    /// Power-loss crash of the standby (torn tail) and a cold reopen
+    /// over whatever survived on its virtual disk.
+    fn crash_and_reopen_follower(&mut self) {
+        let image = self.stb_vfs.crash_image(&mut self.crash_rng, true);
+        self.standby.finish();
+        self.follower = None;
+        self.stb_vfs.restore(&image);
+        self.standby = Self::boot_standby(&self.clock, &self.net, &self.stb_vfs);
+    }
+
+    /// Polls until two consecutive steps apply nothing more.
+    fn drain(&mut self) {
+        let mut quiet = 0;
+        for _ in 0..10_000 {
+            if self.follower.is_none() {
+                self.follower = self.standby.follower_client();
+            }
+            let Some(mut client) = self.follower.take() else {
+                break;
+            };
+            let step = self.standby.follower_step(&mut client);
+            self.follower = Some(client);
+            match step {
+                Ok(FollowerStep::Applied { more: true }) => quiet = 0,
+                Ok(FollowerStep::Applied { more: false }) => {
+                    quiet += 1;
+                    if quiet >= 2 {
+                        return;
+                    }
+                }
+                Ok(FollowerStep::Stopped) => return,
+                Err(_) => quiet = 0,
+            }
+        }
+        panic!("replication did not drain");
+    }
+
+    /// The convergence + no-regression assertions.
+    fn verify(&mut self, crash_at: usize) {
+        let pri = self
+            .pri_vfs
+            .live_bytes(&PathBuf::from("/pri/verdicts.log"))
+            .expect("primary log exists");
+        let stb = self
+            .stb_vfs
+            .live_bytes(&PathBuf::from("/stb/verdicts.log"))
+            .expect("mirror exists");
+        assert_eq!(
+            pri, stb,
+            "crash at boundary {crash_at}: mirror did not converge byte-identically"
+        );
+        for (i, expected) in self.acked.clone() {
+            let id = format!("q{i}");
+            let mut req = Request::new(&id, Op::Check);
+            req.schema = Some(pool_schema(i));
+            let resp = self.standby.respond_line(&req.to_json());
+            assert!(
+                matches!(resp.status, Status::Ok | Status::Negative),
+                "crash at boundary {crash_at}: standby lost warm verdict for schema {i}"
+            );
+            assert_eq!(
+                resp.verdict.as_deref(),
+                Some(expected.as_str()),
+                "crash at boundary {crash_at}: warm verdict regressed for schema {i}"
+            );
+            assert!(
+                resp.cached,
+                "crash at boundary {crash_at}: standby recomputed instead of serving warm"
+            );
+        }
+        // Teardown: take the primary out of the fabric before finish().
+        self.pri_slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        self.primary.finish();
+        self.standby.finish();
+    }
+}
+
+#[test]
+fn epoch_reset_converges_across_follower_crashes_at_every_chunk_boundary() {
+    let boundaries = SCRIPT.iter().filter(|a| matches!(a, Action::Step)).count();
+    // crash_at == boundaries means "never crash" — the control run.
+    for crash_at in 0..=boundaries {
+        let mut rig = Rig::new();
+        let mut seen = 0;
+        let mut compacted = false;
+        for action in SCRIPT {
+            match action {
+                Action::Persist(i) => rig.persist(*i),
+                Action::Compact => {
+                    assert!(rig.primary.compact_store().expect("compaction succeeds"));
+                    compacted = true;
+                }
+                Action::Step => {
+                    if rig.step() {
+                        seen += 1;
+                        if seen == crash_at + 1 {
+                            rig.crash_and_reopen_follower();
+                        }
+                    }
+                }
+            }
+        }
+        assert!(compacted, "script must cross a compaction");
+        rig.drain();
+        rig.verify(crash_at);
+    }
+}
